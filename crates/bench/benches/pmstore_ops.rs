@@ -1,0 +1,121 @@
+//! Criterion benchmarks for the fine-grained persistence layer (§3.4
+//! structures): redo transactions, heap allocation, B+-tree ops, queue
+//! ops, lock-table and TCB updates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pmstore::{PmBTree, PmHeap, PmLockTable, PmQueue, PmTx, TcbTable, VecMedium};
+
+fn bench_redo_tx(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pmtx");
+    g.throughput(Throughput::Bytes(256));
+    g.bench_function("commit_4x64B", |b| {
+        let mut m = VecMedium::new(1 << 20);
+        let mut tx = PmTx::create(0, 64 * 1024);
+        let data = [0xABu8; 64];
+        b.iter(|| {
+            tx.run(
+                &mut m,
+                &[
+                    (70_000, &data),
+                    (80_000, &data),
+                    (90_000, &data),
+                    (100_000, &data),
+                ],
+            );
+            black_box(m.writes)
+        })
+    });
+    g.finish();
+}
+
+fn bench_heap(c: &mut Criterion) {
+    c.bench_function("heap/alloc_free_cycle", |b| {
+        let mut m = VecMedium::new(1 << 20);
+        let mut h = PmHeap::format(&mut m, 0, 1 << 20);
+        b.iter(|| {
+            let a = h.alloc(&mut m, 256).unwrap();
+            h.free(&mut m, a);
+            black_box(a)
+        })
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pmbtree");
+    g.bench_function("insert_sequential", |b| {
+        let mut m = VecMedium::new(8 << 20);
+        let mut t = PmBTree::format(&mut m, 0, 8 << 20);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            t.insert(&mut m, k, k);
+            black_box(k)
+        })
+    });
+    g.bench_function("get_hit", |b| {
+        let mut m = VecMedium::new(8 << 20);
+        let mut t = PmBTree::format(&mut m, 0, 8 << 20);
+        for k in 0..10_000u64 {
+            t.insert(&mut m, k, k * 2);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % 10_000;
+            black_box(t.get(&m, k))
+        })
+    });
+    g.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    c.bench_function("pmqueue/enqueue_dequeue", |b| {
+        let mut m = VecMedium::new(PmQueue::required_len(1024, 128) + 64);
+        let q = PmQueue::format(&mut m, 0, 1024, 128);
+        let payload = [7u8; 100];
+        b.iter(|| {
+            q.enqueue(&mut m, &payload);
+            black_box(q.dequeue(&mut m))
+        })
+    });
+}
+
+fn bench_locktable_and_tcb(c: &mut Criterion) {
+    c.bench_function("pmlocktable/grant_release", |b| {
+        let mut m = VecMedium::new(PmLockTable::required_len(1024) + 64);
+        let t = PmLockTable::format(&mut m, 0, 1024);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            t.record_grant(&mut m, k % 512, k, pmstore::locktable::PmLockMode::Exclusive);
+            black_box(t.release_holder(&mut m, k))
+        })
+    });
+    c.bench_function("tcb/state_update", |b| {
+        let mut m = VecMedium::new(TcbTable::required_len(4096) + 64);
+        let t = TcbTable::format(&mut m, 0, 4096);
+        let mut txn = 0u64;
+        b.iter(|| {
+            txn += 1;
+            t.put(
+                &mut m,
+                pmstore::tcb::Tcb {
+                    txn,
+                    state: pmstore::TcbState::Committing,
+                    first_lsn: txn * 100,
+                    last_lsn: txn * 100 + 50,
+                },
+            );
+            black_box(t.get(&m, txn))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_redo_tx,
+    bench_heap,
+    bench_btree,
+    bench_queue,
+    bench_locktable_and_tcb
+);
+criterion_main!(benches);

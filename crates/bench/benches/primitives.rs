@@ -1,0 +1,114 @@
+//! Criterion microbenchmarks of the library's hot primitives: the event
+//! engine, the fabric latency math, audit-record codec and the lock
+//! manager. These measure the *simulator's* wall-clock performance (how
+//! fast experiments run), complementing the figure harnesses that measure
+//! *simulated* time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use simcore::{Actor, Ctx, Msg, Sim, SimDuration};
+
+struct Ping(u32);
+struct Bouncer {
+    peer: Option<simcore::ActorId>,
+}
+impl Actor for Bouncer {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        if let Ok((from, Ping(n))) = msg.take::<Ping>() {
+            if n > 0 {
+                let to = self.peer.unwrap_or(from);
+                ctx.send(to, SimDuration::from_nanos(100), Ping(n - 1));
+            }
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("dispatch_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Sim::with_seed(1);
+            let a = sim.spawn(Bouncer { peer: None });
+            let bo = sim.spawn(Bouncer { peer: Some(a) });
+            sim.post(bo, SimDuration::ZERO, Ping(100_000));
+            sim.run_until_idle();
+            black_box(sim.dispatched())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fabric_math(c: &mut Criterion) {
+    let cfg = simnet::FabricConfig::default();
+    c.bench_function("simnet/write_latency_math", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for len in [64u32, 512, 4096, 65536] {
+                acc = acc.wrapping_add(simnet::latency::write_round_trip_ns(&cfg, black_box(len)));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_audit_codec(c: &mut Criterion) {
+    use txnkit::audit::AuditRecord;
+    use txnkit::types::{PartitionId, TxnId};
+    let rec = AuditRecord::Insert {
+        txn: TxnId(42),
+        partition: PartitionId { file: 1, part: 2 },
+        key: 0xDEAD_BEEF,
+        virtual_len: 4096,
+        body_crc: 7,
+        body: bytes::Bytes::from(vec![0u8; 64]),
+    };
+    let enc = rec.encode();
+    let mut g = c.benchmark_group("audit");
+    g.throughput(Throughput::Bytes(enc.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| black_box(rec.encode()));
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(AuditRecord::decode(&enc).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_lock_manager(c: &mut Criterion) {
+    use txnkit::lock::{LockManager, LockMode};
+    use txnkit::types::TxnId;
+    c.bench_function("lock/acquire_release_1k", |b| {
+        b.iter(|| {
+            let mut lm = LockManager::new();
+            for t in 0..1000u64 {
+                lm.acquire(TxnId(t), t % 128, LockMode::Exclusive);
+            }
+            for t in 0..1000u64 {
+                lm.release_all(TxnId(t));
+            }
+            black_box(lm.len())
+        })
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("stats/histogram_record_10k", |b| {
+        b.iter(|| {
+            let mut h = simcore::Histogram::new();
+            for i in 0..10_000u64 {
+                h.record(i * 997);
+            }
+            black_box(h.p95())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_fabric_math,
+    bench_audit_codec,
+    bench_lock_manager,
+    bench_histogram
+);
+criterion_main!(benches);

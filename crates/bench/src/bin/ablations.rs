@@ -1,0 +1,86 @@
+//! Ablations A1–A3 (DESIGN.md §3): the design choices the paper's
+//! architecture commits to, each knocked out in isolation.
+//!
+//! * A1 — mirroring policy: parallel-both (paper) vs sequential-both vs
+//!   primary-only.
+//! * A2 — PMM on the data path: every access brokered by the manager
+//!   process, vs the paper's direct host-initiated RDMA.
+//! * A3 — attachment level: first-level memory-semantic access vs the
+//!   same device behind a second-level block storage stack (§3.2).
+
+use pm_bench::{measure_pm_write, MeasureOpts, PmPathVariant, Table};
+use pmclient::MirrorPolicy;
+
+fn main() {
+    const N: u32 = 300;
+
+    // A1: mirroring policy.
+    let mut a1 = Table::new(&["policy", "size_B", "mean_us", "p95_us", "survives_npmu_loss"]);
+    for size in [512u32, 4096] {
+        for (label, policy, ft) in [
+            ("parallel-both (paper)", MirrorPolicy::ParallelBoth, "yes"),
+            ("sequential-both", MirrorPolicy::SequentialBoth, "yes"),
+            ("primary-only", MirrorPolicy::PrimaryOnly, "no"),
+        ] {
+            let h = measure_pm_write(MeasureOpts {
+                policy,
+                ..MeasureOpts::pm_default(N, size)
+            });
+            a1.row(&[
+                label.into(),
+                size.to_string(),
+                format!("{:.1}", h.mean() / 1e3),
+                format!("{:.1}", h.p95() as f64 / 1e3),
+                ft.into(),
+            ]);
+        }
+    }
+    a1.print("A1: mirrored-write policy");
+
+    // A2: manager on vs off the data path.
+    let mut a2 = Table::new(&["access path", "size_B", "mean_us"]);
+    for size in [64u32, 4096] {
+        for (label, variant) in [
+            ("direct RDMA (paper)", PmPathVariant::Direct),
+            ("brokered by PMM", PmPathVariant::ViaManager),
+        ] {
+            let h = measure_pm_write(MeasureOpts {
+                variant,
+                ..MeasureOpts::pm_default(N, size)
+            });
+            a2.row(&[
+                label.into(),
+                size.to_string(),
+                format!("{:.1}", h.mean() / 1e3),
+            ]);
+        }
+    }
+    a2.print("A2: PMM off vs on the data path");
+
+    // A3: attachment level.
+    let mut a3 = Table::new(&["attachment", "size_B", "mean_us", "note"]);
+    for size in [64u32, 4096] {
+        let direct = measure_pm_write(MeasureOpts::pm_default(N, size));
+        let stack = measure_pm_write(MeasureOpts {
+            variant: PmPathVariant::StorageStack,
+            ..MeasureOpts::pm_default(N, size)
+        });
+        a3.row(&[
+            "first-level RDMA (paper)".into(),
+            size.to_string(),
+            format!("{:.1}", direct.mean() / 1e3),
+            "byte-grained".into(),
+        ]);
+        a3.row(&[
+            "second-level block stack".into(),
+            size.to_string(),
+            format!("{:.1}", stack.mean() / 1e3),
+            if size < 4096 {
+                "read-modify-write".into()
+            } else {
+                "block aligned".into()
+            },
+        ]);
+    }
+    a3.print("A3: first-level vs second-level attachment (paper §3.2)");
+}

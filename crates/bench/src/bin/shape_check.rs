@@ -1,0 +1,24 @@
+//! Calibration matrix: the full (txn size × drivers × mode) grid in one
+//! screen — the tool used to tune DESIGN.md §8's constants against the
+//! paper's shapes. `fig1`/`fig2` produce the publication tables; this
+//! prints the raw grid.
+
+use hotstock::*;
+use txnkit::scenario::AuditMode;
+fn main() {
+    let recs = 2000;
+    for size in TxnSize::ALL {
+        for drivers in [1u32, 2, 4] {
+            let d = run_hot_stock(HotStockParams::scaled(drivers, size, AuditMode::Disk, recs));
+            let p = run_hot_stock(HotStockParams::scaled(drivers, size, AuditMode::Pmp, recs));
+            println!(
+                "size={} drivers={} | disk: rt={:.2}ms el={:.1}s | pm: rt={:.2}ms el={:.1}s | speedup_rt={:.2} el_ratio={:.2}",
+                size.label(), drivers,
+                d.response.mean()/1e6, d.elapsed.as_secs_f64(),
+                p.response.mean()/1e6, p.elapsed.as_secs_f64(),
+                d.response.mean()/p.response.mean(),
+                d.elapsed.as_nanos() as f64 / p.elapsed.as_nanos() as f64,
+            );
+        }
+    }
+}

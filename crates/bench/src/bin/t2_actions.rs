@@ -1,0 +1,61 @@
+//! T2 — persistence/copy actions per inserted row (§3.4): the baseline's
+//! five-way redundancy ("first from the database writer primary to backup,
+//! then as audit 'delta' from the database writer to the log writer, then
+//! again from the log writer to its backup, from the database writer to
+//! data volumes and from the log writer to log volumes") vs the single
+//! synchronous PM write.
+
+use hotstock::{run_hot_stock, HotStockParams, TxnSize};
+use pm_bench::Table;
+use txnkit::scenario::AuditMode;
+
+fn main() {
+    let records = 1000;
+    let disk = run_hot_stock(HotStockParams::scaled(1, TxnSize::K64, AuditMode::Disk, records));
+    let pm = run_hot_stock(HotStockParams::scaled(1, TxnSize::K64, AuditMode::Pmp, records));
+
+    let rows: [(&str, fn(&hotstock::runner::TxnStatsSnapshot) -> u64); 6] = [
+        ("DBW primary -> backup checkpoint", |s| s.dbw_checkpoints),
+        ("DBW -> ADP audit delta", |s| s.audit_deltas),
+        ("ADP primary -> backup checkpoint", |s| s.adp_checkpoints),
+        ("DBW -> data volume write", |s| s.data_volume_writes),
+        ("ADP -> audit volume write", |s| s.audit_volume_writes),
+        ("ADP -> PM synchronous write", |s| s.pm_writes),
+    ];
+
+    let mut t = Table::new(&["persistence action", "baseline/insert", "pm/insert"]);
+    for (label, get) in rows {
+        t.row(&[
+            label.to_string(),
+            format!("{:.3}", get(&disk.txn_stats) as f64 / disk.txn_stats.inserts as f64),
+            format!("{:.3}", get(&pm.txn_stats) as f64 / pm.txn_stats.inserts as f64),
+        ]);
+    }
+    t.row(&[
+        "(info) PM control-cell writes".into(),
+        format!("{:.3}", disk.txn_stats.pm_ctrl_writes as f64 / disk.txn_stats.inserts as f64),
+        format!("{:.3}", pm.txn_stats.pm_ctrl_writes as f64 / pm.txn_stats.inserts as f64),
+    ]);
+    t.row(&[
+        "TOTAL (measured, prototype scope)".into(),
+        format!("{:.3}", disk.txn_stats.actions_per_insert()),
+        format!("{:.3}", pm.txn_stats.actions_per_insert()),
+    ]);
+    // §3.4's *envisioned* persistence architecture goes further than the
+    // prototype (which only re-targets the ADP): rows become persistent
+    // "once when they enter the database writer, by synchronously writing
+    // to the NPMU", eliminating the DBW checkpoint, the audit delta as a
+    // durability action, both backup checkpoints and both volume writes.
+    t.row(&[
+        "TOTAL (envisioned arch., computed)".into(),
+        format!("{:.3}", disk.txn_stats.actions_per_insert()),
+        "1.000".into(),
+    ]);
+    t.print("T2: persistence/copy actions per inserted row (paper §3.4)");
+    println!(
+        "paper: baseline repeats persistence ~5x per row; PM makes rows durable once\n\
+         (note: the audit delta message itself remains — data must still reach the\n\
+         log writer — but every redundant durability action downstream collapses\n\
+         into the mirrored PM write, and the flush is amortized across the boxcar)"
+    );
+}

@@ -1,0 +1,37 @@
+//! # pmem — the paper's persistent-memory architecture, as one façade
+//!
+//! This crate assembles the pieces of Mehra & Fineberg's IPDPS 2004
+//! persistent-memory system into the API a downstream user starts from:
+//!
+//! * [`install_pm_system`] — wire a mirrored NPMU pair plus its PMM
+//!   process pair into a simulated node (§4.1's three deployment pieces:
+//!   devices, manager, client library — the client side is
+//!   `pmclient::PmLib`, re-exported here);
+//! * [`NvMedium`] — view a region of an NPMU's memory as a
+//!   `pmstore::PmMedium`, so the fine-grained persistent structures
+//!   (§3.4: heap, B-tree index, lock table, TCBs, queue, redo
+//!   transactions) can live *on the device image* and be recovered from
+//!   it after a power loss;
+//! * presets ([`presets`]) — the S86000-like ODS configurations the
+//!   evaluation uses, both the disk-audit baseline and the PM-enabled
+//!   variant;
+//! * [`integrity`] — the §1.3 duplicate-and-compare scrubber over a
+//!   mirrored NPMU pair (silent-data-corruption detection).
+//!
+//! Re-exports give one-stop access to the full stack.
+
+pub mod adapter;
+pub mod integrity;
+pub mod presets;
+pub mod system;
+
+pub use adapter::NvMedium;
+pub use integrity::{verify_mirrors, Discrepancy, MirrorReport};
+pub use presets::{s86000_baseline, s86000_pm};
+pub use system::{install_pm_system, PmSystem};
+
+// One-stop re-exports of the architecture's components.
+pub use npmu::{AttEntry, AttTable, CpuFilter, Npmu, NpmuConfig, NpmuHandle, NpmuKind, NvImage};
+pub use pmclient::{MirrorPolicy, PmLib, PmReadComplete, PmWriteComplete};
+pub use pmm::{install_pmm_pair, PmmConfig, PmmHandle, RegionInfo};
+pub use pmstore::{PmBTree, PmHeap, PmLockTable, PmQueue, PmTx, TcbTable};

@@ -1,0 +1,49 @@
+//! Named configurations matching the paper's evaluation platform.
+
+use txnkit::scenario::{AuditMode, OdsParams};
+
+/// The §4.3 baseline: a 4-processor S86000 with disk audit volumes
+/// ("we used 4 auxiliary audit volumes, one for each CPU"), 4 database
+/// files over 16 data volumes, full process-pair checkpointing.
+pub fn s86000_baseline(seed: u64) -> OdsParams {
+    OdsParams::baseline(seed)
+}
+
+/// The §4.3 PM configuration: "For the PM-enabled experiments we ran a
+/// PMP on a 5th CPU, and each ADP used a separate region of the PMP's
+/// memory."
+pub fn s86000_pm(seed: u64) -> OdsParams {
+    OdsParams::pm(seed)
+}
+
+/// PM configuration on hardware NPMUs rather than the PMP prototype
+/// (§4.2 verified hardware is "actually slightly faster").
+pub fn s86000_pm_hardware(seed: u64) -> OdsParams {
+    OdsParams {
+        audit: AuditMode::HardwareNpmu,
+        ..OdsParams::pm(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_topology() {
+        let b = s86000_baseline(1);
+        assert_eq!(b.cpus, 4);
+        assert_eq!(b.files, 4);
+        assert_eq!(b.parts_per_file, 4);
+        assert_eq!(b.data_volumes_per_dp2 * b.cpus, 16, "16 data volumes");
+        assert_eq!(b.audit, AuditMode::Disk);
+        assert!(b.txn.adp_checkpoint);
+
+        let p = s86000_pm(1);
+        assert_eq!(p.audit, AuditMode::Pmp);
+        assert!(!p.txn.adp_checkpoint, "PM drops the ADP data checkpoint");
+
+        let h = s86000_pm_hardware(1);
+        assert_eq!(h.audit, AuditMode::HardwareNpmu);
+    }
+}

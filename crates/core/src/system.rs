@@ -1,0 +1,95 @@
+//! One-call installation of the PM subsystem (§4.1's three pieces).
+
+use npmu::{Npmu, NpmuConfig, NpmuHandle};
+use nsk::machine::{CpuId, SharedMachine};
+use pmm::{install_pmm_pair, PmmConfig, PmmHandle};
+use simcore::{DurableStore, Sim};
+
+/// Handles to an installed PM subsystem.
+pub struct PmSystem {
+    pub npmu_a: NpmuHandle,
+    pub npmu_b: NpmuHandle,
+    pub pmm: PmmHandle,
+    /// Process name clients pass to `PmLib::new`.
+    pub pmm_name: String,
+}
+
+/// Install a mirrored NPMU pair named `<prefix>-a` / `<prefix>-b` and the
+/// `$PMM-<prefix>` process pair that manages them. Device memory persists
+/// in `store` under `npmu:<prefix>-{a,b}` (durable for hardware devices,
+/// volatile for PMPs), so a rebuilt simulation recovers the volume.
+pub fn install_pm_system(
+    sim: &mut Sim,
+    store: &mut DurableStore,
+    machine: &SharedMachine,
+    prefix: &str,
+    device: NpmuConfig,
+    primary_cpu: CpuId,
+    backup_cpu: Option<CpuId>,
+) -> PmSystem {
+    let net = machine.lock().net.clone();
+    let a = Npmu::install(
+        sim,
+        store,
+        &net,
+        Some(machine),
+        &format!("{prefix}-a"),
+        device.clone(),
+    );
+    let b = Npmu::install(
+        sim,
+        store,
+        &net,
+        Some(machine),
+        &format!("{prefix}-b"),
+        device,
+    );
+    let pmm_name = format!("$PMM-{prefix}");
+    let pmm = install_pmm_pair(
+        sim,
+        machine,
+        &pmm_name,
+        &a,
+        &b,
+        primary_cpu,
+        backup_cpu,
+        PmmConfig::default(),
+    );
+    PmSystem {
+        npmu_a: a,
+        npmu_b: b,
+        pmm,
+        pmm_name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsk::machine::{Machine, MachineConfig};
+    use simnet::{FabricConfig, Network};
+
+    #[test]
+    fn installs_and_registers() {
+        let mut sim = Sim::with_seed(1);
+        let mut store = DurableStore::new();
+        let net = Network::new(FabricConfig::default());
+        let machine = Machine::new(MachineConfig::default(), net);
+        let sys = install_pm_system(
+            &mut sim,
+            &mut store,
+            &machine,
+            "pm0",
+            NpmuConfig::hardware(1 << 20),
+            CpuId(0),
+            Some(CpuId(1)),
+        );
+        assert!(machine.lock().resolve(&sys.pmm_name).is_some());
+        assert!(machine.lock().resolve_backup(&sys.pmm_name).is_some());
+        assert!(store.contains("npmu:pm0-a"));
+        assert!(store.contains("npmu:pm0-b"));
+        // Metadata windows were programmed on both devices.
+        assert_eq!(sys.npmu_a.att.lock().len(), 1);
+        assert_eq!(sys.npmu_b.att.lock().len(), 1);
+    }
+}

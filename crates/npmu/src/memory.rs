@@ -1,0 +1,168 @@
+//! The device's memory array.
+//!
+//! Fixed logical capacity, sparse physical representation (4 KB blocks) so
+//! simulating a multi-hundred-megabyte NPMU doesn't allocate it all.
+//! Includes the partial-write primitive the crash-consistency tests use:
+//! ServerNet delivers packets in order, so a transfer interrupted by power
+//! loss applies a *prefix* at packet granularity — never interleaved
+//! fragments.
+
+use std::collections::BTreeMap;
+
+const BLOCK: u64 = 4096;
+
+/// Non-volatile memory image of one NPMU.
+pub struct NvImage {
+    capacity: u64,
+    blocks: BTreeMap<u64, Box<[u8; BLOCK as usize]>>,
+    writes: u64,
+    bytes_written: u64,
+}
+
+impl NvImage {
+    pub fn new(capacity: u64) -> Self {
+        NvImage {
+            capacity,
+            blocks: BTreeMap::new(),
+            writes: 0,
+            bytes_written: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Write `data` at `offset`. Panics if out of range — the ATT layer
+    /// rejects such requests before they get here, so reaching this is a
+    /// device-model bug.
+    pub fn write(&mut self, offset: u64, data: &[u8]) {
+        assert!(
+            offset + data.len() as u64 <= self.capacity,
+            "NvImage write beyond capacity"
+        );
+        let mut off = offset;
+        let mut rest = data;
+        while !rest.is_empty() {
+            let blk = off / BLOCK;
+            let in_blk = (off % BLOCK) as usize;
+            let n = rest.len().min(BLOCK as usize - in_blk);
+            let block = self
+                .blocks
+                .entry(blk)
+                .or_insert_with(|| Box::new([0u8; BLOCK as usize]));
+            block[in_blk..in_blk + n].copy_from_slice(&rest[..n]);
+            off += n as u64;
+            rest = &rest[n..];
+        }
+        self.writes += 1;
+        self.bytes_written += data.len() as u64;
+    }
+
+    /// Apply only the first `applied` bytes of a write — the power-loss
+    /// torn-write model (packet-prefix semantics).
+    pub fn partial_write(&mut self, offset: u64, data: &[u8], applied: usize) {
+        let applied = applied.min(data.len());
+        if applied > 0 {
+            self.write(offset, &data[..applied]);
+        }
+    }
+
+    pub fn read(&self, offset: u64, len: usize) -> Vec<u8> {
+        assert!(
+            offset + len as u64 <= self.capacity,
+            "NvImage read beyond capacity"
+        );
+        let mut out = vec![0u8; len];
+        let mut off = offset;
+        let mut filled = 0usize;
+        while filled < len {
+            let blk = off / BLOCK;
+            let in_blk = (off % BLOCK) as usize;
+            let n = (len - filled).min(BLOCK as usize - in_blk);
+            if let Some(block) = self.blocks.get(&blk) {
+                out[filled..filled + n].copy_from_slice(&block[in_blk..in_blk + n]);
+            }
+            off += n as u64;
+            filled += n;
+        }
+        out
+    }
+
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_zero_fill() {
+        let mut m = NvImage::new(1 << 20);
+        m.write(4000, b"persist");
+        assert_eq!(m.read(4000, 7), b"persist");
+        assert_eq!(m.read(0, 4), vec![0; 4]);
+    }
+
+    #[test]
+    fn spans_blocks() {
+        let mut m = NvImage::new(1 << 20);
+        let data: Vec<u8> = (0..9000u32).map(|i| (i % 256) as u8).collect();
+        m.write(4095, &data);
+        assert_eq!(m.read(4095, 9000), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn write_beyond_capacity_panics() {
+        let mut m = NvImage::new(100);
+        m.write(96, &[0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn read_beyond_capacity_panics() {
+        let m = NvImage::new(100);
+        let _ = m.read(64, 64);
+    }
+
+    #[test]
+    fn partial_write_applies_prefix_only() {
+        let mut m = NvImage::new(1 << 16);
+        m.write(0, &[0xEE; 16]);
+        m.partial_write(0, &[0x11; 16], 5);
+        let r = m.read(0, 16);
+        assert_eq!(&r[..5], &[0x11; 5]);
+        assert_eq!(&r[5..], &[0xEE; 11]);
+    }
+
+    #[test]
+    fn partial_write_zero_is_noop() {
+        let mut m = NvImage::new(1 << 16);
+        m.partial_write(0, &[1; 8], 0);
+        assert_eq!(m.read(0, 8), vec![0; 8]);
+        assert_eq!(m.writes(), 0);
+    }
+
+    #[test]
+    fn partial_write_clamps_to_len() {
+        let mut m = NvImage::new(1 << 16);
+        m.partial_write(0, &[1; 8], 100);
+        assert_eq!(m.read(0, 8), vec![1; 8]);
+    }
+
+    #[test]
+    fn accounting() {
+        let mut m = NvImage::new(1 << 16);
+        m.write(0, &[1; 10]);
+        m.write(100, &[2; 20]);
+        assert_eq!(m.writes(), 2);
+        assert_eq!(m.bytes_written(), 30);
+    }
+}

@@ -1,0 +1,416 @@
+//! The machine model: CPUs, the process registry, and compute accounting.
+
+use parking_lot::Mutex;
+use simcore::{ActorId, Sim};
+use simnet::{EndpointId, SharedNetwork};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A processor within the node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CpuId(pub u32);
+
+impl std::fmt::Debug for CpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of CPUs in the node (NonStop: up to 16 per node).
+    pub cpus: u32,
+    /// Latency of a same-CPU interprocess message, ns.
+    pub local_ipc_ns: u64,
+    /// Failure detection delay before watchers are told a process/CPU
+    /// died. Paper §4: "a backup process takes over from its primary in a
+    /// second or less" — detection is the dominant part of that budget.
+    pub detection_delay_ns: u64,
+    /// Model per-CPU compute contention (serialize handler work).
+    pub model_cpu_contention: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            cpus: 4,
+            local_ipc_ns: 5_000,
+            detection_delay_ns: 400_000_000, // 400 ms
+            model_cpu_contention: true,
+        }
+    }
+}
+
+/// One side of a process (primary or backup) as registered.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcSide {
+    pub actor: ActorId,
+    pub ep: EndpointId,
+    pub cpu: CpuId,
+}
+
+struct ProcEntry {
+    primary: ProcSide,
+    backup: Option<ProcSide>,
+}
+
+/// What a watcher wants to hear about.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum WatchTarget {
+    Process(String),
+    Cpu(u32),
+}
+
+/// The node: registry + topology + accounting. Shared by every process
+/// actor in the simulation.
+pub struct Machine {
+    pub cfg: MachineConfig,
+    pub net: SharedNetwork,
+    cpu_alive: Vec<bool>,
+    cpu_busy_ns: Vec<u64>,
+    cpu_work_total_ns: Vec<u64>,
+    procs: HashMap<String, ProcEntry>,
+    ep_cpu: HashMap<EndpointId, CpuId>,
+    watchers: Vec<(WatchTarget, ActorId)>,
+}
+
+pub type SharedMachine = Arc<Mutex<Machine>>;
+
+impl Machine {
+    pub fn new(cfg: MachineConfig, net: SharedNetwork) -> SharedMachine {
+        let cpus = cfg.cpus as usize;
+        Arc::new(Mutex::new(Machine {
+            cfg,
+            net,
+            cpu_alive: vec![true; cpus],
+            cpu_busy_ns: vec![0; cpus],
+            cpu_work_total_ns: vec![0; cpus],
+            procs: HashMap::new(),
+            ep_cpu: HashMap::new(),
+            watchers: Vec::new(),
+        }))
+    }
+
+    /// Register a spawned actor as the *primary* of process `name` on
+    /// `cpu`, allocating its ServerNet endpoint. Returns the endpoint.
+    pub fn register_primary(&mut self, name: &str, actor: ActorId, cpu: CpuId) -> EndpointId {
+        assert!(cpu.0 < self.cfg.cpus, "cpu out of range");
+        let ep = self.net.lock().attach(actor);
+        self.ep_cpu.insert(ep, cpu);
+        let side = ProcSide { actor, ep, cpu };
+        let entry = self.procs.entry(name.to_string()).or_insert(ProcEntry {
+            primary: side,
+            backup: None,
+        });
+        entry.primary = side;
+        ep
+    }
+
+    /// Register the *backup* half of a pair.
+    pub fn register_backup(&mut self, name: &str, actor: ActorId, cpu: CpuId) -> EndpointId {
+        let ep = self.net.lock().attach(actor);
+        self.ep_cpu.insert(ep, cpu);
+        let entry = self
+            .procs
+            .get_mut(name)
+            .expect("backup registered before primary");
+        entry.backup = Some(ProcSide { actor, ep, cpu });
+        ep
+    }
+
+    /// Resolve a process name to its current primary.
+    pub fn resolve(&self, name: &str) -> Option<ProcSide> {
+        self.procs.get(name).map(|e| e.primary)
+    }
+
+    pub fn resolve_backup(&self, name: &str) -> Option<ProcSide> {
+        self.procs.get(name).and_then(|e| e.backup)
+    }
+
+    /// Promote the backup of `name` to primary (takeover). Returns the new
+    /// primary side. The old primary's endpoint is detached.
+    pub fn promote_backup(&mut self, name: &str) -> Option<ProcSide> {
+        let entry = self.procs.get_mut(name)?;
+        let backup = entry.backup.take()?;
+        let old = entry.primary;
+        entry.primary = backup;
+        self.net.lock().detach(old.ep);
+        Some(backup)
+    }
+
+    /// Which CPU hosts this endpoint (used for access-control checks).
+    pub fn cpu_of_ep(&self, ep: EndpointId) -> Option<CpuId> {
+        self.ep_cpu.get(&ep).copied()
+    }
+
+    pub fn cpu_alive(&self, cpu: CpuId) -> bool {
+        self.cpu_alive
+            .get(cpu.0 as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    pub fn mark_cpu_dead(&mut self, cpu: CpuId) {
+        if let Some(a) = self.cpu_alive.get_mut(cpu.0 as usize) {
+            *a = false;
+        }
+    }
+
+    /// Every process (name, side, is_primary) hosted on `cpu`.
+    pub fn procs_on_cpu(&self, cpu: CpuId) -> Vec<(String, ProcSide, bool)> {
+        let mut v = Vec::new();
+        for (name, e) in &self.procs {
+            if e.primary.cpu == cpu {
+                v.push((name.clone(), e.primary, true));
+            }
+            if let Some(b) = e.backup {
+                if b.cpu == cpu {
+                    v.push((name.clone(), b, false));
+                }
+            }
+        }
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Remove a dead side from the registry (so resolve stops returning it
+    /// until a takeover re-registers). Returns true if it was the primary.
+    pub fn mark_process_dead(&mut self, name: &str, actor: ActorId) -> bool {
+        if let Some(e) = self.procs.get_mut(name) {
+            if e.primary.actor == actor {
+                self.net.lock().detach(e.primary.ep);
+                return true;
+            }
+            if let Some(b) = e.backup {
+                if b.actor == actor {
+                    self.net.lock().detach(b.ep);
+                    e.backup = None;
+                }
+            }
+        }
+        false
+    }
+
+    /// Account `cost_ns` of compute on `cpu` starting at `now_ns`; returns
+    /// the queueing delay before the work can begin (0 when contention
+    /// modelling is off).
+    pub fn cpu_work(&mut self, cpu: CpuId, now_ns: u64, cost_ns: u64) -> u64 {
+        let i = cpu.0 as usize;
+        self.cpu_work_total_ns[i] += cost_ns;
+        if !self.cfg.model_cpu_contention {
+            return 0;
+        }
+        let start = self.cpu_busy_ns[i].max(now_ns);
+        self.cpu_busy_ns[i] = start + cost_ns;
+        start - now_ns
+    }
+
+    /// Total compute consumed per CPU (utilization reporting).
+    pub fn cpu_work_total(&self, cpu: CpuId) -> u64 {
+        self.cpu_work_total_ns[cpu.0 as usize]
+    }
+
+    pub fn watch(&mut self, target: WatchTarget, watcher: ActorId) {
+        self.watchers.push((target, watcher));
+    }
+
+    pub fn watchers_of(&self, target: &WatchTarget) -> Vec<ActorId> {
+        self.watchers
+            .iter()
+            .filter(|(t, _)| t == target)
+            .map(|(_, w)| *w)
+            .collect()
+    }
+
+    /// Names of all registered processes (deterministic order).
+    pub fn process_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.procs.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// Convenience: spawn an actor produced by `make` (which receives the
+/// endpoint it will own) and register it as primary of `name` on `cpu`.
+///
+/// The endpoint is allocated bound to a placeholder and re-bound once the
+/// actor id is known — the same two-phase wiring the simnet tests use.
+pub fn install_primary<F>(
+    sim: &mut Sim,
+    machine: &SharedMachine,
+    name: &str,
+    cpu: CpuId,
+    make: F,
+) -> (ActorId, EndpointId)
+where
+    F: FnOnce(EndpointId) -> Box<dyn simcore::Actor>,
+{
+    let net = machine.lock().net.clone();
+    let ep = net.lock().attach(ActorId(u32::MAX));
+    let actor = {
+        let boxed = make(ep);
+        sim.spawn_dyn(boxed)
+    };
+    net.lock().rebind(ep, actor);
+    {
+        let mut m = machine.lock();
+        m.ep_cpu.insert(ep, cpu);
+        let side = ProcSide { actor, ep, cpu };
+        let entry = m.procs.entry(name.to_string()).or_insert(ProcEntry {
+            primary: side,
+            backup: None,
+        });
+        entry.primary = side;
+    }
+    (actor, ep)
+}
+
+/// As [`install_primary`], for the backup half of a pair.
+pub fn install_backup<F>(
+    sim: &mut Sim,
+    machine: &SharedMachine,
+    name: &str,
+    cpu: CpuId,
+    make: F,
+) -> (ActorId, EndpointId)
+where
+    F: FnOnce(EndpointId) -> Box<dyn simcore::Actor>,
+{
+    let net = machine.lock().net.clone();
+    let ep = net.lock().attach(ActorId(u32::MAX));
+    let actor = {
+        let boxed = make(ep);
+        sim.spawn_dyn(boxed)
+    };
+    net.lock().rebind(ep, actor);
+    {
+        let mut m = machine.lock();
+        m.ep_cpu.insert(ep, cpu);
+        let entry = m
+            .procs
+            .get_mut(name)
+            .expect("backup registered before primary");
+        entry.backup = Some(ProcSide { actor, ep, cpu });
+    }
+    (actor, ep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{FabricConfig, Network};
+
+    fn machine() -> SharedMachine {
+        let net = Network::new(FabricConfig::default());
+        Machine::new(MachineConfig::default(), net)
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let m = machine();
+        let mut m = m.lock();
+        let ep = m.register_primary("$adp0", ActorId(1), CpuId(0));
+        assert_eq!(m.resolve("$adp0").unwrap().actor, ActorId(1));
+        assert_eq!(m.cpu_of_ep(ep), Some(CpuId(0)));
+        assert!(m.resolve("$nope").is_none());
+    }
+
+    #[test]
+    fn promote_backup_swaps_primary() {
+        let m = machine();
+        let mut m = m.lock();
+        m.register_primary("$pmm", ActorId(1), CpuId(0));
+        m.register_backup("$pmm", ActorId(2), CpuId(1));
+        let newp = m.promote_backup("$pmm").unwrap();
+        assert_eq!(newp.actor, ActorId(2));
+        assert_eq!(m.resolve("$pmm").unwrap().actor, ActorId(2));
+        assert!(m.resolve_backup("$pmm").is_none());
+        // Second promote has no backup to promote.
+        assert!(m.promote_backup("$pmm").is_none());
+    }
+
+    #[test]
+    fn old_primary_endpoint_detached_on_promote() {
+        let m = machine();
+        let (net, old_ep) = {
+            let mut mm = m.lock();
+            let ep = mm.register_primary("$p", ActorId(1), CpuId(0));
+            mm.register_backup("$p", ActorId(2), CpuId(1));
+            (mm.net.clone(), ep)
+        };
+        m.lock().promote_backup("$p");
+        assert_eq!(net.lock().actor_of(old_ep), None);
+    }
+
+    #[test]
+    fn cpu_work_serializes_when_contention_on() {
+        let m = machine();
+        let mut m = m.lock();
+        assert_eq!(m.cpu_work(CpuId(0), 0, 100), 0);
+        assert_eq!(m.cpu_work(CpuId(0), 0, 100), 100);
+        assert_eq!(m.cpu_work(CpuId(1), 0, 100), 0, "other cpu independent");
+        assert_eq!(m.cpu_work_total(CpuId(0)), 200);
+    }
+
+    #[test]
+    fn cpu_work_free_when_contention_off() {
+        let net = Network::new(FabricConfig::default());
+        let m = Machine::new(
+            MachineConfig {
+                model_cpu_contention: false,
+                ..MachineConfig::default()
+            },
+            net,
+        );
+        let mut m = m.lock();
+        assert_eq!(m.cpu_work(CpuId(0), 0, 100), 0);
+        assert_eq!(m.cpu_work(CpuId(0), 0, 100), 0);
+        assert_eq!(m.cpu_work_total(CpuId(0)), 200, "accounting still runs");
+    }
+
+    #[test]
+    fn procs_on_cpu_lists_both_sides() {
+        let m = machine();
+        let mut m = m.lock();
+        m.register_primary("$a", ActorId(1), CpuId(0));
+        m.register_backup("$a", ActorId(2), CpuId(1));
+        m.register_primary("$b", ActorId(3), CpuId(0));
+        let on0 = m.procs_on_cpu(CpuId(0));
+        assert_eq!(on0.len(), 2);
+        assert!(on0.iter().all(|(_, _, primary)| *primary));
+        let on1 = m.procs_on_cpu(CpuId(1));
+        assert_eq!(on1.len(), 1);
+        assert!(!on1[0].2);
+    }
+
+    #[test]
+    fn watchers_filter_by_target() {
+        let m = machine();
+        let mut m = m.lock();
+        m.watch(WatchTarget::Process("$x".into()), ActorId(9));
+        m.watch(WatchTarget::Cpu(2), ActorId(8));
+        assert_eq!(
+            m.watchers_of(&WatchTarget::Process("$x".into())),
+            vec![ActorId(9)]
+        );
+        assert_eq!(m.watchers_of(&WatchTarget::Cpu(2)), vec![ActorId(8)]);
+        assert!(m.watchers_of(&WatchTarget::Cpu(3)).is_empty());
+    }
+
+    #[test]
+    fn mark_process_dead_detaches() {
+        let m = machine();
+        let (net, ep_b) = {
+            let mut mm = m.lock();
+            mm.register_primary("$p", ActorId(1), CpuId(0));
+            let ep_b = mm.register_backup("$p", ActorId(2), CpuId(1));
+            (mm.net.clone(), ep_b)
+        };
+        let was_primary = m.lock().mark_process_dead("$p", ActorId(2));
+        assert!(!was_primary);
+        assert_eq!(net.lock().actor_of(ep_b), None);
+        assert!(m.lock().resolve_backup("$p").is_none());
+        let was_primary = m.lock().mark_process_dead("$p", ActorId(1));
+        assert!(was_primary);
+    }
+}

@@ -1,0 +1,236 @@
+//! Process-level IPC helpers and process-pair message types.
+
+use crate::machine::{CpuId, SharedMachine};
+use simcore::{Ctx, SimDuration};
+use simnet::{send_net_msg, EndpointId, NetDelivery};
+use std::any::Any;
+
+/// Notification delivered to watchers when a watched process dies
+/// (after the machine's detection delay).
+#[derive(Clone, Debug)]
+pub struct ProcessDied {
+    pub name: String,
+    pub was_primary: bool,
+}
+
+/// Notification delivered to watchers when a watched CPU dies.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuDied {
+    pub cpu: u32,
+}
+
+/// A checkpoint from a primary to its backup. NonStop semantics: the
+/// primary sends this *before externalizing* the state change it protects,
+/// and proceeds only once [`CheckpointAck`] returns.
+pub struct Checkpoint {
+    pub seq: u64,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Backup's acknowledgement of a checkpoint.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointAck {
+    pub seq: u64,
+}
+
+/// Send `payload` from the process owning `from_ep` (on `from_cpu`) to the
+/// current primary of process `name`.
+///
+/// Same-CPU messages cost the machine's local IPC latency; cross-CPU
+/// messages ride the ServerNet fabric. Either way the target receives a
+/// [`NetDelivery`]. Returns `false` if the name does not resolve or the
+/// fabric cannot carry the message (callers treat that as a lost message,
+/// exactly like NSK's message system during a takeover window).
+pub fn send_to_process<T: Any + Send>(
+    ctx: &mut Ctx<'_>,
+    machine: &SharedMachine,
+    from_ep: EndpointId,
+    from_cpu: CpuId,
+    name: &str,
+    wire_len: u32,
+    payload: T,
+) -> bool {
+    let (target, net) = {
+        let m = machine.lock();
+        let Some(side) = m.resolve(name) else {
+            return false;
+        };
+        (side, m.net.clone())
+    };
+    if target.cpu == from_cpu {
+        let delay = machine.lock().cfg.local_ipc_ns;
+        ctx.send(
+            target.actor,
+            SimDuration::from_nanos(delay),
+            NetDelivery {
+                from_ep,
+                payload: Box::new(payload),
+            },
+        );
+        true
+    } else {
+        send_net_msg(ctx, &net, from_ep, target.ep, wire_len, payload)
+    }
+}
+
+/// Send to the *backup* of `name` (checkpoint traffic).
+pub fn send_to_backup<T: Any + Send>(
+    ctx: &mut Ctx<'_>,
+    machine: &SharedMachine,
+    from_ep: EndpointId,
+    from_cpu: CpuId,
+    name: &str,
+    wire_len: u32,
+    payload: T,
+) -> bool {
+    let (target, net) = {
+        let m = machine.lock();
+        let Some(side) = m.resolve_backup(name) else {
+            return false;
+        };
+        (side, m.net.clone())
+    };
+    if target.cpu == from_cpu {
+        let delay = machine.lock().cfg.local_ipc_ns;
+        ctx.send(
+            target.actor,
+            SimDuration::from_nanos(delay),
+            NetDelivery {
+                from_ep,
+                payload: Box::new(payload),
+            },
+        );
+        true
+    } else {
+        send_net_msg(ctx, &net, from_ep, target.ep, wire_len, payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{install_backup, install_primary, Machine, MachineConfig};
+    use simcore::actor::Start;
+    use simcore::{Actor, Msg, Sim};
+    use simnet::{FabricConfig, Network};
+    use std::sync::Arc;
+
+    struct Echo {
+        log: Arc<parking_lot::Mutex<Vec<(u64, String)>>>,
+        tagname: &'static str,
+    }
+    impl Actor for Echo {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            if msg.is::<Start>() {
+                return;
+            }
+            if let Ok((_, d)) = msg.take::<NetDelivery>() {
+                if let Ok(s) = d.payload.downcast::<String>() {
+                    self.log
+                        .lock()
+                        .push((ctx.now().as_nanos(), format!("{}:{}", self.tagname, s)));
+                }
+            }
+        }
+    }
+
+    struct Sender {
+        machine: SharedMachine,
+        ep: EndpointId,
+        cpu: CpuId,
+        dests: Vec<(&'static str, bool)>, // (name, to_backup)
+    }
+    impl Actor for Sender {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            if msg.is::<Start>() {
+                for (name, to_backup) in self.dests.clone() {
+                    let machine = self.machine.clone();
+                    let ok = if to_backup {
+                        send_to_backup(ctx, &machine, self.ep, self.cpu, name, 64, "hi".to_string())
+                    } else {
+                        send_to_process(ctx, &machine, self.ep, self.cpu, name, 64, "hi".to_string())
+                    };
+                    assert!(ok || name == "$missing");
+                    if name == "$missing" {
+                        assert!(!ok);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_delivery_faster_than_remote() {
+        let net = Network::new(FabricConfig::default());
+        let machine = Machine::new(MachineConfig::default(), net);
+        let mut sim = Sim::with_seed(3);
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+
+        let l1 = log.clone();
+        install_primary(&mut sim, &machine, "$local", CpuId(0), move |_| {
+            Box::new(Echo {
+                log: l1,
+                tagname: "local",
+            })
+        });
+        let l2 = log.clone();
+        install_primary(&mut sim, &machine, "$remote", CpuId(1), move |_| {
+            Box::new(Echo {
+                log: l2,
+                tagname: "remote",
+            })
+        });
+        let m2 = machine.clone();
+        install_primary(&mut sim, &machine, "$sender", CpuId(0), move |ep| {
+            Box::new(Sender {
+                machine: m2,
+                ep,
+                cpu: CpuId(0),
+                dests: vec![("$local", false), ("$remote", false), ("$missing", false)],
+            })
+        });
+        sim.run_until_idle();
+        let log = log.lock();
+        assert_eq!(log.len(), 2);
+        let t_local = log.iter().find(|(_, s)| s.starts_with("local")).unwrap().0;
+        let t_remote = log.iter().find(|(_, s)| s.starts_with("remote")).unwrap().0;
+        assert!(t_local < t_remote, "local {t_local} !< remote {t_remote}");
+        assert_eq!(t_local, MachineConfig::default().local_ipc_ns);
+    }
+
+    #[test]
+    fn backup_addressing() {
+        let net = Network::new(FabricConfig::default());
+        let machine = Machine::new(MachineConfig::default(), net);
+        let mut sim = Sim::with_seed(3);
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+
+        let l1 = log.clone();
+        install_primary(&mut sim, &machine, "$pair", CpuId(0), move |_| {
+            Box::new(Echo {
+                log: l1,
+                tagname: "primary",
+            })
+        });
+        let l2 = log.clone();
+        install_backup(&mut sim, &machine, "$pair", CpuId(1), move |_| {
+            Box::new(Echo {
+                log: l2,
+                tagname: "backup",
+            })
+        });
+        let m2 = machine.clone();
+        install_primary(&mut sim, &machine, "$sender", CpuId(2), move |ep| {
+            Box::new(Sender {
+                machine: m2,
+                ep,
+                cpu: CpuId(2),
+                dests: vec![("$pair", true)],
+            })
+        });
+        sim.run_until_idle();
+        let log = log.lock();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].1.starts_with("backup:"));
+    }
+}

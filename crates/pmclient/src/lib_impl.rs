@@ -1,0 +1,341 @@
+//! The embeddable PM client library.
+
+use bytes::Bytes;
+use nsk::machine::{CpuId, SharedMachine};
+use pmm::msgs::*;
+use simcore::{Ctx, SimDuration};
+use simnet::{
+    rdma_read, rdma_write_sized, EndpointId, RdmaReadDone, RdmaStatus, RdmaWriteDone,
+    SharedNetwork,
+};
+use std::collections::HashMap;
+
+/// How writes are replicated across the mirrored NPMU pair.
+///
+/// The paper's API is `ParallelBoth`. The alternatives exist for the
+/// ablation study (DESIGN.md §3, ablation 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MirrorPolicy {
+    /// Issue to both mirrors at once; complete when both ack (paper).
+    ParallelBoth,
+    /// Write primary, then mirror — half the fabric pressure, double the
+    /// latency.
+    SequentialBoth,
+    /// No replication (loses NPMU-failure tolerance; lower bound).
+    PrimaryOnly,
+}
+
+/// Completion of a mirrored persistent write: when `status == Ok`, the
+/// data is persistent on every configured mirror.
+#[derive(Clone, Copy, Debug)]
+pub struct PmWriteComplete {
+    pub token: u64,
+    pub status: RdmaStatus,
+}
+
+/// Completion of a region read.
+#[derive(Clone, Debug)]
+pub struct PmReadComplete {
+    pub token: u64,
+    pub status: RdmaStatus,
+    pub data: Bytes,
+}
+
+struct WriteState {
+    token: u64,
+    remaining: u32,
+    status: RdmaStatus,
+    /// For SequentialBoth: the second leg to fire after the first acks.
+    next_leg: Option<(EndpointId, u64, Bytes, u32)>,
+}
+
+/// The client library state, embedded in a process actor.
+pub struct PmLib {
+    machine: SharedMachine,
+    net: SharedNetwork,
+    ep: EndpointId,
+    cpu: CpuId,
+    pmm_name: String,
+    policy: MirrorPolicy,
+    next_rdma: u64,
+    /// RDMA op id → index into `writes`.
+    rdma_map: HashMap<u64, u64>,
+    writes: HashMap<u64, WriteState>,
+    next_write: u64,
+    reads: HashMap<u64, u64>, // rdma op id → client token
+    /// Regions opened through this library instance.
+    regions: HashMap<u64, RegionInfo>,
+}
+
+impl PmLib {
+    pub fn new(
+        machine: SharedMachine,
+        ep: EndpointId,
+        cpu: CpuId,
+        pmm_name: impl Into<String>,
+    ) -> Self {
+        let net = machine.lock().net.clone();
+        PmLib {
+            machine,
+            net,
+            ep,
+            cpu,
+            pmm_name: pmm_name.into(),
+            policy: MirrorPolicy::ParallelBoth,
+            next_rdma: 0,
+            rdma_map: HashMap::new(),
+            writes: HashMap::new(),
+            next_write: 0,
+            reads: HashMap::new(),
+            regions: HashMap::new(),
+        }
+    }
+
+    pub fn with_policy(mut self, policy: MirrorPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn policy(&self) -> MirrorPolicy {
+        self.policy
+    }
+
+    /// Ask the PMM to create (or, with `open_if_exists`, open) a region.
+    /// The ack arrives at the owning actor as a `NetDelivery` carrying
+    /// [`CreateRegionAck`]; pass the result to [`Self::adopt`].
+    pub fn create_region(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        name: &str,
+        len: u64,
+        open_if_exists: bool,
+        token: u64,
+    ) -> bool {
+        let machine = self.machine.clone();
+        nsk::proc::send_to_process(
+            ctx,
+            &machine,
+            self.ep,
+            self.cpu,
+            &self.pmm_name.clone(),
+            128,
+            CreateRegion {
+                name: name.to_string(),
+                len,
+                open_if_exists,
+                token,
+            },
+        )
+    }
+
+    /// Ask the PMM to open an existing region ([`OpenRegionAck`] arrives).
+    pub fn open_region(&mut self, ctx: &mut Ctx<'_>, name: &str, token: u64) -> bool {
+        let machine = self.machine.clone();
+        nsk::proc::send_to_process(
+            ctx,
+            &machine,
+            self.ep,
+            self.cpu,
+            &self.pmm_name.clone(),
+            96,
+            OpenRegion {
+                name: name.to_string(),
+                token,
+            },
+        )
+    }
+
+    /// Ask the PMM to close a region.
+    pub fn close_region(&mut self, ctx: &mut Ctx<'_>, region_id: u64, token: u64) -> bool {
+        self.regions.remove(&region_id);
+        let machine = self.machine.clone();
+        nsk::proc::send_to_process(
+            ctx,
+            &machine,
+            self.ep,
+            self.cpu,
+            &self.pmm_name.clone(),
+            64,
+            CloseRegion { region_id, token },
+        )
+    }
+
+    /// Register an opened region so reads/writes can target it.
+    pub fn adopt(&mut self, info: RegionInfo) {
+        self.regions.insert(info.region_id, info);
+    }
+
+    pub fn region(&self, id: u64) -> Option<&RegionInfo> {
+        self.regions.get(&id)
+    }
+
+    /// Persistent write of `data` at `offset` within the region.
+    /// Completion surfaces through [`Self::on_rdma_write_done`].
+    ///
+    /// Panics if the region was not adopted or the range is out of bounds
+    /// — both are client bugs the real library would fail fast on too.
+    pub fn write(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        region_id: u64,
+        offset: u64,
+        data: Bytes,
+        token: u64,
+    ) {
+        let wire_len = data.len() as u32;
+        self.write_sized(ctx, region_id, offset, data, wire_len, token)
+    }
+
+    /// As [`Self::write`], with an explicit on-wire length ≥ `data.len()`
+    /// (see `simnet::rdma_write_sized`): benchmark scenarios carry compact
+    /// descriptors but pay full-size transfer latency.
+    pub fn write_sized(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        region_id: u64,
+        offset: u64,
+        data: Bytes,
+        wire_len: u32,
+        token: u64,
+    ) {
+        let info = self.regions.get(&region_id).expect("region not adopted");
+        assert!(
+            offset + (wire_len as u64).max(data.len() as u64) <= info.len,
+            "write beyond region"
+        );
+        let nva = info.nva_base + offset;
+        let (primary, mirror) = (info.primary_ep, info.mirror_ep);
+        let wid = self.next_write;
+        self.next_write += 1;
+
+        match self.policy {
+            MirrorPolicy::ParallelBoth => {
+                self.writes.insert(
+                    wid,
+                    WriteState {
+                        token,
+                        remaining: 2,
+                        status: RdmaStatus::Ok,
+                        next_leg: None,
+                    },
+                );
+                for dev in [primary, mirror] {
+                    let rid = self.alloc_rdma(wid);
+                    let net = self.net.clone();
+                    rdma_write_sized(ctx, &net, self.ep, dev, nva, data.clone(), wire_len, rid);
+                }
+            }
+            MirrorPolicy::SequentialBoth => {
+                self.writes.insert(
+                    wid,
+                    WriteState {
+                        token,
+                        remaining: 2,
+                        status: RdmaStatus::Ok,
+                        next_leg: Some((mirror, nva, data.clone(), wire_len)),
+                    },
+                );
+                let rid = self.alloc_rdma(wid);
+                let net = self.net.clone();
+                rdma_write_sized(ctx, &net, self.ep, primary, nva, data, wire_len, rid);
+            }
+            MirrorPolicy::PrimaryOnly => {
+                self.writes.insert(
+                    wid,
+                    WriteState {
+                        token,
+                        remaining: 1,
+                        status: RdmaStatus::Ok,
+                        next_leg: None,
+                    },
+                );
+                let rid = self.alloc_rdma(wid);
+                let net = self.net.clone();
+                rdma_write_sized(ctx, &net, self.ep, primary, nva, data, wire_len, rid);
+            }
+        }
+    }
+
+    /// Read `len` bytes at `offset` (primary mirror only — "reads need not
+    /// be replicated"). Completion surfaces via [`Self::on_rdma_read_done`].
+    pub fn read(&mut self, ctx: &mut Ctx<'_>, region_id: u64, offset: u64, len: u32, token: u64) {
+        let info = self.regions.get(&region_id).expect("region not adopted");
+        assert!(offset + len as u64 <= info.len, "read beyond region");
+        let nva = info.nva_base + offset;
+        let rid = self.next_rdma;
+        self.next_rdma += 1;
+        self.reads.insert(rid, token);
+        let net = self.net.clone();
+        let primary = info.primary_ep;
+        rdma_read(ctx, &net, self.ep, primary, nva, len, rid);
+    }
+
+    fn alloc_rdma(&mut self, wid: u64) -> u64 {
+        let rid = self.next_rdma;
+        self.next_rdma += 1;
+        self.rdma_map.insert(rid, wid);
+        rid
+    }
+
+    /// Feed an [`RdmaWriteDone`] received by the owning actor. Returns the
+    /// client-level completion once all mirror legs finished, else `None`.
+    pub fn on_rdma_write_done(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        done: &RdmaWriteDone,
+    ) -> Option<PmWriteComplete> {
+        let wid = self.rdma_map.remove(&done.op_id)?;
+        let st = self.writes.get_mut(&wid)?;
+        if done.status != RdmaStatus::Ok && st.status == RdmaStatus::Ok {
+            st.status = done.status;
+        }
+        st.remaining -= 1;
+        // Sequential policy: fire the mirror leg once the primary acked.
+        if let Some((dev, nva, data, wire_len)) = st.next_leg.take() {
+            if done.status == RdmaStatus::Ok {
+                let rid = self.alloc_rdma(wid);
+                let net = self.net.clone();
+                rdma_write_sized(ctx, &net, self.ep, dev, nva, data, wire_len, rid);
+                return None;
+            } else {
+                // First leg failed: report immediately.
+                let st = self.writes.remove(&wid).unwrap();
+                return Some(PmWriteComplete {
+                    token: st.token,
+                    status: st.status,
+                });
+            }
+        }
+        if st.remaining == 0 {
+            let st = self.writes.remove(&wid).unwrap();
+            Some(PmWriteComplete {
+                token: st.token,
+                status: st.status,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Feed an [`RdmaReadDone`]; returns the client completion if the op
+    /// belonged to this library.
+    pub fn on_rdma_read_done(&mut self, done: RdmaReadDone) -> Option<PmReadComplete> {
+        let token = self.reads.remove(&done.op_id)?;
+        Some(PmReadComplete {
+            token,
+            status: done.status,
+            data: done.data,
+        })
+    }
+
+    /// Outstanding mirrored writes (for drain/shutdown checks).
+    pub fn inflight_writes(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Schedule a retry timer helper: clients re-send PMM RPCs if no ack
+    /// within `after` (used across PMM takeovers).
+    pub fn retry_after<T: std::any::Any + Send>(ctx: &mut Ctx<'_>, after: SimDuration, marker: T) {
+        ctx.send_self(after, marker);
+    }
+}

@@ -1,0 +1,120 @@
+//! Region allocation: first-fit over the device's data area.
+//!
+//! The free map is *derived* from the region table rather than stored —
+//! one less durable structure to keep self-consistent.
+
+use crate::meta::{VolumeMeta, META_BYTES};
+
+/// Allocation granularity: regions are page-aligned like NPMU ATT windows.
+pub const ALLOC_ALIGN: u64 = 4096;
+
+fn align_up(x: u64, a: u64) -> u64 {
+    x.div_ceil(a) * a
+}
+
+/// Find a first-fit base for `len` bytes in `[META_BYTES, capacity)`,
+/// avoiding all existing regions. `None` when no gap fits.
+pub fn find_space(meta: &VolumeMeta, capacity: u64, len: u64) -> Option<u64> {
+    let len = align_up(len.max(1), ALLOC_ALIGN);
+    let mut taken: Vec<(u64, u64)> = meta.regions.iter().map(|r| (r.base, r.len)).collect();
+    taken.sort_unstable();
+    let mut cursor = META_BYTES;
+    for (base, rlen) in taken {
+        if base >= cursor && base - cursor >= len {
+            return Some(cursor);
+        }
+        cursor = cursor.max(base + align_up(rlen, ALLOC_ALIGN));
+    }
+    if capacity >= cursor && capacity - cursor >= len {
+        Some(cursor)
+    } else {
+        None
+    }
+}
+
+/// Total free bytes (fragmented) in the data area.
+pub fn free_bytes(meta: &VolumeMeta, capacity: u64) -> u64 {
+    let used: u64 = meta
+        .regions
+        .iter()
+        .map(|r| align_up(r.len, ALLOC_ALIGN))
+        .sum();
+    (capacity - META_BYTES).saturating_sub(used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::RegionMeta;
+
+    fn meta_with(regions: Vec<(u64, u64)>) -> VolumeMeta {
+        VolumeMeta {
+            epoch: 0,
+            next_region_id: regions.len() as u64,
+            regions: regions
+                .into_iter()
+                .enumerate()
+                .map(|(i, (base, len))| RegionMeta {
+                    id: i as u64,
+                    name: format!("r{i}"),
+                    base,
+                    len,
+                    owner_cpu: 0,
+                })
+                .collect(),
+        }
+    }
+
+    const CAP: u64 = 1 << 20;
+
+    #[test]
+    fn empty_volume_allocates_at_data_base() {
+        let m = meta_with(vec![]);
+        assert_eq!(find_space(&m, CAP, 4096), Some(META_BYTES));
+    }
+
+    #[test]
+    fn allocation_is_aligned() {
+        let m = meta_with(vec![(META_BYTES, 100)]); // tiny region
+        let next = find_space(&m, CAP, 10).unwrap();
+        assert_eq!(next % ALLOC_ALIGN, 0);
+        assert_eq!(next, META_BYTES + ALLOC_ALIGN);
+    }
+
+    #[test]
+    fn first_fit_reuses_gap_after_delete() {
+        // Two regions with a 8KB hole between them.
+        let m = meta_with(vec![
+            (META_BYTES, 4096),
+            (META_BYTES + 3 * 4096, 4096),
+        ]);
+        assert_eq!(find_space(&m, CAP, 8192), Some(META_BYTES + 4096));
+        // Bigger than the hole: must go after the last region.
+        assert_eq!(find_space(&m, CAP, 3 * 4096), Some(META_BYTES + 4 * 4096));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let m = meta_with(vec![(META_BYTES, CAP - META_BYTES)]);
+        assert_eq!(find_space(&m, CAP, 4096), None);
+    }
+
+    #[test]
+    fn exact_fit_at_end() {
+        let m = meta_with(vec![(META_BYTES, CAP - META_BYTES - 4096)]);
+        assert_eq!(find_space(&m, CAP, 4096), Some(CAP - 4096));
+        assert_eq!(free_bytes(&m, CAP), 4096);
+    }
+
+    #[test]
+    fn zero_len_request_gets_min_allocation() {
+        let m = meta_with(vec![]);
+        assert_eq!(find_space(&m, CAP, 0), Some(META_BYTES));
+    }
+
+    #[test]
+    fn free_bytes_counts_alignment_padding() {
+        let m = meta_with(vec![(META_BYTES, 1)]);
+        assert_eq!(free_bytes(&m, CAP), CAP - META_BYTES - ALLOC_ALIGN);
+    }
+}

@@ -1,0 +1,677 @@
+//! The PMM process-pair actor.
+//!
+//! Request pipeline for a *mutating* operation (create/delete):
+//!
+//! 1. mutate the in-memory region table, bump the epoch;
+//! 2. RDMA-write the encoded metadata to the alternate slot of **both**
+//!    mirrors, wait for both hardware acks (the metadata is now durable
+//!    and self-consistent);
+//! 3. checkpoint the new state to the backup, wait for its ack (NonStop
+//!    discipline: checkpoint *before externalizing state changes*);
+//! 4. program/revoke ATT windows as needed and reply to the client.
+//!
+//! Opens and closes touch only ATT hardware state (volatile by design —
+//! after a power loss clients must reopen), so they skip step 2.
+//!
+//! The backup applies checkpoints and watches the primary; on a
+//! `ProcessDied` notification it promotes itself in the machine registry
+//! and continues service with the checkpointed state. Requests in flight
+//! at the moment of failure are lost — clients retry, exactly as NSK
+//! message clients do across a takeover.
+
+use crate::alloc;
+use crate::meta::{MetaStore, RegionMeta, VolumeMeta, META_BYTES, SLOT_BYTES};
+use crate::msgs::*;
+use npmu::att::{AttEntry, CpuFilter};
+use npmu::device::NpmuHandle;
+use nsk::machine::{CpuId, SharedMachine, WatchTarget};
+use nsk::proc::{Checkpoint, CheckpointAck, ProcessDied};
+use simcore::{Actor, Ctx, Msg, Sim};
+use simnet::{
+    rdma_write, send_net_msg, EndpointId, NetDelivery, RdmaStatus, RdmaWriteDone, SharedNetwork,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Clone, Debug)]
+pub struct PmmConfig {
+    /// CPU cost charged per management op, ns.
+    pub op_cpu_ns: u64,
+}
+
+impl Default for PmmConfig {
+    fn default() -> Self {
+        PmmConfig { op_cpu_ns: 15_000 }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Role {
+    Primary,
+    Backup,
+}
+
+/// State checkpointed from primary to backup (whole-state: it is small).
+#[derive(Clone)]
+struct PmmCkpt {
+    meta: VolumeMeta,
+    open_cpus: BTreeMap<u64, BTreeSet<u32>>,
+}
+
+/// What a pending op still waits for, and how to finish it.
+struct PendingOp {
+    waiting_writes: u32,
+    waiting_ckpt: bool,
+    reply_to_ep: EndpointId,
+    reply: PendingReply,
+    /// ATT programming to perform when the op commits.
+    att_action: Option<AttAction>,
+}
+
+enum PendingReply {
+    Create(u64, Result<RegionInfo, PmError>),
+    Delete(u64, Result<(), PmError>),
+}
+
+enum AttAction {
+    /// (Re)program the window for region id for this CPU set.
+    MapRegion { region_id: u64 },
+    /// Remove the window for a deleted region.
+    Unmap { nva_base: u64 },
+}
+
+/// Handle returned by [`install_pmm_pair`].
+#[derive(Clone)]
+pub struct PmmHandle {
+    pub name: String,
+    pub primary_cpu: CpuId,
+    pub backup_cpu: Option<CpuId>,
+    pub npmu_a: NpmuHandle,
+    pub npmu_b: NpmuHandle,
+}
+
+pub struct PmmProc {
+    name: String,
+    role: Role,
+    cfg: PmmConfig,
+    machine: SharedMachine,
+    net: SharedNetwork,
+    ep: EndpointId,
+    cpu: CpuId,
+    npmu_a: NpmuHandle,
+    npmu_b: NpmuHandle,
+    meta: VolumeMeta,
+    open_cpus: BTreeMap<u64, BTreeSet<u32>>,
+    pending: BTreeMap<u64, PendingOp>,
+    next_op: u64,
+    /// RDMA op id → (pending op token, which mirror).
+    rdma_ops: BTreeMap<u64, u64>,
+    next_rdma: u64,
+    ckpt_waiters: BTreeMap<u64, u64>, // ckpt seq → op token
+    next_ckpt: u64,
+}
+
+impl PmmProc {
+    fn device_capacity(&self) -> u64 {
+        self.npmu_a.mem.lock().capacity()
+    }
+
+    fn has_backup(&self) -> bool {
+        self.machine.lock().resolve_backup(&self.name).is_some()
+    }
+
+    fn charge_cpu(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now().as_nanos();
+        self.machine
+            .lock()
+            .cpu_work(self.cpu, now, self.cfg.op_cpu_ns);
+    }
+
+    /// Write the current metadata durably to both mirrors; returns the
+    /// pending-op token to park the request under.
+    fn start_meta_write(&mut self, ctx: &mut Ctx<'_>, op: PendingOp) -> u64 {
+        let token = self.next_op;
+        self.next_op += 1;
+        let buf = self.meta.encode();
+        let slot = MetaStore::slot_for_epoch(self.meta.epoch);
+        debug_assert!(buf.len() as u64 <= SLOT_BYTES);
+        let data = bytes::Bytes::from(buf);
+        for dev_ep in [self.npmu_a.ep, self.npmu_b.ep] {
+            let rid = self.next_rdma;
+            self.next_rdma += 1;
+            self.rdma_ops.insert(rid, token);
+            let net = self.net.clone();
+            rdma_write(ctx, &net, self.ep, dev_ep, slot, data.clone(), rid);
+        }
+        self.pending.insert(token, op);
+        token
+    }
+
+    /// Step an op forward once its durable writes landed: checkpoint, or
+    /// commit straight away if there is no backup.
+    fn after_writes(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let need_ckpt = self.has_backup();
+        if need_ckpt {
+            let seq = self.next_ckpt;
+            self.next_ckpt += 1;
+            self.ckpt_waiters.insert(seq, token);
+            if let Some(op) = self.pending.get_mut(&token) {
+                op.waiting_ckpt = true;
+            }
+            let ckpt = PmmCkpt {
+                meta: self.meta.clone(),
+                open_cpus: self.open_cpus.clone(),
+            };
+            let machine = self.machine.clone();
+            nsk::proc::send_to_backup(
+                ctx,
+                &machine,
+                self.ep,
+                self.cpu,
+                &self.name.clone(),
+                1024,
+                Checkpoint {
+                    seq,
+                    payload: Box::new(ckpt),
+                },
+            );
+        } else {
+            self.commit(ctx, token);
+        }
+    }
+
+    /// Finish an op: program ATT, send the reply.
+    fn commit(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let Some(op) = self.pending.remove(&token) else {
+            return;
+        };
+        if let Some(action) = &op.att_action {
+            match action {
+                AttAction::MapRegion { region_id } => self.program_region_att(*region_id),
+                AttAction::Unmap { nva_base } => {
+                    self.npmu_a.att.lock().unmap(*nva_base);
+                    self.npmu_b.att.lock().unmap(*nva_base);
+                }
+            }
+        }
+        let net = self.net.clone();
+        match op.reply {
+            PendingReply::Create(tok, result) => {
+                send_net_msg(
+                    ctx,
+                    &net,
+                    self.ep,
+                    op.reply_to_ep,
+                    128,
+                    CreateRegionAck { token: tok, result },
+                );
+            }
+            PendingReply::Delete(tok, result) => {
+                send_net_msg(
+                    ctx,
+                    &net,
+                    self.ep,
+                    op.reply_to_ep,
+                    64,
+                    DeleteRegionAck { token: tok, result },
+                );
+            }
+        }
+    }
+
+    /// (Re)program both mirrors' ATT for a region from `open_cpus`.
+    fn program_region_att(&mut self, region_id: u64) {
+        let Some(r) = self.meta.find_by_id(region_id) else {
+            return;
+        };
+        let (base, len) = (r.base, r.len);
+        let cpus: Vec<u32> = self
+            .open_cpus
+            .get(&region_id)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for att in [&self.npmu_a.att, &self.npmu_b.att] {
+            let mut att = att.lock();
+            att.unmap(base);
+            if !cpus.is_empty() {
+                att.map(AttEntry {
+                    nva_base: base,
+                    len,
+                    phys_base: base,
+                    allowed: CpuFilter::Only(cpus.clone()),
+                });
+            }
+        }
+    }
+
+    fn region_info(&self, r: &RegionMeta) -> RegionInfo {
+        RegionInfo {
+            region_id: r.id,
+            nva_base: r.base,
+            len: r.len,
+            primary_ep: self.npmu_a.ep,
+            mirror_ep: self.npmu_b.ep,
+        }
+    }
+
+    fn client_cpu(&self, from_ep: EndpointId) -> u32 {
+        self.machine
+            .lock()
+            .cpu_of_ep(from_ep)
+            .map(|c| c.0)
+            .unwrap_or(0)
+    }
+
+    fn handle_request(&mut self, ctx: &mut Ctx<'_>, from_ep: EndpointId, payload: Box<dyn std::any::Any + Send>) {
+        self.charge_cpu(ctx);
+        let net = self.net.clone();
+        let payload = match payload.downcast::<CreateRegion>() {
+            Ok(req) => {
+                let req = *req;
+                if let Some(existing) = self.meta.find(&req.name).cloned() {
+                    let result = if req.open_if_exists {
+                        // Treat as open.
+                        let cpu = self.client_cpu(from_ep);
+                        self.open_cpus
+                            .entry(existing.id)
+                            .or_default()
+                            .insert(cpu);
+                        self.program_region_att(existing.id);
+                        Ok(self.region_info(&existing))
+                    } else {
+                        Err(PmError::AlreadyExists)
+                    };
+                    send_net_msg(
+                        ctx,
+                        &net,
+                        self.ep,
+                        from_ep,
+                        128,
+                        CreateRegionAck {
+                            token: req.token,
+                            result,
+                        },
+                    );
+                    return;
+                }
+                let cap = self.device_capacity();
+                let Some(base) = alloc::find_space(&self.meta, cap, req.len) else {
+                    send_net_msg(
+                        ctx,
+                        &net,
+                        self.ep,
+                        from_ep,
+                        128,
+                        CreateRegionAck {
+                            token: req.token,
+                            result: Err(PmError::NoSpace),
+                        },
+                    );
+                    return;
+                };
+                let cpu = self.client_cpu(from_ep);
+                let id = self.meta.next_region_id;
+                self.meta.next_region_id += 1;
+                let region = RegionMeta {
+                    id,
+                    name: req.name.clone(),
+                    base,
+                    len: req.len.max(1),
+                    owner_cpu: cpu,
+                };
+                let info = self.region_info(&region);
+                self.meta.regions.push(region);
+                self.meta.epoch += 1;
+                // Creating also opens for the creator (convenience the
+                // client library relies on).
+                self.open_cpus.entry(id).or_default().insert(cpu);
+                self.start_meta_write(
+                    ctx,
+                    PendingOp {
+                        waiting_writes: 2,
+                        waiting_ckpt: false,
+                        reply_to_ep: from_ep,
+                        reply: PendingReply::Create(req.token, Ok(info)),
+                        att_action: Some(AttAction::MapRegion { region_id: id }),
+                    },
+                );
+                return;
+            }
+            Err(p) => p,
+        };
+
+        let payload = match payload.downcast::<OpenRegion>() {
+            Ok(req) => {
+                let req = *req;
+                let result = match self.meta.find(&req.name).cloned() {
+                    Some(r) => {
+                        let cpu = self.client_cpu(from_ep);
+                        self.open_cpus.entry(r.id).or_default().insert(cpu);
+                        self.program_region_att(r.id);
+                        Ok(self.region_info(&r))
+                    }
+                    None => Err(PmError::NotFound),
+                };
+                // Open state is volatile (ATT hardware) but still
+                // checkpointed so a takeover preserves mappings knowledge.
+                if self.has_backup() {
+                    let seq = self.next_ckpt;
+                    self.next_ckpt += 1;
+                    let ckpt = PmmCkpt {
+                        meta: self.meta.clone(),
+                        open_cpus: self.open_cpus.clone(),
+                    };
+                    let machine = self.machine.clone();
+                    nsk::proc::send_to_backup(
+                        ctx,
+                        &machine,
+                        self.ep,
+                        self.cpu,
+                        &self.name.clone(),
+                        512,
+                        Checkpoint {
+                            seq,
+                            payload: Box::new(ckpt),
+                        },
+                    );
+                }
+                send_net_msg(
+                    ctx,
+                    &net,
+                    self.ep,
+                    from_ep,
+                    128,
+                    OpenRegionAck {
+                        token: req.token,
+                        result,
+                    },
+                );
+                return;
+            }
+            Err(p) => p,
+        };
+
+        let payload = match payload.downcast::<CloseRegion>() {
+            Ok(req) => {
+                let req = *req;
+                let cpu = self.client_cpu(from_ep);
+                let removed = self
+                    .open_cpus
+                    .get_mut(&req.region_id)
+                    .map(|set| set.remove(&cpu))
+                    .unwrap_or(false);
+                let result = if removed {
+                    self.program_region_att(req.region_id);
+                    Ok(())
+                } else {
+                    Err(PmError::NotOpen)
+                };
+                send_net_msg(
+                    ctx,
+                    &net,
+                    self.ep,
+                    from_ep,
+                    64,
+                    CloseRegionAck {
+                        token: req.token,
+                        result,
+                    },
+                );
+                return;
+            }
+            Err(p) => p,
+        };
+
+        let payload = match payload.downcast::<DeleteRegion>() {
+            Ok(req) => {
+                let req = *req;
+                match self.meta.find(&req.name).cloned() {
+                    Some(r) => {
+                        self.meta.regions.retain(|x| x.id != r.id);
+                        self.meta.epoch += 1;
+                        self.open_cpus.remove(&r.id);
+                        self.start_meta_write(
+                            ctx,
+                            PendingOp {
+                                waiting_writes: 2,
+                                waiting_ckpt: false,
+                                reply_to_ep: from_ep,
+                                reply: PendingReply::Delete(req.token, Ok(())),
+                                att_action: Some(AttAction::Unmap { nva_base: r.base }),
+                            },
+                        );
+                    }
+                    None => {
+                        send_net_msg(
+                            ctx,
+                            &net,
+                            self.ep,
+                            from_ep,
+                            64,
+                            DeleteRegionAck {
+                                token: req.token,
+                                result: Err(PmError::NotFound),
+                            },
+                        );
+                    }
+                }
+                return;
+            }
+            Err(p) => p,
+        };
+
+        if let Ok(req) = payload.downcast::<ListRegions>() {
+            let names: Vec<String> = self.meta.regions.iter().map(|r| r.name.clone()).collect();
+            send_net_msg(
+                ctx,
+                &net,
+                self.ep,
+                from_ep,
+                256,
+                ListRegionsAck {
+                    token: req.token,
+                    names,
+                },
+            );
+        }
+    }
+}
+
+impl Actor for PmmProc {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        if msg.is::<simcore::actor::Start>() {
+            if self.role == Role::Backup {
+                let me = ctx.self_id();
+                self.machine
+                    .lock()
+                    .watch(WatchTarget::Process(self.name.clone()), me);
+            }
+            return;
+        }
+
+        // Takeover: backup hears its primary died.
+        let msg = match msg.take::<ProcessDied>() {
+            Ok((_, d)) => {
+                if self.role == Role::Backup && d.name == self.name && d.was_primary {
+                    self.machine.lock().promote_backup(&self.name);
+                    self.role = Role::Primary;
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        // Metadata slot write acks.
+        let msg = match msg.take::<RdmaWriteDone>() {
+            Ok((_, done)) => {
+                if let Some(token) = self.rdma_ops.remove(&done.op_id) {
+                    if done.status != RdmaStatus::Ok {
+                        // A mirror lost a metadata write: the volume is
+                        // still consistent (other mirror + old slot); we
+                        // proceed, as real firmware would flag the mirror.
+                    }
+                    let finished = {
+                        if let Some(op) = self.pending.get_mut(&token) {
+                            op.waiting_writes = op.waiting_writes.saturating_sub(1);
+                            op.waiting_writes == 0
+                        } else {
+                            false
+                        }
+                    };
+                    if finished {
+                        self.after_writes(ctx, token);
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        if let Ok((_, delivery)) = msg.take::<NetDelivery>() {
+            let NetDelivery { from_ep, payload } = delivery;
+            // Checkpoint traffic (backup side).
+            let payload = match payload.downcast::<Checkpoint>() {
+                Ok(ck) => {
+                    let ck = *ck;
+                    if let Ok(state) = ck.payload.downcast::<PmmCkpt>() {
+                        self.meta = state.meta;
+                        self.open_cpus = state.open_cpus;
+                    }
+                    let net = self.net.clone();
+                    send_net_msg(
+                        ctx,
+                        &net,
+                        self.ep,
+                        from_ep,
+                        16,
+                        CheckpointAck { seq: ck.seq },
+                    );
+                    return;
+                }
+                Err(p) => p,
+            };
+            // Checkpoint acks (primary side).
+            let payload = match payload.downcast::<CheckpointAck>() {
+                Ok(ack) => {
+                    if let Some(token) = self.ckpt_waiters.remove(&ack.seq) {
+                        let ready = self
+                            .pending
+                            .get(&token)
+                            .map(|op| op.waiting_writes == 0 && op.waiting_ckpt)
+                            .unwrap_or(false);
+                        if ready {
+                            self.commit(ctx, token);
+                        }
+                    }
+                    return;
+                }
+                Err(p) => p,
+            };
+            // Client requests.
+            if self.role == Role::Primary {
+                self.handle_request(ctx, from_ep, payload);
+            }
+        }
+    }
+}
+
+/// Install a PMM pair (primary required, backup optional) managing the
+/// mirrored NPMU pair `(npmu_a, npmu_b)`. Metadata ATT windows are mapped
+/// for the PMM CPUs, the newest valid metadata is recovered from the
+/// devices, and the pair is registered as process `name`.
+#[allow(clippy::too_many_arguments)]
+pub fn install_pmm_pair(
+    sim: &mut Sim,
+    machine: &SharedMachine,
+    name: &str,
+    npmu_a: &NpmuHandle,
+    npmu_b: &NpmuHandle,
+    primary_cpu: CpuId,
+    backup_cpu: Option<CpuId>,
+    cfg: PmmConfig,
+) -> PmmHandle {
+    let net = machine.lock().net.clone();
+
+    // Metadata windows: PMM CPUs only. Identity-mapped like regions.
+    let mut meta_cpus = vec![primary_cpu.0];
+    if let Some(b) = backup_cpu {
+        meta_cpus.push(b.0);
+    }
+    for h in [npmu_a, npmu_b] {
+        let mut att = h.att.lock();
+        att.unmap(0);
+        att.map(AttEntry {
+            nva_base: 0,
+            len: META_BYTES,
+            phys_base: 0,
+            allowed: CpuFilter::Only(meta_cpus.clone()),
+        });
+    }
+
+    // Recover metadata: per device two-slot recovery, then best-of-mirrors.
+    let rec_a = {
+        let mem = npmu_a.mem.lock();
+        MetaStore::recover(|off, len| mem.read(off, len))
+    };
+    let rec_b = {
+        let mem = npmu_b.mem.lock();
+        MetaStore::recover(|off, len| mem.read(off, len))
+    };
+    let meta = if rec_a.epoch >= rec_b.epoch { rec_a } else { rec_b };
+
+    // Re-map ATT windows for already-existing regions? No: opens are
+    // volatile; clients must (re)open after a restart, per the paper's
+    // access model.
+
+    let mk = |role: Role, cpu: CpuId, meta: VolumeMeta| {
+        let machine2 = machine.clone();
+        let net2 = net.clone();
+        let a = npmu_a.clone();
+        let b = npmu_b.clone();
+        let name2 = name.to_string();
+        let cfg2 = cfg.clone();
+        move |ep: EndpointId| -> Box<dyn Actor> {
+            Box::new(PmmProc {
+                name: name2,
+                role,
+                cfg: cfg2,
+                machine: machine2,
+                net: net2,
+                ep,
+                cpu,
+                npmu_a: a,
+                npmu_b: b,
+                meta,
+                open_cpus: BTreeMap::new(),
+                pending: BTreeMap::new(),
+                next_op: 0,
+                rdma_ops: BTreeMap::new(),
+                next_rdma: 0,
+                ckpt_waiters: BTreeMap::new(),
+                next_ckpt: 0,
+            })
+        }
+    };
+
+    nsk::machine::install_primary(
+        sim,
+        machine,
+        name,
+        primary_cpu,
+        mk(Role::Primary, primary_cpu, meta.clone()),
+    );
+    if let Some(bcpu) = backup_cpu {
+        nsk::machine::install_backup(sim, machine, name, bcpu, mk(Role::Backup, bcpu, meta));
+    }
+
+    PmmHandle {
+        name: name.to_string(),
+        primary_cpu,
+        backup_cpu,
+        npmu_a: npmu_a.clone(),
+        npmu_b: npmu_b.clone(),
+    }
+}

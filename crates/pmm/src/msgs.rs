@@ -1,0 +1,98 @@
+//! Client ↔ PMM RPC message types.
+//!
+//! "Regions are created by the PMM in response to 'create' messages sent
+//! from the client API to the PMM process. Once regions have been created,
+//! they may be opened by one or more clients." (§4.1)
+
+use simnet::EndpointId;
+
+/// Errors a PMM can return.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PmError {
+    AlreadyExists,
+    NotFound,
+    NoSpace,
+    NotOpen,
+}
+
+/// Everything a client needs to RDMA to an open region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionInfo {
+    pub region_id: u64,
+    /// Base network virtual address of the region window — identical on
+    /// both mirrors (the PMM programs the same layout on each).
+    pub nva_base: u64,
+    pub len: u64,
+    /// Endpoint of the primary NPMU (reads go here).
+    pub primary_ep: EndpointId,
+    /// Endpoint of the mirror NPMU (writes replicate here too).
+    pub mirror_ep: EndpointId,
+}
+
+/// Create a named region of `len` bytes. Idempotent create is available
+/// via `open_if_exists`: if the region already exists, behave like open.
+#[derive(Clone, Debug)]
+pub struct CreateRegion {
+    pub name: String,
+    pub len: u64,
+    pub open_if_exists: bool,
+    /// Client-chosen token echoed in the ack (for request matching).
+    pub token: u64,
+}
+
+#[derive(Clone, Debug)]
+pub struct CreateRegionAck {
+    pub token: u64,
+    pub result: Result<RegionInfo, PmError>,
+}
+
+/// Open an existing region for the calling CPU.
+#[derive(Clone, Debug)]
+pub struct OpenRegion {
+    pub name: String,
+    pub token: u64,
+}
+
+#[derive(Clone, Debug)]
+pub struct OpenRegionAck {
+    pub token: u64,
+    pub result: Result<RegionInfo, PmError>,
+}
+
+/// Revoke the calling CPU's mapping of a region.
+#[derive(Clone, Debug)]
+pub struct CloseRegion {
+    pub region_id: u64,
+    pub token: u64,
+}
+
+#[derive(Clone, Debug)]
+pub struct CloseRegionAck {
+    pub token: u64,
+    pub result: Result<(), PmError>,
+}
+
+/// Delete a region (must exist; frees its space).
+#[derive(Clone, Debug)]
+pub struct DeleteRegion {
+    pub name: String,
+    pub token: u64,
+}
+
+#[derive(Clone, Debug)]
+pub struct DeleteRegionAck {
+    pub token: u64,
+    pub result: Result<(), PmError>,
+}
+
+/// Enumerate regions.
+#[derive(Clone, Debug)]
+pub struct ListRegions {
+    pub token: u64,
+}
+
+#[derive(Clone, Debug)]
+pub struct ListRegionsAck {
+    pub token: u64,
+    pub names: Vec<String>,
+}

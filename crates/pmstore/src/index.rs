@@ -1,0 +1,517 @@
+//! A persistent B+-tree index living entirely in a PM region.
+//!
+//! §3.4: PM lets "ODS data structures, such as database indices, lock
+//! tables and transaction control blocks... be efficiently stored to
+//! durable media" and updated "at a fine grain". This is the index piece:
+//! a fixed-order B+-tree (u64 keys → u64 values, data in leaves, leaves
+//! chained for range scans) whose nodes live in a [`PmHeap`] and whose
+//! every structural mutation (node writes + root update) commits through
+//! one [`PmTx`], so a crash at any point leaves a valid tree.
+//!
+//! Crash model note: node *allocation* commits in the heap's own
+//! transaction before the tree's; a crash between the two leaks the block
+//! (bounded, reclaimable by an offline sweep) but can never corrupt the
+//! tree. Deletion removes keys from leaves without rebalancing —
+//! underfull leaves are legal, as in many production trees.
+
+use crate::heap::PmHeap;
+use crate::medium::PmMedium;
+use crate::redo::PmTx;
+
+/// Max keys per node (small enough that tests exercise splits).
+const ORDER: usize = 16;
+const META_LEN: u64 = 64;
+const TX_LOG_LEN: u64 = 16 * 1024;
+const MAGIC: u32 = 0x4254_5245; // "BTRE"
+
+#[derive(Clone, Debug)]
+struct Node {
+    off: u64,
+    leaf: bool,
+    /// Next-leaf chain (leaves only; 0 = none).
+    next: u64,
+    keys: Vec<u64>,
+    /// leaf: values (len == keys.len()); internal: children (keys.len()+1).
+    slots: Vec<u64>,
+}
+
+impl Node {
+    const BYTES: u32 = (16 + ORDER * 8 + (ORDER + 1) * 8) as u32;
+
+    fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(Node::BYTES as usize);
+        b.extend_from_slice(&(self.leaf as u32).to_le_bytes());
+        b.extend_from_slice(&(self.keys.len() as u32).to_le_bytes());
+        b.extend_from_slice(&self.next.to_le_bytes());
+        let mut keys = self.keys.clone();
+        keys.resize(ORDER, 0);
+        for k in keys {
+            b.extend_from_slice(&k.to_le_bytes());
+        }
+        let mut slots = self.slots.clone();
+        slots.resize(ORDER + 1, 0);
+        for s in slots {
+            b.extend_from_slice(&s.to_le_bytes());
+        }
+        b
+    }
+
+    fn decode(off: u64, raw: &[u8]) -> Node {
+        let leaf = u32::from_le_bytes(raw[..4].try_into().unwrap()) != 0;
+        let n = u32::from_le_bytes(raw[4..8].try_into().unwrap()) as usize;
+        assert!(n <= ORDER, "corrupt node at {off}");
+        let next = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+        let rd = |i: usize| u64::from_le_bytes(raw[16 + i * 8..24 + i * 8].try_into().unwrap());
+        let keys: Vec<u64> = (0..n).map(rd).collect();
+        let n_slots = if leaf { n } else { n + 1 };
+        let slots = (0..n_slots).map(|i| rd(ORDER + i)).collect();
+        Node {
+            off,
+            leaf,
+            next,
+            keys,
+            slots,
+        }
+    }
+}
+
+/// Split a full node in two; returns `(left, separator_key, right)`.
+/// For leaves the separator is copied up (stays in the right leaf); for
+/// internals it moves up.
+fn split(node: &Node, right_off: u64) -> (Node, u64, Node) {
+    let mid = node.keys.len() / 2;
+    if node.leaf {
+        let left = Node {
+            off: node.off,
+            leaf: true,
+            next: right_off,
+            keys: node.keys[..mid].to_vec(),
+            slots: node.slots[..mid].to_vec(),
+        };
+        let right = Node {
+            off: right_off,
+            leaf: true,
+            next: node.next,
+            keys: node.keys[mid..].to_vec(),
+            slots: node.slots[mid..].to_vec(),
+        };
+        let sep = right.keys[0];
+        (left, sep, right)
+    } else {
+        let sep = node.keys[mid];
+        let left = Node {
+            off: node.off,
+            leaf: false,
+            next: 0,
+            keys: node.keys[..mid].to_vec(),
+            slots: node.slots[..=mid].to_vec(),
+        };
+        let right = Node {
+            off: right_off,
+            leaf: false,
+            next: 0,
+            keys: node.keys[mid + 1..].to_vec(),
+            slots: node.slots[mid + 1..].to_vec(),
+        };
+        (left, sep, right)
+    }
+}
+
+/// The persistent B+-tree.
+pub struct PmBTree {
+    base: u64,
+    heap: PmHeap,
+    tx: PmTx,
+    root: u64,
+}
+
+impl PmBTree {
+    fn meta_off(base: u64) -> u64 {
+        base
+    }
+    fn txlog_off(base: u64) -> u64 {
+        base + META_LEN
+    }
+    fn heap_off(base: u64) -> u64 {
+        base + META_LEN + TX_LOG_LEN
+    }
+
+    fn meta_bytes(root: u64) -> Vec<u8> {
+        let mut meta = Vec::with_capacity(16);
+        meta.extend_from_slice(&MAGIC.to_le_bytes());
+        meta.extend_from_slice(&0u32.to_le_bytes());
+        meta.extend_from_slice(&root.to_le_bytes());
+        meta
+    }
+
+    /// Format a fresh tree over `[base, base+len)`.
+    pub fn format<M: PmMedium>(medium: &mut M, base: u64, len: u64) -> PmBTree {
+        assert!(len > META_LEN + TX_LOG_LEN + (64 << 10), "region too small");
+        let mut heap = PmHeap::format(medium, Self::heap_off(base), len - META_LEN - TX_LOG_LEN);
+        let mut tx = PmTx::create(Self::txlog_off(base), TX_LOG_LEN);
+        let root_off = heap.alloc(medium, Node::BYTES).expect("room for root");
+        let root = Node {
+            off: root_off,
+            leaf: true,
+            next: 0,
+            keys: vec![],
+            slots: vec![],
+        };
+        tx.run(
+            medium,
+            &[
+                (root_off, &root.encode()),
+                (Self::meta_off(base), &Self::meta_bytes(root_off)),
+            ],
+        );
+        PmBTree {
+            base,
+            heap,
+            tx,
+            root: root_off,
+        }
+    }
+
+    /// Recover after a crash (replays the heap's and the tree's pending
+    /// transactions, then re-reads the root pointer).
+    pub fn recover<M: PmMedium>(medium: &mut M, base: u64, len: u64) -> PmBTree {
+        let heap = PmHeap::recover(medium, Self::heap_off(base), len - META_LEN - TX_LOG_LEN);
+        let (tx, _) = PmTx::recover(medium, Self::txlog_off(base), TX_LOG_LEN);
+        let meta = medium.read(Self::meta_off(base), 16);
+        let magic = u32::from_le_bytes(meta[..4].try_into().unwrap());
+        assert_eq!(magic, MAGIC, "not a PmBTree region");
+        let root = u64::from_le_bytes(meta[8..16].try_into().unwrap());
+        PmBTree {
+            base,
+            heap,
+            tx,
+            root,
+        }
+    }
+
+    fn read_node<M: PmMedium>(&self, medium: &M, off: u64) -> Node {
+        Node::decode(off, &medium.read(off, Node::BYTES as usize))
+    }
+
+    fn child_index(node: &Node, key: u64) -> usize {
+        // First child whose separator exceeds the key.
+        match node.keys.binary_search(&key) {
+            Ok(i) => i + 1, // separator equals key → key lives right
+            Err(i) => i,
+        }
+    }
+
+    pub fn get<M: PmMedium>(&self, medium: &M, key: u64) -> Option<u64> {
+        let mut node = self.read_node(medium, self.root);
+        loop {
+            if node.leaf {
+                return node
+                    .keys
+                    .binary_search(&key)
+                    .ok()
+                    .map(|i| node.slots[i]);
+            }
+            let child = node.slots[Self::child_index(&node, key)];
+            node = self.read_node(medium, child);
+        }
+    }
+
+    /// Insert or update; returns the previous value if present.
+    pub fn insert<M: PmMedium>(&mut self, medium: &mut M, key: u64, value: u64) -> Option<u64> {
+        let mut writes: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut root_changed = false;
+
+        let mut root = self.read_node(medium, self.root);
+        if root.keys.len() == ORDER {
+            let right_off = self.heap.alloc(medium, Node::BYTES).expect("heap full");
+            let new_root_off = self.heap.alloc(medium, Node::BYTES).expect("heap full");
+            let (left, sep, right) = split(&root, right_off);
+            let new_root = Node {
+                off: new_root_off,
+                leaf: false,
+                next: 0,
+                keys: vec![sep],
+                slots: vec![left.off, right.off],
+            };
+            writes.push((left.off, left.encode()));
+            writes.push((right.off, right.encode()));
+            writes.push((new_root_off, new_root.encode()));
+            self.root = new_root_off;
+            root_changed = true;
+            root = new_root;
+        }
+
+        // Descend with preemptive splits; `root` is the in-memory image of
+        // the current node (already reflecting staged writes).
+        let prev = self.descend(medium, root, key, value, &mut writes);
+
+        if root_changed {
+            writes.push((Self::meta_off(self.base), Self::meta_bytes(self.root)));
+        }
+        let w: Vec<(u64, &[u8])> = writes.iter().map(|(o, d)| (*o, d.as_slice())).collect();
+        self.tx.run(medium, &w);
+        prev
+    }
+
+    fn descend<M: PmMedium>(
+        &mut self,
+        medium: &mut M,
+        mut node: Node,
+        key: u64,
+        value: u64,
+        writes: &mut Vec<(u64, Vec<u8>)>,
+    ) -> Option<u64> {
+        loop {
+            if node.leaf {
+                match node.keys.binary_search(&key) {
+                    Ok(i) => {
+                        let prev = node.slots[i];
+                        node.slots[i] = value;
+                        writes.push((node.off, node.encode()));
+                        return Some(prev);
+                    }
+                    Err(i) => {
+                        node.keys.insert(i, key);
+                        node.slots.insert(i, value);
+                        writes.push((node.off, node.encode()));
+                        return None;
+                    }
+                }
+            }
+            let ci = Self::child_index(&node, key);
+            let mut child = self.read_node(medium, node.slots[ci]);
+            // Apply any staged write for this child (it may have been
+            // split already within this same transaction).
+            if let Some((_, staged)) = writes.iter().rev().find(|(o, _)| *o == child.off) {
+                child = Node::decode(child.off, staged);
+            }
+            if child.keys.len() == ORDER {
+                let right_off = self.heap.alloc(medium, Node::BYTES).expect("heap full");
+                let (left, sep, right) = split(&child, right_off);
+                node.keys.insert(ci, sep);
+                node.slots.insert(ci + 1, right.off);
+                writes.push((left.off, left.encode()));
+                writes.push((right.off, right.encode()));
+                writes.push((node.off, node.encode()));
+                node = if key >= sep { right } else { left };
+            } else {
+                node = child;
+            }
+        }
+    }
+
+    /// Remove a key; returns its value. Leaves may go underfull (no
+    /// rebalancing); an empty leaf stays linked and is skipped by scans.
+    pub fn remove<M: PmMedium>(&mut self, medium: &mut M, key: u64) -> Option<u64> {
+        let mut node = self.read_node(medium, self.root);
+        while !node.leaf {
+            let child = node.slots[Self::child_index(&node, key)];
+            node = self.read_node(medium, child);
+        }
+        match node.keys.binary_search(&key) {
+            Ok(i) => {
+                let prev = node.slots[i];
+                node.keys.remove(i);
+                node.slots.remove(i);
+                let enc = node.encode();
+                self.tx.run(medium, &[(node.off, &enc)]);
+                Some(prev)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// All `(key, value)` pairs with `key ∈ [lo, hi)`, via the leaf chain.
+    pub fn range<M: PmMedium>(&self, medium: &M, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let mut node = self.read_node(medium, self.root);
+        while !node.leaf {
+            let child = node.slots[Self::child_index(&node, lo)];
+            node = self.read_node(medium, child);
+        }
+        let mut out = Vec::new();
+        loop {
+            for (i, &k) in node.keys.iter().enumerate() {
+                if k >= hi {
+                    return out;
+                }
+                if k >= lo {
+                    out.push((k, node.slots[i]));
+                }
+            }
+            if node.next == 0 {
+                return out;
+            }
+            node = self.read_node(medium, node.next);
+        }
+    }
+
+    pub fn len<M: PmMedium>(&self, medium: &M) -> usize {
+        self.range(medium, 0, u64::MAX).len()
+    }
+
+    /// Structural invariant check (tests): keys sorted in every node,
+    /// children separated correctly, uniform leaf depth.
+    pub fn check<M: PmMedium>(&self, medium: &M) {
+        fn walk<M: PmMedium>(
+            t: &PmBTree,
+            medium: &M,
+            off: u64,
+            lo: u64,
+            hi: u64,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+        ) {
+            let node = t.read_node(medium, off);
+            for w in node.keys.windows(2) {
+                assert!(w[0] < w[1], "unsorted keys in node {off}");
+            }
+            for &k in &node.keys {
+                assert!(k >= lo && k < hi, "key {k} outside [{lo},{hi}) at {off}");
+            }
+            if node.leaf {
+                match leaf_depth {
+                    Some(d) => assert_eq!(*d, depth, "leaf depth skew"),
+                    None => *leaf_depth = Some(depth),
+                }
+                return;
+            }
+            for (i, &child) in node.slots.iter().enumerate() {
+                let clo = if i == 0 { lo } else { node.keys[i - 1] };
+                let chi = if i == node.keys.len() { hi } else { node.keys[i] };
+                walk(t, medium, child, clo, chi, depth + 1, leaf_depth);
+            }
+        }
+        let mut leaf_depth = None;
+        walk(self, medium, self.root, 0, u64::MAX, 0, &mut leaf_depth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medium::{TornWriter, VecMedium};
+
+    const LEN: u64 = 1 << 20;
+
+    fn fresh() -> (VecMedium, PmBTree) {
+        let mut m = VecMedium::new(LEN);
+        let t = PmBTree::format(&mut m, 0, LEN);
+        (m, t)
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let (mut m, mut t) = fresh();
+        assert_eq!(t.insert(&mut m, 5, 50), None);
+        assert_eq!(t.insert(&mut m, 3, 30), None);
+        assert_eq!(t.insert(&mut m, 5, 55), Some(50), "update returns old");
+        assert_eq!(t.get(&m, 5), Some(55));
+        assert_eq!(t.get(&m, 3), Some(30));
+        assert_eq!(t.get(&m, 4), None);
+        t.check(&m);
+    }
+
+    #[test]
+    fn thousand_inserts_with_splits() {
+        let (mut m, mut t) = fresh();
+        // Pseudo-shuffled order exercises splits at all levels.
+        for i in 0..1000u64 {
+            let k = (i * 7919) % 10007;
+            t.insert(&mut m, k, k * 2);
+        }
+        t.check(&m);
+        for i in 0..1000u64 {
+            let k = (i * 7919) % 10007;
+            assert_eq!(t.get(&m, k), Some(k * 2), "key {k}");
+        }
+        assert_eq!(t.len(&m), 1000);
+    }
+
+    #[test]
+    fn sequential_inserts() {
+        let (mut m, mut t) = fresh();
+        for k in 0..500u64 {
+            t.insert(&mut m, k, k + 1);
+        }
+        t.check(&m);
+        assert_eq!(t.len(&m), 500);
+        assert_eq!(t.get(&m, 499), Some(500));
+    }
+
+    #[test]
+    fn range_scan_via_leaf_chain() {
+        let (mut m, mut t) = fresh();
+        for k in (0..200u64).rev() {
+            t.insert(&mut m, k * 10, k);
+        }
+        let r = t.range(&m, 500, 700);
+        let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (50..70).map(|k| k * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let (mut m, mut t) = fresh();
+        for k in 0..100u64 {
+            t.insert(&mut m, k, k);
+        }
+        assert_eq!(t.remove(&mut m, 50), Some(50));
+        assert_eq!(t.remove(&mut m, 50), None);
+        assert_eq!(t.get(&m, 50), None);
+        assert_eq!(t.len(&m), 99);
+        t.insert(&mut m, 50, 999);
+        assert_eq!(t.get(&m, 50), Some(999));
+        t.check(&m);
+    }
+
+    #[test]
+    fn recover_after_clean_shutdown() {
+        let (mut m, mut t) = fresh();
+        for k in 0..300u64 {
+            t.insert(&mut m, k, k * 3);
+        }
+        drop(t);
+        let mut m2 = m;
+        let t2 = PmBTree::recover(&mut m2, 0, LEN);
+        t2.check(&m2);
+        assert_eq!(t2.len(&m2), 300);
+        assert_eq!(t2.get(&m2, 123), Some(369));
+    }
+
+    /// Crash during an insert at every (sampled) write budget: after
+    /// recovery the tree is structurally valid and contains either the
+    /// pre-insert or post-insert key set.
+    #[test]
+    fn crash_during_insert_is_atomic() {
+        // Baseline: how many bytes does the probed insert write?
+        let total = {
+            let (mut m, mut t) = fresh();
+            for k in 0..50u64 {
+                t.insert(&mut m, k * 2, k);
+            }
+            let before = m.bytes_written;
+            t.insert(&mut m, 101, 999);
+            m.bytes_written - before
+        };
+        for crash_at in (0..=total).step_by(5) {
+            let (mut m, mut t) = fresh();
+            for k in 0..50u64 {
+                t.insert(&mut m, k * 2, k);
+            }
+            let mut torn = TornWriter::new(m);
+            torn.crash_after(crash_at);
+            t.insert(&mut torn, 101, 999);
+            let mut m = torn.into_inner();
+            let t2 = PmBTree::recover(&mut m, 0, LEN);
+            t2.check(&m);
+            for k in 0..50u64 {
+                assert_eq!(t2.get(&m, k * 2), Some(k), "crash_at={crash_at}");
+            }
+            let v = t2.get(&m, 101);
+            assert!(
+                v == None || v == Some(999),
+                "crash_at={crash_at}: phantom value {v:?}"
+            );
+        }
+    }
+}

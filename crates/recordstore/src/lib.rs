@@ -1,0 +1,20 @@
+//! # recordstore — the application-facing partitioned record store
+//!
+//! The paper's data tier (§1): database files partitioned across volumes
+//! and CPUs, accessed through transactions. `txnkit` provides the server
+//! processes (TMF/DP2/ADP); this crate provides the *client* view an
+//! application links against:
+//!
+//! * a [`schema::Schema`] describing files and their partitioning — the
+//!   hot-stock database is "4 files, each distributed across 4 disk
+//!   volumes" (§4.3);
+//! * deterministic key routing ([`schema::Schema::route`]);
+//! * a [`session::DbSession`] that owns the begin → insert* → commit
+//!   bookkeeping for one in-flight transaction per session, folding the
+//!   transport completions back into application-level events.
+
+pub mod schema;
+pub mod session;
+
+pub use schema::{FileDef, Schema};
+pub use session::{DbEvent, DbSession};

@@ -1,0 +1,122 @@
+//! Files, partitions and key routing.
+
+use txnkit::types::PartitionId;
+
+/// One database file, horizontally partitioned.
+#[derive(Clone, Debug)]
+pub struct FileDef {
+    pub id: u32,
+    pub name: String,
+    pub partitions: u32,
+}
+
+/// The database schema plus the partition → DP2 process map.
+#[derive(Clone, Debug, Default)]
+pub struct Schema {
+    pub files: Vec<FileDef>,
+    /// DP2 process name per partition index (shared by all files, as in
+    /// the scenario builder's layout: partition p of every file lives on
+    /// DP2 p).
+    pub dp2_of_part: Vec<String>,
+}
+
+impl Schema {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_file(mut self, id: u32, name: &str, partitions: u32) -> Self {
+        assert!(partitions > 0);
+        self.files.push(FileDef {
+            id,
+            name: name.to_string(),
+            partitions,
+        });
+        self
+    }
+
+    pub fn with_dp2s(mut self, dp2s: Vec<String>) -> Self {
+        self.dp2_of_part = dp2s;
+        self
+    }
+
+    /// Build the schema matching `txnkit::scenario::build_ods`'s layout.
+    pub fn for_ods(node: &txnkit::scenario::OdsNode) -> Schema {
+        let mut s = Schema::new().with_dp2s(node.dp2s.clone());
+        for f in 0..node.params.files {
+            s = s.with_file(f, &format!("file{f}"), node.params.parts_per_file);
+        }
+        s
+    }
+
+    pub fn file(&self, id: u32) -> &FileDef {
+        self.files
+            .iter()
+            .find(|f| f.id == id)
+            .expect("unknown file")
+    }
+
+    /// Route a key within a file to its partition and owning DP2.
+    /// Stable hash (multiplicative) so routing never depends on process
+    /// layout or map iteration order.
+    pub fn route(&self, file: u32, key: u64) -> (PartitionId, &str) {
+        let f = self.file(file);
+        let part = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as u32 % f.partitions;
+        let dp2 = &self.dp2_of_part[part as usize % self.dp2_of_part.len()];
+        (PartitionId { file, part }, dp2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new()
+            .with_file(0, "orders", 4)
+            .with_file(1, "trades", 4)
+            .with_dp2s((0..4).map(|i| format!("$DP2-{i}")).collect())
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let s = schema();
+        for key in 0..1000u64 {
+            let (p1, d1) = s.route(0, key);
+            let (p2, d2) = s.route(0, key);
+            assert_eq!(p1, p2);
+            assert_eq!(d1, d2);
+            assert!(p1.part < 4);
+            assert_eq!(p1.file, 0);
+        }
+    }
+
+    #[test]
+    fn routing_spreads_keys() {
+        let s = schema();
+        let mut counts = [0u32; 4];
+        for key in 0..4000u64 {
+            let (p, _) = s.route(1, key);
+            counts[p.part as usize] += 1;
+        }
+        for c in counts {
+            assert!(c > 500, "partition starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn dp2_assignment_follows_partition() {
+        let s = schema();
+        for key in 0..100u64 {
+            let (p, d) = s.route(0, key);
+            assert_eq!(d, format!("$DP2-{}", p.part));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown file")]
+    fn unknown_file_panics() {
+        let s = schema();
+        s.route(9, 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! A database session: one in-flight transaction's client bookkeeping.
+//!
+//! The owning actor forwards `NetDelivery` payloads to
+//! [`DbSession::on_delivery`] and reacts to the returned [`DbEvent`]s —
+//! the same folding pattern as `pmclient::PmLib`.
+
+use crate::schema::Schema;
+use bytes::Bytes;
+use nsk::machine::{CpuId, SharedMachine};
+use simcore::Ctx;
+use simnet::EndpointId;
+use txnkit::types::*;
+use txnkit::TxnClient;
+
+/// Application-level events surfaced by the session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DbEvent {
+    /// The requested transaction is open.
+    Begun { txn: TxnId },
+    /// One insert finished (remaining = inserts still outstanding).
+    Inserted { txn: TxnId, token: u64, remaining: u32 },
+    /// An insert lost a deadlock; the caller must abort and retry.
+    Deadlocked { txn: TxnId },
+    Committed { txn: TxnId },
+    Aborted { txn: TxnId },
+    /// A point read completed.
+    Read { token: u64, found: Option<(u32, u32)> },
+}
+
+/// One-transaction-at-a-time session.
+pub struct DbSession {
+    client: TxnClient,
+    machine: SharedMachine,
+    schema: Schema,
+    ep: EndpointId,
+    cpu: CpuId,
+    txn: Option<TxnId>,
+    outstanding_inserts: u32,
+}
+
+impl DbSession {
+    pub fn new(
+        machine: SharedMachine,
+        schema: Schema,
+        ep: EndpointId,
+        cpu: CpuId,
+        tmf: &str,
+    ) -> Self {
+        DbSession {
+            client: TxnClient::new(machine.clone(), ep, cpu, tmf),
+            machine,
+            schema,
+            ep,
+            cpu,
+            txn: None,
+            outstanding_inserts: 0,
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn current_txn(&self) -> Option<TxnId> {
+        self.txn
+    }
+
+    /// Open a transaction ([`DbEvent::Begun`] follows).
+    pub fn begin(&mut self, ctx: &mut Ctx<'_>) {
+        assert!(self.txn.is_none(), "session already has an open txn");
+        self.client.begin(ctx, 0);
+    }
+
+    /// Insert a record into `file` under the open transaction.
+    pub fn insert(&mut self, ctx: &mut Ctx<'_>, file: u32, key: u64, body: Bytes, token: u64) {
+        self.insert_sized(ctx, file, key, body.clone(), body.len() as u32, token)
+    }
+
+    /// Insert with an explicit logical record size (benchmark-scale runs
+    /// carry compact bodies for 4 KB-sized records).
+    pub fn insert_sized(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        file: u32,
+        key: u64,
+        body: Bytes,
+        virtual_len: u32,
+        token: u64,
+    ) {
+        let txn = self.txn.expect("no open txn");
+        let (part, dp2) = {
+            let (p, d) = self.schema.route(file, key);
+            (p, d.to_string())
+        };
+        self.outstanding_inserts += 1;
+        self.client
+            .insert(ctx, &dp2, txn, part, key, body, virtual_len, token);
+    }
+
+    /// Commit the open transaction.
+    pub fn commit(&mut self, ctx: &mut Ctx<'_>) {
+        let txn = self.txn.expect("no open txn");
+        assert_eq!(self.outstanding_inserts, 0, "inserts still in flight");
+        self.client.commit(ctx, txn);
+    }
+
+    /// Abort the open transaction.
+    pub fn abort(&mut self, ctx: &mut Ctx<'_>) {
+        let txn = self.txn.expect("no open txn");
+        self.client.abort(ctx, txn);
+    }
+
+    /// Point read (outside transaction scope — browse access).
+    pub fn read(&mut self, ctx: &mut Ctx<'_>, file: u32, key: u64, token: u64) {
+        let (part, dp2) = {
+            let (p, d) = self.schema.route(file, key);
+            (p, d.to_string())
+        };
+        let machine = self.machine.clone();
+        nsk::proc::send_to_process(
+            ctx,
+            &machine,
+            self.ep,
+            self.cpu,
+            &dp2,
+            32,
+            ReadReq {
+                partition: part,
+                key,
+                token,
+            },
+        );
+    }
+
+    /// Fold a transport payload into an application event. Returns `None`
+    /// for payloads that belong to someone else.
+    pub fn on_delivery(
+        &mut self,
+        payload: Box<dyn std::any::Any + Send>,
+    ) -> Option<DbEvent> {
+        let payload = match payload.downcast::<TxnBegun>() {
+            Ok(b) => {
+                self.txn = Some(b.txn);
+                self.outstanding_inserts = 0;
+                return Some(DbEvent::Begun { txn: b.txn });
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<InsertDone>() {
+            Ok(done) => {
+                return if self.client.note_insert_done(&done) {
+                    self.outstanding_inserts = self.outstanding_inserts.saturating_sub(1);
+                    Some(DbEvent::Inserted {
+                        txn: done.txn,
+                        token: done.token,
+                        remaining: self.outstanding_inserts,
+                    })
+                } else {
+                    Some(DbEvent::Deadlocked { txn: done.txn })
+                };
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<TxnCommitted>() {
+            Ok(c) => {
+                self.txn = None;
+                return Some(DbEvent::Committed { txn: c.txn });
+            }
+            Err(p) => p,
+        };
+        let payload = match payload.downcast::<TxnAborted>() {
+            Ok(a) => {
+                self.txn = None;
+                self.outstanding_inserts = 0;
+                return Some(DbEvent::Aborted { txn: a.txn });
+            }
+            Err(p) => p,
+        };
+        match payload.downcast::<ReadDone>() {
+            Ok(r) => Some(DbEvent::Read {
+                token: r.token,
+                found: r.found,
+            }),
+            Err(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsk::machine::{Machine, MachineConfig};
+    use simnet::{FabricConfig, Network};
+
+    fn session() -> DbSession {
+        let net = Network::new(FabricConfig::default());
+        let machine = Machine::new(MachineConfig::default(), net);
+        let schema = Schema::new()
+            .with_file(0, "f", 2)
+            .with_dp2s(vec!["$DP2-0".into(), "$DP2-1".into()]);
+        DbSession::new(machine, schema, EndpointId(0), CpuId(0), "$TMF")
+    }
+
+    #[test]
+    fn delivery_folding() {
+        let mut s = session();
+        let ev = s.on_delivery(Box::new(TxnBegun {
+            token: 0,
+            txn: TxnId(4),
+        }));
+        assert_eq!(ev, Some(DbEvent::Begun { txn: TxnId(4) }));
+        assert_eq!(s.current_txn(), Some(TxnId(4)));
+
+        let ev = s.on_delivery(Box::new(InsertDone {
+            txn: TxnId(4),
+            token: 1,
+            result: InsertResult::Ok {
+                adp: "$ADP0".into(),
+                lsn: Lsn(99),
+            },
+        }));
+        assert_eq!(
+            ev,
+            Some(DbEvent::Inserted {
+                txn: TxnId(4),
+                token: 1,
+                remaining: 0
+            })
+        );
+
+        let ev = s.on_delivery(Box::new(TxnCommitted { txn: TxnId(4) }));
+        assert_eq!(ev, Some(DbEvent::Committed { txn: TxnId(4) }));
+        assert_eq!(s.current_txn(), None);
+    }
+
+    #[test]
+    fn deadlock_surfaces() {
+        let mut s = session();
+        s.on_delivery(Box::new(TxnBegun {
+            token: 0,
+            txn: TxnId(1),
+        }));
+        let ev = s.on_delivery(Box::new(InsertDone {
+            txn: TxnId(1),
+            token: 0,
+            result: InsertResult::Deadlock,
+        }));
+        assert_eq!(ev, Some(DbEvent::Deadlocked { txn: TxnId(1) }));
+    }
+
+    #[test]
+    fn foreign_payloads_pass_through() {
+        let mut s = session();
+        assert_eq!(s.on_delivery(Box::new("unrelated")), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no open txn")]
+    fn commit_without_begin_panics() {
+        let s = session();
+        let _ = s.current_txn();
+        // We cannot build a Ctx outside a sim; exercise the panic via the
+        // txn assertion directly.
+        let mut s = s;
+        s.txn = None;
+        s.outstanding_inserts = 0;
+        // commit() needs a Ctx; simulate the assertion path:
+        let _txn = s.txn.expect("no open txn");
+    }
+}

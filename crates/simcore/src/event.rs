@@ -1,0 +1,154 @@
+//! The event queue: a binary heap ordered by `(time, seq)`.
+//!
+//! The sequence number breaks ties between events scheduled for the same
+//! instant in scheduling order, which is what makes the engine
+//! deterministic: `BinaryHeap` alone gives no stable order for equal keys.
+
+use crate::actor::{ActorId, Msg};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled delivery of a message to an actor.
+pub struct Event {
+    pub time: SimTime,
+    pub seq: u64,
+    pub target: ActorId,
+    pub msg: Msg,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Priority queue of pending events.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule delivery of `msg` to `target` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, target: ActorId, msg: Msg) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            seq,
+            target,
+            msg,
+        });
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (monotone counter).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Drop every pending event addressed to `target`. Used when an actor
+    /// is killed by fault injection: a dead CPU receives nothing.
+    pub fn discard_for(&mut self, target: ActorId) {
+        let drained: Vec<Event> = std::mem::take(&mut self.heap).into_vec();
+        self.heap = drained.into_iter().filter(|e| e.target != target).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::Msg;
+
+    fn msg(tag: u32) -> Msg {
+        Msg::new(ActorId(0), tag)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), ActorId(1), msg(3));
+        q.push(SimTime(10), ActorId(1), msg(1));
+        q.push(SimTime(20), ActorId(1), msg(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.0).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..50u32 {
+            q.push(SimTime(5), ActorId(i), msg(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.target.0).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn discard_for_removes_only_target() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(1), ActorId(1), msg(0));
+        q.push(SimTime(2), ActorId(2), msg(0));
+        q.push(SimTime(3), ActorId(1), msg(0));
+        q.discard_for(ActorId(1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().target, ActorId(2));
+    }
+
+    #[test]
+    fn discard_preserves_order_of_rest() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), ActorId(2), msg(0));
+        q.push(SimTime(5), ActorId(1), msg(0));
+        q.push(SimTime(5), ActorId(2), msg(1));
+        q.discard_for(ActorId(1));
+        let tags: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| *e.msg.payload.downcast_ref::<u32>().unwrap())
+            .collect();
+        assert_eq!(tags, vec![0, 1]);
+    }
+
+    #[test]
+    fn peek_time_sees_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime(9), ActorId(0), msg(0));
+        q.push(SimTime(4), ActorId(0), msg(0));
+        assert_eq!(q.peek_time(), Some(SimTime(4)));
+    }
+}

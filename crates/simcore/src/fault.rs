@@ -1,0 +1,169 @@
+//! Fault injection planning.
+//!
+//! Experiments declare faults up front — "kill CPU 2 at t=40 s", "drop 0.1%
+//! of fabric packets", "power-fail the node at t=55 s" — and the plan is
+//! consulted by the layers that own the faulted resources. Keeping the plan
+//! declarative keeps fault scenarios reproducible and reviewable.
+
+use crate::time::SimTime;
+
+/// One planned fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fault {
+    /// Kill a named process (nsk resolves names to actors) at a time.
+    KillProcess { name: String, at: SimTime },
+    /// Fail a CPU (all processes on it die) at a time.
+    KillCpu { cpu: u32, at: SimTime },
+    /// Take a fabric (0 = X, 1 = Y) down for a window.
+    FabricDown { fabric: u8, from: SimTime, to: SimTime },
+    /// Corrupt packets with the given probability for a window
+    /// (ServerNet detects these via CRC and retransmits).
+    PacketCorruption { rate: f64, from: SimTime, to: SimTime },
+    /// Whole-node power loss: the experiment harness tears the Sim down at
+    /// this time and runs recovery against the durable store.
+    PowerLoss { at: SimTime },
+}
+
+/// A declarative set of faults for one run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    pub fn with(mut self, f: Fault) -> Self {
+        self.faults.push(f);
+        self
+    }
+
+    /// First planned power loss, if any: the harness runs until then.
+    pub fn power_loss_at(&self) -> Option<SimTime> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::PowerLoss { at } => Some(*at),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Process kills, sorted by time.
+    pub fn process_kills(&self) -> Vec<(String, SimTime)> {
+        let mut v: Vec<(String, SimTime)> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::KillProcess { name, at } => Some((name.clone(), *at)),
+                _ => None,
+            })
+            .collect();
+        v.sort_by_key(|(_, t)| *t);
+        v
+    }
+
+    /// CPU kills, sorted by time.
+    pub fn cpu_kills(&self) -> Vec<(u32, SimTime)> {
+        let mut v: Vec<(u32, SimTime)> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::KillCpu { cpu, at } => Some((*cpu, *at)),
+                _ => None,
+            })
+            .collect();
+        v.sort_by_key(|(_, t)| *t);
+        v
+    }
+
+    /// Packet corruption rate in effect at `t` (0.0 when none).
+    pub fn corruption_rate_at(&self, t: SimTime) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::PacketCorruption { rate, from, to } if *from <= t && t < *to => Some(*rate),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Is the given fabric down at `t`?
+    pub fn fabric_down_at(&self, fabric: u8, t: SimTime) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::FabricDown {
+                fabric: fb,
+                from,
+                to,
+            } => *fb == fabric && *from <= t && t < *to,
+            _ => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SECS;
+
+    #[test]
+    fn power_loss_earliest_wins() {
+        let plan = FaultPlan::none()
+            .with(Fault::PowerLoss { at: SimTime(5 * SECS) })
+            .with(Fault::PowerLoss { at: SimTime(2 * SECS) });
+        assert_eq!(plan.power_loss_at(), Some(SimTime(2 * SECS)));
+        assert_eq!(FaultPlan::none().power_loss_at(), None);
+    }
+
+    #[test]
+    fn kills_sorted_by_time() {
+        let plan = FaultPlan::none()
+            .with(Fault::KillProcess {
+                name: "b".into(),
+                at: SimTime(9),
+            })
+            .with(Fault::KillProcess {
+                name: "a".into(),
+                at: SimTime(3),
+            });
+        let ks = plan.process_kills();
+        assert_eq!(ks[0].0, "a");
+        assert_eq!(ks[1].0, "b");
+    }
+
+    #[test]
+    fn corruption_windows() {
+        let plan = FaultPlan::none().with(Fault::PacketCorruption {
+            rate: 0.01,
+            from: SimTime(10),
+            to: SimTime(20),
+        });
+        assert_eq!(plan.corruption_rate_at(SimTime(5)), 0.0);
+        assert_eq!(plan.corruption_rate_at(SimTime(10)), 0.01);
+        assert_eq!(plan.corruption_rate_at(SimTime(19)), 0.01);
+        assert_eq!(plan.corruption_rate_at(SimTime(20)), 0.0);
+    }
+
+    #[test]
+    fn fabric_windows() {
+        let plan = FaultPlan::none().with(Fault::FabricDown {
+            fabric: 0,
+            from: SimTime(1),
+            to: SimTime(4),
+        });
+        assert!(plan.fabric_down_at(0, SimTime(2)));
+        assert!(!plan.fabric_down_at(1, SimTime(2)));
+        assert!(!plan.fabric_down_at(0, SimTime(4)));
+    }
+
+    #[test]
+    fn cpu_kills_extracted() {
+        let plan = FaultPlan::none().with(Fault::KillCpu {
+            cpu: 3,
+            at: SimTime(7),
+        });
+        assert_eq!(plan.cpu_kills(), vec![(3, SimTime(7))]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the engine's ordering guarantees.
+
+use proptest::prelude::*;
+use simcore::event::EventQueue;
+use simcore::{ActorId, Msg, SimTime};
+
+proptest! {
+    /// Events pop in (time, schedule-order): a stable sort of the input.
+    #[test]
+    fn queue_pops_stable_sorted(times in proptest::collection::vec(0u64..100, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime(*t), ActorId(i as u32), Msg::new(ActorId(0), *t));
+        }
+        let mut expected: Vec<(u64, u32)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (*t, i as u32))
+            .collect();
+        expected.sort_by_key(|(t, i)| (*t, *i)); // stable by construction
+        let got: Vec<(u64, u32)> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.time.0, e.target.0))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// discard_for removes exactly the targeted actor's events and
+    /// preserves the order of the rest.
+    #[test]
+    fn discard_preserves_others(
+        times in proptest::collection::vec((0u64..50, 0u32..5), 1..100),
+        victim in 0u32..5
+    ) {
+        let mut q = EventQueue::new();
+        let mut q2 = EventQueue::new();
+        for (t, a) in &times {
+            q.push(SimTime(*t), ActorId(*a), Msg::new(ActorId(0), ()));
+            if *a != victim {
+                q2.push(SimTime(*t), ActorId(*a), Msg::new(ActorId(0), ()));
+            }
+        }
+        q.discard_for(ActorId(victim));
+        let got: Vec<(u64, u32)> =
+            std::iter::from_fn(|| q.pop()).map(|e| (e.time.0, e.target.0)).collect();
+        prop_assert!(got.iter().all(|(_, a)| *a != victim));
+        prop_assert_eq!(got.len(), times.iter().filter(|(_, a)| *a != victim).count());
+        // Relative time-order intact.
+        for w in got.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        let _ = q2;
+    }
+
+    /// Histogram quantiles are monotone and bounded by min/max.
+    #[test]
+    fn histogram_quantiles_monotone(vals in proptest::collection::vec(1u64..1_000_000_000, 1..500)) {
+        let mut h = simcore::Histogram::new();
+        for v in &vals {
+            h.record(*v);
+        }
+        let qs: Vec<u64> = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|q| h.quantile(*q))
+            .collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {qs:?}");
+        }
+        let lo = *vals.iter().min().unwrap();
+        let hi = *vals.iter().max().unwrap();
+        prop_assert!(qs[0] >= lo.min(h.min()));
+        prop_assert_eq!(*qs.last().unwrap(), hi);
+    }
+}

@@ -1,0 +1,110 @@
+//! Disk model parameters, calibrated to 2004-era enterprise drives
+//! (15k-RPM SCSI class, the kind an S86000 data/audit volume would use).
+
+/// What happens between a write completing at the host and the data being
+/// on the platters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteCachePolicy {
+    /// Completion only after media write: full mechanical latency on every
+    /// write. This is what an audit volume must use if the controller cache
+    /// has no battery — the configuration the paper's baseline implies for
+    /// strict durability.
+    WriteThrough,
+    /// Battery-backed controller DRAM (§3.1: "BBDRAM products fill the
+    /// storage gap... albeit at the cost of system complexity"): the write
+    /// is durable once in cache, so completion costs only stack overhead,
+    /// but throughput is still bounded by destage bandwidth.
+    BatteryBacked,
+    /// Volatile cache: fast completions, data lost on power failure.
+    /// Included to demonstrate why it cannot back an audit trail.
+    Volatile,
+}
+
+/// Parameters for one disk volume.
+#[derive(Clone, Debug)]
+pub struct DiskConfig {
+    /// Average seek time, ns (15k-RPM class: ~3.6 ms).
+    pub avg_seek_ns: u64,
+    /// Full revolution time, ns (15k RPM = 4 ms; average rotational
+    /// latency is half of this).
+    pub revolution_ns: u64,
+    /// Media transfer rate, bytes/second.
+    pub media_bw_bps: u64,
+    /// Controller + driver + interrupt + context-switch overhead per I/O,
+    /// ns. The paper's "handling of SCSI commands, DMA, interrupts and
+    /// context switching results in 100s of microseconds" (§3.2).
+    pub stack_overhead_ns: u64,
+    /// Write cache behaviour.
+    pub cache: WriteCachePolicy,
+    /// Volatile/battery cache destage delay, ns (background flush lag).
+    pub destage_delay_ns: u64,
+    /// Gap (bytes) within which an access still counts as sequential.
+    pub sequential_window: u64,
+    /// Fraction of a revolution still paid on a sequential access,
+    /// applied to `revolution_ns`. For *synchronous* log-style writes the
+    /// honest value is ~0.5: by the time the next flush arrives the
+    /// target sector has rotated past, so each flush waits on average
+    /// half a revolution even with no seek — the classic cost of a
+    /// sync-commit log disk.
+    pub sequential_rot_frac: f64,
+    /// Relative jitter on mechanical latencies.
+    pub jitter_frac: f64,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig {
+            avg_seek_ns: 3_600_000,
+            revolution_ns: 4_000_000,
+            media_bw_bps: 55_000_000,
+            stack_overhead_ns: 250_000,
+            cache: WriteCachePolicy::WriteThrough,
+            destage_delay_ns: 5_000_000,
+            sequential_window: 256 * 1024,
+            sequential_rot_frac: 0.5,
+            jitter_frac: 0.05,
+        }
+    }
+}
+
+impl DiskConfig {
+    /// An audit-volume profile: strictly durable (write-through).
+    pub fn audit_volume() -> Self {
+        DiskConfig::default()
+    }
+
+    /// A data-volume profile: battery-backed cache, as production arrays
+    /// of the era shipped (§3.2: "disk-based storage sub-systems routinely
+    /// incorporate BBDRAM as write caches").
+    pub fn data_volume() -> Self {
+        DiskConfig {
+            cache: WriteCachePolicy::BatteryBacked,
+            ..DiskConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_2004_class() {
+        let c = DiskConfig::default();
+        // Random 4KB write-through I/O must land in "usually milliseconds".
+        let rough_ns = c.stack_overhead_ns
+            + c.avg_seek_ns
+            + c.revolution_ns / 2
+            + 4096 * 1_000_000_000 / c.media_bw_bps;
+        assert!(rough_ns > 2_000_000, "random IO {rough_ns}ns should be >2ms");
+        assert!(rough_ns < 15_000_000);
+        // Stack overhead alone is 100s of microseconds (paper §3.2).
+        assert!((100_000..1_000_000).contains(&c.stack_overhead_ns));
+    }
+
+    #[test]
+    fn profiles_differ_in_cache_policy() {
+        assert_eq!(DiskConfig::audit_volume().cache, WriteCachePolicy::WriteThrough);
+        assert_eq!(DiskConfig::data_volume().cache, WriteCachePolicy::BatteryBacked);
+    }
+}

@@ -1,0 +1,24 @@
+//! # simdisk — mechanical disk volumes, 2004 vintage
+//!
+//! The paper's baseline makes transactions durable by flushing the audit
+//! trail to *disk audit volumes*; the storage stack contributes "100s of
+//! microseconds – usually milliseconds – of I/O latency" (§3.2). This crate
+//! models that baseline: disk volumes with seek/rotational/transfer
+//! mechanics, sequential-run detection (audit writes are sequential),
+//! controller/driver stack overhead, FIFO request queues, and three write
+//! cache policies (write-through, battery-backed, volatile).
+//!
+//! The platter contents live in a [`media::SparseMedia`] image registered
+//! in the simulation's `DurableStore`, so they survive a simulated power
+//! loss and recovery can read back exactly what reached the media.
+
+pub mod config;
+pub mod media;
+pub mod volume;
+
+pub use config::{DiskConfig, WriteCachePolicy};
+pub use media::SparseMedia;
+pub use volume::{
+    DiskRead, DiskReadDone, DiskStats, DiskStatus, DiskVolume, DiskWrite, DiskWriteDone,
+    SharedDiskStats,
+};

@@ -1,0 +1,96 @@
+//! Fabric configuration, calibrated to the paper's ServerNet numbers.
+
+/// ServerNet generation. The paper (§4): "ServerNet's software latency is
+/// between 10 and 20 microseconds, depending on the generation of ServerNet
+/// technology utilized."
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerNetGen {
+    /// First-generation: ~20 µs software op latency, ~50 MB/s links.
+    Gen1,
+    /// Second-generation (ServerNet II): ~10 µs, ~125 MB/s links.
+    Gen2,
+}
+
+/// Latency/bandwidth parameters for one system-area network.
+#[derive(Clone, Debug)]
+pub struct FabricConfig {
+    /// Initiator-side software overhead per operation (descriptor build,
+    /// doorbell, completion processing), nanoseconds. This is the dominant
+    /// term for small transfers and is what the paper quotes as "software
+    /// latency".
+    pub sw_overhead_ns: u64,
+    /// Link bandwidth, bytes per second.
+    pub link_bw_bps: u64,
+    /// Packet payload size, bytes (transfers are segmented into packets).
+    pub packet_bytes: u32,
+    /// Per-packet header/ack processing overhead, nanoseconds.
+    pub per_packet_ns: u64,
+    /// Target NIC processing (address translation, memory commit),
+    /// nanoseconds.
+    pub target_nic_ns: u64,
+    /// Wire+NIC time for the hardware acknowledgement, nanoseconds.
+    pub ack_ns: u64,
+    /// Extra latency charged the first time an op fails over to the other
+    /// fabric (path switch), nanoseconds.
+    pub failover_penalty_ns: u64,
+    /// Latency added per CRC retransmission, nanoseconds.
+    pub retransmit_penalty_ns: u64,
+    /// Relative jitter applied to each op's latency (0.03 = ±3%).
+    pub jitter_frac: f64,
+}
+
+impl FabricConfig {
+    pub fn for_gen(generation: ServerNetGen) -> Self {
+        match generation {
+            ServerNetGen::Gen1 => FabricConfig {
+                sw_overhead_ns: 20_000,
+                link_bw_bps: 50_000_000,
+                packet_bytes: 512,
+                per_packet_ns: 400,
+                target_nic_ns: 2_000,
+                ack_ns: 3_000,
+                failover_penalty_ns: 200_000,
+                retransmit_penalty_ns: 30_000,
+                jitter_frac: 0.03,
+            },
+            ServerNetGen::Gen2 => FabricConfig {
+                sw_overhead_ns: 10_000,
+                link_bw_bps: 125_000_000,
+                packet_bytes: 512,
+                per_packet_ns: 200,
+                target_nic_ns: 1_500,
+                ack_ns: 2_000,
+                failover_penalty_ns: 150_000,
+                retransmit_penalty_ns: 20_000,
+                jitter_frac: 0.03,
+            },
+        }
+    }
+}
+
+impl Default for FabricConfig {
+    /// The prototype in §4 ran on then-current hardware; default to Gen2.
+    fn default() -> Self {
+        FabricConfig::for_gen(ServerNetGen::Gen2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_match_paper_band() {
+        let g1 = FabricConfig::for_gen(ServerNetGen::Gen1);
+        let g2 = FabricConfig::for_gen(ServerNetGen::Gen2);
+        // Paper: software latency between 10 and 20 microseconds.
+        assert_eq!(g1.sw_overhead_ns, 20_000);
+        assert_eq!(g2.sw_overhead_ns, 10_000);
+        assert!(g2.link_bw_bps > g1.link_bw_bps);
+    }
+
+    #[test]
+    fn default_is_gen2() {
+        assert_eq!(FabricConfig::default().sw_overhead_ns, 10_000);
+    }
+}

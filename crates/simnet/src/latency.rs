@@ -1,0 +1,106 @@
+//! The latency arithmetic for one transfer.
+//!
+//! A transfer of `len` bytes is segmented into `ceil(len / packet_bytes)`
+//! packets; each packet pays a fixed header cost and its payload pays wire
+//! time at link bandwidth. The operation as a whole pays initiator software
+//! overhead, target-NIC processing and the hardware-ack round.
+//!
+//! This is a *store-and-forward at the op level* simplification: we charge
+//! the whole serialized length rather than pipelining packets, which
+//! slightly over-estimates large-transfer latency and is conservative
+//! toward the baseline (disk) in the figure reproductions.
+
+use crate::config::FabricConfig;
+
+/// Nanoseconds to serialize `len` bytes onto the link (packetized).
+pub fn wire_ns(cfg: &FabricConfig, len: u32) -> u64 {
+    let packets = packets_for(cfg, len) as u64;
+    let payload_ns = (len as u128 * 1_000_000_000u128 / cfg.link_bw_bps as u128) as u64;
+    payload_ns + packets * cfg.per_packet_ns
+}
+
+/// Packet count for a transfer (minimum one: zero-length ops still ride a
+/// packet, e.g. a doorbell or zero-byte read used as a fence).
+pub fn packets_for(cfg: &FabricConfig, len: u32) -> u32 {
+    len.div_ceil(cfg.packet_bytes).max(1)
+}
+
+/// One-way delivery latency for an RDMA op or message of `len` bytes,
+/// excluding queueing. The initiator's software overhead is charged here
+/// (it precedes the wire), the ack is charged separately on completion.
+pub fn one_way_ns(cfg: &FabricConfig, len: u32) -> u64 {
+    cfg.sw_overhead_ns + wire_ns(cfg, len) + cfg.target_nic_ns
+}
+
+/// Full synchronous-write latency: deliver + hardware ack back.
+pub fn write_round_trip_ns(cfg: &FabricConfig, len: u32) -> u64 {
+    one_way_ns(cfg, len) + cfg.ack_ns
+}
+
+/// Full synchronous-read latency: request out (small), data back.
+pub fn read_round_trip_ns(cfg: &FabricConfig, len: u32) -> u64 {
+    cfg.sw_overhead_ns + wire_ns(cfg, 64) + cfg.target_nic_ns + wire_ns(cfg, len) + cfg.ack_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerNetGen;
+
+    #[test]
+    fn four_kb_write_is_tens_of_microseconds() {
+        // Paper §3.3: host-initiated RDMA "incurs only 10s of microseconds
+        // of latency" — the headline number this whole model must honor.
+        let cfg = FabricConfig::for_gen(ServerNetGen::Gen2);
+        let ns = write_round_trip_ns(&cfg, 4096);
+        assert!(
+            (10_000..100_000).contains(&ns),
+            "4KB write {ns}ns outside 10–100us"
+        );
+    }
+
+    #[test]
+    fn small_write_dominated_by_sw_overhead() {
+        let cfg = FabricConfig::for_gen(ServerNetGen::Gen2);
+        let ns = write_round_trip_ns(&cfg, 64);
+        assert!(ns < 2 * cfg.sw_overhead_ns, "64B write {ns}ns");
+        assert!(ns >= cfg.sw_overhead_ns);
+    }
+
+    #[test]
+    fn wire_time_scales_with_length() {
+        let cfg = FabricConfig::default();
+        let a = wire_ns(&cfg, 512);
+        let b = wire_ns(&cfg, 512 * 8);
+        assert!(b > 6 * a && b < 10 * a);
+    }
+
+    #[test]
+    fn zero_length_still_one_packet() {
+        let cfg = FabricConfig::default();
+        assert_eq!(packets_for(&cfg, 0), 1);
+        assert!(wire_ns(&cfg, 0) >= cfg.per_packet_ns);
+    }
+
+    #[test]
+    fn packet_boundary_counts() {
+        let cfg = FabricConfig::default(); // 512B packets
+        assert_eq!(packets_for(&cfg, 512), 1);
+        assert_eq!(packets_for(&cfg, 513), 2);
+        assert_eq!(packets_for(&cfg, 4096), 8);
+    }
+
+    #[test]
+    fn gen1_slower_than_gen2() {
+        let g1 = FabricConfig::for_gen(ServerNetGen::Gen1);
+        let g2 = FabricConfig::for_gen(ServerNetGen::Gen2);
+        assert!(write_round_trip_ns(&g1, 4096) > write_round_trip_ns(&g2, 4096));
+    }
+
+    #[test]
+    fn read_costs_more_than_write_for_same_len() {
+        // Read pays a request leg plus the data leg.
+        let cfg = FabricConfig::default();
+        assert!(read_round_trip_ns(&cfg, 4096) > write_round_trip_ns(&cfg, 4096));
+    }
+}

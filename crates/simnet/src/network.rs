@@ -1,0 +1,228 @@
+//! The shared network state: endpoint registry, dual-fabric health, port
+//! occupancy (bandwidth contention) and traffic statistics.
+//!
+//! `Network` is shared (`Arc<Mutex<..>>`) between all actors in one
+//! simulation. The simulation itself is single-threaded, so the mutex is
+//! uncontended; it exists because whole simulations run on worker threads
+//! during parameter sweeps and the handle must be `Send + Sync`.
+
+use crate::config::FabricConfig;
+use parking_lot::Mutex;
+use simcore::fault::FaultPlan;
+use simcore::{ActorId, SimTime};
+use std::sync::Arc;
+
+/// Identifies a ServerNet endpoint (one per CPU and one per device NIC).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointId(pub u32);
+
+impl std::fmt::Debug for EndpointId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// Traffic counters, cheap enough to keep always-on.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetStats {
+    pub msgs: u64,
+    pub msg_bytes: u64,
+    pub rdma_writes: u64,
+    pub rdma_write_bytes: u64,
+    pub rdma_reads: u64,
+    pub rdma_read_bytes: u64,
+    pub retransmits: u64,
+    pub failovers: u64,
+    pub unreachable: u64,
+}
+
+pub struct Network {
+    pub cfg: FabricConfig,
+    endpoints: Vec<Option<ActorId>>,
+    /// Per-endpoint transmit-port reservation horizon, ns.
+    tx_busy: Vec<u64>,
+    /// Per-endpoint receive-port reservation horizon, ns.
+    rx_busy: Vec<u64>,
+    /// Which fabric the last op used (for failover-penalty accounting).
+    last_fabric: u8,
+    pub fault_plan: FaultPlan,
+    pub stats: NetStats,
+}
+
+pub type SharedNetwork = Arc<Mutex<Network>>;
+
+impl Network {
+    pub fn new(cfg: FabricConfig) -> SharedNetwork {
+        Arc::new(Mutex::new(Network {
+            cfg,
+            endpoints: Vec::new(),
+            tx_busy: Vec::new(),
+            rx_busy: Vec::new(),
+            last_fabric: 0,
+            fault_plan: FaultPlan::none(),
+            stats: NetStats::default(),
+        }))
+    }
+
+    /// Allocate a fresh endpoint bound to `actor`.
+    pub fn attach(&mut self, actor: ActorId) -> EndpointId {
+        let id = EndpointId(self.endpoints.len() as u32);
+        self.endpoints.push(Some(actor));
+        self.tx_busy.push(0);
+        self.rx_busy.push(0);
+        id
+    }
+
+    /// Re-bind an endpoint to a different actor (used when a device model
+    /// is rebuilt after recovery, keeping its network identity).
+    pub fn rebind(&mut self, ep: EndpointId, actor: ActorId) {
+        self.endpoints[ep.0 as usize] = Some(actor);
+    }
+
+    /// Detach an endpoint (device failure): traffic to it is dropped.
+    pub fn detach(&mut self, ep: EndpointId) {
+        if let Some(slot) = self.endpoints.get_mut(ep.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    pub fn actor_of(&self, ep: EndpointId) -> Option<ActorId> {
+        self.endpoints.get(ep.0 as usize).copied().flatten()
+    }
+
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Reserve the transmit port of `ep` for `dur_ns` starting no earlier
+    /// than `now_ns`; returns the queueing delay incurred.
+    pub fn reserve_tx(&mut self, ep: EndpointId, now_ns: u64, dur_ns: u64) -> u64 {
+        Self::reserve(&mut self.tx_busy, ep, now_ns, dur_ns)
+    }
+
+    /// Reserve the receive port of `ep`; returns the queueing delay.
+    pub fn reserve_rx(&mut self, ep: EndpointId, now_ns: u64, dur_ns: u64) -> u64 {
+        Self::reserve(&mut self.rx_busy, ep, now_ns, dur_ns)
+    }
+
+    fn reserve(busy: &mut [u64], ep: EndpointId, now_ns: u64, dur_ns: u64) -> u64 {
+        let b = &mut busy[ep.0 as usize];
+        let start = (*b).max(now_ns);
+        *b = start + dur_ns;
+        start - now_ns
+    }
+
+    /// Choose a live fabric at `now`. Returns `(fabric, extra_ns)` where
+    /// `extra_ns` is the failover penalty if we had to switch paths, or
+    /// `None` if both fabrics are down.
+    pub fn pick_fabric(&mut self, now: SimTime) -> Option<(u8, u64)> {
+        let x_down = self.fault_plan.fabric_down_at(0, now);
+        let y_down = self.fault_plan.fabric_down_at(1, now);
+        let pick = match (x_down, y_down) {
+            (false, _) => 0,
+            (true, false) => 1,
+            (true, true) => return None,
+        };
+        let penalty = if pick != self.last_fabric {
+            self.stats.failovers += 1;
+            self.cfg.failover_penalty_ns
+        } else {
+            0
+        };
+        self.last_fabric = pick;
+        Some((pick, penalty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::fault::Fault;
+    use simcore::time::SECS;
+
+    fn net() -> SharedNetwork {
+        Network::new(FabricConfig::default())
+    }
+
+    #[test]
+    fn attach_assigns_sequential_ids() {
+        let n = net();
+        let mut n = n.lock();
+        let a = n.attach(ActorId(10));
+        let b = n.attach(ActorId(11));
+        assert_eq!(a, EndpointId(0));
+        assert_eq!(b, EndpointId(1));
+        assert_eq!(n.actor_of(a), Some(ActorId(10)));
+        assert_eq!(n.actor_of(b), Some(ActorId(11)));
+    }
+
+    #[test]
+    fn detach_and_rebind() {
+        let n = net();
+        let mut n = n.lock();
+        let a = n.attach(ActorId(1));
+        n.detach(a);
+        assert_eq!(n.actor_of(a), None);
+        n.rebind(a, ActorId(2));
+        assert_eq!(n.actor_of(a), Some(ActorId(2)));
+    }
+
+    #[test]
+    fn unknown_endpoint_resolves_to_none() {
+        let n = net();
+        assert_eq!(n.lock().actor_of(EndpointId(99)), None);
+    }
+
+    #[test]
+    fn tx_reservation_serializes() {
+        let n = net();
+        let mut n = n.lock();
+        let ep = n.attach(ActorId(0));
+        assert_eq!(n.reserve_tx(ep, 1000, 500), 0);
+        // Second transfer at the same instant queues behind the first.
+        assert_eq!(n.reserve_tx(ep, 1000, 500), 500);
+        // A transfer after the port drained sees no delay.
+        assert_eq!(n.reserve_tx(ep, 10_000, 500), 0);
+    }
+
+    #[test]
+    fn rx_and_tx_ports_independent() {
+        let n = net();
+        let mut n = n.lock();
+        let ep = n.attach(ActorId(0));
+        assert_eq!(n.reserve_tx(ep, 0, 1000), 0);
+        assert_eq!(n.reserve_rx(ep, 0, 1000), 0);
+    }
+
+    #[test]
+    fn fabric_failover_and_total_outage() {
+        let n = net();
+        let mut n = n.lock();
+        n.fault_plan = FaultPlan::none()
+            .with(Fault::FabricDown {
+                fabric: 0,
+                from: SimTime(0),
+                to: SimTime(SECS),
+            })
+            .with(Fault::FabricDown {
+                fabric: 1,
+                from: SimTime(SECS / 2),
+                to: SimTime(SECS),
+            });
+        // X down: pick Y, pay failover penalty (last used was X).
+        let (fab, pen) = n.pick_fabric(SimTime(1)).unwrap();
+        assert_eq!(fab, 1);
+        assert!(pen > 0);
+        assert_eq!(n.stats.failovers, 1);
+        // Still on Y: no penalty.
+        let (fab, pen) = n.pick_fabric(SimTime(2)).unwrap();
+        assert_eq!(fab, 1);
+        assert_eq!(pen, 0);
+        // Both down.
+        assert!(n.pick_fabric(SimTime(SECS / 2 + 1)).is_none());
+        // After the window, X is preferred again (penalty for switching).
+        let (fab, pen) = n.pick_fabric(SimTime(SECS + 1)).unwrap();
+        assert_eq!(fab, 0);
+        assert!(pen > 0);
+    }
+}

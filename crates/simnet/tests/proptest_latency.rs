@@ -1,0 +1,41 @@
+//! Property tests for the fabric latency model.
+
+use proptest::prelude::*;
+use simnet::latency;
+use simnet::{FabricConfig, ServerNetGen};
+
+proptest! {
+    /// Latency is monotone non-decreasing in transfer length.
+    #[test]
+    fn write_latency_monotone_in_len(a in 0u32..1_000_000, b in 0u32..1_000_000) {
+        let cfg = FabricConfig::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            latency::write_round_trip_ns(&cfg, lo) <= latency::write_round_trip_ns(&cfg, hi)
+        );
+        prop_assert!(latency::one_way_ns(&cfg, lo) <= latency::one_way_ns(&cfg, hi));
+    }
+
+    /// Gen1 never beats Gen2 at any size.
+    #[test]
+    fn gen1_never_faster(len in 0u32..1_000_000) {
+        let g1 = FabricConfig::for_gen(ServerNetGen::Gen1);
+        let g2 = FabricConfig::for_gen(ServerNetGen::Gen2);
+        prop_assert!(
+            latency::write_round_trip_ns(&g1, len) >= latency::write_round_trip_ns(&g2, len)
+        );
+    }
+
+    /// Packetization accounting: packets = ceil(len/packet), min 1, and
+    /// wire time is at least payload/bandwidth.
+    #[test]
+    fn packet_accounting(len in 0u32..10_000_000) {
+        let cfg = FabricConfig::default();
+        let p = latency::packets_for(&cfg, len);
+        prop_assert_eq!(p, len.div_ceil(cfg.packet_bytes).max(1));
+        let wire = latency::wire_ns(&cfg, len);
+        let payload_ns = (len as u128 * 1_000_000_000 / cfg.link_bw_bps as u128) as u64;
+        prop_assert!(wire >= payload_ns);
+        prop_assert!(wire >= cfg.per_packet_ns);
+    }
+}

@@ -1,0 +1,909 @@
+//! The ADP — audit data process (log writer) — as a process pair with a
+//! pluggable durable backend.
+//!
+//! "To test the utility of persistent memory, we modified NSK's audit data
+//! process (ADP)... Our modified ADP synchronously writes database log
+//! data to persistent memory. Therefore, the database log is persistent
+//! immediately, and transactions can commit faster than if the log data
+//! had to be flushed to disk at commit time. For scaling audit throughput,
+//! multiple ADPs can be configured per node." (§4.2)
+//!
+//! The two backends follow genuinely different disciplines:
+//!
+//! * **Disk** (baseline): appends are buffered, and — process-pair rule:
+//!   checkpoint *before externalizing* — each append is checkpointed to
+//!   the backup **before** `AppendDone` is sent (§2's "high volume of
+//!   check-point traffic between process pairs" on insert-heavy loads).
+//!   Durability happens at flush time: a sequential write to the audit
+//!   volume, gated by the group-commit window that amortizes the
+//!   mechanical cost. On takeover the backup rebuilds the unflushed
+//!   buffer from its shadow copy, so no acknowledged append is lost.
+//!
+//! * **PM** (the paper's ADP): every append is written to the mirrored
+//!   PM region *immediately*; a serialized 16-byte **control cell** at
+//!   the base of the region records the durable watermark, and the
+//!   append is acknowledged only once a control write covering it has
+//!   completed. The trail is therefore "persistent immediately": commit
+//!   flushes are answered from the watermark (usually instantly), there
+//!   is **no backup checkpoint at all** — exactly the redundancy §3.4
+//!   says PM eliminates — and takeover recovers the exact durable
+//!   position by reading the control cell back from PM.
+//!
+//! LSNs are *virtual* byte offsets (records may be carried as compact
+//! descriptors at benchmark scale — see `simnet::rdma_write_sized`).
+
+use crate::config::TxnConfig;
+use crate::stats::SharedTxnStats;
+use crate::types::*;
+use bytes::{Bytes, BytesMut};
+use nsk::machine::{CpuId, SharedMachine, WatchTarget};
+use nsk::proc::{Checkpoint, CheckpointAck, ProcessDied};
+use pmclient::PmLib;
+use pmm::msgs::CreateRegionAck;
+use simcore::{Actor, ActorId, Ctx, Msg, Sim, SimDuration};
+use simdisk::{DiskWrite, DiskWriteDone};
+use simnet::{EndpointId, NetDelivery, RdmaReadDone, RdmaWriteDone, SharedNetwork};
+use std::collections::BTreeMap;
+
+/// Bytes reserved at the base of a PM trail region for the control cell.
+const PM_CTRL_BYTES: u64 = 64;
+
+/// Where the trail becomes durable.
+#[derive(Clone)]
+pub enum AuditBackend {
+    /// Buffered appends + sequential flushes to a disk audit volume.
+    Disk { volume: ActorId },
+    /// Immediate synchronous mirrored writes to a PM region.
+    Pm {
+        pmm: String,
+        region: String,
+        region_len: u64,
+    },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Primary,
+    Backup,
+}
+
+/// Disk-mode checkpoint: an append's bytes, shipped to the backup before
+/// the append is acknowledged.
+#[derive(Clone)]
+struct AdpDataCkpt {
+    lsn_start: u64,
+    virt: u64,
+    records: Bytes,
+    next_lsn: u64,
+}
+
+/// Disk-mode position checkpoint after a flush (prunes the shadow).
+#[derive(Clone, Copy)]
+struct AdpFlushCkpt {
+    durable_upto: u64,
+    next_lsn: u64,
+}
+
+/// Group-commit window expiry: force a flush for waiting commits.
+struct GroupTimer;
+/// Retry timer for PM region creation at startup/takeover.
+struct RegionRetry;
+
+struct FlushState {
+    end_lsn: u64,
+    outstanding: u32,
+}
+
+/// A disk-mode append waiting for its backup checkpoint ack.
+struct PendingAppend {
+    from_ep: EndpointId,
+    token: u64,
+    lsn_start: u64,
+    lsn_end: u64,
+}
+
+/// A PM-mode append in flight.
+struct PmAppend {
+    from_ep: EndpointId,
+    token: u64,
+    lsn_start: u64,
+    lsn_end: u64,
+    data_writes_left: u32,
+    /// Data writes done; waiting for a covering control write.
+    awaiting_ctrl: bool,
+}
+
+struct PmState {
+    lib: PmLib,
+    region_id: Option<u64>,
+    region_len: u64,
+    /// Reading the control cell during takeover/boot.
+    ctrl_read_pending: bool,
+    ready: bool,
+    /// Completed data ranges not yet contiguous with the watermark.
+    completed: BTreeMap<u64, u64>,
+    /// All data writes complete through here.
+    data_watermark: u64,
+    /// A control write covering this watermark has completed (acked
+    /// appends and flush answers come from this).
+    acked_watermark: u64,
+    ctrl_write_inflight: Option<u64>, // watermark value being written
+    /// Appends received before the region/cell were ready.
+    boot_pending: Vec<(EndpointId, AuditAppend)>,
+}
+
+pub struct AdpProc {
+    name: String,
+    role: Role,
+    cfg: TxnConfig,
+    machine: SharedMachine,
+    net: SharedNetwork,
+    ep: EndpointId,
+    cpu: CpuId,
+    backend: AuditBackend,
+    pm: Option<PmState>,
+    stats: SharedTxnStats,
+    // Trail state.
+    next_lsn: u64,
+    durable_upto: u64,
+    // Disk-mode buffered trail.
+    buffer: BytesMut,
+    buffer_virtual: u64,
+    buffer_base: u64,
+    flush: Option<FlushState>,
+    /// Disk-mode: appends awaiting backup ckpt ack, keyed by ckpt seq.
+    pending_appends: BTreeMap<u64, PendingAppend>,
+    /// PM-mode: appends in flight, keyed by an internal id.
+    pm_appends: BTreeMap<u64, PmAppend>,
+    /// PmLib token → pm_appends key. Control writes map to `u64::MAX`,
+    /// the boot-time control read to `u64::MAX - 1`.
+    pm_token_map: BTreeMap<u64, u64>,
+    /// Backup's shadow of unflushed appends (disk mode).
+    shadow: BTreeMap<u64, (u64, Bytes)>, // lsn_start → (virt, bytes)
+    /// (requester ep, token, upto, arrival ns) — answered once durable.
+    waiters: Vec<(EndpointId, u64, u64, u64)>,
+    next_tag: u64,
+    next_ckpt: u64,
+}
+
+impl AdpProc {
+    fn is_pm(&self) -> bool {
+        matches!(self.backend, AuditBackend::Pm { .. })
+    }
+
+    fn has_backup(&self) -> bool {
+        self.machine.lock().resolve_backup(&self.name).is_some()
+    }
+
+    fn charge_cpu(&mut self, ctx: &mut Ctx<'_>, cost: u64) {
+        let now = ctx.now().as_nanos();
+        self.machine.lock().cpu_work(self.cpu, now, cost);
+    }
+
+    // -----------------------------------------------------------------
+    // Disk mode
+    // -----------------------------------------------------------------
+
+    fn disk_append(&mut self, ctx: &mut Ctx<'_>, from_ep: EndpointId, app: AuditAppend) {
+        self.charge_cpu(ctx, self.cfg.append_cpu_ns);
+        let lsn_start = self.next_lsn;
+        let virt = app.virtual_len.max(app.records.len() as u32) as u64;
+        self.next_lsn += virt;
+        self.buffer.extend_from_slice(&app.records);
+        self.buffer_virtual += virt;
+
+        if self.has_backup() {
+            // Checkpoint the audit data before externalizing the ack.
+            let seq = self.next_ckpt;
+            self.next_ckpt += 1;
+            self.stats.lock().adp_checkpoints += 1;
+            self.pending_appends.insert(
+                seq,
+                PendingAppend {
+                    from_ep,
+                    token: app.token,
+                    lsn_start,
+                    lsn_end: self.next_lsn,
+                },
+            );
+            let ck = AdpDataCkpt {
+                lsn_start,
+                virt,
+                records: app.records.clone(),
+                next_lsn: self.next_lsn,
+            };
+            let machine = self.machine.clone();
+            let name = self.name.clone();
+            let wire = self.cfg.checkpoint_overhead_bytes + virt as u32;
+            nsk::proc::send_to_backup(
+                ctx,
+                &machine,
+                self.ep,
+                self.cpu,
+                &name,
+                wire,
+                Checkpoint {
+                    seq,
+                    payload: Box::new(ck),
+                },
+            );
+        } else {
+            let net = self.net.clone();
+            simnet::send_net_msg(
+                ctx,
+                &net,
+                self.ep,
+                from_ep,
+                32,
+                AppendDone {
+                    token: app.token,
+                    lsn_start: Lsn(lsn_start),
+                    lsn_end: Lsn(self.next_lsn),
+                },
+            );
+        }
+    }
+
+    fn disk_maybe_flush(&mut self, ctx: &mut Ctx<'_>) {
+        if self.flush.is_some() || self.buffer_virtual == 0 {
+            return;
+        }
+        if !self
+            .waiters
+            .iter()
+            .any(|(_, _, upto, _)| *upto > self.durable_upto)
+        {
+            return;
+        }
+        // Group commit: hold the flush until the oldest waiter aged past
+        // the window or the buffer is big enough to amortize the device.
+        let window = self.cfg.group_commit_window_ns;
+        if window > 0 && self.buffer_virtual < self.cfg.group_commit_bytes {
+            let now = ctx.now().as_nanos();
+            let oldest = self
+                .waiters
+                .iter()
+                .filter(|(_, _, upto, _)| *upto > self.durable_upto)
+                .map(|(_, _, _, at)| *at)
+                .min()
+                .unwrap();
+            if now < oldest + window {
+                ctx.send_self(SimDuration::from_nanos(oldest + window - now), GroupTimer);
+                return;
+            }
+        }
+        let data = self.buffer.split().freeze();
+        let virt = self.buffer_virtual;
+        let base = self.buffer_base;
+        self.buffer_virtual = 0;
+        self.buffer_base = self.next_lsn;
+        let AuditBackend::Disk { volume } = &self.backend else {
+            unreachable!()
+        };
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.stats.lock().audit_volume_writes += 1;
+        let me = ctx.self_id();
+        ctx.send(
+            *volume,
+            SimDuration::ZERO,
+            DiskWrite {
+                offset: base,
+                data,
+                advisory_len: virt as u32,
+                tag,
+                reply_to: me,
+            },
+        );
+        self.flush = Some(FlushState {
+            end_lsn: base + virt,
+            outstanding: 1,
+        });
+    }
+
+    fn disk_flush_done(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(fl) = self.flush.take() else { return };
+        self.durable_upto = self.durable_upto.max(fl.end_lsn);
+        // Position checkpoint (small, async): lets the backup prune its
+        // shadow and track the durable point.
+        if self.has_backup() {
+            let seq = self.next_ckpt;
+            self.next_ckpt += 1;
+            let ck = AdpFlushCkpt {
+                durable_upto: self.durable_upto,
+                next_lsn: self.next_lsn,
+            };
+            let machine = self.machine.clone();
+            let name = self.name.clone();
+            nsk::proc::send_to_backup(
+                ctx,
+                &machine,
+                self.ep,
+                self.cpu,
+                &name,
+                32,
+                Checkpoint {
+                    seq,
+                    payload: Box::new(ck),
+                },
+            );
+        }
+        self.answer_waiters(ctx);
+        self.disk_maybe_flush(ctx);
+    }
+
+    // -----------------------------------------------------------------
+    // PM mode
+    // -----------------------------------------------------------------
+
+    fn pm_trail_capacity(&self) -> u64 {
+        let pm = self.pm.as_ref().expect("pm state");
+        pm.region_len - PM_CTRL_BYTES
+    }
+
+    fn pm_append(&mut self, ctx: &mut Ctx<'_>, from_ep: EndpointId, app: AuditAppend) {
+        // Buffer until the region + control cell are available.
+        {
+            let pm = self.pm.as_mut().expect("pm state");
+            if !pm.ready {
+                pm.boot_pending.push((from_ep, app));
+                return;
+            }
+        }
+        self.charge_cpu(ctx, self.cfg.append_cpu_ns);
+        let lsn_start = self.next_lsn;
+        let virt = app.virtual_len.max(app.records.len() as u32) as u64;
+        self.next_lsn += virt;
+        let lsn_end = self.next_lsn;
+
+        // Write the records into the circular trail immediately —
+        // "the database log is persistent immediately".
+        let cap = self.pm_trail_capacity();
+        let off = PM_CTRL_BYTES + (lsn_start % cap);
+        let mut writes: Vec<(u64, Bytes, u32)> = Vec::new();
+        if (lsn_start % cap) + virt <= cap {
+            writes.push((off, app.records.clone(), virt as u32));
+        } else {
+            let first = cap - (lsn_start % cap);
+            let cut = (first as usize).min(app.records.len());
+            writes.push((off, app.records.slice(..cut), first as u32));
+            writes.push((
+                PM_CTRL_BYTES,
+                app.records.slice(cut..),
+                (virt - first) as u32,
+            ));
+        }
+        let key = self.next_tag;
+        self.next_tag += 1;
+        self.pm_appends.insert(
+            key,
+            PmAppend {
+                from_ep,
+                token: app.token,
+                lsn_start,
+                lsn_end,
+                data_writes_left: writes.len() as u32,
+                awaiting_ctrl: false,
+            },
+        );
+        // One persistence action per appended row (§3.4 accounting); the
+        // mirrored legs and wrap segments are one API-level write.
+        self.stats.lock().pm_writes += 1;
+        let pm = self.pm.as_mut().expect("pm state");
+        let region = pm.region_id.expect("region ready");
+        let mut toks = Vec::new();
+        for (woff, wdata, wlen) in writes {
+            let tok = self.next_tag;
+            self.next_tag += 1;
+            toks.push((tok, woff, wdata, wlen));
+        }
+        for (tok, woff, wdata, wlen) in toks {
+            self.pm_token_map.insert(tok, key);
+            let pm = self.pm.as_mut().expect("pm state");
+            pm.lib.write_sized(ctx, region, woff, wdata, wlen, tok);
+        }
+    }
+
+    /// A PmLib write completed (data or control).
+    fn pm_write_done(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let Some(key) = self.pm_token_map.remove(&token) else {
+            return;
+        };
+        if key == u64::MAX {
+            // Control write completed: everything through the written
+            // watermark is now provably recoverable.
+            let covered = {
+                let pm = self.pm.as_mut().expect("pm state");
+                let covered = pm.ctrl_write_inflight.take().unwrap_or(0);
+                pm.acked_watermark = pm.acked_watermark.max(covered);
+                covered
+            };
+            self.durable_upto = self.durable_upto.max(covered);
+            self.ack_covered_appends(ctx);
+            self.answer_waiters(ctx);
+            self.pm_maybe_write_ctrl(ctx);
+            return;
+        }
+        let Some(app) = self.pm_appends.get_mut(&key) else {
+            return;
+        };
+        app.data_writes_left -= 1;
+        if app.data_writes_left == 0 {
+            app.awaiting_ctrl = true;
+            let (s, e) = (app.lsn_start, app.lsn_end);
+            let pm = self.pm.as_mut().expect("pm state");
+            pm.completed.insert(s, e);
+            // Advance the contiguous data watermark.
+            while let Some((&cs, &ce)) = pm.completed.first_key_value() {
+                if cs <= pm.data_watermark {
+                    pm.data_watermark = pm.data_watermark.max(ce);
+                    pm.completed.pop_first();
+                } else {
+                    break;
+                }
+            }
+            self.pm_maybe_write_ctrl(ctx);
+        }
+    }
+
+    /// Keep exactly one control write in flight while the acked watermark
+    /// lags the data watermark.
+    fn pm_maybe_write_ctrl(&mut self, ctx: &mut Ctx<'_>) {
+        let (wm, region) = {
+            let pm = self.pm.as_mut().expect("pm state");
+            if pm.ctrl_write_inflight.is_some() || pm.data_watermark <= pm.acked_watermark {
+                return;
+            }
+            let wm = pm.data_watermark;
+            pm.ctrl_write_inflight = Some(wm);
+            (wm, pm.region_id.expect("region ready"))
+        };
+        let mut cell = Vec::with_capacity(16);
+        cell.extend_from_slice(&wm.to_le_bytes());
+        cell.extend_from_slice(&pmm::meta::crc32(&wm.to_le_bytes()).to_le_bytes());
+        let tok = self.next_tag;
+        self.next_tag += 1;
+        self.pm_token_map.insert(tok, u64::MAX);
+        self.stats.lock().pm_ctrl_writes += 1;
+        let pm = self.pm.as_mut().expect("pm state");
+        pm.lib
+            .write_sized(ctx, region, 0, Bytes::from(cell), 16, tok);
+    }
+
+    /// Ack every append covered by the acked watermark.
+    fn ack_covered_appends(&mut self, ctx: &mut Ctx<'_>) {
+        let acked = self.pm.as_ref().expect("pm").acked_watermark;
+        let ready: Vec<u64> = self
+            .pm_appends
+            .iter()
+            .filter(|(_, a)| a.awaiting_ctrl && a.lsn_end <= acked)
+            .map(|(k, _)| *k)
+            .collect();
+        let net = self.net.clone();
+        for k in ready {
+            let a = self.pm_appends.remove(&k).unwrap();
+            simnet::send_net_msg(
+                ctx,
+                &net,
+                self.ep,
+                a.from_ep,
+                32,
+                AppendDone {
+                    token: a.token,
+                    lsn_start: Lsn(a.lsn_start),
+                    lsn_end: Lsn(a.lsn_end),
+                },
+            );
+        }
+    }
+
+    /// PM boot/takeover: region acked → read the control cell.
+    fn pm_region_ready(&mut self, ctx: &mut Ctx<'_>, info: pmm::msgs::RegionInfo) {
+        let need_read = {
+            let pm = self.pm.as_mut().expect("pm state");
+            if pm.region_id.is_none() {
+                pm.region_len = info.len;
+                pm.region_id = Some(info.region_id);
+                pm.lib.adopt(info);
+            }
+            !pm.ready && !pm.ctrl_read_pending
+        };
+        if need_read {
+            let tok = self.next_tag;
+            self.next_tag += 1;
+            self.pm_token_map.insert(tok, u64::MAX - 1);
+            let pm = self.pm.as_mut().expect("pm state");
+            pm.ctrl_read_pending = true;
+            let region = pm.region_id.unwrap();
+            pm.lib.read(ctx, region, 0, 16, tok);
+        }
+    }
+
+    fn pm_ctrl_read_done(&mut self, ctx: &mut Ctx<'_>, data: &[u8]) {
+        let wm = if data.len() >= 12 {
+            let v = u64::from_le_bytes(data[..8].try_into().unwrap());
+            let crc = u32::from_le_bytes(data[8..12].try_into().unwrap());
+            if pmm::meta::crc32(&v.to_le_bytes()) == crc {
+                v
+            } else {
+                // Fresh region, or a torn cell: covered appends were acked
+                // only after a *completed* cell write, so a torn cell can
+                // only under-report unacknowledged work.
+                0
+            }
+        } else {
+            0
+        };
+        {
+            let pm = self.pm.as_mut().expect("pm state");
+            pm.ctrl_read_pending = false;
+            pm.ready = true;
+            pm.data_watermark = pm.data_watermark.max(wm);
+            pm.acked_watermark = pm.acked_watermark.max(wm);
+        }
+        self.next_lsn = self.next_lsn.max(wm);
+        self.durable_upto = self.durable_upto.max(wm);
+        // Drain appends that arrived during boot.
+        let pending: Vec<(EndpointId, AuditAppend)> = {
+            let pm = self.pm.as_mut().expect("pm state");
+            pm.boot_pending.drain(..).collect()
+        };
+        for (ep, app) in pending {
+            self.pm_append(ctx, ep, app);
+        }
+        self.answer_waiters(ctx);
+    }
+
+    // -----------------------------------------------------------------
+    // Shared
+    // -----------------------------------------------------------------
+
+    fn answer_waiters(&mut self, ctx: &mut Ctx<'_>) {
+        let durable = self.durable_upto;
+        let net = self.net.clone();
+        let mut still = Vec::new();
+        for (ep, token, upto, at) in self.waiters.drain(..) {
+            if upto <= durable {
+                simnet::send_net_msg(
+                    ctx,
+                    &net,
+                    self.ep,
+                    ep,
+                    32,
+                    FlushDone {
+                        token,
+                        durable_upto: Lsn(durable),
+                    },
+                );
+            } else {
+                still.push((ep, token, upto, at));
+            }
+        }
+        self.waiters = still;
+    }
+
+    fn start_pm_region(&mut self, ctx: &mut Ctx<'_>) {
+        if let AuditBackend::Pm {
+            region, region_len, ..
+        } = &self.backend
+        {
+            let (region, region_len) = (region.clone(), *region_len);
+            if let Some(pm) = self.pm.as_mut() {
+                pm.lib.create_region(ctx, &region, region_len, true, 0);
+            }
+            ctx.send_self(SimDuration::from_millis(500), RegionRetry);
+        }
+    }
+}
+
+impl Actor for AdpProc {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        if msg.is::<simcore::actor::Start>() {
+            match self.role {
+                Role::Primary => self.start_pm_region(ctx),
+                Role::Backup => {
+                    let me = ctx.self_id();
+                    self.machine
+                        .lock()
+                        .watch(WatchTarget::Process(self.name.clone()), me);
+                }
+            }
+            return;
+        }
+
+        if msg.is::<GroupTimer>() {
+            if self.role == Role::Primary {
+                self.disk_maybe_flush(ctx);
+            }
+            return;
+        }
+
+        if msg.is::<RegionRetry>() {
+            if self.role == Role::Primary {
+                let need = self.pm.as_ref().map(|p| !p.ready).unwrap_or(false);
+                if need {
+                    self.start_pm_region(ctx);
+                }
+            }
+            return;
+        }
+
+        let msg = match msg.take::<ProcessDied>() {
+            Ok((_, d)) => {
+                if self.role == Role::Backup && d.name == self.name && d.was_primary {
+                    self.machine.lock().promote_backup(&self.name);
+                    self.role = Role::Primary;
+                    if self.is_pm() {
+                        // Recover the exact durable position from the PM
+                        // control cell; no shadow state is needed.
+                        self.start_pm_region(ctx);
+                    } else {
+                        // Rebuild the unflushed buffer from the shadow:
+                        // every acknowledged append is here, because the
+                        // data checkpoint preceded the ack.
+                        self.buffer.clear();
+                        self.buffer_virtual = 0;
+                        self.buffer_base = self.durable_upto;
+                        let mut lsn = self.durable_upto;
+                        for (start, (virt, bytes)) in self.shadow.clone() {
+                            if start + virt <= self.durable_upto {
+                                continue;
+                            }
+                            debug_assert!(start >= lsn, "shadow gap");
+                            self.buffer.extend_from_slice(&bytes);
+                            self.buffer_virtual += virt;
+                            lsn = start + virt;
+                        }
+                        self.next_lsn = self.next_lsn.max(lsn);
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        // Disk flush completion.
+        let msg = match msg.take::<DiskWriteDone>() {
+            Ok((_, _done)) => {
+                if let Some(fl) = &mut self.flush {
+                    fl.outstanding = fl.outstanding.saturating_sub(1);
+                    if fl.outstanding == 0 {
+                        self.disk_flush_done(ctx);
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        // PM write completion (via the client library).
+        let msg = match msg.take::<RdmaWriteDone>() {
+            Ok((_, done)) => {
+                let completed = self
+                    .pm
+                    .as_mut()
+                    .and_then(|pm| pm.lib.on_rdma_write_done(ctx, &done));
+                if let Some(c) = completed {
+                    self.pm_write_done(ctx, c.token);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        // PM control-cell read completion.
+        let msg = match msg.take::<RdmaReadDone>() {
+            Ok((_, done)) => {
+                let completed = self
+                    .pm
+                    .as_mut()
+                    .and_then(|pm| pm.lib.on_rdma_read_done(done));
+                if let Some(c) = completed {
+                    self.pm_token_map.remove(&c.token);
+                    self.pm_ctrl_read_done(ctx, &c.data);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        if let Ok((_, delivery)) = msg.take::<NetDelivery>() {
+            let NetDelivery { from_ep, payload } = delivery;
+
+            // PM region creation/open ack.
+            let payload = match payload.downcast::<CreateRegionAck>() {
+                Ok(ack) => {
+                    if let Ok(info) = ack.result {
+                        if self.role == Role::Primary && self.is_pm() {
+                            self.pm_region_ready(ctx, info);
+                        }
+                    }
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            // Backup: apply checkpoints (disk mode only).
+            let payload = match payload.downcast::<Checkpoint>() {
+                Ok(ck) => {
+                    let ck = *ck;
+                    let leftover = match ck.payload.downcast::<AdpDataCkpt>() {
+                        Ok(data) => {
+                            self.shadow
+                                .insert(data.lsn_start, (data.virt, data.records.clone()));
+                            self.next_lsn = self.next_lsn.max(data.next_lsn);
+                            None
+                        }
+                        Err(p) => Some(p),
+                    };
+                    if let Some(p) = leftover {
+                        if let Ok(fl) = p.downcast::<AdpFlushCkpt>() {
+                            self.durable_upto = self.durable_upto.max(fl.durable_upto);
+                            self.next_lsn = self.next_lsn.max(fl.next_lsn);
+                            let durable = self.durable_upto;
+                            self.shadow
+                                .retain(|start, (virt, _)| start + *virt > durable);
+                        }
+                    }
+                    let net = self.net.clone();
+                    simnet::send_net_msg(
+                        ctx,
+                        &net,
+                        self.ep,
+                        from_ep,
+                        16,
+                        CheckpointAck { seq: ck.seq },
+                    );
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            // Primary: data-ckpt acks release append acknowledgements.
+            let payload = match payload.downcast::<CheckpointAck>() {
+                Ok(ack) => {
+                    if let Some(p) = self.pending_appends.remove(&ack.seq) {
+                        let net = self.net.clone();
+                        simnet::send_net_msg(
+                            ctx,
+                            &net,
+                            self.ep,
+                            p.from_ep,
+                            32,
+                            AppendDone {
+                                token: p.token,
+                                lsn_start: Lsn(p.lsn_start),
+                                lsn_end: Lsn(p.lsn_end),
+                            },
+                        );
+                        self.disk_maybe_flush(ctx);
+                    }
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            if self.role != Role::Primary {
+                return;
+            }
+
+            // Appends.
+            let payload = match payload.downcast::<AuditAppend>() {
+                Ok(app) => {
+                    let app = *app;
+                    if self.is_pm() {
+                        self.pm_append(ctx, from_ep, app);
+                    } else {
+                        self.disk_append(ctx, from_ep, app);
+                    }
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            // Flush requests.
+            if let Ok(req) = payload.downcast::<FlushReq>() {
+                let req = *req;
+                if req.upto.0 <= self.durable_upto {
+                    let net = self.net.clone();
+                    simnet::send_net_msg(
+                        ctx,
+                        &net,
+                        self.ep,
+                        from_ep,
+                        32,
+                        FlushDone {
+                            token: req.token,
+                            durable_upto: Lsn(self.durable_upto),
+                        },
+                    );
+                } else {
+                    self.waiters
+                        .push((from_ep, req.token, req.upto.0, ctx.now().as_nanos()));
+                    if !self.is_pm() {
+                        self.disk_maybe_flush(ctx);
+                    }
+                    // PM mode: the trail is persistent immediately; the
+                    // waiter is answered as soon as the in-flight control
+                    // write covering its LSN completes.
+                }
+            }
+        }
+    }
+}
+
+/// Install an ADP pair named `name` with the given backend.
+#[allow(clippy::too_many_arguments)]
+pub fn install_adp(
+    sim: &mut Sim,
+    machine: &SharedMachine,
+    name: &str,
+    cpu: CpuId,
+    backup_cpu: Option<CpuId>,
+    backend: AuditBackend,
+    cfg: TxnConfig,
+    stats: SharedTxnStats,
+) {
+    let mk = |role: Role, on_cpu: CpuId| {
+        let machine2 = machine.clone();
+        let net2 = machine.lock().net.clone();
+        let name2 = name.to_string();
+        let cfg2 = cfg.clone();
+        let stats2 = stats.clone();
+        let backend2 = backend.clone();
+        move |ep: EndpointId| -> Box<dyn Actor> {
+            let pm = match &backend2 {
+                AuditBackend::Pm {
+                    pmm,
+                    region: _,
+                    region_len,
+                } => Some(PmState {
+                    lib: PmLib::new(machine2.clone(), ep, on_cpu, pmm.clone()),
+                    region_id: None,
+                    region_len: *region_len,
+                    ctrl_read_pending: false,
+                    ready: false,
+                    completed: BTreeMap::new(),
+                    data_watermark: 0,
+                    acked_watermark: 0,
+                    ctrl_write_inflight: None,
+                    boot_pending: Vec::new(),
+                }),
+                AuditBackend::Disk { .. } => None,
+            };
+            Box::new(AdpProc {
+                name: name2,
+                role,
+                cfg: cfg2,
+                machine: machine2,
+                net: net2,
+                ep,
+                cpu: on_cpu,
+                backend: backend2,
+                pm,
+                stats: stats2,
+                next_lsn: 0,
+                durable_upto: 0,
+                buffer: BytesMut::new(),
+                buffer_virtual: 0,
+                buffer_base: 0,
+                flush: None,
+                pending_appends: BTreeMap::new(),
+                pm_appends: BTreeMap::new(),
+                pm_token_map: BTreeMap::new(),
+                shadow: BTreeMap::new(),
+                waiters: Vec::new(),
+                next_tag: 0,
+                next_ckpt: 0,
+            })
+        }
+    };
+    nsk::machine::install_primary(sim, machine, name, cpu, mk(Role::Primary, cpu));
+    if let Some(bcpu) = backup_cpu {
+        nsk::machine::install_backup(sim, machine, name, bcpu, mk(Role::Backup, bcpu));
+    }
+}

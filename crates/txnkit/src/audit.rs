@@ -1,0 +1,286 @@
+//! The audit-trail record format.
+//!
+//! "This record of changes is called the database audit trail. It
+//! explicitly records the changes made to the database by each
+//! transaction, and implicitly records the serial order in which the
+//! transactions committed." (§1.2)
+//!
+//! Records are length-prefixed and CRC-guarded so a recovery scan can walk
+//! the trail from any record boundary and stop cleanly at a torn tail.
+//! Insert records carry the record's *virtual* length (its logical size —
+//! the timing model's byte count) and a CRC of the payload, plus the
+//! payload itself when content fidelity matters (tests, small runs).
+
+use crate::types::{Lsn, PartitionId, TxnId};
+use bytes::{BufMut, Bytes, BytesMut};
+
+const MAGIC: u8 = 0xAD;
+
+/// One audit record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuditRecord {
+    /// Redo (and implicitly undo: delete) for an insert.
+    Insert {
+        txn: TxnId,
+        partition: PartitionId,
+        key: u64,
+        virtual_len: u32,
+        body_crc: u32,
+        body: Bytes,
+    },
+    Commit {
+        txn: TxnId,
+    },
+    Abort {
+        txn: TxnId,
+    },
+    /// Recovery-scan starting hint (fuzzy checkpoint marker).
+    CheckpointMark {
+        active_txns: Vec<TxnId>,
+    },
+}
+
+impl AuditRecord {
+    fn type_tag(&self) -> u8 {
+        match self {
+            AuditRecord::Insert { .. } => 1,
+            AuditRecord::Commit { .. } => 2,
+            AuditRecord::Abort { .. } => 3,
+            AuditRecord::CheckpointMark { .. } => 4,
+        }
+    }
+
+    /// Append the encoded record to `out`. Layout:
+    /// `magic u8 | type u8 | body_len u32 | crc u32 | body`.
+    pub fn encode_into(&self, out: &mut BytesMut) {
+        let mut body = BytesMut::with_capacity(48);
+        match self {
+            AuditRecord::Insert {
+                txn,
+                partition,
+                key,
+                virtual_len,
+                body_crc,
+                body: payload,
+            } => {
+                body.put_u64_le(txn.0);
+                body.put_u32_le(partition.file);
+                body.put_u32_le(partition.part);
+                body.put_u64_le(*key);
+                body.put_u32_le(*virtual_len);
+                body.put_u32_le(*body_crc);
+                body.put_u32_le(payload.len() as u32);
+                body.put_slice(payload);
+            }
+            AuditRecord::Commit { txn } | AuditRecord::Abort { txn } => {
+                body.put_u64_le(txn.0);
+            }
+            AuditRecord::CheckpointMark { active_txns } => {
+                body.put_u32_le(active_txns.len() as u32);
+                for t in active_txns {
+                    body.put_u64_le(t.0);
+                }
+            }
+        }
+        out.put_u8(MAGIC);
+        out.put_u8(self.type_tag());
+        out.put_u32_le(body.len() as u32);
+        out.put_u32_le(pmm::meta::crc32(&body));
+        out.put_slice(&body);
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    /// Encoded size without building the buffer.
+    pub fn encoded_len(&self) -> usize {
+        10 + match self {
+            AuditRecord::Insert { body, .. } => 36 + body.len(),
+            AuditRecord::Commit { .. } | AuditRecord::Abort { .. } => 8,
+            AuditRecord::CheckpointMark { active_txns } => 4 + 8 * active_txns.len(),
+        }
+    }
+
+    /// Decode one record from the front of `buf`. Returns the record and
+    /// bytes consumed, or `None` for a torn/invalid/short prefix.
+    pub fn decode(buf: &[u8]) -> Option<(AuditRecord, usize)> {
+        if buf.len() < 10 || buf[0] != MAGIC {
+            return None;
+        }
+        let tag = buf[1];
+        let body_len = u32::from_le_bytes(buf[2..6].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(buf[6..10].try_into().unwrap());
+        if buf.len() < 10 + body_len {
+            return None;
+        }
+        let body = &buf[10..10 + body_len];
+        if pmm::meta::crc32(body) != crc {
+            return None;
+        }
+        let rd_u64 = |o: usize| u64::from_le_bytes(body[o..o + 8].try_into().unwrap());
+        let rd_u32 = |o: usize| u32::from_le_bytes(body[o..o + 4].try_into().unwrap());
+        let rec = match tag {
+            1 => {
+                if body.len() < 36 {
+                    return None;
+                }
+                let payload_len = rd_u32(32) as usize;
+                if body.len() < 36 + payload_len {
+                    return None;
+                }
+                AuditRecord::Insert {
+                    txn: TxnId(rd_u64(0)),
+                    partition: PartitionId {
+                        file: rd_u32(8),
+                        part: rd_u32(12),
+                    },
+                    key: rd_u64(16),
+                    virtual_len: rd_u32(24),
+                    body_crc: rd_u32(28),
+                    body: Bytes::copy_from_slice(&body[36..36 + payload_len]),
+                }
+            }
+            2 => AuditRecord::Commit {
+                txn: TxnId(rd_u64(0)),
+            },
+            3 => AuditRecord::Abort {
+                txn: TxnId(rd_u64(0)),
+            },
+            4 => {
+                let n = rd_u32(0) as usize;
+                if body.len() < 4 + 8 * n {
+                    return None;
+                }
+                AuditRecord::CheckpointMark {
+                    active_txns: (0..n).map(|i| TxnId(rd_u64(4 + 8 * i))).collect(),
+                }
+            }
+            _ => return None,
+        };
+        Some((rec, 10 + body_len))
+    }
+}
+
+/// Walk a trail image from offset 0, yielding `(lsn, record)` until the
+/// first torn/invalid record (the recovery stop point).
+///
+/// LSNs advance by *virtual* record length, which can exceed the encoded
+/// length (compact descriptors at benchmark scale, padded commit
+/// records), leaving zero gaps between records on media; the scanner
+/// skips runs of zero bytes. A *non-zero* undecodable position is a torn
+/// record and stops the scan.
+pub fn scan(trail: &[u8]) -> Vec<(Lsn, AuditRecord)> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < trail.len() {
+        if trail[pos] == 0 {
+            pos += 1;
+            continue;
+        }
+        match AuditRecord::decode(&trail[pos..]) {
+            Some((rec, used)) => {
+                out.push((Lsn(pos as u64), rec));
+                pos += used;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn insert_rec(txn: u64, key: u64, payload: &[u8]) -> AuditRecord {
+        AuditRecord::Insert {
+            txn: TxnId(txn),
+            partition: PartitionId { file: 1, part: 2 },
+            key,
+            virtual_len: 4096,
+            body_crc: pmm::meta::crc32(payload),
+            body: Bytes::copy_from_slice(payload),
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let recs = vec![
+            insert_rec(9, 77, b"hello"),
+            AuditRecord::Commit { txn: TxnId(9) },
+            AuditRecord::Abort { txn: TxnId(10) },
+            AuditRecord::CheckpointMark {
+                active_txns: vec![TxnId(1), TxnId(2)],
+            },
+        ];
+        for r in recs {
+            let enc = r.encode();
+            assert_eq!(enc.len(), r.encoded_len());
+            let (back, used) = AuditRecord::decode(&enc).unwrap();
+            assert_eq!(back, r);
+            assert_eq!(used, enc.len());
+        }
+    }
+
+    #[test]
+    fn scan_reads_stream_and_stops_at_torn_tail() {
+        let mut trail = BytesMut::new();
+        insert_rec(1, 10, b"a").encode_into(&mut trail);
+        insert_rec(1, 11, b"b").encode_into(&mut trail);
+        AuditRecord::Commit { txn: TxnId(1) }.encode_into(&mut trail);
+        let full = trail.len();
+        // A torn third of the next record.
+        let torn = insert_rec(2, 12, b"ccc").encode();
+        trail.put_slice(&torn[..torn.len() / 3]);
+
+        let recs = scan(&trail);
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].0, Lsn(0));
+        assert!(matches!(recs[2].1, AuditRecord::Commit { .. }));
+        assert!(recs[2].0 .0 < full as u64);
+    }
+
+    #[test]
+    fn decode_rejects_bitflips() {
+        let enc = insert_rec(3, 4, b"payload").encode();
+        for i in 0..enc.len() {
+            let mut bad = enc.to_vec();
+            bad[i] ^= 0x10;
+            if let Some((rec, _)) = AuditRecord::decode(&bad) {
+                // The only tolerated flips are in the header length/crc
+                // fields that happen to still validate — CRC makes that
+                // astronomically unlikely; assert equality if it decodes.
+                assert_eq!(rec, insert_rec(3, 4, b"payload"), "flip at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_empty_and_garbage() {
+        assert!(AuditRecord::decode(&[]).is_none());
+        assert!(AuditRecord::decode(&[0u8; 64]).is_none());
+        let mut junk = vec![MAGIC, 99];
+        junk.extend_from_slice(&[0u8; 32]);
+        assert!(AuditRecord::decode(&junk).is_none());
+    }
+
+    #[test]
+    fn scan_empty_trail() {
+        assert!(scan(&[]).is_empty());
+        assert!(scan(&[0u8; 1000]).is_empty());
+    }
+
+    #[test]
+    fn lsns_are_byte_offsets() {
+        let mut trail = BytesMut::new();
+        let r1 = insert_rec(1, 1, b"x");
+        let r2 = AuditRecord::Commit { txn: TxnId(1) };
+        r1.encode_into(&mut trail);
+        r2.encode_into(&mut trail);
+        let recs = scan(&trail);
+        assert_eq!(recs[1].0, Lsn(r1.encoded_len() as u64));
+    }
+}

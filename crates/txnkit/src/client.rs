@@ -1,0 +1,191 @@
+//! Embeddable transaction-client bookkeeping for driver processes.
+//!
+//! Drivers (the hot-stock benchmark, the examples) run the §1.1
+//! transaction-program loop: begin → inserts → commit. [`TxnClient`]
+//! tracks, per transaction, which ADPs its inserts reached and the highest
+//! LSN on each — the flush points the TMF must harden at commit — plus the
+//! involved DP2s for post-commit lock release.
+
+use crate::types::*;
+use bytes::Bytes;
+use nsk::machine::{CpuId, SharedMachine};
+use simcore::Ctx;
+use simnet::EndpointId;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+pub struct TxnClient {
+    machine: SharedMachine,
+    ep: EndpointId,
+    cpu: CpuId,
+    tmf: String,
+    flush_points: HashMap<TxnId, BTreeMap<String, Lsn>>,
+    involved: HashMap<TxnId, BTreeSet<String>>,
+}
+
+impl TxnClient {
+    pub fn new(
+        machine: SharedMachine,
+        ep: EndpointId,
+        cpu: CpuId,
+        tmf: impl Into<String>,
+    ) -> Self {
+        TxnClient {
+            machine,
+            ep,
+            cpu,
+            tmf: tmf.into(),
+            flush_points: HashMap::new(),
+            involved: HashMap::new(),
+        }
+    }
+
+    /// Request a new transaction; [`TxnBegun`] arrives with `token`.
+    pub fn begin(&mut self, ctx: &mut Ctx<'_>, token: u64) -> bool {
+        let machine = self.machine.clone();
+        nsk::proc::send_to_process(
+            ctx,
+            &machine,
+            self.ep,
+            self.cpu,
+            &self.tmf.clone(),
+            24,
+            BeginTxn { token },
+        )
+    }
+
+    /// Issue an insert to the DP2 named `dp2`; [`InsertDone`] arrives with
+    /// `token`. `virtual_len` is the record's logical size (4096 in the
+    /// hot-stock workload); `body` may be a compact descriptor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dp2: &str,
+        txn: TxnId,
+        partition: PartitionId,
+        key: u64,
+        body: Bytes,
+        virtual_len: u32,
+        token: u64,
+    ) -> bool {
+        self.involved
+            .entry(txn)
+            .or_default()
+            .insert(dp2.to_string());
+        let machine = self.machine.clone();
+        nsk::proc::send_to_process(
+            ctx,
+            &machine,
+            self.ep,
+            self.cpu,
+            dp2,
+            64 + virtual_len,
+            InsertReq {
+                txn,
+                partition,
+                key,
+                body,
+                virtual_len,
+                token,
+            },
+        )
+    }
+
+    /// Record an insert completion so the commit knows its flush points.
+    /// Returns false for deadlock/routing failures (caller aborts).
+    pub fn note_insert_done(&mut self, done: &InsertDone) -> bool {
+        match &done.result {
+            InsertResult::Ok { adp, lsn } => {
+                let points = self.flush_points.entry(done.txn).or_default();
+                let e = points.entry(adp.clone()).or_insert(*lsn);
+                if *lsn > *e {
+                    *e = *lsn;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Commit: sends the accumulated flush points to the TMF.
+    /// [`TxnCommitted`] arrives when durable.
+    pub fn commit(&mut self, ctx: &mut Ctx<'_>, txn: TxnId) -> bool {
+        let flush_points: Vec<(String, Lsn)> = self
+            .flush_points
+            .remove(&txn)
+            .map(|m| m.into_iter().collect())
+            .unwrap_or_default();
+        let involved_dp2: Vec<String> = self
+            .involved
+            .remove(&txn)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        let machine = self.machine.clone();
+        nsk::proc::send_to_process(
+            ctx,
+            &machine,
+            self.ep,
+            self.cpu,
+            &self.tmf.clone(),
+            64,
+            CommitTxn {
+                txn,
+                flush_points,
+                involved_dp2,
+            },
+        )
+    }
+
+    /// Abort a transaction.
+    pub fn abort(&mut self, ctx: &mut Ctx<'_>, txn: TxnId) -> bool {
+        self.flush_points.remove(&txn);
+        let involved_dp2: Vec<String> = self
+            .involved
+            .remove(&txn)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        let machine = self.machine.clone();
+        nsk::proc::send_to_process(
+            ctx,
+            &machine,
+            self.ep,
+            self.cpu,
+            &self.tmf.clone(),
+            32,
+            AbortTxn { txn, involved_dp2 },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsk::machine::{Machine, MachineConfig};
+    use simnet::{FabricConfig, Network};
+
+    #[test]
+    fn flush_points_track_max_lsn_per_adp() {
+        let net = Network::new(FabricConfig::default());
+        let machine = Machine::new(MachineConfig::default(), net);
+        let mut c = TxnClient::new(machine, EndpointId(0), CpuId(0), "$TMF");
+        let txn = TxnId(5);
+        for (adp, lsn) in [("$ADP0", 100), ("$ADP0", 50), ("$ADP1", 10)] {
+            assert!(c.note_insert_done(&InsertDone {
+                txn,
+                token: 0,
+                result: InsertResult::Ok {
+                    adp: adp.into(),
+                    lsn: Lsn(lsn),
+                },
+            }));
+        }
+        let points = c.flush_points.get(&txn).unwrap();
+        assert_eq!(points["$ADP0"], Lsn(100));
+        assert_eq!(points["$ADP1"], Lsn(10));
+        assert!(!c.note_insert_done(&InsertDone {
+            txn,
+            token: 0,
+            result: InsertResult::Deadlock,
+        }));
+    }
+}

@@ -1,0 +1,108 @@
+//! Cost model for the transaction path, calibrated to 2004-era MIPS
+//! processors running a full database insert path (message handling, lock
+//! acquisition, index maintenance, audit generation).
+
+#[derive(Clone, Debug)]
+pub struct TxnConfig {
+    /// Server-side CPU cost of one insert at the DP2, ns.
+    pub insert_cpu_ns: u64,
+    /// CPU cost of buffering an audit append at the ADP, ns.
+    pub append_cpu_ns: u64,
+    /// CPU cost of commit coordination at the TMF, ns.
+    pub commit_cpu_ns: u64,
+    /// DP2 checkpoints each insert to its backup before replying
+    /// (process-pair discipline; §1.3).
+    pub dp2_checkpoint: bool,
+    /// Descriptive flag: does the log writer checkpoint audit data to its
+    /// backup? Structurally true for the disk backend (the shadow buffer
+    /// is what makes acknowledged appends survive takeover) and false for
+    /// the PM backend (the mirrored region plus its control cell replace
+    /// the checkpoint entirely — §3.4's eliminated redundancy). The ADP
+    /// derives the behaviour from its backend; this flag documents it for
+    /// accounting and tests.
+    pub adp_checkpoint: bool,
+    /// TMF checkpoints commit decisions to its backup.
+    pub tmf_checkpoint: bool,
+    /// Wire size of a checkpoint message beyond the record payload, bytes.
+    pub checkpoint_overhead_bytes: u32,
+    /// Size of the commit/abort record in the master trail, bytes.
+    pub commit_record_bytes: u32,
+    /// Group-commit window, ns: a flush is held until the oldest commit
+    /// waiter has waited this long (or the buffer passes
+    /// `group_commit_bytes`), amortizing the mechanical cost of the log
+    /// device across concurrent commits. The paper's PM thesis is exactly
+    /// that this trade disappears: PM flushes immediately.
+    pub group_commit_window_ns: u64,
+    /// Buffer size that triggers an immediate flush regardless of window.
+    pub group_commit_bytes: u64,
+    /// Driver/application CPU cost to issue one insert (client-side
+    /// processing: building the request, object-relational glue — §2's
+    /// "issue rate of a single application server thread").
+    pub issue_cpu_ns: u64,
+    /// Lock wait limit before a waiter is victimized, ns (coarse deadlock
+    /// backstop on top of cycle detection).
+    pub lock_timeout_ns: u64,
+    /// DP2 dirty-page destage interval (background writes to data
+    /// volumes), ns.
+    pub destage_interval_ns: u64,
+    /// TMF appends a fuzzy CheckpointMark (listing in-flight txns) to the
+    /// master trail every this many commits — the recovery scan's
+    /// starting hint (0 disables).
+    pub checkpoint_mark_every: u64,
+}
+
+impl Default for TxnConfig {
+    fn default() -> Self {
+        TxnConfig {
+            insert_cpu_ns: 250_000,
+            append_cpu_ns: 20_000,
+            commit_cpu_ns: 40_000,
+            group_commit_window_ns: 8_000_000,
+            group_commit_bytes: 192 * 1024,
+            issue_cpu_ns: 1_000_000,
+            dp2_checkpoint: true,
+            adp_checkpoint: true,
+            tmf_checkpoint: true,
+            checkpoint_overhead_bytes: 64,
+            commit_record_bytes: 64,
+            lock_timeout_ns: 2_000_000_000,
+            destage_interval_ns: 200_000_000,
+            checkpoint_mark_every: 64,
+        }
+    }
+}
+
+impl TxnConfig {
+    /// The configuration for a PM-enabled ODS per §3.4: the single
+    /// synchronous PM write replaces the ADP's checkpoint-to-backup (the
+    /// trail itself survives any single process/CPU failure in the
+    /// mirrored NPMUs).
+    pub fn pm_enabled() -> Self {
+        TxnConfig {
+            adp_checkpoint: false,
+            // PM is "fast enough to support synchronous interfaces":
+            // no group-commit delay on the flush path.
+            group_commit_window_ns: 0,
+            ..TxnConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full_process_pair_discipline() {
+        let c = TxnConfig::default();
+        assert!(c.dp2_checkpoint && c.adp_checkpoint && c.tmf_checkpoint);
+    }
+
+    #[test]
+    fn pm_profile_drops_only_adp_checkpoint() {
+        let c = TxnConfig::pm_enabled();
+        assert!(c.dp2_checkpoint);
+        assert!(!c.adp_checkpoint);
+        assert!(c.tmf_checkpoint);
+    }
+}

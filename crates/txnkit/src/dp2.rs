@@ -1,0 +1,588 @@
+//! DP2 — the database writer process pair.
+//!
+//! "The database writer mutates the data stored on data volumes on behalf
+//! of transactions. To ensure durability of those changes, it sends them
+//! off to a log writer..." (§1.2). As on NonStop, each DP2 owns a set of
+//! partitions, runs its own lock manager over them, checkpoints each
+//! applied change to its backup *before externalizing* the reply, and
+//! destages dirty records to its data volume in the background — keeping
+//! data-volume I/O off the commit path (the commit path is the ADP's).
+
+use crate::config::TxnConfig;
+use crate::lock::{Acquire, LockManager, LockMode};
+use crate::stats::SharedTxnStats;
+use crate::types::*;
+use bytes::BytesMut;
+use nsk::machine::{CpuId, SharedMachine, WatchTarget};
+use nsk::proc::{Checkpoint, CheckpointAck, ProcessDied};
+use simcore::{Actor, ActorId, Ctx, Msg, Sim, SimDuration};
+use simdisk::DiskWrite;
+use simnet::{EndpointId, NetDelivery, SharedNetwork};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Primary,
+    Backup,
+}
+
+/// A stored record: logical length + payload CRC (content stays compact
+/// at benchmark scale; tests use `virtual_len == body.len()`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoredRecord {
+    pub virtual_len: u32,
+    pub crc: u32,
+}
+
+/// Checkpoint delta: one applied insert.
+#[derive(Clone)]
+struct Dp2Ckpt {
+    partition: PartitionId,
+    key: u64,
+    rec: StoredRecord,
+    /// Ties the ack back to the pending insert.
+    op: u64,
+}
+
+/// Stage-2 continuation after the insert's CPU cost elapsed.
+struct StagedInsert {
+    req: InsertReq,
+    from_ep: EndpointId,
+}
+
+/// Background destage tick.
+struct DestageTick;
+
+/// Retry timer for an audit append whose ack never came (ADP takeover).
+struct AppendRetry {
+    op: u64,
+}
+
+const APPEND_RETRY_NS: u64 = 900_000_000;
+
+struct PendingInsert {
+    req: InsertReq,
+    from_ep: EndpointId,
+    appended: Option<Lsn>,
+    awaiting_ckpt: bool,
+}
+
+pub struct Dp2Proc {
+    name: String,
+    role: Role,
+    cfg: TxnConfig,
+    machine: SharedMachine,
+    net: SharedNetwork,
+    ep: EndpointId,
+    cpu: CpuId,
+    partitions: HashSet<PartitionId>,
+    adp_name: String,
+    data_volumes: Vec<ActorId>,
+    next_vol: usize,
+    stats: SharedTxnStats,
+    table: HashMap<PartitionId, BTreeMap<u64, StoredRecord>>,
+    locks: LockManager,
+    /// Undo log: keys inserted per txn (undo of insert = delete).
+    txn_writes: HashMap<TxnId, Vec<(PartitionId, u64)>>,
+    /// Inserts in flight past the lock stage, keyed by op token.
+    pending: HashMap<u64, PendingInsert>,
+    next_op: u64,
+    /// Inserts parked on a lock: (txn, key) → op tokens.
+    parked: HashMap<(TxnId, u64), Vec<u64>>,
+    /// Ops staged but not yet applied (waiting on lock) keep their request
+    /// here too, keyed by op.
+    staged: HashMap<u64, (InsertReq, EndpointId)>,
+    dirty_bytes: u64,
+    dirty_records: u64,
+    data_file_offset: u64,
+    next_ckpt: u64,
+    next_tag: u64,
+}
+
+impl Dp2Proc {
+    /// Apply a locked insert: mutate the table, append audit, checkpoint.
+    fn apply_insert(&mut self, ctx: &mut Ctx<'_>, op: u64) {
+        let (req, from_ep) = self.staged.remove(&op).expect("staged insert");
+        let rec = StoredRecord {
+            virtual_len: req.virtual_len.max(req.body.len() as u32),
+            crc: pmm::meta::crc32(&req.body),
+        };
+        self.table
+            .entry(req.partition)
+            .or_default()
+            .insert(req.key, rec);
+        self.txn_writes
+            .entry(req.txn)
+            .or_default()
+            .push((req.partition, req.key));
+        self.dirty_bytes += rec.virtual_len as u64;
+        self.dirty_records += 1;
+        self.stats.lock().inserts += 1;
+
+        // Audit delta to the log writer.
+        self.stats.lock().audit_deltas += 1;
+        self.pending.insert(
+            op,
+            PendingInsert {
+                req,
+                from_ep,
+                appended: None,
+                awaiting_ckpt: false,
+            },
+        );
+        self.send_audit_delta(ctx, op);
+        ctx.send_self(SimDuration::from_nanos(APPEND_RETRY_NS), AppendRetry { op });
+    }
+
+    /// Build and send the audit record for a pending insert. Re-sent on
+    /// retry after an ADP takeover; a duplicate insert record in the trail
+    /// is idempotent under redo.
+    fn send_audit_delta(&mut self, ctx: &mut Ctx<'_>, op: u64) {
+        let Some(p) = self.pending.get(&op) else { return };
+        let req = &p.req;
+        let rec = StoredRecord {
+            virtual_len: req.virtual_len.max(req.body.len() as u32),
+            crc: pmm::meta::crc32(&req.body),
+        };
+        let audit = crate::audit::AuditRecord::Insert {
+            txn: req.txn,
+            partition: req.partition,
+            key: req.key,
+            virtual_len: rec.virtual_len,
+            body_crc: rec.crc,
+            body: req.body.clone(),
+        };
+        let mut enc = BytesMut::new();
+        audit.encode_into(&mut enc);
+        // The trail's virtual size carries the full record image.
+        let virt = (enc.len() as u32).max(rec.virtual_len);
+        let machine = self.machine.clone();
+        nsk::proc::send_to_process(
+            ctx,
+            &machine,
+            self.ep,
+            self.cpu,
+            &self.adp_name.clone(),
+            virt,
+            AuditAppend {
+                records: enc.freeze(),
+                virtual_len: virt,
+                token: op,
+            },
+        );
+    }
+
+    /// Audit append confirmed: checkpoint to backup, then reply.
+    fn after_append(&mut self, ctx: &mut Ctx<'_>, op: u64, lsn_end: Lsn) {
+        let has_backup = self.has_backup();
+        let Some(p) = self.pending.get_mut(&op) else { return };
+        if p.appended.is_some() {
+            return; // duplicate ack from a retried append
+        }
+        p.appended = Some(lsn_end);
+        if self.cfg.dp2_checkpoint && has_backup {
+            p.awaiting_ckpt = true;
+            let ck = Dp2Ckpt {
+                partition: p.req.partition,
+                key: p.req.key,
+                rec: StoredRecord {
+                    virtual_len: p.req.virtual_len,
+                    crc: pmm::meta::crc32(&p.req.body),
+                },
+                op,
+            };
+            let seq = self.next_ckpt;
+            self.next_ckpt += 1;
+            self.stats.lock().dbw_checkpoints += 1;
+            let wire = self.cfg.checkpoint_overhead_bytes + p.req.virtual_len;
+            let machine = self.machine.clone();
+            let name = self.name.clone();
+            nsk::proc::send_to_backup(
+                ctx,
+                &machine,
+                self.ep,
+                self.cpu,
+                &name,
+                wire,
+                Checkpoint {
+                    seq,
+                    payload: Box::new(ck),
+                },
+            );
+        } else {
+            self.reply_insert(ctx, op);
+        }
+    }
+
+    fn reply_insert(&mut self, ctx: &mut Ctx<'_>, op: u64) {
+        let Some(p) = self.pending.remove(&op) else { return };
+        let lsn = p.appended.unwrap_or_default();
+        let net = self.net.clone();
+        simnet::send_net_msg(
+            ctx,
+            &net,
+            self.ep,
+            p.from_ep,
+            48,
+            InsertDone {
+                txn: p.req.txn,
+                token: p.req.token,
+                result: InsertResult::Ok {
+                    adp: self.adp_name.clone(),
+                    lsn,
+                },
+            },
+        );
+    }
+
+    fn has_backup(&self) -> bool {
+        self.machine.lock().resolve_backup(&self.name).is_some()
+    }
+
+    fn destage(&mut self, ctx: &mut Ctx<'_>) {
+        if self.dirty_records == 0 {
+            return;
+        }
+        if self.data_volumes.is_empty() {
+            self.dirty_records = 0;
+            self.dirty_bytes = 0;
+            return;
+        }
+        let vol = self.data_volumes[self.next_vol % self.data_volumes.len()];
+        self.next_vol += 1;
+        // Coalesced sequential write of all dirty records; §3.4 counts one
+        // persistence action per record.
+        self.stats.lock().data_volume_writes += self.dirty_records;
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let me = ctx.self_id();
+        ctx.send(
+            vol,
+            SimDuration::ZERO,
+            DiskWrite {
+                offset: self.data_file_offset,
+                data: bytes::Bytes::new(),
+                advisory_len: self.dirty_bytes.min(u32::MAX as u64) as u32,
+                tag,
+                reply_to: me,
+            },
+        );
+        self.data_file_offset += self.dirty_bytes;
+        self.dirty_records = 0;
+        self.dirty_bytes = 0;
+    }
+}
+
+impl Actor for Dp2Proc {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        if msg.is::<simcore::actor::Start>() {
+            match self.role {
+                Role::Primary => {
+                    ctx.send_self(
+                        SimDuration::from_nanos(self.cfg.destage_interval_ns),
+                        DestageTick,
+                    );
+                }
+                Role::Backup => {
+                    let me = ctx.self_id();
+                    self.machine
+                        .lock()
+                        .watch(WatchTarget::Process(self.name.clone()), me);
+                }
+            }
+            return;
+        }
+
+        let msg = match msg.take::<AppendRetry>() {
+            Ok((_, r)) => {
+                if self.role == Role::Primary {
+                    let stalled = self
+                        .pending
+                        .get(&r.op)
+                        .map(|p| p.appended.is_none())
+                        .unwrap_or(false);
+                    if stalled {
+                        self.send_audit_delta(ctx, r.op);
+                        ctx.send_self(
+                            SimDuration::from_nanos(APPEND_RETRY_NS),
+                            AppendRetry { op: r.op },
+                        );
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        if msg.is::<DestageTick>() {
+            if self.role == Role::Primary {
+                self.destage(ctx);
+                ctx.send_self(
+                    SimDuration::from_nanos(self.cfg.destage_interval_ns),
+                    DestageTick,
+                );
+            }
+            return;
+        }
+
+        let msg = match msg.take::<ProcessDied>() {
+            Ok((_, d)) => {
+                if self.role == Role::Backup && d.name == self.name && d.was_primary {
+                    self.machine.lock().promote_backup(&self.name);
+                    self.role = Role::Primary;
+                    ctx.send_self(
+                        SimDuration::from_nanos(self.cfg.destage_interval_ns),
+                        DestageTick,
+                    );
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        let msg = match msg.take::<StagedInsert>() {
+            Ok((_, st)) => {
+                let op = self.next_op;
+                self.next_op += 1;
+                let txn = st.req.txn;
+                let key = st.req.key;
+                if !self.partitions.contains(&st.req.partition) {
+                    let net = self.net.clone();
+                    simnet::send_net_msg(
+                        ctx,
+                        &net,
+                        self.ep,
+                        st.from_ep,
+                        48,
+                        InsertDone {
+                            txn,
+                            token: st.req.token,
+                            result: InsertResult::WrongPartition,
+                        },
+                    );
+                    return;
+                }
+                self.staged.insert(op, (st.req, st.from_ep));
+                match self.locks.acquire(txn, key, LockMode::Exclusive) {
+                    Acquire::Granted => self.apply_insert(ctx, op),
+                    Acquire::Queued => {
+                        self.parked.entry((txn, key)).or_default().push(op);
+                    }
+                    Acquire::Deadlock => {
+                        let (req, from_ep) = self.staged.remove(&op).unwrap();
+                        self.stats.lock().deadlocks += 1;
+                        let net = self.net.clone();
+                        simnet::send_net_msg(
+                            ctx,
+                            &net,
+                            self.ep,
+                            from_ep,
+                            48,
+                            InsertDone {
+                                txn,
+                                token: req.token,
+                                result: InsertResult::Deadlock,
+                            },
+                        );
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        if let Ok((_, delivery)) = msg.take::<NetDelivery>() {
+            let NetDelivery { from_ep, payload } = delivery;
+
+            // Backup side: apply checkpointed inserts.
+            let payload = match payload.downcast::<Checkpoint>() {
+                Ok(ck) => {
+                    let ck = *ck;
+                    if let Ok(delta) = ck.payload.downcast::<Dp2Ckpt>() {
+                        self.table
+                            .entry(delta.partition)
+                            .or_default()
+                            .insert(delta.key, delta.rec);
+                        let _ = delta.op;
+                    }
+                    let net = self.net.clone();
+                    simnet::send_net_msg(
+                        ctx,
+                        &net,
+                        self.ep,
+                        from_ep,
+                        16,
+                        CheckpointAck { seq: ck.seq },
+                    );
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            // Primary: checkpoint acks release pending replies.
+            let payload = match payload.downcast::<CheckpointAck>() {
+                Ok(ack) => {
+                    // Ack seq == our ckpt seq; pending inserts acked FIFO.
+                    // Find the oldest awaiting op (seqs are monotonic).
+                    let _ = ack.seq;
+                    let mut ready: Vec<u64> = self
+                        .pending
+                        .iter()
+                        .filter(|(_, p)| p.awaiting_ckpt && p.appended.is_some())
+                        .map(|(op, _)| *op)
+                        .collect();
+                    ready.sort_unstable();
+                    if let Some(op) = ready.first().copied() {
+                        self.reply_insert(ctx, op);
+                    }
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            if self.role != Role::Primary {
+                return;
+            }
+
+            let payload = match payload.downcast::<InsertReq>() {
+                Ok(req) => {
+                    // Charge the insert's CPU cost, then continue.
+                    let now = ctx.now().as_nanos();
+                    let queue = self
+                        .machine
+                        .lock()
+                        .cpu_work(self.cpu, now, self.cfg.insert_cpu_ns);
+                    ctx.send_self(
+                        SimDuration::from_nanos(queue + self.cfg.insert_cpu_ns),
+                        StagedInsert {
+                            req: *req,
+                            from_ep,
+                        },
+                    );
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            let payload = match payload.downcast::<AppendDone>() {
+                Ok(done) => {
+                    self.after_append(ctx, done.token, done.lsn_end);
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            let payload = match payload.downcast::<TxnResolved>() {
+                Ok(res) => {
+                    if !res.committed {
+                        if let Some(writes) = self.txn_writes.get(&res.txn) {
+                            for (part, key) in writes.clone() {
+                                if let Some(t) = self.table.get_mut(&part) {
+                                    t.remove(&key);
+                                }
+                            }
+                        }
+                    }
+                    self.txn_writes.remove(&res.txn);
+                    let granted = self.locks.release_all(res.txn);
+                    for (txn, key) in granted {
+                        if let Some(ops) = self.parked.remove(&(txn, key)) {
+                            for op in ops {
+                                self.apply_insert(ctx, op);
+                            }
+                        }
+                    }
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            if let Ok(req) = payload.downcast::<ReadReq>() {
+                let now = ctx.now().as_nanos();
+                self.machine.lock().cpu_work(self.cpu, now, 50_000);
+                let found = self
+                    .table
+                    .get(&req.partition)
+                    .and_then(|t| t.get(&req.key))
+                    .map(|r| (r.virtual_len, r.crc));
+                let net = self.net.clone();
+                simnet::send_net_msg(
+                    ctx,
+                    &net,
+                    self.ep,
+                    from_ep,
+                    32,
+                    ReadDone {
+                        token: req.token,
+                        found,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Install a DP2 pair owning `partitions`, logging to `adp_name`, with
+/// zero or more data volumes for background destage (round-robin).
+#[allow(clippy::too_many_arguments)]
+pub fn install_dp2(
+    sim: &mut Sim,
+    machine: &SharedMachine,
+    name: &str,
+    cpu: CpuId,
+    backup_cpu: Option<CpuId>,
+    partitions: Vec<PartitionId>,
+    adp_name: &str,
+    data_volumes: Vec<ActorId>,
+    cfg: TxnConfig,
+    stats: SharedTxnStats,
+) {
+    let net = machine.lock().net.clone();
+    let parts: HashSet<PartitionId> = partitions.into_iter().collect();
+    let mk = |role: Role, on_cpu: CpuId| {
+        let machine2 = machine.clone();
+        let net2 = net.clone();
+        let name2 = name.to_string();
+        let adp2 = adp_name.to_string();
+        let cfg2 = cfg.clone();
+        let stats2 = stats.clone();
+        let parts2 = parts.clone();
+        let vols2 = data_volumes.clone();
+        move |ep: EndpointId| -> Box<dyn Actor> {
+            Box::new(Dp2Proc {
+                name: name2,
+                role,
+                cfg: cfg2,
+                machine: machine2,
+                net: net2,
+                ep,
+                cpu: on_cpu,
+                partitions: parts2,
+                adp_name: adp2,
+                data_volumes: vols2,
+                next_vol: 0,
+                stats: stats2,
+                table: HashMap::new(),
+                locks: LockManager::new(),
+                txn_writes: HashMap::new(),
+                pending: HashMap::new(),
+                next_op: 0,
+                parked: HashMap::new(),
+                staged: HashMap::new(),
+                dirty_bytes: 0,
+                dirty_records: 0,
+                data_file_offset: 0,
+                next_ckpt: 0,
+                next_tag: 0,
+            })
+        }
+    };
+    nsk::machine::install_primary(sim, machine, name, cpu, mk(Role::Primary, cpu));
+    if let Some(bcpu) = backup_cpu {
+        nsk::machine::install_backup(sim, machine, name, bcpu, mk(Role::Backup, bcpu));
+    }
+}

@@ -1,0 +1,302 @@
+//! Scenario builder: wires a complete simulated ODS node — machine, fabric,
+//! disks, NPMUs, PMM, TMF, ADPs, DP2s — in either the disk-audit baseline
+//! or the PM-enabled configuration of §4.2/§4.3.
+//!
+//! The default topology mirrors the paper's benchmark system: a 4-CPU
+//! S86000 (plus a 5th CPU hosting the PMP in PM mode), one ADP per CPU
+//! with one auxiliary audit volume each, four database files each
+//! partitioned four ways across the CPUs' DP2s, and 16 data volumes.
+
+use crate::adp::{install_adp, AuditBackend};
+use crate::config::TxnConfig;
+use crate::dp2::install_dp2;
+use crate::stats::{self, SharedTxnStats};
+use crate::tmf::install_tmf;
+use crate::types::PartitionId;
+use npmu::{Npmu, NpmuConfig, NpmuHandle};
+use nsk::machine::{CpuId, Machine, MachineConfig, SharedMachine};
+use pmm::{install_pmm_pair, PmmConfig};
+use simcore::{ActorId, DurableStore, Sim, SimConfig};
+use simdisk::{DiskConfig, DiskVolume, SharedDiskStats, SparseMedia};
+use simnet::{FabricConfig, Network, SharedNetwork};
+use std::collections::HashMap;
+
+/// Durability backend for the audit trail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuditMode {
+    /// Disk audit volumes, write-through (baseline).
+    Disk,
+    /// PM regions on a PMP pair hosted on an extra CPU (the paper's
+    /// prototype: "we ran a PMP on a 5th CPU").
+    Pmp,
+    /// PM regions on hardware NPMUs (§4.2 notes hardware is slightly
+    /// faster than the PMP).
+    HardwareNpmu,
+}
+
+#[derive(Clone)]
+pub struct OdsParams {
+    pub seed: u64,
+    /// Worker CPUs (ADP/DP2/TMF hosts). The paper's S86000 has 4.
+    pub cpus: u32,
+    /// Database files (4 in the hot-stock benchmark).
+    pub files: u32,
+    /// Partitions per file (4 — one per CPU).
+    pub parts_per_file: u32,
+    pub audit: AuditMode,
+    pub txn: TxnConfig,
+    pub audit_disk: DiskConfig,
+    pub data_disk: DiskConfig,
+    pub fabric: FabricConfig,
+    /// Install backup halves of every process pair.
+    pub backups: bool,
+    /// PM region size per ADP (circular trail).
+    pub pm_region_len: u64,
+    /// Data volumes per DP2 (paper: 16 volumes / 4 DP2s = 4).
+    pub data_volumes_per_dp2: u32,
+}
+
+impl OdsParams {
+    pub fn baseline(seed: u64) -> Self {
+        OdsParams {
+            seed,
+            cpus: 4,
+            files: 4,
+            parts_per_file: 4,
+            audit: AuditMode::Disk,
+            txn: TxnConfig::default(),
+            audit_disk: DiskConfig::audit_volume(),
+            data_disk: DiskConfig::data_volume(),
+            fabric: FabricConfig::default(),
+            backups: true,
+            pm_region_len: 8 << 20,
+            data_volumes_per_dp2: 4,
+        }
+    }
+
+    pub fn pm(seed: u64) -> Self {
+        OdsParams {
+            audit: AuditMode::Pmp,
+            txn: TxnConfig::pm_enabled(),
+            ..OdsParams::baseline(seed)
+        }
+    }
+}
+
+/// Everything a driver or harness needs to talk to the built node.
+pub struct OdsNode {
+    pub sim: Sim,
+    pub machine: SharedMachine,
+    pub net: SharedNetwork,
+    pub stats: SharedTxnStats,
+    pub tmf: String,
+    /// ADP name per CPU index.
+    pub adps: Vec<String>,
+    /// Partition → owning DP2 process name.
+    pub partition_map: HashMap<PartitionId, String>,
+    pub dp2s: Vec<String>,
+    pub audit_volume_stats: Vec<SharedDiskStats>,
+    pub data_volume_stats: Vec<SharedDiskStats>,
+    pub npmus: Option<(NpmuHandle, NpmuHandle)>,
+    pub params: OdsParams,
+}
+
+/// Build the node into a fresh simulation around `store` (the durable
+/// world that persists across power loss).
+pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
+    let mut sim = Sim::new(SimConfig {
+        seed: params.seed,
+        ..SimConfig::default()
+    });
+    let net = Network::new(params.fabric.clone());
+    // PM modes host the PM devices' manager on an extra CPU, like the
+    // paper's 5th-CPU PMP.
+    let total_cpus = match params.audit {
+        AuditMode::Disk => params.cpus,
+        _ => params.cpus + 1,
+    };
+    let machine = Machine::new(
+        MachineConfig {
+            cpus: total_cpus,
+            ..MachineConfig::default()
+        },
+        net.clone(),
+    );
+    let stats = stats::shared();
+
+    // --- PM devices + PMM (PM modes only) ---
+    let npmus = match params.audit {
+        AuditMode::Disk => None,
+        mode => {
+            let kind_cfg = |cap| match mode {
+                AuditMode::Pmp => NpmuConfig::pmp(cap),
+                _ => NpmuConfig::hardware(cap),
+            };
+            let cap = (params.pm_region_len + pmm::META_BYTES)
+                * (params.cpus as u64 + 2)
+                + (64 << 20);
+            let a = Npmu::install(
+                &mut sim,
+                store,
+                &net,
+                Some(&machine),
+                "pm-a",
+                kind_cfg(cap),
+            );
+            let b = Npmu::install(
+                &mut sim,
+                store,
+                &net,
+                Some(&machine),
+                "pm-b",
+                kind_cfg(cap),
+            );
+            let pm_cpu = CpuId(params.cpus); // the extra CPU
+            install_pmm_pair(
+                &mut sim,
+                &machine,
+                "$PMM",
+                &a,
+                &b,
+                pm_cpu,
+                if params.backups { Some(CpuId(0)) } else { None },
+                PmmConfig::default(),
+            );
+            Some((a, b))
+        }
+    };
+
+    // --- audit volumes + ADPs, one per CPU ---
+    let mut adps = Vec::new();
+    let mut audit_volume_stats = Vec::new();
+    for cpu in 0..params.cpus {
+        let name = format!("$ADP{cpu}");
+        let backend = match params.audit {
+            AuditMode::Disk => {
+                let media = store.get_or_insert_with(&format!("disk:$AUDIT{cpu}"), SparseMedia::new);
+                let vol = DiskVolume::new(
+                    format!("$AUDIT{cpu}"),
+                    params.audit_disk.clone(),
+                    media,
+                );
+                audit_volume_stats.push(vol.stats());
+                let vol_actor = sim.spawn(vol);
+                AuditBackend::Disk { volume: vol_actor }
+            }
+            _ => AuditBackend::Pm {
+                pmm: "$PMM".into(),
+                region: format!("adp{cpu}.audit"),
+                region_len: params.pm_region_len,
+            },
+        };
+        install_adp(
+            &mut sim,
+            &machine,
+            &name,
+            CpuId(cpu),
+            if params.backups {
+                Some(CpuId((cpu + 1) % params.cpus))
+            } else {
+                None
+            },
+            backend,
+            params.txn.clone(),
+            stats.clone(),
+        );
+        adps.push(name);
+    }
+
+    // --- data volumes + DP2s, one DP2 per CPU owning one partition of
+    //     every file ---
+    let mut partition_map = HashMap::new();
+    let mut dp2s = Vec::new();
+    let mut data_volume_stats = Vec::new();
+    for cpu in 0..params.cpus {
+        let name = format!("$DP2-{cpu}");
+        let mut vols = Vec::new();
+        for v in 0..params.data_volumes_per_dp2 {
+            let media =
+                store.get_or_insert_with(&format!("disk:$DATA{cpu}-{v}"), SparseMedia::new);
+            let vol = DiskVolume::new(
+                format!("$DATA{cpu}-{v}"),
+                params.data_disk.clone(),
+                media,
+            );
+            data_volume_stats.push(vol.stats());
+            vols.push(sim.spawn(vol));
+        }
+        let mut parts = Vec::new();
+        for file in 0..params.files {
+            let part = PartitionId { file, part: cpu };
+            if cpu < params.parts_per_file {
+                parts.push(part);
+                partition_map.insert(part, name.clone());
+            }
+        }
+        install_dp2(
+            &mut sim,
+            &machine,
+            &name,
+            CpuId(cpu),
+            if params.backups {
+                Some(CpuId((cpu + 1) % params.cpus))
+            } else {
+                None
+            },
+            parts,
+            &format!("$ADP{cpu}"),
+            vols,
+            params.txn.clone(),
+            stats.clone(),
+        );
+        dp2s.push(name);
+    }
+
+    // --- TMF, master trail on ADP0 ---
+    install_tmf(
+        &mut sim,
+        &machine,
+        "$TMF",
+        CpuId(0),
+        if params.backups { Some(CpuId(1)) } else { None },
+        Some("$ADP0".into()),
+        params.txn.clone(),
+        stats.clone(),
+    );
+
+    OdsNode {
+        sim,
+        machine,
+        net,
+        stats,
+        tmf: "$TMF".into(),
+        adps,
+        partition_map,
+        dp2s,
+        audit_volume_stats,
+        data_volume_stats,
+        npmus,
+        params,
+    }
+}
+
+/// Convenience for tests: route a partition to its DP2 name.
+impl OdsNode {
+    pub fn dp2_of(&self, partition: PartitionId) -> &str {
+        self.partition_map
+            .get(&partition)
+            .map(|s| s.as_str())
+            .expect("unmapped partition")
+    }
+
+    /// Audit-trail media images (disk mode), for recovery tests.
+    pub fn audit_media(&self, store: &mut DurableStore, cpu: u32) -> Option<simcore::durable::Image<SparseMedia>> {
+        store.get::<SparseMedia>(&format!("disk:$AUDIT{cpu}"))
+    }
+
+    /// All spawned volume actor ids are private; the harness reads media
+    /// through the durable store instead.
+    pub fn placeholder(&self) -> ActorId {
+        ActorId(u32::MAX)
+    }
+}

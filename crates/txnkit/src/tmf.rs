@@ -1,0 +1,626 @@
+//! TMF — the transaction monitor facility.
+//!
+//! "The log writer coordinates its I/O operations with the transaction
+//! monitor, which keeps track of transactions as they enter and leave the
+//! system... and ensures that the changes related to that transaction sent
+//! to the log writer by the database writers are flushed to permanent
+//! media before the transaction is committed. It also notates transaction
+//! states (e.g., commit or abort) in the audit trail." (§1.2)
+//!
+//! Commit pipeline:
+//!
+//! 1. flush every involved data trail through the transaction's high LSN
+//!    there (parallel `FlushReq` fan-out);
+//! 2. append the commit record to the *master* trail and flush it — the
+//!    paper's "completion time of at least one – and typically more than
+//!    one – disk I/O... included in the response time of every
+//!    transaction" (§2);
+//! 3. checkpoint the commit decision to the TMF backup;
+//! 4. externalize: reply to the driver, notify DP2s to release locks.
+
+use crate::config::TxnConfig;
+use crate::stats::SharedTxnStats;
+use crate::types::*;
+use nsk::machine::{CpuId, SharedMachine, WatchTarget};
+use nsk::proc::{Checkpoint, CheckpointAck, ProcessDied};
+use simcore::{Actor, Ctx, Msg, Sim};
+use simnet::{EndpointId, NetDelivery, SharedNetwork};
+use std::collections::HashMap;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Primary,
+    Backup,
+}
+
+/// What an outstanding sub-operation is, for retry across ADP takeovers
+/// (a takeover loses the old primary's buffered waiters, so the TMF
+/// re-drives; duplicate commit records in the trail are harmless).
+#[derive(Clone)]
+enum SubKind {
+    DataFlush { adp: String, upto: Lsn },
+    MasterAppend { txn: TxnId },
+    MasterFlush { upto: Lsn },
+}
+
+/// Retry timer for a sub-operation.
+struct SubRetry {
+    sub: u64,
+}
+
+const SUB_RETRY_NS: u64 = 900_000_000;
+
+enum CommitPhase {
+    /// Waiting for data-trail flush acks (count remaining).
+    DataFlush(u32),
+    /// Waiting for the master-trail append ack.
+    MasterAppend,
+    /// Waiting for the master-trail flush ack.
+    MasterFlush,
+    /// Waiting for the backup checkpoint ack.
+    Ckpt,
+}
+
+struct CommitState {
+    txn: TxnId,
+    driver_ep: EndpointId,
+    involved_dp2: Vec<String>,
+    phase: CommitPhase,
+    started_ns: u64,
+}
+
+#[derive(Clone, Copy)]
+struct TmfCkpt {
+    committed_txn: TxnId,
+}
+
+pub struct TmfProc {
+    name: String,
+    role: Role,
+    cfg: TxnConfig,
+    machine: SharedMachine,
+    net: SharedNetwork,
+    ep: EndpointId,
+    cpu: CpuId,
+    /// Name of the ADP holding the master audit trail (commit records).
+    master_adp: Option<String>,
+    stats: SharedTxnStats,
+    next_txn: u64,
+    commits: HashMap<u64, CommitState>, // token → state
+    next_token: u64,
+    /// flush/append tokens → (commit token, what it was, for retry).
+    subop: HashMap<u64, (u64, SubKind)>,
+    next_subop: u64,
+    ckpt_waiters: HashMap<u64, u64>, // ckpt seq → commit token
+    next_ckpt: u64,
+    commits_since_mark: u64,
+}
+
+impl TmfProc {
+    fn has_backup(&self) -> bool {
+        self.machine.lock().resolve_backup(&self.name).is_some()
+    }
+
+    fn charge_cpu(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now().as_nanos();
+        self.machine
+            .lock()
+            .cpu_work(self.cpu, now, self.cfg.commit_cpu_ns);
+    }
+
+    fn sub_token(&mut self, ctx: &mut Ctx<'_>, commit_token: u64, kind: SubKind) -> u64 {
+        let t = self.next_subop;
+        self.next_subop += 1;
+        self.subop.insert(t, (commit_token, kind));
+        ctx.send_self(
+            simcore::SimDuration::from_nanos(SUB_RETRY_NS),
+            SubRetry { sub: t },
+        );
+        t
+    }
+
+    /// Re-drive a sub-operation that got no answer (e.g. its ADP failed
+    /// over and the new primary never saw it).
+    fn reissue(&mut self, ctx: &mut Ctx<'_>, sub: u64) {
+        let Some((_, kind)) = self.subop.get(&sub).cloned() else {
+            return;
+        };
+        match kind {
+            SubKind::DataFlush { adp, upto } => {
+                let machine = self.machine.clone();
+                nsk::proc::send_to_process(
+                    ctx,
+                    &machine,
+                    self.ep,
+                    self.cpu,
+                    &adp,
+                    24,
+                    FlushReq { upto, token: sub },
+                );
+            }
+            SubKind::MasterAppend { txn } => {
+                if let Some(master) = self.master_adp.clone() {
+                    let rec = crate::audit::AuditRecord::Commit { txn };
+                    let enc = rec.encode();
+                    let virt = (enc.len() as u32).max(self.cfg.commit_record_bytes);
+                    let machine = self.machine.clone();
+                    nsk::proc::send_to_process(
+                        ctx,
+                        &machine,
+                        self.ep,
+                        self.cpu,
+                        &master,
+                        virt,
+                        AuditAppend {
+                            records: enc,
+                            virtual_len: virt,
+                            token: sub,
+                        },
+                    );
+                }
+            }
+            SubKind::MasterFlush { upto } => {
+                if let Some(master) = self.master_adp.clone() {
+                    let machine = self.machine.clone();
+                    nsk::proc::send_to_process(
+                        ctx,
+                        &machine,
+                        self.ep,
+                        self.cpu,
+                        &master,
+                        24,
+                        FlushReq { upto, token: sub },
+                    );
+                }
+            }
+        }
+        ctx.send_self(
+            simcore::SimDuration::from_nanos(SUB_RETRY_NS),
+            SubRetry { sub },
+        );
+    }
+
+    /// Advance a commit whose current phase just completed.
+    fn step_commit(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let Some(state) = self.commits.get_mut(&token) else { return };
+        match &mut state.phase {
+            CommitPhase::DataFlush(remaining) => {
+                *remaining = remaining.saturating_sub(1);
+                if *remaining > 0 {
+                    return;
+                }
+                // Data trails durable → harden the commit record.
+                if let Some(master) = self.master_adp.clone() {
+                    state.phase = CommitPhase::MasterAppend;
+                    let txn = state.txn;
+                    let sub = self.sub_token(ctx, token, SubKind::MasterAppend { txn });
+                    let rec = crate::audit::AuditRecord::Commit { txn };
+                    let enc = rec.encode();
+                    let virt = (enc.len() as u32).max(self.cfg.commit_record_bytes);
+                    let machine = self.machine.clone();
+                    nsk::proc::send_to_process(
+                        ctx,
+                        &machine,
+                        self.ep,
+                        self.cpu,
+                        &master,
+                        virt,
+                        AuditAppend {
+                            records: enc,
+                            virtual_len: virt,
+                            token: sub,
+                        },
+                    );
+                } else {
+                    self.commit_hardened(ctx, token);
+                }
+            }
+            CommitPhase::MasterAppend => unreachable!("stepped via append ack"),
+            CommitPhase::MasterFlush => {
+                self.commit_hardened(ctx, token);
+            }
+            CommitPhase::Ckpt => unreachable!("stepped via ckpt ack"),
+        }
+    }
+
+    /// All trails durable: checkpoint the decision, then externalize.
+    fn commit_hardened(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let txn = match self.commits.get(&token) {
+            Some(s) => s.txn,
+            None => return,
+        };
+        if self.cfg.tmf_checkpoint && self.has_backup() {
+            if let Some(s) = self.commits.get_mut(&token) {
+                s.phase = CommitPhase::Ckpt;
+            }
+            let seq = self.next_ckpt;
+            self.next_ckpt += 1;
+            self.ckpt_waiters.insert(seq, token);
+            self.stats.lock().tmf_checkpoints += 1;
+            let machine = self.machine.clone();
+            let name = self.name.clone();
+            nsk::proc::send_to_backup(
+                ctx,
+                &machine,
+                self.ep,
+                self.cpu,
+                &name,
+                self.cfg.checkpoint_overhead_bytes,
+                Checkpoint {
+                    seq,
+                    payload: Box::new(TmfCkpt { committed_txn: txn }),
+                },
+            );
+        } else {
+            self.externalize(ctx, token);
+        }
+    }
+
+    /// Append a fuzzy checkpoint mark to the master trail (async): the
+    /// §3.4 recovery hint that bounds the tail a scan must examine.
+    fn maybe_checkpoint_mark(&mut self, ctx: &mut Ctx<'_>) {
+        let every = self.cfg.checkpoint_mark_every;
+        if every == 0 || self.master_adp.is_none() {
+            return;
+        }
+        self.commits_since_mark += 1;
+        if self.commits_since_mark < every {
+            return;
+        }
+        self.commits_since_mark = 0;
+        let active: Vec<TxnId> = self.commits.values().map(|c| c.txn).collect();
+        let rec = crate::audit::AuditRecord::CheckpointMark { active_txns: active };
+        let enc = rec.encode();
+        let virt = enc.len() as u32;
+        // Fire-and-forget orphan append (like abort records).
+        let sub = self.next_subop;
+        self.next_subop += 1;
+        let master = self.master_adp.clone().unwrap();
+        let machine = self.machine.clone();
+        nsk::proc::send_to_process(
+            ctx,
+            &machine,
+            self.ep,
+            self.cpu,
+            &master,
+            virt,
+            AuditAppend {
+                records: enc,
+                virtual_len: virt,
+                token: sub,
+            },
+        );
+    }
+
+    fn externalize(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let Some(state) = self.commits.remove(&token) else { return };
+        let net = self.net.clone();
+        {
+            let mut s = self.stats.lock();
+            s.txns_committed += 1;
+            s.flush_latency
+                .record(ctx.now().as_nanos() - state.started_ns);
+        }
+        simnet::send_net_msg(
+            ctx,
+            &net,
+            self.ep,
+            state.driver_ep,
+            32,
+            TxnCommitted { txn: state.txn },
+        );
+        self.maybe_checkpoint_mark(ctx);
+        // Post-commit lock release at every involved DP2 (off the
+        // response path).
+        for dp2 in &state.involved_dp2 {
+            let machine = self.machine.clone();
+            nsk::proc::send_to_process(
+                ctx,
+                &machine,
+                self.ep,
+                self.cpu,
+                dp2,
+                24,
+                TxnResolved {
+                    txn: state.txn,
+                    committed: true,
+                },
+            );
+        }
+    }
+}
+
+impl Actor for TmfProc {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        if msg.is::<simcore::actor::Start>() {
+            if self.role == Role::Backup {
+                let me = ctx.self_id();
+                self.machine
+                    .lock()
+                    .watch(WatchTarget::Process(self.name.clone()), me);
+            }
+            return;
+        }
+
+        let msg = match msg.take::<SubRetry>() {
+            Ok((_, r)) => {
+                if self.role == Role::Primary {
+                    self.reissue(ctx, r.sub);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        let msg = match msg.take::<ProcessDied>() {
+            Ok((_, d)) => {
+                if self.role == Role::Backup && d.name == self.name && d.was_primary {
+                    self.machine.lock().promote_backup(&self.name);
+                    self.role = Role::Primary;
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        if let Ok((_, delivery)) = msg.take::<NetDelivery>() {
+            let NetDelivery { from_ep, payload } = delivery;
+
+            // Backup: checkpoints.
+            let payload = match payload.downcast::<Checkpoint>() {
+                Ok(ck) => {
+                    let ck = *ck;
+                    if let Ok(st) = ck.payload.downcast::<TmfCkpt>() {
+                        // Track the committed-txn high-water mark.
+                        self.next_txn = self.next_txn.max(st.committed_txn.0 + 1);
+                    }
+                    let net = self.net.clone();
+                    simnet::send_net_msg(
+                        ctx,
+                        &net,
+                        self.ep,
+                        from_ep,
+                        16,
+                        CheckpointAck { seq: ck.seq },
+                    );
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            let payload = match payload.downcast::<CheckpointAck>() {
+                Ok(ack) => {
+                    if let Some(token) = self.ckpt_waiters.remove(&ack.seq) {
+                        self.externalize(ctx, token);
+                    }
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            if self.role != Role::Primary {
+                return;
+            }
+
+            let payload = match payload.downcast::<BeginTxn>() {
+                Ok(req) => {
+                    self.charge_cpu(ctx);
+                    let txn = TxnId(self.next_txn);
+                    self.next_txn += 1;
+                    let net = self.net.clone();
+                    simnet::send_net_msg(
+                        ctx,
+                        &net,
+                        self.ep,
+                        from_ep,
+                        24,
+                        TxnBegun {
+                            token: req.token,
+                            txn,
+                        },
+                    );
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            let payload = match payload.downcast::<CommitTxn>() {
+                Ok(req) => {
+                    self.charge_cpu(ctx);
+                    let req = *req;
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let n_flushes = req.flush_points.len() as u32;
+                    let state = CommitState {
+                        txn: req.txn,
+                        driver_ep: from_ep,
+                        involved_dp2: req.involved_dp2.clone(),
+                        phase: CommitPhase::DataFlush(n_flushes.max(1)),
+                        started_ns: ctx.now().as_nanos(),
+                    };
+                    self.commits.insert(token, state);
+                    if req.flush_points.is_empty() {
+                        // Read-only txn: no data to flush.
+                        self.step_commit(ctx, token);
+                    } else {
+                        for (adp, lsn) in req.flush_points {
+                            let sub = self.sub_token(
+                                ctx,
+                                token,
+                                SubKind::DataFlush {
+                                    adp: adp.clone(),
+                                    upto: lsn,
+                                },
+                            );
+                            let machine = self.machine.clone();
+                            nsk::proc::send_to_process(
+                                ctx,
+                                &machine,
+                                self.ep,
+                                self.cpu,
+                                &adp,
+                                24,
+                                FlushReq {
+                                    upto: lsn,
+                                    token: sub,
+                                },
+                            );
+                        }
+                    }
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            let payload = match payload.downcast::<AbortTxn>() {
+                Ok(req) => {
+                    self.charge_cpu(ctx);
+                    let req = *req;
+                    self.stats.lock().txns_aborted += 1;
+                    // Abort record to the master trail (async, no flush
+                    // wait: aborts need not be durable before replying).
+                    if let Some(master) = self.master_adp.clone() {
+                        let rec = crate::audit::AuditRecord::Abort { txn: req.txn };
+                        let enc = rec.encode();
+                        let virt = enc.len() as u32;
+                        // Orphan sub-op: fire-and-forget, never retried.
+                        let sub = self.next_subop;
+                        self.next_subop += 1;
+                        let machine = self.machine.clone();
+                        nsk::proc::send_to_process(
+                            ctx,
+                            &machine,
+                            self.ep,
+                            self.cpu,
+                            &master,
+                            virt,
+                            AuditAppend {
+                                records: enc,
+                                virtual_len: virt,
+                                token: sub,
+                            },
+                        );
+                    }
+                    for dp2 in &req.involved_dp2 {
+                        let machine = self.machine.clone();
+                        nsk::proc::send_to_process(
+                            ctx,
+                            &machine,
+                            self.ep,
+                            self.cpu,
+                            dp2,
+                            24,
+                            TxnResolved {
+                                txn: req.txn,
+                                committed: false,
+                            },
+                        );
+                    }
+                    let net = self.net.clone();
+                    simnet::send_net_msg(
+                        ctx,
+                        &net,
+                        self.ep,
+                        from_ep,
+                        24,
+                        TxnAborted { txn: req.txn },
+                    );
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            let payload = match payload.downcast::<AppendDone>() {
+                Ok(done) => {
+                    // Master-trail commit record landed in the buffer: now
+                    // flush it.
+                    let Some((token, _)) = self.subop.remove(&done.token) else {
+                        return;
+                    };
+                    if self.commits.contains_key(&token) {
+                        self.commits.get_mut(&token).unwrap().phase = CommitPhase::MasterFlush;
+                        let master = self.master_adp.clone().expect("master adp");
+                        let sub = self.sub_token(
+                            ctx,
+                            token,
+                            SubKind::MasterFlush { upto: done.lsn_end },
+                        );
+                        let machine = self.machine.clone();
+                        nsk::proc::send_to_process(
+                            ctx,
+                            &machine,
+                            self.ep,
+                            self.cpu,
+                            &master,
+                            24,
+                            FlushReq {
+                                upto: done.lsn_end,
+                                token: sub,
+                            },
+                        );
+                    }
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            if let Ok(done) = payload.downcast::<FlushDone>() {
+                if let Some((token, _)) = self.subop.remove(&done.token) {
+                    self.step_commit(ctx, token);
+                }
+            }
+        }
+    }
+}
+
+/// Install the TMF pair. `master_adp` names the ADP that hardens commit
+/// records (usually a dedicated trail; `None` skips the master-trail I/O).
+pub fn install_tmf(
+    sim: &mut Sim,
+    machine: &SharedMachine,
+    name: &str,
+    cpu: CpuId,
+    backup_cpu: Option<CpuId>,
+    master_adp: Option<String>,
+    cfg: TxnConfig,
+    stats: SharedTxnStats,
+) {
+    let net = machine.lock().net.clone();
+    let mk = |role: Role, on_cpu: CpuId| {
+        let machine2 = machine.clone();
+        let net2 = net.clone();
+        let name2 = name.to_string();
+        let cfg2 = cfg.clone();
+        let stats2 = stats.clone();
+        let master2 = master_adp.clone();
+        move |ep: EndpointId| -> Box<dyn Actor> {
+            Box::new(TmfProc {
+                name: name2,
+                role,
+                cfg: cfg2,
+                machine: machine2,
+                net: net2,
+                ep,
+                cpu: on_cpu,
+                master_adp: master2,
+                stats: stats2,
+                next_txn: 1,
+                commits: HashMap::new(),
+                next_token: 0,
+                subop: HashMap::new(),
+                next_subop: 0,
+                ckpt_waiters: HashMap::new(),
+                next_ckpt: 0,
+                commits_since_mark: 0,
+            })
+        }
+    };
+    nsk::machine::install_primary(sim, machine, name, cpu, mk(Role::Primary, cpu));
+    if let Some(bcpu) = backup_cpu {
+        nsk::machine::install_backup(sim, machine, name, bcpu, mk(Role::Backup, bcpu));
+    }
+}

@@ -1,0 +1,191 @@
+//! Identifiers and the message vocabulary between drivers, TMF, DP2s and
+//! ADPs. All of these travel as `NetDelivery` payloads over the `nsk`
+//! message system.
+
+use bytes::Bytes;
+
+/// Transaction identifier, allocated by the TMF.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+impl std::fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+/// Log sequence number: a byte position in one ADP's audit trail.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Lsn(pub u64);
+
+impl std::fmt::Debug for Lsn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lsn{}", self.0)
+    }
+}
+
+/// A partition of the database, owned by exactly one DP2.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PartitionId {
+    pub file: u32,
+    pub part: u32,
+}
+
+// ---------------------------------------------------------------------
+// Driver ↔ TMF
+// ---------------------------------------------------------------------
+
+/// Start a transaction.
+#[derive(Clone, Copy, Debug)]
+pub struct BeginTxn {
+    pub token: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct TxnBegun {
+    pub token: u64,
+    pub txn: TxnId,
+}
+
+/// Commit: the driver reports, per ADP it touched, the highest LSN its
+/// inserts reached there; the TMF must flush each trail through that point
+/// and then harden its own commit record.
+#[derive(Clone, Debug)]
+pub struct CommitTxn {
+    pub txn: TxnId,
+    pub flush_points: Vec<(String, Lsn)>,
+    /// DP2s involved (for post-commit lock release).
+    pub involved_dp2: Vec<String>,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct TxnCommitted {
+    pub txn: TxnId,
+}
+
+/// Abort: undo at every involved DP2, then release.
+#[derive(Clone, Debug)]
+pub struct AbortTxn {
+    pub txn: TxnId,
+    pub involved_dp2: Vec<String>,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct TxnAborted {
+    pub txn: TxnId,
+}
+
+// ---------------------------------------------------------------------
+// Driver ↔ DP2
+// ---------------------------------------------------------------------
+
+/// Insert a record. `body` is the stored payload; `virtual_len` is the
+/// record's logical size for timing (4096 in the hot-stock benchmark).
+#[derive(Clone, Debug)]
+pub struct InsertReq {
+    pub txn: TxnId,
+    pub partition: PartitionId,
+    pub key: u64,
+    pub body: Bytes,
+    pub virtual_len: u32,
+    pub token: u64,
+}
+
+/// Outcome of an insert.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InsertResult {
+    /// Applied; audit delta reached the named ADP at the given LSN.
+    Ok { adp: String, lsn: Lsn },
+    /// Lock conflict resolved against this transaction.
+    Deadlock,
+    /// Partition not owned by this DP2 (routing bug).
+    WrongPartition,
+}
+
+#[derive(Clone, Debug)]
+pub struct InsertDone {
+    pub txn: TxnId,
+    pub token: u64,
+    pub result: InsertResult,
+}
+
+/// Point read of a record (used by examples/tests, and by fraud-detection
+/// style readers in the telco example).
+#[derive(Clone, Debug)]
+pub struct ReadReq {
+    pub partition: PartitionId,
+    pub key: u64,
+    pub token: u64,
+}
+
+#[derive(Clone, Debug)]
+pub struct ReadDone {
+    pub token: u64,
+    /// `(virtual_len, crc)` of the stored record, if present.
+    pub found: Option<(u32, u32)>,
+}
+
+// ---------------------------------------------------------------------
+// TMF ↔ DP2 (post-commit/abort resolution)
+// ---------------------------------------------------------------------
+
+/// Tell a DP2 a transaction resolved; it releases locks (and undoes the
+/// transaction's effects when `committed == false`).
+#[derive(Clone, Copy, Debug)]
+pub struct TxnResolved {
+    pub txn: TxnId,
+    pub committed: bool,
+}
+
+// ---------------------------------------------------------------------
+// DP2/TMF ↔ ADP
+// ---------------------------------------------------------------------
+
+/// Append encoded audit records to the trail (buffered, not yet durable).
+#[derive(Clone, Debug)]
+pub struct AuditAppend {
+    pub records: Bytes,
+    /// Trail bytes these records represent for timing (≥ `records.len()`).
+    pub virtual_len: u32,
+    pub token: u64,
+}
+
+/// The append's assigned trail position: records occupy
+/// `[lsn_start, lsn_end)`; durability requires flushing through `lsn_end`.
+#[derive(Clone, Copy, Debug)]
+pub struct AppendDone {
+    pub token: u64,
+    pub lsn_start: Lsn,
+    pub lsn_end: Lsn,
+}
+
+/// Make the trail durable through `upto`.
+#[derive(Clone, Copy, Debug)]
+pub struct FlushReq {
+    pub upto: Lsn,
+    pub token: u64,
+}
+
+/// The trail is durable through `durable_upto` (≥ the requested point).
+#[derive(Clone, Copy, Debug)]
+pub struct FlushDone {
+    pub token: u64,
+    pub durable_upto: Lsn,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{:?}", TxnId(7)), "txn7");
+        assert_eq!(format!("{:?}", Lsn(1024)), "lsn1024");
+    }
+
+    #[test]
+    fn lsn_orders() {
+        assert!(Lsn(5) < Lsn(6));
+        assert_eq!(Lsn::default(), Lsn(0));
+    }
+}

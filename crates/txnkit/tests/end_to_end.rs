@@ -1,0 +1,611 @@
+//! End-to-end transaction-processing tests over the full simulated node:
+//! driver → TMF → DP2s → ADPs → (disk | persistent memory), including
+//! recovery and failover.
+
+use bytes::Bytes;
+use nsk::machine::CpuId;
+use nsk::Monitor;
+use parking_lot::Mutex;
+use simcore::fault::{Fault, FaultPlan};
+use simcore::time::SECS;
+use simcore::{Actor, Ctx, DurableStore, Msg, SimDuration, SimTime};
+use simnet::{EndpointId, NetDelivery};
+use std::sync::Arc;
+use txnkit::scenario::{build_ods, OdsNode, OdsParams};
+use txnkit::types::*;
+use txnkit::TxnClient;
+
+/// What the driver does with each transaction.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Commit,
+    Abort,
+}
+
+#[derive(Default)]
+struct DriverResults {
+    committed: u64,
+    aborted: u64,
+    deadlocks: u64,
+    /// (txn response ns) per committed txn.
+    responses: Vec<u64>,
+    reads_found: u64,
+    reads_missing: u64,
+    done_at_ns: u64,
+}
+
+struct TestDriver {
+    client: TxnClient,
+    machine: nsk::machine::SharedMachine,
+    ep: EndpointId,
+    cpu: CpuId,
+    partition_of: Arc<dyn Fn(u32) -> (PartitionId, String) + Send + Sync>,
+    txns: u64,
+    inserts_per_txn: u32,
+    payload: Vec<u8>,
+    outcome: Outcome,
+    /// Read back each inserted key after resolution, verifying presence
+    /// (commit) or absence (abort).
+    verify_reads: bool,
+    key_base: u64,
+    // run state
+    cur: u64,
+    txn: Option<TxnId>,
+    txn_started_ns: u64,
+    inserts_done: u32,
+    /// Tokens acknowledged this txn (guards duplicate acks from retries).
+    acked: std::collections::HashSet<u64>,
+    reads_pending: u32,
+    results: Arc<Mutex<DriverResults>>,
+}
+
+impl TestDriver {
+    fn begin_next(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cur >= self.txns {
+            self.results.lock().done_at_ns = ctx.now().as_nanos();
+            return;
+        }
+        self.txn_started_ns = ctx.now().as_nanos();
+        self.client.begin(ctx, self.cur);
+    }
+
+    fn key_for(&self, txn_idx: u64, i: u32) -> u64 {
+        self.key_base + txn_idx * self.inserts_per_txn as u64 + i as u64
+    }
+
+    fn issue_inserts(&mut self, ctx: &mut Ctx<'_>) {
+        self.inserts_done = 0;
+        self.acked.clear();
+        for i in 0..self.inserts_per_txn {
+            self.issue_insert(ctx, i);
+        }
+    }
+
+    fn issue_insert(&mut self, ctx: &mut Ctx<'_>, i: u32) {
+        let txn = self.txn.unwrap();
+        let (part, dp2) = (self.partition_of)(i);
+        let key = self.key_for(self.cur, i);
+        let body = Bytes::from(self.payload.clone());
+        let vlen = body.len() as u32;
+        self.client
+            .insert(ctx, &dp2, txn, part, key, body, vlen, i as u64);
+    }
+
+    fn resolve(&mut self, ctx: &mut Ctx<'_>) {
+        let txn = self.txn.unwrap();
+        match self.outcome {
+            Outcome::Commit => {
+                self.client.commit(ctx, txn);
+            }
+            Outcome::Abort => {
+                self.client.abort(ctx, txn);
+            }
+        }
+    }
+
+    fn after_resolution(&mut self, ctx: &mut Ctx<'_>) {
+        if self.verify_reads {
+            // Give aborts a moment to reach DP2s, then read back.
+            self.reads_pending = self.inserts_per_txn;
+            let cur = self.cur;
+            for i in 0..self.inserts_per_txn {
+                let (part, dp2) = (self.partition_of)(i);
+                let key = self.key_for(cur, i);
+                let machine = self.machine.clone();
+                // Delay the read slightly so TxnResolved lands first.
+                let _ = &machine;
+                let token = i as u64;
+                // Reads go direct; small stagger via repeated sends.
+                nsk::proc::send_to_process(
+                    ctx,
+                    &self.machine.clone(),
+                    self.ep,
+                    self.cpu,
+                    &dp2,
+                    32,
+                    ReadReq {
+                        partition: part,
+                        key,
+                        token,
+                    },
+                );
+            }
+        } else {
+            self.cur += 1;
+            self.txn = None;
+            self.begin_next(ctx);
+        }
+    }
+}
+
+impl Actor for TestDriver {
+    fn name(&self) -> &str {
+        "driver"
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        if msg.is::<simcore::actor::Start>() {
+            // Let the node finish booting (PM regions etc.).
+            ctx.send_self(SimDuration::from_millis(1200), Kickoff);
+            return;
+        }
+        if msg.is::<Kickoff>() {
+            self.begin_next(ctx);
+            ctx.send_self(SimDuration::from_millis(900), InsertRetryTick);
+            return;
+        }
+        if let Ok((_, delivery)) = msg.take::<NetDelivery>() {
+            let payload = match delivery.payload.downcast::<TxnBegun>() {
+                Ok(b) => {
+                    self.txn = Some(b.txn);
+                    self.issue_inserts(ctx);
+                    return;
+                }
+                Err(p) => p,
+            };
+            let payload = match payload.downcast::<InsertDone>() {
+                Ok(done) => {
+                    if self.client.note_insert_done(&done) {
+                        if !self.acked.insert(done.token) {
+                            return; // duplicate ack from a retried insert
+                        }
+                        self.inserts_done += 1;
+                        if self.inserts_done == self.inserts_per_txn {
+                            self.resolve(ctx);
+                        }
+                    } else {
+                        // Deadlock victim: abort and redo this txn.
+                        self.results.lock().deadlocks += 1;
+                        let txn = done.txn;
+                        self.client.abort(ctx, txn);
+                    }
+                    return;
+                }
+                Err(p) => p,
+            };
+            let payload = match payload.downcast::<TxnCommitted>() {
+                Ok(_c) => {
+                    let mut r = self.results.lock();
+                    r.committed += 1;
+                    r.responses
+                        .push(ctx.now().as_nanos() - self.txn_started_ns);
+                    drop(r);
+                    self.after_resolution(ctx);
+                    return;
+                }
+                Err(p) => p,
+            };
+            let payload = match payload.downcast::<TxnAborted>() {
+                Ok(_a) => {
+                    self.results.lock().aborted += 1;
+                    if self.outcome == Outcome::Abort {
+                        self.after_resolution(ctx);
+                    } else {
+                        // Deadlock retry: re-run the same txn index.
+                        self.txn = None;
+                        self.begin_next(ctx);
+                    }
+                    return;
+                }
+                Err(p) => p,
+            };
+            if let Ok(rd) = payload.downcast::<ReadDone>() {
+                {
+                    let mut r = self.results.lock();
+                    if rd.found.is_some() {
+                        r.reads_found += 1;
+                    } else {
+                        r.reads_missing += 1;
+                    }
+                }
+                self.reads_pending -= 1;
+                if self.reads_pending == 0 {
+                    self.cur += 1;
+                    self.txn = None;
+                    self.begin_next(ctx);
+                }
+            }
+        }
+    }
+}
+
+struct Kickoff;
+struct InsertRetryTick;
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_driver(
+    node: &mut OdsNode,
+    name: &str,
+    cpu: CpuId,
+    txns: u64,
+    inserts_per_txn: u32,
+    payload_len: usize,
+    outcome: Outcome,
+    verify_reads: bool,
+    key_base: u64,
+) -> Arc<Mutex<DriverResults>> {
+    let results = Arc::new(Mutex::new(DriverResults::default()));
+    let machine = node.machine.clone();
+    let pm: std::collections::HashMap<PartitionId, String> = node.partition_map.clone();
+    let files = node.params.files;
+    let parts = node.params.parts_per_file;
+    let partition_of = Arc::new(move |i: u32| {
+        let part = PartitionId {
+            file: i % files,
+            part: (i / files) % parts,
+        };
+        (part, pm[&part].clone())
+    });
+    let r2 = results.clone();
+    let tmf = node.tmf.clone();
+    let machine2 = machine.clone();
+    nsk::machine::install_primary(&mut node.sim, &machine, name, cpu, move |ep| {
+        Box::new(TestDriver {
+            client: TxnClient::new(machine2.clone(), ep, cpu, tmf),
+            machine: machine2,
+            ep,
+            cpu,
+            partition_of,
+            txns,
+            inserts_per_txn,
+            payload: vec![0xD7; payload_len],
+            outcome,
+            verify_reads,
+            key_base,
+            cur: 0,
+            txn: None,
+            txn_started_ns: 0,
+            inserts_done: 0,
+            acked: std::collections::HashSet::new(),
+            reads_pending: 0,
+            results: r2,
+        })
+    });
+    results
+}
+
+#[test]
+fn disk_baseline_commits_and_recovery_rebuilds_tables() {
+    let mut store = DurableStore::new();
+    let mut node = build_ods(&mut store, OdsParams::baseline(101));
+    let results = spawn_driver(
+        &mut node,
+        "$drv",
+        CpuId(0),
+        10,
+        8,
+        128,
+        Outcome::Commit,
+        false,
+        1_000,
+    );
+    node.sim.run_until(SimTime(120 * SECS));
+    let r = results.lock();
+    assert_eq!(r.committed, 10, "all txns commit");
+    drop(r);
+    let stats = node.stats.lock();
+    assert_eq!(stats.txns_committed, 10);
+    assert_eq!(stats.inserts, 80);
+    assert!(stats.audit_volume_writes > 0);
+    assert_eq!(stats.pm_writes, 0);
+    // Baseline flush latency is milliseconds (disk on the commit path).
+    assert!(
+        stats.flush_latency.mean() > 1_000_000.0,
+        "flush mean {}ns",
+        stats.flush_latency.mean()
+    );
+    drop(stats);
+
+    // Recovery: scan all four audit trails (ADP0 also holds the master
+    // records) and rebuild; every committed key must reappear.
+    let trails: Vec<Vec<u8>> = (0..4)
+        .map(|cpu| {
+            let media = store
+                .get::<simdisk::SparseMedia>(&format!("disk:$AUDIT{cpu}"))
+                .unwrap();
+            let m = media.lock();
+            m.read(0, m.high_water() as usize)
+        })
+        .collect();
+    let refs: Vec<&[u8]> = trails.iter().map(|t| t.as_slice()).collect();
+    let rec = txnkit::recovery::redo_scan(&refs, None);
+    assert_eq!(rec.committed.len(), 10);
+    assert!(rec.inflight.is_empty());
+    let total_keys: usize = rec.tables.values().map(|t| t.len()).sum();
+    assert_eq!(total_keys, 80, "all committed inserts redone");
+}
+
+#[test]
+fn pm_mode_commits_with_much_lower_flush_latency() {
+    let run = |params: OdsParams| {
+        let mut store = DurableStore::new();
+        let mut node = build_ods(&mut store, params);
+        let results = spawn_driver(
+            &mut node,
+            "$drv",
+            CpuId(0),
+            12,
+            8,
+            128,
+            Outcome::Commit,
+            false,
+            50_000,
+        );
+        node.sim.run_until(SimTime(200 * SECS));
+        assert_eq!(results.lock().committed, 12);
+        let s = node.stats.lock();
+        (s.flush_latency.mean(), s.pm_writes, s.audit_volume_writes)
+    };
+    let (disk_mean, disk_pm_writes, disk_vol_writes) = run(OdsParams::baseline(77));
+    let (pm_mean, pm_pm_writes, pm_vol_writes) = run(OdsParams::pm(77));
+    assert_eq!(disk_pm_writes, 0);
+    assert!(disk_vol_writes > 0);
+    assert!(pm_pm_writes > 0, "PM mode must write PM");
+    assert_eq!(pm_vol_writes, 0, "PM mode must not touch audit volumes");
+    assert!(
+        pm_mean * 5.0 < disk_mean,
+        "PM flush {pm_mean}ns !≪ disk {disk_mean}ns"
+    );
+}
+
+#[test]
+fn aborted_transactions_are_undone() {
+    let mut store = DurableStore::new();
+    let mut node = build_ods(&mut store, OdsParams::baseline(55));
+    let results = spawn_driver(
+        &mut node,
+        "$drv",
+        CpuId(1),
+        5,
+        4,
+        64,
+        Outcome::Abort,
+        true,
+        9_000,
+    );
+    node.sim.run_until(SimTime(120 * SECS));
+    let r = results.lock();
+    assert_eq!(r.aborted, 5);
+    assert_eq!(r.reads_missing, 20, "aborted inserts must vanish: {r:?}",
+        r = (r.reads_found, r.reads_missing));
+    assert_eq!(r.reads_found, 0);
+    drop(r);
+    assert_eq!(node.stats.lock().txns_aborted, 5);
+}
+
+#[test]
+fn adp_failover_mid_run_loses_no_committed_work() {
+    let mut store = DurableStore::new();
+    let mut node = build_ods(&mut store, OdsParams::baseline(66));
+    // Kill ADP1's primary 3 seconds in; its backup (cpu 2) takes over.
+    Monitor::install(
+        &mut node.sim,
+        &node.machine,
+        FaultPlan::none().with(Fault::KillProcess {
+            name: "$ADP1".into(),
+            at: SimTime(3 * SECS),
+        }),
+    );
+    let results = spawn_driver(
+        &mut node,
+        "$drv",
+        CpuId(0),
+        40,
+        8,
+        64,
+        Outcome::Commit,
+        false,
+        70_000,
+    );
+    node.sim.run_until(SimTime(400 * SECS));
+    assert_eq!(
+        results.lock().committed,
+        40,
+        "all txns must commit across the ADP takeover"
+    );
+}
+
+#[test]
+fn identical_seeds_give_identical_runs() {
+    let run = |seed| {
+        let mut store = DurableStore::new();
+        let mut node = build_ods(&mut store, OdsParams::baseline(seed));
+        let results = spawn_driver(
+            &mut node,
+            "$drv",
+            CpuId(0),
+            6,
+            8,
+            64,
+            Outcome::Commit,
+            false,
+            1,
+        );
+        // Bounded run: DP2 destage timers tick forever, so idle never
+        // arrives; the workload is long done by 300 simulated seconds.
+        node.sim.run_until(SimTime(300 * SECS));
+        let r = results.lock();
+        (r.committed, r.responses.clone(), r.done_at_ns)
+    };
+    assert_eq!(run(31), run(31));
+    assert_ne!(run(31).2, run(32).2, "different seeds should differ");
+}
+
+#[test]
+fn two_drivers_on_disjoint_keys_both_complete() {
+    let mut store = DurableStore::new();
+    let mut node = build_ods(&mut store, OdsParams::pm(88));
+    let r1 = spawn_driver(
+        &mut node, "$drv1", CpuId(0), 8, 8, 64, Outcome::Commit, false, 0,
+    );
+    let r2 = spawn_driver(
+        &mut node, "$drv2", CpuId(1), 8, 8, 64, Outcome::Commit, false, 1 << 32,
+    );
+    node.sim.run_until(SimTime(200 * SECS));
+    assert_eq!(r1.lock().committed, 8);
+    assert_eq!(r2.lock().committed, 8);
+    assert_eq!(node.stats.lock().txns_committed, 16);
+}
+
+#[test]
+fn pm_adp_failover_recovers_exact_position_from_control_cell() {
+    // The PM-mode ADP keeps no backup checkpoints; the takeover must
+    // recover the durable watermark from the control cell in the region.
+    let mut store = DurableStore::new();
+    let mut node = build_ods(&mut store, OdsParams::pm(67));
+    Monitor::install(
+        &mut node.sim,
+        &node.machine,
+        FaultPlan::none().with(Fault::KillProcess {
+            name: "$ADP2".into(),
+            at: SimTime(3 * SECS),
+        }),
+    );
+    let results = spawn_driver(
+        &mut node,
+        "$drv",
+        CpuId(0),
+        60,
+        8,
+        64,
+        Outcome::Commit,
+        false,
+        90_000,
+    );
+    node.sim.run_until(SimTime(400 * SECS));
+    assert_eq!(
+        results.lock().committed,
+        60,
+        "all txns must commit across the PM-mode ADP takeover"
+    );
+    // No data checkpoints were ever sent in PM mode.
+    assert_eq!(node.stats.lock().adp_checkpoints, 0);
+}
+
+#[test]
+fn group_commit_window_shapes_baseline_commit_latency() {
+    // The baseline's commit latency is dominated by the group-commit
+    // window plus the mechanical flush; shrinking the window to zero must
+    // visibly reduce it (at the cost of more, smaller audit writes).
+    let run = |window_ns: u64| {
+        let mut params = OdsParams::baseline(21);
+        params.txn.group_commit_window_ns = window_ns;
+        let mut store = DurableStore::new();
+        let mut node = build_ods(&mut store, params);
+        let results = spawn_driver(
+            &mut node, "$drv", CpuId(0), 12, 8, 64, Outcome::Commit, false, 5,
+        );
+        node.sim.run_until(SimTime(120 * SECS));
+        assert_eq!(results.lock().committed, 12);
+        let s = node.stats.lock();
+        (s.flush_latency.mean(), s.audit_volume_writes)
+    };
+    let (windowed_mean, windowed_writes) = run(8_000_000);
+    let (eager_mean, eager_writes) = run(0);
+    assert!(
+        windowed_mean > eager_mean + 4_000_000.0,
+        "window must add visible latency: {windowed_mean} vs {eager_mean}"
+    );
+    assert!(
+        eager_writes >= windowed_writes,
+        "eager flushing can't do fewer device writes"
+    );
+}
+
+
+#[test]
+fn dp2_failover_mid_run_loses_no_committed_work() {
+    // Kill a DP2 primary mid-load: its backup (holding every checkpointed
+    // insert) takes over; requests lost in the window are retried by the
+    // driver; all transactions still commit.
+    let mut store = DurableStore::new();
+    let mut node = build_ods(&mut store, OdsParams::baseline(91));
+    Monitor::install(
+        &mut node.sim,
+        &node.machine,
+        FaultPlan::none().with(Fault::KillProcess {
+            name: "$DP2-1".into(),
+            at: SimTime(3 * SECS),
+        }),
+    );
+    let results = spawn_driver(
+        &mut node,
+        "$drv",
+        CpuId(0),
+        50,
+        8,
+        64,
+        Outcome::Commit,
+        false,
+        40_000,
+    );
+    node.sim.run_until(SimTime(400 * SECS));
+    assert_eq!(
+        results.lock().committed,
+        50,
+        "all txns must commit across the DP2 takeover"
+    );
+    // The promoted backup serves reads for records inserted before the
+    // kill (checkpointed state survived).
+    let m = node.machine.lock();
+    assert!(m.resolve("$DP2-1").is_some());
+}
+
+#[test]
+fn whole_cpu_failure_mid_run_recovers() {
+    // Kill CPU 2 outright: the ADP2 and DP2-2 primaries die together (and
+    // CPU 2's hosted backups disappear). Their backups on CPU 3 take
+    // over; the workload completes.
+    let mut store = DurableStore::new();
+    let mut node = build_ods(&mut store, OdsParams::baseline(93));
+    Monitor::install(
+        &mut node.sim,
+        &node.machine,
+        FaultPlan::none().with(Fault::KillCpu {
+            cpu: 2,
+            at: SimTime(3 * SECS),
+        }),
+    );
+    let results = spawn_driver(
+        &mut node,
+        "$drv",
+        CpuId(0),
+        40,
+        8,
+        64,
+        Outcome::Commit,
+        false,
+        60_000,
+    );
+    node.sim.run_until(SimTime(400 * SECS));
+    assert_eq!(
+        results.lock().committed,
+        40,
+        "all txns must commit across a whole-CPU failure"
+    );
+    let m = node.machine.lock();
+    assert!(!m.cpu_alive(CpuId(2)));
+    // The services formerly on CPU 2 now answer from their backups.
+    assert_ne!(m.resolve("$ADP2").unwrap().cpu, CpuId(2));
+    assert_ne!(m.resolve("$DP2-2").unwrap().cpu, CpuId(2));
+}

@@ -1,0 +1,98 @@
+//! Fault tolerance: process-pair takeover under load.
+//!
+//! Runs the transactional workload while killing, mid-run, the primary of
+//! an ADP (log writer) and then the primary of the PMM — and shows that
+//! every transaction still commits and no acknowledged data is lost.
+//!
+//! Run: `cargo run --release --example failover`
+
+use hotstock::driver::HotStockDriver;
+use nsk::machine::CpuId;
+use nsk::Monitor;
+use simcore::fault::{Fault, FaultPlan};
+use simcore::time::SECS;
+use simcore::{DurableStore, SimDuration, SimTime};
+use txnkit::scenario::{build_ods, OdsParams};
+
+fn main() {
+    let mut store = DurableStore::new();
+    let mut node = build_ods(&mut store, OdsParams::pm(0xFA11));
+
+    // Faults: kill ADP1's primary at t=1.5s and the PMM primary at t=2s,
+    // while the driver is mid-stream.
+    Monitor::install(
+        &mut node.sim,
+        &node.machine,
+        FaultPlan::none()
+            .with(Fault::KillProcess {
+                name: "$ADP1".into(),
+                at: SimTime(3 * SECS / 2),
+            })
+            .with(Fault::KillProcess {
+                name: "$PMM".into(),
+                at: SimTime(2 * SECS),
+            }),
+    );
+
+    let records = 3000u64;
+    let tmf = node.tmf.clone();
+    let pmap = node.partition_map.clone();
+    let (files, parts) = (node.params.files, node.params.parts_per_file);
+    let issue = node.params.txn.issue_cpu_ns;
+    let machine = node.machine.clone();
+    let stats = HotStockDriver::install(
+        &mut node.sim,
+        &machine,
+        tmf,
+        pmap,
+        files,
+        parts,
+        0,
+        CpuId(0),
+        4096,
+        8,
+        records,
+        SimDuration::from_millis(1100),
+        issue,
+    );
+
+    println!("running {records} inserts with ADP + PMM primaries killed mid-run...");
+    loop {
+        if stats.lock().done {
+            break;
+        }
+        let now = node.sim.now();
+        assert!(now < SimTime(30 * SECS), "run stalled: failover broken?");
+        node.sim.run_until(SimTime(now.as_nanos() + SECS));
+        let s = stats.lock();
+        println!(
+            "  t={:>4.0}s committed={:>4} txns inserted={:>5} records",
+            now.as_secs_f64(),
+            s.committed_txns,
+            s.inserted_records
+        );
+    }
+
+    let s = stats.lock();
+    println!(
+        "\ndone at t={:.1}s: {} transactions committed, {} records inserted — none lost",
+        s.finished_ns as f64 / 1e9,
+        s.committed_txns,
+        s.inserted_records
+    );
+    assert_eq!(s.inserted_records, records);
+
+    // The machine registry now resolves both names to the promoted backups.
+    let m = node.machine.lock();
+    println!(
+        "post-takeover primaries: $ADP1 -> {:?} (cpu {:?}), $PMM -> {:?} (cpu {:?})",
+        m.resolve("$ADP1").unwrap().actor,
+        m.resolve("$ADP1").unwrap().cpu,
+        m.resolve("$PMM").unwrap().actor,
+        m.resolve("$PMM").unwrap().cpu,
+    );
+    println!(
+        "\n§4: \"the fault detection and message re-routing capabilities of NSK...\n\
+         allow a backup process to take over from its primary in a second or less\"."
+    );
+}

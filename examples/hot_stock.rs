@@ -1,0 +1,35 @@
+//! The hot-stock benchmark (§4.3) as a runnable demo: one hotly-traded
+//! stock, disk-audit baseline vs PM-enabled ADP, small scale.
+//!
+//! Run: `cargo run --release --example hot_stock`
+
+use hotstock::{run_hot_stock, HotStockParams, TxnSize};
+use txnkit::scenario::AuditMode;
+
+fn main() {
+    let records = 1000;
+    println!("hot-stock demo: 1 driver, {records} records, boxcar sweep\n");
+    println!(
+        "{:>8} {:>14} {:>14} {:>9}  {:>14} {:>14}",
+        "txn", "disk rt (ms)", "pm rt (ms)", "speedup", "disk elapsed", "pm elapsed"
+    );
+    for size in TxnSize::ALL {
+        let disk = run_hot_stock(HotStockParams::scaled(1, size, AuditMode::Disk, records));
+        let pm = run_hot_stock(HotStockParams::scaled(1, size, AuditMode::Pmp, records));
+        println!(
+            "{:>8} {:>14.2} {:>14.2} {:>8.2}x  {:>13.2}s {:>13.2}s",
+            size.label(),
+            disk.response.mean() / 1e6,
+            pm.response.mean() / 1e6,
+            disk.response.mean() / pm.response.mean(),
+            disk.elapsed.as_secs_f64(),
+            pm.elapsed.as_secs_f64(),
+        );
+    }
+    println!(
+        "\nthe paper's reading: without PM, applications must boxcar operations to\n\
+         sustain throughput; with a PM-backed audit trail the penalty for small\n\
+         transactions disappears (\"applications do not need to artificially\n\
+         combine operations in order to maintain throughput\")."
+    );
+}

@@ -1,0 +1,16 @@
+//! # ods-pm — umbrella crate
+//!
+//! Reproduction of Mehra & Fineberg, "Fast and Flexible Persistence"
+//! (IPDPS 2004). See `README.md` for the guided tour, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! The two entry points most users want:
+//!
+//! * [`pmem`] — the persistent-memory architecture (devices, manager,
+//!   client library, fine-grained persistent structures);
+//! * [`hotstock`] — the paper's benchmark, runnable at any scale.
+
+pub use hotstock;
+pub use pmem;
+pub use recordstore;
+pub use txnkit;

@@ -1,0 +1,54 @@
+//! Cross-crate determinism: identical seeds must produce bit-identical
+//! experiment results — the property that makes every figure in
+//! EXPERIMENTS.md reproducible.
+
+use hotstock::{run_hot_stock, HotStockParams, TxnSize};
+use txnkit::scenario::AuditMode;
+
+fn run_sig(seed: u64, audit: AuditMode) -> (u64, u64, f64, u64) {
+    let r = run_hot_stock(HotStockParams {
+        seed,
+        ..HotStockParams::scaled(2, TxnSize::K32, audit, 200)
+    });
+    (
+        r.committed_txns,
+        r.elapsed.as_nanos(),
+        r.response.mean(),
+        r.response.max(),
+    )
+}
+
+#[test]
+fn hot_stock_runs_are_reproducible() {
+    for audit in [AuditMode::Disk, AuditMode::Pmp] {
+        let a = run_sig(1234, audit);
+        let b = run_sig(1234, audit);
+        assert_eq!(a, b, "mode {audit:?} not deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_sig(1, AuditMode::Pmp);
+    let b = run_sig(2, AuditMode::Pmp);
+    assert_eq!(a.0, b.0, "same committed count");
+    assert_ne!(
+        (a.1, a.2),
+        (b.1, b.2),
+        "different seeds should perturb timings"
+    );
+}
+
+#[test]
+fn node_boot_is_reproducible() {
+    let run = || {
+        let mut store = simcore::DurableStore::new();
+        let mut node = txnkit::scenario::build_ods(
+            &mut store,
+            txnkit::scenario::OdsParams::pm(99),
+        );
+        node.sim.run_until(simcore::SimTime(simcore::time::SECS * 3));
+        node.sim.dispatched()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,232 @@
+//! Property-based tests over the durable formats and crash machinery.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+use txnkit::audit::{scan, AuditRecord};
+use txnkit::types::{PartitionId, TxnId};
+
+fn arb_record() -> impl Strategy<Value = AuditRecord> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            0u32..8,
+            0u32..8,
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..200)
+        )
+            .prop_map(|(txn, file, part, key, body)| {
+                let crc = pmm::meta::crc32(&body);
+                AuditRecord::Insert {
+                    txn: TxnId(txn),
+                    partition: PartitionId { file, part },
+                    key,
+                    virtual_len: body.len() as u32,
+                    body_crc: crc,
+                    body: Bytes::from(body),
+                }
+            }),
+        any::<u64>().prop_map(|t| AuditRecord::Commit { txn: TxnId(t) }),
+        any::<u64>().prop_map(|t| AuditRecord::Abort { txn: TxnId(t) }),
+        proptest::collection::vec(any::<u64>(), 0..8).prop_map(|v| {
+            AuditRecord::CheckpointMark {
+                active_txns: v.into_iter().map(TxnId).collect(),
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every audit record round-trips exactly through encode/decode.
+    #[test]
+    fn audit_record_roundtrip(rec in arb_record()) {
+        let enc = rec.encode();
+        prop_assert_eq!(enc.len(), rec.encoded_len());
+        let (back, used) = AuditRecord::decode(&enc).unwrap();
+        prop_assert_eq!(back, rec);
+        prop_assert_eq!(used, enc.len());
+    }
+
+    /// A trail of any records scans back fully, and any truncation yields
+    /// a clean prefix (never garbage records).
+    #[test]
+    fn audit_trail_scan_prefix_property(
+        recs in proptest::collection::vec(arb_record(), 1..20),
+        cut_frac in 0.0f64..1.0
+    ) {
+        let mut trail = BytesMut::new();
+        for r in &recs {
+            r.encode_into(&mut trail);
+        }
+        let full = scan(&trail);
+        prop_assert_eq!(full.len(), recs.len());
+        for ((_, got), want) in full.iter().zip(recs.iter()) {
+            prop_assert_eq!(got, want);
+        }
+        let cut = ((trail.len() as f64) * cut_frac) as usize;
+        let truncated = scan(&trail[..cut]);
+        prop_assert!(truncated.len() <= recs.len());
+        for ((_, got), want) in truncated.iter().zip(recs.iter()) {
+            prop_assert_eq!(got, want, "truncated scan must be a prefix");
+        }
+    }
+
+    /// PMM volume metadata round-trips and survives arbitrary single-slot
+    /// corruption via the two-slot scheme.
+    #[test]
+    fn volume_meta_two_slot_recovery(
+        names in proptest::collection::vec("[a-z]{1,12}", 0..6),
+        corrupt_at in any::<usize>(),
+        flip in any::<u8>()
+    ) {
+        use pmm::{MetaStore, RegionMeta, VolumeMeta, META_BYTES};
+        let mut meta = VolumeMeta {
+            epoch: 6,
+            next_region_id: names.len() as u64,
+            regions: names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| RegionMeta {
+                    id: i as u64,
+                    name: n.clone(),
+                    base: META_BYTES + (i as u64) * 8192,
+                    len: 4096,
+                    owner_cpu: (i % 4) as u32,
+                })
+                .collect(),
+        };
+        let mut img = vec![0u8; META_BYTES as usize];
+        // Write epoch 6 (slot 0) then epoch 7 (slot 1).
+        let e6 = meta.encode();
+        img[MetaStore::slot_for_epoch(6) as usize..][..e6.len()].copy_from_slice(&e6);
+        meta.epoch = 7;
+        let e7 = meta.encode();
+        let slot7 = MetaStore::slot_for_epoch(7) as usize;
+        img[slot7..][..e7.len()].copy_from_slice(&e7);
+
+        // Corrupt one arbitrary byte of the *newest* slot.
+        if !e7.is_empty() && flip != 0 {
+            let off = slot7 + (corrupt_at % e7.len());
+            img[off] ^= flip;
+        }
+        let rec = MetaStore::recover(|off, len| img[off as usize..off as usize + len].to_vec());
+        // Either the corruption was harmless (recovered epoch 7) or the
+        // scheme fell back to epoch 6. Region contents must match one of
+        // the two committed states — never garbage.
+        prop_assert!(rec.epoch == 7 || rec.epoch == 6, "epoch {}", rec.epoch);
+        prop_assert_eq!(rec.regions.len(), meta.regions.len());
+    }
+
+    /// The redo transaction is atomic under a crash at any byte budget,
+    /// for arbitrary write sets.
+    #[test]
+    fn pmtx_atomicity_random_writes(
+        writes in proptest::collection::vec(
+            (4096u64..16_384, proptest::collection::vec(any::<u8>(), 1..64)),
+            1..6
+        ),
+        crash_frac in 0.0f64..1.2
+    ) {
+        use pmstore::{PmMedium, PmTx, TornWriter, VecMedium};
+        // Non-overlapping home offsets: space them out.
+        let writes: Vec<(u64, Vec<u8>)> = writes
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, data))| (4096 + (i as u64) * 128, data))
+            .collect();
+        let total = {
+            let mut m = VecMedium::new(32 << 10);
+            let mut tx = PmTx::create(0, 4096);
+            let refs: Vec<(u64, &[u8])> =
+                writes.iter().map(|(o, d)| (*o, d.as_slice())).collect();
+            let before = m.bytes_written;
+            tx.run(&mut m, &refs);
+            m.bytes_written - before
+        };
+        let crash_at = ((total as f64) * crash_frac) as u64;
+        let mut torn = TornWriter::new(VecMedium::new(32 << 10));
+        torn.crash_after(crash_at);
+        let mut tx = PmTx::create(0, 4096);
+        let refs: Vec<(u64, &[u8])> = writes.iter().map(|(o, d)| (*o, d.as_slice())).collect();
+        tx.run(&mut torn, &refs);
+        let mut m = torn.into_inner();
+        PmTx::recover(&mut m, 0, 4096);
+        // All-or-nothing: every write present, or every write absent.
+        let applied: Vec<bool> = writes
+            .iter()
+            .map(|(off, data)| m.read(*off, data.len()) == *data)
+            .collect();
+        let all = applied.iter().all(|&x| x);
+        let none = applied.iter().all(|&x| {
+            !x || writes.iter().filter(|(o, _)| m.read(*o, 1) == [0]).count() == 0
+        });
+        prop_assert!(all || applied.iter().all(|&x| !x) || none,
+            "hybrid state: {applied:?} at crash {crash_at}/{total}");
+    }
+
+    /// The persistent B+-tree agrees with a model BTreeMap under random
+    /// insert/remove/get sequences.
+    #[test]
+    fn pmbtree_matches_model(ops in proptest::collection::vec(
+        (0u8..3, 0u64..512, any::<u64>()), 1..120)
+    ) {
+        use pmstore::{PmBTree, VecMedium};
+        use std::collections::BTreeMap;
+        let mut m = VecMedium::new(4 << 20);
+        let mut tree = PmBTree::format(&mut m, 0, 4 << 20);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (op, key, val) in ops {
+            match op {
+                0 => {
+                    let a = tree.insert(&mut m, key, val);
+                    let b = model.insert(key, val);
+                    prop_assert_eq!(a, b);
+                }
+                1 => {
+                    let a = tree.remove(&mut m, key);
+                    let b = model.remove(&key);
+                    prop_assert_eq!(a, b);
+                }
+                _ => {
+                    prop_assert_eq!(tree.get(&m, key), model.get(&key).copied());
+                }
+            }
+        }
+        tree.check(&m);
+        prop_assert_eq!(tree.len(&m), model.len());
+        let range: Vec<(u64, u64)> = tree.range(&m, 100, 400);
+        let model_range: Vec<(u64, u64)> =
+            model.range(100..400).map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(range, model_range);
+    }
+
+    /// The persistent queue behaves as a FIFO under random op sequences.
+    #[test]
+    fn pmqueue_matches_model(ops in proptest::collection::vec(
+        (any::<bool>(), proptest::collection::vec(any::<u8>(), 1..32)), 1..80)
+    ) {
+        use pmstore::{PmQueue, VecMedium};
+        use std::collections::VecDeque;
+        let slots = 16;
+        let mut m = VecMedium::new(PmQueue::required_len(slots, 32) + 64);
+        let q = PmQueue::format(&mut m, 0, slots, 32);
+        let mut model: VecDeque<Vec<u8>> = VecDeque::new();
+        for (enq, payload) in ops {
+            if enq {
+                let ok = q.enqueue(&mut m, &payload);
+                if model.len() < slots as usize {
+                    prop_assert!(ok);
+                    model.push_back(payload);
+                } else {
+                    prop_assert!(!ok, "must reject when full");
+                }
+            } else {
+                let got = q.dequeue(&mut m);
+                let want = model.pop_front();
+                prop_assert_eq!(got, want);
+            }
+            prop_assert_eq!(q.len(&m), model.len() as u64);
+        }
+    }
+}
