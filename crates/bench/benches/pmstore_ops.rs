@@ -86,7 +86,12 @@ fn bench_locktable_and_tcb(c: &mut Criterion) {
         let mut k = 0u64;
         b.iter(|| {
             k += 1;
-            t.record_grant(&mut m, k % 512, k, pmstore::locktable::PmLockMode::Exclusive);
+            t.record_grant(
+                &mut m,
+                k % 512,
+                k,
+                pmstore::locktable::PmLockMode::Exclusive,
+            );
             black_box(t.release_holder(&mut m, k))
         })
     });

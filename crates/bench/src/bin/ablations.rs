@@ -15,7 +15,13 @@ fn main() {
     const N: u32 = 300;
 
     // A1: mirroring policy.
-    let mut a1 = Table::new(&["policy", "size_B", "mean_us", "p95_us", "survives_npmu_loss"]);
+    let mut a1 = Table::new(&[
+        "policy",
+        "size_B",
+        "mean_us",
+        "p95_us",
+        "survives_npmu_loss",
+    ]);
     for size in [512u32, 4096] {
         for (label, policy, ft) in [
             ("parallel-both (paper)", MirrorPolicy::ParallelBoth, "yes"),

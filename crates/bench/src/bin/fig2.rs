@@ -65,11 +65,9 @@ fn main() {
     t.print("Figure 2: total elapsed time (s) vs transaction size");
 
     // The headline ratios.
-    let no_pm_degrade =
-        elapsed_of(TxnSize::K32, 1, AuditMode::Disk) / elapsed_of(TxnSize::K128, 1, AuditMode::Disk);
+    let no_pm_degrade = elapsed_of(TxnSize::K32, 1, AuditMode::Disk)
+        / elapsed_of(TxnSize::K128, 1, AuditMode::Disk);
     let pm_degrade =
         elapsed_of(TxnSize::K32, 1, AuditMode::Pmp) / elapsed_of(TxnSize::K128, 1, AuditMode::Pmp);
-    println!(
-        "degradation 32k vs 128k (1 driver): no-PM {no_pm_degrade:.2}x, PM {pm_degrade:.2}x"
-    );
+    println!("degradation 32k vs 128k (1 driver): no-PM {no_pm_degrade:.2}x, PM {pm_degrade:.2}x");
 }

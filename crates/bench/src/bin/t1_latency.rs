@@ -83,7 +83,5 @@ fn main() {
     }
 
     t.print("T1: durable-write latency by attachment (paper §3.2–§3.3)");
-    println!(
-        "paper bands: storage stack = 100s of us .. ms; PM direct = 10s of us"
-    );
+    println!("paper bands: storage stack = 100s of us .. ms; PM direct = 10s of us");
 }

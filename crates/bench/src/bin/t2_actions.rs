@@ -11,9 +11,20 @@ use txnkit::scenario::AuditMode;
 
 fn main() {
     let records = 1000;
-    let disk = run_hot_stock(HotStockParams::scaled(1, TxnSize::K64, AuditMode::Disk, records));
-    let pm = run_hot_stock(HotStockParams::scaled(1, TxnSize::K64, AuditMode::Pmp, records));
+    let disk = run_hot_stock(HotStockParams::scaled(
+        1,
+        TxnSize::K64,
+        AuditMode::Disk,
+        records,
+    ));
+    let pm = run_hot_stock(HotStockParams::scaled(
+        1,
+        TxnSize::K64,
+        AuditMode::Pmp,
+        records,
+    ));
 
+    #[allow(clippy::type_complexity)]
     let rows: [(&str, fn(&hotstock::runner::TxnStatsSnapshot) -> u64); 6] = [
         ("DBW primary -> backup checkpoint", |s| s.dbw_checkpoints),
         ("DBW -> ADP audit delta", |s| s.audit_deltas),
@@ -27,14 +38,26 @@ fn main() {
     for (label, get) in rows {
         t.row(&[
             label.to_string(),
-            format!("{:.3}", get(&disk.txn_stats) as f64 / disk.txn_stats.inserts as f64),
-            format!("{:.3}", get(&pm.txn_stats) as f64 / pm.txn_stats.inserts as f64),
+            format!(
+                "{:.3}",
+                get(&disk.txn_stats) as f64 / disk.txn_stats.inserts as f64
+            ),
+            format!(
+                "{:.3}",
+                get(&pm.txn_stats) as f64 / pm.txn_stats.inserts as f64
+            ),
         ]);
     }
     t.row(&[
         "(info) PM control-cell writes".into(),
-        format!("{:.3}", disk.txn_stats.pm_ctrl_writes as f64 / disk.txn_stats.inserts as f64),
-        format!("{:.3}", pm.txn_stats.pm_ctrl_writes as f64 / pm.txn_stats.inserts as f64),
+        format!(
+            "{:.3}",
+            disk.txn_stats.pm_ctrl_writes as f64 / disk.txn_stats.inserts as f64
+        ),
+        format!(
+            "{:.3}",
+            pm.txn_stats.pm_ctrl_writes as f64 / pm.txn_stats.inserts as f64
+        ),
     ]);
     t.row(&[
         "TOTAL (measured, prototype scope)".into(),

@@ -7,7 +7,7 @@
 //!   1. disk scan  — read & redo the whole trail from the audit volume;
 //!   2. PM scan    — same scan over RDMA from the NPMU;
 //!   3. PM + TCBs  — read the persistent TCB table, scan only the tail
-//!                   past the last checkpoint mark.
+//!      past the last checkpoint mark.
 //!
 //! The redo pass itself is validated against a generated trail.
 
@@ -34,9 +34,9 @@ fn main() {
     for mb in [16u64, 64, 256, 1024] {
         let bytes = mb << 20;
         let records = bytes / 4096; // 4 KB records
-        // TCB recovery scans only the tail after the last fuzzy
-        // checkpoint mark: with marks every 4 MB, the expected tail is
-        // 2 MB regardless of trail length — that is the whole point.
+                                    // TCB recovery scans only the tail after the last fuzzy
+                                    // checkpoint mark: with marks every 4 MB, the expected tail is
+                                    // 2 MB regardless of trail length — that is the whole point.
         let tail_bytes = 2 << 20;
         let tail_records = tail_bytes / 4096;
         let d = mttr_disk_scan(bytes, records, &disk);
@@ -94,5 +94,7 @@ fn main() {
         committed_keys
     );
     assert_eq!(rebuilt as u64, committed_keys);
-    println!("paper: shorter MTTR \"is the mantra for both better availability and data integrity\"");
+    println!(
+        "paper: shorter MTTR \"is the mantra for both better availability and data integrity\""
+    );
 }

@@ -32,7 +32,12 @@ fn main() {
     t.print("T4: persistent-write latency, hardware NPMU vs PMP");
 
     // End-to-end check on the benchmark workload.
-    let pmp = run_hot_stock(HotStockParams::scaled(1, TxnSize::K32, AuditMode::Pmp, 1000));
+    let pmp = run_hot_stock(HotStockParams::scaled(
+        1,
+        TxnSize::K32,
+        AuditMode::Pmp,
+        1000,
+    ));
     let hw = run_hot_stock(HotStockParams::scaled(
         1,
         TxnSize::K32,

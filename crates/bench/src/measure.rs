@@ -6,7 +6,7 @@ use bytes::Bytes;
 use npmu::NpmuConfig;
 use nsk::machine::{CpuId, Machine, MachineConfig, SharedMachine};
 use parking_lot::Mutex;
-use pmclient::{MirrorPolicy, PmLib};
+use pmclient::{MirrorPolicy, PmLib, PmReadTimeout, PmWriteTimeout};
 use pmem::install_pm_system;
 use pmm::msgs::CreateRegionAck;
 use simcore::actor::Start;
@@ -275,9 +275,28 @@ impl Actor for PmClientRig {
             }
             Err(m) => m,
         };
+        let msg = match msg.take::<PmWriteTimeout>() {
+            Ok((_, t)) => {
+                if self.lib.on_write_timeout(ctx, &t).is_some() {
+                    self.hist
+                        .lock()
+                        .record(ctx.now().as_nanos() - self.started_ns);
+                    self.issue(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.take::<PmReadTimeout>() {
+            Ok((_, t)) => {
+                let _ = self.lib.on_read_timeout(ctx, &t);
+                return;
+            }
+            Err(m) => m,
+        };
         let msg = match msg.take::<RdmaReadDone>() {
             Ok((_, done)) => {
-                if self.lib.on_rdma_read_done(done).is_some() && self.rmw_pending {
+                if self.lib.on_rdma_read_done(ctx, done).is_some() && self.rmw_pending {
                     self.rmw_pending = false;
                     // Now write the (whole) modified block.
                     let region = self.region.expect("region open");

@@ -92,7 +92,7 @@ mod tests {
         for k in 0..200u64 {
             t.insert(&mut w, k, k * 7);
         }
-        drop(t);
+        let _ = t;
         drop(w);
         // "Power loss": only the image survives; reopen through a fresh
         // adapter and recover.

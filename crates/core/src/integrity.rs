@@ -21,15 +21,9 @@ use simcore::durable::Image;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Discrepancy {
     /// The two devices recovered different metadata.
-    MetadataMismatch {
-        epoch_a: u64,
-        epoch_b: u64,
-    },
+    MetadataMismatch { epoch_a: u64, epoch_b: u64 },
     /// A region exists on one device's table but not the other's.
-    RegionMissing {
-        region: String,
-        on_device: char,
-    },
+    RegionMissing { region: String, on_device: char },
     /// Region bytes differ; first differing offset within the region.
     ContentMismatch {
         region: String,
@@ -57,11 +51,7 @@ const CHUNK: usize = 64 * 1024;
 
 /// Scrub a mirrored NPMU pair. Limits to `max_findings` discrepancies
 /// (the scrubber keeps going across regions but caps per-region noise).
-pub fn verify_mirrors(
-    a: &Image<NvImage>,
-    b: &Image<NvImage>,
-    max_findings: usize,
-) -> MirrorReport {
+pub fn verify_mirrors(a: &Image<NvImage>, b: &Image<NvImage>, max_findings: usize) -> MirrorReport {
     let mut report = MirrorReport::default();
     let a = a.lock();
     let b = b.lock();
@@ -89,11 +79,7 @@ pub fn verify_mirrors(
                     let cb = b.read(rb.base + off, n);
                     report.bytes_compared += n as u64;
                     if ca != cb {
-                        let i = ca
-                            .iter()
-                            .zip(cb.iter())
-                            .position(|(x, y)| x != y)
-                            .unwrap();
+                        let i = ca.iter().zip(cb.iter()).position(|(x, y)| x != y).unwrap();
                         report.discrepancies.push(Discrepancy::ContentMismatch {
                             region: name.clone(),
                             offset: off + i as u64,
@@ -151,6 +137,7 @@ mod tests {
             epoch,
             next_region_id: regions.len() as u64,
             regions,
+            health: Default::default(),
         };
         let enc = meta.encode();
         img.lock().write(MetaStore::slot_for_epoch(epoch), &enc);
@@ -214,10 +201,13 @@ mod tests {
         let b = device_with_meta(vec![region("y", META_BYTES, 4096)], 4);
         let rep = verify_mirrors(&a, &b, 16);
         assert!(!rep.is_clean());
-        assert!(rep
-            .discrepancies
-            .iter()
-            .any(|d| matches!(d, Discrepancy::MetadataMismatch { epoch_a: 3, epoch_b: 4 })));
+        assert!(rep.discrepancies.iter().any(|d| matches!(
+            d,
+            Discrepancy::MetadataMismatch {
+                epoch_a: 3,
+                epoch_b: 4
+            }
+        )));
         assert!(rep
             .discrepancies
             .iter()

@@ -32,6 +32,9 @@ pub use system::{install_pm_system, PmSystem};
 
 // One-stop re-exports of the architecture's components.
 pub use npmu::{AttEntry, AttTable, CpuFilter, Npmu, NpmuConfig, NpmuHandle, NpmuKind, NvImage};
-pub use pmclient::{MirrorPolicy, PmLib, PmReadComplete, PmWriteComplete};
-pub use pmm::{install_pmm_pair, PmmConfig, PmmHandle, RegionInfo};
+pub use pmclient::{
+    MirrorPolicy, PmClientConfig, PmLib, PmReadComplete, PmReadTimeout, PmWriteComplete,
+    PmWriteTimeout,
+};
+pub use pmm::{install_pmm_pair, HealthState, PmmConfig, PmmHandle, PmmStats, RegionInfo};
 pub use pmstore::{PmBTree, PmHeap, PmLockTable, PmQueue, PmTx, TcbTable};

@@ -149,16 +149,8 @@ impl HotStockDriver {
         // Compact body: 16 descriptor bytes standing in for a 4 KB
         // record (full size travels through the timing model).
         let body = Bytes::from(key.to_le_bytes().to_vec());
-        self.client.insert(
-            ctx,
-            &dp2,
-            txn,
-            part,
-            key,
-            body,
-            self.record_bytes,
-            i as u64,
-        );
+        self.client
+            .insert(ctx, &dp2, txn, part, key, body, self.record_bytes, i as u64);
         if i + 1 < n {
             let now = ctx.now().as_nanos();
             let queue = self

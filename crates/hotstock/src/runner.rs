@@ -193,8 +193,7 @@ pub fn run_hot_stock(params: HotStockParams) -> HotStockResult {
         if now >= ceiling {
             panic!("hot-stock run exceeded the 1h simulated ceiling");
         }
-        node.sim
-            .run_until(SimTime(now.as_nanos() + 5 * SECS));
+        node.sim.run_until(SimTime(now.as_nanos() + 5 * SECS));
     }
 
     let mut response = Histogram::new();

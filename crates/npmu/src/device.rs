@@ -26,6 +26,18 @@ pub enum NpmuKind {
     Pmp,
 }
 
+/// How a failed device answers inbound RDMA during a down window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FailureMode {
+    /// The NIC survives enough to NACK: initiators get a prompt
+    /// [`RdmaStatus::DeviceFailed`] completion.
+    #[default]
+    Nack,
+    /// The device goes dark: inbound ops are swallowed and the initiator
+    /// must detect the failure by timeout.
+    SilentDrop,
+}
+
 #[derive(Clone, Debug)]
 pub struct NpmuConfig {
     pub capacity: u64,
@@ -33,6 +45,14 @@ pub struct NpmuConfig {
     /// Extra per-op processing for the PMP variant, ns. The paper found
     /// hardware "slightly faster" than the PMP; this is that delta.
     pub pmp_extra_ns: u64,
+    /// Which mirror half this device is, for [`Fault::NpmuDown`] matching.
+    /// `None` infers it from the conventional `-a`/`-b` name suffix at
+    /// install time (and leaves the device un-faultable otherwise).
+    ///
+    /// [`Fault::NpmuDown`]: simcore::fault::Fault::NpmuDown
+    pub mirror_half: Option<u8>,
+    /// Behaviour while inside a down window.
+    pub fail_mode: FailureMode,
 }
 
 impl NpmuConfig {
@@ -41,6 +61,8 @@ impl NpmuConfig {
             capacity,
             kind: NpmuKind::Hardware,
             pmp_extra_ns: 0,
+            mirror_half: None,
+            fail_mode: FailureMode::Nack,
         }
     }
 
@@ -49,7 +71,19 @@ impl NpmuConfig {
             capacity,
             kind: NpmuKind::Pmp,
             pmp_extra_ns: 4_000,
+            mirror_half: None,
+            fail_mode: FailureMode::Nack,
         }
+    }
+
+    pub fn with_half(mut self, half: u8) -> Self {
+        self.mirror_half = Some(half);
+        self
+    }
+
+    pub fn with_fail_mode(mut self, mode: FailureMode) -> Self {
+        self.fail_mode = mode;
+        self
     }
 }
 
@@ -60,6 +94,13 @@ pub struct NpmuStats {
     pub bytes_written: u64,
     pub bytes_read: u64,
     pub access_violations: u64,
+    /// Ops NACKed or dropped because the device was in a down window.
+    pub failed_ops: u64,
+    /// Distinct down windows this device has entered (failure epochs).
+    pub failure_epochs: u64,
+    /// Sim time (ns) the current/most recent down window was first
+    /// observed by an inbound op.
+    pub last_failed_at_ns: u64,
 }
 
 pub type SharedNpmuStats = Arc<Mutex<NpmuStats>>;
@@ -90,6 +131,9 @@ pub struct Npmu {
     machine: Option<SharedMachine>,
     ep: EndpointId,
     stats: SharedNpmuStats,
+    /// Were we inside a down window at the last inbound op? Edge-detects
+    /// window entry so `failure_epochs` counts windows, not ops.
+    was_down: bool,
 }
 
 impl Npmu {
@@ -106,6 +150,14 @@ impl Npmu {
     ) -> NpmuHandle {
         let key = format!("npmu:{name}");
         let cap = cfg.capacity;
+        let mut cfg = cfg;
+        if cfg.mirror_half.is_none() {
+            cfg.mirror_half = match name {
+                n if n.ends_with("-a") => Some(0),
+                n if n.ends_with("-b") => Some(1),
+                _ => None,
+            };
+        }
         let mem: Image<NvImage> = match cfg.kind {
             NpmuKind::Hardware => store.get_or_insert_with(&key, move || NvImage::new(cap)),
             NpmuKind::Pmp => store.get_or_insert_volatile(&key, move || NvImage::new(cap)),
@@ -122,6 +174,7 @@ impl Npmu {
             machine: machine.cloned(),
             ep,
             stats: stats.clone(),
+            was_down: false,
         });
         net.lock().rebind(ep, actor);
         NpmuHandle {
@@ -142,13 +195,36 @@ impl Npmu {
             .unwrap_or(0)
     }
 
+    /// Is this device inside a planned down window right now? Checked at
+    /// op-processing time, so a device "revives" simply by the window
+    /// ending — its memory still holds whatever it had at window entry
+    /// (stale relative to the survivor until a resilver repairs it).
+    fn down_now(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        let Some(half) = self.cfg.mirror_half else {
+            return false;
+        };
+        let down = self.net.lock().fault_plan.npmu_down_at(half, ctx.now());
+        if down && !self.was_down {
+            let mut s = self.stats.lock();
+            s.failure_epochs += 1;
+            s.last_failed_at_ns = ctx.now().as_nanos();
+        }
+        self.was_down = down;
+        down
+    }
+
     fn do_write(&mut self, ctx: &mut Ctx<'_>, w: InboundRdmaWrite) {
+        if self.down_now(ctx) {
+            self.stats.lock().failed_ops += 1;
+            if self.cfg.fail_mode == FailureMode::Nack {
+                let net = self.net.clone();
+                reply_rdma_write(ctx, &net, &w, RdmaStatus::DeviceFailed);
+            }
+            return;
+        }
         let cpu = self.initiator_cpu(w.from_ep);
         let net = self.net.clone();
-        let verdict = self
-            .att
-            .lock()
-            .translate(w.addr, w.data.len() as u64, cpu);
+        let verdict = self.att.lock().translate(w.addr, w.data.len() as u64, cpu);
         match verdict {
             Ok(phys) => {
                 self.mem.lock().write(phys, &w.data);
@@ -170,6 +246,15 @@ impl Npmu {
     }
 
     fn do_read(&mut self, ctx: &mut Ctx<'_>, r: InboundRdmaRead) {
+        if self.down_now(ctx) {
+            self.stats.lock().failed_ops += 1;
+            if self.cfg.fail_mode == FailureMode::Nack {
+                let net = self.net.clone();
+                let ep = self.ep;
+                reply_rdma_read(ctx, &net, ep, &r, RdmaStatus::DeviceFailed, Bytes::new());
+            }
+            return;
+        }
         let cpu = self.initiator_cpu(r.from_ep);
         let net = self.net.clone();
         let ep = self.ep;
@@ -258,11 +343,21 @@ mod tests {
         ops: Vec<(u64, u64, Vec<u8>)>, // (op_id, addr, data) writes then one read
         read: Option<(u64, u64, u32)>,
         log: Arc<Mutex<Vec<String>>>,
+        /// Issue the ops this long after spawn (to land inside/outside a
+        /// planned fault window).
+        delay: SimDuration,
     }
+
+    /// Timer marker for a delayed client start.
+    struct Kick;
 
     impl Actor for Client {
         fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
             if msg.is::<Start>() {
+                ctx.send_self(self.delay, Kick);
+                return;
+            }
+            if msg.is::<Kick>() {
                 for (id, addr, data) in self.ops.drain(..) {
                     let net = self.net.clone();
                     rdma_write(ctx, &net, self.ep, self.dev, addr, Bytes::from(data), id);
@@ -275,9 +370,12 @@ mod tests {
             }
             let msg = match msg.take::<RdmaWriteDone>() {
                 Ok((_, d)) => {
-                    self.log
-                        .lock()
-                        .push(format!("w{}:{:?}@{}", d.op_id, d.status, ctx.now().as_nanos()));
+                    self.log.lock().push(format!(
+                        "w{}:{:?}@{}",
+                        d.op_id,
+                        d.status,
+                        ctx.now().as_nanos()
+                    ));
                     return;
                 }
                 Err(m) => m,
@@ -290,7 +388,16 @@ mod tests {
         }
     }
 
-    fn setup(kind: NpmuKind) -> (Sim, DurableStore, NpmuHandle, Arc<Mutex<Vec<String>>>, SharedNetwork, EndpointId) {
+    fn setup(
+        kind: NpmuKind,
+    ) -> (
+        Sim,
+        DurableStore,
+        NpmuHandle,
+        Arc<Mutex<Vec<String>>>,
+        SharedNetwork,
+        EndpointId,
+    ) {
         let mut sim = Sim::with_seed(11);
         let mut store = DurableStore::new();
         let net = Network::new(FabricConfig::default());
@@ -306,7 +413,14 @@ mod tests {
             allowed: CpuFilter::Any,
         });
         let client_ep = net.lock().attach(ActorId(u32::MAX));
-        (sim, store, h, Arc::new(Mutex::new(Vec::new())), net, client_ep)
+        (
+            sim,
+            store,
+            h,
+            Arc::new(Mutex::new(Vec::new())),
+            net,
+            client_ep,
+        )
     }
 
     fn spawn_client(
@@ -318,6 +432,20 @@ mod tests {
         read: Option<(u64, u64, u32)>,
         log: Arc<Mutex<Vec<String>>>,
     ) {
+        spawn_client_at(sim, net, ep, dev, ops, read, log, SimDuration::ZERO);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_client_at(
+        sim: &mut Sim,
+        net: &SharedNetwork,
+        ep: EndpointId,
+        dev: EndpointId,
+        ops: Vec<(u64, u64, Vec<u8>)>,
+        read: Option<(u64, u64, u32)>,
+        log: Arc<Mutex<Vec<String>>>,
+        delay: SimDuration,
+    ) {
         let a = sim.spawn(Client {
             net: net.clone(),
             ep,
@@ -325,6 +453,7 @@ mod tests {
             ops,
             read,
             log,
+            delay,
         });
         net.lock().rebind(ep, a);
     }
@@ -405,6 +534,165 @@ mod tests {
         // Paper §4.2: hardware NPMU slightly faster than the PMP.
         assert!(pmp > hw, "pmp {pmp} !> hw {hw}");
         assert!(pmp - hw < 20_000, "delta should be small: {}", pmp - hw);
+    }
+
+    #[test]
+    fn down_window_nacks_then_revives_with_stale_contents() {
+        use simcore::fault::{Fault, FaultPlan};
+
+        let mut sim = Sim::with_seed(21);
+        let mut store = DurableStore::new();
+        let net = Network::new(FabricConfig::default());
+        let cfg = NpmuConfig::hardware(1 << 20).with_half(1);
+        let h = Npmu::install(&mut sim, &mut store, &net, None, "pm-b", cfg);
+        h.att.lock().map(AttEntry {
+            nva_base: 0x1000,
+            len: 0x1000,
+            phys_base: 0,
+            allowed: CpuFilter::Any,
+        });
+        net.lock().fault_plan = FaultPlan::none().with(Fault::NpmuDown {
+            volume_half: 1,
+            from: SimTime(simcore::time::SECS),
+            to: SimTime(2 * simcore::time::SECS),
+        });
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let secs = simcore::time::SECS;
+
+        // Three clients scripted up front: before, during, and after the
+        // [1 s, 2 s) window.
+        let cep = net.lock().attach(ActorId(u32::MAX));
+        spawn_client(
+            &mut sim,
+            &net,
+            cep,
+            h.ep,
+            vec![(1, 0x1000, vec![0x11; 64])],
+            None,
+            log.clone(),
+        );
+        let cep2 = net.lock().attach(ActorId(u32::MAX));
+        spawn_client_at(
+            &mut sim,
+            &net,
+            cep2,
+            h.ep,
+            vec![(2, 0x1000, vec![0x22; 64])],
+            Some((3, 0x1000, 16)),
+            log.clone(),
+            SimDuration::from_nanos(secs + secs / 2),
+        );
+        let cep3 = net.lock().attach(ActorId(u32::MAX));
+        spawn_client_at(
+            &mut sim,
+            &net,
+            cep3,
+            h.ep,
+            vec![(4, 0x1000, vec![0x44; 64])],
+            None,
+            log.clone(),
+            SimDuration::from_nanos(2 * secs + secs / 2),
+        );
+
+        sim.run_until(SimTime(2 * secs));
+        {
+            let l = log.lock();
+            assert!(l[0].starts_with("w1:Ok"), "{:?}", *l);
+            assert!(l[1].starts_with("w2:DeviceFailed"), "{:?}", *l);
+            assert_eq!(l[2], "r3:DeviceFailed:0");
+        }
+        assert_eq!(h.mem.lock().read(0, 4), vec![0x11; 4], "stale data kept");
+        let s = *h.stats.lock();
+        assert_eq!(s.failed_ops, 2);
+        assert_eq!(s.failure_epochs, 1);
+        assert!(s.last_failed_at_ns >= secs && s.last_failed_at_ns < 2 * secs);
+
+        // After the window: device acks again, same (previously stale) array.
+        sim.run_until_idle();
+        assert!(log.lock()[3].starts_with("w4:Ok"));
+        assert_eq!(h.mem.lock().read(0, 4), vec![0x44; 4]);
+        assert_eq!(h.stats.lock().failure_epochs, 1, "one window, one epoch");
+    }
+
+    #[test]
+    fn silent_drop_swallows_ops_without_reply() {
+        use simcore::fault::{Fault, FaultPlan};
+
+        let mut sim = Sim::with_seed(22);
+        let mut store = DurableStore::new();
+        let net = Network::new(FabricConfig::default());
+        let cfg = NpmuConfig::hardware(1 << 20)
+            .with_half(0)
+            .with_fail_mode(FailureMode::SilentDrop);
+        let h = Npmu::install(&mut sim, &mut store, &net, None, "pm-a", cfg);
+        h.att.lock().map(AttEntry {
+            nva_base: 0x1000,
+            len: 0x1000,
+            phys_base: 0,
+            allowed: CpuFilter::Any,
+        });
+        net.lock().fault_plan = FaultPlan::none().with(Fault::NpmuDown {
+            volume_half: 0,
+            from: SimTime(0),
+            to: SimTime(simcore::time::SECS),
+        });
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let cep = net.lock().attach(ActorId(u32::MAX));
+        spawn_client(
+            &mut sim,
+            &net,
+            cep,
+            h.ep,
+            vec![(1, 0x1000, vec![9; 32])],
+            None,
+            log.clone(),
+        );
+        sim.run_until(SimTime(simcore::time::SECS / 2));
+        assert!(log.lock().is_empty(), "no completion must arrive");
+        assert_eq!(h.stats.lock().failed_ops, 1);
+        assert_eq!(h.mem.lock().writes(), 0);
+    }
+
+    #[test]
+    fn half_inferred_from_name_suffix() {
+        let mut sim = Sim::with_seed(23);
+        let mut store = DurableStore::new();
+        let net = Network::new(FabricConfig::default());
+        let a = Npmu::install(
+            &mut sim,
+            &mut store,
+            &net,
+            None,
+            "vol-a",
+            NpmuConfig::hardware(4096),
+        );
+        // Down window for half 0 must hit "vol-a" even though the config
+        // never set mirror_half explicitly.
+        use simcore::fault::{Fault, FaultPlan};
+        net.lock().fault_plan = FaultPlan::none().with(Fault::NpmuDown {
+            volume_half: 0,
+            from: SimTime(0),
+            to: SimTime(simcore::time::SECS),
+        });
+        a.att.lock().map(AttEntry {
+            nva_base: 0,
+            len: 4096,
+            phys_base: 0,
+            allowed: CpuFilter::Any,
+        });
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let cep = net.lock().attach(ActorId(u32::MAX));
+        spawn_client(
+            &mut sim,
+            &net,
+            cep,
+            a.ep,
+            vec![(1, 0, vec![1; 8])],
+            None,
+            log.clone(),
+        );
+        sim.run_until_idle();
+        assert!(log.lock()[0].starts_with("w1:DeviceFailed"));
     }
 
     #[test]

@@ -25,5 +25,5 @@ pub mod device;
 pub mod memory;
 
 pub use att::{AttEntry, AttTable, CpuFilter, SharedAtt};
-pub use device::{Npmu, NpmuConfig, NpmuHandle, NpmuKind, NpmuStats, SharedNpmuStats};
+pub use device::{FailureMode, Npmu, NpmuConfig, NpmuHandle, NpmuKind, NpmuStats, SharedNpmuStats};
 pub use memory::NvImage;

@@ -33,6 +33,4 @@ pub mod proc;
 
 pub use machine::{CpuId, Machine, MachineConfig, SharedMachine};
 pub use monitor::Monitor;
-pub use proc::{
-    send_to_backup, send_to_process, Checkpoint, CheckpointAck, CpuDied, ProcessDied,
-};
+pub use proc::{send_to_backup, send_to_process, Checkpoint, CheckpointAck, CpuDied, ProcessDied};

@@ -144,10 +144,7 @@ impl Machine {
     }
 
     pub fn cpu_alive(&self, cpu: CpuId) -> bool {
-        self.cpu_alive
-            .get(cpu.0 as usize)
-            .copied()
-            .unwrap_or(false)
+        self.cpu_alive.get(cpu.0 as usize).copied().unwrap_or(false)
     }
 
     pub fn mark_cpu_dead(&mut self, cpu: CpuId) {

@@ -148,7 +148,15 @@ mod tests {
                     let ok = if to_backup {
                         send_to_backup(ctx, &machine, self.ep, self.cpu, name, 64, "hi".to_string())
                     } else {
-                        send_to_process(ctx, &machine, self.ep, self.cpu, name, 64, "hi".to_string())
+                        send_to_process(
+                            ctx,
+                            &machine,
+                            self.ep,
+                            self.cpu,
+                            name,
+                            64,
+                            "hi".to_string(),
+                        )
                     };
                     assert!(ok || name == "$missing");
                     if name == "$missing" {

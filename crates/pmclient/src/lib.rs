@@ -17,7 +17,10 @@
 
 pub mod lib_impl;
 
-pub use lib_impl::{MirrorPolicy, PmLib, PmReadComplete, PmWriteComplete};
+pub use lib_impl::{
+    MirrorPolicy, PmClientConfig, PmLib, PmReadComplete, PmReadTimeout, PmWriteComplete,
+    PmWriteTimeout,
+};
 
 #[cfg(test)]
 mod tests;

@@ -5,8 +5,7 @@ use nsk::machine::{CpuId, SharedMachine};
 use pmm::msgs::*;
 use simcore::{Ctx, SimDuration};
 use simnet::{
-    rdma_read, rdma_write_sized, EndpointId, RdmaReadDone, RdmaStatus, RdmaWriteDone,
-    SharedNetwork,
+    rdma_read, rdma_write_sized, EndpointId, RdmaReadDone, RdmaStatus, RdmaWriteDone, SharedNetwork,
 };
 use std::collections::HashMap;
 
@@ -25,28 +24,112 @@ pub enum MirrorPolicy {
     PrimaryOnly,
 }
 
+/// Client-side tunables. The timeouts cover the *silent-drop* failure
+/// mode: a NACKing device answers immediately and an unreachable endpoint
+/// is detected by the transport, but a device that swallows ops without
+/// replying is only caught by the library's own timer. Defaults sit well
+/// above the transport's unreachable timeout so the cheaper detections
+/// fire first.
+#[derive(Clone, Copy, Debug)]
+pub struct PmClientConfig {
+    /// A mirrored write that has not fully completed by then fails the
+    /// silent legs over to the survivor.
+    pub write_timeout: SimDuration,
+    /// A read that got no reply by then fails over to the other mirror.
+    pub read_timeout: SimDuration,
+    /// First retry delay for PMM RPCs that got no ack (e.g. across a PMM
+    /// takeover); doubles per attempt up to `rpc_retry_cap`.
+    pub rpc_retry_base: SimDuration,
+    pub rpc_retry_cap: SimDuration,
+}
+
+impl Default for PmClientConfig {
+    fn default() -> Self {
+        PmClientConfig {
+            write_timeout: SimDuration::from_millis(5),
+            read_timeout: SimDuration::from_millis(5),
+            rpc_retry_base: SimDuration::from_millis(200),
+            rpc_retry_cap: SimDuration::from_millis(1600),
+        }
+    }
+}
+
+impl PmClientConfig {
+    /// Capped exponential backoff: `base * 2^attempt`, saturating at
+    /// `rpc_retry_cap`.
+    pub fn rpc_retry_delay(&self, attempt: u32) -> SimDuration {
+        let base = self.rpc_retry_base.as_nanos();
+        let cap = self.rpc_retry_cap.as_nanos();
+        let d = base.saturating_mul(1u64 << attempt.min(32));
+        SimDuration::from_nanos(d.min(cap))
+    }
+}
+
 /// Completion of a mirrored persistent write: when `status == Ok`, the
-/// data is persistent on every configured mirror.
+/// data is persistent on every *answering* mirror. `degraded` is set when
+/// one mirror half failed (NACK/unreachable/timeout) and the write
+/// completed against the survivor alone — data IS persistent, but with no
+/// redundancy until the volume is resilvered.
 #[derive(Clone, Copy, Debug)]
 pub struct PmWriteComplete {
     pub token: u64,
     pub status: RdmaStatus,
+    pub degraded: bool,
 }
 
-/// Completion of a region read.
+/// Completion of a region read. `degraded` is set when the read was served
+/// by failing over to the other mirror half.
 #[derive(Clone, Debug)]
 pub struct PmReadComplete {
     pub token: u64,
     pub status: RdmaStatus,
     pub data: Bytes,
+    pub degraded: bool,
+}
+
+/// Self-addressed timer armed per mirrored write; the owning actor feeds
+/// it to [`PmLib::on_write_timeout`]. Stale instances (the write already
+/// completed) are ignored there.
+#[derive(Clone, Copy, Debug)]
+pub struct PmWriteTimeout {
+    pub wid: u64,
+}
+
+/// Self-addressed timer armed per read; feed to [`PmLib::on_read_timeout`].
+#[derive(Clone, Copy, Debug)]
+pub struct PmReadTimeout {
+    pub rid: u64,
 }
 
 struct WriteState {
     token: u64,
-    remaining: u32,
-    status: RdmaStatus,
+    region_id: u64,
+    /// Legs that completed `Ok`.
+    acked: u32,
+    /// Worst *logical* error seen (access violation / out of bounds) —
+    /// these fail the write outright; retrying the mirror cannot help.
+    logical_error: Option<RdmaStatus>,
+    /// Legs lost to *availability* errors (device NACK, unreachable,
+    /// timeout) — survivable as long as one leg acks.
+    avail_failed: u32,
+    avail_status: RdmaStatus,
+    /// Outstanding legs: (rdma op id, half).
+    pending: Vec<(u64, u8)>,
     /// For SequentialBoth: the second leg to fire after the first acks.
-    next_leg: Option<(EndpointId, u64, Bytes, u32)>,
+    next_leg: Option<(EndpointId, u8, u64, Bytes, u32)>,
+}
+
+struct ReadState {
+    token: u64,
+    region_id: u64,
+    nva: u64,
+    len: u32,
+    /// Half this attempt targets.
+    half: u8,
+    /// Bitmask of halves already tried.
+    tried: u8,
+    /// True once a failover reissue happened.
+    degraded: bool,
 }
 
 /// The client library state, embedded in a process actor.
@@ -57,14 +140,20 @@ pub struct PmLib {
     cpu: CpuId,
     pmm_name: String,
     policy: MirrorPolicy,
+    cfg: PmClientConfig,
     next_rdma: u64,
-    /// RDMA op id → index into `writes`.
-    rdma_map: HashMap<u64, u64>,
+    /// RDMA op id → (write id, half).
+    rdma_map: HashMap<u64, (u64, u8)>,
     writes: HashMap<u64, WriteState>,
     next_write: u64,
-    reads: HashMap<u64, u64>, // rdma op id → client token
+    reads: HashMap<u64, ReadState>, // rdma op id → read state
     /// Regions opened through this library instance.
     regions: HashMap<u64, RegionInfo>,
+    /// Per-region suspect halves: `suspects[region] = [primary, mirror]`.
+    /// Set on availability failure (which also fires a one-shot
+    /// [`ReportMirrorFailure`] to the PMM), cleared when the half answers
+    /// `Ok` again.
+    suspects: HashMap<u64, [bool; 2]>,
 }
 
 impl PmLib {
@@ -82,12 +171,14 @@ impl PmLib {
             cpu,
             pmm_name: pmm_name.into(),
             policy: MirrorPolicy::ParallelBoth,
+            cfg: PmClientConfig::default(),
             next_rdma: 0,
             rdma_map: HashMap::new(),
             writes: HashMap::new(),
             next_write: 0,
             reads: HashMap::new(),
             regions: HashMap::new(),
+            suspects: HashMap::new(),
         }
     }
 
@@ -96,8 +187,22 @@ impl PmLib {
         self
     }
 
+    pub fn with_config(mut self, cfg: PmClientConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
     pub fn policy(&self) -> MirrorPolicy {
         self.policy
+    }
+
+    pub fn config(&self) -> &PmClientConfig {
+        &self.cfg
+    }
+
+    /// Suspect state for a region's halves (`[primary, mirror]`).
+    pub fn suspect_halves(&self, region_id: u64) -> [bool; 2] {
+        self.suspects.get(&region_id).copied().unwrap_or([false; 2])
     }
 
     /// Ask the PMM to create (or, with `open_if_exists`, open) a region.
@@ -148,6 +253,7 @@ impl PmLib {
     /// Ask the PMM to close a region.
     pub fn close_region(&mut self, ctx: &mut Ctx<'_>, region_id: u64, token: u64) -> bool {
         self.regions.remove(&region_id);
+        self.suspects.remove(&region_id);
         let machine = self.machine.clone();
         nsk::proc::send_to_process(
             ctx,
@@ -208,123 +314,288 @@ impl PmLib {
         let wid = self.next_write;
         self.next_write += 1;
 
+        let mut st = WriteState {
+            token,
+            region_id,
+            acked: 0,
+            logical_error: None,
+            avail_failed: 0,
+            avail_status: RdmaStatus::Ok,
+            pending: Vec::with_capacity(2),
+            next_leg: None,
+        };
         match self.policy {
             MirrorPolicy::ParallelBoth => {
-                self.writes.insert(
-                    wid,
-                    WriteState {
-                        token,
-                        remaining: 2,
-                        status: RdmaStatus::Ok,
-                        next_leg: None,
-                    },
-                );
-                for dev in [primary, mirror] {
-                    let rid = self.alloc_rdma(wid);
+                self.writes.insert(wid, st);
+                for (half, dev) in [(0u8, primary), (1u8, mirror)] {
+                    let rid = self.alloc_rdma(wid, half);
                     let net = self.net.clone();
                     rdma_write_sized(ctx, &net, self.ep, dev, nva, data.clone(), wire_len, rid);
                 }
             }
             MirrorPolicy::SequentialBoth => {
-                self.writes.insert(
-                    wid,
-                    WriteState {
-                        token,
-                        remaining: 2,
-                        status: RdmaStatus::Ok,
-                        next_leg: Some((mirror, nva, data.clone(), wire_len)),
-                    },
-                );
-                let rid = self.alloc_rdma(wid);
+                st.next_leg = Some((mirror, 1, nva, data.clone(), wire_len));
+                self.writes.insert(wid, st);
+                let rid = self.alloc_rdma(wid, 0);
                 let net = self.net.clone();
                 rdma_write_sized(ctx, &net, self.ep, primary, nva, data, wire_len, rid);
             }
             MirrorPolicy::PrimaryOnly => {
-                self.writes.insert(
-                    wid,
-                    WriteState {
-                        token,
-                        remaining: 1,
-                        status: RdmaStatus::Ok,
-                        next_leg: None,
-                    },
-                );
-                let rid = self.alloc_rdma(wid);
+                self.writes.insert(wid, st);
+                let rid = self.alloc_rdma(wid, 0);
                 let net = self.net.clone();
                 rdma_write_sized(ctx, &net, self.ep, primary, nva, data, wire_len, rid);
             }
         }
+        ctx.send_self(self.cfg.write_timeout, PmWriteTimeout { wid });
     }
 
-    /// Read `len` bytes at `offset` (primary mirror only — "reads need not
-    /// be replicated"). Completion surfaces via [`Self::on_rdma_read_done`].
+    /// Read `len` bytes at `offset`. Reads need not be replicated, so one
+    /// half serves: the primary by default, the mirror when the primary is
+    /// suspect. On an error or timeout the read fails over to the other
+    /// half once. Completion surfaces via [`Self::on_rdma_read_done`].
     pub fn read(&mut self, ctx: &mut Ctx<'_>, region_id: u64, offset: u64, len: u32, token: u64) {
         let info = self.regions.get(&region_id).expect("region not adopted");
         assert!(offset + len as u64 <= info.len, "read beyond region");
         let nva = info.nva_base + offset;
-        let rid = self.next_rdma;
-        self.next_rdma += 1;
-        self.reads.insert(rid, token);
-        let net = self.net.clone();
-        let primary = info.primary_ep;
-        rdma_read(ctx, &net, self.ep, primary, nva, len, rid);
+        let suspects = self.suspect_halves(region_id);
+        let half = if suspects[0] && !suspects[1] { 1 } else { 0 };
+        let st = ReadState {
+            token,
+            region_id,
+            nva,
+            len,
+            half,
+            tried: 1 << half,
+            degraded: false,
+        };
+        self.issue_read(ctx, st);
     }
 
-    fn alloc_rdma(&mut self, wid: u64) -> u64 {
+    fn issue_read(&mut self, ctx: &mut Ctx<'_>, st: ReadState) {
+        let info = &self.regions[&st.region_id];
+        let dev = if st.half == 0 {
+            info.primary_ep
+        } else {
+            info.mirror_ep
+        };
         let rid = self.next_rdma;
         self.next_rdma += 1;
-        self.rdma_map.insert(rid, wid);
+        let (nva, len) = (st.nva, st.len);
+        self.reads.insert(rid, st);
+        let net = self.net.clone();
+        rdma_read(ctx, &net, self.ep, dev, nva, len, rid);
+        ctx.send_self(self.cfg.read_timeout, PmReadTimeout { rid });
+    }
+
+    fn alloc_rdma(&mut self, wid: u64, half: u8) -> u64 {
+        let rid = self.next_rdma;
+        self.next_rdma += 1;
+        self.rdma_map.insert(rid, (wid, half));
+        self.writes
+            .get_mut(&wid)
+            .expect("write registered")
+            .pending
+            .push((rid, half));
         rid
     }
 
+    /// `true` for errors that mean "this half is unavailable" rather than
+    /// "this request is malformed".
+    fn is_availability_error(status: RdmaStatus) -> bool {
+        matches!(status, RdmaStatus::DeviceFailed | RdmaStatus::Unreachable)
+    }
+
+    /// Record half `half` of `region_id` as suspect; on the edge, report
+    /// to the PMM (fire-and-forget — the PMM confirms with its own probe).
+    fn mark_suspect(&mut self, ctx: &mut Ctx<'_>, region_id: u64, half: u8) {
+        let entry = self.suspects.entry(region_id).or_default();
+        if entry[half as usize] {
+            return;
+        }
+        entry[half as usize] = true;
+        let machine = self.machine.clone();
+        nsk::proc::send_to_process(
+            ctx,
+            &machine,
+            self.ep,
+            self.cpu,
+            &self.pmm_name.clone(),
+            32,
+            ReportMirrorFailure { region_id, half },
+        );
+    }
+
+    fn clear_suspect(&mut self, region_id: u64, half: u8) {
+        if let Some(entry) = self.suspects.get_mut(&region_id) {
+            entry[half as usize] = false;
+        }
+    }
+
     /// Feed an [`RdmaWriteDone`] received by the owning actor. Returns the
-    /// client-level completion once all mirror legs finished, else `None`.
+    /// client-level completion once the write's fate is decided, else
+    /// `None`.
     pub fn on_rdma_write_done(
         &mut self,
         ctx: &mut Ctx<'_>,
         done: &RdmaWriteDone,
     ) -> Option<PmWriteComplete> {
-        let wid = self.rdma_map.remove(&done.op_id)?;
-        let st = self.writes.get_mut(&wid)?;
-        if done.status != RdmaStatus::Ok && st.status == RdmaStatus::Ok {
-            st.status = done.status;
-        }
-        st.remaining -= 1;
-        // Sequential policy: fire the mirror leg once the primary acked.
-        if let Some((dev, nva, data, wire_len)) = st.next_leg.take() {
+        let (wid, half) = self.rdma_map.remove(&done.op_id)?;
+        // Suspect bookkeeping happens even for legs of writes that already
+        // completed (e.g. via timeout): a late Ok proves the half is back.
+        let region_id = self.writes.get(&wid).map(|s| s.region_id);
+        if let Some(region_id) = region_id {
             if done.status == RdmaStatus::Ok {
-                let rid = self.alloc_rdma(wid);
+                self.clear_suspect(region_id, half);
+            } else if Self::is_availability_error(done.status) {
+                self.mark_suspect(ctx, region_id, half);
+            }
+        }
+        let st = self.writes.get_mut(&wid)?;
+        st.pending.retain(|&(rid, _)| rid != done.op_id);
+        match done.status {
+            RdmaStatus::Ok => st.acked += 1,
+            s if Self::is_availability_error(s) => {
+                st.avail_failed += 1;
+                st.avail_status = s;
+            }
+            s => {
+                if st.logical_error.is_none() {
+                    st.logical_error = Some(s);
+                }
+            }
+        }
+        // Sequential policy: fire the mirror leg once the first decided —
+        // including after an availability failure, so the survivor can
+        // still make the write persistent (degraded).
+        if let Some((dev, leg_half, nva, data, wire_len)) = st.next_leg.take() {
+            if st.logical_error.is_none() {
+                let rid = self.alloc_rdma(wid, leg_half);
                 let net = self.net.clone();
                 rdma_write_sized(ctx, &net, self.ep, dev, nva, data, wire_len, rid);
                 return None;
-            } else {
-                // First leg failed: report immediately.
-                let st = self.writes.remove(&wid).unwrap();
-                return Some(PmWriteComplete {
-                    token: st.token,
-                    status: st.status,
-                });
             }
         }
-        if st.remaining == 0 {
-            let st = self.writes.remove(&wid).unwrap();
-            Some(PmWriteComplete {
-                token: st.token,
-                status: st.status,
-            })
-        } else {
-            None
+        self.try_complete_write(wid)
+    }
+
+    /// Feed a [`PmWriteTimeout`] timer. Legs still outstanding are treated
+    /// as availability failures (silent-drop devices never answer); if at
+    /// least one leg acked, the write completes degraded.
+    pub fn on_write_timeout(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        t: &PmWriteTimeout,
+    ) -> Option<PmWriteComplete> {
+        let st = self.writes.get_mut(&t.wid)?;
+        if st.pending.is_empty() && st.next_leg.is_none() {
+            return None; // completion already in flight elsewhere
         }
+        let region_id = st.region_id;
+        let stale: Vec<(u64, u8)> = std::mem::take(&mut st.pending);
+        st.avail_failed += stale.len() as u32;
+        st.avail_status = RdmaStatus::Unreachable;
+        // A sequential write may time out before its second leg was ever
+        // issued; fire it now against the survivor and give it one more
+        // timeout interval.
+        let next = st.next_leg.take();
+        for &(rid, half) in &stale {
+            self.rdma_map.remove(&rid);
+            self.mark_suspect(ctx, region_id, half);
+        }
+        if let Some((dev, leg_half, nva, data, wire_len)) = next {
+            let rid = self.alloc_rdma(t.wid, leg_half);
+            let net = self.net.clone();
+            rdma_write_sized(ctx, &net, self.ep, dev, nva, data, wire_len, rid);
+            ctx.send_self(self.cfg.write_timeout, PmWriteTimeout { wid: t.wid });
+            return None;
+        }
+        self.try_complete_write(t.wid)
+    }
+
+    fn try_complete_write(&mut self, wid: u64) -> Option<PmWriteComplete> {
+        let st = self.writes.get(&wid)?;
+        if !st.pending.is_empty() || st.next_leg.is_some() {
+            return None;
+        }
+        let st = self.writes.remove(&wid).unwrap();
+        let (status, degraded) = if let Some(err) = st.logical_error {
+            (err, false)
+        } else if st.acked > 0 {
+            // Data is persistent on every answering mirror; surviving one
+            // half preserves the API contract ("when the call returns the
+            // data is either persistent or the call will return in
+            // error"), at reduced redundancy.
+            (RdmaStatus::Ok, st.avail_failed > 0)
+        } else {
+            (st.avail_status, false)
+        };
+        Some(PmWriteComplete {
+            token: st.token,
+            status,
+            degraded,
+        })
     }
 
     /// Feed an [`RdmaReadDone`]; returns the client completion if the op
-    /// belonged to this library.
-    pub fn on_rdma_read_done(&mut self, done: RdmaReadDone) -> Option<PmReadComplete> {
-        let token = self.reads.remove(&done.op_id)?;
+    /// belonged to this library and is final (a failed first attempt
+    /// fails over to the other mirror and returns `None` here).
+    pub fn on_rdma_read_done(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        done: RdmaReadDone,
+    ) -> Option<PmReadComplete> {
+        let st = self.reads.remove(&done.op_id)?;
+        if done.status == RdmaStatus::Ok {
+            self.clear_suspect(st.region_id, st.half);
+            return Some(PmReadComplete {
+                token: st.token,
+                status: done.status,
+                data: done.data,
+                degraded: st.degraded,
+            });
+        }
+        if Self::is_availability_error(done.status) {
+            self.mark_suspect(ctx, st.region_id, st.half);
+        }
+        self.fail_over_read(ctx, st, done.status, done.data)
+    }
+
+    /// Feed a [`PmReadTimeout`] timer; treated as an availability error on
+    /// the targeted half.
+    pub fn on_read_timeout(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        t: &PmReadTimeout,
+    ) -> Option<PmReadComplete> {
+        let st = self.reads.remove(&t.rid)?;
+        self.mark_suspect(ctx, st.region_id, st.half);
+        self.fail_over_read(ctx, st, RdmaStatus::Unreachable, Bytes::new())
+    }
+
+    fn fail_over_read(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        st: ReadState,
+        status: RdmaStatus,
+        data: Bytes,
+    ) -> Option<PmReadComplete> {
+        let other = 1 - st.half;
+        if st.tried & (1 << other) == 0 {
+            let retry = ReadState {
+                half: other,
+                tried: st.tried | (1 << other),
+                degraded: true,
+                ..st
+            };
+            self.issue_read(ctx, retry);
+            return None;
+        }
         Some(PmReadComplete {
-            token,
-            status: done.status,
-            data: done.data,
+            token: st.token,
+            status,
+            data,
+            degraded: st.degraded,
         })
     }
 

@@ -1,7 +1,7 @@
 //! End-to-end tests of the full PM access architecture:
 //! client library ↔ PMM pair ↔ mirrored NPMUs over the fabric.
 
-use crate::{MirrorPolicy, PmLib};
+use crate::{MirrorPolicy, PmLib, PmReadTimeout, PmWriteTimeout};
 use bytes::Bytes;
 use npmu::{Npmu, NpmuConfig};
 use nsk::machine::{CpuId, Machine, MachineConfig, SharedMachine};
@@ -41,9 +41,17 @@ enum Step {
     Delete {
         name: String,
     },
+    /// Let virtual time pass (e.g. into or out of a fault window).
+    Delay {
+        dur: SimDuration,
+    },
 }
 
 struct RetryTick;
+/// Marks the end of a `Step::Delay`.
+struct DelayDone {
+    pos: usize,
+}
 
 /// Scripted client process: runs steps sequentially, one at a time,
 /// retrying PMM RPCs that get no answer (e.g. across a takeover).
@@ -53,6 +61,7 @@ struct TestClient {
     pos: usize,
     opened: Vec<RegionInfo>,
     waiting: bool,
+    retry_attempt: u32,
     log: Arc<Mutex<Vec<String>>>,
     machine: SharedMachine,
     ep: simnet::EndpointId,
@@ -108,12 +117,16 @@ impl TestClient {
                     },
                 );
             }
+            Step::Delay { dur } => {
+                ctx.send_self(dur, DelayDone { pos: self.pos });
+            }
         }
     }
 
     fn advance(&mut self, ctx: &mut Ctx<'_>) {
         self.pos += 1;
         self.waiting = false;
+        self.retry_attempt = 0;
         self.fire(ctx);
     }
 
@@ -136,25 +149,65 @@ impl Actor for TestClient {
     fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
         if msg.is::<Start>() {
             self.fire(ctx);
-            ctx.send_self(SimDuration::from_millis(700), RetryTick);
+            let delay = self.lib.config().rpc_retry_delay(0);
+            ctx.send_self(delay, RetryTick);
             return;
         }
         if msg.is::<RetryTick>() {
             // Re-send a stalled RPC step (write/read completions always
-            // arrive; RPCs can be lost across a PMM takeover).
+            // arrive; RPCs can be lost across a PMM takeover). Retries
+            // back off exponentially up to the configured cap.
             if self.waiting {
-                if let Some(
-                    Step::Create { .. } | Step::Open { .. } | Step::Delete { .. },
-                ) = self.steps.get(self.pos)
+                if let Some(Step::Create { .. } | Step::Open { .. } | Step::Delete { .. }) =
+                    self.steps.get(self.pos)
                 {
+                    self.retry_attempt += 1;
                     self.fire(ctx);
                 }
             }
             if self.pos < self.steps.len() {
-                ctx.send_self(SimDuration::from_millis(700), RetryTick);
+                let delay = self.lib.config().rpc_retry_delay(self.retry_attempt);
+                ctx.send_self(delay, RetryTick);
             }
             return;
         }
+        let msg = match msg.take::<DelayDone>() {
+            Ok((_, d)) => {
+                if self.waiting && d.pos == self.pos {
+                    self.log.lock().push(format!("delay[{}]:done", d.pos));
+                    self.advance(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.take::<PmWriteTimeout>() {
+            Ok((_, t)) => {
+                if let Some(c) = self.lib.on_write_timeout(ctx, &t) {
+                    self.log.lock().push(format!(
+                        "write[{}]:{:?}:timeout@{}",
+                        c.token,
+                        c.status,
+                        ctx.now().as_nanos()
+                    ));
+                    self.advance(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.take::<PmReadTimeout>() {
+            Ok((_, t)) => {
+                if let Some(c) = self.lib.on_read_timeout(ctx, &t) {
+                    self.log
+                        .lock()
+                        .push(format!("read[{}]:{:?}:timeout", c.token, c.status));
+                    self.advance(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
         let msg = match msg.take::<RdmaWriteDone>() {
             Ok((_, done)) => {
                 if let Some(c) = self.lib.on_rdma_write_done(ctx, &done) {
@@ -163,10 +216,15 @@ impl Actor for TestClient {
                         _ => RdmaStatus::Ok,
                     };
                     self.log.lock().push(format!(
-                        "write[{}]:{:?}:{}@{}",
+                        "write[{}]:{:?}:{}{}@{}",
                         c.token,
                         c.status,
-                        if c.status == expect { "asexpected" } else { "UNEXPECTED" },
+                        if c.status == expect {
+                            "asexpected"
+                        } else {
+                            "UNEXPECTED"
+                        },
+                        if c.degraded { ":degraded" } else { "" },
                         ctx.now().as_nanos()
                     ));
                     self.advance(ctx);
@@ -177,9 +235,11 @@ impl Actor for TestClient {
         };
         let msg = match msg.take::<RdmaReadDone>() {
             Ok((_, done)) => {
-                if let Some(c) = self.lib.on_rdma_read_done(done) {
+                if let Some(c) = self.lib.on_rdma_read_done(ctx, done) {
                     let verdict = match &self.steps[c.token as usize] {
-                        Step::Read { expect: Some(e), .. } => {
+                        Step::Read {
+                            expect: Some(e), ..
+                        } => {
                             if c.data.as_ref() == &e[..] {
                                 "match"
                             } else {
@@ -188,9 +248,13 @@ impl Actor for TestClient {
                         }
                         _ => "nocheck",
                     };
-                    self.log
-                        .lock()
-                        .push(format!("read[{}]:{:?}:{}", c.token, c.status, verdict));
+                    self.log.lock().push(format!(
+                        "read[{}]:{:?}:{}{}",
+                        c.token,
+                        c.status,
+                        verdict,
+                        if c.degraded { ":degraded" } else { "" }
+                    ));
                     self.advance(ctx);
                 }
                 return;
@@ -261,6 +325,26 @@ struct Scenario {
 }
 
 fn build(store: &mut DurableStore, seed: u64, backup: bool) -> Scenario {
+    build_faulty(
+        store,
+        seed,
+        backup,
+        FaultPlan::none(),
+        PmmConfig::default(),
+        npmu::FailureMode::Nack,
+    )
+}
+
+/// Like [`build`], with a fault plan armed (via the NSK monitor) and
+/// custom PMM tuning / device failure mode.
+fn build_faulty(
+    store: &mut DurableStore,
+    seed: u64,
+    backup: bool,
+    plan: FaultPlan,
+    pmm_cfg: PmmConfig,
+    fail_mode: npmu::FailureMode,
+) -> Scenario {
     let mut sim = Sim::with_seed(seed);
     let net = Network::new(FabricConfig::default());
     let machine = Machine::new(
@@ -270,8 +354,9 @@ fn build(store: &mut DurableStore, seed: u64, backup: bool) -> Scenario {
         },
         net.clone(),
     );
-    let a = Npmu::install(&mut sim, store, &net, Some(&machine), "pm-a", NpmuConfig::hardware(16 << 20));
-    let b = Npmu::install(&mut sim, store, &net, Some(&machine), "pm-b", NpmuConfig::hardware(16 << 20));
+    let dev = NpmuConfig::hardware(16 << 20).with_fail_mode(fail_mode);
+    let a = Npmu::install(&mut sim, store, &net, Some(&machine), "pm-a", dev.clone());
+    let b = Npmu::install(&mut sim, store, &net, Some(&machine), "pm-b", dev);
     let pmm = install_pmm_pair(
         &mut sim,
         &machine,
@@ -280,13 +365,10 @@ fn build(store: &mut DurableStore, seed: u64, backup: bool) -> Scenario {
         &b,
         CpuId(0),
         if backup { Some(CpuId(1)) } else { None },
-        PmmConfig::default(),
+        pmm_cfg,
     );
-    Scenario {
-        sim,
-        machine,
-        pmm,
-    }
+    Monitor::install(&mut sim, &machine, plan);
+    Scenario { sim, machine, pmm }
 }
 
 fn spawn_client(
@@ -310,6 +392,7 @@ fn spawn_client(
                 pos: 0,
                 opened: Vec::new(),
                 waiting: false,
+                retry_attempt: 0,
                 log: log2,
                 machine: machine.clone(),
                 ep,
@@ -358,8 +441,8 @@ fn create_write_read_roundtrip_with_mirroring() {
     let info_base = {
         let m = sc.pmm.npmu_a.mem.lock();
         // Region was the first allocation: base = META_BYTES.
-        let v = m.read(pmm::META_BYTES + 8192, 4);
-        v
+
+        m.read(pmm::META_BYTES + 8192, 4)
     };
     assert_eq!(info_base, vec![0xA5; 4]);
     let mirror = sc.pmm.npmu_b.mem.lock().read(pmm::META_BYTES + 8192, 4);
@@ -482,15 +565,21 @@ fn write_without_any_mapping_is_rejected() {
     let machine = sc.machine.clone();
     let dev = sc.pmm.npmu_a.ep;
     let flog2 = flog.clone();
-    nsk::machine::install_primary(&mut sc.sim, &machine.clone(), "$forger", CpuId(5), move |ep| {
-        Box::new(Forger {
-            machine: machine.clone(),
-            ep,
-            dev,
-            nva: pmm::META_BYTES, // the region's base
-            log: flog2,
-        })
-    });
+    nsk::machine::install_primary(
+        &mut sc.sim,
+        &machine.clone(),
+        "$forger",
+        CpuId(5),
+        move |ep| {
+            Box::new(Forger {
+                machine: machine.clone(),
+                ep,
+                dev,
+                nva: pmm::META_BYTES, // the region's base
+                log: flog2,
+            })
+        },
+    );
     sc.sim.run_until(SimTime(10 * SECS));
     assert_eq!(flog.lock()[0], "AccessViolation");
 }
@@ -734,4 +823,431 @@ fn open_unknown_region_not_found() {
     );
     sc.sim.run_until(SimTime(10 * SECS));
     assert!(log.lock()[0].contains("err:NotFound"));
+}
+
+// --- mirror-failure tolerance ----------------------------------------------
+
+/// Read every byte of a region from both device images and compare.
+fn mirror_halves_equal(pmm: &PmmHandle, base: u64, len: u64) -> bool {
+    let a = pmm.npmu_a.mem.lock().read(base, len as usize);
+    let b = pmm.npmu_b.mem.lock().read(base, len as usize);
+    a == b
+}
+
+#[test]
+fn write_completes_degraded_when_mirror_half_down() {
+    let mut store = DurableStore::new();
+    let plan = FaultPlan::none().with(Fault::NpmuDown {
+        volume_half: 1,
+        from: SimTime(0),
+        to: SimTime(100 * SECS),
+    });
+    let mut sc = build_faulty(
+        &mut store,
+        60,
+        true,
+        plan,
+        PmmConfig::default(),
+        npmu::FailureMode::Nack,
+    );
+    let payload = vec![0x5Au8; 4096];
+    let log = spawn_client(
+        &mut sc,
+        CpuId(2),
+        vec![
+            Step::Create {
+                name: "deg".into(),
+                len: 1 << 20,
+            },
+            Step::Write {
+                region_idx: 0,
+                offset: 0,
+                data: payload.clone(),
+                expect: RdmaStatus::Ok,
+            },
+            Step::Read {
+                region_idx: 0,
+                offset: 0,
+                len: 4096,
+                expect: Some(payload.clone()),
+            },
+        ],
+        MirrorPolicy::ParallelBoth,
+    );
+    sc.sim.run_until(SimTime(5 * SECS));
+    let log = log.lock();
+    assert_eq!(log.len(), 3, "{log:?}");
+    assert!(log[0].contains("ok"), "{log:?}");
+    // The paper's contract holds — the call returned success — but the
+    // completion is flagged degraded: only the survivor holds the bytes.
+    assert!(log[1].contains("Ok:asexpected:degraded"), "{log:?}");
+    assert!(log[2].contains("Ok:match"), "{log:?}");
+    // Survivor has the data; the dead half was never touched.
+    let a = sc.pmm.npmu_a.mem.lock().read(pmm::META_BYTES, 4);
+    let b = sc.pmm.npmu_b.mem.lock().read(pmm::META_BYTES, 4);
+    assert_eq!(a, vec![0x5A; 4]);
+    assert_ne!(b, vec![0x5A; 4]);
+    // The PMM learned about the failure from its own metadata legs.
+    let stats = sc.pmm.stats.lock();
+    assert_eq!(stats.degraded_events, 1);
+    assert!(stats.meta_leg_failures > 0);
+}
+
+#[test]
+fn read_fails_over_to_mirror_when_primary_half_dies() {
+    let mut store = DurableStore::new();
+    // Healthy while the region is created and written; the primary half
+    // then dies and the first (unsuspecting) read must fail over.
+    let plan = FaultPlan::none().with(Fault::NpmuDown {
+        volume_half: 0,
+        from: SimTime(2 * SECS),
+        to: SimTime(100 * SECS),
+    });
+    let mut sc = build_faulty(
+        &mut store,
+        61,
+        true,
+        plan,
+        PmmConfig::default(),
+        npmu::FailureMode::Nack,
+    );
+    let payload = vec![0xC3u8; 2048];
+    let log = spawn_client(
+        &mut sc,
+        CpuId(2),
+        vec![
+            Step::Create {
+                name: "fo".into(),
+                len: 1 << 20,
+            },
+            Step::Write {
+                region_idx: 0,
+                offset: 512,
+                data: payload.clone(),
+                expect: RdmaStatus::Ok,
+            },
+            Step::Delay {
+                dur: SimDuration::from_millis(3000),
+            },
+            Step::Read {
+                region_idx: 0,
+                offset: 512,
+                len: 2048,
+                expect: Some(payload),
+            },
+        ],
+        MirrorPolicy::ParallelBoth,
+    );
+    sc.sim.run_until(SimTime(10 * SECS));
+    let log = log.lock();
+    assert_eq!(log.len(), 4, "{log:?}");
+    assert!(log[1].contains("Ok:asexpected"), "{log:?}");
+    assert!(!log[1].contains("degraded"), "write was healthy: {log:?}");
+    // The read hit the dead primary, failed over, and still returned the
+    // data — flagged degraded.
+    assert!(log[3].contains("Ok:match:degraded"), "{log:?}");
+    // The client's failure report made the PMM probe and degrade.
+    let stats = sc.pmm.stats.lock();
+    assert!(stats.failure_reports >= 1, "{stats:?}");
+    assert_eq!(stats.degraded_events, 1, "{stats:?}");
+}
+
+#[test]
+fn silent_drop_half_completes_write_via_timeout() {
+    let mut store = DurableStore::new();
+    let plan = FaultPlan::none().with(Fault::NpmuDown {
+        volume_half: 1,
+        from: SimTime(0),
+        to: SimTime(100 * SECS),
+    });
+    let mut sc = build_faulty(
+        &mut store,
+        62,
+        false,
+        plan,
+        PmmConfig::default(),
+        npmu::FailureMode::SilentDrop,
+    );
+    let log = spawn_client(
+        &mut sc,
+        CpuId(2),
+        vec![
+            Step::Create {
+                name: "drop".into(),
+                len: 1 << 18,
+            },
+            Step::Write {
+                region_idx: 0,
+                offset: 0,
+                data: vec![7u8; 1024],
+                expect: RdmaStatus::Ok,
+            },
+        ],
+        MirrorPolicy::ParallelBoth,
+    );
+    sc.sim.run_until(SimTime(5 * SECS));
+    let log = log.lock();
+    assert_eq!(log.len(), 2, "{log:?}");
+    assert!(log[0].contains("ok"), "{log:?}");
+    // No NACK ever arrives; the client's own timer fires and the write
+    // completes against the survivor's ack.
+    assert!(
+        log[1].contains("Ok") && log[1].contains("timeout"),
+        "{log:?}"
+    );
+    assert_eq!(sc.pmm.stats.lock().degraded_events, 1);
+}
+
+#[test]
+fn pmm_resilvers_revived_half_and_mirrors_converge() {
+    let mut store = DurableStore::new();
+    // Mirror half down for a window mid-run: writes land degraded on the
+    // survivor, then the half revives with stale contents and the PMM
+    // copies it back to parity.
+    let plan = FaultPlan::none().with(Fault::NpmuDown {
+        volume_half: 1,
+        from: SimTime(2_000_000), // 2 ms
+        to: SimTime(50_000_000),  // 50 ms
+    });
+    let mut sc = build_faulty(
+        &mut store,
+        63,
+        true,
+        plan,
+        PmmConfig::default(),
+        npmu::FailureMode::Nack,
+    );
+    let healthy = vec![0x11u8; 4096];
+    let degraded = vec![0x22u8; 4096];
+    let log = spawn_client(
+        &mut sc,
+        CpuId(2),
+        vec![
+            Step::Create {
+                name: "rs".into(),
+                len: 2 << 20,
+            },
+            Step::Write {
+                region_idx: 0,
+                offset: 0,
+                data: healthy.clone(),
+                expect: RdmaStatus::Ok,
+            },
+            Step::Delay {
+                dur: SimDuration::from_millis(4),
+            },
+            // Inside the outage: survivor-only.
+            Step::Write {
+                region_idx: 0,
+                offset: 8192,
+                data: degraded.clone(),
+                expect: RdmaStatus::Ok,
+            },
+        ],
+        MirrorPolicy::ParallelBoth,
+    );
+    sc.sim.run_until(SimTime(5 * SECS));
+    let log = log.lock();
+    assert_eq!(log.len(), 4, "{log:?}");
+    assert!(log[3].contains("Ok:asexpected:degraded"), "{log:?}");
+    let stats = *sc.pmm.stats.lock();
+    assert_eq!(stats.degraded_events, 1, "{stats:?}");
+    assert!(stats.probes_sent >= 1, "{stats:?}");
+    assert_eq!(stats.resilvers_started, 1, "{stats:?}");
+    assert_eq!(stats.resilvers_completed, 1, "{stats:?}");
+    // The whole allocated range was copied back (one 2 MB region).
+    assert!(stats.resilver_bytes_copied >= 2 << 20, "{stats:?}");
+    // Both the degraded-era write and the full region are now mirrored.
+    let b = sc.pmm.npmu_b.mem.lock().read(pmm::META_BYTES + 8192, 4096);
+    assert_eq!(b, degraded);
+    assert!(mirror_halves_equal(&sc.pmm, pmm::META_BYTES, 2 << 20));
+}
+
+#[test]
+fn write_during_resilvering_lands_on_both_halves() {
+    let mut store = DurableStore::new();
+    let plan = FaultPlan::none().with(Fault::NpmuDown {
+        volume_half: 1,
+        from: SimTime(2_000_000), // 2 ms
+        to: SimTime(10_000_000),  // 10 ms
+    });
+    // Tiny chunks + a big region stretch the resilver so a foreground
+    // write provably overlaps it; a fast probe finds the revival quickly.
+    let cfg = PmmConfig {
+        probe_interval: SimDuration::from_millis(10),
+        resilver_chunk: 4096,
+        ..PmmConfig::default()
+    };
+    let mut sc = build_faulty(&mut store, 64, true, plan, cfg, npmu::FailureMode::Nack);
+    let during = vec![0x99u8; 4096];
+    let log = spawn_client(
+        &mut sc,
+        CpuId(2),
+        vec![
+            Step::Create {
+                name: "online".into(),
+                len: 4 << 20,
+            },
+            Step::Delay {
+                dur: SimDuration::from_millis(4),
+            },
+            // Inside the outage: makes the volume degraded.
+            Step::Write {
+                region_idx: 0,
+                offset: 0,
+                data: vec![1u8; 4096],
+                expect: RdmaStatus::Ok,
+            },
+            // Past revival (10 ms) and probe (≤ ~20 ms), well inside the
+            // multi-millisecond chunk-by-chunk resilver of 4 MB.
+            Step::Delay {
+                dur: SimDuration::from_millis(20),
+            },
+            Step::Write {
+                region_idx: 0,
+                offset: 2 << 20,
+                data: during.clone(),
+                expect: RdmaStatus::Ok,
+            },
+        ],
+        MirrorPolicy::ParallelBoth,
+    );
+    sc.sim.run_until(SimTime(5 * SECS));
+    let log = log.lock();
+    assert_eq!(log.len(), 5, "{log:?}");
+    assert!(log[2].contains("degraded"), "{log:?}");
+    // The during-resilver write was *not* degraded: both halves acked.
+    assert!(log[4].contains("Ok:asexpected"), "{log:?}");
+    assert!(!log[4].contains("degraded"), "{log:?}");
+    let write_ns: u64 = log[4].rsplit('@').next().unwrap().parse().unwrap();
+    let stats = *sc.pmm.stats.lock();
+    assert_eq!(stats.resilvers_completed, 1, "{stats:?}");
+    assert!(
+        stats.resilver_started_ns < write_ns && write_ns < stats.resilver_completed_ns,
+        "write at {write_ns} must land inside the resilver window \
+         [{}, {}]",
+        stats.resilver_started_ns,
+        stats.resilver_completed_ns
+    );
+    // It reached both halves — directly, not via the copy.
+    let a = sc
+        .pmm
+        .npmu_a
+        .mem
+        .lock()
+        .read(pmm::META_BYTES + (2 << 20), 4096);
+    let b = sc
+        .pmm
+        .npmu_b
+        .mem
+        .lock()
+        .read(pmm::META_BYTES + (2 << 20), 4096);
+    assert_eq!(a, during);
+    assert_eq!(b, during);
+    assert!(mirror_halves_equal(&sc.pmm, pmm::META_BYTES, 4 << 20));
+}
+
+#[test]
+fn degraded_state_survives_power_loss_and_resilver_resumes() {
+    let mut store = DurableStore::new();
+    let payload = vec![0xABu8; 4096];
+    {
+        // Half 1 stays down for the whole first boot: the volume ends the
+        // run durably Degraded.
+        let plan = FaultPlan::none().with(Fault::NpmuDown {
+            volume_half: 1,
+            from: SimTime(0),
+            to: SimTime(1000 * SECS),
+        });
+        let mut sc = build_faulty(
+            &mut store,
+            65,
+            true,
+            plan,
+            PmmConfig::default(),
+            npmu::FailureMode::Nack,
+        );
+        let log = spawn_client(
+            &mut sc,
+            CpuId(2),
+            vec![
+                Step::Create {
+                    name: "boot".into(),
+                    len: 1 << 20,
+                },
+                Step::Write {
+                    region_idx: 0,
+                    offset: 0,
+                    data: payload.clone(),
+                    expect: RdmaStatus::Ok,
+                },
+            ],
+            MirrorPolicy::ParallelBoth,
+        );
+        sc.sim.run_until(SimTime(2 * SECS));
+        assert!(log.lock()[1].contains("degraded"));
+        assert_eq!(sc.pmm.stats.lock().resilvers_started, 0);
+    }
+    store.reset_volatile();
+    // Reboot with both devices healthy. The PMM recovers the Degraded
+    // state from the survivor's metadata, probes, and resilvers.
+    let mut sc = build(&mut store, 66, true);
+    sc.sim.run_until(SimTime(2 * SECS));
+    let stats = *sc.pmm.stats.lock();
+    assert_eq!(stats.resilvers_started, 1, "{stats:?}");
+    assert_eq!(stats.resilvers_completed, 1, "{stats:?}");
+    let b = sc.pmm.npmu_b.mem.lock().read(pmm::META_BYTES, 4096);
+    assert_eq!(b, payload, "degraded-era write must reach the revived half");
+    assert!(mirror_halves_equal(&sc.pmm, pmm::META_BYTES, 1 << 20));
+}
+
+#[test]
+fn pmm_takeover_mid_degradation_still_resilvers() {
+    let mut store = DurableStore::new();
+    // Half 1 down until t=3 s; the PMM primary is killed at t=1 s while
+    // the volume is degraded. The promoted backup must pick up the
+    // checkpointed health state and run the resilver after revival.
+    let plan = FaultPlan::none()
+        .with(Fault::NpmuDown {
+            volume_half: 1,
+            from: SimTime(0),
+            to: SimTime(3 * SECS),
+        })
+        .with(Fault::KillProcess {
+            name: "$PMM".into(),
+            at: SimTime(SECS),
+        });
+    let mut sc = build_faulty(
+        &mut store,
+        67,
+        true,
+        plan,
+        PmmConfig::default(),
+        npmu::FailureMode::Nack,
+    );
+    let payload = vec![0xEEu8; 2048];
+    let log = spawn_client(
+        &mut sc,
+        CpuId(2),
+        vec![
+            Step::Create {
+                name: "tk".into(),
+                len: 1 << 20,
+            },
+            Step::Write {
+                region_idx: 0,
+                offset: 4096,
+                data: payload.clone(),
+                expect: RdmaStatus::Ok,
+            },
+        ],
+        MirrorPolicy::ParallelBoth,
+    );
+    sc.sim.run_until(SimTime(10 * SECS));
+    assert!(log.lock()[1].contains("degraded"));
+    let stats = *sc.pmm.stats.lock();
+    assert_eq!(stats.resilvers_completed, 1, "{stats:?}");
+    let b = sc.pmm.npmu_b.mem.lock().read(pmm::META_BYTES + 4096, 2048);
+    assert_eq!(b, payload);
+    assert!(mirror_halves_equal(&sc.pmm, pmm::META_BYTES, 1 << 20));
 }

@@ -62,6 +62,7 @@ mod tests {
                     owner_cpu: 0,
                 })
                 .collect(),
+            health: Default::default(),
         }
     }
 
@@ -84,10 +85,7 @@ mod tests {
     #[test]
     fn first_fit_reuses_gap_after_delete() {
         // Two regions with a 8KB hole between them.
-        let m = meta_with(vec![
-            (META_BYTES, 4096),
-            (META_BYTES + 3 * 4096, 4096),
-        ]);
+        let m = meta_with(vec![(META_BYTES, 4096), (META_BYTES + 3 * 4096, 4096)]);
         assert_eq!(find_space(&m, CAP, 8192), Some(META_BYTES + 4096));
         // Bigger than the hole: must go after the last region.
         assert_eq!(find_space(&m, CAP, 3 * 4096), Some(META_BYTES + 4 * 4096));

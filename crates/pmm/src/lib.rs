@@ -31,6 +31,6 @@ pub mod manager;
 pub mod meta;
 pub mod msgs;
 
-pub use manager::{install_pmm_pair, PmmConfig, PmmHandle};
-pub use meta::{MetaStore, RegionMeta, VolumeMeta, META_BYTES};
+pub use manager::{install_pmm_pair, PmmConfig, PmmHandle, PmmStats, SharedPmmStats};
+pub use meta::{HealthState, MetaStore, RegionMeta, VolumeMeta, META_BYTES};
 pub use msgs::*;

@@ -18,31 +18,101 @@
 //! and continues service with the checkpointed state. Requests in flight
 //! at the moment of failure are lost — clients retry, exactly as NSK
 //! message clients do across a takeover.
+//!
+//! # Mirror failure and online resilvering
+//!
+//! The PMM also owns the volume's mirror-health state machine
+//! ([`HealthState`], durable inside the metadata so a takeover or reboot
+//! resumes it): `Healthy → Degraded → Resilvering → Healthy`.
+//!
+//! *Detection.* Two independent paths: the PMM's own metadata-write legs
+//! (a NACK or timeout from one half is first-hand evidence), and client
+//! [`ReportMirrorFailure`] hints, which the PMM confirms with a probe
+//! read before acting. While degraded, metadata writes go to the
+//! survivor only, and a probe read is sent to the dead half on a timer.
+//!
+//! *Resilvering.* When a probe answers, the PMM copies the survivor's
+//! contents back over RDMA chunk by chunk — **online**: clients keep
+//! writing (to both halves again) throughout. A copy pass is followed by
+//! a verify pass (read both halves, compare); divergent chunks — e.g.
+//! where a foreground write raced the copy — are re-copied and verified
+//! again until a pass is clean, then the volume is declared healthy with
+//! a metadata write to both mirrors. The copy range is bounded by the
+//! durable `dirty_upto` allocation high-water mark.
 
 use crate::alloc;
-use crate::meta::{MetaStore, RegionMeta, VolumeMeta, META_BYTES, SLOT_BYTES};
+use crate::meta::{HealthState, MetaStore, RegionMeta, VolumeMeta, META_BYTES, SLOT_BYTES};
 use crate::msgs::*;
 use npmu::att::{AttEntry, CpuFilter};
 use npmu::device::NpmuHandle;
 use nsk::machine::{CpuId, SharedMachine, WatchTarget};
 use nsk::proc::{Checkpoint, CheckpointAck, ProcessDied};
-use simcore::{Actor, Ctx, Msg, Sim};
+use parking_lot::Mutex;
+use simcore::{Actor, Ctx, Msg, Sim, SimDuration};
 use simnet::{
-    rdma_write, send_net_msg, EndpointId, NetDelivery, RdmaStatus, RdmaWriteDone, SharedNetwork,
+    rdma_read, rdma_write, send_net_msg, EndpointId, NetDelivery, RdmaReadDone, RdmaStatus,
+    RdmaWriteDone, SharedNetwork,
 };
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 #[derive(Clone, Debug)]
 pub struct PmmConfig {
     /// CPU cost charged per management op, ns.
     pub op_cpu_ns: u64,
+    /// While degraded, how often to probe the dead half for revival.
+    pub probe_interval: SimDuration,
+    /// Probe reads with no answer by then count as failed (silent-drop
+    /// devices never NACK).
+    pub probe_timeout: SimDuration,
+    /// Metadata slot writes with unanswered legs by then treat those legs
+    /// as failed (and degrade the volume).
+    pub meta_write_timeout: SimDuration,
+    /// Resilver copy/verify granularity, bytes.
+    pub resilver_chunk: u32,
+    /// A resilver step (chunk read or write) with no answer by then
+    /// aborts the resilver back to Degraded.
+    pub resilver_step_timeout: SimDuration,
 }
 
 impl Default for PmmConfig {
     fn default() -> Self {
-        PmmConfig { op_cpu_ns: 15_000 }
+        PmmConfig {
+            op_cpu_ns: 15_000,
+            probe_interval: SimDuration::from_millis(50),
+            probe_timeout: SimDuration::from_millis(5),
+            meta_write_timeout: SimDuration::from_millis(5),
+            resilver_chunk: 256 * 1024,
+            resilver_step_timeout: SimDuration::from_millis(10),
+        }
     }
 }
+
+/// Counters for failure handling and resilvering, shared with the test /
+/// bench harness via [`PmmHandle::stats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PmmStats {
+    /// Healthy → Degraded transitions.
+    pub degraded_events: u64,
+    /// Client `ReportMirrorFailure` messages received.
+    pub failure_reports: u64,
+    /// Probe reads issued to a dead half.
+    pub probes_sent: u64,
+    /// Metadata-write legs lost to a failed mirror.
+    pub meta_leg_failures: u64,
+    /// Bytes copied survivor → revived across all resilver passes.
+    pub resilver_bytes_copied: u64,
+    /// Copy+verify rounds beyond the first (divergence re-copies).
+    pub resilver_extra_passes: u64,
+    /// Resilvers started / completed.
+    pub resilvers_started: u64,
+    pub resilvers_completed: u64,
+    /// Virtual timestamps of the last resilver start / completion.
+    pub resilver_started_ns: u64,
+    pub resilver_completed_ns: u64,
+}
+
+pub type SharedPmmStats = Arc<Mutex<PmmStats>>;
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Role {
@@ -70,6 +140,8 @@ struct PendingOp {
 enum PendingReply {
     Create(u64, Result<RegionInfo, PmError>),
     Delete(u64, Result<(), PmError>),
+    /// Internal state-machine transition (health changes): no client ack.
+    Internal,
 }
 
 enum AttAction {
@@ -77,6 +149,59 @@ enum AttAction {
     MapRegion { region_id: u64 },
     /// Remove the window for a deleted region.
     Unmap { nva_base: u64 },
+}
+
+// --- self-addressed timers -------------------------------------------------
+
+/// Periodic revival probe while Degraded.
+struct ProbeTick;
+/// A probe read got no answer.
+struct ProbeTimeout {
+    rid: u64,
+}
+/// A metadata slot write has unanswered legs.
+struct MetaWriteTimeout {
+    token: u64,
+}
+/// A resilver chunk read/write got no answer.
+struct ResilverStepTimeout {
+    rid: u64,
+}
+
+/// Why a probe read was sent.
+#[derive(Clone, Copy)]
+enum ProbeKind {
+    /// Confirm a client failure report before degrading.
+    Confirm { half: u8 },
+    /// Check a dead half for revival.
+    Revival { half: u8 },
+}
+
+enum ResilverPhase {
+    /// Copying survivor chunks onto the revived half.
+    Copy,
+    /// Reading both halves back and comparing.
+    Verify,
+}
+
+/// Which resilver step an RDMA op id belongs to.
+enum ResilverOp {
+    CopyRead { off: u64, len: u32 },
+    CopyWrite { len: u32 },
+    VerifyRead { off: u64, len: u32, survivor: bool },
+}
+
+struct ResilverRun {
+    half: u8,
+    since_epoch: u64,
+    dirty_upto: u64,
+    phase: ResilverPhase,
+    /// Chunks still to process in the current phase.
+    queue: VecDeque<(u64, u32)>,
+    /// Chunks the verify pass found divergent (re-copied next round).
+    divergent: Vec<(u64, u32)>,
+    /// Survivor bytes of the chunk currently being verified.
+    verify_a: Option<(u64, u32, bytes::Bytes)>,
 }
 
 /// Handle returned by [`install_pmm_pair`].
@@ -87,6 +212,7 @@ pub struct PmmHandle {
     pub backup_cpu: Option<CpuId>,
     pub npmu_a: NpmuHandle,
     pub npmu_b: NpmuHandle,
+    pub stats: SharedPmmStats,
 }
 
 pub struct PmmProc {
@@ -99,15 +225,26 @@ pub struct PmmProc {
     cpu: CpuId,
     npmu_a: NpmuHandle,
     npmu_b: NpmuHandle,
+    /// PMM CPUs (primary + backup): always allowed through region ATT
+    /// windows so the manager can read/write region bytes for resilvering.
+    att_cpus: Vec<u32>,
     meta: VolumeMeta,
     open_cpus: BTreeMap<u64, BTreeSet<u32>>,
     pending: BTreeMap<u64, PendingOp>,
     next_op: u64,
-    /// RDMA op id → (pending op token, which mirror).
-    rdma_ops: BTreeMap<u64, u64>,
+    /// RDMA op id → (pending op token, which mirror half).
+    rdma_ops: BTreeMap<u64, (u64, u8)>,
     next_rdma: u64,
     ckpt_waiters: BTreeMap<u64, u64>, // ckpt seq → op token
     next_ckpt: u64,
+    /// Outstanding probe reads.
+    probes: BTreeMap<u64, ProbeKind>,
+    /// A ProbeTick timer is in flight (avoid stacking them).
+    probe_tick_armed: bool,
+    resilver: Option<ResilverRun>,
+    /// Outstanding resilver chunk ops.
+    resilver_ops: BTreeMap<u64, ResilverOp>,
+    stats: SharedPmmStats,
 }
 
 impl PmmProc {
@@ -126,23 +263,52 @@ impl PmmProc {
             .cpu_work(self.cpu, now, self.cfg.op_cpu_ns);
     }
 
-    /// Write the current metadata durably to both mirrors; returns the
-    /// pending-op token to park the request under.
-    fn start_meta_write(&mut self, ctx: &mut Ctx<'_>, op: PendingOp) -> u64 {
+    fn half_ep(&self, half: u8) -> EndpointId {
+        if half == 0 {
+            self.npmu_a.ep
+        } else {
+            self.npmu_b.ep
+        }
+    }
+
+    /// Metadata write targets for the current health: both halves when
+    /// healthy or resilvering (the revived device must converge), the
+    /// survivor only while degraded (the dead half would NACK or hang).
+    fn meta_write_halves(&self) -> Vec<u8> {
+        match self.meta.health {
+            HealthState::Degraded { half, .. } => vec![1 - half],
+            _ => vec![0, 1],
+        }
+    }
+
+    /// Write the current metadata durably (per current health targets);
+    /// returns the pending-op token the request is parked under.
+    fn start_meta_write(&mut self, ctx: &mut Ctx<'_>, mut op: PendingOp) -> u64 {
         let token = self.next_op;
         self.next_op += 1;
         let buf = self.meta.encode();
         let slot = MetaStore::slot_for_epoch(self.meta.epoch);
         debug_assert!(buf.len() as u64 <= SLOT_BYTES);
         let data = bytes::Bytes::from(buf);
-        for dev_ep in [self.npmu_a.ep, self.npmu_b.ep] {
+        let halves = self.meta_write_halves();
+        op.waiting_writes = halves.len() as u32;
+        for half in halves {
             let rid = self.next_rdma;
             self.next_rdma += 1;
-            self.rdma_ops.insert(rid, token);
+            self.rdma_ops.insert(rid, (token, half));
             let net = self.net.clone();
-            rdma_write(ctx, &net, self.ep, dev_ep, slot, data.clone(), rid);
+            rdma_write(
+                ctx,
+                &net,
+                self.ep,
+                self.half_ep(half),
+                slot,
+                data.clone(),
+                rid,
+            );
         }
         self.pending.insert(token, op);
+        ctx.send_self(self.cfg.meta_write_timeout, MetaWriteTimeout { token });
         token
     }
 
@@ -215,31 +381,37 @@ impl PmmProc {
                     DeleteRegionAck { token: tok, result },
                 );
             }
+            PendingReply::Internal => {}
         }
     }
 
-    /// (Re)program both mirrors' ATT for a region from `open_cpus`.
+    /// (Re)program both mirrors' ATT for a region from `open_cpus`. The
+    /// PMM's own CPUs are always included: the manager must reach region
+    /// bytes to copy them during a resilver.
     fn program_region_att(&mut self, region_id: u64) {
         let Some(r) = self.meta.find_by_id(region_id) else {
             return;
         };
         let (base, len) = (r.base, r.len);
-        let cpus: Vec<u32> = self
+        let mut cpus: Vec<u32> = self
             .open_cpus
             .get(&region_id)
             .map(|s| s.iter().copied().collect())
             .unwrap_or_default();
+        for c in &self.att_cpus {
+            if !cpus.contains(c) {
+                cpus.push(*c);
+            }
+        }
         for att in [&self.npmu_a.att, &self.npmu_b.att] {
             let mut att = att.lock();
             att.unmap(base);
-            if !cpus.is_empty() {
-                att.map(AttEntry {
-                    nva_base: base,
-                    len,
-                    phys_base: base,
-                    allowed: CpuFilter::Only(cpus.clone()),
-                });
-            }
+            att.map(AttEntry {
+                nva_base: base,
+                len,
+                phys_base: base,
+                allowed: CpuFilter::Only(cpus.clone()),
+            });
         }
     }
 
@@ -261,7 +433,413 @@ impl PmmProc {
             .unwrap_or(0)
     }
 
-    fn handle_request(&mut self, ctx: &mut Ctx<'_>, from_ep: EndpointId, payload: Box<dyn std::any::Any + Send>) {
+    // --- mirror-health state machine ------------------------------------
+
+    /// Current allocation high-water mark: nothing above it was ever
+    /// allocated, so nothing above it can have diverged.
+    fn alloc_high_water(&self) -> u64 {
+        self.meta
+            .regions
+            .iter()
+            .map(|r| r.base + r.len)
+            .max()
+            .unwrap_or(META_BYTES)
+    }
+
+    /// First-hand or confirmed evidence that `half` is down: record the
+    /// degraded state durably (on the survivor) and start probing.
+    fn go_degraded(&mut self, ctx: &mut Ctx<'_>, half: u8) {
+        match self.meta.health {
+            HealthState::Healthy => {}
+            HealthState::Degraded { half: h, .. } | HealthState::Resilvering { half: h, .. } => {
+                // Already handling this half; a failure of the *other*
+                // half while one is out means total mirror loss — keep
+                // the original state (nothing better to record).
+                let _ = h;
+                return;
+            }
+        }
+        self.stats.lock().degraded_events += 1;
+        self.meta.epoch += 1;
+        self.meta.health = HealthState::Degraded {
+            half,
+            since_epoch: self.meta.epoch,
+            dirty_upto: self.alloc_high_water(),
+        };
+        self.start_meta_write(
+            ctx,
+            PendingOp {
+                waiting_writes: 0,
+                waiting_ckpt: false,
+                reply_to_ep: self.ep,
+                reply: PendingReply::Internal,
+                att_action: None,
+            },
+        );
+        self.arm_probe_tick(ctx);
+    }
+
+    fn arm_probe_tick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.probe_tick_armed {
+            return;
+        }
+        self.probe_tick_armed = true;
+        ctx.send_self(self.cfg.probe_interval, ProbeTick);
+    }
+
+    /// Small read against a half's metadata window (always mapped for the
+    /// PMM CPUs) to ask "are you alive?".
+    fn send_probe(&mut self, ctx: &mut Ctx<'_>, kind: ProbeKind) {
+        let half = match kind {
+            ProbeKind::Confirm { half } | ProbeKind::Revival { half } => half,
+        };
+        let rid = self.next_rdma;
+        self.next_rdma += 1;
+        self.probes.insert(rid, kind);
+        self.stats.lock().probes_sent += 1;
+        let net = self.net.clone();
+        rdma_read(ctx, &net, self.ep, self.half_ep(half), 0, 64, rid);
+        ctx.send_self(self.cfg.probe_timeout, ProbeTimeout { rid });
+    }
+
+    fn on_probe_result(&mut self, ctx: &mut Ctx<'_>, kind: ProbeKind, ok: bool) {
+        match kind {
+            ProbeKind::Confirm { half } => {
+                if !ok {
+                    self.go_degraded(ctx, half);
+                }
+            }
+            ProbeKind::Revival { half } => {
+                let degraded_this_half = matches!(
+                    self.meta.health,
+                    HealthState::Degraded { half: h, .. } if h == half
+                );
+                if !degraded_this_half {
+                    return;
+                }
+                if ok {
+                    self.begin_resilver(ctx);
+                } else {
+                    self.arm_probe_tick(ctx);
+                }
+            }
+        }
+    }
+
+    /// The dead half answered: start copying the survivor's contents back
+    /// while foreground writes continue.
+    fn begin_resilver(&mut self, ctx: &mut Ctx<'_>) {
+        let HealthState::Degraded {
+            half,
+            since_epoch,
+            dirty_upto,
+        } = self.meta.health
+        else {
+            return;
+        };
+        {
+            let mut s = self.stats.lock();
+            s.resilvers_started += 1;
+            s.resilver_started_ns = ctx.now().as_nanos();
+        }
+        self.meta.epoch += 1;
+        self.meta.health = HealthState::Resilvering {
+            half,
+            since_epoch,
+            dirty_upto,
+            pass: 0,
+        };
+        // From here metadata writes go to both halves again, so the
+        // revived device's slots converge with the survivor's.
+        self.start_meta_write(
+            ctx,
+            PendingOp {
+                waiting_writes: 0,
+                waiting_ckpt: false,
+                reply_to_ep: self.ep,
+                reply: PendingReply::Internal,
+                att_action: None,
+            },
+        );
+        // Region windows may be unmapped after a cold restart; make sure
+        // the PMM CPUs can reach every region before copying.
+        let ids: Vec<u64> = self.meta.regions.iter().map(|r| r.id).collect();
+        for id in ids {
+            self.program_region_att(id);
+        }
+        let queue = self.resilver_chunks(dirty_upto);
+        self.resilver = Some(ResilverRun {
+            half,
+            since_epoch,
+            dirty_upto,
+            phase: ResilverPhase::Copy,
+            queue,
+            divergent: Vec::new(),
+            verify_a: None,
+        });
+        self.resilver_step(ctx);
+    }
+
+    /// Chunk list covering every allocated region byte below `dirty_upto`.
+    fn resilver_chunks(&self, dirty_upto: u64) -> VecDeque<(u64, u32)> {
+        let chunk = self.cfg.resilver_chunk.max(1) as u64;
+        let mut regions: Vec<(u64, u64)> = self
+            .meta
+            .regions
+            .iter()
+            .filter(|r| r.base < dirty_upto)
+            .map(|r| (r.base, r.len.min(dirty_upto - r.base)))
+            .collect();
+        regions.sort_unstable();
+        let mut q = VecDeque::new();
+        for (base, len) in regions {
+            let mut off = 0u64;
+            while off < len {
+                let n = chunk.min(len - off) as u32;
+                q.push_back((base + off, n));
+                off += n as u64;
+            }
+        }
+        q
+    }
+
+    /// Drive the resilver: issue the next chunk op, or move between
+    /// phases / finish when queues drain.
+    fn resilver_step(&mut self, ctx: &mut Ctx<'_>) {
+        let (next, in_copy, half, dirty_upto) = {
+            let Some(run) = &mut self.resilver else {
+                return;
+            };
+            (
+                run.queue.pop_front(),
+                matches!(run.phase, ResilverPhase::Copy),
+                run.half,
+                run.dirty_upto,
+            )
+        };
+        if let Some((off, len)) = next {
+            // Both phases start by reading the survivor.
+            let kind = if in_copy {
+                ResilverOp::CopyRead { off, len }
+            } else {
+                ResilverOp::VerifyRead {
+                    off,
+                    len,
+                    survivor: true,
+                }
+            };
+            self.issue_resilver_read(ctx, 1 - half, off, len, kind);
+            return;
+        }
+        // Current phase drained.
+        if in_copy {
+            // Copy done: verify the full range (foreground writes may
+            // have raced the copy).
+            let queue = self.resilver_chunks(dirty_upto);
+            if let Some(run) = &mut self.resilver {
+                run.phase = ResilverPhase::Verify;
+                run.queue = queue;
+            }
+            self.resilver_step(ctx);
+        } else {
+            let divergent = match &mut self.resilver {
+                Some(run) => std::mem::take(&mut run.divergent),
+                None => return,
+            };
+            if divergent.is_empty() {
+                self.finish_resilver(ctx);
+            } else {
+                // Re-copy what diverged, then verify again.
+                if let Some(run) = &mut self.resilver {
+                    run.queue = divergent.into();
+                    run.phase = ResilverPhase::Copy;
+                }
+                if let HealthState::Resilvering { pass, .. } = &mut self.meta.health {
+                    *pass += 1;
+                }
+                self.stats.lock().resilver_extra_passes += 1;
+                self.resilver_step(ctx);
+            }
+        }
+    }
+
+    fn issue_resilver_read(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src_half: u8,
+        off: u64,
+        len: u32,
+        kind: ResilverOp,
+    ) {
+        let rid = self.next_rdma;
+        self.next_rdma += 1;
+        self.resilver_ops.insert(rid, kind);
+        let net = self.net.clone();
+        rdma_read(ctx, &net, self.ep, self.half_ep(src_half), off, len, rid);
+        ctx.send_self(self.cfg.resilver_step_timeout, ResilverStepTimeout { rid });
+    }
+
+    fn on_resilver_read_done(&mut self, ctx: &mut Ctx<'_>, kind: ResilverOp, done: RdmaReadDone) {
+        if done.status != RdmaStatus::Ok {
+            self.abort_resilver(ctx);
+            return;
+        }
+        let Some(run) = &mut self.resilver else {
+            return;
+        };
+        match kind {
+            ResilverOp::CopyRead { off, len } => {
+                // Write the survivor's bytes onto the revived half.
+                let half = run.half;
+                let rid = self.next_rdma;
+                self.next_rdma += 1;
+                self.resilver_ops.insert(rid, ResilverOp::CopyWrite { len });
+                let dst = self.half_ep(half);
+                let net = self.net.clone();
+                rdma_write(ctx, &net, self.ep, dst, off, done.data, rid);
+                ctx.send_self(self.cfg.resilver_step_timeout, ResilverStepTimeout { rid });
+            }
+            ResilverOp::VerifyRead {
+                off,
+                len,
+                survivor: true,
+            } => {
+                run.verify_a = Some((off, len, done.data));
+                let half = run.half;
+                self.issue_resilver_read(
+                    ctx,
+                    half,
+                    off,
+                    len,
+                    ResilverOp::VerifyRead {
+                        off,
+                        len,
+                        survivor: false,
+                    },
+                );
+            }
+            ResilverOp::VerifyRead {
+                off,
+                len,
+                survivor: false,
+            } => {
+                let Some((a_off, _, a_bytes)) = run.verify_a.take() else {
+                    return;
+                };
+                debug_assert_eq!(a_off, off);
+                if a_bytes.as_ref() != done.data.as_ref() {
+                    run.divergent.push((off, len));
+                }
+                self.resilver_step(ctx);
+            }
+            ResilverOp::CopyWrite { .. } => unreachable!("write acks arrive as RdmaWriteDone"),
+        }
+    }
+
+    fn on_resilver_write_done(&mut self, ctx: &mut Ctx<'_>, kind: ResilverOp, status: RdmaStatus) {
+        if status != RdmaStatus::Ok {
+            self.abort_resilver(ctx);
+            return;
+        }
+        if let ResilverOp::CopyWrite { len } = kind {
+            self.stats.lock().resilver_bytes_copied += len as u64;
+        }
+        self.resilver_step(ctx);
+    }
+
+    /// The revived half (or, catastrophically, the survivor) stopped
+    /// answering mid-resilver: drop back to Degraded and resume probing.
+    fn abort_resilver(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(run) = self.resilver.take() else {
+            return;
+        };
+        self.resilver_ops.clear();
+        self.meta.epoch += 1;
+        self.meta.health = HealthState::Degraded {
+            half: run.half,
+            since_epoch: run.since_epoch,
+            dirty_upto: run.dirty_upto,
+        };
+        self.start_meta_write(
+            ctx,
+            PendingOp {
+                waiting_writes: 0,
+                waiting_ckpt: false,
+                reply_to_ep: self.ep,
+                reply: PendingReply::Internal,
+                att_action: None,
+            },
+        );
+        self.arm_probe_tick(ctx);
+    }
+
+    /// A verify pass found the mirrors identical: declare Healthy with a
+    /// metadata write to both halves.
+    fn finish_resilver(&mut self, ctx: &mut Ctx<'_>) {
+        self.resilver = None;
+        self.resilver_ops.clear();
+        {
+            let mut s = self.stats.lock();
+            s.resilvers_completed += 1;
+            s.resilver_completed_ns = ctx.now().as_nanos();
+        }
+        self.meta.epoch += 1;
+        self.meta.health = HealthState::Healthy;
+        self.start_meta_write(
+            ctx,
+            PendingOp {
+                waiting_writes: 0,
+                waiting_ckpt: false,
+                reply_to_ep: self.ep,
+                reply: PendingReply::Internal,
+                att_action: None,
+            },
+        );
+    }
+
+    /// Resume failure handling from durable/checkpointed health after a
+    /// (re)start or takeover. A Resilvering state restarts as Degraded:
+    /// the copy progress was volatile, and the probe path re-enters the
+    /// resilver cleanly.
+    fn resume_health(&mut self, ctx: &mut Ctx<'_>) {
+        match self.meta.health {
+            HealthState::Healthy => {}
+            HealthState::Degraded { .. } => self.arm_probe_tick(ctx),
+            HealthState::Resilvering {
+                half,
+                since_epoch,
+                dirty_upto,
+                ..
+            } => {
+                self.meta.health = HealthState::Degraded {
+                    half,
+                    since_epoch,
+                    dirty_upto,
+                };
+                self.arm_probe_tick(ctx);
+            }
+        }
+    }
+
+    /// A metadata write leg to `half` failed (NACK or timeout).
+    fn on_meta_leg_failed(&mut self, ctx: &mut Ctx<'_>, half: u8) {
+        self.stats.lock().meta_leg_failures += 1;
+        match self.meta.health {
+            HealthState::Healthy => self.go_degraded(ctx, half),
+            HealthState::Resilvering { half: h, .. } if h == half => {
+                // The revived device failed again mid-resilver.
+                self.abort_resilver(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_request(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from_ep: EndpointId,
+        payload: Box<dyn std::any::Any + Send>,
+    ) {
         self.charge_cpu(ctx);
         let net = self.net.clone();
         let payload = match payload.downcast::<CreateRegion>() {
@@ -271,10 +849,7 @@ impl PmmProc {
                     let result = if req.open_if_exists {
                         // Treat as open.
                         let cpu = self.client_cpu(from_ep);
-                        self.open_cpus
-                            .entry(existing.id)
-                            .or_default()
-                            .insert(cpu);
+                        self.open_cpus.entry(existing.id).or_default().insert(cpu);
                         self.program_region_att(existing.id);
                         Ok(self.region_info(&existing))
                     } else {
@@ -319,15 +894,25 @@ impl PmmProc {
                     owner_cpu: cpu,
                 };
                 let info = self.region_info(&region);
+                let region_top = region.base + region.len;
                 self.meta.regions.push(region);
                 self.meta.epoch += 1;
+                // A region created while a half is out is dirty on it by
+                // definition: raise the durable resilver bound.
+                match &mut self.meta.health {
+                    HealthState::Degraded { dirty_upto, .. }
+                    | HealthState::Resilvering { dirty_upto, .. } => {
+                        *dirty_upto = (*dirty_upto).max(region_top);
+                    }
+                    HealthState::Healthy => {}
+                }
                 // Creating also opens for the creator (convenience the
                 // client library relies on).
                 self.open_cpus.entry(id).or_default().insert(cpu);
                 self.start_meta_write(
                     ctx,
                     PendingOp {
-                        waiting_writes: 2,
+                        waiting_writes: 0,
                         waiting_ckpt: false,
                         reply_to_ep: from_ep,
                         reply: PendingReply::Create(req.token, Ok(info)),
@@ -432,7 +1017,7 @@ impl PmmProc {
                         self.start_meta_write(
                             ctx,
                             PendingOp {
-                                waiting_writes: 2,
+                                waiting_writes: 0,
                                 waiting_ckpt: false,
                                 reply_to_ep: from_ep,
                                 reply: PendingReply::Delete(req.token, Ok(())),
@@ -454,6 +1039,37 @@ impl PmmProc {
                         );
                     }
                 }
+                return;
+            }
+            Err(p) => p,
+        };
+
+        let payload = match payload.downcast::<ReportMirrorFailure>() {
+            Ok(rep) => {
+                self.stats.lock().failure_reports += 1;
+                if self.meta.health.is_healthy() {
+                    // A hint, not proof: confirm with our own probe before
+                    // recording a durable state change.
+                    self.send_probe(ctx, ProbeKind::Confirm { half: rep.half });
+                }
+                return;
+            }
+            Err(p) => p,
+        };
+
+        let payload = match payload.downcast::<VolumeHealthReq>() {
+            Ok(req) => {
+                send_net_msg(
+                    ctx,
+                    &net,
+                    self.ep,
+                    from_ep,
+                    64,
+                    VolumeHealthAck {
+                        token: req.token,
+                        health: self.meta.health,
+                    },
+                );
                 return;
             }
             Err(p) => p,
@@ -488,6 +1104,10 @@ impl Actor for PmmProc {
                 self.machine
                     .lock()
                     .watch(WatchTarget::Process(self.name.clone()), me);
+            } else {
+                // Cold start with durable Degraded/Resilvering state:
+                // resume probing for the dead half.
+                self.resume_health(ctx);
             }
             return;
         }
@@ -498,20 +1118,92 @@ impl Actor for PmmProc {
                 if self.role == Role::Backup && d.name == self.name && d.was_primary {
                     self.machine.lock().promote_backup(&self.name);
                     self.role = Role::Primary;
+                    // Resume failure handling from the checkpointed health.
+                    self.resume_health(ctx);
                 }
                 return;
             }
             Err(m) => m,
         };
 
-        // Metadata slot write acks.
+        // Revival probe tick (only meaningful while degraded).
+        if msg.is::<ProbeTick>() {
+            self.probe_tick_armed = false;
+            if self.role == Role::Primary {
+                if let HealthState::Degraded { half, .. } = self.meta.health {
+                    self.send_probe(ctx, ProbeKind::Revival { half });
+                }
+            }
+            return;
+        }
+
+        let msg = match msg.take::<ProbeTimeout>() {
+            Ok((_, t)) => {
+                if let Some(kind) = self.probes.remove(&t.rid) {
+                    self.on_probe_result(ctx, kind, false);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        let msg = match msg.take::<MetaWriteTimeout>() {
+            Ok((_, t)) => {
+                // Any legs of this op still unanswered have silently
+                // dropped: count them failed and let the op proceed on
+                // the acks it has.
+                let stale: Vec<(u64, u8)> = self
+                    .rdma_ops
+                    .iter()
+                    .filter(|(_, (tok, _))| *tok == t.token)
+                    .map(|(rid, (_, half))| (*rid, *half))
+                    .collect();
+                if stale.is_empty() {
+                    return;
+                }
+                for (rid, half) in stale {
+                    self.rdma_ops.remove(&rid);
+                    self.on_meta_leg_failed(ctx, half);
+                    if let Some(op) = self.pending.get_mut(&t.token) {
+                        op.waiting_writes = op.waiting_writes.saturating_sub(1);
+                    }
+                }
+                let finished = self
+                    .pending
+                    .get(&t.token)
+                    .map(|op| op.waiting_writes == 0 && !op.waiting_ckpt)
+                    .unwrap_or(false);
+                if finished {
+                    self.after_writes(ctx, t.token);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        let msg = match msg.take::<ResilverStepTimeout>() {
+            Ok((_, t)) => {
+                if self.resilver_ops.remove(&t.rid).is_some() {
+                    self.abort_resilver(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        // Metadata slot write acks + resilver copy-write acks.
         let msg = match msg.take::<RdmaWriteDone>() {
             Ok((_, done)) => {
-                if let Some(token) = self.rdma_ops.remove(&done.op_id) {
+                if let Some(kind) = self.resilver_ops.remove(&done.op_id) {
+                    self.on_resilver_write_done(ctx, kind, done.status);
+                    return;
+                }
+                if let Some((token, half)) = self.rdma_ops.remove(&done.op_id) {
                     if done.status != RdmaStatus::Ok {
-                        // A mirror lost a metadata write: the volume is
-                        // still consistent (other mirror + old slot); we
-                        // proceed, as real firmware would flag the mirror.
+                        // The volume is still consistent (other mirror +
+                        // old slot), but the half is now suspect: degrade
+                        // or abort a resilver accordingly.
+                        self.on_meta_leg_failed(ctx, half);
                     }
                     let finished = {
                         if let Some(op) = self.pending.get_mut(&token) {
@@ -524,6 +1216,21 @@ impl Actor for PmmProc {
                     if finished {
                         self.after_writes(ctx, token);
                     }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        // Probe answers + resilver chunk reads.
+        let msg = match msg.take::<RdmaReadDone>() {
+            Ok((_, done)) => {
+                if let Some(kind) = self.probes.remove(&done.op_id) {
+                    self.on_probe_result(ctx, kind, done.status == RdmaStatus::Ok);
+                    return;
+                }
+                if let Some(kind) = self.resilver_ops.remove(&done.op_id) {
+                    self.on_resilver_read_done(ctx, kind, done);
                 }
                 return;
             }
@@ -620,11 +1327,17 @@ pub fn install_pmm_pair(
         let mem = npmu_b.mem.lock();
         MetaStore::recover(|off, len| mem.read(off, len))
     };
-    let meta = if rec_a.epoch >= rec_b.epoch { rec_a } else { rec_b };
+    let meta = if rec_a.epoch >= rec_b.epoch {
+        rec_a
+    } else {
+        rec_b
+    };
 
     // Re-map ATT windows for already-existing regions? No: opens are
     // volatile; clients must (re)open after a restart, per the paper's
-    // access model.
+    // access model. (A resilver re-maps what it needs for itself.)
+
+    let stats: SharedPmmStats = Arc::new(Mutex::new(PmmStats::default()));
 
     let mk = |role: Role, cpu: CpuId, meta: VolumeMeta| {
         let machine2 = machine.clone();
@@ -633,6 +1346,8 @@ pub fn install_pmm_pair(
         let b = npmu_b.clone();
         let name2 = name.to_string();
         let cfg2 = cfg.clone();
+        let att_cpus = meta_cpus.clone();
+        let stats2 = stats.clone();
         move |ep: EndpointId| -> Box<dyn Actor> {
             Box::new(PmmProc {
                 name: name2,
@@ -644,6 +1359,7 @@ pub fn install_pmm_pair(
                 cpu,
                 npmu_a: a,
                 npmu_b: b,
+                att_cpus,
                 meta,
                 open_cpus: BTreeMap::new(),
                 pending: BTreeMap::new(),
@@ -652,6 +1368,11 @@ pub fn install_pmm_pair(
                 next_rdma: 0,
                 ckpt_waiters: BTreeMap::new(),
                 next_ckpt: 0,
+                probes: BTreeMap::new(),
+                probe_tick_armed: false,
+                resilver: None,
+                resilver_ops: BTreeMap::new(),
+                stats: stats2,
             })
         }
     };
@@ -673,5 +1394,6 @@ pub fn install_pmm_pair(
         backup_cpu,
         npmu_a: npmu_a.clone(),
         npmu_b: npmu_b.clone(),
+        stats,
     }
 }

@@ -35,12 +35,66 @@ pub struct RegionMeta {
     pub owner_cpu: u32,
 }
 
+/// Mirror health of the volume — durable, so a PMM takeover (or reboot)
+/// resumes failure handling where the previous primary left off.
+///
+/// The cycle is `Healthy → Degraded → Resilvering → Healthy`:
+/// - **Degraded**: one half stopped answering. Writes complete against the
+///   survivor; the PMM stops writing metadata to the dead half and probes
+///   it for revival.
+/// - **Resilvering**: the dead half answered a probe. The PMM copies the
+///   survivor's contents back chunk by chunk while foreground writes
+///   continue (they go to both halves again), then verifies the mirrors
+///   before declaring the volume healthy.
+///
+/// `dirty_upto` bounds the device range the resilver must copy: the
+/// volume's allocation high-water mark when the half failed, raised if
+/// regions are created while degraded. Anything above it was never
+/// allocated, so it cannot have diverged.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum HealthState {
+    #[default]
+    Healthy,
+    Degraded {
+        /// The failed half (0 = primary "a", 1 = mirror "b").
+        half: u8,
+        /// Metadata epoch when the failure was recorded.
+        since_epoch: u64,
+        /// Allocation high-water mark (device offset) to resilver up to.
+        dirty_upto: u64,
+    },
+    Resilvering {
+        half: u8,
+        since_epoch: u64,
+        dirty_upto: u64,
+        /// Completed copy passes (a pass that finds divergence re-runs).
+        pass: u32,
+    },
+}
+
+impl HealthState {
+    /// The half currently considered failed/stale, if any.
+    pub fn suspect_half(&self) -> Option<u8> {
+        match self {
+            HealthState::Healthy => None,
+            HealthState::Degraded { half, .. } | HealthState::Resilvering { half, .. } => {
+                Some(*half)
+            }
+        }
+    }
+
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, HealthState::Healthy)
+    }
+}
+
 /// The full durable state of one PM volume.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VolumeMeta {
     pub epoch: u64,
     pub next_region_id: u64,
     pub regions: Vec<RegionMeta>,
+    pub health: HealthState,
 }
 
 impl VolumeMeta {
@@ -65,6 +119,33 @@ impl VolumeMeta {
             let name = r.name.as_bytes();
             put_u32(&mut body, name.len() as u32);
             body.extend_from_slice(name);
+        }
+        // Health trailer (appended after the region list so images written
+        // before mirror-failure tracking still decode — see `decode`).
+        match self.health {
+            HealthState::Healthy => body.push(0),
+            HealthState::Degraded {
+                half,
+                since_epoch,
+                dirty_upto,
+            } => {
+                body.push(1);
+                body.push(half);
+                put_u64(&mut body, since_epoch);
+                put_u64(&mut body, dirty_upto);
+            }
+            HealthState::Resilvering {
+                half,
+                since_epoch,
+                dirty_upto,
+                pass,
+            } => {
+                body.push(2);
+                body.push(half);
+                put_u64(&mut body, since_epoch);
+                put_u64(&mut body, dirty_upto);
+                put_u32(&mut body, pass);
+            }
         }
         let mut out = Vec::with_capacity(body.len() + 20);
         put_u32(&mut out, MAGIC);
@@ -120,10 +201,27 @@ impl VolumeMeta {
                 owner_cpu,
             });
         }
+        // Pre-health images end here; treat a missing trailer as Healthy.
+        let health = match c.u8() {
+            None | Some(0) => HealthState::Healthy,
+            Some(1) => HealthState::Degraded {
+                half: c.u8()?,
+                since_epoch: c.u64()?,
+                dirty_upto: c.u64()?,
+            },
+            Some(2) => HealthState::Resilvering {
+                half: c.u8()?,
+                since_epoch: c.u64()?,
+                dirty_upto: c.u64()?,
+                pass: c.u32()?,
+            },
+            Some(_) => return None,
+        };
         Some(VolumeMeta {
             epoch,
             next_region_id,
             regions,
+            health,
         })
     }
 }
@@ -179,11 +277,16 @@ impl<'a> Cursor<'a> {
         self.pos += n;
         Some(s)
     }
+    fn u8(&mut self) -> Option<u8> {
+        self.slice(1).map(|s| s[0])
+    }
     fn u32(&mut self) -> Option<u32> {
-        self.slice(4).map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+        self.slice(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
     }
     fn u64(&mut self) -> Option<u64> {
-        self.slice(8).map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+        self.slice(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
     }
 }
 
@@ -195,7 +298,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, e) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *e = c;
         }
@@ -232,6 +339,7 @@ mod tests {
                     owner_cpu: 3,
                 },
             ],
+            health: HealthState::Healthy,
         }
     }
 
@@ -322,6 +430,53 @@ mod tests {
         assert_eq!(MetaStore::slot_for_epoch(0), 0);
         assert_eq!(MetaStore::slot_for_epoch(1), SLOT_BYTES);
         assert_eq!(MetaStore::slot_for_epoch(2), 0);
+    }
+
+    #[test]
+    fn health_states_roundtrip() {
+        for health in [
+            HealthState::Healthy,
+            HealthState::Degraded {
+                half: 1,
+                since_epoch: 9,
+                dirty_upto: 3 << 20,
+            },
+            HealthState::Resilvering {
+                half: 0,
+                since_epoch: 9,
+                dirty_upto: 5 << 20,
+                pass: 2,
+            },
+        ] {
+            let mut m = sample();
+            m.health = health;
+            let back = VolumeMeta::decode(&m.encode()).unwrap();
+            assert_eq!(back, m);
+            assert_eq!(back.health.suspect_half(), health.suspect_half());
+        }
+    }
+
+    #[test]
+    fn decode_pre_health_image_defaults_to_healthy() {
+        // An image serialized before the health trailer existed: rebuild
+        // one by encoding and stripping the trailer, then fixing up the
+        // length and CRC the way the old writer would have produced them.
+        let m = sample();
+        let full = m.encode();
+        let body_len = u32::from_le_bytes(full[12..16].try_into().unwrap()) as usize;
+        let old_body = &full[20..20 + body_len - 1]; // drop the 1-byte Healthy tag
+        let mut out = Vec::new();
+        out.extend_from_slice(&full[..8]); // magic + first half of epoch
+        out.extend_from_slice(&full[8..12]); // rest of epoch
+        out.extend_from_slice(&(old_body.len() as u32).to_le_bytes());
+        let mut guarded = Vec::new();
+        guarded.extend_from_slice(&m.epoch.to_le_bytes());
+        guarded.extend_from_slice(old_body);
+        out.extend_from_slice(&crc32(&guarded).to_le_bytes());
+        out.extend_from_slice(old_body);
+        let back = VolumeMeta::decode(&out).unwrap();
+        assert_eq!(back.health, HealthState::Healthy);
+        assert_eq!(back.regions, m.regions);
     }
 
     #[test]

@@ -85,6 +85,33 @@ pub struct DeleteRegionAck {
     pub result: Result<(), PmError>,
 }
 
+/// Fire-and-forget client report: RDMA to one mirror half of a region
+/// failed (NACK or timeout) while the other half answered. The PMM treats
+/// this as a failure-detection hint — it confirms with its own probe
+/// before transitioning the volume's durable health state. No ack is sent;
+/// clients dedupe on the suspect-state edge and the PMM also detects
+/// failures through its own metadata writes.
+#[derive(Clone, Copy, Debug)]
+pub struct ReportMirrorFailure {
+    pub region_id: u64,
+    /// 0 = primary ("a"), 1 = mirror ("b").
+    pub half: u8,
+}
+
+/// Ask the PMM for the volume's current health (tests and monitoring
+/// poll this to observe the Healthy → Degraded → Resilvering → Healthy
+/// cycle).
+#[derive(Clone, Copy, Debug)]
+pub struct VolumeHealthReq {
+    pub token: u64,
+}
+
+#[derive(Clone, Debug)]
+pub struct VolumeHealthAck {
+    pub token: u64,
+    pub health: crate::meta::HealthState,
+}
+
 /// Enumerate regions.
 #[derive(Clone, Debug)]
 pub struct ListRegions {

@@ -102,11 +102,7 @@ impl DirectPm {
     pub fn flush(&mut self, addr: u64, len: u64) {
         let first = Self::line_of(addr);
         let last = Self::line_of(addr + len.max(1) - 1);
-        let lines: Vec<u64> = self
-            .dirty
-            .range(first..=last)
-            .map(|(l, _)| *l)
-            .collect();
+        let lines: Vec<u64> = self.dirty.range(first..=last).map(|(l, _)| *l).collect();
         for l in lines {
             let data = self.dirty.remove(&l).unwrap();
             let base = (l * LINE) as usize;

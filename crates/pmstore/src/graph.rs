@@ -224,10 +224,21 @@ mod tests {
     fn fifo_within_price_level() {
         let (mut m, mut h, mut book) = setup();
         for id in 1..=3u64 {
-            book.insert(&mut m, &mut h, Order { order_id: id, qty: 100, price: 2150 });
+            book.insert(
+                &mut m,
+                &mut h,
+                Order {
+                    order_id: id,
+                    qty: 100,
+                    price: 2150,
+                },
+            );
         }
         let orders = book.orders_at(&m, 2150);
-        assert_eq!(orders.iter().map(|o| o.order_id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            orders.iter().map(|o| o.order_id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         // Price-time priority: matches pop oldest first.
         assert_eq!(book.match_first(&mut m, &mut h, 2150).unwrap().order_id, 1);
         assert_eq!(book.match_first(&mut m, &mut h, 2150).unwrap().order_id, 2);
@@ -238,7 +249,15 @@ mod tests {
     fn multiple_levels() {
         let (mut m, mut h, mut book) = setup();
         for (id, price) in [(1u64, 2150u64), (2, 2140), (3, 2150), (4, 2160)] {
-            book.insert(&mut m, &mut h, Order { order_id: id, qty: 10, price });
+            book.insert(
+                &mut m,
+                &mut h,
+                Order {
+                    order_id: id,
+                    qty: 10,
+                    price,
+                },
+            );
         }
         assert_eq!(book.active_prices(&m), vec![2140, 2150, 2160]);
         assert_eq!(book.orders_at(&m, 2150).len(), 2);
@@ -250,7 +269,15 @@ mod tests {
     fn match_frees_heap_space() {
         let (mut m, mut h, mut book) = setup();
         for id in 0..50u64 {
-            book.insert(&mut m, &mut h, Order { order_id: id, qty: 1, price: 100 });
+            book.insert(
+                &mut m,
+                &mut h,
+                Order {
+                    order_id: id,
+                    qty: 1,
+                    price: 100,
+                },
+            );
         }
         let used_full = h.used_bytes(&m);
         for _ in 0..50 {
@@ -267,10 +294,18 @@ mod tests {
     /// handle itself).
     #[test]
     fn bulk_copy_between_address_spaces_no_marshalling() {
-        let (m, mut h, mut book) = {
+        let (m, mut h, book) = {
             let (mut m, mut h, mut book) = setup();
             for (id, price) in [(1u64, 10u64), (2, 20), (3, 10), (4, 30), (5, 20)] {
-                book.insert(&mut m, &mut h, Order { order_id: id, qty: 5, price });
+                book.insert(
+                    &mut m,
+                    &mut h,
+                    Order {
+                        order_id: id,
+                        qty: 5,
+                        price,
+                    },
+                );
             }
             (m, h, book)
         };
@@ -306,7 +341,15 @@ mod tests {
         let (m, _h, book) = {
             let (mut m, mut h, mut book) = setup();
             for id in 1..=4u64 {
-                book.insert(&mut m, &mut h, Order { order_id: id, qty: 1, price: 500 });
+                book.insert(
+                    &mut m,
+                    &mut h,
+                    Order {
+                        order_id: id,
+                        qty: 1,
+                        price: 500,
+                    },
+                );
             }
             (m, h, book)
         };
@@ -336,7 +379,15 @@ mod tests {
         let (mut m, head, fixups) = {
             let (mut m, mut h, mut book) = setup();
             for id in 1..=10u64 {
-                book.insert(&mut m, &mut h, Order { order_id: id, qty: 7, price: 42 });
+                book.insert(
+                    &mut m,
+                    &mut h,
+                    Order {
+                        order_id: id,
+                        qty: 7,
+                        price: 42,
+                    },
+                );
             }
             (m, book.head_offset(), book.fixups.clone())
         };

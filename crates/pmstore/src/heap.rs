@@ -125,10 +125,8 @@ impl PmHeap {
                 let used_hdr = header_bytes(need as u32, USED);
                 let split_off = b.off + HDR + need;
                 let free_hdr = header_bytes((remainder - HDR) as u32, FREE);
-                self.tx.run(
-                    medium,
-                    &[(b.off, &used_hdr), (split_off, &free_hdr)],
-                );
+                self.tx
+                    .run(medium, &[(b.off, &used_hdr), (split_off, &free_hdr)]);
             } else {
                 let used_hdr = header_bytes(b.size, USED);
                 self.tx.run(medium, &[(b.off, &used_hdr)]);

@@ -205,11 +205,7 @@ impl PmBTree {
         let mut node = self.read_node(medium, self.root);
         loop {
             if node.leaf {
-                return node
-                    .keys
-                    .binary_search(&key)
-                    .ok()
-                    .map(|i| node.slots[i]);
+                return node.keys.binary_search(&key).ok().map(|i| node.slots[i]);
             }
             let child = node.slots[Self::child_index(&node, key)];
             node = self.read_node(medium, child);
@@ -377,7 +373,11 @@ impl PmBTree {
             }
             for (i, &child) in node.slots.iter().enumerate() {
                 let clo = if i == 0 { lo } else { node.keys[i - 1] };
-                let chi = if i == node.keys.len() { hi } else { node.keys[i] };
+                let chi = if i == node.keys.len() {
+                    hi
+                } else {
+                    node.keys[i]
+                };
                 walk(t, medium, child, clo, chi, depth + 1, leaf_depth);
             }
         }
@@ -470,7 +470,7 @@ mod tests {
         for k in 0..300u64 {
             t.insert(&mut m, k, k * 3);
         }
-        drop(t);
+        let _ = t;
         let mut m2 = m;
         let t2 = PmBTree::recover(&mut m2, 0, LEN);
         t2.check(&m2);
@@ -509,7 +509,7 @@ mod tests {
             }
             let v = t2.get(&m, 101);
             assert!(
-                v == None || v == Some(999),
+                v.is_none() || v == Some(999),
                 "crash_at={crash_at}: phantom value {v:?}"
             );
         }

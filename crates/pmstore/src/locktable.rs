@@ -217,7 +217,7 @@ mod tests {
     fn survives_reopen() {
         let (mut m, t) = fresh(64);
         t.record_grant(&mut m, 100, 3, PmLockMode::Exclusive);
-        drop(t);
+        let _ = t;
         let t2 = PmLockTable::open(0, 64);
         assert_eq!(t2.all(&m).len(), 1);
         assert_eq!(t2.holders_of(&m, 100)[0].holder, 3);

@@ -149,7 +149,11 @@ mod tests {
         let n = 10u64;
         for i in 0..n {
             let off = 64 + i * 64;
-            let next = if i + 1 < n { RelPtr(64 + (i + 1) * 64) } else { RelPtr::NULL };
+            let next = if i + 1 < n {
+                RelPtr(64 + (i + 1) * 64)
+            } else {
+                RelPtr::NULL
+            };
             m.write_u64(off, next.0);
             fix.note(off);
             m.write_u64(off + 8, i * 100);
@@ -175,7 +179,9 @@ mod tests {
         let mut abs = base + 64;
         loop {
             let off = (abs - base) as usize;
-            values2.push(u64::from_le_bytes(image[off + 8..off + 16].try_into().unwrap()));
+            values2.push(u64::from_le_bytes(
+                image[off + 8..off + 16].try_into().unwrap(),
+            ));
             let nxt = u64::from_le_bytes(image[off..off + 8].try_into().unwrap());
             if nxt == 0 {
                 break;

@@ -51,12 +51,7 @@ impl PmQueue {
     }
 
     /// Format a fresh queue at `base`.
-    pub fn format<M: PmMedium>(
-        medium: &mut M,
-        base: u64,
-        slots: u64,
-        payload_len: u32,
-    ) -> PmQueue {
+    pub fn format<M: PmMedium>(medium: &mut M, base: u64, slots: u64, payload_len: u32) -> PmQueue {
         assert!(slots >= 2);
         Self::write_counter(medium, base + HEAD_OFF, 0);
         Self::write_counter(medium, base + TAIL_OFF, 0);
@@ -240,7 +235,7 @@ mod tests {
     fn persistence_across_reopen() {
         let (mut m, q) = fresh(8);
         q.enqueue(&mut m, b"order:buy 100 HPQ");
-        drop(q);
+        let _ = q;
         let mut m2 = m;
         let q2 = PmQueue::recover(&mut m2, 0, 8, 64);
         assert_eq!(q2.dequeue(&mut m2).unwrap(), b"order:buy 100 HPQ");

@@ -136,7 +136,8 @@ impl TcbTable {
             if crc32(&raw[..32]) != crc {
                 continue; // torn update: resolved by the tail scan
             }
-            let Some(state) = TcbState::from_code(u32::from_le_bytes(raw[8..12].try_into().unwrap()))
+            let Some(state) =
+                TcbState::from_code(u32::from_le_bytes(raw[8..12].try_into().unwrap()))
             else {
                 continue;
             };
@@ -168,10 +169,34 @@ mod tests {
     #[test]
     fn lifecycle_updates_in_place() {
         let (mut m, t) = fresh(16);
-        t.put(&mut m, Tcb { txn: 9, state: TcbState::Active, first_lsn: 100, last_lsn: 100 });
-        t.put(&mut m, Tcb { txn: 9, state: TcbState::Committing, first_lsn: 100, last_lsn: 900 });
+        t.put(
+            &mut m,
+            Tcb {
+                txn: 9,
+                state: TcbState::Active,
+                first_lsn: 100,
+                last_lsn: 100,
+            },
+        );
+        t.put(
+            &mut m,
+            Tcb {
+                txn: 9,
+                state: TcbState::Committing,
+                first_lsn: 100,
+                last_lsn: 900,
+            },
+        );
         assert_eq!(t.get(&m, 9).unwrap().state, TcbState::Committing);
-        t.put(&mut m, Tcb { txn: 9, state: TcbState::Committed, first_lsn: 100, last_lsn: 900 });
+        t.put(
+            &mut m,
+            Tcb {
+                txn: 9,
+                state: TcbState::Committed,
+                first_lsn: 100,
+                last_lsn: 900,
+            },
+        );
         assert_eq!(t.get(&m, 9).unwrap().state, TcbState::Committed);
         t.clear(&mut m, 9);
         assert!(t.get(&m, 9).is_none());
@@ -180,9 +205,33 @@ mod tests {
     #[test]
     fn recovery_view_reports_unresolved_and_scan_start() {
         let (mut m, t) = fresh(16);
-        t.put(&mut m, Tcb { txn: 1, state: TcbState::Committed, first_lsn: 0, last_lsn: 50 });
-        t.put(&mut m, Tcb { txn: 2, state: TcbState::Active, first_lsn: 60, last_lsn: 90 });
-        t.put(&mut m, Tcb { txn: 3, state: TcbState::Committing, first_lsn: 30, last_lsn: 95 });
+        t.put(
+            &mut m,
+            Tcb {
+                txn: 1,
+                state: TcbState::Committed,
+                first_lsn: 0,
+                last_lsn: 50,
+            },
+        );
+        t.put(
+            &mut m,
+            Tcb {
+                txn: 2,
+                state: TcbState::Active,
+                first_lsn: 60,
+                last_lsn: 90,
+            },
+        );
+        t.put(
+            &mut m,
+            Tcb {
+                txn: 3,
+                state: TcbState::Committing,
+                first_lsn: 30,
+                last_lsn: 95,
+            },
+        );
         let (unresolved, from) = t.recovery_view(&m);
         assert_eq!(unresolved.len(), 2);
         assert_eq!(from, Some(30), "scan starts at oldest unresolved extent");
@@ -193,7 +242,15 @@ mod tests {
         let (m, t) = fresh(16);
         let mut torn = TornWriter::new(m);
         torn.crash_after(20);
-        t.put(&mut torn, Tcb { txn: 5, state: TcbState::Active, first_lsn: 1, last_lsn: 2 });
+        t.put(
+            &mut torn,
+            Tcb {
+                txn: 5,
+                state: TcbState::Active,
+                first_lsn: 1,
+                last_lsn: 2,
+            },
+        );
         assert!(torn.crashed);
         let m = torn.into_inner();
         let t2 = TcbTable::open(0, 16);
@@ -206,9 +263,25 @@ mod tests {
     #[test]
     fn slot_reuse_by_modulo() {
         let (mut m, t) = fresh(4);
-        t.put(&mut m, Tcb { txn: 1, state: TcbState::Active, first_lsn: 0, last_lsn: 0 });
+        t.put(
+            &mut m,
+            Tcb {
+                txn: 1,
+                state: TcbState::Active,
+                first_lsn: 0,
+                last_lsn: 0,
+            },
+        );
         // txn 5 maps to the same slot; a real TMF clears before reuse.
-        t.put(&mut m, Tcb { txn: 5, state: TcbState::Active, first_lsn: 7, last_lsn: 7 });
+        t.put(
+            &mut m,
+            Tcb {
+                txn: 5,
+                state: TcbState::Active,
+                first_lsn: 7,
+                last_lsn: 7,
+            },
+        );
         assert!(t.get(&m, 1).is_none(), "overwritten");
         assert_eq!(t.get(&m, 5).unwrap().first_lsn, 7);
     }

@@ -1,7 +1,7 @@
 //! Property test: the persistent heap against a model allocator.
 
-use proptest::prelude::*;
 use pmstore::{PmHeap, PmMedium, VecMedium};
+use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 const LEN: u64 = 256 * 1024;

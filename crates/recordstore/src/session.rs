@@ -16,15 +16,30 @@ use txnkit::TxnClient;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DbEvent {
     /// The requested transaction is open.
-    Begun { txn: TxnId },
+    Begun {
+        txn: TxnId,
+    },
     /// One insert finished (remaining = inserts still outstanding).
-    Inserted { txn: TxnId, token: u64, remaining: u32 },
+    Inserted {
+        txn: TxnId,
+        token: u64,
+        remaining: u32,
+    },
     /// An insert lost a deadlock; the caller must abort and retry.
-    Deadlocked { txn: TxnId },
-    Committed { txn: TxnId },
-    Aborted { txn: TxnId },
+    Deadlocked {
+        txn: TxnId,
+    },
+    Committed {
+        txn: TxnId,
+    },
+    Aborted {
+        txn: TxnId,
+    },
     /// A point read completed.
-    Read { token: u64, found: Option<(u32, u32)> },
+    Read {
+        token: u64,
+        found: Option<(u32, u32)>,
+    },
 }
 
 /// One-transaction-at-a-time session.
@@ -134,10 +149,7 @@ impl DbSession {
 
     /// Fold a transport payload into an application event. Returns `None`
     /// for payloads that belong to someone else.
-    pub fn on_delivery(
-        &mut self,
-        payload: Box<dyn std::any::Any + Send>,
-    ) -> Option<DbEvent> {
+    pub fn on_delivery(&mut self, payload: Box<dyn std::any::Any + Send>) -> Option<DbEvent> {
         let payload = match payload.downcast::<TxnBegun>() {
             Ok(b) => {
                 self.txn = Some(b.txn);

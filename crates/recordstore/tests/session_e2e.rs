@@ -82,11 +82,10 @@ impl Actor for App {
                         );
                     }
                 }
-                Some(DbEvent::Inserted { remaining, .. }) => {
-                    if remaining == 0 {
-                        self.session.commit(ctx);
-                    }
+                Some(DbEvent::Inserted { remaining: 0, .. }) => {
+                    self.session.commit(ctx);
                 }
+                Some(DbEvent::Inserted { .. }) => {}
                 Some(DbEvent::Committed { .. }) => {
                     self.out.lock().committed += 1;
                     self.txn_idx += 1;
@@ -123,15 +122,21 @@ fn session_api_drives_full_stack() {
     let out2 = out.clone();
     let machine = node.machine.clone();
     let tmf = node.tmf.clone();
-    nsk::machine::install_primary(&mut node.sim, &machine.clone(), "$app", CpuId(1), move |ep| {
-        Box::new(App {
-            session: DbSession::new(machine, schema, ep, CpuId(1), &tmf),
-            phase: 0,
-            txn_idx: 0,
-            out: out2,
-            reads_pending: 0,
-        })
-    });
+    nsk::machine::install_primary(
+        &mut node.sim,
+        &machine.clone(),
+        "$app",
+        CpuId(1),
+        move |ep| {
+            Box::new(App {
+                session: DbSession::new(machine, schema, ep, CpuId(1), &tmf),
+                phase: 0,
+                txn_idx: 0,
+                out: out2,
+                reads_pending: 0,
+            })
+        },
+    );
     node.sim.run_until(SimTime(120 * SECS));
     let o = out.lock();
     assert!(o.done, "app must finish");

@@ -40,7 +40,6 @@ impl std::fmt::Debug for Msg {
     }
 }
 
-
 /// Sender id used for engine-generated messages ([`Start`], fault events).
 pub const ENGINE: ActorId = ActorId(u32::MAX);
 

@@ -1,9 +1,15 @@
 //! Fault injection planning.
 //!
 //! Experiments declare faults up front — "kill CPU 2 at t=40 s", "drop 0.1%
-//! of fabric packets", "power-fail the node at t=55 s" — and the plan is
-//! consulted by the layers that own the faulted resources. Keeping the plan
-//! declarative keeps fault scenarios reproducible and reviewable.
+//! of fabric packets", "take mirror half 1 down from t=10 s to t=20 s",
+//! "power-fail the node at t=55 s" — and the plan is consulted by the
+//! layers that own the faulted resources. Keeping the plan declarative
+//! keeps fault scenarios reproducible and reviewable.
+//!
+//! Device faults are *windows*, not just points: [`Fault::NpmuDown`] takes
+//! an NPMU mirror half offline for `[from, to)` and the device returns at
+//! `to` with whatever contents it held at `from` — stale relative to the
+//! survivor, which is exactly the state an online resilver must repair.
 
 use crate::time::SimTime;
 
@@ -15,13 +21,31 @@ pub enum Fault {
     /// Fail a CPU (all processes on it die) at a time.
     KillCpu { cpu: u32, at: SimTime },
     /// Take a fabric (0 = X, 1 = Y) down for a window.
-    FabricDown { fabric: u8, from: SimTime, to: SimTime },
+    FabricDown {
+        fabric: u8,
+        from: SimTime,
+        to: SimTime,
+    },
     /// Corrupt packets with the given probability for a window
     /// (ServerNet detects these via CRC and retransmits).
-    PacketCorruption { rate: f64, from: SimTime, to: SimTime },
+    PacketCorruption {
+        rate: f64,
+        from: SimTime,
+        to: SimTime,
+    },
     /// Whole-node power loss: the experiment harness tears the Sim down at
     /// this time and runs recovery against the durable store.
     PowerLoss { at: SimTime },
+    /// One half of a mirrored NPMU volume (0 = primary "a", 1 = mirror
+    /// "b") is down for the window `[from, to)`. While down the device
+    /// NACKs (or silently drops, per its config) inbound RDMA instead of
+    /// acking; at `to` it revives with the stale contents it held at
+    /// `from`.
+    NpmuDown {
+        volume_half: u8,
+        from: SimTime,
+        to: SimTime,
+    },
 }
 
 /// A declarative set of faults for one run.
@@ -101,6 +125,54 @@ impl FaultPlan {
             _ => false,
         })
     }
+
+    /// Is the given NPMU mirror half down at `t`?
+    pub fn npmu_down_at(&self, volume_half: u8, t: SimTime) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::NpmuDown {
+                volume_half: h,
+                from,
+                to,
+            } => *h == volume_half && *from <= t && t < *to,
+            _ => false,
+        })
+    }
+
+    /// All down windows for one mirror half, sorted by start time.
+    pub fn npmu_down_windows(&self, volume_half: u8) -> Vec<(SimTime, SimTime)> {
+        let mut v: Vec<(SimTime, SimTime)> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::NpmuDown {
+                    volume_half: h,
+                    from,
+                    to,
+                } if *h == volume_half => Some((*from, *to)),
+                _ => None,
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Revival instants — `(half, to)` per down window, sorted by time.
+    /// Repair orchestrators (the PMM's probe loop) use these to know a
+    /// resilver will eventually have a live device to copy onto.
+    pub fn npmu_revivals(&self) -> Vec<(u8, SimTime)> {
+        let mut v: Vec<(u8, SimTime)> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::NpmuDown {
+                    volume_half, to, ..
+                } => Some((*volume_half, *to)),
+                _ => None,
+            })
+            .collect();
+        v.sort_by_key(|(_, t)| *t);
+        v
+    }
 }
 
 #[cfg(test)]
@@ -111,8 +183,12 @@ mod tests {
     #[test]
     fn power_loss_earliest_wins() {
         let plan = FaultPlan::none()
-            .with(Fault::PowerLoss { at: SimTime(5 * SECS) })
-            .with(Fault::PowerLoss { at: SimTime(2 * SECS) });
+            .with(Fault::PowerLoss {
+                at: SimTime(5 * SECS),
+            })
+            .with(Fault::PowerLoss {
+                at: SimTime(2 * SECS),
+            });
         assert_eq!(plan.power_loss_at(), Some(SimTime(2 * SECS)));
         assert_eq!(FaultPlan::none().power_loss_at(), None);
     }
@@ -156,6 +232,62 @@ mod tests {
         assert!(plan.fabric_down_at(0, SimTime(2)));
         assert!(!plan.fabric_down_at(1, SimTime(2)));
         assert!(!plan.fabric_down_at(0, SimTime(4)));
+    }
+
+    #[test]
+    fn npmu_down_windows_are_half_scoped() {
+        let plan = FaultPlan::none()
+            .with(Fault::NpmuDown {
+                volume_half: 1,
+                from: SimTime(10),
+                to: SimTime(20),
+            })
+            .with(Fault::NpmuDown {
+                volume_half: 0,
+                from: SimTime(30),
+                to: SimTime(35),
+            });
+        // Window membership is half-open, per half.
+        assert!(!plan.npmu_down_at(1, SimTime(9)));
+        assert!(plan.npmu_down_at(1, SimTime(10)));
+        assert!(plan.npmu_down_at(1, SimTime(19)));
+        assert!(!plan.npmu_down_at(1, SimTime(20)));
+        assert!(!plan.npmu_down_at(0, SimTime(15)));
+        assert!(plan.npmu_down_at(0, SimTime(30)));
+        assert_eq!(plan.npmu_down_windows(1), vec![(SimTime(10), SimTime(20))]);
+        assert_eq!(plan.npmu_down_windows(2), vec![]);
+    }
+
+    #[test]
+    fn npmu_multiple_windows_sorted_and_revivals() {
+        let plan = FaultPlan::none()
+            .with(Fault::NpmuDown {
+                volume_half: 0,
+                from: SimTime(50),
+                to: SimTime(60),
+            })
+            .with(Fault::NpmuDown {
+                volume_half: 0,
+                from: SimTime(5),
+                to: SimTime(8),
+            })
+            .with(Fault::NpmuDown {
+                volume_half: 1,
+                from: SimTime(20),
+                to: SimTime(25),
+            });
+        assert_eq!(
+            plan.npmu_down_windows(0),
+            vec![(SimTime(5), SimTime(8)), (SimTime(50), SimTime(60))]
+        );
+        // A device can go down, revive, and go down again.
+        assert!(plan.npmu_down_at(0, SimTime(6)));
+        assert!(!plan.npmu_down_at(0, SimTime(10)));
+        assert!(plan.npmu_down_at(0, SimTime(55)));
+        assert_eq!(
+            plan.npmu_revivals(),
+            vec![(0, SimTime(8)), (1, SimTime(25)), (0, SimTime(60))]
+        );
     }
 
     #[test]

@@ -137,12 +137,7 @@ impl Sim {
     }
 
     /// Inject a message from outside the simulation (scenario setup).
-    pub fn post<T: std::any::Any + Send>(
-        &mut self,
-        to: ActorId,
-        delay: SimDuration,
-        payload: T,
-    ) {
+    pub fn post<T: std::any::Any + Send>(&mut self, to: ActorId, delay: SimDuration, payload: T) {
         let at = self.now + delay;
         self.queue.push(at, to, Msg::new(ENGINE, payload));
     }

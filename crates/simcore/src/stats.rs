@@ -287,7 +287,18 @@ mod tests {
 
     #[test]
     fn bucket_floor_below_value() {
-        for v in [0u64, 1, 15, 16, 17, 100, 1023, 1024, 1_000_000, u32::MAX as u64] {
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            100,
+            1023,
+            1024,
+            1_000_000,
+            u32::MAX as u64,
+        ] {
             let idx = Histogram::bucket_of(v);
             let floor = Histogram::bucket_floor(idx);
             assert!(floor <= v, "floor {floor} > v {v}");

@@ -96,7 +96,10 @@ mod tests {
             + c.avg_seek_ns
             + c.revolution_ns / 2
             + 4096 * 1_000_000_000 / c.media_bw_bps;
-        assert!(rough_ns > 2_000_000, "random IO {rough_ns}ns should be >2ms");
+        assert!(
+            rough_ns > 2_000_000,
+            "random IO {rough_ns}ns should be >2ms"
+        );
         assert!(rough_ns < 15_000_000);
         // Stack overhead alone is 100s of microseconds (paper §3.2).
         assert!((100_000..1_000_000).contains(&c.stack_overhead_ns));
@@ -104,7 +107,13 @@ mod tests {
 
     #[test]
     fn profiles_differ_in_cache_policy() {
-        assert_eq!(DiskConfig::audit_volume().cache, WriteCachePolicy::WriteThrough);
-        assert_eq!(DiskConfig::data_volume().cache, WriteCachePolicy::BatteryBacked);
+        assert_eq!(
+            DiskConfig::audit_volume().cache,
+            WriteCachePolicy::WriteThrough
+        );
+        assert_eq!(
+            DiskConfig::data_volume().cache,
+            WriteCachePolicy::BatteryBacked
+        );
     }
 }

@@ -75,8 +75,15 @@ struct Complete {
 }
 
 enum CompleteKind {
-    Write { offset: u64, data: Bytes, apply: bool },
-    Read { offset: u64, len: u32 },
+    Write {
+        offset: u64,
+        data: Bytes,
+        apply: bool,
+    },
+    Read {
+        offset: u64,
+        len: u32,
+    },
 }
 
 /// Background destage of a volatile-cache write.
@@ -348,6 +355,7 @@ mod tests {
     use simcore::{Sim, SimTime};
 
     /// Test harness actor: fires a script of requests, records completions.
+    #[allow(clippy::type_complexity)]
     struct Client {
         disk: ActorId,
         script: Vec<ClientOp>,
@@ -405,7 +413,16 @@ mod tests {
         }
     }
 
-    fn run(cfg: DiskConfig, script: Vec<ClientOp>) -> (Vec<(u64, u64)>, Vec<(u64, Vec<u8>)>, Image<SparseMedia>, SharedDiskStats) {
+    #[allow(clippy::type_complexity)]
+    fn run(
+        cfg: DiskConfig,
+        script: Vec<ClientOp>,
+    ) -> (
+        Vec<(u64, u64)>,
+        Vec<(u64, Vec<u8>)>,
+        Image<SparseMedia>,
+        SharedDiskStats,
+    ) {
         let mut sim = Sim::with_seed(7);
         let media: Image<SparseMedia> = Arc::new(Mutex::new(SparseMedia::new()));
         let vol = DiskVolume::new("$DATA0", cfg, media.clone());

@@ -34,6 +34,11 @@ pub enum RdmaStatus {
     OutOfBounds,
     /// Both fabrics down or target endpoint detached.
     Unreachable,
+    /// The target device is in a failure window and NACKed the op (an
+    /// NPMU mirror half that is down but still electrically present).
+    /// Data was **not** applied; initiators treat this like a timeout
+    /// and fall back to the surviving mirror.
+    DeviceFailed,
 }
 
 /// An IPC message delivered to the actor bound to the target endpoint.
@@ -405,6 +410,7 @@ mod tests {
         }
     }
 
+    #[allow(clippy::type_complexity)]
     fn setup() -> (
         Sim,
         SharedNetwork,
@@ -522,8 +528,7 @@ mod tests {
             fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
                 if msg.is::<Start>() {
                     let net = self.net.clone();
-                    let sent =
-                        send_net_msg(ctx, &net, self.ep, self.to, 128, "hello".to_string());
+                    let sent = send_net_msg(ctx, &net, self.ep, self.to, 128, "hello".to_string());
                     assert!(sent);
                 }
             }

@@ -38,7 +38,7 @@ use crate::types::*;
 use bytes::{Bytes, BytesMut};
 use nsk::machine::{CpuId, SharedMachine, WatchTarget};
 use nsk::proc::{Checkpoint, CheckpointAck, ProcessDied};
-use pmclient::PmLib;
+use pmclient::{PmLib, PmReadTimeout, PmWriteTimeout};
 use pmm::msgs::CreateRegionAck;
 use simcore::{Actor, ActorId, Ctx, Msg, Sim, SimDuration};
 use simdisk::{DiskWrite, DiskWriteDone};
@@ -86,8 +86,11 @@ struct AdpFlushCkpt {
 
 /// Group-commit window expiry: force a flush for waiting commits.
 struct GroupTimer;
-/// Retry timer for PM region creation at startup/takeover.
-struct RegionRetry;
+/// Retry timer for PM region creation at startup/takeover. `attempt`
+/// counts the RPCs already sent, driving the capped exponential backoff.
+struct RegionRetry {
+    attempt: u32,
+}
 
 struct FlushState {
     end_lsn: u64,
@@ -582,7 +585,7 @@ impl AdpProc {
         self.waiters = still;
     }
 
-    fn start_pm_region(&mut self, ctx: &mut Ctx<'_>) {
+    fn start_pm_region(&mut self, ctx: &mut Ctx<'_>, attempt: u32) {
         if let AuditBackend::Pm {
             region, region_len, ..
         } = &self.backend
@@ -591,7 +594,10 @@ impl AdpProc {
             if let Some(pm) = self.pm.as_mut() {
                 pm.lib.create_region(ctx, &region, region_len, true, 0);
             }
-            ctx.send_self(SimDuration::from_millis(500), RegionRetry);
+            ctx.send_self(
+                self.cfg.region_retry_delay(attempt),
+                RegionRetry { attempt },
+            );
         }
     }
 }
@@ -604,7 +610,7 @@ impl Actor for AdpProc {
     fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
         if msg.is::<simcore::actor::Start>() {
             match self.role {
-                Role::Primary => self.start_pm_region(ctx),
+                Role::Primary => self.start_pm_region(ctx, 0),
                 Role::Backup => {
                     let me = ctx.self_id();
                     self.machine
@@ -622,15 +628,18 @@ impl Actor for AdpProc {
             return;
         }
 
-        if msg.is::<RegionRetry>() {
-            if self.role == Role::Primary {
-                let need = self.pm.as_ref().map(|p| !p.ready).unwrap_or(false);
-                if need {
-                    self.start_pm_region(ctx);
+        let msg = match msg.take::<RegionRetry>() {
+            Ok((_, r)) => {
+                if self.role == Role::Primary {
+                    let need = self.pm.as_ref().map(|p| !p.ready).unwrap_or(false);
+                    if need {
+                        self.start_pm_region(ctx, r.attempt + 1);
+                    }
                 }
+                return;
             }
-            return;
-        }
+            Err(m) => m,
+        };
 
         let msg = match msg.take::<ProcessDied>() {
             Ok((_, d)) => {
@@ -640,7 +649,7 @@ impl Actor for AdpProc {
                     if self.is_pm() {
                         // Recover the exact durable position from the PM
                         // control cell; no shadow state is needed.
-                        self.start_pm_region(ctx);
+                        self.start_pm_region(ctx, 0);
                     } else {
                         // Rebuild the unflushed buffer from the shadow:
                         // every acknowledged append is here, because the
@@ -695,13 +704,44 @@ impl Actor for AdpProc {
             Err(m) => m,
         };
 
+        // PM write timeout: legs that never answered fail over to the
+        // survivor (degraded completion) inside the library.
+        let msg = match msg.take::<PmWriteTimeout>() {
+            Ok((_, t)) => {
+                let completed = self
+                    .pm
+                    .as_mut()
+                    .and_then(|pm| pm.lib.on_write_timeout(ctx, &t));
+                if let Some(c) = completed {
+                    self.pm_write_done(ctx, c.token);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
         // PM control-cell read completion.
         let msg = match msg.take::<RdmaReadDone>() {
             Ok((_, done)) => {
                 let completed = self
                     .pm
                     .as_mut()
-                    .and_then(|pm| pm.lib.on_rdma_read_done(done));
+                    .and_then(|pm| pm.lib.on_rdma_read_done(ctx, done));
+                if let Some(c) = completed {
+                    self.pm_token_map.remove(&c.token);
+                    self.pm_ctrl_read_done(ctx, &c.data);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        let msg = match msg.take::<PmReadTimeout>() {
+            Ok((_, t)) => {
+                let completed = self
+                    .pm
+                    .as_mut()
+                    .and_then(|pm| pm.lib.on_read_timeout(ctx, &t));
                 if let Some(c) = completed {
                     self.pm_token_map.remove(&c.token);
                     self.pm_ctrl_read_done(ctx, &c.data);

@@ -23,12 +23,7 @@ pub struct TxnClient {
 }
 
 impl TxnClient {
-    pub fn new(
-        machine: SharedMachine,
-        ep: EndpointId,
-        cpu: CpuId,
-        tmf: impl Into<String>,
-    ) -> Self {
+    pub fn new(machine: SharedMachine, ep: EndpointId, cpu: CpuId, tmf: impl Into<String>) -> Self {
         TxnClient {
             machine,
             ep,

@@ -49,6 +49,23 @@ pub struct TxnConfig {
     /// master trail every this many commits — the recovery scan's
     /// starting hint (0 disables).
     pub checkpoint_mark_every: u64,
+    /// Base delay before the TMF (or a DP2) re-drives an unanswered
+    /// flush/append sub-operation — typically one lost to an ADP
+    /// takeover, ns. Doubles per attempt up to `sub_retry_cap_ns`.
+    pub sub_retry_base_ns: u64,
+    /// Ceiling on the sub-operation retry delay, ns.
+    pub sub_retry_cap_ns: u64,
+    /// Base delay before an ADP re-tries its PM region create/open RPC
+    /// at startup or takeover, ns. Doubles per attempt up to
+    /// `region_retry_cap_ns`.
+    pub region_retry_base_ns: u64,
+    /// Ceiling on the region-RPC retry delay, ns.
+    pub region_retry_cap_ns: u64,
+}
+
+/// Capped exponential backoff: `base * 2^attempt`, clamped to `cap`.
+fn backoff_ns(base: u64, cap: u64, attempt: u32) -> u64 {
+    base.saturating_mul(1u64 << attempt.min(32)).min(cap)
 }
 
 impl Default for TxnConfig {
@@ -68,6 +85,10 @@ impl Default for TxnConfig {
             lock_timeout_ns: 2_000_000_000,
             destage_interval_ns: 200_000_000,
             checkpoint_mark_every: 64,
+            sub_retry_base_ns: 900_000_000,
+            sub_retry_cap_ns: 7_200_000_000,
+            region_retry_base_ns: 500_000_000,
+            region_retry_cap_ns: 4_000_000_000,
         }
     }
 }
@@ -85,6 +106,25 @@ impl TxnConfig {
             group_commit_window_ns: 0,
             ..TxnConfig::default()
         }
+    }
+
+    /// Delay before retrying a flush/append sub-operation for the
+    /// `attempt`-th time (0 = the first, armed when the op is issued).
+    pub fn sub_retry_delay(&self, attempt: u32) -> simcore::SimDuration {
+        simcore::SimDuration::from_nanos(backoff_ns(
+            self.sub_retry_base_ns,
+            self.sub_retry_cap_ns,
+            attempt,
+        ))
+    }
+
+    /// Delay before retrying the ADP's region create/open RPC.
+    pub fn region_retry_delay(&self, attempt: u32) -> simcore::SimDuration {
+        simcore::SimDuration::from_nanos(backoff_ns(
+            self.region_retry_base_ns,
+            self.region_retry_cap_ns,
+            attempt,
+        ))
     }
 }
 
@@ -104,5 +144,18 @@ mod tests {
         assert!(c.dp2_checkpoint);
         assert!(!c.adp_checkpoint);
         assert!(c.tmf_checkpoint);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let c = TxnConfig::default();
+        assert_eq!(c.sub_retry_delay(0).as_nanos(), 900_000_000);
+        assert_eq!(c.sub_retry_delay(1).as_nanos(), 1_800_000_000);
+        assert_eq!(c.sub_retry_delay(2).as_nanos(), 3_600_000_000);
+        assert_eq!(c.sub_retry_delay(3).as_nanos(), 7_200_000_000);
+        assert_eq!(c.sub_retry_delay(10).as_nanos(), 7_200_000_000);
+        assert_eq!(c.sub_retry_delay(u32::MAX).as_nanos(), 7_200_000_000);
+        assert_eq!(c.region_retry_delay(0).as_nanos(), 500_000_000);
+        assert_eq!(c.region_retry_delay(3).as_nanos(), 4_000_000_000);
     }
 }

@@ -54,11 +54,12 @@ struct StagedInsert {
 struct DestageTick;
 
 /// Retry timer for an audit append whose ack never came (ADP takeover).
+/// `attempt` counts the retries already fired, driving the capped
+/// exponential backoff.
 struct AppendRetry {
     op: u64,
+    attempt: u32,
 }
-
-const APPEND_RETRY_NS: u64 = 900_000_000;
 
 struct PendingInsert {
     req: InsertReq,
@@ -131,14 +132,16 @@ impl Dp2Proc {
             },
         );
         self.send_audit_delta(ctx, op);
-        ctx.send_self(SimDuration::from_nanos(APPEND_RETRY_NS), AppendRetry { op });
+        ctx.send_self(self.cfg.sub_retry_delay(0), AppendRetry { op, attempt: 0 });
     }
 
     /// Build and send the audit record for a pending insert. Re-sent on
     /// retry after an ADP takeover; a duplicate insert record in the trail
     /// is idempotent under redo.
     fn send_audit_delta(&mut self, ctx: &mut Ctx<'_>, op: u64) {
-        let Some(p) = self.pending.get(&op) else { return };
+        let Some(p) = self.pending.get(&op) else {
+            return;
+        };
         let req = &p.req;
         let rec = StoredRecord {
             virtual_len: req.virtual_len.max(req.body.len() as u32),
@@ -175,7 +178,9 @@ impl Dp2Proc {
     /// Audit append confirmed: checkpoint to backup, then reply.
     fn after_append(&mut self, ctx: &mut Ctx<'_>, op: u64, lsn_end: Lsn) {
         let has_backup = self.has_backup();
-        let Some(p) = self.pending.get_mut(&op) else { return };
+        let Some(p) = self.pending.get_mut(&op) else {
+            return;
+        };
         if p.appended.is_some() {
             return; // duplicate ack from a retried append
         }
@@ -215,7 +220,9 @@ impl Dp2Proc {
     }
 
     fn reply_insert(&mut self, ctx: &mut Ctx<'_>, op: u64) {
-        let Some(p) = self.pending.remove(&op) else { return };
+        let Some(p) = self.pending.remove(&op) else {
+            return;
+        };
         let lsn = p.appended.unwrap_or_default();
         let net = self.net.clone();
         simnet::send_net_msg(
@@ -307,9 +314,13 @@ impl Actor for Dp2Proc {
                         .unwrap_or(false);
                     if stalled {
                         self.send_audit_delta(ctx, r.op);
+                        let next = r.attempt + 1;
                         ctx.send_self(
-                            SimDuration::from_nanos(APPEND_RETRY_NS),
-                            AppendRetry { op: r.op },
+                            self.cfg.sub_retry_delay(next),
+                            AppendRetry {
+                                op: r.op,
+                                attempt: next,
+                            },
                         );
                     }
                 }
@@ -458,10 +469,7 @@ impl Actor for Dp2Proc {
                         .cpu_work(self.cpu, now, self.cfg.insert_cpu_ns);
                     ctx.send_self(
                         SimDuration::from_nanos(queue + self.cfg.insert_cpu_ns),
-                        StagedInsert {
-                            req: *req,
-                            from_ep,
-                        },
+                        StagedInsert { req: *req, from_ep },
                     );
                     return;
                 }

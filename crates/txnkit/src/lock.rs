@@ -52,9 +52,9 @@ impl LockManager {
     }
 
     fn compatible(holders: &HashMap<TxnId, LockMode>, txn: TxnId, mode: LockMode) -> bool {
-        holders.iter().all(|(h, m)| {
-            *h == txn || (*m == LockMode::Shared && mode == LockMode::Shared)
-        })
+        holders
+            .iter()
+            .all(|(h, m)| *h == txn || (*m == LockMode::Shared && mode == LockMode::Shared))
     }
 
     /// Who `txn` would wait for on `key` with `mode`.
@@ -198,8 +198,14 @@ mod tests {
     #[test]
     fn exclusive_excludes() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(TxnId(1), K, LockMode::Exclusive), Acquire::Granted);
-        assert_eq!(lm.acquire(TxnId(2), K, LockMode::Exclusive), Acquire::Queued);
+        assert_eq!(
+            lm.acquire(TxnId(1), K, LockMode::Exclusive),
+            Acquire::Granted
+        );
+        assert_eq!(
+            lm.acquire(TxnId(2), K, LockMode::Exclusive),
+            Acquire::Queued
+        );
         assert_eq!(lm.acquire(TxnId(3), K, LockMode::Shared), Acquire::Queued);
         let granted = lm.release_all(TxnId(1));
         assert_eq!(granted, vec![(TxnId(2), K)]);
@@ -211,7 +217,10 @@ mod tests {
         let mut lm = LockManager::new();
         assert_eq!(lm.acquire(TxnId(1), K, LockMode::Shared), Acquire::Granted);
         assert_eq!(lm.acquire(TxnId(2), K, LockMode::Shared), Acquire::Granted);
-        assert_eq!(lm.acquire(TxnId(3), K, LockMode::Exclusive), Acquire::Queued);
+        assert_eq!(
+            lm.acquire(TxnId(3), K, LockMode::Exclusive),
+            Acquire::Queued
+        );
         // Releasing one sharer isn't enough.
         assert!(lm.release_all(TxnId(1)).is_empty());
         // Releasing the second grants the exclusive waiter.
@@ -224,7 +233,10 @@ mod tests {
         assert_eq!(lm.acquire(TxnId(1), K, LockMode::Shared), Acquire::Granted);
         assert_eq!(lm.acquire(TxnId(1), K, LockMode::Shared), Acquire::Granted);
         // Sole-holder upgrade succeeds in place.
-        assert_eq!(lm.acquire(TxnId(1), K, LockMode::Exclusive), Acquire::Granted);
+        assert_eq!(
+            lm.acquire(TxnId(1), K, LockMode::Exclusive),
+            Acquire::Granted
+        );
         assert_eq!(lm.acquire(TxnId(2), K, LockMode::Shared), Acquire::Queued);
         // Exclusive holder re-asking for shared is a no-op grant.
         assert_eq!(lm.acquire(TxnId(1), K, LockMode::Shared), Acquire::Granted);
@@ -233,11 +245,23 @@ mod tests {
     #[test]
     fn two_txn_deadlock_detected() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(TxnId(1), 1, LockMode::Exclusive), Acquire::Granted);
-        assert_eq!(lm.acquire(TxnId(2), 2, LockMode::Exclusive), Acquire::Granted);
-        assert_eq!(lm.acquire(TxnId(1), 2, LockMode::Exclusive), Acquire::Queued);
+        assert_eq!(
+            lm.acquire(TxnId(1), 1, LockMode::Exclusive),
+            Acquire::Granted
+        );
+        assert_eq!(
+            lm.acquire(TxnId(2), 2, LockMode::Exclusive),
+            Acquire::Granted
+        );
+        assert_eq!(
+            lm.acquire(TxnId(1), 2, LockMode::Exclusive),
+            Acquire::Queued
+        );
         // txn2 → key1 would close the cycle: must be refused.
-        assert_eq!(lm.acquire(TxnId(2), 1, LockMode::Exclusive), Acquire::Deadlock);
+        assert_eq!(
+            lm.acquire(TxnId(2), 1, LockMode::Exclusive),
+            Acquire::Deadlock
+        );
         // Victim aborts; its release unblocks txn1.
         let granted = lm.release_all(TxnId(2));
         assert_eq!(granted, vec![(TxnId(1), 2)]);
@@ -252,15 +276,27 @@ mod tests {
                 Acquire::Granted
             );
         }
-        assert_eq!(lm.acquire(TxnId(1), 2, LockMode::Exclusive), Acquire::Queued);
-        assert_eq!(lm.acquire(TxnId(2), 3, LockMode::Exclusive), Acquire::Queued);
-        assert_eq!(lm.acquire(TxnId(3), 1, LockMode::Exclusive), Acquire::Deadlock);
+        assert_eq!(
+            lm.acquire(TxnId(1), 2, LockMode::Exclusive),
+            Acquire::Queued
+        );
+        assert_eq!(
+            lm.acquire(TxnId(2), 3, LockMode::Exclusive),
+            Acquire::Queued
+        );
+        assert_eq!(
+            lm.acquire(TxnId(3), 1, LockMode::Exclusive),
+            Acquire::Deadlock
+        );
     }
 
     #[test]
     fn fifo_fairness_no_starvation() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(TxnId(1), K, LockMode::Exclusive), Acquire::Granted);
+        assert_eq!(
+            lm.acquire(TxnId(1), K, LockMode::Exclusive),
+            Acquire::Granted
+        );
         assert_eq!(lm.acquire(TxnId(2), K, LockMode::Shared), Acquire::Queued);
         assert_eq!(lm.acquire(TxnId(3), K, LockMode::Shared), Acquire::Queued);
         let granted = lm.release_all(TxnId(1));
@@ -272,7 +308,10 @@ mod tests {
     fn shared_waiter_behind_exclusive_waits() {
         let mut lm = LockManager::new();
         assert_eq!(lm.acquire(TxnId(1), K, LockMode::Shared), Acquire::Granted);
-        assert_eq!(lm.acquire(TxnId(2), K, LockMode::Exclusive), Acquire::Queued);
+        assert_eq!(
+            lm.acquire(TxnId(2), K, LockMode::Exclusive),
+            Acquire::Queued
+        );
         // A shared request behind a queued exclusive must queue (fairness).
         assert_eq!(lm.acquire(TxnId(3), K, LockMode::Shared), Acquire::Queued);
         let g = lm.release_all(TxnId(1));

@@ -124,10 +124,8 @@ pub fn mttr_disk_scan(trail_bytes: u64, records: u64, disk: &DiskConfig) -> SimD
     let position = disk.avg_seek_ns + disk.revolution_ns / 2;
     let seq_pos = (disk.revolution_ns as f64 * disk.sequential_rot_frac) as u64;
     let transfer = trail_bytes * 1_000_000_000 / disk.media_bw_bps;
-    let io = position
-        + chunks * disk.stack_overhead_ns
-        + chunks.saturating_sub(1) * seq_pos
-        + transfer;
+    let io =
+        position + chunks * disk.stack_overhead_ns + chunks.saturating_sub(1) * seq_pos + transfer;
     SimDuration::from_nanos(io + records * REDO_APPLY_NS)
 }
 
@@ -135,21 +133,15 @@ pub fn mttr_disk_scan(trail_bytes: u64, records: u64, disk: &DiskConfig) -> SimD
 /// over RDMA.
 pub fn mttr_pm_scan(trail_bytes: u64, records: u64, fabric: &FabricConfig) -> SimDuration {
     let chunks = trail_bytes.div_ceil(SCAN_CHUNK).max(1);
-    let per_chunk = simnet::latency::read_round_trip_ns(
-        fabric,
-        SCAN_CHUNK.min(trail_bytes.max(1)) as u32,
-    );
+    let per_chunk =
+        simnet::latency::read_round_trip_ns(fabric, SCAN_CHUNK.min(trail_bytes.max(1)) as u32);
     SimDuration::from_nanos(chunks * per_chunk + records * REDO_APPLY_NS)
 }
 
 /// Modelled recovery with PM-resident transaction control blocks: read the
 /// TCB table (one small RDMA read), then scan only the tail written after
 /// the last fuzzy checkpoint, then redo just those records.
-pub fn mttr_pm_with_tcb(
-    tail_bytes: u64,
-    tail_records: u64,
-    fabric: &FabricConfig,
-) -> SimDuration {
+pub fn mttr_pm_with_tcb(tail_bytes: u64, tail_records: u64, fabric: &FabricConfig) -> SimDuration {
     let tcb_read = simnet::latency::read_round_trip_ns(fabric, 4096);
     let chunks = tail_bytes.div_ceil(SCAN_CHUNK).max(1);
     let per_chunk =

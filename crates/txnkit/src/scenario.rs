@@ -15,7 +15,9 @@ use crate::tmf::install_tmf;
 use crate::types::PartitionId;
 use npmu::{Npmu, NpmuConfig, NpmuHandle};
 use nsk::machine::{CpuId, Machine, MachineConfig, SharedMachine};
-use pmm::{install_pmm_pair, PmmConfig};
+use nsk::Monitor;
+use pmm::{install_pmm_pair, PmmConfig, PmmHandle};
+use simcore::fault::FaultPlan;
 use simcore::{ActorId, DurableStore, Sim, SimConfig};
 use simdisk::{DiskConfig, DiskVolume, SharedDiskStats, SparseMedia};
 use simnet::{FabricConfig, Network, SharedNetwork};
@@ -50,6 +52,9 @@ pub struct OdsParams {
     pub fabric: FabricConfig,
     /// Install backup halves of every process pair.
     pub backups: bool,
+    /// Declarative faults for the run (armed via the NSK monitor before
+    /// any process starts, so fault experiments are reproducible).
+    pub fault_plan: FaultPlan,
     /// PM region size per ADP (circular trail).
     pub pm_region_len: u64,
     /// Data volumes per DP2 (paper: 16 volumes / 4 DP2s = 4).
@@ -69,6 +74,7 @@ impl OdsParams {
             data_disk: DiskConfig::data_volume(),
             fabric: FabricConfig::default(),
             backups: true,
+            fault_plan: FaultPlan::none(),
             pm_region_len: 8 << 20,
             data_volumes_per_dp2: 4,
         }
@@ -98,6 +104,8 @@ pub struct OdsNode {
     pub audit_volume_stats: Vec<SharedDiskStats>,
     pub data_volume_stats: Vec<SharedDiskStats>,
     pub npmus: Option<(NpmuHandle, NpmuHandle)>,
+    /// PMM handle (PM modes only): mirror-health stats for fault tests.
+    pub pmm: Option<PmmHandle>,
     pub params: OdsParams,
 }
 
@@ -124,6 +132,10 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
     );
     let stats = stats::shared();
 
+    // Arm the fault plan before anything spawns: devices and fabrics
+    // consult it per-op, and timed kills are scheduled deterministically.
+    Monitor::install(&mut sim, &machine, params.fault_plan.clone());
+
     // --- PM devices + PMM (PM modes only) ---
     let npmus = match params.audit {
         AuditMode::Disk => None,
@@ -132,27 +144,12 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
                 AuditMode::Pmp => NpmuConfig::pmp(cap),
                 _ => NpmuConfig::hardware(cap),
             };
-            let cap = (params.pm_region_len + pmm::META_BYTES)
-                * (params.cpus as u64 + 2)
-                + (64 << 20);
-            let a = Npmu::install(
-                &mut sim,
-                store,
-                &net,
-                Some(&machine),
-                "pm-a",
-                kind_cfg(cap),
-            );
-            let b = Npmu::install(
-                &mut sim,
-                store,
-                &net,
-                Some(&machine),
-                "pm-b",
-                kind_cfg(cap),
-            );
+            let cap =
+                (params.pm_region_len + pmm::META_BYTES) * (params.cpus as u64 + 2) + (64 << 20);
+            let a = Npmu::install(&mut sim, store, &net, Some(&machine), "pm-a", kind_cfg(cap));
+            let b = Npmu::install(&mut sim, store, &net, Some(&machine), "pm-b", kind_cfg(cap));
             let pm_cpu = CpuId(params.cpus); // the extra CPU
-            install_pmm_pair(
+            let pmm = install_pmm_pair(
                 &mut sim,
                 &machine,
                 "$PMM",
@@ -162,7 +159,7 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
                 if params.backups { Some(CpuId(0)) } else { None },
                 PmmConfig::default(),
             );
-            Some((a, b))
+            Some((a, b, pmm))
         }
     };
 
@@ -173,12 +170,9 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
         let name = format!("$ADP{cpu}");
         let backend = match params.audit {
             AuditMode::Disk => {
-                let media = store.get_or_insert_with(&format!("disk:$AUDIT{cpu}"), SparseMedia::new);
-                let vol = DiskVolume::new(
-                    format!("$AUDIT{cpu}"),
-                    params.audit_disk.clone(),
-                    media,
-                );
+                let media =
+                    store.get_or_insert_with(&format!("disk:$AUDIT{cpu}"), SparseMedia::new);
+                let vol = DiskVolume::new(format!("$AUDIT{cpu}"), params.audit_disk.clone(), media);
                 audit_volume_stats.push(vol.stats());
                 let vol_actor = sim.spawn(vol);
                 AuditBackend::Disk { volume: vol_actor }
@@ -215,13 +209,8 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
         let name = format!("$DP2-{cpu}");
         let mut vols = Vec::new();
         for v in 0..params.data_volumes_per_dp2 {
-            let media =
-                store.get_or_insert_with(&format!("disk:$DATA{cpu}-{v}"), SparseMedia::new);
-            let vol = DiskVolume::new(
-                format!("$DATA{cpu}-{v}"),
-                params.data_disk.clone(),
-                media,
-            );
+            let media = store.get_or_insert_with(&format!("disk:$DATA{cpu}-{v}"), SparseMedia::new);
+            let vol = DiskVolume::new(format!("$DATA{cpu}-{v}"), params.data_disk.clone(), media);
             data_volume_stats.push(vol.stats());
             vols.push(sim.spawn(vol));
         }
@@ -275,7 +264,8 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
         dp2s,
         audit_volume_stats,
         data_volume_stats,
-        npmus,
+        pmm: npmus.as_ref().map(|(_, _, p)| p.clone()),
+        npmus: npmus.map(|(a, b, _)| (a, b)),
         params,
     }
 }
@@ -290,7 +280,11 @@ impl OdsNode {
     }
 
     /// Audit-trail media images (disk mode), for recovery tests.
-    pub fn audit_media(&self, store: &mut DurableStore, cpu: u32) -> Option<simcore::durable::Image<SparseMedia>> {
+    pub fn audit_media(
+        &self,
+        store: &mut DurableStore,
+        cpu: u32,
+    ) -> Option<simcore::durable::Image<SparseMedia>> {
         store.get::<SparseMedia>(&format!("disk:$AUDIT{cpu}"))
     }
 

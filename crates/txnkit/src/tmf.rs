@@ -43,12 +43,12 @@ enum SubKind {
     MasterFlush { upto: Lsn },
 }
 
-/// Retry timer for a sub-operation.
+/// Retry timer for a sub-operation. `attempt` counts the retries already
+/// fired, driving the capped exponential backoff.
 struct SubRetry {
     sub: u64,
+    attempt: u32,
 }
-
-const SUB_RETRY_NS: u64 = 900_000_000;
 
 enum CommitPhase {
     /// Waiting for data-trail flush acks (count remaining).
@@ -112,16 +112,13 @@ impl TmfProc {
         let t = self.next_subop;
         self.next_subop += 1;
         self.subop.insert(t, (commit_token, kind));
-        ctx.send_self(
-            simcore::SimDuration::from_nanos(SUB_RETRY_NS),
-            SubRetry { sub: t },
-        );
+        ctx.send_self(self.cfg.sub_retry_delay(0), SubRetry { sub: t, attempt: 0 });
         t
     }
 
     /// Re-drive a sub-operation that got no answer (e.g. its ADP failed
     /// over and the new primary never saw it).
-    fn reissue(&mut self, ctx: &mut Ctx<'_>, sub: u64) {
+    fn reissue(&mut self, ctx: &mut Ctx<'_>, sub: u64, attempt: u32) {
         let Some((_, kind)) = self.subop.get(&sub).cloned() else {
             return;
         };
@@ -174,15 +171,18 @@ impl TmfProc {
                 }
             }
         }
+        let next = attempt + 1;
         ctx.send_self(
-            simcore::SimDuration::from_nanos(SUB_RETRY_NS),
-            SubRetry { sub },
+            self.cfg.sub_retry_delay(next),
+            SubRetry { sub, attempt: next },
         );
     }
 
     /// Advance a commit whose current phase just completed.
     fn step_commit(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        let Some(state) = self.commits.get_mut(&token) else { return };
+        let Some(state) = self.commits.get_mut(&token) else {
+            return;
+        };
         match &mut state.phase {
             CommitPhase::DataFlush(remaining) => {
                 *remaining = remaining.saturating_sub(1);
@@ -269,7 +269,9 @@ impl TmfProc {
         }
         self.commits_since_mark = 0;
         let active: Vec<TxnId> = self.commits.values().map(|c| c.txn).collect();
-        let rec = crate::audit::AuditRecord::CheckpointMark { active_txns: active };
+        let rec = crate::audit::AuditRecord::CheckpointMark {
+            active_txns: active,
+        };
         let enc = rec.encode();
         let virt = enc.len() as u32;
         // Fire-and-forget orphan append (like abort records).
@@ -293,7 +295,9 @@ impl TmfProc {
     }
 
     fn externalize(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        let Some(state) = self.commits.remove(&token) else { return };
+        let Some(state) = self.commits.remove(&token) else {
+            return;
+        };
         let net = self.net.clone();
         {
             let mut s = self.stats.lock();
@@ -349,7 +353,7 @@ impl Actor for TmfProc {
         let msg = match msg.take::<SubRetry>() {
             Ok((_, r)) => {
                 if self.role == Role::Primary {
-                    self.reissue(ctx, r.sub);
+                    self.reissue(ctx, r.sub, r.attempt);
                 }
                 return;
             }
@@ -544,11 +548,8 @@ impl Actor for TmfProc {
                     if self.commits.contains_key(&token) {
                         self.commits.get_mut(&token).unwrap().phase = CommitPhase::MasterFlush;
                         let master = self.master_adp.clone().expect("master adp");
-                        let sub = self.sub_token(
-                            ctx,
-                            token,
-                            SubKind::MasterFlush { upto: done.lsn_end },
-                        );
+                        let sub =
+                            self.sub_token(ctx, token, SubKind::MasterFlush { upto: done.lsn_end });
                         let machine = self.machine.clone();
                         nsk::proc::send_to_process(
                             ctx,
@@ -579,6 +580,7 @@ impl Actor for TmfProc {
 
 /// Install the TMF pair. `master_adp` names the ADP that hardens commit
 /// records (usually a dedicated trail; `None` skips the master-trail I/O).
+#[allow(clippy::too_many_arguments)]
 pub fn install_tmf(
     sim: &mut Sim,
     machine: &SharedMachine,

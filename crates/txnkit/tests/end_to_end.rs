@@ -187,8 +187,7 @@ impl Actor for TestDriver {
                 Ok(_c) => {
                     let mut r = self.results.lock();
                     r.committed += 1;
-                    r.responses
-                        .push(ctx.now().as_nanos() - self.txn_started_ns);
+                    r.responses.push(ctx.now().as_nanos() - self.txn_started_ns);
                     drop(r);
                     self.after_resolution(ctx);
                     return;
@@ -386,8 +385,12 @@ fn aborted_transactions_are_undone() {
     node.sim.run_until(SimTime(120 * SECS));
     let r = results.lock();
     assert_eq!(r.aborted, 5);
-    assert_eq!(r.reads_missing, 20, "aborted inserts must vanish: {r:?}",
-        r = (r.reads_found, r.reads_missing));
+    assert_eq!(
+        r.reads_missing,
+        20,
+        "aborted inserts must vanish: {r:?}",
+        r = (r.reads_found, r.reads_missing)
+    );
     assert_eq!(r.reads_found, 0);
     drop(r);
     assert_eq!(node.stats.lock().txns_aborted, 5);
@@ -456,10 +459,26 @@ fn two_drivers_on_disjoint_keys_both_complete() {
     let mut store = DurableStore::new();
     let mut node = build_ods(&mut store, OdsParams::pm(88));
     let r1 = spawn_driver(
-        &mut node, "$drv1", CpuId(0), 8, 8, 64, Outcome::Commit, false, 0,
+        &mut node,
+        "$drv1",
+        CpuId(0),
+        8,
+        8,
+        64,
+        Outcome::Commit,
+        false,
+        0,
     );
     let r2 = spawn_driver(
-        &mut node, "$drv2", CpuId(1), 8, 8, 64, Outcome::Commit, false, 1 << 32,
+        &mut node,
+        "$drv2",
+        CpuId(1),
+        8,
+        8,
+        64,
+        Outcome::Commit,
+        false,
+        1 << 32,
     );
     node.sim.run_until(SimTime(200 * SECS));
     assert_eq!(r1.lock().committed, 8);
@@ -513,7 +532,15 @@ fn group_commit_window_shapes_baseline_commit_latency() {
         let mut store = DurableStore::new();
         let mut node = build_ods(&mut store, params);
         let results = spawn_driver(
-            &mut node, "$drv", CpuId(0), 12, 8, 64, Outcome::Commit, false, 5,
+            &mut node,
+            "$drv",
+            CpuId(0),
+            12,
+            8,
+            64,
+            Outcome::Commit,
+            false,
+            5,
         );
         node.sim.run_until(SimTime(120 * SECS));
         assert_eq!(results.lock().committed, 12);
@@ -531,7 +558,6 @@ fn group_commit_window_shapes_baseline_commit_latency() {
         "eager flushing can't do fewer device writes"
     );
 }
-
 
 #[test]
 fn dp2_failover_mid_run_loses_no_committed_work() {

@@ -5,10 +5,10 @@
 //!
 //! Run: `cargo run --release --example fine_grained`
 
-use pmem::NvMedium;
-use pmstore::{PmBTree, PmQueue, TcbState, TcbTable, TornWriter};
 use npmu::NvImage;
 use parking_lot::Mutex;
+use pmem::NvMedium;
+use pmstore::{PmBTree, PmQueue, TcbState, TcbTable, TornWriter};
 use std::sync::Arc;
 
 fn main() {
@@ -26,7 +26,10 @@ fn main() {
     for trade in 0..5_000u64 {
         index.insert(&mut m, trade, trade * 100 + 7);
     }
-    println!("index: {} trades inserted, structurally valid", index.len(&m));
+    println!(
+        "index: {} trades inserted, structurally valid",
+        index.len(&m)
+    );
     index.check(&m);
 
     // --- order queue: enqueued orders are durable immediately ---
@@ -36,7 +39,10 @@ fn main() {
         let order = format!("BUY {:>4} HPQ @ 21.{:02}", 100 * (i + 1), i);
         assert!(queue.enqueue(&mut qm, order.as_bytes()));
     }
-    println!("queue: {} orders durable without a disk write", queue.len(&qm));
+    println!(
+        "queue: {} orders durable without a disk write",
+        queue.len(&qm)
+    );
 
     // --- TCBs: transaction state readable by recovery, no trail scan ---
     let mut tm = tcb_win;
@@ -46,7 +52,11 @@ fn main() {
             &mut tm,
             pmstore::tcb::Tcb {
                 txn,
-                state: if txn % 5 == 0 { TcbState::Committing } else { TcbState::Committed },
+                state: if txn % 5 == 0 {
+                    TcbState::Committing
+                } else {
+                    TcbState::Committed
+                },
                 first_lsn: txn * 4096,
                 last_lsn: txn * 4096 + 2048,
             },
@@ -79,14 +89,17 @@ fn main() {
     let q2 = PmQueue::recover(&mut qm2, 0, 256, 64);
     println!("recovered queue: {} orders intact", q2.len(&qm2));
     let first = q2.dequeue(&mut qm2).unwrap();
-    println!("  next order to match: {:?}", String::from_utf8_lossy(&first));
+    println!(
+        "  next order to match: {:?}",
+        String::from_utf8_lossy(&first)
+    );
 
     let tm2 = NvMedium::new(device, 9 << 20, 1 << 20);
     let tcbs2 = TcbTable::open(0, 1024);
     let (unresolved, scan_from) = {
         // recovery_view wants the window medium
-        let v = tcbs2.recovery_view(&tm2);
-        v
+
+        tcbs2.recovery_view(&tm2)
     };
     println!(
         "recovered TCBs: {} unresolved transactions, trail tail scan starts at lsn {:?}",

@@ -60,8 +60,10 @@ impl Actor for DemoClient {
         };
         let msg = match msg.take::<RdmaReadDone>() {
             Ok((_, done)) => {
-                if let Some(c) = self.lib.on_rdma_read_done(done) {
-                    let text = String::from_utf8_lossy(&c.data).trim_end_matches('\0').to_string();
+                if let Some(c) = self.lib.on_rdma_read_done(ctx, done) {
+                    let text = String::from_utf8_lossy(&c.data)
+                        .trim_end_matches('\0')
+                        .to_string();
                     self.log
                         .lock()
                         .push(format!("read back after power loss: {text:?}"));
@@ -74,9 +76,10 @@ impl Actor for DemoClient {
             let payload = match d.payload.downcast::<CreateRegionAck>() {
                 Ok(ack) => {
                     let info = ack.result.expect("create failed");
-                    self.log
-                        .lock()
-                        .push(format!("region created: id={} len={}", info.region_id, info.len));
+                    self.log.lock().push(format!(
+                        "region created: id={} len={}",
+                        info.region_id, info.len
+                    ));
                     self.region = Some(info.region_id);
                     self.lib.adopt(info);
                     self.lib.write(
@@ -100,7 +103,11 @@ impl Actor for DemoClient {
     }
 }
 
-fn boot(store: &mut DurableStore, phase: Phase, seed: u64) -> (Sim, SharedMachine, Arc<parking_lot::Mutex<Vec<String>>>) {
+fn boot(
+    store: &mut DurableStore,
+    phase: Phase,
+    seed: u64,
+) -> (Sim, SharedMachine, Arc<parking_lot::Mutex<Vec<String>>>) {
     let mut sim = Sim::with_seed(seed);
     let net = Network::new(FabricConfig::default());
     let machine = Machine::new(MachineConfig::default(), net);

@@ -78,11 +78,10 @@ impl Actor for CdrIngest {
                             .insert_sized(ctx, CDR_FILE, cdr_id, body, 512, i as u64);
                     }
                 }
-                Some(DbEvent::Inserted { remaining, .. }) => {
-                    if remaining == 0 {
-                        self.session.commit(ctx);
-                    }
+                Some(DbEvent::Inserted { remaining: 0, .. }) => {
+                    self.session.commit(ctx);
                 }
+                Some(DbEvent::Inserted { .. }) => {}
                 Some(DbEvent::Committed { .. }) => {
                     self.sent += self.in_txn as u64;
                     {
@@ -92,17 +91,16 @@ impl Actor for CdrIngest {
                     }
                     // Fraud detection spot check: read back one committed
                     // CDR (browse access) every few batches.
-                    if self.sent % 64 == 0 && self.sent > 0 {
+                    if self.sent.is_multiple_of(64) && self.sent > 0 {
                         let probe = (self.switch_id << 40) | (self.sent - 1);
                         self.session.read(ctx, CDR_FILE, probe, 999);
                     }
                     self.next_batch(ctx);
                 }
-                Some(DbEvent::Read { found, .. }) => {
-                    if found.is_some() {
-                        self.stats.lock().reads_ok += 1;
-                    }
+                Some(DbEvent::Read { found: Some(_), .. }) => {
+                    self.stats.lock().reads_ok += 1;
                 }
+                Some(DbEvent::Read { .. }) => {}
                 Some(DbEvent::Deadlocked { .. }) => {
                     self.session.abort(ctx);
                 }

@@ -24,10 +24,7 @@ fn read_region(
     let img = img.lock();
     let meta = pmm::MetaStore::recover(|off, len| img.read(off, len));
     let region = meta.find(region_name).expect("region in metadata");
-    img.read(
-        region.base + skip_ctrl,
-        (region.len - skip_ctrl) as usize,
-    )
+    img.read(region.base + skip_ctrl, (region.len - skip_ctrl) as usize)
 }
 
 #[test]

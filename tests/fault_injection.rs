@@ -131,7 +131,11 @@ fn mirrors_byte_identical_after_workload() {
     node.sim.run_until(SimTime(600 * SECS));
     assert!(stats.lock().done);
 
-    let (a, b) = node.npmus.as_ref().map(|(a, b)| (a.mem.clone(), b.mem.clone())).unwrap();
+    let (a, b) = node
+        .npmus
+        .as_ref()
+        .map(|(a, b)| (a.mem.clone(), b.mem.clone()))
+        .unwrap();
     let report = pmem::verify_mirrors(&a, &b, 16);
     assert!(
         report.is_clean(),

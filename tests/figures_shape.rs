@@ -29,7 +29,10 @@ fn fig1_speedup_band_and_trends() {
     // "The benefit of PM was greatest with the more common 1-2 hot-stock
     // case, though there was improvement even with 3 or 4 hot stocks."
     assert!(s32_4 > 1.5, "4-driver speedup {s32_4:.2} lost the benefit");
-    assert!(s32_1 >= s32_4 * 0.95, "benefit should not grow with drivers");
+    assert!(
+        s32_1 >= s32_4 * 0.95,
+        "benefit should not grow with drivers"
+    );
     // Speedup shrinks as boxcarring grows, but stays > 1.
     assert!(s128_1 > 1.2 && s128_1 < s32_1, "128k speedup {s128_1:.2}");
 }
@@ -41,7 +44,10 @@ fn fig2_pm_flat_baseline_collapses() {
     let pm_ratio = el(TxnSize::K32, AuditMode::Pmp) / el(TxnSize::K128, AuditMode::Pmp);
     // "as the amount of boxcarring decreases, throughput drops off
     // sharply" (disk) vs "virtually unaffected" (PM).
-    assert!(disk_ratio > 1.8, "disk degradation {disk_ratio:.2} too mild");
+    assert!(
+        disk_ratio > 1.8,
+        "disk degradation {disk_ratio:.2} too mild"
+    );
     assert!(pm_ratio < 1.35, "PM degradation {pm_ratio:.2} not flat");
     assert!(disk_ratio > 1.6 * pm_ratio);
 }

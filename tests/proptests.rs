@@ -95,6 +95,7 @@ proptest! {
                     owner_cpu: (i % 4) as u32,
                 })
                 .collect(),
+            health: Default::default(),
         };
         let mut img = vec![0u8; META_BYTES as usize];
         // Write epoch 6 (slot 0) then epoch 7 (slot 1).

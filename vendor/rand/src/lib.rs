@@ -1,0 +1,233 @@
+//! Offline stand-in for `rand` 0.9: `SmallRng` (xoshiro256++, the same
+//! generator family upstream uses on 64-bit targets), seeded via
+//! SplitMix64, with the `Rng::{random, random_range}` /
+//! `SeedableRng::seed_from_u64` API subset the workspace uses.
+//!
+//! Streams are deterministic per seed (the property the simulator's
+//! `DetRng` requires) but are not bit-identical to upstream's.
+
+pub mod rngs {
+    /// xoshiro256++ by Blackman & Vigna — small, fast, 256-bit state.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_state(s: [u64; 4]) -> SmallRng {
+            SmallRng { s }
+        }
+
+        #[inline]
+        pub(crate) fn next(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seedable generators (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        // All-zero state is a fixed point for xoshiro; splitmix64 cannot
+        // produce four zero words from any seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        rngs::SmallRng::from_state(s)
+    }
+}
+
+/// Types producible by [`Rng::random`].
+pub trait StandardSample {
+    fn sample(word: u64) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample(w: u64) -> u64 {
+        w
+    }
+}
+impl StandardSample for u32 {
+    fn sample(w: u64) -> u32 {
+        (w >> 32) as u32
+    }
+}
+impl StandardSample for u8 {
+    fn sample(w: u64) -> u8 {
+        (w >> 56) as u8
+    }
+}
+impl StandardSample for u16 {
+    fn sample(w: u64) -> u16 {
+        (w >> 48) as u16
+    }
+}
+impl StandardSample for usize {
+    fn sample(w: u64) -> usize {
+        w as usize
+    }
+}
+impl StandardSample for bool {
+    fn sample(w: u64) -> bool {
+        w >> 63 == 1
+    }
+}
+impl StandardSample for f64 {
+    /// Uniform in [0, 1) with 53 bits of precision.
+    fn sample(w: u64) -> f64 {
+        (w >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut rngs::SmallRng) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut rngs::SmallRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is
+                // negligible for simulation purposes and the mapping is
+                // deterministic, which is what matters here.
+                let hi = ((rng.next() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::SmallRng) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample empty range");
+                if start == 0 && end == <$t>::MAX {
+                    return <$t as StandardSample>::sample(rng.next());
+                }
+                (start..end + 1).sample(rng)
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, rng: &mut rngs::SmallRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = <f64 as StandardSample>::sample(rng.next());
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// The user-facing generator API subset.
+pub trait Rng {
+    fn next_word(&mut self) -> u64;
+
+    fn random<T: StandardSample>(&mut self) -> T;
+
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for rngs::SmallRng {
+    #[inline]
+    fn next_word(&mut self) -> u64 {
+        self.next()
+    }
+
+    #[inline]
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self.next())
+    }
+
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::SmallRng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let f = r.random_range(-0.5f64..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let u = r.random_range(0usize..3);
+            assert!(u < 3);
+            let p = r.random_range(1e-12f64..1.0);
+            assert!(p > 0.0 && p < 1.0);
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = r.random();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean} not ~0.5");
+    }
+
+    #[test]
+    fn bool_roughly_balanced() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let trues = (0..10_000).filter(|_| r.random::<bool>()).count();
+        assert!((4500..5500).contains(&trues), "{trues}");
+    }
+}
