@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints, and the tier-1 test suite.
+# CI gate: formatting, lints, the tier-1 test suite, and example rot checks.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --release
+cargo build --release --examples
+# Smoke: 4-volume pool, striped region, one member failure + online
+# resilver — asserts internally, fails loud if the pool path rots.
+cargo run --release --example scale_out

@@ -6,10 +6,11 @@
 //! synchronous PM write.
 
 use hotstock::{run_hot_stock, HotStockParams, TxnSize};
-use pm_bench::Table;
+use pm_bench::{json, Table};
 use txnkit::scenario::AuditMode;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let records = 1000;
     let disk = run_hot_stock(HotStockParams::scaled(
         1,
@@ -34,19 +35,22 @@ fn main() {
         ("ADP -> PM synchronous write", |s| s.pm_writes),
     ];
 
+    let keys = [
+        "dbw_checkpoint",
+        "audit_delta",
+        "adp_checkpoint",
+        "data_volume_write",
+        "audit_volume_write",
+        "pm_sync_write",
+    ];
+    let mut metrics: Vec<(String, f64)> = Vec::new();
     let mut t = Table::new(&["persistence action", "baseline/insert", "pm/insert"]);
-    for (label, get) in rows {
-        t.row(&[
-            label.to_string(),
-            format!(
-                "{:.3}",
-                get(&disk.txn_stats) as f64 / disk.txn_stats.inserts as f64
-            ),
-            format!(
-                "{:.3}",
-                get(&pm.txn_stats) as f64 / pm.txn_stats.inserts as f64
-            ),
-        ]);
+    for ((label, get), key) in rows.into_iter().zip(keys) {
+        let base = get(&disk.txn_stats) as f64 / disk.txn_stats.inserts as f64;
+        let pmr = get(&pm.txn_stats) as f64 / pm.txn_stats.inserts as f64;
+        t.row(&[label.to_string(), format!("{base:.3}"), format!("{pmr:.3}")]);
+        metrics.push((format!("baseline_{key}_per_insert"), base));
+        metrics.push((format!("pm_{key}_per_insert"), pmr));
     }
     t.row(&[
         "(info) PM control-cell writes".into(),
@@ -74,6 +78,15 @@ fn main() {
         format!("{:.3}", disk.txn_stats.actions_per_insert()),
         "1.000".into(),
     ]);
+    metrics.push((
+        "baseline_total_per_insert".into(),
+        disk.txn_stats.actions_per_insert(),
+    ));
+    metrics.push((
+        "pm_total_per_insert".into(),
+        pm.txn_stats.actions_per_insert(),
+    ));
+    metrics.push(("pm_envisioned_total_per_insert".into(), 1.0));
     t.print("T2: persistence/copy actions per inserted row (paper §3.4)");
     println!(
         "paper: baseline repeats persistence ~5x per row; PM makes rows durable once\n\
@@ -81,4 +94,9 @@ fn main() {
          log writer — but every redundant durability action downstream collapses\n\
          into the mirrored PM write, and the flush is amortized across the boxcar)"
     );
+
+    if json::wants_json(&args) {
+        let path = json::emit("t2_actions", &metrics).expect("write json");
+        println!("json: {}", path.display());
+    }
 }

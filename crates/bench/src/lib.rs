@@ -1,6 +1,6 @@
 //! # pm-bench — harnesses that regenerate the paper's figures and claims
 //!
-//! One binary per experiment (see DESIGN.md §4):
+//! One binary per experiment (see DESIGN.md §5):
 //!
 //! | binary            | reproduces |
 //! |-------------------|------------|
@@ -11,6 +11,7 @@
 //! | `t3_mttr`         | §3.4 — recovery time (MTTR) by strategy |
 //! | `t4_npmu_vs_pmp`  | §4.2 — hardware NPMU vs PMP prototype |
 //! | `t5_adp_scaling`  | §4.2 — audit throughput vs ADPs per node |
+//! | `pool_scaling`    | DESIGN.md §4 — aggregate write bandwidth vs pool members |
 //! | `ablations`       | DESIGN.md ablations A1–A3 |
 //!
 //! Each binary prints a CSV block (machine-readable) and an aligned text
@@ -18,10 +19,13 @@
 //! records/driver (≈ 1/16 of the paper's 32000, same shape); pass
 //! `--full` for the paper-scale run.
 
+pub mod json;
 pub mod measure;
+pub mod measure_pool;
 pub mod table;
 
 pub use measure::{measure_disk_write, measure_pm_write, MeasureOpts, PmPathVariant};
+pub use measure_pool::{measure_pool_write_bw, PoolBwOpts, PoolBwResult};
 pub use table::Table;
 
 /// Records per driver for scaled vs full figure runs.

@@ -33,9 +33,15 @@ impl NvMedium {
         NvMedium { image, base, len }
     }
 
-    /// Convenience: the window described by a PMM region.
+    /// Convenience: the window described by a PMM region. Only meaningful
+    /// for single-extent regions — a striped region has no one contiguous
+    /// device window.
     pub fn for_region(image: Image<NvImage>, region: &pmm::RegionInfo) -> Self {
-        NvMedium::new(image, region.nva_base, region.len)
+        assert!(
+            !region.map.is_striped(),
+            "NvMedium needs a single-extent region"
+        );
+        NvMedium::new(image, region.nva_base(), region.len)
     }
 }
 

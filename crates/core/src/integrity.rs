@@ -138,6 +138,7 @@ mod tests {
             next_region_id: regions.len() as u64,
             regions,
             health: Default::default(),
+            pool: None,
         };
         let enc = meta.encode();
         img.lock().write(MetaStore::slot_for_epoch(epoch), &enc);

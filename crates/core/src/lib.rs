@@ -27,8 +27,8 @@ pub mod system;
 
 pub use adapter::NvMedium;
 pub use integrity::{verify_mirrors, Discrepancy, MirrorReport};
-pub use presets::{s86000_baseline, s86000_pm};
-pub use system::{install_pm_system, PmSystem};
+pub use presets::{s86000_baseline, s86000_pm, s86000_pm_hardware, s86000_pm_pool};
+pub use system::{install_pm_pool, install_pm_system, PmPoolSystem, PmSystem};
 
 // One-stop re-exports of the architecture's components.
 pub use npmu::{AttEntry, AttTable, CpuFilter, Npmu, NpmuConfig, NpmuHandle, NpmuKind, NvImage};
@@ -36,5 +36,8 @@ pub use pmclient::{
     MirrorPolicy, PmClientConfig, PmLib, PmReadComplete, PmReadTimeout, PmWriteComplete,
     PmWriteTimeout,
 };
-pub use pmm::{install_pmm_pair, HealthState, PmmConfig, PmmHandle, PmmStats, RegionInfo};
+pub use pmm::{
+    install_pmm_pair, install_pmm_pool, Extent, HealthState, PlacementHint, PlacementPolicy,
+    PmmConfig, PmmHandle, PmmStats, RegionInfo, StripeMap, VolumeEps,
+};
 pub use pmstore::{PmBTree, PmHeap, PmLockTable, PmQueue, PmTx, TcbTable};

@@ -25,6 +25,16 @@ pub fn s86000_pm_hardware(seed: u64) -> OdsParams {
     }
 }
 
+/// Scale-out PM configuration: the same PM-enabled node backed by a pool
+/// of `volumes` mirrored hardware NPMU pairs behind one PMM namespace
+/// (ROADMAP scale-out item; 1, 2 and 4 are the evaluated points).
+pub fn s86000_pm_pool(seed: u64, volumes: u32) -> OdsParams {
+    OdsParams {
+        audit: AuditMode::HardwareNpmu,
+        ..OdsParams::pm_pool(seed, volumes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,5 +55,10 @@ mod tests {
 
         let h = s86000_pm_hardware(1);
         assert_eq!(h.audit, AuditMode::HardwareNpmu);
+
+        let pool = s86000_pm_pool(1, 4);
+        assert_eq!(pool.pm_volumes, 4);
+        assert_eq!(pool.audit, AuditMode::HardwareNpmu);
+        assert_eq!(s86000_pm_pool(1, 0).pm_volumes, 1, "clamped to 1");
     }
 }

@@ -2,7 +2,7 @@
 
 use npmu::{Npmu, NpmuConfig, NpmuHandle};
 use nsk::machine::{CpuId, SharedMachine};
-use pmm::{install_pmm_pair, PmmConfig, PmmHandle};
+use pmm::{install_pmm_pair, install_pmm_pool, PmmConfig, PmmHandle};
 use simcore::{DurableStore, Sim};
 
 /// Handles to an installed PM subsystem.
@@ -58,6 +58,62 @@ pub fn install_pm_system(
     PmSystem {
         npmu_a: a,
         npmu_b: b,
+        pmm,
+        pmm_name,
+    }
+}
+
+/// Handles to an installed scale-out PM pool.
+pub struct PmPoolSystem {
+    /// Every member's mirrored NPMU pair, in pool order.
+    pub volumes: Vec<(NpmuHandle, NpmuHandle)>,
+    pub pmm: PmmHandle,
+    /// Process name clients pass to `PmLib::new`.
+    pub pmm_name: String,
+}
+
+/// Install a scale-out PM pool: `n_volumes` mirrored NPMU pairs behind
+/// one `$PMM-<prefix>` namespace. Member `v`'s devices are named
+/// `<prefix><v>-a` / `<prefix><v>-b` — except member 0 of a 1-volume
+/// pool, which keeps the [`install_pm_system`] names `<prefix>-a` /
+/// `<prefix>-b` so existing durable images stay adopted.
+#[allow(clippy::too_many_arguments)]
+pub fn install_pm_pool(
+    sim: &mut Sim,
+    store: &mut DurableStore,
+    machine: &SharedMachine,
+    prefix: &str,
+    device: NpmuConfig,
+    n_volumes: u32,
+    primary_cpu: CpuId,
+    backup_cpu: Option<CpuId>,
+) -> PmPoolSystem {
+    let net = machine.lock().net.clone();
+    let n = n_volumes.max(1);
+    let mut volumes = Vec::with_capacity(n as usize);
+    for v in 0..n {
+        let (an, bn) = if n == 1 {
+            (format!("{prefix}-a"), format!("{prefix}-b"))
+        } else {
+            (format!("{prefix}{v}-a"), format!("{prefix}{v}-b"))
+        };
+        let dev = device.clone().with_volume(v);
+        let a = Npmu::install(sim, store, &net, Some(machine), &an, dev.clone());
+        let b = Npmu::install(sim, store, &net, Some(machine), &bn, dev);
+        volumes.push((a, b));
+    }
+    let pmm_name = format!("$PMM-{prefix}");
+    let pmm = install_pmm_pool(
+        sim,
+        machine,
+        &pmm_name,
+        &volumes,
+        primary_cpu,
+        backup_cpu,
+        PmmConfig::default(),
+    );
+    PmPoolSystem {
+        volumes,
         pmm,
         pmm_name,
     }

@@ -51,6 +51,12 @@ pub struct NpmuConfig {
     ///
     /// [`Fault::NpmuDown`]: simcore::fault::Fault::NpmuDown
     pub mirror_half: Option<u8>,
+    /// Which pool member volume this device belongs to, for
+    /// [`Fault::PoolNpmuDown`] matching. Single-volume setups leave the
+    /// default `0`.
+    ///
+    /// [`Fault::PoolNpmuDown`]: simcore::fault::Fault::PoolNpmuDown
+    pub volume_id: u32,
     /// Behaviour while inside a down window.
     pub fail_mode: FailureMode,
 }
@@ -62,6 +68,7 @@ impl NpmuConfig {
             kind: NpmuKind::Hardware,
             pmp_extra_ns: 0,
             mirror_half: None,
+            volume_id: 0,
             fail_mode: FailureMode::Nack,
         }
     }
@@ -72,12 +79,18 @@ impl NpmuConfig {
             kind: NpmuKind::Pmp,
             pmp_extra_ns: 4_000,
             mirror_half: None,
+            volume_id: 0,
             fail_mode: FailureMode::Nack,
         }
     }
 
     pub fn with_half(mut self, half: u8) -> Self {
         self.mirror_half = Some(half);
+        self
+    }
+
+    pub fn with_volume(mut self, volume: u32) -> Self {
+        self.volume_id = volume;
         self
     }
 
@@ -203,7 +216,11 @@ impl Npmu {
         let Some(half) = self.cfg.mirror_half else {
             return false;
         };
-        let down = self.net.lock().fault_plan.npmu_down_at(half, ctx.now());
+        let down = {
+            let plan = &self.net.lock().fault_plan;
+            plan.npmu_down_at(half, ctx.now())
+                || plan.pool_npmu_down_at(self.cfg.volume_id, half, ctx.now())
+        };
         if down && !self.was_down {
             let mut s = self.stats.lock();
             s.failure_epochs += 1;
@@ -693,6 +710,73 @@ mod tests {
         );
         sim.run_until_idle();
         assert!(log.lock()[0].starts_with("w1:DeviceFailed"));
+    }
+
+    #[test]
+    fn pool_window_hits_only_matching_member() {
+        use simcore::fault::{Fault, FaultPlan};
+
+        let mut sim = Sim::with_seed(24);
+        let mut store = DurableStore::new();
+        let net = Network::new(FabricConfig::default());
+        // Two pool members, both half "a": only volume 1 is faulted.
+        let v0 = Npmu::install(
+            &mut sim,
+            &mut store,
+            &net,
+            None,
+            "pool0-a",
+            NpmuConfig::hardware(4096).with_volume(0),
+        );
+        let v1 = Npmu::install(
+            &mut sim,
+            &mut store,
+            &net,
+            None,
+            "pool1-a",
+            NpmuConfig::hardware(4096).with_volume(1),
+        );
+        net.lock().fault_plan = FaultPlan::none().with(Fault::PoolNpmuDown {
+            volume: 1,
+            half: 0,
+            from: SimTime(0),
+            to: SimTime(simcore::time::SECS),
+        });
+        for h in [&v0, &v1] {
+            h.att.lock().map(AttEntry {
+                nva_base: 0,
+                len: 4096,
+                phys_base: 0,
+                allowed: CpuFilter::Any,
+            });
+        }
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let cep0 = net.lock().attach(ActorId(u32::MAX));
+        spawn_client(
+            &mut sim,
+            &net,
+            cep0,
+            v0.ep,
+            vec![(1, 0, vec![1; 8])],
+            None,
+            log.clone(),
+        );
+        let cep1 = net.lock().attach(ActorId(u32::MAX));
+        spawn_client(
+            &mut sim,
+            &net,
+            cep1,
+            v1.ep,
+            vec![(2, 0, vec![2; 8])],
+            None,
+            log.clone(),
+        );
+        sim.run_until(SimTime(simcore::time::SECS / 2));
+        let l = log.lock().clone();
+        assert!(l.iter().any(|e| e.starts_with("w1:Ok")), "{l:?}");
+        assert!(l.iter().any(|e| e.starts_with("w2:DeviceFailed")), "{l:?}");
+        assert_eq!(v0.stats.lock().failure_epochs, 0);
+        assert_eq!(v1.stats.lock().failure_epochs, 1);
     }
 
     #[test]

@@ -3,13 +3,14 @@
 use bytes::Bytes;
 use nsk::machine::{CpuId, SharedMachine};
 use pmm::msgs::*;
+use pmm::PlacementHint;
 use simcore::{Ctx, SimDuration};
 use simnet::{
     rdma_read, rdma_write_sized, EndpointId, RdmaReadDone, RdmaStatus, RdmaWriteDone, SharedNetwork,
 };
 use std::collections::HashMap;
 
-/// How writes are replicated across the mirrored NPMU pair.
+/// How writes are replicated across each member's mirrored NPMU pair.
 ///
 /// The paper's API is `ParallelBoth`. The alternatives exist for the
 /// ablation study (DESIGN.md §3, ablation 1).
@@ -66,10 +67,11 @@ impl PmClientConfig {
 }
 
 /// Completion of a mirrored persistent write: when `status == Ok`, the
-/// data is persistent on every *answering* mirror. `degraded` is set when
-/// one mirror half failed (NACK/unreachable/timeout) and the write
-/// completed against the survivor alone — data IS persistent, but with no
-/// redundancy until the volume is resilvered.
+/// data is persistent on every *answering* mirror of every member volume
+/// the write touched. `degraded` is set when some mirror half failed
+/// (NACK/unreachable/timeout) and part of the write completed against a
+/// survivor alone — data IS persistent, but with no redundancy there
+/// until that member is resilvered.
 #[derive(Clone, Copy, Debug)]
 pub struct PmWriteComplete {
     pub token: u64,
@@ -77,8 +79,8 @@ pub struct PmWriteComplete {
     pub degraded: bool,
 }
 
-/// Completion of a region read. `degraded` is set when the read was served
-/// by failing over to the other mirror half.
+/// Completion of a region read. `degraded` is set when any fragment was
+/// served by failing over to the other mirror half of its member.
 #[derive(Clone, Debug)]
 pub struct PmReadComplete {
     pub token: u64,
@@ -95,41 +97,67 @@ pub struct PmWriteTimeout {
     pub wid: u64,
 }
 
-/// Self-addressed timer armed per read; feed to [`PmLib::on_read_timeout`].
+/// Self-addressed timer armed per read fragment; feed to
+/// [`PmLib::on_read_timeout`].
 #[derive(Clone, Copy, Debug)]
 pub struct PmReadTimeout {
     pub rid: u64,
 }
 
+/// A deferred RDMA leg: (device endpoint, half, nva, payload, wire len).
+type PendingLeg = (EndpointId, u8, u64, Bytes, u32);
+
+/// One stripe fragment of a mirrored write: the mirrored-pair state the
+/// pre-pool library kept per *write*, now kept per *(write, member
+/// extent)* because a striped write fans out across volumes.
+struct ChunkState {
+    /// Member volume this fragment lands on.
+    volume: u32,
+    /// Legs of this fragment that completed `Ok`.
+    acked: u32,
+    /// Legs lost to *availability* errors (device NACK, unreachable,
+    /// timeout) — survivable as long as one leg of the fragment acks.
+    avail_failed: u32,
+    /// For SequentialBoth: the mirror leg to fire after the primary
+    /// decides.
+    next_leg: Option<PendingLeg>,
+}
+
 struct WriteState {
     token: u64,
     region_id: u64,
-    /// Legs that completed `Ok`.
-    acked: u32,
     /// Worst *logical* error seen (access violation / out of bounds) —
-    /// these fail the write outright; retrying the mirror cannot help.
+    /// these fail the write outright; retrying a mirror cannot help.
     logical_error: Option<RdmaStatus>,
-    /// Legs lost to *availability* errors (device NACK, unreachable,
-    /// timeout) — survivable as long as one leg acks.
-    avail_failed: u32,
     avail_status: RdmaStatus,
-    /// Outstanding legs: (rdma op id, half).
-    pending: Vec<(u64, u8)>,
-    /// For SequentialBoth: the second leg to fire after the first acks.
-    next_leg: Option<(EndpointId, u8, u64, Bytes, u32)>,
+    /// Outstanding legs: (rdma op id, chunk index, half).
+    pending: Vec<(u64, usize, u8)>,
+    chunks: Vec<ChunkState>,
 }
 
-struct ReadState {
-    token: u64,
-    region_id: u64,
-    nva: u64,
+/// One stripe fragment of a read, with its own half selection and
+/// one-shot failover.
+struct ReadPart {
+    volume: u32,
+    dev_off: u64,
     len: u32,
+    /// Where this fragment's bytes land in the reassembled buffer.
+    buf_off: usize,
     /// Half this attempt targets.
     half: u8,
     /// Bitmask of halves already tried.
     tried: u8,
-    /// True once a failover reissue happened.
+    data: Option<Bytes>,
+}
+
+struct ReadRun {
+    token: u64,
+    region_id: u64,
+    total: usize,
+    /// True once any fragment failed over.
     degraded: bool,
+    outstanding: u32,
+    parts: Vec<ReadPart>,
 }
 
 /// The client library state, embedded in a process actor.
@@ -142,18 +170,22 @@ pub struct PmLib {
     policy: MirrorPolicy,
     cfg: PmClientConfig,
     next_rdma: u64,
-    /// RDMA op id → (write id, half).
-    rdma_map: HashMap<u64, (u64, u8)>,
+    /// RDMA op id → (write id, chunk index, half).
+    rdma_map: HashMap<u64, (u64, usize, u8)>,
     writes: HashMap<u64, WriteState>,
     next_write: u64,
-    reads: HashMap<u64, ReadState>, // rdma op id → read state
+    reads: HashMap<u64, ReadRun>,
+    next_read: u64,
+    /// RDMA op id → (read run id, part index).
+    read_map: HashMap<u64, (u64, usize)>,
     /// Regions opened through this library instance.
     regions: HashMap<u64, RegionInfo>,
-    /// Per-region suspect halves: `suspects[region] = [primary, mirror]`.
-    /// Set on availability failure (which also fires a one-shot
-    /// [`ReportMirrorFailure`] to the PMM), cleared when the half answers
-    /// `Ok` again.
-    suspects: HashMap<u64, [bool; 2]>,
+    /// Per-(region, member volume) suspect halves:
+    /// `suspects[(region, volume)] = [primary, mirror]`. Set on
+    /// availability failure (which also fires a one-shot
+    /// [`ReportMirrorFailure`] to the PMM), cleared when that half
+    /// answers `Ok` again.
+    suspects: HashMap<(u64, u32), [bool; 2]>,
 }
 
 impl PmLib {
@@ -177,6 +209,8 @@ impl PmLib {
             writes: HashMap::new(),
             next_write: 0,
             reads: HashMap::new(),
+            next_read: 0,
+            read_map: HashMap::new(),
             regions: HashMap::new(),
             suspects: HashMap::new(),
         }
@@ -200,20 +234,59 @@ impl PmLib {
         &self.cfg
     }
 
-    /// Suspect state for a region's halves (`[primary, mirror]`).
+    /// Suspect state for a region's halves (`[primary, mirror]`), OR-ed
+    /// across member volumes. Pre-pool callers see the same shape as
+    /// before; use [`Self::suspect_halves_on`] for a single member.
     pub fn suspect_halves(&self, region_id: u64) -> [bool; 2] {
-        self.suspects.get(&region_id).copied().unwrap_or([false; 2])
+        let mut out = [false; 2];
+        for (&(rid, _), s) in &self.suspects {
+            if rid == region_id {
+                out[0] |= s[0];
+                out[1] |= s[1];
+            }
+        }
+        out
     }
 
-    /// Ask the PMM to create (or, with `open_if_exists`, open) a region.
-    /// The ack arrives at the owning actor as a `NetDelivery` carrying
-    /// [`CreateRegionAck`]; pass the result to [`Self::adopt`].
+    /// Suspect state of one member volume's halves for a region.
+    pub fn suspect_halves_on(&self, region_id: u64, volume: u32) -> [bool; 2] {
+        self.suspects
+            .get(&(region_id, volume))
+            .copied()
+            .unwrap_or([false; 2])
+    }
+
+    /// Ask the PMM to create (or, with `open_if_exists`, open) a region
+    /// with default (`Auto`) placement. The ack arrives at the owning
+    /// actor as a `NetDelivery` carrying [`CreateRegionAck`]; pass the
+    /// result to [`Self::adopt`].
     pub fn create_region(
         &mut self,
         ctx: &mut Ctx<'_>,
         name: &str,
         len: u64,
         open_if_exists: bool,
+        token: u64,
+    ) -> bool {
+        self.create_region_placed(
+            ctx,
+            name,
+            len,
+            open_if_exists,
+            PlacementHint::default(),
+            token,
+        )
+    }
+
+    /// As [`Self::create_region`], with an explicit placement hint (pin
+    /// to a member volume, force striping, …).
+    pub fn create_region_placed(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        name: &str,
+        len: u64,
+        open_if_exists: bool,
+        placement: PlacementHint,
         token: u64,
     ) -> bool {
         let machine = self.machine.clone();
@@ -228,6 +301,7 @@ impl PmLib {
                 name: name.to_string(),
                 len,
                 open_if_exists,
+                placement,
                 token,
             },
         )
@@ -253,7 +327,7 @@ impl PmLib {
     /// Ask the PMM to close a region.
     pub fn close_region(&mut self, ctx: &mut Ctx<'_>, region_id: u64, token: u64) -> bool {
         self.regions.remove(&region_id);
-        self.suspects.remove(&region_id);
+        self.suspects.retain(|&(rid, _), _| rid != region_id);
         let machine = self.machine.clone();
         nsk::proc::send_to_process(
             ctx,
@@ -263,6 +337,32 @@ impl PmLib {
             &self.pmm_name.clone(),
             64,
             CloseRegion { region_id, token },
+        )
+    }
+
+    /// Ask the PMM to migrate a region to another member volume
+    /// ([`MigrateRegionAck`] arrives; on success re-[`Self::adopt`] the
+    /// fresh info — the old map is fenced out).
+    pub fn migrate_region(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        name: &str,
+        to_volume: Option<u32>,
+        token: u64,
+    ) -> bool {
+        let machine = self.machine.clone();
+        nsk::proc::send_to_process(
+            ctx,
+            &machine,
+            self.ep,
+            self.cpu,
+            &self.pmm_name.clone(),
+            96,
+            MigrateRegion {
+                name: name.to_string(),
+                to_volume,
+                token,
+            },
         )
     }
 
@@ -295,6 +395,10 @@ impl PmLib {
     /// As [`Self::write`], with an explicit on-wire length ≥ `data.len()`
     /// (see `simnet::rdma_write_sized`): benchmark scenarios carry compact
     /// descriptors but pay full-size transfer latency.
+    ///
+    /// The write is split along the region's stripe map: each fragment is
+    /// mirrored onto its member volume's NPMU pair independently and the
+    /// client-level completion folds over all fragments of all members.
     pub fn write_sized(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -304,99 +408,148 @@ impl PmLib {
         wire_len: u32,
         token: u64,
     ) {
-        let info = self.regions.get(&region_id).expect("region not adopted");
-        assert!(
-            offset + (wire_len as u64).max(data.len() as u64) <= info.len,
-            "write beyond region"
-        );
-        let nva = info.nva_base + offset;
-        let (primary, mirror) = (info.primary_ep, info.mirror_ep);
+        let info = self
+            .regions
+            .get(&region_id)
+            .expect("region not adopted")
+            .clone();
+        let span = (wire_len as u64).max(data.len() as u64);
+        assert!(offset + span <= info.len, "write beyond region");
+        let frags = info.map.split(offset, span);
         let wid = self.next_write;
         self.next_write += 1;
 
         let mut st = WriteState {
             token,
             region_id,
-            acked: 0,
             logical_error: None,
-            avail_failed: 0,
             avail_status: RdmaStatus::Ok,
-            pending: Vec::with_capacity(2),
-            next_leg: None,
+            pending: Vec::with_capacity(2 * frags.len()),
+            chunks: Vec::with_capacity(frags.len()),
         };
-        match self.policy {
-            MirrorPolicy::ParallelBoth => {
-                self.writes.insert(wid, st);
-                for (half, dev) in [(0u8, primary), (1u8, mirror)] {
-                    let rid = self.alloc_rdma(wid, half);
-                    let net = self.net.clone();
-                    rdma_write_sized(ctx, &net, self.ep, dev, nva, data.clone(), wire_len, rid);
+        // Fragment payloads: the data may be shorter than the wire span
+        // (compact descriptor); slice what exists, keep the wire length.
+        let mut legs: Vec<(usize, EndpointId, u8, u64, Bytes, u32)> = Vec::new();
+        for (ci, frag) in frags.iter().enumerate() {
+            let eps = *info
+                .eps_for(frag.volume)
+                .expect("stripe map volume missing endpoints");
+            let lo = frag.buf_off.min(data.len());
+            let hi = (frag.buf_off + frag.len as usize).min(data.len());
+            let chunk_data = data.slice(lo..hi);
+            let mut chunk = ChunkState {
+                volume: frag.volume,
+                acked: 0,
+                avail_failed: 0,
+                next_leg: None,
+            };
+            match self.policy {
+                MirrorPolicy::ParallelBoth => {
+                    legs.push((
+                        ci,
+                        eps.primary_ep,
+                        0,
+                        frag.dev_off,
+                        chunk_data.clone(),
+                        frag.len,
+                    ));
+                    legs.push((ci, eps.mirror_ep, 1, frag.dev_off, chunk_data, frag.len));
+                }
+                MirrorPolicy::SequentialBoth => {
+                    chunk.next_leg =
+                        Some((eps.mirror_ep, 1, frag.dev_off, chunk_data.clone(), frag.len));
+                    legs.push((ci, eps.primary_ep, 0, frag.dev_off, chunk_data, frag.len));
+                }
+                MirrorPolicy::PrimaryOnly => {
+                    legs.push((ci, eps.primary_ep, 0, frag.dev_off, chunk_data, frag.len));
                 }
             }
-            MirrorPolicy::SequentialBoth => {
-                st.next_leg = Some((mirror, 1, nva, data.clone(), wire_len));
-                self.writes.insert(wid, st);
-                let rid = self.alloc_rdma(wid, 0);
-                let net = self.net.clone();
-                rdma_write_sized(ctx, &net, self.ep, primary, nva, data, wire_len, rid);
-            }
-            MirrorPolicy::PrimaryOnly => {
-                self.writes.insert(wid, st);
-                let rid = self.alloc_rdma(wid, 0);
-                let net = self.net.clone();
-                rdma_write_sized(ctx, &net, self.ep, primary, nva, data, wire_len, rid);
-            }
+            st.chunks.push(chunk);
+        }
+        self.writes.insert(wid, st);
+        for (ci, dev, half, nva, chunk_data, chunk_wire) in legs {
+            let rid = self.alloc_rdma(wid, ci, half);
+            let net = self.net.clone();
+            rdma_write_sized(ctx, &net, self.ep, dev, nva, chunk_data, chunk_wire, rid);
         }
         ctx.send_self(self.cfg.write_timeout, PmWriteTimeout { wid });
     }
 
     /// Read `len` bytes at `offset`. Reads need not be replicated, so one
-    /// half serves: the primary by default, the mirror when the primary is
-    /// suspect. On an error or timeout the read fails over to the other
-    /// half once. Completion surfaces via [`Self::on_rdma_read_done`].
+    /// half of each member serves: the primary by default, the mirror
+    /// when that member's primary is suspect. On an error or timeout a
+    /// fragment fails over to its other half once; fragments land in one
+    /// reassembled buffer. Completion surfaces via
+    /// [`Self::on_rdma_read_done`].
     pub fn read(&mut self, ctx: &mut Ctx<'_>, region_id: u64, offset: u64, len: u32, token: u64) {
         let info = self.regions.get(&region_id).expect("region not adopted");
         assert!(offset + len as u64 <= info.len, "read beyond region");
-        let nva = info.nva_base + offset;
-        let suspects = self.suspect_halves(region_id);
-        let half = if suspects[0] && !suspects[1] { 1 } else { 0 };
-        let st = ReadState {
-            token,
-            region_id,
-            nva,
-            len,
-            half,
-            tried: 1 << half,
-            degraded: false,
-        };
-        self.issue_read(ctx, st);
+        let frags = info.map.split(offset, len as u64);
+        let run_id = self.next_read;
+        self.next_read += 1;
+        let mut parts = Vec::with_capacity(frags.len());
+        for frag in &frags {
+            let s = self.suspect_halves_on(region_id, frag.volume);
+            let half = if s[0] && !s[1] { 1 } else { 0 };
+            parts.push(ReadPart {
+                volume: frag.volume,
+                dev_off: frag.dev_off,
+                len: frag.len,
+                buf_off: frag.buf_off,
+                half,
+                tried: 1 << half,
+                data: None,
+            });
+        }
+        let n = parts.len();
+        self.reads.insert(
+            run_id,
+            ReadRun {
+                token,
+                region_id,
+                total: len as usize,
+                degraded: false,
+                outstanding: n as u32,
+                parts,
+            },
+        );
+        for part in 0..n {
+            self.issue_read_part(ctx, run_id, part);
+        }
     }
 
-    fn issue_read(&mut self, ctx: &mut Ctx<'_>, st: ReadState) {
-        let info = &self.regions[&st.region_id];
-        let dev = if st.half == 0 {
-            info.primary_ep
+    fn issue_read_part(&mut self, ctx: &mut Ctx<'_>, run_id: u64, part: usize) {
+        let (region_id, volume, half, dev_off, len) = {
+            let r = &self.reads[&run_id];
+            let p = &r.parts[part];
+            (r.region_id, p.volume, p.half, p.dev_off, p.len)
+        };
+        let info = &self.regions[&region_id];
+        let eps = info
+            .eps_for(volume)
+            .expect("stripe map volume missing endpoints");
+        let dev = if half == 0 {
+            eps.primary_ep
         } else {
-            info.mirror_ep
+            eps.mirror_ep
         };
         let rid = self.next_rdma;
         self.next_rdma += 1;
-        let (nva, len) = (st.nva, st.len);
-        self.reads.insert(rid, st);
+        self.read_map.insert(rid, (run_id, part));
         let net = self.net.clone();
-        rdma_read(ctx, &net, self.ep, dev, nva, len, rid);
+        rdma_read(ctx, &net, self.ep, dev, dev_off, len, rid);
         ctx.send_self(self.cfg.read_timeout, PmReadTimeout { rid });
     }
 
-    fn alloc_rdma(&mut self, wid: u64, half: u8) -> u64 {
+    fn alloc_rdma(&mut self, wid: u64, chunk: usize, half: u8) -> u64 {
         let rid = self.next_rdma;
         self.next_rdma += 1;
-        self.rdma_map.insert(rid, (wid, half));
+        self.rdma_map.insert(rid, (wid, chunk, half));
         self.writes
             .get_mut(&wid)
             .expect("write registered")
             .pending
-            .push((rid, half));
+            .push((rid, chunk, half));
         rid
     }
 
@@ -406,10 +559,11 @@ impl PmLib {
         matches!(status, RdmaStatus::DeviceFailed | RdmaStatus::Unreachable)
     }
 
-    /// Record half `half` of `region_id` as suspect; on the edge, report
-    /// to the PMM (fire-and-forget — the PMM confirms with its own probe).
-    fn mark_suspect(&mut self, ctx: &mut Ctx<'_>, region_id: u64, half: u8) {
-        let entry = self.suspects.entry(region_id).or_default();
+    /// Record half `half` of member `volume` as suspect for `region_id`;
+    /// on the edge, report to the PMM (fire-and-forget — the PMM confirms
+    /// with its own probe).
+    fn mark_suspect(&mut self, ctx: &mut Ctx<'_>, region_id: u64, volume: u32, half: u8) {
+        let entry = self.suspects.entry((region_id, volume)).or_default();
         if entry[half as usize] {
             return;
         }
@@ -422,12 +576,16 @@ impl PmLib {
             self.cpu,
             &self.pmm_name.clone(),
             32,
-            ReportMirrorFailure { region_id, half },
+            ReportMirrorFailure {
+                region_id,
+                volume,
+                half,
+            },
         );
     }
 
-    fn clear_suspect(&mut self, region_id: u64, half: u8) {
-        if let Some(entry) = self.suspects.get_mut(&region_id) {
+    fn clear_suspect(&mut self, region_id: u64, volume: u32, half: u8) {
+        if let Some(entry) = self.suspects.get_mut(&(region_id, volume)) {
             entry[half as usize] = false;
         }
     }
@@ -440,23 +598,27 @@ impl PmLib {
         ctx: &mut Ctx<'_>,
         done: &RdmaWriteDone,
     ) -> Option<PmWriteComplete> {
-        let (wid, half) = self.rdma_map.remove(&done.op_id)?;
+        let (wid, chunk, half) = self.rdma_map.remove(&done.op_id)?;
         // Suspect bookkeeping happens even for legs of writes that already
         // completed (e.g. via timeout): a late Ok proves the half is back.
-        let region_id = self.writes.get(&wid).map(|s| s.region_id);
-        if let Some(region_id) = region_id {
+        let key = self
+            .writes
+            .get(&wid)
+            .map(|s| (s.region_id, s.chunks[chunk].volume));
+        if let Some((region_id, volume)) = key {
             if done.status == RdmaStatus::Ok {
-                self.clear_suspect(region_id, half);
+                self.clear_suspect(region_id, volume, half);
             } else if Self::is_availability_error(done.status) {
-                self.mark_suspect(ctx, region_id, half);
+                self.mark_suspect(ctx, region_id, volume, half);
             }
         }
         let st = self.writes.get_mut(&wid)?;
-        st.pending.retain(|&(rid, _)| rid != done.op_id);
+        st.pending.retain(|&(rid, _, _)| rid != done.op_id);
+        let ch = &mut st.chunks[chunk];
         match done.status {
-            RdmaStatus::Ok => st.acked += 1,
+            RdmaStatus::Ok => ch.acked += 1,
             s if Self::is_availability_error(s) => {
-                st.avail_failed += 1;
+                ch.avail_failed += 1;
                 st.avail_status = s;
             }
             s => {
@@ -465,68 +627,89 @@ impl PmLib {
                 }
             }
         }
-        // Sequential policy: fire the mirror leg once the first decided —
-        // including after an availability failure, so the survivor can
-        // still make the write persistent (degraded).
-        if let Some((dev, leg_half, nva, data, wire_len)) = st.next_leg.take() {
+        // Sequential policy: fire the fragment's mirror leg once its
+        // primary decided — including after an availability failure, so
+        // the survivor can still make the fragment persistent (degraded).
+        if let Some((dev, leg_half, nva, data, wire_len)) = ch.next_leg.take() {
             if st.logical_error.is_none() {
-                let rid = self.alloc_rdma(wid, leg_half);
+                let rid = self.alloc_rdma(wid, chunk, leg_half);
                 let net = self.net.clone();
                 rdma_write_sized(ctx, &net, self.ep, dev, nva, data, wire_len, rid);
                 return None;
             }
         }
-        self.try_complete_write(wid)
+        self.try_complete_write(ctx, wid)
     }
 
     /// Feed a [`PmWriteTimeout`] timer. Legs still outstanding are treated
-    /// as availability failures (silent-drop devices never answer); if at
-    /// least one leg acked, the write completes degraded.
+    /// as availability failures (silent-drop devices never answer); if
+    /// every fragment has at least one acked leg, the write completes
+    /// degraded.
     pub fn on_write_timeout(
         &mut self,
         ctx: &mut Ctx<'_>,
         t: &PmWriteTimeout,
     ) -> Option<PmWriteComplete> {
         let st = self.writes.get_mut(&t.wid)?;
-        if st.pending.is_empty() && st.next_leg.is_none() {
+        if st.pending.is_empty() && st.chunks.iter().all(|c| c.next_leg.is_none()) {
             return None; // completion already in flight elsewhere
         }
         let region_id = st.region_id;
-        let stale: Vec<(u64, u8)> = std::mem::take(&mut st.pending);
-        st.avail_failed += stale.len() as u32;
+        let stale: Vec<(u64, usize, u8)> = std::mem::take(&mut st.pending);
         st.avail_status = RdmaStatus::Unreachable;
-        // A sequential write may time out before its second leg was ever
-        // issued; fire it now against the survivor and give it one more
-        // timeout interval.
-        let next = st.next_leg.take();
-        for &(rid, half) in &stale {
+        let mut to_suspect = Vec::with_capacity(stale.len());
+        for &(rid, chunk, half) in &stale {
+            st.chunks[chunk].avail_failed += 1;
+            to_suspect.push((st.chunks[chunk].volume, half));
             self.rdma_map.remove(&rid);
-            self.mark_suspect(ctx, region_id, half);
         }
-        if let Some((dev, leg_half, nva, data, wire_len)) = next {
-            let rid = self.alloc_rdma(t.wid, leg_half);
-            let net = self.net.clone();
-            rdma_write_sized(ctx, &net, self.ep, dev, nva, data, wire_len, rid);
+        // A sequential write may time out before some fragments' mirror
+        // legs were ever issued; fire them now against the survivors and
+        // give them one more timeout interval.
+        let next: Vec<(usize, PendingLeg)> = self
+            .writes
+            .get_mut(&t.wid)?
+            .chunks
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(ci, c)| c.next_leg.take().map(|l| (ci, l)))
+            .collect();
+        for (volume, half) in to_suspect {
+            self.mark_suspect(ctx, region_id, volume, half);
+        }
+        if !next.is_empty() {
+            for (chunk, (dev, leg_half, nva, data, wire_len)) in next {
+                let rid = self.alloc_rdma(t.wid, chunk, leg_half);
+                let net = self.net.clone();
+                rdma_write_sized(ctx, &net, self.ep, dev, nva, data, wire_len, rid);
+            }
             ctx.send_self(self.cfg.write_timeout, PmWriteTimeout { wid: t.wid });
             return None;
         }
-        self.try_complete_write(t.wid)
+        self.try_complete_write(ctx, t.wid)
     }
 
-    fn try_complete_write(&mut self, wid: u64) -> Option<PmWriteComplete> {
-        let st = self.writes.get(&wid)?;
-        if !st.pending.is_empty() || st.next_leg.is_some() {
+    fn try_complete_write(&mut self, ctx: &mut Ctx<'_>, wid: u64) -> Option<PmWriteComplete> {
+        let Some(st) = self.writes.get(&wid) else {
+            // Duplicate/stale completion (e.g. a late leg racing the
+            // timeout path): the write already completed — ignore it
+            // rather than panic, but leave a trace for diagnosis.
+            ctx.trace("pmclient: stale write completion ignored");
+            return None;
+        };
+        if !st.pending.is_empty() || st.chunks.iter().any(|c| c.next_leg.is_some()) {
             return None;
         }
-        let st = self.writes.remove(&wid).unwrap();
+        let st = self.writes.remove(&wid)?;
         let (status, degraded) = if let Some(err) = st.logical_error {
             (err, false)
-        } else if st.acked > 0 {
-            // Data is persistent on every answering mirror; surviving one
-            // half preserves the API contract ("when the call returns the
-            // data is either persistent or the call will return in
-            // error"), at reduced redundancy.
-            (RdmaStatus::Ok, st.avail_failed > 0)
+        } else if st.chunks.iter().all(|c| c.acked > 0) {
+            // Every fragment is persistent on at least one answering
+            // mirror; this preserves the API contract ("when the call
+            // returns the data is either persistent or the call will
+            // return in error"), at reduced redundancy where a half
+            // failed.
+            (RdmaStatus::Ok, st.chunks.iter().any(|c| c.avail_failed > 0))
         } else {
             (st.avail_status, false)
         };
@@ -538,64 +721,93 @@ impl PmLib {
     }
 
     /// Feed an [`RdmaReadDone`]; returns the client completion if the op
-    /// belonged to this library and is final (a failed first attempt
-    /// fails over to the other mirror and returns `None` here).
+    /// belonged to this library and the whole read is final (a failed
+    /// fragment fails over to its other mirror half and returns `None`
+    /// here).
     pub fn on_rdma_read_done(
         &mut self,
         ctx: &mut Ctx<'_>,
         done: RdmaReadDone,
     ) -> Option<PmReadComplete> {
-        let st = self.reads.remove(&done.op_id)?;
+        let (run_id, part) = self.read_map.remove(&done.op_id)?;
+        let r = self.reads.get_mut(&run_id)?;
+        let (region_id, volume, half) = {
+            let p = &r.parts[part];
+            (r.region_id, p.volume, p.half)
+        };
         if done.status == RdmaStatus::Ok {
-            self.clear_suspect(st.region_id, st.half);
-            return Some(PmReadComplete {
-                token: st.token,
-                status: done.status,
-                data: done.data,
-                degraded: st.degraded,
-            });
+            r.parts[part].data = Some(done.data);
+            r.outstanding -= 1;
+            self.clear_suspect(region_id, volume, half);
+            return self.try_complete_read(run_id);
         }
         if Self::is_availability_error(done.status) {
-            self.mark_suspect(ctx, st.region_id, st.half);
+            self.mark_suspect(ctx, region_id, volume, half);
         }
-        self.fail_over_read(ctx, st, done.status, done.data)
+        self.fail_over_part(ctx, run_id, part, done.status)
     }
 
     /// Feed a [`PmReadTimeout`] timer; treated as an availability error on
-    /// the targeted half.
+    /// the fragment's targeted half.
     pub fn on_read_timeout(
         &mut self,
         ctx: &mut Ctx<'_>,
         t: &PmReadTimeout,
     ) -> Option<PmReadComplete> {
-        let st = self.reads.remove(&t.rid)?;
-        self.mark_suspect(ctx, st.region_id, st.half);
-        self.fail_over_read(ctx, st, RdmaStatus::Unreachable, Bytes::new())
+        let (run_id, part) = self.read_map.remove(&t.rid)?;
+        let r = self.reads.get(&run_id)?;
+        let (region_id, volume, half) = {
+            let p = &r.parts[part];
+            (r.region_id, p.volume, p.half)
+        };
+        self.mark_suspect(ctx, region_id, volume, half);
+        self.fail_over_part(ctx, run_id, part, RdmaStatus::Unreachable)
     }
 
-    fn fail_over_read(
+    fn fail_over_part(
         &mut self,
         ctx: &mut Ctx<'_>,
-        st: ReadState,
+        run_id: u64,
+        part: usize,
         status: RdmaStatus,
-        data: Bytes,
     ) -> Option<PmReadComplete> {
-        let other = 1 - st.half;
-        if st.tried & (1 << other) == 0 {
-            let retry = ReadState {
-                half: other,
-                tried: st.tried | (1 << other),
-                degraded: true,
-                ..st
-            };
-            self.issue_read(ctx, retry);
+        let r = self.reads.get_mut(&run_id)?;
+        let other = 1 - r.parts[part].half;
+        if r.parts[part].tried & (1 << other) == 0 {
+            r.parts[part].half = other;
+            r.parts[part].tried |= 1 << other;
+            r.degraded = true;
+            self.issue_read_part(ctx, run_id, part);
             return None;
         }
+        // This fragment exhausted both halves: the whole read fails. Drop
+        // the run and orphan its other in-flight fragments (their
+        // completions no-op via the removed `read_map` entries).
+        let r = self.reads.remove(&run_id)?;
+        self.read_map.retain(|_, &mut (rn, _)| rn != run_id);
         Some(PmReadComplete {
-            token: st.token,
+            token: r.token,
             status,
-            data,
-            degraded: st.degraded,
+            data: Bytes::new(),
+            degraded: r.degraded,
+        })
+    }
+
+    fn try_complete_read(&mut self, run_id: u64) -> Option<PmReadComplete> {
+        if self.reads.get(&run_id)?.outstanding > 0 {
+            return None;
+        }
+        let r = self.reads.remove(&run_id)?;
+        let mut buf = vec![0u8; r.total];
+        for p in &r.parts {
+            let d = p.data.as_ref().expect("all fragments complete");
+            buf[p.buf_off..p.buf_off + d.len()].copy_from_slice(d);
+        }
+        Some(PmReadComplete {
+            token: r.token,
+            status: RdmaStatus::Ok,
+            data: Bytes::from(buf),
+            degraded: r.degraded,
         })
     }
 

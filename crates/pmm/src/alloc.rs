@@ -63,6 +63,7 @@ mod tests {
                 })
                 .collect(),
             health: Default::default(),
+            pool: None,
         }
     }
 

@@ -8,8 +8,11 @@
 //!
 //! The PMM owns:
 //!
-//! * **volumes** — one mirrored NPMU pair per PMM, analogous to a disk
-//!   volume;
+//! * **volumes** — mirrored NPMU pairs, analogous to disk volumes. One
+//!   PMM pair now manages a *pool* of member volumes behind a single
+//!   region namespace ([`install_pmm_pool`]), each member with its own
+//!   durable metadata and its own Healthy → Degraded → Resilvering
+//!   health machine;
 //! * **regions** — the PM analog of files: named, contiguous allocations
 //!   created/opened/closed/deleted by client RPC;
 //! * **durable, self-consistent metadata** — the region table, serialized
@@ -31,6 +34,10 @@ pub mod manager;
 pub mod meta;
 pub mod msgs;
 
-pub use manager::{install_pmm_pair, PmmConfig, PmmHandle, PmmStats, SharedPmmStats};
+pub use manager::{
+    install_pmm_pair, install_pmm_pool, PmmConfig, PmmHandle, PmmStats, SharedPmmStats,
+};
 pub use meta::{HealthState, MetaStore, RegionMeta, VolumeMeta, META_BYTES};
 pub use msgs::*;
+// Pool shapes clients and harnesses need to route I/O and place regions.
+pub use pmpool::{Extent, Frag, PlacementHint, PlacementPolicy, PoolMeta, StripeMap};

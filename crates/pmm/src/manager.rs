@@ -1,11 +1,14 @@
-//! The PMM process-pair actor.
+//! The PMM process-pair actor: one process pair managing a *pool* of
+//! mirrored NPMU member volumes behind a single region namespace.
 //!
-//! Request pipeline for a *mutating* operation (create/delete):
+//! Request pipeline for a *mutating* operation (create/delete/migrate):
 //!
-//! 1. mutate the in-memory region table, bump the epoch;
-//! 2. RDMA-write the encoded metadata to the alternate slot of **both**
-//!    mirrors, wait for both hardware acks (the metadata is now durable
-//!    and self-consistent);
+//! 1. mutate the in-memory pool namespace and the derived per-member
+//!    region tables, bump the pool epoch and every member's epoch;
+//! 2. RDMA-write each member's encoded metadata (which embeds a replica
+//!    of the pool namespace) to the alternate slot of **both** of that
+//!    member's mirrors, wait for all hardware acks (the metadata is now
+//!    durable and self-consistent on every member);
 //! 3. checkpoint the new state to the backup, wait for its ack (NonStop
 //!    discipline: checkpoint *before externalizing state changes*);
 //! 4. program/revoke ATT windows as needed and reply to the client.
@@ -19,26 +22,48 @@
 //! at the moment of failure are lost — clients retry, exactly as NSK
 //! message clients do across a takeover.
 //!
-//! # Mirror failure and online resilvering
+//! # Per-member mirror failure and online resilvering
 //!
-//! The PMM also owns the volume's mirror-health state machine
-//! ([`HealthState`], durable inside the metadata so a takeover or reboot
-//! resumes it): `Healthy → Degraded → Resilvering → Healthy`.
+//! Every member volume runs its *own* durable health state machine
+//! ([`HealthState`]): `Healthy → Degraded → Resilvering → Healthy`. A
+//! half failing on member 2 degrades member 2 only; members 0, 1 and 3
+//! keep both mirrors and stay Healthy — failure domains are per member,
+//! which is what makes the pool scale fault containment along with
+//! bandwidth.
 //!
-//! *Detection.* Two independent paths: the PMM's own metadata-write legs
-//! (a NACK or timeout from one half is first-hand evidence), and client
-//! [`ReportMirrorFailure`] hints, which the PMM confirms with a probe
-//! read before acting. While degraded, metadata writes go to the
+//! *Detection.* Two independent paths per member: the PMM's own
+//! metadata-write legs (a NACK or timeout from one half is first-hand
+//! evidence), and client [`ReportMirrorFailure`] hints (now carrying the
+//! member volume), which the PMM confirms with a probe read before
+//! acting. While a member is degraded, its metadata writes go to the
 //! survivor only, and a probe read is sent to the dead half on a timer.
 //!
-//! *Resilvering.* When a probe answers, the PMM copies the survivor's
-//! contents back over RDMA chunk by chunk — **online**: clients keep
-//! writing (to both halves again) throughout. A copy pass is followed by
-//! a verify pass (read both halves, compare); divergent chunks — e.g.
-//! where a foreground write raced the copy — are re-copied and verified
-//! again until a pass is clean, then the volume is declared healthy with
-//! a metadata write to both mirrors. The copy range is bounded by the
-//! durable `dirty_upto` allocation high-water mark.
+//! *Resilvering.* When a dead half answers a probe, the PMM copies the
+//! survivor's contents back over RDMA chunk by chunk — **online**:
+//! clients keep writing (to both halves again) throughout, and the other
+//! members serve their stripes undisturbed. A copy pass is followed by a
+//! verify pass (read both halves, compare); divergent chunks are
+//! re-copied and verified again until a pass is clean, then the member
+//! is declared healthy with a metadata write to both of its mirrors.
+//!
+//! # Placement and striping
+//!
+//! Region creation consults the pool's [`PlacementPolicy`]: small
+//! regions land whole on the member with the most free space (capacity
+//! balancing), large ones are striped in fixed-size chunks across
+//! members so aggregate write bandwidth scales with the pool. The stripe
+//! map is part of the durable pool namespace and is handed to clients in
+//! the create/open ack — the PMM stays off the data path.
+//!
+//! # Online migration
+//!
+//! [`MigrateRegion`] moves a single-extent region to another member
+//! while clients keep writing: copy chunks to the destination mirrors,
+//! then *fence* the source window (clients lose ATT access, the PMM
+//! keeps it), verify source against destination, re-copy any chunk that
+//! diverged before the fence, and commit the new map with a pool-wide
+//! metadata write. Stale clients take an RDMA fault and reopen for the
+//! new map.
 
 use crate::alloc;
 use crate::meta::{HealthState, MetaStore, RegionMeta, VolumeMeta, META_BYTES, SLOT_BYTES};
@@ -48,6 +73,9 @@ use npmu::device::NpmuHandle;
 use nsk::machine::{CpuId, SharedMachine, WatchTarget};
 use nsk::proc::{Checkpoint, CheckpointAck, ProcessDied};
 use parking_lot::Mutex;
+use pmpool::{
+    stripe_extent_lens, Extent, Placement, PlacementPolicy, PoolMeta, PoolRegionMeta, StripeMap,
+};
 use simcore::{Actor, Ctx, Msg, Sim, SimDuration};
 use simnet::{
     rdma_read, rdma_write, send_net_msg, EndpointId, NetDelivery, RdmaReadDone, RdmaStatus,
@@ -56,23 +84,30 @@ use simnet::{
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
+/// Region id used for the in-memory destination reservation during a
+/// migration. Never durable: recovery rederives member tables from the
+/// pool namespace, so an interrupted migration's reservation vanishes.
+const MIG_RESERVATION_ID: u64 = u64::MAX;
+
 #[derive(Clone, Debug)]
 pub struct PmmConfig {
     /// CPU cost charged per management op, ns.
     pub op_cpu_ns: u64,
-    /// While degraded, how often to probe the dead half for revival.
+    /// While a member is degraded, how often to probe its dead half.
     pub probe_interval: SimDuration,
     /// Probe reads with no answer by then count as failed (silent-drop
     /// devices never NACK).
     pub probe_timeout: SimDuration,
     /// Metadata slot writes with unanswered legs by then treat those legs
-    /// as failed (and degrade the volume).
+    /// as failed (and degrade the member volume).
     pub meta_write_timeout: SimDuration,
-    /// Resilver copy/verify granularity, bytes.
+    /// Resilver / migration copy+verify granularity, bytes.
     pub resilver_chunk: u32,
     /// A resilver step (chunk read or write) with no answer by then
     /// aborts the resilver back to Degraded.
     pub resilver_step_timeout: SimDuration,
+    /// How new regions are laid out across pool members.
+    pub placement: PlacementPolicy,
 }
 
 impl Default for PmmConfig {
@@ -84,12 +119,14 @@ impl Default for PmmConfig {
             meta_write_timeout: SimDuration::from_millis(5),
             resilver_chunk: 256 * 1024,
             resilver_step_timeout: SimDuration::from_millis(10),
+            placement: PlacementPolicy::default(),
         }
     }
 }
 
-/// Counters for failure handling and resilvering, shared with the test /
-/// bench harness via [`PmmHandle::stats`].
+/// Counters for failure handling, resilvering and migration, shared with
+/// the test / bench harness via [`PmmHandle::stats`] (pool aggregate) and
+/// [`PmmHandle::vol_stats`] (per member volume).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PmmStats {
     /// Healthy → Degraded transitions.
@@ -110,6 +147,12 @@ pub struct PmmStats {
     /// Virtual timestamps of the last resilver start / completion.
     pub resilver_started_ns: u64,
     pub resilver_completed_ns: u64,
+    /// Region migrations started / committed / aborted.
+    pub migrations_started: u64,
+    pub migrations_completed: u64,
+    pub migrations_aborted: u64,
+    /// Bytes copied source → destination by committed+aborted migrations.
+    pub migrate_bytes_copied: u64,
 }
 
 pub type SharedPmmStats = Arc<Mutex<PmmStats>>;
@@ -123,7 +166,8 @@ enum Role {
 /// State checkpointed from primary to backup (whole-state: it is small).
 #[derive(Clone)]
 struct PmmCkpt {
-    meta: VolumeMeta,
+    pool: PoolMeta,
+    vols_meta: Vec<VolumeMeta>,
     open_cpus: BTreeMap<u64, BTreeSet<u32>>,
 }
 
@@ -134,27 +178,30 @@ struct PendingOp {
     reply_to_ep: EndpointId,
     reply: PendingReply,
     /// ATT programming to perform when the op commits.
-    att_action: Option<AttAction>,
+    att_actions: Vec<AttAction>,
 }
 
 enum PendingReply {
     Create(u64, Result<RegionInfo, PmError>),
     Delete(u64, Result<(), PmError>),
+    Migrate(u64, Result<RegionInfo, PmError>),
     /// Internal state-machine transition (health changes): no client ack.
     Internal,
 }
 
 enum AttAction {
-    /// (Re)program the window for region id for this CPU set.
+    /// (Re)program every extent window of a region for its CPU set.
     MapRegion { region_id: u64 },
-    /// Remove the window for a deleted region.
-    Unmap { nva_base: u64 },
+    /// Remove windows at `(member volume, device base)` pairs.
+    UnmapExtents(Vec<(usize, u64)>),
 }
 
 // --- self-addressed timers -------------------------------------------------
 
-/// Periodic revival probe while Degraded.
-struct ProbeTick;
+/// Periodic revival probe while a member is degraded.
+struct ProbeTick {
+    vol: usize,
+}
 /// A probe read got no answer.
 struct ProbeTimeout {
     rid: u64,
@@ -165,6 +212,10 @@ struct MetaWriteTimeout {
 }
 /// A resilver chunk read/write got no answer.
 struct ResilverStepTimeout {
+    rid: u64,
+}
+/// A migration chunk read/write got no answer.
+struct MigStepTimeout {
     rid: u64,
 }
 
@@ -204,15 +255,62 @@ struct ResilverRun {
     verify_a: Option<(u64, u32, bytes::Bytes)>,
 }
 
-/// Handle returned by [`install_pmm_pair`].
+/// Which migration step an RDMA op id belongs to. Offsets are relative
+/// to the region start.
+enum MigOp {
+    CopyRead { off: u64, len: u32 },
+    CopyWrite { len: u32 },
+    VerifySrc { off: u64, len: u32 },
+    VerifyDst { off: u64, len: u32 },
+}
+
+/// An in-flight online region migration (volatile: a takeover drops it
+/// and the client retries).
+struct MigrationRun {
+    region_id: u64,
+    client_token: u64,
+    reply_to_ep: EndpointId,
+    src_vol: usize,
+    dst_vol: usize,
+    src_base: u64,
+    dst_base: u64,
+    len: u64,
+    /// Source window revoked from clients (PMM-only) for the verify pass.
+    fenced: bool,
+    phase: ResilverPhase,
+    queue: VecDeque<(u64, u32)>,
+    divergent: Vec<(u64, u32)>,
+    verify_src: Option<(u64, u32, bytes::Bytes)>,
+    /// Mirror-leg write acks outstanding for the current copy chunk.
+    writes_left: u32,
+}
+
+/// One mirrored member volume of the pool, with its own durable
+/// metadata, health machine and resilver state.
+struct VolState {
+    npmu_a: NpmuHandle,
+    npmu_b: NpmuHandle,
+    meta: VolumeMeta,
+    resilver: Option<ResilverRun>,
+    probe_tick_armed: bool,
+    stats: SharedPmmStats,
+}
+
+/// Handle returned by [`install_pmm_pool`] / [`install_pmm_pair`].
 #[derive(Clone)]
 pub struct PmmHandle {
     pub name: String,
     pub primary_cpu: CpuId,
     pub backup_cpu: Option<CpuId>,
+    /// Member 0's mirrors (the pre-pool single-volume fields).
     pub npmu_a: NpmuHandle,
     pub npmu_b: NpmuHandle,
+    /// Every member's mirrored pair, in pool order.
+    pub volumes: Vec<(NpmuHandle, NpmuHandle)>,
+    /// Pool-aggregate counters.
     pub stats: SharedPmmStats,
+    /// Per-member counters, in pool order.
+    pub vol_stats: Vec<SharedPmmStats>,
 }
 
 pub struct PmmProc {
@@ -223,33 +321,99 @@ pub struct PmmProc {
     net: SharedNetwork,
     ep: EndpointId,
     cpu: CpuId,
-    npmu_a: NpmuHandle,
-    npmu_b: NpmuHandle,
     /// PMM CPUs (primary + backup): always allowed through region ATT
-    /// windows so the manager can read/write region bytes for resilvering.
+    /// windows so the manager can read/write region bytes for
+    /// resilvering and migration.
     att_cpus: Vec<u32>,
-    meta: VolumeMeta,
+    /// Pool members, index = member volume id.
+    vols: Vec<VolState>,
+    /// The pool-wide region namespace (replicated into every member's
+    /// durable metadata).
+    pool: PoolMeta,
     open_cpus: BTreeMap<u64, BTreeSet<u32>>,
     pending: BTreeMap<u64, PendingOp>,
     next_op: u64,
-    /// RDMA op id → (pending op token, which mirror half).
-    rdma_ops: BTreeMap<u64, (u64, u8)>,
+    /// RDMA op id → (pending op token, member volume, mirror half).
+    rdma_ops: BTreeMap<u64, (u64, usize, u8)>,
     next_rdma: u64,
     ckpt_waiters: BTreeMap<u64, u64>, // ckpt seq → op token
     next_ckpt: u64,
     /// Outstanding probe reads.
-    probes: BTreeMap<u64, ProbeKind>,
-    /// A ProbeTick timer is in flight (avoid stacking them).
-    probe_tick_armed: bool,
-    resilver: Option<ResilverRun>,
+    probes: BTreeMap<u64, (usize, ProbeKind)>,
     /// Outstanding resilver chunk ops.
-    resilver_ops: BTreeMap<u64, ResilverOp>,
+    resilver_ops: BTreeMap<u64, (usize, ResilverOp)>,
+    migration: Option<MigrationRun>,
+    /// Outstanding migration chunk ops.
+    mig_ops: BTreeMap<u64, MigOp>,
+    /// Pool-aggregate counters (every member's events also land here).
     stats: SharedPmmStats,
 }
 
+// --- pool ↔ member-metadata derivation (also used at install) -------------
+
+/// Rebuild one member's region table from the pool namespace: every
+/// extent the member holds becomes a local `RegionMeta`. Striped regions
+/// appear under `name#<slot>` so per-member tables stay unique by name.
+fn apply_pool_to_member(pool: &PoolMeta, volume: u32, meta: &mut VolumeMeta) {
+    meta.next_region_id = pool.next_region_id;
+    meta.regions = pool
+        .regions
+        .iter()
+        .flat_map(|r| {
+            let n = r.map.extents.len();
+            r.map
+                .extents
+                .iter()
+                .enumerate()
+                .filter(move |(_, e)| e.volume == volume)
+                .map(move |(slot, e)| RegionMeta {
+                    id: r.id,
+                    name: if n == 1 {
+                        r.name.clone()
+                    } else {
+                        format!("{}#{slot}", r.name)
+                    },
+                    base: e.base,
+                    len: e.len,
+                    owner_cpu: r.owner_cpu,
+                })
+        })
+        .collect();
+}
+
+/// Recover the pool namespace from the members' recovered metadata: the
+/// replica with the highest pool epoch wins. Pre-pool images (no pool
+/// trailer anywhere) are upgraded in place: member 0's region table
+/// becomes a namespace of solo extents on volume 0.
+fn recover_pool(metas: &[VolumeMeta]) -> PoolMeta {
+    if let Some(best) = metas
+        .iter()
+        .filter_map(|m| m.pool.as_ref())
+        .max_by_key(|p| p.epoch)
+    {
+        return best.clone();
+    }
+    let m0 = &metas[0];
+    PoolMeta {
+        epoch: m0.epoch,
+        next_region_id: m0.next_region_id,
+        regions: m0
+            .regions
+            .iter()
+            .map(|r| PoolRegionMeta {
+                id: r.id,
+                name: r.name.clone(),
+                len: r.len,
+                owner_cpu: r.owner_cpu,
+                map: StripeMap::solo(0, r.base, r.len),
+            })
+            .collect(),
+    }
+}
+
 impl PmmProc {
-    fn device_capacity(&self) -> u64 {
-        self.npmu_a.mem.lock().capacity()
+    fn device_capacity(&self, vol: usize) -> u64 {
+        self.vols[vol].npmu_a.mem.lock().capacity()
     }
 
     fn has_backup(&self) -> bool {
@@ -263,53 +427,107 @@ impl PmmProc {
             .cpu_work(self.cpu, now, self.cfg.op_cpu_ns);
     }
 
-    fn half_ep(&self, half: u8) -> EndpointId {
+    fn half_ep(&self, vol: usize, half: u8) -> EndpointId {
         if half == 0 {
-            self.npmu_a.ep
+            self.vols[vol].npmu_a.ep
         } else {
-            self.npmu_b.ep
+            self.vols[vol].npmu_b.ep
         }
     }
 
-    /// Metadata write targets for the current health: both halves when
-    /// healthy or resilvering (the revived device must converge), the
-    /// survivor only while degraded (the dead half would NACK or hang).
-    fn meta_write_halves(&self) -> Vec<u8> {
-        match self.meta.health {
+    /// Update a counter on both the pool aggregate and the member's own
+    /// stats block.
+    fn vol_stat(&self, vol: usize, f: impl Fn(&mut PmmStats)) {
+        f(&mut self.stats.lock());
+        f(&mut self.vols[vol].stats.lock());
+    }
+
+    /// Metadata write targets for a member's current health: both halves
+    /// when healthy or resilvering (the revived device must converge),
+    /// the survivor only while degraded.
+    fn meta_write_halves(&self, vol: usize) -> Vec<u8> {
+        match self.vols[vol].meta.health {
             HealthState::Degraded { half, .. } => vec![1 - half],
             _ => vec![0, 1],
         }
     }
 
-    /// Write the current metadata durably (per current health targets);
+    /// Write the current metadata of the given members durably (each to
+    /// its health-appropriate halves, with the pool namespace embedded);
     /// returns the pending-op token the request is parked under.
-    fn start_meta_write(&mut self, ctx: &mut Ctx<'_>, mut op: PendingOp) -> u64 {
+    fn start_meta_write(&mut self, ctx: &mut Ctx<'_>, mut op: PendingOp, targets: &[usize]) -> u64 {
         let token = self.next_op;
         self.next_op += 1;
-        let buf = self.meta.encode();
-        let slot = MetaStore::slot_for_epoch(self.meta.epoch);
-        debug_assert!(buf.len() as u64 <= SLOT_BYTES);
-        let data = bytes::Bytes::from(buf);
-        let halves = self.meta_write_halves();
-        op.waiting_writes = halves.len() as u32;
-        for half in halves {
+        let mut total_legs = 0u32;
+        let mut writes: Vec<(usize, u8, u64, bytes::Bytes)> = Vec::new();
+        for &vol in targets {
+            self.vols[vol].meta.pool = Some(self.pool.clone());
+            let buf = self.vols[vol].meta.encode();
+            debug_assert!(buf.len() as u64 <= SLOT_BYTES);
+            let slot = MetaStore::slot_for_epoch(self.vols[vol].meta.epoch);
+            let data = bytes::Bytes::from(buf);
+            for half in self.meta_write_halves(vol) {
+                total_legs += 1;
+                writes.push((vol, half, slot, data.clone()));
+            }
+        }
+        op.waiting_writes = total_legs;
+        for (vol, half, slot, data) in writes {
             let rid = self.next_rdma;
             self.next_rdma += 1;
-            self.rdma_ops.insert(rid, (token, half));
+            self.rdma_ops.insert(rid, (token, vol, half));
             let net = self.net.clone();
-            rdma_write(
-                ctx,
-                &net,
-                self.ep,
-                self.half_ep(half),
-                slot,
-                data.clone(),
-                rid,
-            );
+            rdma_write(ctx, &net, self.ep, self.half_ep(vol, half), slot, data, rid);
         }
         self.pending.insert(token, op);
         ctx.send_self(self.cfg.meta_write_timeout, MetaWriteTimeout { token });
         token
+    }
+
+    /// All member indices, for pool-wide metadata writes.
+    fn all_vols(&self) -> Vec<usize> {
+        (0..self.vols.len()).collect()
+    }
+
+    /// A namespace mutation happened: bump the pool epoch, re-derive
+    /// every member's region table, bump every member's epoch (their
+    /// embedded pool replicas all change), and raise the resilver bound
+    /// of any member that is missing a half.
+    fn commit_namespace_change(&mut self) {
+        self.pool.epoch += 1;
+        for v in 0..self.vols.len() {
+            apply_pool_to_member(&self.pool, v as u32, &mut self.vols[v].meta);
+            self.vols[v].meta.epoch += 1;
+            let high = self.alloc_high_water(v);
+            match &mut self.vols[v].meta.health {
+                HealthState::Degraded { dirty_upto, .. }
+                | HealthState::Resilvering { dirty_upto, .. } => {
+                    *dirty_upto = (*dirty_upto).max(high);
+                }
+                HealthState::Healthy => {}
+            }
+        }
+    }
+
+    fn send_ckpt(&mut self, ctx: &mut Ctx<'_>, seq: u64, approx_bytes: u32) {
+        let ckpt = PmmCkpt {
+            pool: self.pool.clone(),
+            vols_meta: self.vols.iter().map(|v| v.meta.clone()).collect(),
+            open_cpus: self.open_cpus.clone(),
+        };
+        let machine = self.machine.clone();
+        nsk::proc::send_to_backup(
+            ctx,
+            &machine,
+            self.ep,
+            self.cpu,
+            &self.name.clone(),
+            approx_bytes,
+            Checkpoint {
+                seq,
+                payload: Box::new(ckpt),
+            },
+        );
     }
 
     /// Step an op forward once its durable writes landed: checkpoint, or
@@ -323,23 +541,7 @@ impl PmmProc {
             if let Some(op) = self.pending.get_mut(&token) {
                 op.waiting_ckpt = true;
             }
-            let ckpt = PmmCkpt {
-                meta: self.meta.clone(),
-                open_cpus: self.open_cpus.clone(),
-            };
-            let machine = self.machine.clone();
-            nsk::proc::send_to_backup(
-                ctx,
-                &machine,
-                self.ep,
-                self.cpu,
-                &self.name.clone(),
-                1024,
-                Checkpoint {
-                    seq,
-                    payload: Box::new(ckpt),
-                },
-            );
+            self.send_ckpt(ctx, seq, 1024);
         } else {
             self.commit(ctx, token);
         }
@@ -350,12 +552,14 @@ impl PmmProc {
         let Some(op) = self.pending.remove(&token) else {
             return;
         };
-        if let Some(action) = &op.att_action {
+        for action in &op.att_actions {
             match action {
                 AttAction::MapRegion { region_id } => self.program_region_att(*region_id),
-                AttAction::Unmap { nva_base } => {
-                    self.npmu_a.att.lock().unmap(*nva_base);
-                    self.npmu_b.att.lock().unmap(*nva_base);
+                AttAction::UnmapExtents(list) => {
+                    for &(vol, base) in list {
+                        self.vols[vol].npmu_a.att.lock().unmap(base);
+                        self.vols[vol].npmu_b.att.lock().unmap(base);
+                    }
                 }
             }
         }
@@ -381,18 +585,29 @@ impl PmmProc {
                     DeleteRegionAck { token: tok, result },
                 );
             }
+            PendingReply::Migrate(tok, result) => {
+                send_net_msg(
+                    ctx,
+                    &net,
+                    self.ep,
+                    op.reply_to_ep,
+                    128,
+                    MigrateRegionAck { token: tok, result },
+                );
+            }
             PendingReply::Internal => {}
         }
     }
 
-    /// (Re)program both mirrors' ATT for a region from `open_cpus`. The
-    /// PMM's own CPUs are always included: the manager must reach region
-    /// bytes to copy them during a resilver.
+    /// (Re)program every extent window of a region, on both mirrors of
+    /// each extent's member, from `open_cpus`. The PMM's own CPUs are
+    /// always included: the manager must reach region bytes to copy them
+    /// during resilvers and migrations.
     fn program_region_att(&mut self, region_id: u64) {
-        let Some(r) = self.meta.find_by_id(region_id) else {
+        let Some(r) = self.pool.find_by_id(region_id) else {
             return;
         };
-        let (base, len) = (r.base, r.len);
+        let extents = r.map.extents.clone();
         let mut cpus: Vec<u32> = self
             .open_cpus
             .get(&region_id)
@@ -403,25 +618,36 @@ impl PmmProc {
                 cpus.push(*c);
             }
         }
-        for att in [&self.npmu_a.att, &self.npmu_b.att] {
-            let mut att = att.lock();
-            att.unmap(base);
-            att.map(AttEntry {
-                nva_base: base,
-                len,
-                phys_base: base,
-                allowed: CpuFilter::Only(cpus.clone()),
-            });
+        for e in extents {
+            let vol = &self.vols[e.volume as usize];
+            for att in [&vol.npmu_a.att, &vol.npmu_b.att] {
+                let mut att = att.lock();
+                att.unmap(e.base);
+                att.map(AttEntry {
+                    nva_base: e.base,
+                    len: e.len,
+                    phys_base: e.base,
+                    allowed: CpuFilter::Only(cpus.clone()),
+                });
+            }
         }
     }
 
-    fn region_info(&self, r: &RegionMeta) -> RegionInfo {
+    fn region_info(&self, r: &PoolRegionMeta) -> RegionInfo {
         RegionInfo {
             region_id: r.id,
-            nva_base: r.base,
             len: r.len,
-            primary_ep: self.npmu_a.ep,
-            mirror_ep: self.npmu_b.ep,
+            map: r.map.clone(),
+            volumes: r
+                .map
+                .volumes()
+                .into_iter()
+                .map(|v| VolumeEps {
+                    volume: v,
+                    primary_ep: self.vols[v as usize].npmu_a.ep,
+                    mirror_ep: self.vols[v as usize].npmu_b.ep,
+                })
+                .collect(),
         }
     }
 
@@ -433,12 +659,13 @@ impl PmmProc {
             .unwrap_or(0)
     }
 
-    // --- mirror-health state machine ------------------------------------
+    // --- per-member mirror-health state machine --------------------------
 
-    /// Current allocation high-water mark: nothing above it was ever
-    /// allocated, so nothing above it can have diverged.
-    fn alloc_high_water(&self) -> u64 {
-        self.meta
+    /// A member's allocation high-water mark: nothing above it was ever
+    /// allocated on that member, so nothing above it can have diverged.
+    fn alloc_high_water(&self, vol: usize) -> u64 {
+        self.vols[vol]
+            .meta
             .regions
             .iter()
             .map(|r| r.base + r.len)
@@ -446,129 +673,132 @@ impl PmmProc {
             .unwrap_or(META_BYTES)
     }
 
-    /// First-hand or confirmed evidence that `half` is down: record the
-    /// degraded state durably (on the survivor) and start probing.
-    fn go_degraded(&mut self, ctx: &mut Ctx<'_>, half: u8) {
-        match self.meta.health {
+    /// First-hand or confirmed evidence that a member's `half` is down:
+    /// record the degraded state durably (on that member's survivor) and
+    /// start probing. Other members are untouched.
+    fn go_degraded(&mut self, ctx: &mut Ctx<'_>, vol: usize, half: u8) {
+        match self.vols[vol].meta.health {
             HealthState::Healthy => {}
-            HealthState::Degraded { half: h, .. } | HealthState::Resilvering { half: h, .. } => {
-                // Already handling this half; a failure of the *other*
-                // half while one is out means total mirror loss — keep
-                // the original state (nothing better to record).
-                let _ = h;
+            HealthState::Degraded { .. } | HealthState::Resilvering { .. } => {
+                // Already handling a half of this member; a failure of
+                // the *other* half while one is out means total mirror
+                // loss on the member — keep the original state.
                 return;
             }
         }
-        self.stats.lock().degraded_events += 1;
-        self.meta.epoch += 1;
-        self.meta.health = HealthState::Degraded {
+        // A migration touching this member can no longer trust its copy
+        // legs: abort it before recording the health change.
+        if self
+            .migration
+            .as_ref()
+            .is_some_and(|m| m.src_vol == vol || m.dst_vol == vol)
+        {
+            self.abort_migration(ctx);
+        }
+        self.vol_stat(vol, |s| s.degraded_events += 1);
+        self.vols[vol].meta.epoch += 1;
+        self.vols[vol].meta.health = HealthState::Degraded {
             half,
-            since_epoch: self.meta.epoch,
-            dirty_upto: self.alloc_high_water(),
+            since_epoch: self.vols[vol].meta.epoch,
+            dirty_upto: self.alloc_high_water(vol),
         };
-        self.start_meta_write(
-            ctx,
-            PendingOp {
-                waiting_writes: 0,
-                waiting_ckpt: false,
-                reply_to_ep: self.ep,
-                reply: PendingReply::Internal,
-                att_action: None,
-            },
-        );
-        self.arm_probe_tick(ctx);
+        let op = self.internal_op();
+        self.start_meta_write(ctx, op, &[vol]);
+        self.arm_probe_tick(ctx, vol);
     }
 
-    fn arm_probe_tick(&mut self, ctx: &mut Ctx<'_>) {
-        if self.probe_tick_armed {
+    fn internal_op(&self) -> PendingOp {
+        PendingOp {
+            waiting_writes: 0,
+            waiting_ckpt: false,
+            reply_to_ep: self.ep,
+            reply: PendingReply::Internal,
+            att_actions: Vec::new(),
+        }
+    }
+
+    fn arm_probe_tick(&mut self, ctx: &mut Ctx<'_>, vol: usize) {
+        if self.vols[vol].probe_tick_armed {
             return;
         }
-        self.probe_tick_armed = true;
-        ctx.send_self(self.cfg.probe_interval, ProbeTick);
+        self.vols[vol].probe_tick_armed = true;
+        ctx.send_self(self.cfg.probe_interval, ProbeTick { vol });
     }
 
-    /// Small read against a half's metadata window (always mapped for the
-    /// PMM CPUs) to ask "are you alive?".
-    fn send_probe(&mut self, ctx: &mut Ctx<'_>, kind: ProbeKind) {
+    /// Small read against a member half's metadata window (always mapped
+    /// for the PMM CPUs) to ask "are you alive?".
+    fn send_probe(&mut self, ctx: &mut Ctx<'_>, vol: usize, kind: ProbeKind) {
         let half = match kind {
             ProbeKind::Confirm { half } | ProbeKind::Revival { half } => half,
         };
         let rid = self.next_rdma;
         self.next_rdma += 1;
-        self.probes.insert(rid, kind);
-        self.stats.lock().probes_sent += 1;
+        self.probes.insert(rid, (vol, kind));
+        self.vol_stat(vol, |s| s.probes_sent += 1);
         let net = self.net.clone();
-        rdma_read(ctx, &net, self.ep, self.half_ep(half), 0, 64, rid);
+        rdma_read(ctx, &net, self.ep, self.half_ep(vol, half), 0, 64, rid);
         ctx.send_self(self.cfg.probe_timeout, ProbeTimeout { rid });
     }
 
-    fn on_probe_result(&mut self, ctx: &mut Ctx<'_>, kind: ProbeKind, ok: bool) {
+    fn on_probe_result(&mut self, ctx: &mut Ctx<'_>, vol: usize, kind: ProbeKind, ok: bool) {
         match kind {
             ProbeKind::Confirm { half } => {
                 if !ok {
-                    self.go_degraded(ctx, half);
+                    self.go_degraded(ctx, vol, half);
                 }
             }
             ProbeKind::Revival { half } => {
                 let degraded_this_half = matches!(
-                    self.meta.health,
+                    self.vols[vol].meta.health,
                     HealthState::Degraded { half: h, .. } if h == half
                 );
                 if !degraded_this_half {
                     return;
                 }
                 if ok {
-                    self.begin_resilver(ctx);
+                    self.begin_resilver(ctx, vol);
                 } else {
-                    self.arm_probe_tick(ctx);
+                    self.arm_probe_tick(ctx, vol);
                 }
             }
         }
     }
 
-    /// The dead half answered: start copying the survivor's contents back
-    /// while foreground writes continue.
-    fn begin_resilver(&mut self, ctx: &mut Ctx<'_>) {
+    /// A member's dead half answered: start copying the survivor's
+    /// contents back while foreground writes (to every member) continue.
+    fn begin_resilver(&mut self, ctx: &mut Ctx<'_>, vol: usize) {
         let HealthState::Degraded {
             half,
             since_epoch,
             dirty_upto,
-        } = self.meta.health
+        } = self.vols[vol].meta.health
         else {
             return;
         };
-        {
-            let mut s = self.stats.lock();
+        let now = ctx.now().as_nanos();
+        self.vol_stat(vol, |s| {
             s.resilvers_started += 1;
-            s.resilver_started_ns = ctx.now().as_nanos();
-        }
-        self.meta.epoch += 1;
-        self.meta.health = HealthState::Resilvering {
+            s.resilver_started_ns = now;
+        });
+        self.vols[vol].meta.epoch += 1;
+        self.vols[vol].meta.health = HealthState::Resilvering {
             half,
             since_epoch,
             dirty_upto,
             pass: 0,
         };
-        // From here metadata writes go to both halves again, so the
-        // revived device's slots converge with the survivor's.
-        self.start_meta_write(
-            ctx,
-            PendingOp {
-                waiting_writes: 0,
-                waiting_ckpt: false,
-                reply_to_ep: self.ep,
-                reply: PendingReply::Internal,
-                att_action: None,
-            },
-        );
+        // From here this member's metadata writes go to both halves
+        // again, so the revived device's slots converge.
+        let op = self.internal_op();
+        self.start_meta_write(ctx, op, &[vol]);
         // Region windows may be unmapped after a cold restart; make sure
-        // the PMM CPUs can reach every region before copying.
-        let ids: Vec<u64> = self.meta.regions.iter().map(|r| r.id).collect();
+        // the PMM CPUs can reach every extent before copying.
+        let ids: Vec<u64> = self.pool.regions.iter().map(|r| r.id).collect();
         for id in ids {
             self.program_region_att(id);
         }
-        let queue = self.resilver_chunks(dirty_upto);
-        self.resilver = Some(ResilverRun {
+        let queue = self.resilver_chunks(vol, dirty_upto);
+        self.vols[vol].resilver = Some(ResilverRun {
             half,
             since_epoch,
             dirty_upto,
@@ -577,13 +807,14 @@ impl PmmProc {
             divergent: Vec::new(),
             verify_a: None,
         });
-        self.resilver_step(ctx);
+        self.resilver_step(ctx, vol);
     }
 
-    /// Chunk list covering every allocated region byte below `dirty_upto`.
-    fn resilver_chunks(&self, dirty_upto: u64) -> VecDeque<(u64, u32)> {
+    /// Chunk list covering every allocated byte of the member's extents
+    /// below `dirty_upto`.
+    fn resilver_chunks(&self, vol: usize, dirty_upto: u64) -> VecDeque<(u64, u32)> {
         let chunk = self.cfg.resilver_chunk.max(1) as u64;
-        let mut regions: Vec<(u64, u64)> = self
+        let mut regions: Vec<(u64, u64)> = self.vols[vol]
             .meta
             .regions
             .iter()
@@ -603,11 +834,11 @@ impl PmmProc {
         q
     }
 
-    /// Drive the resilver: issue the next chunk op, or move between
-    /// phases / finish when queues drain.
-    fn resilver_step(&mut self, ctx: &mut Ctx<'_>) {
+    /// Drive a member's resilver: issue the next chunk op, or move
+    /// between phases / finish when queues drain.
+    fn resilver_step(&mut self, ctx: &mut Ctx<'_>, vol: usize) {
         let (next, in_copy, half, dirty_upto) = {
-            let Some(run) = &mut self.resilver else {
+            let Some(run) = &mut self.vols[vol].resilver else {
                 return;
             };
             (
@@ -628,37 +859,37 @@ impl PmmProc {
                     survivor: true,
                 }
             };
-            self.issue_resilver_read(ctx, 1 - half, off, len, kind);
+            self.issue_resilver_read(ctx, vol, 1 - half, off, len, kind);
             return;
         }
         // Current phase drained.
         if in_copy {
             // Copy done: verify the full range (foreground writes may
             // have raced the copy).
-            let queue = self.resilver_chunks(dirty_upto);
-            if let Some(run) = &mut self.resilver {
+            let queue = self.resilver_chunks(vol, dirty_upto);
+            if let Some(run) = &mut self.vols[vol].resilver {
                 run.phase = ResilverPhase::Verify;
                 run.queue = queue;
             }
-            self.resilver_step(ctx);
+            self.resilver_step(ctx, vol);
         } else {
-            let divergent = match &mut self.resilver {
+            let divergent = match &mut self.vols[vol].resilver {
                 Some(run) => std::mem::take(&mut run.divergent),
                 None => return,
             };
             if divergent.is_empty() {
-                self.finish_resilver(ctx);
+                self.finish_resilver(ctx, vol);
             } else {
                 // Re-copy what diverged, then verify again.
-                if let Some(run) = &mut self.resilver {
+                if let Some(run) = &mut self.vols[vol].resilver {
                     run.queue = divergent.into();
                     run.phase = ResilverPhase::Copy;
                 }
-                if let HealthState::Resilvering { pass, .. } = &mut self.meta.health {
+                if let HealthState::Resilvering { pass, .. } = &mut self.vols[vol].meta.health {
                     *pass += 1;
                 }
-                self.stats.lock().resilver_extra_passes += 1;
-                self.resilver_step(ctx);
+                self.vol_stat(vol, |s| s.resilver_extra_passes += 1);
+                self.resilver_step(ctx, vol);
             }
         }
     }
@@ -666,6 +897,7 @@ impl PmmProc {
     fn issue_resilver_read(
         &mut self,
         ctx: &mut Ctx<'_>,
+        vol: usize,
         src_half: u8,
         off: u64,
         len: u32,
@@ -673,28 +905,43 @@ impl PmmProc {
     ) {
         let rid = self.next_rdma;
         self.next_rdma += 1;
-        self.resilver_ops.insert(rid, kind);
+        self.resilver_ops.insert(rid, (vol, kind));
         let net = self.net.clone();
-        rdma_read(ctx, &net, self.ep, self.half_ep(src_half), off, len, rid);
+        rdma_read(
+            ctx,
+            &net,
+            self.ep,
+            self.half_ep(vol, src_half),
+            off,
+            len,
+            rid,
+        );
         ctx.send_self(self.cfg.resilver_step_timeout, ResilverStepTimeout { rid });
     }
 
-    fn on_resilver_read_done(&mut self, ctx: &mut Ctx<'_>, kind: ResilverOp, done: RdmaReadDone) {
+    fn on_resilver_read_done(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        vol: usize,
+        kind: ResilverOp,
+        done: RdmaReadDone,
+    ) {
         if done.status != RdmaStatus::Ok {
-            self.abort_resilver(ctx);
+            self.abort_resilver(ctx, vol);
             return;
         }
-        let Some(run) = &mut self.resilver else {
-            return;
+        let half = match &self.vols[vol].resilver {
+            Some(run) => run.half,
+            None => return,
         };
         match kind {
             ResilverOp::CopyRead { off, len } => {
                 // Write the survivor's bytes onto the revived half.
-                let half = run.half;
                 let rid = self.next_rdma;
                 self.next_rdma += 1;
-                self.resilver_ops.insert(rid, ResilverOp::CopyWrite { len });
-                let dst = self.half_ep(half);
+                self.resilver_ops
+                    .insert(rid, (vol, ResilverOp::CopyWrite { len }));
+                let dst = self.half_ep(vol, half);
                 let net = self.net.clone();
                 rdma_write(ctx, &net, self.ep, dst, off, done.data, rid);
                 ctx.send_self(self.cfg.resilver_step_timeout, ResilverStepTimeout { rid });
@@ -704,10 +951,12 @@ impl PmmProc {
                 len,
                 survivor: true,
             } => {
-                run.verify_a = Some((off, len, done.data));
-                let half = run.half;
+                if let Some(run) = &mut self.vols[vol].resilver {
+                    run.verify_a = Some((off, len, done.data));
+                }
                 self.issue_resilver_read(
                     ctx,
+                    vol,
                     half,
                     off,
                     len,
@@ -723,6 +972,9 @@ impl PmmProc {
                 len,
                 survivor: false,
             } => {
+                let Some(run) = &mut self.vols[vol].resilver else {
+                    return;
+                };
                 let Some((a_off, _, a_bytes)) = run.verify_a.take() else {
                     return;
                 };
@@ -730,107 +982,454 @@ impl PmmProc {
                 if a_bytes.as_ref() != done.data.as_ref() {
                     run.divergent.push((off, len));
                 }
-                self.resilver_step(ctx);
+                self.resilver_step(ctx, vol);
             }
             ResilverOp::CopyWrite { .. } => unreachable!("write acks arrive as RdmaWriteDone"),
         }
     }
 
-    fn on_resilver_write_done(&mut self, ctx: &mut Ctx<'_>, kind: ResilverOp, status: RdmaStatus) {
+    fn on_resilver_write_done(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        vol: usize,
+        kind: ResilverOp,
+        status: RdmaStatus,
+    ) {
         if status != RdmaStatus::Ok {
-            self.abort_resilver(ctx);
+            self.abort_resilver(ctx, vol);
             return;
         }
         if let ResilverOp::CopyWrite { len } = kind {
-            self.stats.lock().resilver_bytes_copied += len as u64;
+            self.vol_stat(vol, |s| s.resilver_bytes_copied += len as u64);
         }
-        self.resilver_step(ctx);
+        self.resilver_step(ctx, vol);
     }
 
-    /// The revived half (or, catastrophically, the survivor) stopped
-    /// answering mid-resilver: drop back to Degraded and resume probing.
-    fn abort_resilver(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(run) = self.resilver.take() else {
+    /// A member's revived half (or, catastrophically, its survivor)
+    /// stopped answering mid-resilver: drop that member back to Degraded
+    /// and resume probing. Other members are unaffected.
+    fn abort_resilver(&mut self, ctx: &mut Ctx<'_>, vol: usize) {
+        let Some(run) = self.vols[vol].resilver.take() else {
             return;
         };
-        self.resilver_ops.clear();
-        self.meta.epoch += 1;
-        self.meta.health = HealthState::Degraded {
+        self.resilver_ops.retain(|_, (v, _)| *v != vol);
+        self.vols[vol].meta.epoch += 1;
+        self.vols[vol].meta.health = HealthState::Degraded {
             half: run.half,
             since_epoch: run.since_epoch,
             dirty_upto: run.dirty_upto,
         };
-        self.start_meta_write(
-            ctx,
-            PendingOp {
-                waiting_writes: 0,
-                waiting_ckpt: false,
-                reply_to_ep: self.ep,
-                reply: PendingReply::Internal,
-                att_action: None,
-            },
-        );
-        self.arm_probe_tick(ctx);
+        let op = self.internal_op();
+        self.start_meta_write(ctx, op, &[vol]);
+        self.arm_probe_tick(ctx, vol);
     }
 
-    /// A verify pass found the mirrors identical: declare Healthy with a
-    /// metadata write to both halves.
-    fn finish_resilver(&mut self, ctx: &mut Ctx<'_>) {
-        self.resilver = None;
-        self.resilver_ops.clear();
-        {
-            let mut s = self.stats.lock();
+    /// A verify pass found the member's mirrors identical: declare it
+    /// Healthy with a metadata write to both of its halves.
+    fn finish_resilver(&mut self, ctx: &mut Ctx<'_>, vol: usize) {
+        self.vols[vol].resilver = None;
+        self.resilver_ops.retain(|_, (v, _)| *v != vol);
+        let now = ctx.now().as_nanos();
+        self.vol_stat(vol, |s| {
             s.resilvers_completed += 1;
-            s.resilver_completed_ns = ctx.now().as_nanos();
-        }
-        self.meta.epoch += 1;
-        self.meta.health = HealthState::Healthy;
-        self.start_meta_write(
-            ctx,
-            PendingOp {
-                waiting_writes: 0,
-                waiting_ckpt: false,
-                reply_to_ep: self.ep,
-                reply: PendingReply::Internal,
-                att_action: None,
-            },
-        );
+            s.resilver_completed_ns = now;
+        });
+        self.vols[vol].meta.epoch += 1;
+        self.vols[vol].meta.health = HealthState::Healthy;
+        let op = self.internal_op();
+        self.start_meta_write(ctx, op, &[vol]);
     }
 
     /// Resume failure handling from durable/checkpointed health after a
-    /// (re)start or takeover. A Resilvering state restarts as Degraded:
-    /// the copy progress was volatile, and the probe path re-enters the
-    /// resilver cleanly.
+    /// (re)start or takeover, member by member. A Resilvering member
+    /// restarts as Degraded: the copy progress was volatile, and the
+    /// probe path re-enters the resilver cleanly. Any in-memory
+    /// migration reservation from a dead primary is dropped too.
     fn resume_health(&mut self, ctx: &mut Ctx<'_>) {
-        match self.meta.health {
-            HealthState::Healthy => {}
-            HealthState::Degraded { .. } => self.arm_probe_tick(ctx),
-            HealthState::Resilvering {
-                half,
-                since_epoch,
-                dirty_upto,
-                ..
-            } => {
-                self.meta.health = HealthState::Degraded {
+        for vol in 0..self.vols.len() {
+            let leaked: Vec<u64> = self.vols[vol]
+                .meta
+                .regions
+                .iter()
+                .filter(|r| r.id == MIG_RESERVATION_ID)
+                .map(|r| r.base)
+                .collect();
+            for base in leaked {
+                self.vols[vol].meta.regions.retain(|r| r.base != base);
+                self.vols[vol].npmu_a.att.lock().unmap(base);
+                self.vols[vol].npmu_b.att.lock().unmap(base);
+            }
+            match self.vols[vol].meta.health {
+                HealthState::Healthy => {}
+                HealthState::Degraded { .. } => self.arm_probe_tick(ctx, vol),
+                HealthState::Resilvering {
                     half,
                     since_epoch,
                     dirty_upto,
-                };
-                self.arm_probe_tick(ctx);
+                    ..
+                } => {
+                    self.vols[vol].meta.health = HealthState::Degraded {
+                        half,
+                        since_epoch,
+                        dirty_upto,
+                    };
+                    self.arm_probe_tick(ctx, vol);
+                }
             }
         }
     }
 
-    /// A metadata write leg to `half` failed (NACK or timeout).
-    fn on_meta_leg_failed(&mut self, ctx: &mut Ctx<'_>, half: u8) {
-        self.stats.lock().meta_leg_failures += 1;
-        match self.meta.health {
-            HealthState::Healthy => self.go_degraded(ctx, half),
+    /// A metadata write leg to a member's `half` failed (NACK or timeout).
+    fn on_meta_leg_failed(&mut self, ctx: &mut Ctx<'_>, vol: usize, half: u8) {
+        self.vol_stat(vol, |s| s.meta_leg_failures += 1);
+        match self.vols[vol].meta.health {
+            HealthState::Healthy => self.go_degraded(ctx, vol, half),
             HealthState::Resilvering { half: h, .. } if h == half => {
                 // The revived device failed again mid-resilver.
-                self.abort_resilver(ctx);
+                self.abort_resilver(ctx, vol);
             }
             _ => {}
+        }
+    }
+
+    // --- online region migration -----------------------------------------
+
+    /// Re-point the source extent window to the PMM CPUs only: clients
+    /// take RDMA faults from here until the new map commits (or the
+    /// migration aborts and the window is re-opened).
+    fn fence_src(&mut self, run_src_vol: usize, src_base: u64, len: u64) {
+        let vol = &self.vols[run_src_vol];
+        for att in [&vol.npmu_a.att, &vol.npmu_b.att] {
+            let mut att = att.lock();
+            att.unmap(src_base);
+            att.map(AttEntry {
+                nva_base: src_base,
+                len,
+                phys_base: src_base,
+                allowed: CpuFilter::Only(self.att_cpus.clone()),
+            });
+        }
+    }
+
+    /// Drive the migration: issue the next chunk op, or move between
+    /// phases / commit when queues drain.
+    fn mig_step(&mut self, ctx: &mut Ctx<'_>) {
+        let (next, in_copy, fenced, src_vol, src_base, dst_base, len) = {
+            let Some(run) = &mut self.migration else {
+                return;
+            };
+            (
+                run.queue.pop_front(),
+                matches!(run.phase, ResilverPhase::Copy),
+                run.fenced,
+                run.src_vol,
+                run.src_base,
+                run.dst_base,
+                run.len,
+            )
+        };
+        if let Some((off, chunk)) = next {
+            let kind = if in_copy {
+                MigOp::CopyRead { off, len: chunk }
+            } else {
+                MigOp::VerifySrc { off, len: chunk }
+            };
+            // Reads come from the source's primary half (the source
+            // member is Healthy — a degrade aborts the migration).
+            self.issue_mig_read(ctx, src_vol, 0, src_base + off, chunk, kind);
+            return;
+        }
+        let _ = dst_base;
+        if in_copy {
+            // Copy drained: fence the source so no further client write
+            // can race the verify, then compare source and destination.
+            if !fenced {
+                self.fence_src(src_vol, src_base, len);
+                if let Some(run) = &mut self.migration {
+                    run.fenced = true;
+                }
+            }
+            let queue = self.mig_chunks(len);
+            if let Some(run) = &mut self.migration {
+                run.phase = ResilverPhase::Verify;
+                run.queue = queue;
+            }
+            self.mig_step(ctx);
+        } else {
+            let divergent = match &mut self.migration {
+                Some(run) => std::mem::take(&mut run.divergent),
+                None => return,
+            };
+            if divergent.is_empty() {
+                self.commit_migration(ctx);
+            } else {
+                // Chunks written by clients between the copy and the
+                // fence: re-copy them (the fence guarantees convergence).
+                if let Some(run) = &mut self.migration {
+                    run.queue = divergent.into();
+                    run.phase = ResilverPhase::Copy;
+                }
+                self.mig_step(ctx);
+            }
+        }
+    }
+
+    fn mig_chunks(&self, len: u64) -> VecDeque<(u64, u32)> {
+        let chunk = self.cfg.resilver_chunk.max(1) as u64;
+        let mut q = VecDeque::new();
+        let mut off = 0u64;
+        while off < len {
+            let n = chunk.min(len - off) as u32;
+            q.push_back((off, n));
+            off += n as u64;
+        }
+        q
+    }
+
+    fn issue_mig_read(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        vol: usize,
+        half: u8,
+        dev_off: u64,
+        len: u32,
+        kind: MigOp,
+    ) {
+        let rid = self.next_rdma;
+        self.next_rdma += 1;
+        self.mig_ops.insert(rid, kind);
+        let net = self.net.clone();
+        rdma_read(
+            ctx,
+            &net,
+            self.ep,
+            self.half_ep(vol, half),
+            dev_off,
+            len,
+            rid,
+        );
+        ctx.send_self(self.cfg.resilver_step_timeout, MigStepTimeout { rid });
+    }
+
+    fn on_mig_read_done(&mut self, ctx: &mut Ctx<'_>, kind: MigOp, done: RdmaReadDone) {
+        if done.status != RdmaStatus::Ok {
+            self.abort_migration(ctx);
+            return;
+        }
+        let (dst_vol, dst_base) = match &self.migration {
+            Some(run) => (run.dst_vol, run.dst_base),
+            None => return,
+        };
+        match kind {
+            MigOp::CopyRead { off, len } => {
+                // Replicate the chunk onto both destination mirrors.
+                if let Some(run) = &mut self.migration {
+                    run.writes_left = 2;
+                }
+                for half in [0u8, 1u8] {
+                    let rid = self.next_rdma;
+                    self.next_rdma += 1;
+                    self.mig_ops.insert(rid, MigOp::CopyWrite { len });
+                    let dst = self.half_ep(dst_vol, half);
+                    let net = self.net.clone();
+                    rdma_write(
+                        ctx,
+                        &net,
+                        self.ep,
+                        dst,
+                        dst_base + off,
+                        done.data.clone(),
+                        rid,
+                    );
+                    ctx.send_self(self.cfg.resilver_step_timeout, MigStepTimeout { rid });
+                }
+            }
+            MigOp::VerifySrc { off, len } => {
+                if let Some(run) = &mut self.migration {
+                    run.verify_src = Some((off, len, done.data));
+                }
+                // Destination halves are identical by construction (both
+                // written from the same source read); check half 0.
+                self.issue_mig_read(
+                    ctx,
+                    dst_vol,
+                    0,
+                    dst_base + off,
+                    len,
+                    MigOp::VerifyDst { off, len },
+                );
+            }
+            MigOp::VerifyDst { off, len } => {
+                let Some(run) = &mut self.migration else {
+                    return;
+                };
+                let Some((s_off, _, s_bytes)) = run.verify_src.take() else {
+                    return;
+                };
+                debug_assert_eq!(s_off, off);
+                if s_bytes.as_ref() != done.data.as_ref() {
+                    run.divergent.push((off, len));
+                }
+                self.mig_step(ctx);
+            }
+            MigOp::CopyWrite { .. } => unreachable!("write acks arrive as RdmaWriteDone"),
+        }
+    }
+
+    fn on_mig_write_done(&mut self, ctx: &mut Ctx<'_>, kind: MigOp, status: RdmaStatus) {
+        if status != RdmaStatus::Ok {
+            self.abort_migration(ctx);
+            return;
+        }
+        let MigOp::CopyWrite { len } = kind else {
+            return;
+        };
+        let both_landed = {
+            let Some(run) = &mut self.migration else {
+                return;
+            };
+            run.writes_left = run.writes_left.saturating_sub(1);
+            run.writes_left == 0
+        };
+        if both_landed {
+            self.stats.lock().migrate_bytes_copied += len as u64;
+            self.mig_step(ctx);
+        }
+    }
+
+    /// Undo an in-flight migration: drop the destination reservation and
+    /// its PMM-only windows, unfence the source, tell the client.
+    fn abort_migration(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(run) = self.migration.take() else {
+            return;
+        };
+        self.mig_ops.clear();
+        self.vols[run.dst_vol]
+            .meta
+            .regions
+            .retain(|r| r.id != MIG_RESERVATION_ID);
+        self.vols[run.dst_vol].npmu_a.att.lock().unmap(run.dst_base);
+        self.vols[run.dst_vol].npmu_b.att.lock().unmap(run.dst_base);
+        if run.fenced {
+            self.program_region_att(run.region_id);
+        }
+        self.stats.lock().migrations_aborted += 1;
+        let net = self.net.clone();
+        send_net_msg(
+            ctx,
+            &net,
+            self.ep,
+            run.reply_to_ep,
+            128,
+            MigrateRegionAck {
+                token: run.client_token,
+                result: Err(PmError::Failed),
+            },
+        );
+    }
+
+    /// The verify pass was clean: switch the region's map to the
+    /// destination with a pool-wide durable metadata write, then (on
+    /// commit) tear down the old window and open the new one to clients.
+    fn commit_migration(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(run) = self.migration.take() else {
+            return;
+        };
+        self.mig_ops.clear();
+        if let Some(r) = self.pool.regions.iter_mut().find(|r| r.id == run.region_id) {
+            r.map = StripeMap::solo(run.dst_vol as u32, run.dst_base, run.len);
+        }
+        // Rebuilding member tables from the pool drops the destination
+        // reservation and installs the real region record in one move.
+        self.commit_namespace_change();
+        self.stats.lock().migrations_completed += 1;
+        let info = self
+            .pool
+            .find_by_id(run.region_id)
+            .map(|r| self.region_info(r));
+        let targets = self.all_vols();
+        self.start_meta_write(
+            ctx,
+            PendingOp {
+                waiting_writes: 0,
+                waiting_ckpt: false,
+                reply_to_ep: run.reply_to_ep,
+                reply: PendingReply::Migrate(run.client_token, info.ok_or(PmError::Failed)),
+                att_actions: vec![
+                    AttAction::UnmapExtents(vec![(run.src_vol, run.src_base)]),
+                    AttAction::MapRegion {
+                        region_id: run.region_id,
+                    },
+                ],
+            },
+            &targets,
+        );
+    }
+
+    // --- placement -------------------------------------------------------
+
+    /// The member with the most free space, optionally excluding one.
+    fn most_free_vol(&self, exclude: Option<usize>) -> Option<usize> {
+        (0..self.vols.len())
+            .filter(|v| Some(*v) != exclude)
+            .max_by_key(|&v| alloc::free_bytes(&self.vols[v].meta, self.device_capacity(v)))
+    }
+
+    /// The `slots` members with the most free space, in pool order.
+    fn stripe_members(&self, slots: usize) -> Vec<usize> {
+        let mut by_free: Vec<usize> = (0..self.vols.len()).collect();
+        by_free.sort_by_key(|&v| {
+            std::cmp::Reverse(alloc::free_bytes(
+                &self.vols[v].meta,
+                self.device_capacity(v),
+            ))
+        });
+        let mut m: Vec<usize> = by_free.into_iter().take(slots).collect();
+        m.sort_unstable();
+        m
+    }
+
+    /// Resolve a placement decision into a concrete stripe map, finding
+    /// space on the chosen members (no state is mutated — all extents
+    /// are found before the caller commits). `None` when it can't fit.
+    fn place(&self, placement: Placement, len: u64) -> Option<StripeMap> {
+        match placement {
+            Placement::Balanced => {
+                let v = self.most_free_vol(None)?;
+                let base = alloc::find_space(&self.vols[v].meta, self.device_capacity(v), len)?;
+                Some(StripeMap::solo(v as u32, base, len))
+            }
+            Placement::OnVolume(v) => {
+                let v = v as usize;
+                if v >= self.vols.len() {
+                    return None;
+                }
+                let base = alloc::find_space(&self.vols[v].meta, self.device_capacity(v), len)?;
+                Some(StripeMap::solo(v as u32, base, len))
+            }
+            Placement::Striped { unit } => {
+                // Chunks are ATT-window sized: align the unit up so every
+                // extent starts on an allocation boundary.
+                let unit = unit.max(1).div_ceil(alloc::ALLOC_ALIGN) * alloc::ALLOC_ALIGN;
+                let chunks = len.div_ceil(unit);
+                let slots = (self.vols.len() as u64).min(chunks) as usize;
+                if slots <= 1 {
+                    return self.place(Placement::Balanced, len);
+                }
+                let members = self.stripe_members(slots);
+                let lens = stripe_extent_lens(len, unit, slots);
+                let mut extents = Vec::with_capacity(slots);
+                for (slot, &v) in members.iter().enumerate() {
+                    let base =
+                        alloc::find_space(&self.vols[v].meta, self.device_capacity(v), lens[slot])?;
+                    extents.push(Extent {
+                        volume: v as u32,
+                        base,
+                        len: lens[slot],
+                    });
+                }
+                Some(StripeMap::striped(unit, extents))
+            }
         }
     }
 
@@ -845,7 +1444,20 @@ impl PmmProc {
         let payload = match payload.downcast::<CreateRegion>() {
             Ok(req) => {
                 let req = *req;
-                if let Some(existing) = self.meta.find(&req.name).cloned() {
+                let reject = |ctx: &mut Ctx<'_>, e: PmError| {
+                    send_net_msg(
+                        ctx,
+                        &net,
+                        self.ep,
+                        from_ep,
+                        128,
+                        CreateRegionAck {
+                            token: req.token,
+                            result: Err(e),
+                        },
+                    );
+                };
+                if let Some(existing) = self.pool.find(&req.name).cloned() {
                     let result = if req.open_if_exists {
                         // Treat as open.
                         let cpu = self.client_cpu(from_ep);
@@ -868,47 +1480,40 @@ impl PmmProc {
                     );
                     return;
                 }
-                let cap = self.device_capacity();
-                let Some(base) = alloc::find_space(&self.meta, cap, req.len) else {
-                    send_net_msg(
-                        ctx,
-                        &net,
-                        self.ep,
-                        from_ep,
-                        128,
-                        CreateRegionAck {
-                            token: req.token,
-                            result: Err(PmError::NoSpace),
-                        },
-                    );
+                if self.migration.is_some() {
+                    // A migration owns the namespace until it resolves.
+                    reject(ctx, PmError::Busy);
+                    return;
+                }
+                let len = req.len.max(1);
+                let placement = self
+                    .cfg
+                    .placement
+                    .decide(req.placement, len, self.vols.len());
+                let Some(map) = self.place(placement, len) else {
+                    reject(ctx, PmError::NoSpace);
                     return;
                 };
                 let cpu = self.client_cpu(from_ep);
-                let id = self.meta.next_region_id;
-                self.meta.next_region_id += 1;
-                let region = RegionMeta {
+                let id = self.pool.next_region_id;
+                self.pool.next_region_id += 1;
+                self.pool.regions.push(PoolRegionMeta {
                     id,
                     name: req.name.clone(),
-                    base,
-                    len: req.len.max(1),
+                    len,
                     owner_cpu: cpu,
-                };
-                let info = self.region_info(&region);
-                let region_top = region.base + region.len;
-                self.meta.regions.push(region);
-                self.meta.epoch += 1;
-                // A region created while a half is out is dirty on it by
-                // definition: raise the durable resilver bound.
-                match &mut self.meta.health {
-                    HealthState::Degraded { dirty_upto, .. }
-                    | HealthState::Resilvering { dirty_upto, .. } => {
-                        *dirty_upto = (*dirty_upto).max(region_top);
-                    }
-                    HealthState::Healthy => {}
-                }
+                    map,
+                });
+                self.commit_namespace_change();
+                let info = self
+                    .pool
+                    .find_by_id(id)
+                    .map(|r| self.region_info(r))
+                    .expect("region was just pushed");
                 // Creating also opens for the creator (convenience the
                 // client library relies on).
                 self.open_cpus.entry(id).or_default().insert(cpu);
+                let targets = self.all_vols();
                 self.start_meta_write(
                     ctx,
                     PendingOp {
@@ -916,8 +1521,9 @@ impl PmmProc {
                         waiting_ckpt: false,
                         reply_to_ep: from_ep,
                         reply: PendingReply::Create(req.token, Ok(info)),
-                        att_action: Some(AttAction::MapRegion { region_id: id }),
+                        att_actions: vec![AttAction::MapRegion { region_id: id }],
                     },
+                    &targets,
                 );
                 return;
             }
@@ -927,7 +1533,7 @@ impl PmmProc {
         let payload = match payload.downcast::<OpenRegion>() {
             Ok(req) => {
                 let req = *req;
-                let result = match self.meta.find(&req.name).cloned() {
+                let result = match self.pool.find(&req.name).cloned() {
                     Some(r) => {
                         let cpu = self.client_cpu(from_ep);
                         self.open_cpus.entry(r.id).or_default().insert(cpu);
@@ -941,23 +1547,7 @@ impl PmmProc {
                 if self.has_backup() {
                     let seq = self.next_ckpt;
                     self.next_ckpt += 1;
-                    let ckpt = PmmCkpt {
-                        meta: self.meta.clone(),
-                        open_cpus: self.open_cpus.clone(),
-                    };
-                    let machine = self.machine.clone();
-                    nsk::proc::send_to_backup(
-                        ctx,
-                        &machine,
-                        self.ep,
-                        self.cpu,
-                        &self.name.clone(),
-                        512,
-                        Checkpoint {
-                            seq,
-                            payload: Box::new(ckpt),
-                        },
-                    );
+                    self.send_ckpt(ctx, seq, 512);
                 }
                 send_net_msg(
                     ctx,
@@ -1009,11 +1599,35 @@ impl PmmProc {
         let payload = match payload.downcast::<DeleteRegion>() {
             Ok(req) => {
                 let req = *req;
-                match self.meta.find(&req.name).cloned() {
+                let reject = |ctx: &mut Ctx<'_>, e: PmError| {
+                    send_net_msg(
+                        ctx,
+                        &net,
+                        self.ep,
+                        from_ep,
+                        64,
+                        DeleteRegionAck {
+                            token: req.token,
+                            result: Err(e),
+                        },
+                    );
+                };
+                if self.migration.is_some() {
+                    reject(ctx, PmError::Busy);
+                    return;
+                }
+                match self.pool.find(&req.name).cloned() {
                     Some(r) => {
-                        self.meta.regions.retain(|x| x.id != r.id);
-                        self.meta.epoch += 1;
+                        let unmaps: Vec<(usize, u64)> = r
+                            .map
+                            .extents
+                            .iter()
+                            .map(|e| (e.volume as usize, e.base))
+                            .collect();
+                        self.pool.regions.retain(|x| x.id != r.id);
+                        self.commit_namespace_change();
                         self.open_cpus.remove(&r.id);
+                        let targets = self.all_vols();
                         self.start_meta_write(
                             ctx,
                             PendingOp {
@@ -1021,24 +1635,129 @@ impl PmmProc {
                                 waiting_ckpt: false,
                                 reply_to_ep: from_ep,
                                 reply: PendingReply::Delete(req.token, Ok(())),
-                                att_action: Some(AttAction::Unmap { nva_base: r.base }),
+                                att_actions: vec![AttAction::UnmapExtents(unmaps)],
                             },
+                            &targets,
                         );
                     }
-                    None => {
-                        send_net_msg(
-                            ctx,
-                            &net,
-                            self.ep,
-                            from_ep,
-                            64,
-                            DeleteRegionAck {
-                                token: req.token,
-                                result: Err(PmError::NotFound),
-                            },
-                        );
-                    }
+                    None => reject(ctx, PmError::NotFound),
                 }
+                return;
+            }
+            Err(p) => p,
+        };
+
+        let payload = match payload.downcast::<MigrateRegion>() {
+            Ok(req) => {
+                let req = *req;
+                let reject = |ctx: &mut Ctx<'_>, e: PmError| {
+                    send_net_msg(
+                        ctx,
+                        &net,
+                        self.ep,
+                        from_ep,
+                        128,
+                        MigrateRegionAck {
+                            token: req.token,
+                            result: Err(e),
+                        },
+                    );
+                };
+                if self.migration.is_some() {
+                    reject(ctx, PmError::Busy);
+                    return;
+                }
+                let Some(r) = self.pool.find(&req.name).cloned() else {
+                    reject(ctx, PmError::NotFound);
+                    return;
+                };
+                if r.map.is_striped() {
+                    // Striped regions are already spread out; draining a
+                    // member of its stripe slots is out of scope.
+                    reject(ctx, PmError::Failed);
+                    return;
+                }
+                let src_vol = r.map.extents[0].volume as usize;
+                let dst_vol = match req.to_volume {
+                    Some(v) => {
+                        let v = v as usize;
+                        if v >= self.vols.len() {
+                            reject(ctx, PmError::NotFound);
+                            return;
+                        }
+                        v
+                    }
+                    None => match self.most_free_vol(Some(src_vol)) {
+                        Some(v) => v,
+                        None => {
+                            reject(ctx, PmError::NoSpace);
+                            return;
+                        }
+                    },
+                };
+                if dst_vol == src_vol {
+                    reject(ctx, PmError::AlreadyExists);
+                    return;
+                }
+                // Both ends must have both mirrors: the copy writes the
+                // destination's two halves and trusts the source's reads.
+                if !self.vols[src_vol].meta.health.is_healthy()
+                    || !self.vols[dst_vol].meta.health.is_healthy()
+                {
+                    reject(ctx, PmError::Busy);
+                    return;
+                }
+                let Some(dst_base) = alloc::find_space(
+                    &self.vols[dst_vol].meta,
+                    self.device_capacity(dst_vol),
+                    r.len,
+                ) else {
+                    reject(ctx, PmError::NoSpace);
+                    return;
+                };
+                // Reserve the destination in-memory only: recovery
+                // rederives member tables from the pool namespace, so a
+                // crash mid-migration leaves nothing behind.
+                self.vols[dst_vol].meta.regions.push(RegionMeta {
+                    id: MIG_RESERVATION_ID,
+                    name: format!("{}#mig", r.name),
+                    base: dst_base,
+                    len: r.len,
+                    owner_cpu: r.owner_cpu,
+                });
+                let att_cpus = self.att_cpus.clone();
+                for att in [
+                    &self.vols[dst_vol].npmu_a.att,
+                    &self.vols[dst_vol].npmu_b.att,
+                ] {
+                    let mut att = att.lock();
+                    att.unmap(dst_base);
+                    att.map(AttEntry {
+                        nva_base: dst_base,
+                        len: r.len,
+                        phys_base: dst_base,
+                        allowed: CpuFilter::Only(att_cpus.clone()),
+                    });
+                }
+                self.stats.lock().migrations_started += 1;
+                let src_base = r.map.extents[0].base;
+                self.migration = Some(MigrationRun {
+                    region_id: r.id,
+                    client_token: req.token,
+                    reply_to_ep: from_ep,
+                    src_vol,
+                    dst_vol,
+                    src_base,
+                    dst_base,
+                    len: r.len,
+                    fenced: false,
+                    phase: ResilverPhase::Copy,
+                    queue: self.mig_chunks(r.len),
+                    divergent: Vec::new(),
+                    verify_src: None,
+                    writes_left: 0,
+                });
+                self.mig_step(ctx);
                 return;
             }
             Err(p) => p,
@@ -1046,11 +1765,15 @@ impl PmmProc {
 
         let payload = match payload.downcast::<ReportMirrorFailure>() {
             Ok(rep) => {
-                self.stats.lock().failure_reports += 1;
-                if self.meta.health.is_healthy() {
+                let vol = rep.volume as usize;
+                if vol >= self.vols.len() {
+                    return;
+                }
+                self.vol_stat(vol, |s| s.failure_reports += 1);
+                if self.vols[vol].meta.health.is_healthy() {
                     // A hint, not proof: confirm with our own probe before
                     // recording a durable state change.
-                    self.send_probe(ctx, ProbeKind::Confirm { half: rep.half });
+                    self.send_probe(ctx, vol, ProbeKind::Confirm { half: rep.half });
                 }
                 return;
             }
@@ -1059,6 +1782,7 @@ impl PmmProc {
 
         let payload = match payload.downcast::<VolumeHealthReq>() {
             Ok(req) => {
+                let members: Vec<HealthState> = self.vols.iter().map(|v| v.meta.health).collect();
                 send_net_msg(
                     ctx,
                     &net,
@@ -1067,7 +1791,8 @@ impl PmmProc {
                     64,
                     VolumeHealthAck {
                         token: req.token,
-                        health: self.meta.health,
+                        health: members[0],
+                        members,
                     },
                 );
                 return;
@@ -1076,7 +1801,7 @@ impl PmmProc {
         };
 
         if let Ok(req) = payload.downcast::<ListRegions>() {
-            let names: Vec<String> = self.meta.regions.iter().map(|r| r.name.clone()).collect();
+            let names: Vec<String> = self.pool.regions.iter().map(|r| r.name.clone()).collect();
             send_net_msg(
                 ctx,
                 &net,
@@ -1105,8 +1830,8 @@ impl Actor for PmmProc {
                     .lock()
                     .watch(WatchTarget::Process(self.name.clone()), me);
             } else {
-                // Cold start with durable Degraded/Resilvering state:
-                // resume probing for the dead half.
+                // Cold start with durable Degraded/Resilvering members:
+                // resume probing their dead halves.
                 self.resume_health(ctx);
             }
             return;
@@ -1126,21 +1851,24 @@ impl Actor for PmmProc {
             Err(m) => m,
         };
 
-        // Revival probe tick (only meaningful while degraded).
-        if msg.is::<ProbeTick>() {
-            self.probe_tick_armed = false;
-            if self.role == Role::Primary {
-                if let HealthState::Degraded { half, .. } = self.meta.health {
-                    self.send_probe(ctx, ProbeKind::Revival { half });
+        // Revival probe tick (only meaningful while that member is degraded).
+        let msg = match msg.take::<ProbeTick>() {
+            Ok((_, t)) => {
+                self.vols[t.vol].probe_tick_armed = false;
+                if self.role == Role::Primary {
+                    if let HealthState::Degraded { half, .. } = self.vols[t.vol].meta.health {
+                        self.send_probe(ctx, t.vol, ProbeKind::Revival { half });
+                    }
                 }
+                return;
             }
-            return;
-        }
+            Err(m) => m,
+        };
 
         let msg = match msg.take::<ProbeTimeout>() {
             Ok((_, t)) => {
-                if let Some(kind) = self.probes.remove(&t.rid) {
-                    self.on_probe_result(ctx, kind, false);
+                if let Some((vol, kind)) = self.probes.remove(&t.rid) {
+                    self.on_probe_result(ctx, vol, kind, false);
                 }
                 return;
             }
@@ -1152,18 +1880,18 @@ impl Actor for PmmProc {
                 // Any legs of this op still unanswered have silently
                 // dropped: count them failed and let the op proceed on
                 // the acks it has.
-                let stale: Vec<(u64, u8)> = self
+                let stale: Vec<(u64, usize, u8)> = self
                     .rdma_ops
                     .iter()
-                    .filter(|(_, (tok, _))| *tok == t.token)
-                    .map(|(rid, (_, half))| (*rid, *half))
+                    .filter(|(_, (tok, _, _))| *tok == t.token)
+                    .map(|(rid, (_, vol, half))| (*rid, *vol, *half))
                     .collect();
                 if stale.is_empty() {
                     return;
                 }
-                for (rid, half) in stale {
+                for (rid, vol, half) in stale {
                     self.rdma_ops.remove(&rid);
-                    self.on_meta_leg_failed(ctx, half);
+                    self.on_meta_leg_failed(ctx, vol, half);
                     if let Some(op) = self.pending.get_mut(&t.token) {
                         op.waiting_writes = op.waiting_writes.saturating_sub(1);
                     }
@@ -1183,27 +1911,41 @@ impl Actor for PmmProc {
 
         let msg = match msg.take::<ResilverStepTimeout>() {
             Ok((_, t)) => {
-                if self.resilver_ops.remove(&t.rid).is_some() {
-                    self.abort_resilver(ctx);
+                if let Some((vol, _)) = self.resilver_ops.remove(&t.rid) {
+                    self.abort_resilver(ctx, vol);
                 }
                 return;
             }
             Err(m) => m,
         };
 
-        // Metadata slot write acks + resilver copy-write acks.
+        let msg = match msg.take::<MigStepTimeout>() {
+            Ok((_, t)) => {
+                if self.mig_ops.remove(&t.rid).is_some() {
+                    self.abort_migration(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        // Metadata slot write acks + resilver/migration copy-write acks.
         let msg = match msg.take::<RdmaWriteDone>() {
             Ok((_, done)) => {
-                if let Some(kind) = self.resilver_ops.remove(&done.op_id) {
-                    self.on_resilver_write_done(ctx, kind, done.status);
+                if let Some((vol, kind)) = self.resilver_ops.remove(&done.op_id) {
+                    self.on_resilver_write_done(ctx, vol, kind, done.status);
                     return;
                 }
-                if let Some((token, half)) = self.rdma_ops.remove(&done.op_id) {
+                if let Some(kind) = self.mig_ops.remove(&done.op_id) {
+                    self.on_mig_write_done(ctx, kind, done.status);
+                    return;
+                }
+                if let Some((token, vol, half)) = self.rdma_ops.remove(&done.op_id) {
                     if done.status != RdmaStatus::Ok {
-                        // The volume is still consistent (other mirror +
+                        // The member is still consistent (other mirror +
                         // old slot), but the half is now suspect: degrade
                         // or abort a resilver accordingly.
-                        self.on_meta_leg_failed(ctx, half);
+                        self.on_meta_leg_failed(ctx, vol, half);
                     }
                     let finished = {
                         if let Some(op) = self.pending.get_mut(&token) {
@@ -1222,15 +1964,19 @@ impl Actor for PmmProc {
             Err(m) => m,
         };
 
-        // Probe answers + resilver chunk reads.
+        // Probe answers + resilver/migration chunk reads.
         let msg = match msg.take::<RdmaReadDone>() {
             Ok((_, done)) => {
-                if let Some(kind) = self.probes.remove(&done.op_id) {
-                    self.on_probe_result(ctx, kind, done.status == RdmaStatus::Ok);
+                if let Some((vol, kind)) = self.probes.remove(&done.op_id) {
+                    self.on_probe_result(ctx, vol, kind, done.status == RdmaStatus::Ok);
                     return;
                 }
-                if let Some(kind) = self.resilver_ops.remove(&done.op_id) {
-                    self.on_resilver_read_done(ctx, kind, done);
+                if let Some((vol, kind)) = self.resilver_ops.remove(&done.op_id) {
+                    self.on_resilver_read_done(ctx, vol, kind, done);
+                    return;
+                }
+                if let Some(kind) = self.mig_ops.remove(&done.op_id) {
+                    self.on_mig_read_done(ctx, kind, done);
                 }
                 return;
             }
@@ -1244,8 +1990,13 @@ impl Actor for PmmProc {
                 Ok(ck) => {
                     let ck = *ck;
                     if let Ok(state) = ck.payload.downcast::<PmmCkpt>() {
-                        self.meta = state.meta;
+                        self.pool = state.pool;
                         self.open_cpus = state.open_cpus;
+                        if state.vols_meta.len() == self.vols.len() {
+                            for (v, m) in state.vols_meta.into_iter().enumerate() {
+                                self.vols[v].meta = m;
+                            }
+                        }
                     }
                     let net = self.net.clone();
                     send_net_msg(
@@ -1285,10 +2036,151 @@ impl Actor for PmmProc {
     }
 }
 
-/// Install a PMM pair (primary required, backup optional) managing the
-/// mirrored NPMU pair `(npmu_a, npmu_b)`. Metadata ATT windows are mapped
-/// for the PMM CPUs, the newest valid metadata is recovered from the
-/// devices, and the pair is registered as process `name`.
+/// Install a PMM pair (primary required, backup optional) managing a
+/// pool of mirrored member volumes. Metadata ATT windows are mapped for
+/// the PMM CPUs on every half, each member's newest valid metadata is
+/// recovered from its mirrors, the pool namespace is recovered from the
+/// best replica across members (pre-pool images are upgraded to a
+/// 1-member namespace), and the pair is registered as process `name`.
+#[allow(clippy::too_many_arguments)]
+pub fn install_pmm_pool(
+    sim: &mut Sim,
+    machine: &SharedMachine,
+    name: &str,
+    volumes: &[(NpmuHandle, NpmuHandle)],
+    primary_cpu: CpuId,
+    backup_cpu: Option<CpuId>,
+    cfg: PmmConfig,
+) -> PmmHandle {
+    assert!(!volumes.is_empty(), "a pool needs at least one member");
+    let net = machine.lock().net.clone();
+
+    // Metadata windows: PMM CPUs only, on every member half.
+    let mut meta_cpus = vec![primary_cpu.0];
+    if let Some(b) = backup_cpu {
+        meta_cpus.push(b.0);
+    }
+    for (a, b) in volumes {
+        for h in [a, b] {
+            let mut att = h.att.lock();
+            att.unmap(0);
+            att.map(AttEntry {
+                nva_base: 0,
+                len: META_BYTES,
+                phys_base: 0,
+                allowed: CpuFilter::Only(meta_cpus.clone()),
+            });
+        }
+    }
+
+    // Recover each member: per-device two-slot recovery, then
+    // best-of-mirrors. Then the pool namespace: the replica with the
+    // highest pool epoch wins, and every member's region table is
+    // rederived from it (so a member that missed the last namespace
+    // write converges before service starts).
+    let mut metas: Vec<VolumeMeta> = volumes
+        .iter()
+        .map(|(a, b)| {
+            let rec_a = {
+                let mem = a.mem.lock();
+                MetaStore::recover(|off, len| mem.read(off, len))
+            };
+            let rec_b = {
+                let mem = b.mem.lock();
+                MetaStore::recover(|off, len| mem.read(off, len))
+            };
+            if rec_a.epoch >= rec_b.epoch {
+                rec_a
+            } else {
+                rec_b
+            }
+        })
+        .collect();
+    let pool = recover_pool(&metas);
+    for (v, m) in metas.iter_mut().enumerate() {
+        apply_pool_to_member(&pool, v as u32, m);
+    }
+
+    let stats: SharedPmmStats = Arc::new(Mutex::new(PmmStats::default()));
+    let vol_stats: Vec<SharedPmmStats> = volumes
+        .iter()
+        .map(|_| Arc::new(Mutex::new(PmmStats::default())))
+        .collect();
+
+    let mk = |role: Role, cpu: CpuId| {
+        let machine2 = machine.clone();
+        let net2 = net.clone();
+        let name2 = name.to_string();
+        let cfg2 = cfg.clone();
+        let att_cpus = meta_cpus.clone();
+        let stats2 = stats.clone();
+        let pool2 = pool.clone();
+        let vols: Vec<VolState> = volumes
+            .iter()
+            .zip(metas.iter())
+            .zip(vol_stats.iter())
+            .map(|(((a, b), meta), vs)| VolState {
+                npmu_a: a.clone(),
+                npmu_b: b.clone(),
+                meta: meta.clone(),
+                resilver: None,
+                probe_tick_armed: false,
+                stats: vs.clone(),
+            })
+            .collect();
+        move |ep: EndpointId| -> Box<dyn Actor> {
+            Box::new(PmmProc {
+                name: name2,
+                role,
+                cfg: cfg2,
+                machine: machine2,
+                net: net2,
+                ep,
+                cpu,
+                att_cpus,
+                vols,
+                pool: pool2,
+                open_cpus: BTreeMap::new(),
+                pending: BTreeMap::new(),
+                next_op: 0,
+                rdma_ops: BTreeMap::new(),
+                next_rdma: 0,
+                ckpt_waiters: BTreeMap::new(),
+                next_ckpt: 0,
+                probes: BTreeMap::new(),
+                resilver_ops: BTreeMap::new(),
+                migration: None,
+                mig_ops: BTreeMap::new(),
+                stats: stats2,
+            })
+        }
+    };
+
+    nsk::machine::install_primary(
+        sim,
+        machine,
+        name,
+        primary_cpu,
+        mk(Role::Primary, primary_cpu),
+    );
+    if let Some(bcpu) = backup_cpu {
+        nsk::machine::install_backup(sim, machine, name, bcpu, mk(Role::Backup, bcpu));
+    }
+
+    PmmHandle {
+        name: name.to_string(),
+        primary_cpu,
+        backup_cpu,
+        npmu_a: volumes[0].0.clone(),
+        npmu_b: volumes[0].1.clone(),
+        volumes: volumes.to_vec(),
+        stats,
+        vol_stats,
+    }
+}
+
+/// Install a PMM pair managing a single mirrored NPMU pair — the
+/// pre-pool entry point, now a 1-member pool.
 #[allow(clippy::too_many_arguments)]
 pub fn install_pmm_pair(
     sim: &mut Sim,
@@ -1300,100 +2192,116 @@ pub fn install_pmm_pair(
     backup_cpu: Option<CpuId>,
     cfg: PmmConfig,
 ) -> PmmHandle {
-    let net = machine.lock().net.clone();
-
-    // Metadata windows: PMM CPUs only. Identity-mapped like regions.
-    let mut meta_cpus = vec![primary_cpu.0];
-    if let Some(b) = backup_cpu {
-        meta_cpus.push(b.0);
-    }
-    for h in [npmu_a, npmu_b] {
-        let mut att = h.att.lock();
-        att.unmap(0);
-        att.map(AttEntry {
-            nva_base: 0,
-            len: META_BYTES,
-            phys_base: 0,
-            allowed: CpuFilter::Only(meta_cpus.clone()),
-        });
-    }
-
-    // Recover metadata: per device two-slot recovery, then best-of-mirrors.
-    let rec_a = {
-        let mem = npmu_a.mem.lock();
-        MetaStore::recover(|off, len| mem.read(off, len))
-    };
-    let rec_b = {
-        let mem = npmu_b.mem.lock();
-        MetaStore::recover(|off, len| mem.read(off, len))
-    };
-    let meta = if rec_a.epoch >= rec_b.epoch {
-        rec_a
-    } else {
-        rec_b
-    };
-
-    // Re-map ATT windows for already-existing regions? No: opens are
-    // volatile; clients must (re)open after a restart, per the paper's
-    // access model. (A resilver re-maps what it needs for itself.)
-
-    let stats: SharedPmmStats = Arc::new(Mutex::new(PmmStats::default()));
-
-    let mk = |role: Role, cpu: CpuId, meta: VolumeMeta| {
-        let machine2 = machine.clone();
-        let net2 = net.clone();
-        let a = npmu_a.clone();
-        let b = npmu_b.clone();
-        let name2 = name.to_string();
-        let cfg2 = cfg.clone();
-        let att_cpus = meta_cpus.clone();
-        let stats2 = stats.clone();
-        move |ep: EndpointId| -> Box<dyn Actor> {
-            Box::new(PmmProc {
-                name: name2,
-                role,
-                cfg: cfg2,
-                machine: machine2,
-                net: net2,
-                ep,
-                cpu,
-                npmu_a: a,
-                npmu_b: b,
-                att_cpus,
-                meta,
-                open_cpus: BTreeMap::new(),
-                pending: BTreeMap::new(),
-                next_op: 0,
-                rdma_ops: BTreeMap::new(),
-                next_rdma: 0,
-                ckpt_waiters: BTreeMap::new(),
-                next_ckpt: 0,
-                probes: BTreeMap::new(),
-                probe_tick_armed: false,
-                resilver: None,
-                resilver_ops: BTreeMap::new(),
-                stats: stats2,
-            })
-        }
-    };
-
-    nsk::machine::install_primary(
+    install_pmm_pool(
         sim,
         machine,
         name,
-        primary_cpu,
-        mk(Role::Primary, primary_cpu, meta.clone()),
-    );
-    if let Some(bcpu) = backup_cpu {
-        nsk::machine::install_backup(sim, machine, name, bcpu, mk(Role::Backup, bcpu, meta));
-    }
-
-    PmmHandle {
-        name: name.to_string(),
+        &[(npmu_a.clone(), npmu_b.clone())],
         primary_cpu,
         backup_cpu,
-        npmu_a: npmu_a.clone(),
-        npmu_b: npmu_b.clone(),
-        stats,
+        cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_with(regions: Vec<PoolRegionMeta>) -> PoolMeta {
+        PoolMeta {
+            epoch: 7,
+            next_region_id: regions.len() as u64,
+            regions,
+        }
+    }
+
+    fn empty_meta() -> VolumeMeta {
+        VolumeMeta {
+            epoch: 0,
+            next_region_id: 0,
+            regions: Vec::new(),
+            health: HealthState::Healthy,
+            pool: None,
+        }
+    }
+
+    #[test]
+    fn member_tables_derive_from_pool() {
+        let pool = pool_with(vec![
+            PoolRegionMeta {
+                id: 0,
+                name: "solo".into(),
+                len: 4096,
+                owner_cpu: 3,
+                map: StripeMap::solo(1, META_BYTES, 4096),
+            },
+            PoolRegionMeta {
+                id: 1,
+                name: "wide".into(),
+                len: 16384,
+                owner_cpu: 4,
+                map: StripeMap::striped(
+                    8192,
+                    vec![
+                        Extent {
+                            volume: 0,
+                            base: META_BYTES,
+                            len: 8192,
+                        },
+                        Extent {
+                            volume: 1,
+                            base: META_BYTES + 4096,
+                            len: 8192,
+                        },
+                    ],
+                ),
+            },
+        ]);
+        let mut m0 = empty_meta();
+        let mut m1 = empty_meta();
+        apply_pool_to_member(&pool, 0, &mut m0);
+        apply_pool_to_member(&pool, 1, &mut m1);
+        assert_eq!(m0.regions.len(), 1);
+        assert_eq!(m0.regions[0].name, "wide#0");
+        assert_eq!(m0.regions[0].id, 1);
+        assert_eq!(m1.regions.len(), 2);
+        assert_eq!(m1.regions[0].name, "solo");
+        assert_eq!(m1.regions[1].name, "wide#1");
+        assert_eq!(m1.regions[1].base, META_BYTES + 4096);
+        assert_eq!(m0.next_region_id, 2);
+    }
+
+    #[test]
+    fn pool_recovery_prefers_highest_epoch_replica() {
+        let old = pool_with(vec![]);
+        let mut new = pool_with(vec![]);
+        new.epoch = 9;
+        new.next_region_id = 5;
+        let mut m0 = empty_meta();
+        m0.pool = Some(old);
+        let mut m1 = empty_meta();
+        m1.pool = Some(new.clone());
+        let rec = recover_pool(&[m0, m1]);
+        assert_eq!(rec, new);
+    }
+
+    #[test]
+    fn pre_pool_image_upgrades_to_solo_namespace() {
+        let mut m0 = empty_meta();
+        m0.epoch = 12;
+        m0.next_region_id = 1;
+        m0.regions.push(RegionMeta {
+            id: 0,
+            name: "legacy".into(),
+            base: META_BYTES,
+            len: 8192,
+            owner_cpu: 2,
+        });
+        let rec = recover_pool(&[m0]);
+        assert_eq!(rec.epoch, 12);
+        assert_eq!(rec.next_region_id, 1);
+        assert_eq!(rec.regions.len(), 1);
+        assert_eq!(rec.regions[0].map, StripeMap::solo(0, META_BYTES, 8192));
+        assert!(!rec.regions[0].map.is_striped());
     }
 }

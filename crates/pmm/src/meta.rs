@@ -89,12 +89,21 @@ impl HealthState {
 }
 
 /// The full durable state of one PM volume.
+///
+/// When the volume is a member of a scale-out pool, `pool` carries a
+/// replica of the pool-wide region table ([`pmpool::PoolMeta`]) inside
+/// the member's CRC-protected slot. Every member gets a copy on each
+/// namespace mutation; recovery adopts the highest-epoch replica found
+/// on any member and rederives the per-member extent lists from it, so
+/// a crash between member writes converges on the newest table that
+/// became durable anywhere. Pre-pool images decode with `pool: None`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VolumeMeta {
     pub epoch: u64,
     pub next_region_id: u64,
     pub regions: Vec<RegionMeta>,
     pub health: HealthState,
+    pub pool: Option<pmpool::PoolMeta>,
 }
 
 impl VolumeMeta {
@@ -146,6 +155,14 @@ impl VolumeMeta {
                 put_u64(&mut body, dirty_upto);
                 put_u32(&mut body, pass);
             }
+        }
+        // Pool trailer (tag 3): the pool-wide region table replica. Also
+        // optional, so single-volume images stay decodable either way.
+        if let Some(pool) = &self.pool {
+            let pb = pool.to_bytes();
+            body.push(3);
+            put_u32(&mut body, pb.len() as u32);
+            body.extend_from_slice(&pb);
         }
         let mut out = Vec::with_capacity(body.len() + 20);
         put_u32(&mut out, MAGIC);
@@ -217,11 +234,20 @@ impl VolumeMeta {
             },
             Some(_) => return None,
         };
+        let pool = match c.u8() {
+            None => None,
+            Some(3) => {
+                let n = c.u32()? as usize;
+                Some(pmpool::PoolMeta::from_bytes(c.slice(n)?)?)
+            }
+            Some(_) => return None,
+        };
         Some(VolumeMeta {
             epoch,
             next_region_id,
             regions,
             health,
+            pool,
         })
     }
 }
@@ -340,6 +366,7 @@ mod tests {
                 },
             ],
             health: HealthState::Healthy,
+            pool: None,
         }
     }
 
@@ -477,6 +504,32 @@ mod tests {
         let back = VolumeMeta::decode(&out).unwrap();
         assert_eq!(back.health, HealthState::Healthy);
         assert_eq!(back.regions, m.regions);
+    }
+
+    #[test]
+    fn pool_trailer_roundtrips_and_is_crc_protected() {
+        use pmpool::{PoolMeta, PoolRegionMeta, StripeMap};
+        let mut m = sample();
+        m.pool = Some(PoolMeta {
+            epoch: 11,
+            next_region_id: 3,
+            regions: vec![PoolRegionMeta {
+                id: 1,
+                name: "adp0.audit".into(),
+                len: 1 << 20,
+                owner_cpu: 0,
+                map: StripeMap::solo(0, META_BYTES, 1 << 20),
+            }],
+        });
+        let buf = m.encode();
+        assert_eq!(VolumeMeta::decode(&buf).unwrap(), m);
+        // Any single-byte flip inside the pool trailer must fail decode
+        // (the trailer rides inside the slot CRC).
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            assert!(VolumeMeta::decode(&bad).is_none(), "byte {i}");
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! from the client API to the PMM process. Once regions have been created,
 //! they may be opened by one or more clients." (§4.1)
 
+use pmpool::{PlacementHint, StripeMap};
 use simnet::EndpointId;
 
 /// Errors a PMM can return.
@@ -13,20 +14,68 @@ pub enum PmError {
     NotFound,
     NoSpace,
     NotOpen,
+    /// The pool is busy with a conflicting operation (e.g. a region
+    /// migration is draining a member).
+    Busy,
+    /// The operation started but could not complete (e.g. a migration
+    /// aborted because a device stopped answering mid-copy).
+    Failed,
 }
 
-/// Everything a client needs to RDMA to an open region.
+/// The mirrored NPMU endpoints of one pool member volume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VolumeEps {
+    pub volume: u32,
+    /// Endpoint of the member's primary NPMU (reads go here).
+    pub primary_ep: EndpointId,
+    /// Endpoint of the member's mirror NPMU (writes replicate here too).
+    pub mirror_ep: EndpointId,
+}
+
+/// Everything a client needs to RDMA to an open region: the stripe map
+/// (logical offset → member volume + device address, identical on both
+/// halves of each member) and the endpoint pair of every member the map
+/// touches. The PMM stays off the data path — clients route each
+/// fragment themselves.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RegionInfo {
     pub region_id: u64,
-    /// Base network virtual address of the region window — identical on
-    /// both mirrors (the PMM programs the same layout on each).
-    pub nva_base: u64,
     pub len: u64,
-    /// Endpoint of the primary NPMU (reads go here).
-    pub primary_ep: EndpointId,
-    /// Endpoint of the mirror NPMU (writes replicate here too).
-    pub mirror_ep: EndpointId,
+    pub map: StripeMap,
+    pub volumes: Vec<VolumeEps>,
+}
+
+impl RegionInfo {
+    /// A single-extent region on one mirrored pair — the pre-pool shape.
+    pub fn solo(
+        region_id: u64,
+        nva_base: u64,
+        len: u64,
+        primary_ep: EndpointId,
+        mirror_ep: EndpointId,
+    ) -> RegionInfo {
+        RegionInfo {
+            region_id,
+            len,
+            map: StripeMap::solo(0, nva_base, len),
+            volumes: vec![VolumeEps {
+                volume: 0,
+                primary_ep,
+                mirror_ep,
+            }],
+        }
+    }
+
+    /// Base network virtual address of the first extent. For unstriped
+    /// regions this is *the* region base (the pre-pool `nva_base` field).
+    pub fn nva_base(&self) -> u64 {
+        self.map.extents[0].base
+    }
+
+    /// Endpoints of the member volume serving `volume`.
+    pub fn eps_for(&self, volume: u32) -> Option<&VolumeEps> {
+        self.volumes.iter().find(|v| v.volume == volume)
+    }
 }
 
 /// Create a named region of `len` bytes. Idempotent create is available
@@ -36,6 +85,9 @@ pub struct CreateRegion {
     pub name: String,
     pub len: u64,
     pub open_if_exists: bool,
+    /// Where the region's bytes should land on the pool (ignored — i.e.
+    /// effectively `Auto` resolved to a single extent — on 1-volume pools).
+    pub placement: PlacementHint,
     /// Client-chosen token echoed in the ack (for request matching).
     pub token: u64,
 }
@@ -72,7 +124,7 @@ pub struct CloseRegionAck {
     pub result: Result<(), PmError>,
 }
 
-/// Delete a region (must exist; frees its space).
+/// Delete a region (must exist; frees its space on every member).
 #[derive(Clone, Debug)]
 pub struct DeleteRegion {
     pub name: String,
@@ -85,22 +137,45 @@ pub struct DeleteRegionAck {
     pub result: Result<(), PmError>,
 }
 
-/// Fire-and-forget client report: RDMA to one mirror half of a region
-/// failed (NACK or timeout) while the other half answered. The PMM treats
-/// this as a failure-detection hint — it confirms with its own probe
-/// before transitioning the volume's durable health state. No ack is sent;
-/// clients dedupe on the suspect-state edge and the PMM also detects
-/// failures through its own metadata writes.
+/// Move a single-extent region's bytes to another member volume, online
+/// (drain / rebalance). The copy runs while clients keep writing to the
+/// old location; a brief fence before the final verify makes the switch
+/// atomic, after which stale clients take an `OutOfBounds` completion
+/// and must reopen for the new map.
+#[derive(Clone, Debug)]
+pub struct MigrateRegion {
+    pub name: String,
+    /// Destination member; `None` picks the member with the most free
+    /// space other than the current one.
+    pub to_volume: Option<u32>,
+    pub token: u64,
+}
+
+#[derive(Clone, Debug)]
+pub struct MigrateRegionAck {
+    pub token: u64,
+    /// The region's fresh info (new map) on success.
+    pub result: Result<RegionInfo, PmError>,
+}
+
+/// Fire-and-forget client report: RDMA to one mirror half of a member
+/// volume failed (NACK or timeout) while the other half answered. The
+/// PMM treats this as a failure-detection hint — it confirms with its
+/// own probe before transitioning that member's durable health state. No
+/// ack is sent; clients dedupe on the suspect-state edge and the PMM
+/// also detects failures through its own metadata writes.
 #[derive(Clone, Copy, Debug)]
 pub struct ReportMirrorFailure {
     pub region_id: u64,
+    /// Which pool member the failing device belongs to.
+    pub volume: u32,
     /// 0 = primary ("a"), 1 = mirror ("b").
     pub half: u8,
 }
 
-/// Ask the PMM for the volume's current health (tests and monitoring
-/// poll this to observe the Healthy → Degraded → Resilvering → Healthy
-/// cycle).
+/// Ask the PMM for the pool's current member health (tests and
+/// monitoring poll this to observe each member's Healthy → Degraded →
+/// Resilvering → Healthy cycle independently).
 #[derive(Clone, Copy, Debug)]
 pub struct VolumeHealthReq {
     pub token: u64,
@@ -109,7 +184,10 @@ pub struct VolumeHealthReq {
 #[derive(Clone, Debug)]
 pub struct VolumeHealthAck {
     pub token: u64,
+    /// Member 0's health (the pre-pool single-volume field).
     pub health: crate::meta::HealthState,
+    /// Health of every member volume, in pool order.
+    pub members: Vec<crate::meta::HealthState>,
 }
 
 /// Enumerate regions.

@@ -46,6 +46,17 @@ pub enum Fault {
         from: SimTime,
         to: SimTime,
     },
+    /// Pool-scoped variant of [`Fault::NpmuDown`]: one half of one *member*
+    /// volume of a scale-out PM pool is down for `[from, to)`. Devices carry
+    /// a `volume_id` and only the matching member is affected; the other
+    /// members' mirrors stay healthy, which is exactly the failure
+    /// independence a pool must preserve.
+    PoolNpmuDown {
+        volume: u32,
+        half: u8,
+        from: SimTime,
+        to: SimTime,
+    },
 }
 
 /// A declarative set of faults for one run.
@@ -134,6 +145,22 @@ impl FaultPlan {
                 from,
                 to,
             } => *h == volume_half && *from <= t && t < *to,
+            _ => false,
+        })
+    }
+
+    /// Is the given half of the given pool member volume down at `t`?
+    /// Only [`Fault::PoolNpmuDown`] entries are consulted — global
+    /// [`Fault::NpmuDown`] windows are checked separately by the device so
+    /// single-volume plans keep their original semantics.
+    pub fn pool_npmu_down_at(&self, volume: u32, half: u8, t: SimTime) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::PoolNpmuDown {
+                volume: v,
+                half: h,
+                from,
+                to,
+            } => *v == volume && *h == half && *from <= t && t < *to,
             _ => false,
         })
     }
@@ -288,6 +315,27 @@ mod tests {
             plan.npmu_revivals(),
             vec![(0, SimTime(8)), (1, SimTime(25)), (0, SimTime(60))]
         );
+    }
+
+    #[test]
+    fn pool_npmu_windows_are_member_scoped() {
+        let plan = FaultPlan::none().with(Fault::PoolNpmuDown {
+            volume: 2,
+            half: 1,
+            from: SimTime(10),
+            to: SimTime(20),
+        });
+        // Window membership is half-open, per (volume, half).
+        assert!(!plan.pool_npmu_down_at(2, 1, SimTime(9)));
+        assert!(plan.pool_npmu_down_at(2, 1, SimTime(10)));
+        assert!(plan.pool_npmu_down_at(2, 1, SimTime(19)));
+        assert!(!plan.pool_npmu_down_at(2, 1, SimTime(20)));
+        // Other members and the other half of the same member are untouched.
+        assert!(!plan.pool_npmu_down_at(2, 0, SimTime(15)));
+        assert!(!plan.pool_npmu_down_at(0, 1, SimTime(15)));
+        assert!(!plan.pool_npmu_down_at(3, 1, SimTime(15)));
+        // Pool windows do not leak into the global per-half view.
+        assert!(!plan.npmu_down_at(1, SimTime(15)));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::types::PartitionId;
 use npmu::{Npmu, NpmuConfig, NpmuHandle};
 use nsk::machine::{CpuId, Machine, MachineConfig, SharedMachine};
 use nsk::Monitor;
-use pmm::{install_pmm_pair, PmmConfig, PmmHandle};
+use pmm::{install_pmm_pool, PmmConfig, PmmHandle};
 use simcore::fault::FaultPlan;
 use simcore::{ActorId, DurableStore, Sim, SimConfig};
 use simdisk::{DiskConfig, DiskVolume, SharedDiskStats, SparseMedia};
@@ -57,6 +57,10 @@ pub struct OdsParams {
     pub fault_plan: FaultPlan,
     /// PM region size per ADP (circular trail).
     pub pm_region_len: u64,
+    /// Member volumes (mirrored NPMU pairs) in the PM pool. 1 is the
+    /// paper's single-pair prototype; more scale out write bandwidth
+    /// behind the same PMM namespace.
+    pub pm_volumes: u32,
     /// Data volumes per DP2 (paper: 16 volumes / 4 DP2s = 4).
     pub data_volumes_per_dp2: u32,
 }
@@ -76,6 +80,7 @@ impl OdsParams {
             backups: true,
             fault_plan: FaultPlan::none(),
             pm_region_len: 8 << 20,
+            pm_volumes: 1,
             data_volumes_per_dp2: 4,
         }
     }
@@ -85,6 +90,15 @@ impl OdsParams {
             audit: AuditMode::Pmp,
             txn: TxnConfig::pm_enabled(),
             ..OdsParams::baseline(seed)
+        }
+    }
+
+    /// PM configuration backed by a scale-out pool of `volumes` mirrored
+    /// NPMU pairs behind one PMM namespace.
+    pub fn pm_pool(seed: u64, volumes: u32) -> Self {
+        OdsParams {
+            pm_volumes: volumes.max(1),
+            ..OdsParams::pm(seed)
         }
     }
 }
@@ -103,7 +117,10 @@ pub struct OdsNode {
     pub dp2s: Vec<String>,
     pub audit_volume_stats: Vec<SharedDiskStats>,
     pub data_volume_stats: Vec<SharedDiskStats>,
+    /// Member 0's NPMU pair (PM modes only) — the pre-pool field.
     pub npmus: Option<(NpmuHandle, NpmuHandle)>,
+    /// Every pool member's NPMU pair, in pool order (empty in disk mode).
+    pub pm_pool: Vec<(NpmuHandle, NpmuHandle)>,
     /// PMM handle (PM modes only): mirror-health stats for fault tests.
     pub pmm: Option<PmmHandle>,
     pub params: OdsParams,
@@ -137,8 +154,8 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
     Monitor::install(&mut sim, &machine, params.fault_plan.clone());
 
     // --- PM devices + PMM (PM modes only) ---
-    let npmus = match params.audit {
-        AuditMode::Disk => None,
+    let (pm_pool, pmm) = match params.audit {
+        AuditMode::Disk => (Vec::new(), None),
         mode => {
             let kind_cfg = |cap| match mode {
                 AuditMode::Pmp => NpmuConfig::pmp(cap),
@@ -146,20 +163,31 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
             };
             let cap =
                 (params.pm_region_len + pmm::META_BYTES) * (params.cpus as u64 + 2) + (64 << 20);
-            let a = Npmu::install(&mut sim, store, &net, Some(&machine), "pm-a", kind_cfg(cap));
-            let b = Npmu::install(&mut sim, store, &net, Some(&machine), "pm-b", kind_cfg(cap));
+            let mut pool = Vec::new();
+            for v in 0..params.pm_volumes.max(1) {
+                // Member 0 keeps the pre-pool "pm-{a,b}" names so durable
+                // device images survive a change in pool size.
+                let (an, bn) = if v == 0 {
+                    ("pm-a".to_string(), "pm-b".to_string())
+                } else {
+                    (format!("pm{v}-a"), format!("pm{v}-b"))
+                };
+                let dev = kind_cfg(cap).with_volume(v);
+                let a = Npmu::install(&mut sim, store, &net, Some(&machine), &an, dev.clone());
+                let b = Npmu::install(&mut sim, store, &net, Some(&machine), &bn, dev);
+                pool.push((a, b));
+            }
             let pm_cpu = CpuId(params.cpus); // the extra CPU
-            let pmm = install_pmm_pair(
+            let pmm = install_pmm_pool(
                 &mut sim,
                 &machine,
                 "$PMM",
-                &a,
-                &b,
+                &pool,
                 pm_cpu,
                 if params.backups { Some(CpuId(0)) } else { None },
                 PmmConfig::default(),
             );
-            Some((a, b, pmm))
+            (pool, Some(pmm))
         }
     };
 
@@ -264,8 +292,9 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
         dp2s,
         audit_volume_stats,
         data_volume_stats,
-        pmm: npmus.as_ref().map(|(_, _, p)| p.clone()),
-        npmus: npmus.map(|(a, b, _)| (a, b)),
+        pmm,
+        npmus: pm_pool.first().cloned(),
+        pm_pool,
         params,
     }
 }

@@ -368,6 +368,37 @@ fn pm_mode_commits_with_much_lower_flush_latency() {
 }
 
 #[test]
+fn pm_pool_mode_commits_with_striped_audit_regions() {
+    // Same PM-mode workload, but the audit regions live on a 2-member
+    // scale-out pool. The 8MB trails cross the placement policy's stripe
+    // threshold, so every ADP's region fans out over both members and
+    // the whole commit path runs through stripe-routed client writes.
+    let mut store = DurableStore::new();
+    let mut node = build_ods(&mut store, OdsParams::pm_pool(83, 2));
+    let results = spawn_driver(
+        &mut node,
+        "$drv",
+        CpuId(0),
+        12,
+        8,
+        128,
+        Outcome::Commit,
+        false,
+        50_000,
+    );
+    node.sim.run_until(SimTime(200 * SECS));
+    assert_eq!(results.lock().committed, 12);
+    assert!(node.stats.lock().pm_writes > 0);
+    assert_eq!(node.pm_pool.len(), 2);
+    // Both members carry region windows beyond their metadata window:
+    // the striped trails really landed on both mirrored pairs.
+    for (a, b) in &node.pm_pool {
+        assert!(a.att.lock().len() > 1, "member primary has region windows");
+        assert!(b.att.lock().len() > 1, "member mirror has region windows");
+    }
+}
+
+#[test]
 fn aborted_transactions_are_undone() {
     let mut store = DurableStore::new();
     let mut node = build_ods(&mut store, OdsParams::baseline(55));

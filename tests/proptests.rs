@@ -96,6 +96,7 @@ proptest! {
                 })
                 .collect(),
             health: Default::default(),
+            pool: None,
         };
         let mut img = vec![0u8; META_BYTES as usize];
         // Write epoch 6 (slot 0) then epoch 7 (slot 1).
