@@ -10,3 +10,8 @@ cargo build --release --examples
 # Smoke: 4-volume pool, striped region, one member failure + online
 # resilver — asserts internally, fails loud if the pool path rots.
 cargo run --release --example scale_out
+# Smoke: partitioned audit scaling (T8) — asserts the ≥ 2× speedup and
+# p99 bars internally at smoke scale.
+cargo run --release -p pm-bench --bin audit_scaling
+# Docs must build clean (broken intra-doc links fail the gate).
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

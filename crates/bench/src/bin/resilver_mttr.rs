@@ -136,6 +136,8 @@ fn build(region_len: u64, chunk: u32) -> (Sim, SharedMachine, PmmHandle) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
     let mut t = Table::new(&[
         "region_MB",
         "chunk_KB",
@@ -162,6 +164,12 @@ fn main() {
         let s = *pmm.stats.lock();
         let dur_ns = s.resilver_completed_ns - s.resilver_started_ns;
         let copied = s.resilver_bytes_copied;
+        let rate = copied as f64 / (1 << 20) as f64 / (dur_ns as f64 / SECS as f64);
+        metrics.push((
+            format!("r{mb}MB_c{chunk_kb}KB_resilver_ms"),
+            dur_ns as f64 / MILLIS as f64,
+        ));
+        metrics.push((format!("r{mb}MB_c{chunk_kb}KB_rate_mb_s"), rate));
         t.row(&[
             mb.to_string(),
             chunk_kb.to_string(),
@@ -178,4 +186,8 @@ fn main() {
         "repair time scales linearly with allocated bytes; smaller chunks lengthen \
          the window (more RDMA round trips), larger ones raise per-step interference"
     );
+    if pm_bench::json::wants_json(&args) {
+        let path = pm_bench::json::emit("resilver_mttr", &metrics).expect("write json");
+        println!("wrote {}", path.display());
+    }
 }

@@ -1,6 +1,6 @@
 //! # pm-bench — harnesses that regenerate the paper's figures and claims
 //!
-//! One binary per experiment (see DESIGN.md §5):
+//! One binary per experiment (see DESIGN.md §6):
 //!
 //! | binary            | reproduces |
 //! |-------------------|------------|
@@ -12,6 +12,8 @@
 //! | `t4_npmu_vs_pmp`  | §4.2 — hardware NPMU vs PMP prototype |
 //! | `t5_adp_scaling`  | §4.2 — audit throughput vs ADPs per node |
 //! | `pool_scaling`    | DESIGN.md §4 — aggregate write bandwidth vs pool members |
+//! | `resilver_mttr`   | DESIGN.md §3 — redundancy-repair time vs region bytes |
+//! | `audit_scaling`   | DESIGN.md §5 — commit rate vs audit partitions (T8) |
 //! | `ablations`       | DESIGN.md ablations A1–A3 |
 //!
 //! Each binary prints a CSV block (machine-readable) and an aligned text

@@ -28,7 +28,9 @@ pub mod system;
 pub use adapter::NvMedium;
 pub use integrity::{verify_mirrors, Discrepancy, MirrorReport};
 pub use presets::{s86000_baseline, s86000_pm, s86000_pm_hardware, s86000_pm_pool};
-pub use system::{install_pm_pool, install_pm_system, PmPoolSystem, PmSystem};
+pub use system::{
+    install_audit_partitions, install_pm_pool, install_pm_system, PmPoolSystem, PmSystem,
+};
 
 // One-stop re-exports of the architecture's components.
 pub use npmu::{AttEntry, AttTable, CpuFilter, Npmu, NpmuConfig, NpmuHandle, NpmuKind, NvImage};

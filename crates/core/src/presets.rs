@@ -59,6 +59,16 @@ mod tests {
         let pool = s86000_pm_pool(1, 4);
         assert_eq!(pool.pm_volumes, 4);
         assert_eq!(pool.audit, AuditMode::HardwareNpmu);
+        assert_eq!(
+            pool.audit_partitions, 4,
+            "pool presets scale audit partitions with member volumes"
+        );
+        assert_eq!(
+            s86000_pm(1).audit_partitions,
+            0,
+            "single-volume presets keep the per-CPU default"
+        );
         assert_eq!(s86000_pm_pool(1, 0).pm_volumes, 1, "clamped to 1");
+        assert_eq!(s86000_pm_pool(1, 0).audit_partitions, 1);
     }
 }

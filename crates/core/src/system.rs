@@ -119,6 +119,53 @@ pub fn install_pm_pool(
     }
 }
 
+/// Install `partitions` independent audit-trail process pairs (`$ADP0`,
+/// `$ADP1`, …) over an already-installed PM pool's PMM namespace. Each
+/// partition owns its own trail region `adp{i}.audit` (striped across the
+/// pool by the PMM's auto placement once it crosses the stripe
+/// threshold), with primaries round-robined across `cpus` worker CPUs.
+/// Returns the partition process names in partition order; route work to
+/// them with [`txnkit::TxnId::audit_partition`].
+#[allow(clippy::too_many_arguments)]
+pub fn install_audit_partitions(
+    sim: &mut Sim,
+    machine: &SharedMachine,
+    pmm_name: &str,
+    partitions: u32,
+    cpus: u32,
+    region_len: u64,
+    backups: bool,
+    cfg: txnkit::TxnConfig,
+    stats: txnkit::SharedTxnStats,
+) -> Vec<String> {
+    let n = partitions.max(1);
+    let cpus = cpus.max(1);
+    let mut names = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let name = format!("$ADP{i}");
+        txnkit::install_adp(
+            sim,
+            machine,
+            &name,
+            CpuId(i % cpus),
+            if backups {
+                Some(CpuId((i + 1) % cpus))
+            } else {
+                None
+            },
+            txnkit::AuditBackend::Pm {
+                pmm: pmm_name.to_string(),
+                region: format!("adp{i}.audit"),
+                region_len,
+            },
+            cfg.clone(),
+            stats.clone(),
+        );
+        names.push(name);
+    }
+    names
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +194,47 @@ mod tests {
         // Metadata windows were programmed on both devices.
         assert_eq!(sys.npmu_a.att.lock().len(), 1);
         assert_eq!(sys.npmu_b.att.lock().len(), 1);
+    }
+
+    #[test]
+    fn audit_partitions_install_as_pairs() {
+        let mut sim = Sim::with_seed(2);
+        let mut store = DurableStore::new();
+        let net = Network::new(FabricConfig::default());
+        let machine = Machine::new(
+            MachineConfig {
+                cpus: 5,
+                ..MachineConfig::default()
+            },
+            net,
+        );
+        let pool = install_pm_pool(
+            &mut sim,
+            &mut store,
+            &machine,
+            "pm",
+            NpmuConfig::hardware(64 << 20),
+            4,
+            CpuId(4),
+            Some(CpuId(0)),
+        );
+        let cfg = txnkit::TxnConfig::pm_enabled();
+        let stats = txnkit::stats::shared();
+        let names = install_audit_partitions(
+            &mut sim,
+            &machine,
+            &pool.pmm_name,
+            4,
+            4,
+            2 << 20,
+            true,
+            cfg,
+            stats,
+        );
+        assert_eq!(names, ["$ADP0", "$ADP1", "$ADP2", "$ADP3"]);
+        for n in &names {
+            assert!(machine.lock().resolve(n).is_some(), "{n} primary");
+            assert!(machine.lock().resolve_backup(n).is_some(), "{n} backup");
+        }
     }
 }

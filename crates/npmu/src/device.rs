@@ -216,11 +216,11 @@ impl Npmu {
         let Some(half) = self.cfg.mirror_half else {
             return false;
         };
-        let down = {
-            let plan = &self.net.lock().fault_plan;
-            plan.npmu_down_at(half, ctx.now())
-                || plan.pool_npmu_down_at(self.cfg.volume_id, half, ctx.now())
-        };
+        let down =
+            self.net
+                .lock()
+                .fault_plan
+                .member_npmu_down_at(self.cfg.volume_id, half, ctx.now());
         if down && !self.was_down {
             let mut s = self.stats.lock();
             s.failure_epochs += 1;

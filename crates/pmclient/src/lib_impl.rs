@@ -408,14 +408,30 @@ impl PmLib {
         wire_len: u32,
         token: u64,
     ) {
+        self.write_batch(ctx, region_id, &[(offset, data, wire_len)], token)
+    }
+
+    /// Batched persistent write: every `(offset, data, wire_len)` part is
+    /// submitted in ONE fan-out under a single completion, timeout and
+    /// token — the pipelined ADP's flush primitive. All parts' stripe
+    /// fragments are issued together; the write completes (possibly
+    /// degraded) only when every fragment of every part is persistent on
+    /// at least one answering mirror, so a caller that orders a control
+    /// write after this completion gets the same guarantee K round trips
+    /// would have given, for one round trip's latency.
+    pub fn write_batch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        region_id: u64,
+        parts: &[(u64, Bytes, u32)],
+        token: u64,
+    ) {
+        assert!(!parts.is_empty(), "empty batch");
         let info = self
             .regions
             .get(&region_id)
             .expect("region not adopted")
             .clone();
-        let span = (wire_len as u64).max(data.len() as u64);
-        assert!(offset + span <= info.len, "write beyond region");
-        let frags = info.map.split(offset, span);
         let wid = self.next_write;
         self.next_write += 1;
 
@@ -424,47 +440,52 @@ impl PmLib {
             region_id,
             logical_error: None,
             avail_status: RdmaStatus::Ok,
-            pending: Vec::with_capacity(2 * frags.len()),
-            chunks: Vec::with_capacity(frags.len()),
+            pending: Vec::new(),
+            chunks: Vec::new(),
         };
         // Fragment payloads: the data may be shorter than the wire span
         // (compact descriptor); slice what exists, keep the wire length.
         let mut legs: Vec<(usize, EndpointId, u8, u64, Bytes, u32)> = Vec::new();
-        for (ci, frag) in frags.iter().enumerate() {
-            let eps = *info
-                .eps_for(frag.volume)
-                .expect("stripe map volume missing endpoints");
-            let lo = frag.buf_off.min(data.len());
-            let hi = (frag.buf_off + frag.len as usize).min(data.len());
-            let chunk_data = data.slice(lo..hi);
-            let mut chunk = ChunkState {
-                volume: frag.volume,
-                acked: 0,
-                avail_failed: 0,
-                next_leg: None,
-            };
-            match self.policy {
-                MirrorPolicy::ParallelBoth => {
-                    legs.push((
-                        ci,
-                        eps.primary_ep,
-                        0,
-                        frag.dev_off,
-                        chunk_data.clone(),
-                        frag.len,
-                    ));
-                    legs.push((ci, eps.mirror_ep, 1, frag.dev_off, chunk_data, frag.len));
+        for (offset, data, wire_len) in parts {
+            let span = (*wire_len as u64).max(data.len() as u64);
+            assert!(offset + span <= info.len, "write beyond region");
+            for frag in info.map.split(*offset, span) {
+                let ci = st.chunks.len();
+                let eps = *info
+                    .eps_for(frag.volume)
+                    .expect("stripe map volume missing endpoints");
+                let lo = frag.buf_off.min(data.len());
+                let hi = (frag.buf_off + frag.len as usize).min(data.len());
+                let chunk_data = data.slice(lo..hi);
+                let mut chunk = ChunkState {
+                    volume: frag.volume,
+                    acked: 0,
+                    avail_failed: 0,
+                    next_leg: None,
+                };
+                match self.policy {
+                    MirrorPolicy::ParallelBoth => {
+                        legs.push((
+                            ci,
+                            eps.primary_ep,
+                            0,
+                            frag.dev_off,
+                            chunk_data.clone(),
+                            frag.len,
+                        ));
+                        legs.push((ci, eps.mirror_ep, 1, frag.dev_off, chunk_data, frag.len));
+                    }
+                    MirrorPolicy::SequentialBoth => {
+                        chunk.next_leg =
+                            Some((eps.mirror_ep, 1, frag.dev_off, chunk_data.clone(), frag.len));
+                        legs.push((ci, eps.primary_ep, 0, frag.dev_off, chunk_data, frag.len));
+                    }
+                    MirrorPolicy::PrimaryOnly => {
+                        legs.push((ci, eps.primary_ep, 0, frag.dev_off, chunk_data, frag.len));
+                    }
                 }
-                MirrorPolicy::SequentialBoth => {
-                    chunk.next_leg =
-                        Some((eps.mirror_ep, 1, frag.dev_off, chunk_data.clone(), frag.len));
-                    legs.push((ci, eps.primary_ep, 0, frag.dev_off, chunk_data, frag.len));
-                }
-                MirrorPolicy::PrimaryOnly => {
-                    legs.push((ci, eps.primary_ep, 0, frag.dev_off, chunk_data, frag.len));
-                }
+                st.chunks.push(chunk);
             }
-            st.chunks.push(chunk);
         }
         self.writes.insert(wid, st);
         for (ci, dev, half, nva, chunk_data, chunk_wire) in legs {

@@ -13,9 +13,9 @@
 //! each holding a FIFO linked list of resting orders. Because every link
 //! is region-relative, the whole book is position-independent: it can be
 //! RDMA'd to another address space wholesale (bulk write) and either
-//! dereferenced selectively ([`SwizzleMode::BulkWriteSelectiveRead`]) or
+//! dereferenced selectively ([`SwizzleMode::BulkWriteSelectiveRead`](crate::ptr::SwizzleMode::BulkWriteSelectiveRead)) or
 //! bulk-fixed via its [`FixupTable`]
-//! ([`SwizzleMode::IncrementalUpdateBulkRead`]) — the two §3.4 schemes.
+//! ([`SwizzleMode::IncrementalUpdateBulkRead`](crate::ptr::SwizzleMode::IncrementalUpdateBulkRead)) — the two §3.4 schemes.
 //!
 //! Nodes come from a [`PmHeap`], so all mutations are crash-consistent;
 //! the *links* are installed through the heap's medium directly, with the

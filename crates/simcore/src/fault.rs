@@ -137,31 +137,29 @@ impl FaultPlan {
         })
     }
 
-    /// Is the given NPMU mirror half down at `t`?
-    pub fn npmu_down_at(&self, volume_half: u8, t: SimTime) -> bool {
-        self.faults.iter().any(|f| match f {
-            Fault::NpmuDown {
-                volume_half: h,
-                from,
-                to,
-            } => *h == volume_half && *from <= t && t < *to,
-            _ => false,
-        })
-    }
-
-    /// Is the given half of the given pool member volume down at `t`?
-    /// Only [`Fault::PoolNpmuDown`] entries are consulted — global
-    /// [`Fault::NpmuDown`] windows are checked separately by the device so
-    /// single-volume plans keep their original semantics.
-    pub fn pool_npmu_down_at(&self, volume: u32, half: u8, t: SimTime) -> bool {
-        self.faults.iter().any(|f| match f {
-            Fault::PoolNpmuDown {
-                volume: v,
-                half: h,
-                from,
-                to,
-            } => *v == volume && *h == half && *from <= t && t < *to,
-            _ => false,
+    /// Is half `half` of pool member `volume` down at `t`? This is the one
+    /// query path for both down-window variants: a member-scoped
+    /// [`Fault::PoolNpmuDown`] matches only its own `(volume, half)`, and a
+    /// global [`Fault::NpmuDown`] is treated as covering *every* member's
+    /// matching half — which preserves the original single-volume-plan
+    /// semantics (a 1-member pool has only member 0).
+    pub fn member_npmu_down_at(&self, volume: u32, half: u8, t: SimTime) -> bool {
+        self.faults.iter().any(|f| {
+            let (v, h, from, to) = match f {
+                Fault::NpmuDown {
+                    volume_half,
+                    from,
+                    to,
+                } => (None, *volume_half, *from, *to),
+                Fault::PoolNpmuDown {
+                    volume,
+                    half,
+                    from,
+                    to,
+                } => (Some(*volume), *half, *from, *to),
+                _ => return false,
+            };
+            h == half && v.is_none_or(|v| v == volume) && from <= t && t < to
         })
     }
 
@@ -274,13 +272,16 @@ mod tests {
                 from: SimTime(30),
                 to: SimTime(35),
             });
-        // Window membership is half-open, per half.
-        assert!(!plan.npmu_down_at(1, SimTime(9)));
-        assert!(plan.npmu_down_at(1, SimTime(10)));
-        assert!(plan.npmu_down_at(1, SimTime(19)));
-        assert!(!plan.npmu_down_at(1, SimTime(20)));
-        assert!(!plan.npmu_down_at(0, SimTime(15)));
-        assert!(plan.npmu_down_at(0, SimTime(30)));
+        // Window membership is half-open, per half; a global window covers
+        // every pool member.
+        for vol in [0, 3] {
+            assert!(!plan.member_npmu_down_at(vol, 1, SimTime(9)));
+            assert!(plan.member_npmu_down_at(vol, 1, SimTime(10)));
+            assert!(plan.member_npmu_down_at(vol, 1, SimTime(19)));
+            assert!(!plan.member_npmu_down_at(vol, 1, SimTime(20)));
+            assert!(!plan.member_npmu_down_at(vol, 0, SimTime(15)));
+            assert!(plan.member_npmu_down_at(vol, 0, SimTime(30)));
+        }
         assert_eq!(plan.npmu_down_windows(1), vec![(SimTime(10), SimTime(20))]);
         assert_eq!(plan.npmu_down_windows(2), vec![]);
     }
@@ -308,9 +309,9 @@ mod tests {
             vec![(SimTime(5), SimTime(8)), (SimTime(50), SimTime(60))]
         );
         // A device can go down, revive, and go down again.
-        assert!(plan.npmu_down_at(0, SimTime(6)));
-        assert!(!plan.npmu_down_at(0, SimTime(10)));
-        assert!(plan.npmu_down_at(0, SimTime(55)));
+        assert!(plan.member_npmu_down_at(0, 0, SimTime(6)));
+        assert!(!plan.member_npmu_down_at(0, 0, SimTime(10)));
+        assert!(plan.member_npmu_down_at(0, 0, SimTime(55)));
         assert_eq!(
             plan.npmu_revivals(),
             vec![(0, SimTime(8)), (1, SimTime(25)), (0, SimTime(60))]
@@ -326,16 +327,14 @@ mod tests {
             to: SimTime(20),
         });
         // Window membership is half-open, per (volume, half).
-        assert!(!plan.pool_npmu_down_at(2, 1, SimTime(9)));
-        assert!(plan.pool_npmu_down_at(2, 1, SimTime(10)));
-        assert!(plan.pool_npmu_down_at(2, 1, SimTime(19)));
-        assert!(!plan.pool_npmu_down_at(2, 1, SimTime(20)));
+        assert!(!plan.member_npmu_down_at(2, 1, SimTime(9)));
+        assert!(plan.member_npmu_down_at(2, 1, SimTime(10)));
+        assert!(plan.member_npmu_down_at(2, 1, SimTime(19)));
+        assert!(!plan.member_npmu_down_at(2, 1, SimTime(20)));
         // Other members and the other half of the same member are untouched.
-        assert!(!plan.pool_npmu_down_at(2, 0, SimTime(15)));
-        assert!(!plan.pool_npmu_down_at(0, 1, SimTime(15)));
-        assert!(!plan.pool_npmu_down_at(3, 1, SimTime(15)));
-        // Pool windows do not leak into the global per-half view.
-        assert!(!plan.npmu_down_at(1, SimTime(15)));
+        assert!(!plan.member_npmu_down_at(2, 0, SimTime(15)));
+        assert!(!plan.member_npmu_down_at(0, 1, SimTime(15)));
+        assert!(!plan.member_npmu_down_at(3, 1, SimTime(15)));
     }
 
     #[test]

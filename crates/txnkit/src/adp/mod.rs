@@ -1,0 +1,344 @@
+//! The ADP — audit data process (log writer) — as a process pair over a
+//! pluggable `AuditLog` backend.
+//!
+//! "To test the utility of persistent memory, we modified NSK's audit data
+//! process (ADP)... Our modified ADP synchronously writes database log
+//! data to persistent memory. Therefore, the database log is persistent
+//! immediately, and transactions can commit faster than if the log data
+//! had to be flushed to disk at commit time. For scaling audit throughput,
+//! multiple ADPs can be configured per node." (§4.2)
+//!
+//! The actor in this module owns only what every backend shares — the
+//! process-pair role, the LSN space, the durable watermark, and the queue
+//! of commit flush waiters. The durable-trail *discipline* lives behind
+//! the `AuditLog` trait:
+//!
+//! * `disk::DiskLog` (baseline): buffered appends checkpointed to the
+//!   backup before each ack, group-commit flushes to the audit volume.
+//! * `pm::PmLog` (the paper's ADP): a pipelined ring of in-flight
+//!   batched PM appends with coalesced control-cell watermark
+//!   publication — no backup checkpoints at all.
+//!
+//! Scaling past one ADP is the scenario layer's job: §4.2's "multiple
+//! ADPs can be configured per node" installs N independent pairs, each
+//! owning its own trail region, with DP2/TMF routing audit work by
+//! transaction hash (see `scenario::OdsParams::audit_partitions`).
+//!
+//! LSNs are *virtual* byte offsets (records may be carried as compact
+//! descriptors at benchmark scale — see `simnet::rdma_write_sized`).
+
+pub(crate) mod disk;
+pub(crate) mod pm;
+
+use crate::config::TxnConfig;
+use crate::stats::SharedTxnStats;
+use crate::types::*;
+use nsk::machine::{CpuId, SharedMachine, WatchTarget};
+use nsk::proc::ProcessDied;
+use simcore::{Actor, ActorId, Ctx, Msg, Sim};
+use simnet::{EndpointId, NetDelivery, SharedNetwork};
+use std::any::Any;
+
+pub use pm::PM_CTRL_BYTES;
+
+/// Where the trail becomes durable.
+#[derive(Clone)]
+pub enum AuditBackend {
+    /// Buffered appends + sequential flushes to a disk audit volume.
+    Disk { volume: ActorId },
+    /// Immediate synchronous mirrored writes to a PM region.
+    Pm {
+        pmm: String,
+        region: String,
+        region_len: u64,
+    },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Role {
+    Primary,
+    Backup,
+}
+
+/// State every audit backend shares, handed to [`AuditLog`] methods so
+/// backends stay free of process-pair plumbing.
+pub(crate) struct AdpShared {
+    pub name: String,
+    pub cfg: TxnConfig,
+    pub machine: SharedMachine,
+    pub net: SharedNetwork,
+    pub ep: EndpointId,
+    pub cpu: CpuId,
+    pub stats: SharedTxnStats,
+    /// Next virtual byte offset to assign.
+    pub next_lsn: u64,
+    /// The trail is provably recoverable through here.
+    pub durable_upto: u64,
+    /// (requester ep, token, upto, arrival ns) — answered once durable.
+    pub waiters: Vec<(EndpointId, u64, u64, u64)>,
+    next_tag: u64,
+}
+
+impl AdpShared {
+    pub fn has_backup(&self) -> bool {
+        self.machine.lock().resolve_backup(&self.name).is_some()
+    }
+
+    pub fn charge_cpu(&mut self, ctx: &mut Ctx<'_>, cost: u64) {
+        let now = ctx.now().as_nanos();
+        self.machine.lock().cpu_work(self.cpu, now, cost);
+    }
+
+    pub fn alloc_tag(&mut self) -> u64 {
+        let t = self.next_tag;
+        self.next_tag += 1;
+        t
+    }
+
+    /// Acknowledge one append back to its requester.
+    pub fn send_append_done(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        to: EndpointId,
+        token: u64,
+        lsn_start: u64,
+        lsn_end: u64,
+    ) {
+        let net = self.net.clone();
+        simnet::send_net_msg(
+            ctx,
+            &net,
+            self.ep,
+            to,
+            32,
+            AppendDone {
+                token,
+                lsn_start: Lsn(lsn_start),
+                lsn_end: Lsn(lsn_end),
+            },
+        );
+    }
+
+    /// Answer every flush waiter covered by the durable watermark.
+    pub fn answer_waiters(&mut self, ctx: &mut Ctx<'_>) {
+        let durable = self.durable_upto;
+        let net = self.net.clone();
+        let mut still = Vec::new();
+        for (ep, token, upto, at) in self.waiters.drain(..) {
+            if upto <= durable {
+                simnet::send_net_msg(
+                    ctx,
+                    &net,
+                    self.ep,
+                    ep,
+                    32,
+                    FlushDone {
+                        token,
+                        durable_upto: Lsn(durable),
+                    },
+                );
+            } else {
+                still.push((ep, token, upto, at));
+            }
+        }
+        self.waiters = still;
+    }
+}
+
+/// A durable audit-trail backend. One instance lives in each half of the
+/// ADP pair; the actor shell routes messages here and owns promotion.
+pub(crate) trait AuditLog: Send {
+    /// Bring the trail up as primary — called on primary start AND on
+    /// backup promotion (takeover must recover the durable position from
+    /// whatever the discipline persisted: backup shadow or PM cell).
+    fn open(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>);
+
+    /// Accept one append (primary only).
+    fn append(
+        &mut self,
+        sh: &mut AdpShared,
+        ctx: &mut Ctx<'_>,
+        from_ep: EndpointId,
+        app: AuditAppend,
+    );
+
+    /// A flush waiter was queued for an LSN beyond the durable watermark;
+    /// push durability forward if the discipline requires a kick (disk
+    /// group commit does, PM answers from the in-flight control write).
+    fn flush_queued(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>);
+
+    /// Timers and IO completions addressed to this actor. Return the
+    /// message if it is not this backend's.
+    fn on_msg(
+        &mut self,
+        sh: &mut AdpShared,
+        ctx: &mut Ctx<'_>,
+        role: Role,
+        msg: Msg,
+    ) -> Option<Msg>;
+
+    /// Network payloads other than appends/flushes (checkpoints, ckpt
+    /// acks, region acks). Return the payload if not consumed.
+    fn on_net(
+        &mut self,
+        sh: &mut AdpShared,
+        ctx: &mut Ctx<'_>,
+        role: Role,
+        from_ep: EndpointId,
+        payload: Box<dyn Any + Send>,
+    ) -> Option<Box<dyn Any + Send>>;
+}
+
+pub struct AdpProc {
+    sh: AdpShared,
+    role: Role,
+    log: Box<dyn AuditLog>,
+}
+
+impl Actor for AdpProc {
+    fn name(&self) -> &str {
+        &self.sh.name
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        if msg.is::<simcore::actor::Start>() {
+            match self.role {
+                Role::Primary => self.log.open(&mut self.sh, ctx),
+                Role::Backup => {
+                    let me = ctx.self_id();
+                    self.sh
+                        .machine
+                        .lock()
+                        .watch(WatchTarget::Process(self.sh.name.clone()), me);
+                }
+            }
+            return;
+        }
+
+        let msg = match msg.take::<ProcessDied>() {
+            Ok((_, d)) => {
+                if self.role == Role::Backup && d.name == self.sh.name && d.was_primary {
+                    self.sh.machine.lock().promote_backup(&self.sh.name);
+                    self.role = Role::Primary;
+                    self.log.open(&mut self.sh, ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        // Backend timers and IO completions.
+        let Some(msg) = self.log.on_msg(&mut self.sh, ctx, self.role, msg) else {
+            return;
+        };
+
+        if let Ok((_, delivery)) = msg.take::<NetDelivery>() {
+            let NetDelivery { from_ep, payload } = delivery;
+
+            // Checkpoint traffic, region acks, … — backend-specific.
+            let Some(payload) = self
+                .log
+                .on_net(&mut self.sh, ctx, self.role, from_ep, payload)
+            else {
+                return;
+            };
+
+            if self.role != Role::Primary {
+                return;
+            }
+
+            // Appends.
+            let payload = match payload.downcast::<AuditAppend>() {
+                Ok(app) => {
+                    self.log.append(&mut self.sh, ctx, from_ep, *app);
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            // Flush requests.
+            if let Ok(req) = payload.downcast::<FlushReq>() {
+                let req = *req;
+                if req.upto.0 <= self.sh.durable_upto {
+                    let net = self.sh.net.clone();
+                    simnet::send_net_msg(
+                        ctx,
+                        &net,
+                        self.sh.ep,
+                        from_ep,
+                        32,
+                        FlushDone {
+                            token: req.token,
+                            durable_upto: Lsn(self.sh.durable_upto),
+                        },
+                    );
+                } else {
+                    self.sh
+                        .waiters
+                        .push((from_ep, req.token, req.upto.0, ctx.now().as_nanos()));
+                    self.log.flush_queued(&mut self.sh, ctx);
+                }
+            }
+        }
+    }
+}
+
+/// Install an ADP pair named `name` with the given backend.
+#[allow(clippy::too_many_arguments)]
+pub fn install_adp(
+    sim: &mut Sim,
+    machine: &SharedMachine,
+    name: &str,
+    cpu: CpuId,
+    backup_cpu: Option<CpuId>,
+    backend: AuditBackend,
+    cfg: TxnConfig,
+    stats: SharedTxnStats,
+) {
+    let mk = |role: Role, on_cpu: CpuId| {
+        let machine2 = machine.clone();
+        let net2 = machine.lock().net.clone();
+        let name2 = name.to_string();
+        let cfg2 = cfg.clone();
+        let stats2 = stats.clone();
+        let backend2 = backend.clone();
+        move |ep: EndpointId| -> Box<dyn Actor> {
+            let log: Box<dyn AuditLog> = match &backend2 {
+                AuditBackend::Disk { volume } => Box::new(disk::DiskLog::new(*volume)),
+                AuditBackend::Pm {
+                    pmm,
+                    region,
+                    region_len,
+                } => Box::new(pm::PmLog::new(
+                    machine2.clone(),
+                    ep,
+                    on_cpu,
+                    pmm.clone(),
+                    region.clone(),
+                    *region_len,
+                )),
+            };
+            Box::new(AdpProc {
+                sh: AdpShared {
+                    name: name2,
+                    cfg: cfg2,
+                    machine: machine2,
+                    net: net2,
+                    ep,
+                    cpu: on_cpu,
+                    stats: stats2,
+                    next_lsn: 0,
+                    durable_upto: 0,
+                    waiters: Vec::new(),
+                    next_tag: 0,
+                },
+                role,
+                log,
+            })
+        }
+    };
+    nsk::machine::install_primary(sim, machine, name, cpu, mk(Role::Primary, cpu));
+    if let Some(bcpu) = backup_cpu {
+        nsk::machine::install_backup(sim, machine, name, bcpu, mk(Role::Backup, bcpu));
+    }
+}

@@ -1,0 +1,466 @@
+//! PM audit backend (the paper's ADP), **pipelined**: every append is
+//! written to the mirrored PM region immediately — "the database log is
+//! persistent immediately" — but instead of serializing one control-cell
+//! round trip per append, the trail keeps a bounded ring of in-flight
+//! *batches*:
+//!
+//! * Appends are assigned LSNs on arrival and staged; whenever the ring
+//!   has a free slot, every staged append is submitted as ONE batched
+//!   mirrored write ([`pmclient::PmLib::write_batch`] — one fan-out per
+//!   pipeline flush, not K round trips).
+//! * Batches may complete out of order; the contiguous data watermark
+//!   only advances as the ring head completes, so it never covers a gap.
+//! * Watermark publication is **coalesced**: at most one 16-byte control
+//!   cell write is in flight, and when it completes it covers *every*
+//!   append finished since the previous one. Acks and commit-flush
+//!   answers are released only from the acked (published) watermark.
+//!
+//! There is **no backup checkpoint at all** — exactly the redundancy
+//! §3.4 says PM eliminates. Takeover recovers the exact durable position
+//! by reading the control cell back: acks only ever followed a
+//! *completed* cell write, so a torn or stale cell can only under-report
+//! unacknowledged work, never lose an acknowledged append.
+
+use super::{AdpShared, AuditLog, Role};
+use crate::types::*;
+use bytes::Bytes;
+use nsk::machine::{CpuId, SharedMachine};
+use pmclient::{PmLib, PmReadTimeout, PmWriteTimeout};
+use pmm::msgs::CreateRegionAck;
+use simcore::{Ctx, Msg, SimDuration};
+use simnet::{EndpointId, RdmaReadDone, RdmaWriteDone};
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Bytes reserved at the base of a PM trail region for the control cell.
+pub const PM_CTRL_BYTES: u64 = 64;
+
+/// Retry timer for PM region creation at startup/takeover. `attempt`
+/// counts the RPCs already sent, driving the capped exponential backoff.
+struct RegionRetry {
+    attempt: u32,
+}
+
+/// An append whose CPU cost has been queued on the host CPU; the trail
+/// work happens when the CPU gets to it (appends serialize on their
+/// ADP's processor — the §4.2 reason "multiple ADPs can be configured
+/// per node" to scale audit throughput).
+struct CpuStaged {
+    from_ep: EndpointId,
+    app: AuditAppend,
+}
+
+/// What a completed PmLib token was for.
+enum TokenKind {
+    /// A batched data write (ring entry).
+    Batch,
+    /// The coalesced control-cell write.
+    Ctrl,
+    /// The boot/takeover control-cell read.
+    BootRead,
+}
+
+/// The ack owed for one append once a covering control write lands.
+struct AckSlot {
+    from_ep: EndpointId,
+    token: u64,
+    lsn_start: u64,
+    lsn_end: u64,
+}
+
+/// An append staged for the next pipeline submission: its trail writes
+/// (≤ 2 segments when the circular trail wraps) and the ack it owes.
+struct StagedAppend {
+    slot: AckSlot,
+    parts: Vec<(u64, Bytes, u32)>,
+}
+
+/// One in-flight batched write in the pipeline ring.
+struct Batch {
+    write_token: u64,
+    lsn_end: u64,
+    slots: Vec<AckSlot>,
+    done: bool,
+}
+
+pub(crate) struct PmLog {
+    lib: PmLib,
+    region_name: String,
+    region_id: Option<u64>,
+    region_len: u64,
+    /// Reading the control cell during takeover/boot.
+    ctrl_read_pending: bool,
+    ready: bool,
+    /// Appends with LSNs assigned, waiting for a ring slot.
+    staged: VecDeque<StagedAppend>,
+    /// In-flight batches, in submission (= LSN) order.
+    ring: VecDeque<Batch>,
+    /// All data writes complete through here (ring-head contiguous).
+    data_watermark: u64,
+    /// A control write covering this watermark has completed (acked
+    /// appends and flush answers come from this).
+    acked_watermark: u64,
+    ctrl_write_inflight: Option<u64>, // watermark value being written
+    /// Data durable (watermark-covered), waiting for a control write to
+    /// publish it; LSN-ordered.
+    awaiting_ctrl: VecDeque<AckSlot>,
+    /// PmLib token → purpose.
+    tokens: BTreeMap<u64, TokenKind>,
+    /// Appends received before the region/cell were ready.
+    boot_pending: Vec<(EndpointId, AuditAppend)>,
+}
+
+impl PmLog {
+    pub fn new(
+        machine: SharedMachine,
+        ep: EndpointId,
+        cpu: CpuId,
+        pmm: String,
+        region_name: String,
+        region_len: u64,
+    ) -> Self {
+        PmLog {
+            lib: PmLib::new(machine, ep, cpu, pmm),
+            region_name,
+            region_id: None,
+            region_len,
+            ctrl_read_pending: false,
+            ready: false,
+            staged: VecDeque::new(),
+            ring: VecDeque::new(),
+            data_watermark: 0,
+            acked_watermark: 0,
+            ctrl_write_inflight: None,
+            awaiting_ctrl: VecDeque::new(),
+            tokens: BTreeMap::new(),
+            boot_pending: Vec::new(),
+        }
+    }
+
+    fn trail_capacity(&self) -> u64 {
+        self.region_len - PM_CTRL_BYTES
+    }
+
+    fn start_region(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>, attempt: u32) {
+        let (region, region_len) = (self.region_name.clone(), self.region_len);
+        self.lib.create_region(ctx, &region, region_len, true, 0);
+        ctx.send_self(sh.cfg.region_retry_delay(attempt), RegionRetry { attempt });
+    }
+
+    /// Submit staged appends while the pipeline ring has room. Each
+    /// submission takes EVERY currently staged append in one batched
+    /// write — the deeper the backlog, the wider the batch.
+    fn pump(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>) {
+        while self.ring.len() < sh.cfg.pm_pipeline_depth as usize && !self.staged.is_empty() {
+            let mut parts: Vec<(u64, Bytes, u32)> = Vec::new();
+            let mut slots: Vec<AckSlot> = Vec::new();
+            let mut lsn_end = 0;
+            while let Some(s) = self.staged.pop_front() {
+                lsn_end = s.slot.lsn_end;
+                parts.extend(s.parts);
+                slots.push(s.slot);
+            }
+            let tok = sh.alloc_tag();
+            self.tokens.insert(tok, TokenKind::Batch);
+            sh.stats.lock().pm_batches += 1;
+            let region = self.region_id.expect("region ready");
+            self.lib.write_batch(ctx, region, &parts, tok);
+            self.ring.push_back(Batch {
+                write_token: tok,
+                lsn_end,
+                slots,
+                done: false,
+            });
+        }
+    }
+
+    /// A PmLib write completed (batch or control).
+    fn write_done(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>, token: u64) {
+        match self.tokens.remove(&token) {
+            Some(TokenKind::Ctrl) => {
+                // Control write completed: everything through the written
+                // watermark is now provably recoverable — release every
+                // append it covers (coalesced publication).
+                let covered = self.ctrl_write_inflight.take().unwrap_or(0);
+                self.acked_watermark = self.acked_watermark.max(covered);
+                sh.durable_upto = sh.durable_upto.max(covered);
+                while self
+                    .awaiting_ctrl
+                    .front()
+                    .is_some_and(|a| a.lsn_end <= self.acked_watermark)
+                {
+                    let a = self.awaiting_ctrl.pop_front().unwrap();
+                    sh.send_append_done(ctx, a.from_ep, a.token, a.lsn_start, a.lsn_end);
+                }
+                sh.answer_waiters(ctx);
+                self.maybe_write_ctrl(sh, ctx);
+            }
+            Some(TokenKind::Batch) => {
+                if let Some(b) = self.ring.iter_mut().find(|b| b.write_token == token) {
+                    b.done = true;
+                }
+                // Advance the contiguous data watermark from the ring
+                // head; a completed batch behind an incomplete one waits.
+                while self.ring.front().is_some_and(|b| b.done) {
+                    let b = self.ring.pop_front().unwrap();
+                    self.data_watermark = self.data_watermark.max(b.lsn_end);
+                    self.awaiting_ctrl.extend(b.slots);
+                }
+                self.pump(sh, ctx);
+                self.maybe_write_ctrl(sh, ctx);
+            }
+            Some(TokenKind::BootRead) | None => {}
+        }
+    }
+
+    /// Keep at most one control write in flight while the acked watermark
+    /// lags the data watermark; one cell write covers every append
+    /// completed since the previous one.
+    fn maybe_write_ctrl(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>) {
+        if self.ctrl_write_inflight.is_some() || self.data_watermark <= self.acked_watermark {
+            return;
+        }
+        let wm = self.data_watermark;
+        self.ctrl_write_inflight = Some(wm);
+        let mut cell = Vec::with_capacity(16);
+        cell.extend_from_slice(&wm.to_le_bytes());
+        cell.extend_from_slice(&pmm::meta::crc32(&wm.to_le_bytes()).to_le_bytes());
+        let tok = sh.alloc_tag();
+        self.tokens.insert(tok, TokenKind::Ctrl);
+        sh.stats.lock().pm_ctrl_writes += 1;
+        let region = self.region_id.expect("region ready");
+        self.lib
+            .write_sized(ctx, region, 0, Bytes::from(cell), 16, tok);
+    }
+
+    /// Boot/takeover: region acked → read the control cell.
+    fn region_ready(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>, info: pmm::msgs::RegionInfo) {
+        if self.region_id.is_none() {
+            self.region_len = info.len;
+            self.region_id = Some(info.region_id);
+            self.lib.adopt(info);
+        }
+        if !self.ready && !self.ctrl_read_pending {
+            let tok = sh.alloc_tag();
+            self.tokens.insert(tok, TokenKind::BootRead);
+            self.ctrl_read_pending = true;
+            let region = self.region_id.unwrap();
+            self.lib.read(ctx, region, 0, 16, tok);
+        }
+    }
+
+    fn ctrl_read_done(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>, data: &[u8]) {
+        let wm = if data.len() >= 12 {
+            let v = u64::from_le_bytes(data[..8].try_into().unwrap());
+            let crc = u32::from_le_bytes(data[8..12].try_into().unwrap());
+            if pmm::meta::crc32(&v.to_le_bytes()) == crc {
+                v
+            } else {
+                // Fresh region, or a torn cell: covered appends were acked
+                // only after a *completed* cell write, so a torn cell can
+                // only under-report unacknowledged work.
+                0
+            }
+        } else {
+            0
+        };
+        self.ctrl_read_pending = false;
+        self.ready = true;
+        self.data_watermark = self.data_watermark.max(wm);
+        self.acked_watermark = self.acked_watermark.max(wm);
+        sh.next_lsn = sh.next_lsn.max(wm);
+        sh.durable_upto = sh.durable_upto.max(wm);
+        // Drain appends that arrived during boot.
+        let pending: Vec<(EndpointId, AuditAppend)> = self.boot_pending.drain(..).collect();
+        for (ep, app) in pending {
+            self.append(sh, ctx, ep, app);
+        }
+        sh.answer_waiters(ctx);
+    }
+
+    /// The CPU got to an append: assign its LSNs, stage its trail writes
+    /// and submit with the next pipeline flush (immediately, if the ring
+    /// has room).
+    fn stage_append(
+        &mut self,
+        sh: &mut AdpShared,
+        ctx: &mut Ctx<'_>,
+        from_ep: EndpointId,
+        app: AuditAppend,
+    ) {
+        let lsn_start = sh.next_lsn;
+        let virt = app.virtual_len.max(app.records.len() as u32) as u64;
+        sh.next_lsn += virt;
+        let lsn_end = sh.next_lsn;
+
+        // Stage the records for the circular trail (≤ 2 segments when the
+        // trail wraps).
+        let cap = self.trail_capacity();
+        let off = PM_CTRL_BYTES + (lsn_start % cap);
+        let mut parts: Vec<(u64, Bytes, u32)> = Vec::new();
+        if (lsn_start % cap) + virt <= cap {
+            parts.push((off, app.records.clone(), virt as u32));
+        } else {
+            let first = cap - (lsn_start % cap);
+            let cut = (first as usize).min(app.records.len());
+            parts.push((off, app.records.slice(..cut), first as u32));
+            parts.push((
+                PM_CTRL_BYTES,
+                app.records.slice(cut..),
+                (virt - first) as u32,
+            ));
+        }
+        // One persistence action per appended row (§3.4 accounting); the
+        // mirrored legs, wrap segments and batching are below the API.
+        sh.stats.lock().pm_writes += 1;
+        self.staged.push_back(StagedAppend {
+            slot: AckSlot {
+                from_ep,
+                token: app.token,
+                lsn_start,
+                lsn_end,
+            },
+            parts,
+        });
+        self.pump(sh, ctx);
+    }
+}
+
+impl AuditLog for PmLog {
+    fn open(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>) {
+        // Boot and takeover are the same: (re)open the region and recover
+        // the exact durable position from the PM control cell; no shadow
+        // state is needed.
+        self.start_region(sh, ctx, 0);
+    }
+
+    fn append(
+        &mut self,
+        sh: &mut AdpShared,
+        ctx: &mut Ctx<'_>,
+        from_ep: EndpointId,
+        app: AuditAppend,
+    ) {
+        // Buffer until the region + control cell are available.
+        if !self.ready {
+            self.boot_pending.push((from_ep, app));
+            return;
+        }
+        // Charge the append's CPU cost and process once the CPU gets to
+        // it: queue delays grow monotonically, so arrival (= LSN) order
+        // is preserved while the processor, not the fabric, bounds one
+        // partition's append rate.
+        let now = ctx.now().as_nanos();
+        let queue = sh
+            .machine
+            .lock()
+            .cpu_work(sh.cpu, now, sh.cfg.append_cpu_ns);
+        ctx.send_self(
+            SimDuration::from_nanos(queue + sh.cfg.append_cpu_ns),
+            CpuStaged { from_ep, app },
+        );
+    }
+
+    fn flush_queued(&mut self, _sh: &mut AdpShared, _ctx: &mut Ctx<'_>) {
+        // The trail is persistent immediately; the waiter is answered as
+        // soon as a control write covering its LSN completes.
+    }
+    fn on_msg(
+        &mut self,
+        sh: &mut AdpShared,
+        ctx: &mut Ctx<'_>,
+        role: Role,
+        msg: Msg,
+    ) -> Option<Msg> {
+        let msg = match msg.take::<RegionRetry>() {
+            Ok((_, r)) => {
+                if role == Role::Primary && !self.ready {
+                    self.start_region(sh, ctx, r.attempt + 1);
+                }
+                return None;
+            }
+            Err(m) => m,
+        };
+
+        let msg = match msg.take::<CpuStaged>() {
+            Ok((_, s)) => {
+                if role == Role::Primary {
+                    if self.ready {
+                        self.stage_append(sh, ctx, s.from_ep, s.app);
+                    } else {
+                        self.boot_pending.push((s.from_ep, s.app));
+                    }
+                }
+                return None;
+            }
+            Err(m) => m,
+        };
+
+        // Write completion (via the client library).
+        let msg = match msg.take::<RdmaWriteDone>() {
+            Ok((_, done)) => {
+                if let Some(c) = self.lib.on_rdma_write_done(ctx, &done) {
+                    self.write_done(sh, ctx, c.token);
+                }
+                return None;
+            }
+            Err(m) => m,
+        };
+
+        // Write timeout: legs that never answered fail over to the
+        // survivor (degraded completion) inside the library.
+        let msg = match msg.take::<PmWriteTimeout>() {
+            Ok((_, t)) => {
+                if let Some(c) = self.lib.on_write_timeout(ctx, &t) {
+                    self.write_done(sh, ctx, c.token);
+                }
+                return None;
+            }
+            Err(m) => m,
+        };
+
+        // Control-cell read completion.
+        let msg = match msg.take::<RdmaReadDone>() {
+            Ok((_, done)) => {
+                if let Some(c) = self.lib.on_rdma_read_done(ctx, done) {
+                    self.tokens.remove(&c.token);
+                    self.ctrl_read_done(sh, ctx, &c.data);
+                }
+                return None;
+            }
+            Err(m) => m,
+        };
+
+        match msg.take::<PmReadTimeout>() {
+            Ok((_, t)) => {
+                if let Some(c) = self.lib.on_read_timeout(ctx, &t) {
+                    self.tokens.remove(&c.token);
+                    self.ctrl_read_done(sh, ctx, &c.data);
+                }
+                None
+            }
+            Err(m) => Some(m),
+        }
+    }
+
+    fn on_net(
+        &mut self,
+        sh: &mut AdpShared,
+        ctx: &mut Ctx<'_>,
+        role: Role,
+        _from_ep: EndpointId,
+        payload: Box<dyn Any + Send>,
+    ) -> Option<Box<dyn Any + Send>> {
+        match payload.downcast::<CreateRegionAck>() {
+            Ok(ack) => {
+                if let Ok(info) = ack.result {
+                    if role == Role::Primary {
+                        self.region_ready(sh, ctx, info);
+                    }
+                }
+                None
+            }
+            Err(p) => Some(p),
+        }
+    }
+}

@@ -61,6 +61,11 @@ pub struct TxnConfig {
     pub region_retry_base_ns: u64,
     /// Ceiling on the region-RPC retry delay, ns.
     pub region_retry_cap_ns: u64,
+    /// PM audit pipeline depth: how many batched trail writes an ADP
+    /// keeps in flight before further appends coalesce into the next
+    /// batch. 1 degenerates to the pre-pipelined one-write-at-a-time
+    /// discipline.
+    pub pm_pipeline_depth: u32,
 }
 
 /// Capped exponential backoff: `base * 2^attempt`, clamped to `cap`.
@@ -89,6 +94,7 @@ impl Default for TxnConfig {
             sub_retry_cap_ns: 7_200_000_000,
             region_retry_base_ns: 500_000_000,
             region_retry_cap_ns: 4_000_000_000,
+            pm_pipeline_depth: 4,
         }
     }
 }
@@ -144,6 +150,12 @@ mod tests {
         assert!(c.dp2_checkpoint);
         assert!(!c.adp_checkpoint);
         assert!(c.tmf_checkpoint);
+    }
+
+    #[test]
+    fn pm_pipeline_has_depth() {
+        assert!(TxnConfig::default().pm_pipeline_depth >= 1);
+        assert!(TxnConfig::pm_enabled().pm_pipeline_depth >= 1);
     }
 
     #[test]

@@ -77,7 +77,10 @@ pub struct Dp2Proc {
     ep: EndpointId,
     cpu: CpuId,
     partitions: HashSet<PartitionId>,
-    adp_name: String,
+    /// Audit partitions: a transaction's deltas go to
+    /// `adps[txn.audit_partition(adps.len())]`, the same mapping the TMF
+    /// uses for its commit record, so each txn lives on one trail.
+    adps: Vec<String>,
     data_volumes: Vec<ActorId>,
     next_vol: usize,
     stats: SharedTxnStats,
@@ -101,6 +104,11 @@ pub struct Dp2Proc {
 }
 
 impl Dp2Proc {
+    /// The ADP partition a transaction's audit work routes to.
+    fn adp_for(&self, txn: TxnId) -> &str {
+        &self.adps[txn.audit_partition(self.adps.len())]
+    }
+
     /// Apply a locked insert: mutate the table, append audit, checkpoint.
     fn apply_insert(&mut self, ctx: &mut Ctx<'_>, op: u64) {
         let (req, from_ep) = self.staged.remove(&op).expect("staged insert");
@@ -159,13 +167,14 @@ impl Dp2Proc {
         audit.encode_into(&mut enc);
         // The trail's virtual size carries the full record image.
         let virt = (enc.len() as u32).max(rec.virtual_len);
+        let adp = self.adp_for(req.txn).to_string();
         let machine = self.machine.clone();
         nsk::proc::send_to_process(
             ctx,
             &machine,
             self.ep,
             self.cpu,
-            &self.adp_name.clone(),
+            &adp,
             virt,
             AuditAppend {
                 records: enc.freeze(),
@@ -224,6 +233,7 @@ impl Dp2Proc {
             return;
         };
         let lsn = p.appended.unwrap_or_default();
+        let adp = self.adp_for(p.req.txn).to_string();
         let net = self.net.clone();
         simnet::send_net_msg(
             ctx,
@@ -234,10 +244,7 @@ impl Dp2Proc {
             InsertDone {
                 txn: p.req.txn,
                 token: p.req.token,
-                result: InsertResult::Ok {
-                    adp: self.adp_name.clone(),
-                    lsn,
-                },
+                result: InsertResult::Ok { adp, lsn },
             },
         );
     }
@@ -534,8 +541,10 @@ impl Actor for Dp2Proc {
     }
 }
 
-/// Install a DP2 pair owning `partitions`, logging to `adp_name`, with
-/// zero or more data volumes for background destage (round-robin).
+/// Install a DP2 pair owning `partitions`, logging to the `adps` audit
+/// partitions (deltas route by transaction hash; a single entry routes
+/// everything to that ADP), with zero or more data volumes for background
+/// destage (round-robin).
 #[allow(clippy::too_many_arguments)]
 pub fn install_dp2(
     sim: &mut Sim,
@@ -544,18 +553,19 @@ pub fn install_dp2(
     cpu: CpuId,
     backup_cpu: Option<CpuId>,
     partitions: Vec<PartitionId>,
-    adp_name: &str,
+    adps: Vec<String>,
     data_volumes: Vec<ActorId>,
     cfg: TxnConfig,
     stats: SharedTxnStats,
 ) {
+    assert!(!adps.is_empty(), "DP2 needs at least one audit partition");
     let net = machine.lock().net.clone();
     let parts: HashSet<PartitionId> = partitions.into_iter().collect();
     let mk = |role: Role, on_cpu: CpuId| {
         let machine2 = machine.clone();
         let net2 = net.clone();
         let name2 = name.to_string();
-        let adp2 = adp_name.to_string();
+        let adps2 = adps.clone();
         let cfg2 = cfg.clone();
         let stats2 = stats.clone();
         let parts2 = parts.clone();
@@ -570,7 +580,7 @@ pub fn install_dp2(
                 ep,
                 cpu: on_cpu,
                 partitions: parts2,
-                adp_name: adp2,
+                adps: adps2,
                 data_volumes: vols2,
                 next_vol: 0,
                 stats: stats2,

@@ -19,7 +19,7 @@
 
 use crate::audit::{scan, AuditRecord};
 use crate::dp2::StoredRecord;
-use crate::types::{PartitionId, TxnId};
+use crate::types::{Lsn, PartitionId, TxnId};
 use simcore::SimDuration;
 use simdisk::DiskConfig;
 use simnet::FabricConfig;
@@ -104,6 +104,103 @@ pub fn redo_scan(trails: &[&[u8]], master: Option<&[u8]>) -> RecoveredState {
                         },
                     );
                 }
+            }
+        }
+    }
+    out
+}
+
+/// Merge per-partition audit trails into one serializable history.
+///
+/// Each partition's trail is internally LSN-ordered (the scan yields
+/// records in trail-position order); the merge interleaves partitions by
+/// `(Lsn, partition)` so replaying the merged stream front to back is
+/// equivalent to some serial execution: a transaction's records are
+/// confined to one partition (all audit sites route by
+/// [`TxnId::audit_partition`]), so cross-partition order only matters
+/// between independent transactions, and the LSN tiebreak makes the
+/// interleaving deterministic.
+///
+/// Returns `(partition_index, lsn, record)` triples.
+pub fn merge_trails_by_lsn(trails: &[&[u8]]) -> Vec<(usize, Lsn, AuditRecord)> {
+    let mut parsed: Vec<std::vec::IntoIter<(Lsn, AuditRecord)>> =
+        trails.iter().map(|t| scan(t).into_iter()).collect();
+    let mut fronts: Vec<Option<(Lsn, AuditRecord)>> =
+        parsed.iter_mut().map(|it| it.next()).collect();
+    let mut out = Vec::new();
+    loop {
+        // k is small (partition count); a linear min scan beats a heap.
+        let mut best: Option<usize> = None;
+        for (i, f) in fronts.iter().enumerate() {
+            if let Some((lsn, _)) = f {
+                if best
+                    .map(|b| *lsn < fronts[b].as_ref().unwrap().0)
+                    .unwrap_or(true)
+                {
+                    best = Some(i);
+                }
+            }
+        }
+        let Some(i) = best else { break };
+        let (lsn, rec) = fronts[i].take().unwrap();
+        fronts[i] = parsed[i].next();
+        out.push((i, lsn, rec));
+    }
+    out
+}
+
+/// Redo/undo over partitioned trails: merge the per-partition histories
+/// by LSN, then run the same two-pass redo as [`redo_scan`]. There is no
+/// separate master trail — with partitioned ADPs the TMF's commit/abort
+/// records are routed to the same partition as the transaction's data
+/// deltas, so outcomes are found in-line.
+pub fn redo_scan_partitioned(trails: &[&[u8]]) -> RecoveredState {
+    let merged = merge_trails_by_lsn(trails);
+    let mut out = RecoveredState {
+        bytes_scanned: trails.iter().map(|t| t.len() as u64).sum(),
+        records_scanned: merged.len() as u64,
+        ..RecoveredState::default()
+    };
+
+    let mut seen: HashSet<TxnId> = HashSet::new();
+    for (_, _, r) in &merged {
+        match r {
+            AuditRecord::Insert { txn, .. } => {
+                seen.insert(*txn);
+            }
+            AuditRecord::Commit { txn } => {
+                out.committed.insert(*txn);
+            }
+            AuditRecord::Abort { txn } => {
+                out.aborted.insert(*txn);
+            }
+            AuditRecord::CheckpointMark { .. } => {}
+        }
+    }
+    out.inflight = seen
+        .iter()
+        .filter(|t| !out.committed.contains(t) && !out.aborted.contains(t))
+        .copied()
+        .collect();
+
+    for (_, _, r) in &merged {
+        if let AuditRecord::Insert {
+            txn,
+            partition,
+            key,
+            virtual_len,
+            body_crc,
+            ..
+        } = r
+        {
+            if out.committed.contains(txn) {
+                out.tables.entry(*partition).or_default().insert(
+                    *key,
+                    StoredRecord {
+                        virtual_len: *virtual_len,
+                        crc: *body_crc,
+                    },
+                );
             }
         }
     }
@@ -245,5 +342,55 @@ mod tests {
         let rec = redo_scan(&[&[][..]], None);
         assert!(rec.tables.is_empty());
         assert_eq!(rec.records_scanned, 0);
+    }
+
+    #[test]
+    fn merge_interleaves_partitions_by_lsn() {
+        // Partition 0 holds LSNs 0.. and 200..; partition 1 holds 100..
+        // (encoded lengths differ, so fake the positions by building the
+        // trails so scan assigns increasing byte offsets — the relative
+        // order is what matters).
+        let t0 = trail(&[insert(1, 0, 10), insert(1, 0, 11)]);
+        let t1 = trail(&[insert(2, 1, 20)]);
+        let merged = merge_trails_by_lsn(&[&t0, &t1]);
+        assert_eq!(merged.len(), 3);
+        // Both trails start at LSN 0; the partition-index tiebreak puts
+        // partition 0 first, and within a partition LSN order is kept.
+        assert_eq!(merged[0].0, 0);
+        assert_eq!(merged[1].0, 1, "lsn0 of partition 1 before lsn>0");
+        assert_eq!(merged[2].0, 0);
+        assert!(merged[0].1 <= merged[2].1);
+    }
+
+    #[test]
+    fn partitioned_redo_matches_single_trail_semantics() {
+        // Txn 1 commits on partition 0, txn 2 stays in-flight on
+        // partition 1, txn 3 aborts on partition 1 — outcomes are in-line
+        // (no master trail) as the partitioned TMF routes them.
+        let t0 = trail(&[insert(1, 0, 10), AuditRecord::Commit { txn: TxnId(1) }]);
+        let t1 = trail(&[
+            insert(2, 1, 20),
+            insert(3, 1, 30),
+            AuditRecord::Abort { txn: TxnId(3) },
+        ]);
+        let rec = redo_scan_partitioned(&[&t0, &t1]);
+        assert!(rec.committed.contains(&TxnId(1)));
+        assert!(rec.inflight.contains(&TxnId(2)));
+        assert!(rec.aborted.contains(&TxnId(3)));
+        assert_eq!(rec.records_scanned, 5);
+        assert!(rec.tables[&PartitionId { file: 0, part: 0 }].contains_key(&10));
+        assert!(!rec
+            .tables
+            .get(&PartitionId { file: 0, part: 1 })
+            .map(|t| t.contains_key(&20) || t.contains_key(&30))
+            .unwrap_or(false));
+    }
+
+    #[test]
+    fn partitioned_redo_handles_empty_partitions() {
+        let t0 = trail(&[insert(9, 0, 1), AuditRecord::Commit { txn: TxnId(9) }]);
+        let rec = redo_scan_partitioned(&[&t0, &[][..], &[][..], &[][..]]);
+        assert!(rec.committed.contains(&TxnId(9)));
+        assert_eq!(rec.records_scanned, 2);
     }
 }

@@ -61,6 +61,13 @@ pub struct OdsParams {
     /// paper's single-pair prototype; more scale out write bandwidth
     /// behind the same PMM namespace.
     pub pm_volumes: u32,
+    /// Independent audit partitions (ADP process pairs) in PM modes.
+    /// 0 means "one per CPU" (the paper's topology). Disk mode always
+    /// installs one ADP per CPU regardless. DP2s and the TMF route a
+    /// transaction's trail work by `TxnId::audit_partition`, so each
+    /// partition owns a disjoint slice of the audit stream with its own
+    /// striped PM trail region.
+    pub audit_partitions: u32,
     /// Data volumes per DP2 (paper: 16 volumes / 4 DP2s = 4).
     pub data_volumes_per_dp2: u32,
 }
@@ -82,6 +89,7 @@ impl OdsParams {
             pm_region_len: 8 << 20,
             pm_volumes: 1,
             data_volumes_per_dp2: 4,
+            audit_partitions: 0,
         }
     }
 
@@ -98,8 +106,20 @@ impl OdsParams {
     pub fn pm_pool(seed: u64, volumes: u32) -> Self {
         OdsParams {
             pm_volumes: volumes.max(1),
+            // Scale audit partitions with the pool so trail bandwidth
+            // grows with member volumes (one partition per member).
+            audit_partitions: volumes.max(1),
             ..OdsParams::pm(seed)
         }
+    }
+}
+
+/// Resolved audit-partition count for PM modes (0 ⇒ one per CPU).
+fn effective_audit_partitions(params: &OdsParams) -> u32 {
+    if params.audit_partitions == 0 {
+        params.cpus
+    } else {
+        params.audit_partitions
     }
 }
 
@@ -110,7 +130,8 @@ pub struct OdsNode {
     pub net: SharedNetwork,
     pub stats: SharedTxnStats,
     pub tmf: String,
-    /// ADP name per CPU index.
+    /// ADP process names: one per CPU in disk mode, one per audit
+    /// partition in PM modes.
     pub adps: Vec<String>,
     /// Partition → owning DP2 process name.
     pub partition_map: HashMap<PartitionId, String>,
@@ -161,8 +182,9 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
                 AuditMode::Pmp => NpmuConfig::pmp(cap),
                 _ => NpmuConfig::hardware(cap),
             };
+            let trail_regions = params.cpus.max(effective_audit_partitions(&params));
             let cap =
-                (params.pm_region_len + pmm::META_BYTES) * (params.cpus as u64 + 2) + (64 << 20);
+                (params.pm_region_len + pmm::META_BYTES) * (trail_regions as u64 + 2) + (64 << 20);
             let mut pool = Vec::new();
             for v in 0..params.pm_volumes.max(1) {
                 // Member 0 keeps the pre-pool "pm-{a,b}" names so durable
@@ -191,23 +213,30 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
         }
     };
 
-    // --- audit volumes + ADPs, one per CPU ---
+    // --- audit trail processes ---
+    //
+    // Disk mode keeps the paper's one-ADP-per-CPU topology; PM modes
+    // install `audit_partitions` independent ADP pairs, each owning its
+    // own PM trail region (partitions default to one per CPU).
+    let n_adps = match params.audit {
+        AuditMode::Disk => params.cpus,
+        _ => effective_audit_partitions(&params),
+    };
     let mut adps = Vec::new();
     let mut audit_volume_stats = Vec::new();
-    for cpu in 0..params.cpus {
-        let name = format!("$ADP{cpu}");
+    for i in 0..n_adps {
+        let name = format!("$ADP{i}");
         let backend = match params.audit {
             AuditMode::Disk => {
-                let media =
-                    store.get_or_insert_with(&format!("disk:$AUDIT{cpu}"), SparseMedia::new);
-                let vol = DiskVolume::new(format!("$AUDIT{cpu}"), params.audit_disk.clone(), media);
+                let media = store.get_or_insert_with(&format!("disk:$AUDIT{i}"), SparseMedia::new);
+                let vol = DiskVolume::new(format!("$AUDIT{i}"), params.audit_disk.clone(), media);
                 audit_volume_stats.push(vol.stats());
                 let vol_actor = sim.spawn(vol);
                 AuditBackend::Disk { volume: vol_actor }
             }
             _ => AuditBackend::Pm {
                 pmm: "$PMM".into(),
-                region: format!("adp{cpu}.audit"),
+                region: format!("adp{i}.audit"),
                 region_len: params.pm_region_len,
             },
         };
@@ -215,9 +244,9 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
             &mut sim,
             &machine,
             &name,
-            CpuId(cpu),
+            CpuId(i % params.cpus),
             if params.backups {
-                Some(CpuId((cpu + 1) % params.cpus))
+                Some(CpuId((i + 1) % params.cpus))
             } else {
                 None
             },
@@ -250,6 +279,13 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
                 partition_map.insert(part, name.clone());
             }
         }
+        // Disk mode keeps the classic CPU-affine trail (each DP2 logs to
+        // its own CPU's ADP); PM modes route every audit site by
+        // transaction hash across all partitions.
+        let dp2_adps = match params.audit {
+            AuditMode::Disk => vec![format!("$ADP{cpu}")],
+            _ => adps.clone(),
+        };
         install_dp2(
             &mut sim,
             &machine,
@@ -261,7 +297,7 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
                 None
             },
             parts,
-            &format!("$ADP{cpu}"),
+            dp2_adps,
             vols,
             params.txn.clone(),
             stats.clone(),
@@ -269,14 +305,19 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
         dp2s.push(name);
     }
 
-    // --- TMF, master trail on ADP0 ---
+    // --- TMF, master trail routed by txn hash across partitions (disk
+    //     mode keeps the single ADP0 master trail) ---
+    let master_adps = match params.audit {
+        AuditMode::Disk => vec!["$ADP0".to_string()],
+        _ => adps.clone(),
+    };
     install_tmf(
         &mut sim,
         &machine,
         "$TMF",
         CpuId(0),
         if params.backups { Some(CpuId(1)) } else { None },
-        Some("$ADP0".into()),
+        master_adps,
         params.txn.clone(),
         stats.clone(),
     );

@@ -32,6 +32,10 @@ pub struct TxnStats {
     /// across appends; tracked separately and *not* counted as a per-row
     /// persistence action.
     pub pm_ctrl_writes: u64,
+    /// Batched fabric submissions from the pipelined PM ADP (one
+    /// `write_batch` fan-out may carry many `pm_writes`). The coalescing
+    /// factor is `pm_writes / pm_batches`; not a per-row action.
+    pub pm_batches: u64,
     /// TMF primary → backup checkpoints.
     pub tmf_checkpoints: u64,
 
@@ -84,6 +88,10 @@ mod tests {
         s.adp_checkpoints = 10;
         s.data_volume_writes = 10;
         s.audit_volume_writes = 10;
+        assert!((s.actions_per_insert() - 5.0).abs() < 1e-9);
+        // Bookkeeping counters are not per-row persistence actions.
+        s.pm_ctrl_writes = 100;
+        s.pm_batches = 100;
         assert!((s.actions_per_insert() - 5.0).abs() < 1e-9);
     }
 }

@@ -38,9 +38,19 @@ enum Role {
 /// re-drives; duplicate commit records in the trail are harmless).
 #[derive(Clone)]
 enum SubKind {
-    DataFlush { adp: String, upto: Lsn },
-    MasterAppend { txn: TxnId },
-    MasterFlush { upto: Lsn },
+    DataFlush {
+        adp: String,
+        upto: Lsn,
+    },
+    MasterAppend {
+        txn: TxnId,
+    },
+    /// `txn` keeps the flush routed to the same master-trail partition
+    /// its commit record was appended to.
+    MasterFlush {
+        txn: TxnId,
+        upto: Lsn,
+    },
 }
 
 /// Retry timer for a sub-operation. `attempt` counts the retries already
@@ -82,8 +92,12 @@ pub struct TmfProc {
     net: SharedNetwork,
     ep: EndpointId,
     cpu: CpuId,
-    /// Name of the ADP holding the master audit trail (commit records).
-    master_adp: Option<String>,
+    /// ADPs holding the master audit trail (commit/abort records), one
+    /// per audit partition: a transaction's commit record goes to
+    /// `master_adps[txn.audit_partition(len)]` — the same mapping the
+    /// DP2s use for deltas, so the whole txn lives on one trail. Empty
+    /// skips master-trail I/O entirely.
+    master_adps: Vec<String>,
     stats: SharedTxnStats,
     next_txn: u64,
     commits: HashMap<u64, CommitState>, // token → state
@@ -97,6 +111,14 @@ pub struct TmfProc {
 }
 
 impl TmfProc {
+    /// The master-trail partition a transaction's records route to.
+    fn master_for(&self, txn: TxnId) -> Option<String> {
+        if self.master_adps.is_empty() {
+            return None;
+        }
+        Some(self.master_adps[txn.audit_partition(self.master_adps.len())].clone())
+    }
+
     fn has_backup(&self) -> bool {
         self.machine.lock().resolve_backup(&self.name).is_some()
     }
@@ -136,7 +158,7 @@ impl TmfProc {
                 );
             }
             SubKind::MasterAppend { txn } => {
-                if let Some(master) = self.master_adp.clone() {
+                if let Some(master) = self.master_for(txn) {
                     let rec = crate::audit::AuditRecord::Commit { txn };
                     let enc = rec.encode();
                     let virt = (enc.len() as u32).max(self.cfg.commit_record_bytes);
@@ -156,8 +178,8 @@ impl TmfProc {
                     );
                 }
             }
-            SubKind::MasterFlush { upto } => {
-                if let Some(master) = self.master_adp.clone() {
+            SubKind::MasterFlush { txn, upto } => {
+                if let Some(master) = self.master_for(txn) {
                     let machine = self.machine.clone();
                     nsk::proc::send_to_process(
                         ctx,
@@ -189,10 +211,15 @@ impl TmfProc {
                 if *remaining > 0 {
                     return;
                 }
-                // Data trails durable → harden the commit record.
-                if let Some(master) = self.master_adp.clone() {
+                // Data trails durable → harden the commit record on the
+                // txn's master-trail partition.
+                let txn = state.txn;
+                if self.master_adps.is_empty() {
+                    self.commit_hardened(ctx, token);
+                } else {
                     state.phase = CommitPhase::MasterAppend;
-                    let txn = state.txn;
+                    let master =
+                        self.master_adps[txn.audit_partition(self.master_adps.len())].clone();
                     let sub = self.sub_token(ctx, token, SubKind::MasterAppend { txn });
                     let rec = crate::audit::AuditRecord::Commit { txn };
                     let enc = rec.encode();
@@ -211,8 +238,6 @@ impl TmfProc {
                             token: sub,
                         },
                     );
-                } else {
-                    self.commit_hardened(ctx, token);
                 }
             }
             CommitPhase::MasterAppend => unreachable!("stepped via append ack"),
@@ -256,11 +281,13 @@ impl TmfProc {
         }
     }
 
-    /// Append a fuzzy checkpoint mark to the master trail (async): the
-    /// §3.4 recovery hint that bounds the tail a scan must examine.
+    /// Append a fuzzy checkpoint mark to EVERY master-trail partition
+    /// (async): the §3.4 recovery hint that bounds the tail a scan must
+    /// examine — each trail gets its own mark so every per-partition scan
+    /// is bounded independently.
     fn maybe_checkpoint_mark(&mut self, ctx: &mut Ctx<'_>) {
         let every = self.cfg.checkpoint_mark_every;
-        if every == 0 || self.master_adp.is_none() {
+        if every == 0 || self.master_adps.is_empty() {
             return;
         }
         self.commits_since_mark += 1;
@@ -274,24 +301,25 @@ impl TmfProc {
         };
         let enc = rec.encode();
         let virt = enc.len() as u32;
-        // Fire-and-forget orphan append (like abort records).
-        let sub = self.next_subop;
-        self.next_subop += 1;
-        let master = self.master_adp.clone().unwrap();
-        let machine = self.machine.clone();
-        nsk::proc::send_to_process(
-            ctx,
-            &machine,
-            self.ep,
-            self.cpu,
-            &master,
-            virt,
-            AuditAppend {
-                records: enc,
-                virtual_len: virt,
-                token: sub,
-            },
-        );
+        for master in self.master_adps.clone() {
+            // Fire-and-forget orphan append (like abort records).
+            let sub = self.next_subop;
+            self.next_subop += 1;
+            let machine = self.machine.clone();
+            nsk::proc::send_to_process(
+                ctx,
+                &machine,
+                self.ep,
+                self.cpu,
+                &master,
+                virt,
+                AuditAppend {
+                    records: enc.clone(),
+                    virtual_len: virt,
+                    token: sub,
+                },
+            );
+        }
     }
 
     fn externalize(&mut self, ctx: &mut Ctx<'_>, token: u64) {
@@ -485,9 +513,10 @@ impl Actor for TmfProc {
                     self.charge_cpu(ctx);
                     let req = *req;
                     self.stats.lock().txns_aborted += 1;
-                    // Abort record to the master trail (async, no flush
-                    // wait: aborts need not be durable before replying).
-                    if let Some(master) = self.master_adp.clone() {
+                    // Abort record to the txn's master-trail partition
+                    // (async, no flush wait: aborts need not be durable
+                    // before replying).
+                    if let Some(master) = self.master_for(req.txn) {
                         let rec = crate::audit::AuditRecord::Abort { txn: req.txn };
                         let enc = rec.encode();
                         let virt = enc.len() as u32;
@@ -546,10 +575,18 @@ impl Actor for TmfProc {
                         return;
                     };
                     if self.commits.contains_key(&token) {
-                        self.commits.get_mut(&token).unwrap().phase = CommitPhase::MasterFlush;
-                        let master = self.master_adp.clone().expect("master adp");
-                        let sub =
-                            self.sub_token(ctx, token, SubKind::MasterFlush { upto: done.lsn_end });
+                        let st = self.commits.get_mut(&token).unwrap();
+                        st.phase = CommitPhase::MasterFlush;
+                        let txn = st.txn;
+                        let master = self.master_for(txn).expect("master adp");
+                        let sub = self.sub_token(
+                            ctx,
+                            token,
+                            SubKind::MasterFlush {
+                                txn,
+                                upto: done.lsn_end,
+                            },
+                        );
                         let machine = self.machine.clone();
                         nsk::proc::send_to_process(
                             ctx,
@@ -578,8 +615,9 @@ impl Actor for TmfProc {
     }
 }
 
-/// Install the TMF pair. `master_adp` names the ADP that hardens commit
-/// records (usually a dedicated trail; `None` skips the master-trail I/O).
+/// Install the TMF pair. `master_adps` names the ADPs that harden commit
+/// records, one per audit partition — records route by transaction hash;
+/// a single entry routes everything there; empty skips master-trail I/O.
 #[allow(clippy::too_many_arguments)]
 pub fn install_tmf(
     sim: &mut Sim,
@@ -587,7 +625,7 @@ pub fn install_tmf(
     name: &str,
     cpu: CpuId,
     backup_cpu: Option<CpuId>,
-    master_adp: Option<String>,
+    master_adps: Vec<String>,
     cfg: TxnConfig,
     stats: SharedTxnStats,
 ) {
@@ -598,7 +636,7 @@ pub fn install_tmf(
         let name2 = name.to_string();
         let cfg2 = cfg.clone();
         let stats2 = stats.clone();
-        let master2 = master_adp.clone();
+        let master2 = master_adps.clone();
         move |ep: EndpointId| -> Box<dyn Actor> {
             Box::new(TmfProc {
                 name: name2,
@@ -608,7 +646,7 @@ pub fn install_tmf(
                 net: net2,
                 ep,
                 cpu: on_cpu,
-                master_adp: master2,
+                master_adps: master2,
                 stats: stats2,
                 next_txn: 1,
                 commits: HashMap::new(),

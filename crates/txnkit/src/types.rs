@@ -14,6 +14,23 @@ impl std::fmt::Debug for TxnId {
     }
 }
 
+impl TxnId {
+    /// Which of `n` audit partitions this transaction's trail work lands
+    /// on. Every audit site (DP2 deltas, TMF commit/abort records) MUST
+    /// use this same mapping so a transaction's records colocate on one
+    /// trail and its commit needs exactly one flush point.
+    ///
+    /// The multiplier is the 64-bit golden-ratio (splitmix64) constant:
+    /// sequential TxnIds spread uniformly instead of striding.
+    pub fn audit_partition(&self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let h = self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 33) % n as u64) as usize
+    }
+}
+
 /// Log sequence number: a byte position in one ADP's audit trail.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Lsn(pub u64);
@@ -187,5 +204,30 @@ mod tests {
     fn lsn_orders() {
         assert!(Lsn(5) < Lsn(6));
         assert_eq!(Lsn::default(), Lsn(0));
+    }
+
+    #[test]
+    fn audit_partition_is_stable_and_in_range() {
+        for t in 0..1000u64 {
+            assert_eq!(TxnId(t).audit_partition(1), 0);
+            let p = TxnId(t).audit_partition(4);
+            assert!(p < 4);
+            assert_eq!(p, TxnId(t).audit_partition(4), "stable per txn");
+        }
+    }
+
+    #[test]
+    fn audit_partition_spreads_sequential_txns() {
+        let n = 4;
+        let mut counts = vec![0u32; n];
+        for t in 0..4000u64 {
+            counts[TxnId(t).audit_partition(n)] += 1;
+        }
+        for (p, c) in counts.iter().enumerate() {
+            assert!(
+                (600..=1400).contains(c),
+                "partition {p} got {c} of 4000 txns"
+            );
+        }
     }
 }

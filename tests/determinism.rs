@@ -112,6 +112,53 @@ fn faulty_runs_are_reproducible() {
 }
 
 #[test]
+fn partitioned_audit_runs_are_reproducible() {
+    // The partitioned audit path — txn-hash routing across ADPs, per-
+    // partition pipelined rings, coalesced watermark publication — must
+    // stay bit-deterministic on a striped pool.
+    let run = || {
+        let mut store = simcore::DurableStore::new();
+        let mut node = txnkit::scenario::build_ods(
+            &mut store,
+            txnkit::scenario::OdsParams {
+                audit: AuditMode::HardwareNpmu,
+                ..txnkit::scenario::OdsParams::pm_pool(7117, 4)
+            },
+        );
+        let st = hotstock::driver::HotStockDriver::install(
+            &mut node.sim,
+            &node.machine.clone(),
+            node.tmf.clone(),
+            node.partition_map.clone(),
+            node.params.files,
+            node.params.parts_per_file,
+            0,
+            nsk::machine::CpuId(0),
+            4096,
+            8,
+            256,
+            simcore::SimDuration::from_millis(1100),
+            node.params.txn.issue_cpu_ns,
+        );
+        node.sim.run_until(SimTime(8 * SECS));
+        let s = st.lock();
+        let t = node.stats.lock();
+        (
+            node.sim.dispatched(),
+            s.committed_txns,
+            s.finished_ns,
+            t.pm_writes,
+            t.pm_batches,
+            t.pm_ctrl_writes,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "partitioned-audit run not deterministic");
+    assert!(a.1 > 0 && a.3 > 0, "workload did not exercise the trail");
+}
+
+#[test]
 fn node_boot_is_reproducible() {
     let run = || {
         let mut store = simcore::DurableStore::new();
