@@ -13,5 +13,9 @@ cargo run --release --example scale_out
 # Smoke: partitioned audit scaling (T8) — asserts the ≥ 2× speedup and
 # p99 bars internally at smoke scale.
 cargo run --release -p pm-bench --bin audit_scaling
+# Smoke: windowed, mirror-balanced read path (T9) — error-free matrix run.
+cargo run --release -p pm-bench --bin read_scaling
+# Throughput-regression gate: fresh --json runs vs committed results/.
+tools/bench_check.sh
 # Docs must build clean (broken intra-doc links fail the gate).
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

@@ -183,8 +183,8 @@ fn main() {
     }
     t.print("Resilver MTTR: redundancy-repair time vs region bytes");
     println!(
-        "repair time scales linearly with allocated bytes; smaller chunks lengthen \
-         the window (more RDMA round trips), larger ones raise per-step interference"
+        "repair time scales linearly with allocated bytes; the windowed copy \
+         engine keeps the wire busy, so chunk size barely moves the rate"
     );
     if pm_bench::json::wants_json(&args) {
         let path = pm_bench::json::emit("resilver_mttr", &metrics).expect("write json");

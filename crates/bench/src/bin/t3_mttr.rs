@@ -12,7 +12,7 @@
 //! The redo pass itself is validated against a generated trail.
 
 use bytes::{Bytes, BytesMut};
-use pm_bench::Table;
+use pm_bench::{json, Table};
 use simdisk::DiskConfig;
 use simnet::FabricConfig;
 use txnkit::audit::AuditRecord;
@@ -20,8 +20,10 @@ use txnkit::recovery::{mttr_disk_scan, mttr_pm_scan, mttr_pm_with_tcb, redo_scan
 use txnkit::types::{PartitionId, TxnId};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let disk = DiskConfig::audit_volume();
     let fabric = FabricConfig::default();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
 
     let mut t = Table::new(&[
         "trail_MB",
@@ -42,6 +44,13 @@ fn main() {
         let d = mttr_disk_scan(bytes, records, &disk);
         let p = mttr_pm_scan(bytes, records, &fabric);
         let c = mttr_pm_with_tcb(tail_bytes, tail_records, &fabric);
+        metrics.push((format!("mb{mb}_disk_scan_s"), d.as_secs_f64()));
+        metrics.push((format!("mb{mb}_pm_scan_s"), p.as_secs_f64()));
+        metrics.push((format!("mb{mb}_pm_tcb_s"), c.as_secs_f64()));
+        metrics.push((
+            format!("mb{mb}_tcb_speedup_vs_disk"),
+            d.as_nanos() as f64 / c.as_nanos() as f64,
+        ));
         t.row(&[
             mb.to_string(),
             records.to_string(),
@@ -97,4 +106,8 @@ fn main() {
     println!(
         "paper: shorter MTTR \"is the mantra for both better availability and data integrity\""
     );
+    if json::wants_json(&args) {
+        let path = json::emit("t3_mttr", &metrics).expect("write json");
+        println!("wrote {}", path.display());
+    }
 }

@@ -1,6 +1,6 @@
 //! # pm-bench — harnesses that regenerate the paper's figures and claims
 //!
-//! One binary per experiment (see DESIGN.md §6):
+//! One binary per experiment (see DESIGN.md §7):
 //!
 //! | binary            | reproduces |
 //! |-------------------|------------|
@@ -14,6 +14,7 @@
 //! | `pool_scaling`    | DESIGN.md §4 — aggregate write bandwidth vs pool members |
 //! | `resilver_mttr`   | DESIGN.md §3 — redundancy-repair time vs region bytes |
 //! | `audit_scaling`   | DESIGN.md §5 — commit rate vs audit partitions (T8) |
+//! | `read_scaling`    | DESIGN.md §6 — read throughput vs window × routing (T9) |
 //! | `ablations`       | DESIGN.md ablations A1–A3 |
 //!
 //! Each binary prints a CSV block (machine-readable) and an aligned text
@@ -24,10 +25,12 @@
 pub mod json;
 pub mod measure;
 pub mod measure_pool;
+pub mod measure_read;
 pub mod table;
 
 pub use measure::{measure_disk_write, measure_pm_write, MeasureOpts, PmPathVariant};
 pub use measure_pool::{measure_pool_write_bw, PoolBwOpts, PoolBwResult};
+pub use measure_read::{measure_pool_read_bw, ReadBwOpts, ReadBwResult, ReadWorkload};
 pub use table::Table;
 
 /// Records per driver for scaled vs full figure runs.

@@ -51,6 +51,14 @@ pub enum AttError {
 #[derive(Default)]
 pub struct AttTable {
     entries: Vec<AttEntry>,
+    /// Device-wide *read* fence. While `Some(filter)`, inbound reads from
+    /// CPUs outside `filter` are rejected (`Forbidden`) even through
+    /// otherwise-open windows; writes are unaffected. The PMM arms this on
+    /// a mirror half whose contents are stale (down, or rebuilding) so
+    /// clients can never observe pre-failure bytes, while foreground
+    /// mirrored writes keep landing and converging the half. Lifted when
+    /// the resilver verifies clean. Volatile, like the rest of the ATT.
+    read_fence: Option<CpuFilter>,
 }
 
 pub type SharedAtt = Arc<Mutex<AttTable>>;
@@ -96,6 +104,26 @@ impl AttTable {
 
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Arm (`Some`) or lift (`None`) the device-wide read fence.
+    pub fn set_read_fence(&mut self, fence: Option<CpuFilter>) {
+        self.read_fence = fence;
+    }
+
+    pub fn read_fence(&self) -> Option<&CpuFilter> {
+        self.read_fence.as_ref()
+    }
+
+    /// Translate a *read* access: the normal window translation, with the
+    /// device-wide read fence applied on top.
+    pub fn translate_read(&self, nva: u64, len: u64, cpu: u32) -> Result<u64, AttError> {
+        if let Some(fence) = &self.read_fence {
+            if !fence.allows(cpu) {
+                return Err(AttError::Forbidden);
+            }
+        }
+        self.translate(nva, len, cpu)
     }
 
     /// Translate an access of `len` bytes at network virtual address `nva`
@@ -185,6 +213,23 @@ mod tests {
         let mut t = table();
         t.clear();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn read_fence_blocks_reads_not_writes() {
+        let mut t = table();
+        t.set_read_fence(Some(CpuFilter::Only(vec![9])));
+        // Writes (plain translate) pass through any open window.
+        assert_eq!(t.translate(0x1000, 16, 0), Ok(0x8000));
+        // Reads from non-exempt CPUs are fenced; the exempt CPU passes.
+        assert_eq!(t.translate_read(0x1000, 16, 0), Err(AttError::Forbidden));
+        assert_eq!(t.translate_read(0x1000, 16, 9), Ok(0x8000));
+        // Lifting the fence restores normal read translation.
+        t.set_read_fence(None);
+        assert_eq!(t.translate_read(0x1000, 16, 0), Ok(0x8000));
+        // The fence never opens windows the CPU filter would reject.
+        t.set_read_fence(Some(CpuFilter::Any));
+        assert_eq!(t.translate_read(0x4000, 64, 3), Err(AttError::Forbidden));
     }
 
     #[test]

@@ -4,15 +4,15 @@
 //! the process-hosted PMP prototype.
 
 use crate::att::{AttError, AttTable, SharedAtt};
-use crate::memory::NvImage;
+use crate::memory::{checksum64, NvImage};
 use bytes::Bytes;
 use nsk::machine::SharedMachine;
 use parking_lot::Mutex;
 use simcore::durable::{DurableStore, Image};
 use simcore::{Actor, ActorId, Ctx, Msg, Sim, SimDuration};
 use simnet::{
-    reply_rdma_read, reply_rdma_write, EndpointId, InboundRdmaRead, InboundRdmaWrite, RdmaStatus,
-    SharedNetwork,
+    reply_rdma_crc_read, reply_rdma_read, reply_rdma_write, EndpointId, InboundRdmaCrcRead,
+    InboundRdmaRead, InboundRdmaWrite, RdmaStatus, SharedNetwork,
 };
 use std::sync::Arc;
 
@@ -104,6 +104,9 @@ impl NpmuConfig {
 pub struct NpmuStats {
     pub writes: u64,
     pub reads: u64,
+    /// Checksum ("scrub") reads served: the range is read from media and
+    /// digested device-side, only 8 bytes cross the wire.
+    pub crc_reads: u64,
     pub bytes_written: u64,
     pub bytes_read: u64,
     pub access_violations: u64,
@@ -132,6 +135,7 @@ pub struct NpmuHandle {
 /// PMP-only: an op whose device-side processing is delayed.
 struct DeferredWrite(InboundRdmaWrite);
 struct DeferredRead(InboundRdmaRead);
+struct DeferredCrcRead(InboundRdmaCrcRead);
 
 pub struct Npmu {
     name: String,
@@ -275,7 +279,7 @@ impl Npmu {
         let cpu = self.initiator_cpu(r.from_ep);
         let net = self.net.clone();
         let ep = self.ep;
-        let verdict = self.att.lock().translate(r.addr, r.len as u64, cpu);
+        let verdict = self.att.lock().translate_read(r.addr, r.len as u64, cpu);
         match verdict {
             Ok(phys) => {
                 let data = self.mem.lock().read(phys, r.len as usize);
@@ -292,6 +296,40 @@ impl Npmu {
                     AttError::Forbidden => RdmaStatus::AccessViolation,
                 };
                 reply_rdma_read(ctx, &net, ep, &r, status, Bytes::new());
+            }
+        }
+    }
+
+    fn do_crc_read(&mut self, ctx: &mut Ctx<'_>, r: InboundRdmaCrcRead) {
+        if self.down_now(ctx) {
+            self.stats.lock().failed_ops += 1;
+            if self.cfg.fail_mode == FailureMode::Nack {
+                let net = self.net.clone();
+                let ep = self.ep;
+                reply_rdma_crc_read(ctx, &net, ep, &r, RdmaStatus::DeviceFailed, 0);
+            }
+            return;
+        }
+        let cpu = self.initiator_cpu(r.from_ep);
+        let net = self.net.clone();
+        let ep = self.ep;
+        let verdict = self.att.lock().translate_read(r.addr, r.len as u64, cpu);
+        match verdict {
+            Ok(phys) => {
+                let crc = checksum64(&self.mem.lock().read(phys, r.len as usize));
+                let mut s = self.stats.lock();
+                s.crc_reads += 1;
+                s.bytes_read += r.len as u64;
+                drop(s);
+                reply_rdma_crc_read(ctx, &net, ep, &r, RdmaStatus::Ok, crc);
+            }
+            Err(e) => {
+                self.stats.lock().access_violations += 1;
+                let status = match e {
+                    AttError::Unmapped => RdmaStatus::OutOfBounds,
+                    AttError::Forbidden => RdmaStatus::AccessViolation,
+                };
+                reply_rdma_crc_read(ctx, &net, ep, &r, status, 0);
             }
         }
     }
@@ -332,6 +370,19 @@ impl Actor for Npmu {
             }
             Err(m) => m,
         };
+        let msg = match msg.take::<InboundRdmaCrcRead>() {
+            Ok((_, r)) => {
+                match self.cfg.kind {
+                    NpmuKind::Hardware => self.do_crc_read(ctx, r),
+                    NpmuKind::Pmp => ctx.send_self(
+                        SimDuration::from_nanos(self.cfg.pmp_extra_ns),
+                        DeferredCrcRead(r),
+                    ),
+                }
+                return;
+            }
+            Err(m) => m,
+        };
         let msg = match msg.take::<DeferredWrite>() {
             Ok((_, DeferredWrite(w))) => {
                 self.do_write(ctx, w);
@@ -339,8 +390,15 @@ impl Actor for Npmu {
             }
             Err(m) => m,
         };
-        if let Ok((_, DeferredRead(r))) = msg.take::<DeferredRead>() {
-            self.do_read(ctx, r);
+        let msg = match msg.take::<DeferredRead>() {
+            Ok((_, DeferredRead(r))) => {
+                self.do_read(ctx, r);
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok((_, DeferredCrcRead(r))) = msg.take::<DeferredCrcRead>() {
+            self.do_crc_read(ctx, r);
         }
     }
 }

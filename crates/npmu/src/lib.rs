@@ -26,4 +26,4 @@ pub mod memory;
 
 pub use att::{AttEntry, AttTable, CpuFilter, SharedAtt};
 pub use device::{FailureMode, Npmu, NpmuConfig, NpmuHandle, NpmuKind, NpmuStats, SharedNpmuStats};
-pub use memory::NvImage;
+pub use memory::{checksum64, NvImage};

@@ -19,7 +19,7 @@ pub mod lib_impl;
 
 pub use lib_impl::{
     MirrorPolicy, PmClientConfig, PmLib, PmReadComplete, PmReadTimeout, PmWriteComplete,
-    PmWriteTimeout,
+    PmWriteTimeout, ReadRouting,
 };
 
 #[cfg(test)]

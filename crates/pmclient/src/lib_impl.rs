@@ -25,6 +25,24 @@ pub enum MirrorPolicy {
     PrimaryOnly,
 }
 
+/// How reads are routed across each member's mirrored NPMU pair. Reads
+/// need only one copy, so routing is a bandwidth decision: a member's
+/// two halves have independent ports, and spreading reads across them
+/// doubles a member's read bandwidth. Suspect/degraded state always
+/// overrides the policy — reads go to the surviving half, and failover
+/// semantics are unchanged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadRouting {
+    /// Every read targets the primary half (legacy behaviour).
+    PrimaryOnly,
+    /// Alternate healthy halves per read — mirror-balanced bandwidth.
+    RoundRobin,
+    /// Route to the half with the lowest observed read RTT (EWMA over
+    /// per-half round-trip samples); explores round-robin until both
+    /// halves have samples.
+    Adaptive,
+}
+
 /// Client-side tunables. The timeouts cover the *silent-drop* failure
 /// mode: a NACKing device answers immediately and an unreachable endpoint
 /// is detected by the transport, but a device that swallows ops without
@@ -42,6 +60,11 @@ pub struct PmClientConfig {
     /// takeover); doubles per attempt up to `rpc_retry_cap`.
     pub rpc_retry_base: SimDuration,
     pub rpc_retry_cap: SimDuration,
+    /// In-flight window per read run: how many stripe fragments a
+    /// multi-fragment read (or [`PmLib::read_batch`]) keeps outstanding
+    /// at once. 1 restores lock-step issue; the default pipelines the
+    /// fabric.
+    pub read_window: u32,
 }
 
 impl Default for PmClientConfig {
@@ -51,6 +74,7 @@ impl Default for PmClientConfig {
             read_timeout: SimDuration::from_millis(5),
             rpc_retry_base: SimDuration::from_millis(200),
             rpc_retry_cap: SimDuration::from_millis(1600),
+            read_window: 8,
         }
     }
 }
@@ -145,8 +169,11 @@ struct ReadPart {
     buf_off: usize,
     /// Half this attempt targets.
     half: u8,
-    /// Bitmask of halves already tried.
+    /// Bitmask of halves already tried (0 = not yet issued; the half is
+    /// picked at issue time from fresh suspect/routing state).
     tried: u8,
+    /// When the current attempt went on the wire (RTT observation).
+    issued_ns: u64,
     data: Option<Bytes>,
 }
 
@@ -157,6 +184,11 @@ struct ReadRun {
     /// True once any fragment failed over.
     degraded: bool,
     outstanding: u32,
+    /// Fragments in flight right now (windowed issue; a failover
+    /// re-issue keeps its slot).
+    inflight: u32,
+    /// Next fragment the window pump has not issued yet.
+    next_unissued: usize,
     parts: Vec<ReadPart>,
 }
 
@@ -168,6 +200,7 @@ pub struct PmLib {
     cpu: CpuId,
     pmm_name: String,
     policy: MirrorPolicy,
+    read_routing: ReadRouting,
     cfg: PmClientConfig,
     next_rdma: u64,
     /// RDMA op id → (write id, chunk index, half).
@@ -186,6 +219,24 @@ pub struct PmLib {
     /// [`ReportMirrorFailure`] to the PMM), cleared when that half
     /// answers `Ok` again.
     suspects: HashMap<(u64, u32), [bool; 2]>,
+    /// When each half was last suspected (sim ns) — breaks the tie when
+    /// *both* halves of a member are suspect: reads go to the
+    /// least-recently-suspected half rather than silently to half 0.
+    suspected_at: HashMap<(u64, u32), [u64; 2]>,
+    /// Halves whose *contents* may be stale: set when a half is
+    /// suspected (its data diverges while it is out) or when a read is
+    /// rejected by the PMM's resilver read fence. A successful write
+    /// clears `suspects` but not this — only a successful *read* on the
+    /// half (fence lifted, resilver verified clean) does. Balanced
+    /// routing avoids stale halves, probing them every
+    /// [`Self::STALE_PROBE_PERIOD`]th read.
+    stale: HashMap<(u64, u32), [bool; 2]>,
+    /// Per-(region, member) read sequence counter (round-robin + stale
+    /// probe cadence).
+    read_seq: HashMap<(u64, u32), u64>,
+    /// Per-(member volume, half) read round-trip EWMA, ns (adaptive
+    /// routing).
+    rtt_ewma: HashMap<(u32, u8), f64>,
 }
 
 impl PmLib {
@@ -203,6 +254,7 @@ impl PmLib {
             cpu,
             pmm_name: pmm_name.into(),
             policy: MirrorPolicy::ParallelBoth,
+            read_routing: ReadRouting::PrimaryOnly,
             cfg: PmClientConfig::default(),
             next_rdma: 0,
             rdma_map: HashMap::new(),
@@ -213,11 +265,29 @@ impl PmLib {
             read_map: HashMap::new(),
             regions: HashMap::new(),
             suspects: HashMap::new(),
+            suspected_at: HashMap::new(),
+            stale: HashMap::new(),
+            read_seq: HashMap::new(),
+            rtt_ewma: HashMap::new(),
         }
     }
 
+    /// Every this-many reads of a (region, member) with a stale half,
+    /// one read probes the stale half to discover the resilver finishing
+    /// (the PMM lifts the read fence); a fence rejection just fails the
+    /// probe over to the fresh half.
+    const STALE_PROBE_PERIOD: u64 = 16;
+
+    /// EWMA smoothing factor for per-half read RTT observations.
+    const RTT_ALPHA: f64 = 0.3;
+
     pub fn with_policy(mut self, policy: MirrorPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    pub fn with_read_routing(mut self, routing: ReadRouting) -> Self {
+        self.read_routing = routing;
         self
     }
 
@@ -328,6 +398,9 @@ impl PmLib {
     pub fn close_region(&mut self, ctx: &mut Ctx<'_>, region_id: u64, token: u64) -> bool {
         self.regions.remove(&region_id);
         self.suspects.retain(|&(rid, _), _| rid != region_id);
+        self.suspected_at.retain(|&(rid, _), _| rid != region_id);
+        self.stale.retain(|&(rid, _), _| rid != region_id);
+        self.read_seq.retain(|&(rid, _), _| rid != region_id);
         let machine = self.machine.clone();
         nsk::proc::send_to_process(
             ctx,
@@ -497,53 +570,166 @@ impl PmLib {
     }
 
     /// Read `len` bytes at `offset`. Reads need not be replicated, so one
-    /// half of each member serves: the primary by default, the mirror
-    /// when that member's primary is suspect. On an error or timeout a
-    /// fragment fails over to its other half once; fragments land in one
-    /// reassembled buffer. Completion surfaces via
+    /// half of each member serves, chosen per fragment by the library's
+    /// [`ReadRouting`] (suspect state always overrides the policy). On an
+    /// error or timeout a fragment fails over to its other half once;
+    /// fragments land in one reassembled buffer. Completion surfaces via
     /// [`Self::on_rdma_read_done`].
     pub fn read(&mut self, ctx: &mut Ctx<'_>, region_id: u64, offset: u64, len: u32, token: u64) {
+        self.read_batch(ctx, region_id, &[(offset, len)], token)
+    }
+
+    /// Batched scatter-gather read: every `(offset, len)` part is
+    /// submitted under ONE completion, window and token — the read-side
+    /// mirror of [`Self::write_batch`]. Parts' stripe fragments are
+    /// concatenated in argument order into the completion's single
+    /// buffer. At most `read_window` fragments are on the wire at once;
+    /// each completion immediately issues the next, so a bulk read
+    /// pipelines the fabric instead of paying one round trip per
+    /// fragment.
+    pub fn read_batch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        region_id: u64,
+        spans: &[(u64, u32)],
+        token: u64,
+    ) {
+        assert!(!spans.is_empty(), "empty batch");
         let info = self.regions.get(&region_id).expect("region not adopted");
-        assert!(offset + len as u64 <= info.len, "read beyond region");
-        let frags = info.map.split(offset, len as u64);
+        let mut parts = Vec::new();
+        let mut buf_base = 0usize;
+        for &(offset, len) in spans {
+            assert!(offset + len as u64 <= info.len, "read beyond region");
+            for frag in info.map.split(offset, len as u64) {
+                parts.push(ReadPart {
+                    volume: frag.volume,
+                    dev_off: frag.dev_off,
+                    len: frag.len,
+                    buf_off: buf_base + frag.buf_off,
+                    half: 0,
+                    tried: 0,
+                    issued_ns: 0,
+                    data: None,
+                });
+            }
+            buf_base += len as usize;
+        }
         let run_id = self.next_read;
         self.next_read += 1;
-        let mut parts = Vec::with_capacity(frags.len());
-        for frag in &frags {
-            let s = self.suspect_halves_on(region_id, frag.volume);
-            let half = if s[0] && !s[1] { 1 } else { 0 };
-            parts.push(ReadPart {
-                volume: frag.volume,
-                dev_off: frag.dev_off,
-                len: frag.len,
-                buf_off: frag.buf_off,
-                half,
-                tried: 1 << half,
-                data: None,
-            });
-        }
         let n = parts.len();
         self.reads.insert(
             run_id,
             ReadRun {
                 token,
                 region_id,
-                total: len as usize,
+                total: buf_base,
                 degraded: false,
                 outstanding: n as u32,
+                inflight: 0,
+                next_unissued: 0,
                 parts,
             },
         );
-        for part in 0..n {
+        self.pump_reads(ctx, run_id);
+    }
+
+    /// Issue fragments of a run until its window is full or every
+    /// fragment is on the wire.
+    fn pump_reads(&mut self, ctx: &mut Ctx<'_>, run_id: u64) {
+        let window = self.cfg.read_window.max(1);
+        loop {
+            let part = {
+                let Some(r) = self.reads.get_mut(&run_id) else {
+                    return;
+                };
+                if r.next_unissued >= r.parts.len() || r.inflight >= window {
+                    return;
+                }
+                let p = r.next_unissued;
+                r.next_unissued += 1;
+                r.inflight += 1;
+                p
+            };
             self.issue_read_part(ctx, run_id, part);
         }
     }
 
+    /// Route one fragment read: suspect state first (never target a
+    /// half known to be failing; both-suspect picks the
+    /// least-recently-suspected half), then stale-avoidance, then the
+    /// configured routing policy across the healthy halves.
+    fn pick_read_half(&mut self, ctx: &mut Ctx<'_>, region_id: u64, volume: u32) -> u8 {
+        let s = self.suspect_halves_on(region_id, volume);
+        if s[0] && s[1] {
+            // Nowhere healthy to go: a real library still has to issue
+            // somewhere. Prefer the half that failed longest ago (most
+            // likely to have recovered) instead of silently picking the
+            // primary, and leave a trace for diagnosis.
+            let at = self
+                .suspected_at
+                .get(&(region_id, volume))
+                .copied()
+                .unwrap_or([0; 2]);
+            ctx.trace("pmclient: degraded read, both halves suspect");
+            return if at[0] <= at[1] { 0 } else { 1 };
+        }
+        if s[0] {
+            return 1;
+        }
+        if s[1] {
+            return 0;
+        }
+        let seq = {
+            let c = self.read_seq.entry((region_id, volume)).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let stale = self
+            .stale
+            .get(&(region_id, volume))
+            .copied()
+            .unwrap_or([false; 2]);
+        if stale[0] != stale[1] {
+            // One half is converging behind the PMM's read fence: serve
+            // from the fresh half, but probe the stale one periodically
+            // to notice the fence lifting.
+            let stale_half = if stale[0] { 0u8 } else { 1u8 };
+            let probe = self.read_routing != ReadRouting::PrimaryOnly
+                && seq % Self::STALE_PROBE_PERIOD == 0;
+            return if probe { stale_half } else { 1 - stale_half };
+        }
+        match self.read_routing {
+            ReadRouting::PrimaryOnly => 0,
+            ReadRouting::RoundRobin => (seq & 1) as u8,
+            ReadRouting::Adaptive => {
+                match (
+                    self.rtt_ewma.get(&(volume, 0)),
+                    self.rtt_ewma.get(&(volume, 1)),
+                ) {
+                    (Some(a), Some(b)) => u8::from(b < a),
+                    // Explore until both halves have RTT samples.
+                    _ => (seq & 1) as u8,
+                }
+            }
+        }
+    }
+
     fn issue_read_part(&mut self, ctx: &mut Ctx<'_>, run_id: u64, part: usize) {
-        let (region_id, volume, half, dev_off, len) = {
+        let (region_id, volume, first_issue) = {
             let r = &self.reads[&run_id];
             let p = &r.parts[part];
-            (r.region_id, p.volume, p.half, p.dev_off, p.len)
+            (r.region_id, p.volume, p.tried == 0)
+        };
+        if first_issue {
+            let half = self.pick_read_half(ctx, region_id, volume);
+            let p = &mut self.reads.get_mut(&run_id).unwrap().parts[part];
+            p.half = half;
+            p.tried = 1 << half;
+        }
+        let (half, dev_off, len) = {
+            let p = &mut self.reads.get_mut(&run_id).unwrap().parts[part];
+            p.issued_ns = ctx.now().as_nanos();
+            (p.half, p.dev_off, p.len)
         };
         let info = &self.regions[&region_id];
         let eps = info
@@ -584,6 +770,12 @@ impl PmLib {
     /// on the edge, report to the PMM (fire-and-forget — the PMM confirms
     /// with its own probe).
     fn mark_suspect(&mut self, ctx: &mut Ctx<'_>, region_id: u64, volume: u32, half: u8) {
+        // A failing half's contents diverge while it is out: even after
+        // it answers again, don't trust its reads until one succeeds
+        // directly (the PMM fences reads off it until resilvered).
+        self.stale.entry((region_id, volume)).or_default()[half as usize] = true;
+        self.suspected_at.entry((region_id, volume)).or_default()[half as usize] =
+            ctx.now().as_nanos();
         let entry = self.suspects.entry((region_id, volume)).or_default();
         if entry[half as usize] {
             return;
@@ -607,6 +799,15 @@ impl PmLib {
 
     fn clear_suspect(&mut self, region_id: u64, volume: u32, half: u8) {
         if let Some(entry) = self.suspects.get_mut(&(region_id, volume)) {
+            entry[half as usize] = false;
+        }
+    }
+
+    /// A read served directly by this half proves its contents current
+    /// (the PMM only lifts the read fence once the resilver verified the
+    /// mirrors identical).
+    fn clear_stale(&mut self, region_id: u64, volume: u32, half: u8) {
+        if let Some(entry) = self.stale.get_mut(&(region_id, volume)) {
             entry[half as usize] = false;
         }
     }
@@ -722,6 +923,8 @@ impl PmLib {
             return None;
         }
         let st = self.writes.remove(&wid)?;
+        // Purge op-id entries still pointing at the retired write.
+        self.rdma_map.retain(|_, &mut (w, _, _)| w != wid);
         let (status, degraded) = if let Some(err) = st.logical_error {
             (err, false)
         } else if st.chunks.iter().all(|c| c.acked > 0) {
@@ -752,18 +955,32 @@ impl PmLib {
     ) -> Option<PmReadComplete> {
         let (run_id, part) = self.read_map.remove(&done.op_id)?;
         let r = self.reads.get_mut(&run_id)?;
-        let (region_id, volume, half) = {
+        let (region_id, volume, half, issued_ns) = {
             let p = &r.parts[part];
-            (r.region_id, p.volume, p.half)
+            (r.region_id, p.volume, p.half, p.issued_ns)
         };
         if done.status == RdmaStatus::Ok {
             r.parts[part].data = Some(done.data);
             r.outstanding -= 1;
+            r.inflight = r.inflight.saturating_sub(1);
             self.clear_suspect(region_id, volume, half);
+            self.clear_stale(region_id, volume, half);
+            // Per-half RTT observation feeding adaptive routing.
+            let rtt = ctx.now().as_nanos().saturating_sub(issued_ns) as f64;
+            self.rtt_ewma
+                .entry((volume, half))
+                .and_modify(|e| *e += Self::RTT_ALPHA * (rtt - *e))
+                .or_insert(rtt);
+            self.pump_reads(ctx, run_id);
             return self.try_complete_read(run_id);
         }
         if Self::is_availability_error(done.status) {
             self.mark_suspect(ctx, region_id, volume, half);
+        } else {
+            // A rejection through an open window means the PMM re-fenced
+            // this half (resilver in progress): its contents are stale,
+            // not its port. Route around it until a probe read succeeds.
+            self.stale.entry((region_id, volume)).or_default()[half as usize] = true;
         }
         self.fail_over_part(ctx, run_id, part, done.status)
     }
@@ -819,6 +1036,10 @@ impl PmLib {
             return None;
         }
         let r = self.reads.remove(&run_id)?;
+        // Purge any op-id entry still pointing at the retired run (e.g. a
+        // leg that was re-issued while its original was still tracked) so
+        // the completion map can't grow without bound.
+        self.read_map.retain(|_, &mut (rn, _)| rn != run_id);
         let mut buf = vec![0u8; r.total];
         for p in &r.parts {
             let d = p.data.as_ref().expect("all fragments complete");
@@ -837,9 +1058,28 @@ impl PmLib {
         self.writes.len()
     }
 
+    /// True when no read or write is in flight *and* every per-op
+    /// completion map has been purged — the invariant a long-lived
+    /// client relies on to not leak tracking state across runs.
+    pub fn quiesced(&self) -> bool {
+        self.writes.is_empty()
+            && self.reads.is_empty()
+            && self.rdma_map.is_empty()
+            && self.read_map.is_empty()
+    }
+
     /// Schedule a retry timer helper: clients re-send PMM RPCs if no ack
     /// within `after` (used across PMM takeovers).
     pub fn retry_after<T: std::any::Any + Send>(ctx: &mut Ctx<'_>, after: SimDuration, marker: T) {
         ctx.send_self(after, marker);
+    }
+
+    /// Test-only: inject suspect state directly (no PMM report), with an
+    /// explicit suspicion timestamp — lets tests stage the both-suspect
+    /// tie-break deterministically.
+    #[cfg(test)]
+    pub(crate) fn force_suspect_at(&mut self, region_id: u64, volume: u32, half: u8, at_ns: u64) {
+        self.suspects.entry((region_id, volume)).or_default()[half as usize] = true;
+        self.suspected_at.entry((region_id, volume)).or_default()[half as usize] = at_ns;
     }
 }

@@ -1,7 +1,7 @@
 //! End-to-end tests of the full PM access architecture:
 //! client library ↔ PMM pair ↔ mirrored NPMUs over the fabric.
 
-use crate::{MirrorPolicy, PmLib, PmReadTimeout, PmWriteTimeout};
+use crate::{MirrorPolicy, PmClientConfig, PmLib, PmReadTimeout, PmWriteTimeout, ReadRouting};
 use bytes::Bytes;
 use npmu::{Npmu, NpmuConfig};
 use nsk::machine::{CpuId, Machine, MachineConfig, SharedMachine};
@@ -38,12 +38,29 @@ enum Step {
         len: u32,
         expect: Option<Vec<u8>>,
     },
+    /// Scatter-gather read: all spans under one token/completion.
+    ReadBatch {
+        region_idx: usize,
+        spans: Vec<(u64, u32)>,
+        expect: Option<Vec<u8>>,
+    },
     Delete {
         name: String,
     },
     /// Let virtual time pass (e.g. into or out of a fault window).
     Delay {
         dur: SimDuration,
+    },
+    /// Synchronous: log whether the library has quiesced (no in-flight
+    /// ops AND all completion maps purged — the leak invariant).
+    CheckQuiesced,
+    /// Synchronous test hook: mark a mirror half suspect as of `at_ns`
+    /// without going through a real failure (stages the both-suspect
+    /// tie-break deterministically).
+    ForceSuspect {
+        region_idx: usize,
+        half: u8,
+        at_ns: u64,
     },
 }
 
@@ -99,6 +116,28 @@ impl TestClient {
             } => {
                 let id = self.opened[region_idx].region_id;
                 self.lib.read(ctx, id, offset, len, tok);
+            }
+            Step::ReadBatch {
+                region_idx, spans, ..
+            } => {
+                let id = self.opened[region_idx].region_id;
+                self.lib.read_batch(ctx, id, &spans, tok);
+            }
+            Step::CheckQuiesced => {
+                self.log
+                    .lock()
+                    .push(format!("quiesced:{}", self.lib.quiesced()));
+                self.advance(ctx);
+            }
+            Step::ForceSuspect {
+                region_idx,
+                half,
+                at_ns,
+            } => {
+                let info = &self.opened[region_idx];
+                let (id, vol) = (info.region_id, info.volumes[0].volume);
+                self.lib.force_suspect_at(id, vol, half, at_ns);
+                self.advance(ctx);
             }
             Step::Delete { name } => {
                 let machine_name = name;
@@ -239,6 +278,9 @@ impl Actor for TestClient {
                     let verdict = match &self.steps[c.token as usize] {
                         Step::Read {
                             expect: Some(e), ..
+                        }
+                        | Step::ReadBatch {
+                            expect: Some(e), ..
                         } => {
                             if c.data.as_ref() == &e[..] {
                                 "match"
@@ -249,11 +291,12 @@ impl Actor for TestClient {
                         _ => "nocheck",
                     };
                     self.log.lock().push(format!(
-                        "read[{}]:{:?}:{}{}",
+                        "read[{}]:{:?}:{}{}@{}",
                         c.token,
                         c.status,
                         verdict,
-                        if c.degraded { ":degraded" } else { "" }
+                        if c.degraded { ":degraded" } else { "" },
+                        ctx.now().as_nanos()
                     ));
                     self.advance(ctx);
                 }
@@ -377,6 +420,18 @@ fn spawn_client(
     steps: Vec<Step>,
     policy: MirrorPolicy,
 ) -> Arc<Mutex<Vec<String>>> {
+    spawn_client_custom(sc, cpu, steps, policy, |lib| lib)
+}
+
+/// As [`spawn_client`], with a hook to tweak the library before install
+/// (read routing, window size, timeouts …).
+fn spawn_client_custom(
+    sc: &mut Scenario,
+    cpu: CpuId,
+    steps: Vec<Step>,
+    policy: MirrorPolicy,
+    customize: impl FnOnce(PmLib) -> PmLib + Send + 'static,
+) -> Arc<Mutex<Vec<String>>> {
     let log = Arc::new(Mutex::new(Vec::new()));
     let machine = sc.machine.clone();
     let log2 = log.clone();
@@ -387,7 +442,7 @@ fn spawn_client(
         cpu,
         move |ep| {
             Box::new(TestClient {
-                lib: PmLib::new(machine.clone(), ep, cpu, "$PMM").with_policy(policy),
+                lib: customize(PmLib::new(machine.clone(), ep, cpu, "$PMM").with_policy(policy)),
                 steps,
                 pos: 0,
                 opened: Vec::new(),
@@ -1199,6 +1254,255 @@ fn degraded_state_survives_power_loss_and_resilver_resumes() {
     let b = sc.pmm.npmu_b.mem.lock().read(pmm::META_BYTES, 4096);
     assert_eq!(b, payload, "degraded-era write must reach the revived half");
     assert!(mirror_halves_equal(&sc.pmm, pmm::META_BYTES, 1 << 20));
+}
+
+// --- batched reads, windowing and routing ----------------------------------
+
+/// Completion timestamp appended to a log line as "@<ns>".
+fn ts(line: &str) -> u64 {
+    line.rsplit('@').next().unwrap().parse().unwrap()
+}
+
+#[test]
+fn read_batch_reassembles_spans_in_argument_order_and_quiesces() {
+    let mut store = DurableStore::new();
+    let mut sc = build(&mut store, 70, false);
+    let p1 = vec![0x11u8; 4096];
+    let p2 = vec![0x22u8; 4096];
+    // Spans submitted high-offset first: the completion buffer must be
+    // concatenated in argument order, not offset order.
+    let mut expect = p2.clone();
+    expect.extend_from_slice(&p1);
+    let log = spawn_client(
+        &mut sc,
+        CpuId(2),
+        vec![
+            Step::Create {
+                name: "batch".into(),
+                len: 1 << 20,
+            },
+            Step::Write {
+                region_idx: 0,
+                offset: 0,
+                data: p1.clone(),
+                expect: RdmaStatus::Ok,
+            },
+            Step::Write {
+                region_idx: 0,
+                offset: 16384,
+                data: p2.clone(),
+                expect: RdmaStatus::Ok,
+            },
+            Step::ReadBatch {
+                region_idx: 0,
+                spans: vec![(16384, 4096), (0, 4096)],
+                expect: Some(expect),
+            },
+            Step::CheckQuiesced,
+        ],
+        MirrorPolicy::ParallelBoth,
+    );
+    sc.sim.run_until(SimTime(10 * SECS));
+    let log = log.lock();
+    assert_eq!(log.len(), 5, "{log:?}");
+    assert!(log[3].contains("Ok:match"), "{log:?}");
+    // Satellite invariant: once the run retires, every completion map
+    // (read_map, rdma_map) has been purged — nothing leaks across runs.
+    assert_eq!(log[4], "quiesced:true", "{log:?}");
+}
+
+#[test]
+fn read_window_pipelines_small_fragments() {
+    // 16 × 64 B spans are latency-bound (sw overhead ≫ wire time), so a
+    // window of 8 overlaps round trips that window 1 pays serially.
+    let run = |window: u32| -> u64 {
+        let mut store = DurableStore::new();
+        let mut sc = build(&mut store, 71, false);
+        let payload = vec![0x5Cu8; 1024];
+        let spans: Vec<(u64, u32)> = (0..16).map(|i| (i * 64, 64)).collect();
+        let log = spawn_client_custom(
+            &mut sc,
+            CpuId(2),
+            vec![
+                Step::Create {
+                    name: "win".into(),
+                    len: 1 << 20,
+                },
+                Step::Write {
+                    region_idx: 0,
+                    offset: 0,
+                    data: payload.clone(),
+                    expect: RdmaStatus::Ok,
+                },
+                Step::ReadBatch {
+                    region_idx: 0,
+                    spans,
+                    expect: Some(payload),
+                },
+                Step::CheckQuiesced,
+            ],
+            MirrorPolicy::ParallelBoth,
+            move |lib| {
+                lib.with_config(PmClientConfig {
+                    read_window: window,
+                    ..PmClientConfig::default()
+                })
+            },
+        );
+        sc.sim.run_until_idle();
+        let log = log.lock();
+        assert_eq!(log.len(), 4, "{log:?}");
+        assert!(log[2].contains("Ok:match"), "{log:?}");
+        assert_eq!(log[3], "quiesced:true", "{log:?}");
+        ts(&log[2]) - ts(&log[1])
+    };
+    let d1 = run(1);
+    let d8 = run(8);
+    assert!(
+        d1 >= 3 * d8,
+        "window 8 ({d8} ns) must pipeline ≥3× over lock-step ({d1} ns)"
+    );
+}
+
+#[test]
+fn balanced_routing_doubles_bulk_read_bandwidth() {
+    // 8 × 128 KiB spans are wire-bound: with every read on the primary
+    // half they serialize on one device port; round-robin (and adaptive
+    // exploration) spreads them across both halves' ports.
+    let run = |routing: ReadRouting| -> u64 {
+        let mut store = DurableStore::new();
+        let mut sc = build(&mut store, 72, false);
+        let spans: Vec<(u64, u32)> = (0..8).map(|i| (i * (128 << 10), 128 << 10)).collect();
+        let log = spawn_client_custom(
+            &mut sc,
+            CpuId(2),
+            vec![
+                Step::Create {
+                    name: "bal".into(),
+                    len: 2 << 20,
+                },
+                Step::Write {
+                    region_idx: 0,
+                    offset: 0,
+                    data: vec![9u8; 64],
+                    expect: RdmaStatus::Ok,
+                },
+                Step::ReadBatch {
+                    region_idx: 0,
+                    spans,
+                    expect: None,
+                },
+            ],
+            MirrorPolicy::ParallelBoth,
+            move |lib| lib.with_read_routing(routing),
+        );
+        sc.sim.run_until_idle();
+        let log = log.lock();
+        assert_eq!(log.len(), 3, "{log:?}");
+        assert!(log[2].contains("Ok:nocheck"), "{log:?}");
+        ts(&log[2]) - ts(&log[1])
+    };
+    let primary = run(ReadRouting::PrimaryOnly);
+    let balanced = run(ReadRouting::RoundRobin);
+    let adaptive = run(ReadRouting::Adaptive);
+    assert!(
+        primary * 2 >= balanced * 3,
+        "round-robin ({balanced} ns) must beat primary-only ({primary} ns) by ≥1.5×"
+    );
+    assert!(
+        primary * 10 >= adaptive * 14,
+        "adaptive ({adaptive} ns) must beat primary-only ({primary} ns) by ≥1.4×"
+    );
+}
+
+#[test]
+fn both_suspect_reads_go_to_least_recently_suspected_half() {
+    // Half 0 dies at t=2 s and stays down. Suspect state is injected
+    // directly (no failure reports, so the PMM never fences anything):
+    // with BOTH halves suspect the library must route to the half that
+    // was suspected longest ago — not silently to half 0.
+    let mut store = DurableStore::new();
+    let plan = FaultPlan::none().with(Fault::NpmuDown {
+        volume_half: 0,
+        from: SimTime(2 * SECS),
+        to: SimTime(100 * SECS),
+    });
+    let mut sc = build_faulty(
+        &mut store,
+        73,
+        false,
+        plan,
+        PmmConfig::default(),
+        npmu::FailureMode::Nack,
+    );
+    let payload = vec![0x7Du8; 2048];
+    let log = spawn_client(
+        &mut sc,
+        CpuId(2),
+        vec![
+            Step::Create {
+                name: "bs".into(),
+                len: 1 << 20,
+            },
+            Step::Write {
+                region_idx: 0,
+                offset: 0,
+                data: payload.clone(),
+                expect: RdmaStatus::Ok,
+            },
+            Step::Delay {
+                dur: SimDuration::from_millis(2500),
+            },
+            // Half 1 suspected longest ago → it gets the read. It is
+            // alive, so the read serves directly (no failover).
+            Step::ForceSuspect {
+                region_idx: 0,
+                half: 1,
+                at_ns: 1,
+            },
+            Step::ForceSuspect {
+                region_idx: 0,
+                half: 0,
+                at_ns: 2,
+            },
+            Step::Read {
+                region_idx: 0,
+                offset: 0,
+                len: 2048,
+                expect: Some(payload.clone()),
+            },
+            // Tie-break reversed: half 0 is now least-recently-suspected,
+            // gets the read, NACKs (it is down) and the read fails over.
+            Step::ForceSuspect {
+                region_idx: 0,
+                half: 0,
+                at_ns: 10,
+            },
+            Step::ForceSuspect {
+                region_idx: 0,
+                half: 1,
+                at_ns: 20,
+            },
+            Step::Read {
+                region_idx: 0,
+                offset: 0,
+                len: 2048,
+                expect: Some(payload),
+            },
+            Step::CheckQuiesced,
+        ],
+        MirrorPolicy::ParallelBoth,
+    );
+    sc.sim.run_until(SimTime(10 * SECS));
+    let log = log.lock();
+    assert_eq!(log.len(), 6, "{log:?}");
+    // First read: routed to the live, least-recently-suspected half 1 —
+    // served directly, NOT via failover.
+    assert!(log[3].contains("Ok:match"), "{log:?}");
+    assert!(!log[3].contains("degraded"), "{log:?}");
+    // Second read: routed to dead half 0 first, failed over to half 1.
+    assert!(log[4].contains("Ok:match:degraded"), "{log:?}");
+    assert_eq!(log[5], "quiesced:true", "{log:?}");
 }
 
 #[test]

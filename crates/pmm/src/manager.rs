@@ -78,8 +78,8 @@ use pmpool::{
 };
 use simcore::{Actor, Ctx, Msg, Sim, SimDuration};
 use simnet::{
-    rdma_read, rdma_write, send_net_msg, EndpointId, NetDelivery, RdmaReadDone, RdmaStatus,
-    RdmaWriteDone, SharedNetwork,
+    rdma_crc_read, rdma_read, rdma_write, send_net_msg, EndpointId, NetDelivery, RdmaCrcReadDone,
+    RdmaReadDone, RdmaStatus, RdmaWriteDone, SharedNetwork,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -103,8 +103,13 @@ pub struct PmmConfig {
     pub meta_write_timeout: SimDuration,
     /// Resilver / migration copy+verify granularity, bytes.
     pub resilver_chunk: u32,
+    /// Bulk-transfer window: how many `resilver_chunk` units the resilver
+    /// and migration engines keep in flight at once. 1 restores the old
+    /// lock-step behaviour; the default pipelines the survivor's port.
+    pub transfer_window: u32,
     /// A resilver step (chunk read or write) with no answer by then
-    /// aborts the resilver back to Degraded.
+    /// aborts the resilver back to Degraded. Per-op watchdogs stretch
+    /// this by the worst-case port queueing behind a full window.
     pub resilver_step_timeout: SimDuration,
     /// How new regions are laid out across pool members.
     pub placement: PlacementPolicy,
@@ -118,6 +123,7 @@ impl Default for PmmConfig {
             probe_timeout: SimDuration::from_millis(5),
             meta_write_timeout: SimDuration::from_millis(5),
             resilver_chunk: 256 * 1024,
+            transfer_window: 8,
             resilver_step_timeout: SimDuration::from_millis(10),
             placement: PlacementPolicy::default(),
         }
@@ -237,9 +243,19 @@ enum ResilverPhase {
 
 /// Which resilver step an RDMA op id belongs to.
 enum ResilverOp {
-    CopyRead { off: u64, len: u32 },
-    CopyWrite { len: u32 },
-    VerifyRead { off: u64, len: u32, survivor: bool },
+    CopyRead {
+        off: u64,
+        len: u32,
+    },
+    CopyWrite {
+        len: u32,
+    },
+    /// Device-side checksum of one half of a chunk under verify.
+    VerifyCrc {
+        off: u64,
+        len: u32,
+        survivor: bool,
+    },
 }
 
 struct ResilverRun {
@@ -249,19 +265,32 @@ struct ResilverRun {
     phase: ResilverPhase,
     /// Chunks still to process in the current phase.
     queue: VecDeque<(u64, u32)>,
+    /// Chunks in flight in the current phase (windowed engine).
+    inflight: u32,
     /// Chunks the verify pass found divergent (re-copied next round).
     divergent: Vec<(u64, u32)>,
-    /// Survivor bytes of the chunk currently being verified.
-    verify_a: Option<(u64, u32, bytes::Bytes)>,
+    /// Per-chunk checksum slots ([survivor, revived]) for chunks whose
+    /// verify CRC reads are in flight.
+    crc_pending: BTreeMap<u64, [Option<u64>; 2]>,
 }
 
 /// Which migration step an RDMA op id belongs to. Offsets are relative
 /// to the region start.
 enum MigOp {
-    CopyRead { off: u64, len: u32 },
-    CopyWrite { len: u32 },
-    VerifySrc { off: u64, len: u32 },
-    VerifyDst { off: u64, len: u32 },
+    CopyRead {
+        off: u64,
+        len: u32,
+    },
+    CopyWrite {
+        off: u64,
+        len: u32,
+    },
+    /// Device-side checksum of source (`src`) or destination chunk.
+    VerifyCrc {
+        off: u64,
+        len: u32,
+        src: bool,
+    },
 }
 
 /// An in-flight online region migration (volatile: a takeover drops it
@@ -279,10 +308,13 @@ struct MigrationRun {
     fenced: bool,
     phase: ResilverPhase,
     queue: VecDeque<(u64, u32)>,
+    /// Chunks in flight in the current phase (windowed engine).
+    inflight: u32,
     divergent: Vec<(u64, u32)>,
-    verify_src: Option<(u64, u32, bytes::Bytes)>,
-    /// Mirror-leg write acks outstanding for the current copy chunk.
-    writes_left: u32,
+    /// Per-chunk checksum slots ([src, dst]) under verify.
+    crc_pending: BTreeMap<u64, [Option<u64>; 2]>,
+    /// Per-chunk mirror-leg write acks outstanding, keyed by offset.
+    copy_writes_left: BTreeMap<u64, u32>,
 }
 
 /// One mirrored member volume of the pool, with its own durable
@@ -702,6 +734,9 @@ impl PmmProc {
             since_epoch: self.vols[vol].meta.epoch,
             dirty_upto: self.alloc_high_water(vol),
         };
+        // If the half comes back before it is resilvered, its contents
+        // are stale: fence client reads off it now (writes stay open).
+        self.update_read_fence(vol);
         let op = self.internal_op();
         self.start_meta_write(ctx, op, &[vol]);
         self.arm_probe_tick(ctx, vol);
@@ -797,6 +832,10 @@ impl PmmProc {
         for id in ids {
             self.program_region_att(id);
         }
+        // The revived half is stale until the verify pass is clean: keep
+        // the client read fence armed (reads fail over to the survivor)
+        // while foreground writes converge it.
+        self.update_read_fence(vol);
         let queue = self.resilver_chunks(vol, dirty_upto);
         self.vols[vol].resilver = Some(ResilverRun {
             half,
@@ -804,10 +843,48 @@ impl PmmProc {
             dirty_upto,
             phase: ResilverPhase::Copy,
             queue,
+            inflight: 0,
             divergent: Vec::new(),
-            verify_a: None,
+            crc_pending: BTreeMap::new(),
         });
-        self.resilver_step(ctx, vol);
+        self.resilver_pump(ctx, vol);
+    }
+
+    /// Arm or lift the stale-half read fence from the member's health: a
+    /// Degraded/Resilvering member's failed half serves reads only to the
+    /// PMM CPUs (probe/resilver traffic) until it verifies clean, so
+    /// clients can never observe pre-failure bytes through an open
+    /// window. Writes stay open — foreground mirrored writes keep
+    /// converging the half. The fence is volatile ATT state, so this is
+    /// re-applied on restart/takeover by `resume_health`.
+    fn update_read_fence(&mut self, vol: usize) {
+        let fenced_half = match self.vols[vol].meta.health {
+            HealthState::Degraded { half, .. } | HealthState::Resilvering { half, .. } => {
+                Some(half)
+            }
+            HealthState::Healthy => None,
+        };
+        for half in [0u8, 1u8] {
+            let att = if half == 0 {
+                &self.vols[vol].npmu_a.att
+            } else {
+                &self.vols[vol].npmu_b.att
+            };
+            let fence = if Some(half) == fenced_half {
+                Some(CpuFilter::Only(self.att_cpus.clone()))
+            } else {
+                None
+            };
+            att.lock().set_read_fence(fence);
+        }
+    }
+
+    /// Per-op watchdog: the configured step timeout plus worst-case port
+    /// queueing behind a full window of chunk transfers ahead of this op.
+    fn step_timeout(&self, len: u32) -> SimDuration {
+        let wire = simnet::latency::wire_ns(&self.net.lock().cfg, len);
+        let window = self.cfg.transfer_window.max(1) as u64;
+        SimDuration::from_nanos(self.cfg.resilver_step_timeout.as_nanos() + (window + 2) * wire)
     }
 
     /// Chunk list covering every allocated byte of the member's extents
@@ -834,62 +911,117 @@ impl PmmProc {
         q
     }
 
-    /// Drive a member's resilver: issue the next chunk op, or move
-    /// between phases / finish when queues drain.
-    fn resilver_step(&mut self, ctx: &mut Ctx<'_>, vol: usize) {
-        let (next, in_copy, half, dirty_upto) = {
-            let Some(run) = &mut self.vols[vol].resilver else {
-                return;
+    /// Drive a member's resilver with the windowed bulk-transfer engine:
+    /// keep up to `transfer_window` chunks in flight (a copy chunk counts
+    /// as one unit through its read+write chain; a verify chunk through
+    /// its paired CRC reads), and move between phases / finish only once
+    /// the phase queue drains *and* the window empties.
+    fn resilver_pump(&mut self, ctx: &mut Ctx<'_>, vol: usize) {
+        enum Next {
+            Issue {
+                off: u64,
+                len: u32,
+                copy: bool,
+                half: u8,
+            },
+            Transition {
+                copy: bool,
+                dirty_upto: u64,
+            },
+            Wait,
+        }
+        let window = self.cfg.transfer_window.max(1);
+        loop {
+            let next = {
+                let Some(run) = &mut self.vols[vol].resilver else {
+                    return;
+                };
+                let copy = matches!(run.phase, ResilverPhase::Copy);
+                if run.queue.is_empty() {
+                    if run.inflight > 0 {
+                        Next::Wait
+                    } else {
+                        Next::Transition {
+                            copy,
+                            dirty_upto: run.dirty_upto,
+                        }
+                    }
+                } else if run.inflight >= window {
+                    Next::Wait
+                } else {
+                    let (off, len) = run.queue.pop_front().unwrap();
+                    run.inflight += 1;
+                    Next::Issue {
+                        off,
+                        len,
+                        copy,
+                        half: run.half,
+                    }
+                }
             };
-            (
-                run.queue.pop_front(),
-                matches!(run.phase, ResilverPhase::Copy),
-                run.half,
-                run.dirty_upto,
-            )
-        };
-        if let Some((off, len)) = next {
-            // Both phases start by reading the survivor.
-            let kind = if in_copy {
-                ResilverOp::CopyRead { off, len }
-            } else {
-                ResilverOp::VerifyRead {
+            match next {
+                Next::Wait => return,
+                Next::Issue {
                     off,
                     len,
-                    survivor: true,
+                    copy: true,
+                    half,
+                } => {
+                    self.issue_resilver_read(
+                        ctx,
+                        vol,
+                        1 - half,
+                        off,
+                        len,
+                        ResilverOp::CopyRead { off, len },
+                    );
                 }
-            };
-            self.issue_resilver_read(ctx, vol, 1 - half, off, len, kind);
-            return;
-        }
-        // Current phase drained.
-        if in_copy {
-            // Copy done: verify the full range (foreground writes may
-            // have raced the copy).
-            let queue = self.resilver_chunks(vol, dirty_upto);
-            if let Some(run) = &mut self.vols[vol].resilver {
-                run.phase = ResilverPhase::Verify;
-                run.queue = queue;
-            }
-            self.resilver_step(ctx, vol);
-        } else {
-            let divergent = match &mut self.vols[vol].resilver {
-                Some(run) => std::mem::take(&mut run.divergent),
-                None => return,
-            };
-            if divergent.is_empty() {
-                self.finish_resilver(ctx, vol);
-            } else {
-                // Re-copy what diverged, then verify again.
-                if let Some(run) = &mut self.vols[vol].resilver {
-                    run.queue = divergent.into();
-                    run.phase = ResilverPhase::Copy;
+                Next::Issue {
+                    off,
+                    len,
+                    copy: false,
+                    half,
+                } => {
+                    // Verify by device-side checksum: both halves digest
+                    // the chunk locally and ship 8 bytes each, so the
+                    // survivor's port isn't re-shipping full chunks.
+                    if let Some(run) = &mut self.vols[vol].resilver {
+                        run.crc_pending.insert(off, [None, None]);
+                    }
+                    self.issue_resilver_crc(ctx, vol, 1 - half, off, len, true);
+                    self.issue_resilver_crc(ctx, vol, half, off, len, false);
                 }
-                if let HealthState::Resilvering { pass, .. } = &mut self.vols[vol].meta.health {
-                    *pass += 1;
+                Next::Transition {
+                    copy: true,
+                    dirty_upto,
+                } => {
+                    // Copy done: verify the full range (foreground writes
+                    // may have raced the copy).
+                    let queue = self.resilver_chunks(vol, dirty_upto);
+                    if let Some(run) = &mut self.vols[vol].resilver {
+                        run.phase = ResilverPhase::Verify;
+                        run.queue = queue;
+                    }
                 }
-                self.vol_stat(vol, |s| s.resilver_extra_passes += 1);
-                self.resilver_step(ctx, vol);
+                Next::Transition { copy: false, .. } => {
+                    let divergent = match &mut self.vols[vol].resilver {
+                        Some(run) => std::mem::take(&mut run.divergent),
+                        None => return,
+                    };
+                    if divergent.is_empty() {
+                        self.finish_resilver(ctx, vol);
+                        return;
+                    }
+                    // Re-copy what diverged, then verify again.
+                    if let Some(run) = &mut self.vols[vol].resilver {
+                        run.queue = divergent.into();
+                        run.phase = ResilverPhase::Copy;
+                    }
+                    if let HealthState::Resilvering { pass, .. } = &mut self.vols[vol].meta.health {
+                        *pass += 1;
+                    }
+                    self.vol_stat(vol, |s| s.resilver_extra_passes += 1);
+                }
             }
         }
     }
@@ -916,7 +1048,77 @@ impl PmmProc {
             len,
             rid,
         );
-        ctx.send_self(self.cfg.resilver_step_timeout, ResilverStepTimeout { rid });
+        let timeout = self.step_timeout(len);
+        ctx.send_self(timeout, ResilverStepTimeout { rid });
+    }
+
+    /// Ask one half to digest a chunk locally (verify pass).
+    fn issue_resilver_crc(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        vol: usize,
+        src_half: u8,
+        off: u64,
+        len: u32,
+        survivor: bool,
+    ) {
+        let rid = self.next_rdma;
+        self.next_rdma += 1;
+        self.resilver_ops
+            .insert(rid, (vol, ResilverOp::VerifyCrc { off, len, survivor }));
+        let net = self.net.clone();
+        rdma_crc_read(
+            ctx,
+            &net,
+            self.ep,
+            self.half_ep(vol, src_half),
+            off,
+            len,
+            rid,
+        );
+        let timeout = self.step_timeout(len);
+        ctx.send_self(timeout, ResilverStepTimeout { rid });
+    }
+
+    /// One half's checksum for a chunk under verify arrived. The chunk
+    /// completes (and frees a window slot) when both halves have
+    /// answered; a mismatch queues it for re-copy.
+    fn on_resilver_crc_done(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        vol: usize,
+        kind: ResilverOp,
+        done: RdmaCrcReadDone,
+    ) {
+        if done.status != RdmaStatus::Ok {
+            self.abort_resilver(ctx, vol);
+            return;
+        }
+        let ResilverOp::VerifyCrc { off, len, survivor } = kind else {
+            return;
+        };
+        let chunk_done = {
+            let Some(run) = &mut self.vols[vol].resilver else {
+                return;
+            };
+            let Some(slot) = run.crc_pending.get_mut(&off) else {
+                return;
+            };
+            slot[if survivor { 0 } else { 1 }] = Some(done.crc);
+            if let [Some(a), Some(b)] = *slot {
+                run.crc_pending.remove(&off);
+                if a != b {
+                    run.divergent.push((off, len));
+                }
+                run.inflight = run.inflight.saturating_sub(1);
+                true
+            } else {
+                false
+            }
+        };
+        if chunk_done {
+            self.resilver_pump(ctx, vol);
+        }
     }
 
     fn on_resilver_read_done(
@@ -944,46 +1146,10 @@ impl PmmProc {
                 let dst = self.half_ep(vol, half);
                 let net = self.net.clone();
                 rdma_write(ctx, &net, self.ep, dst, off, done.data, rid);
-                ctx.send_self(self.cfg.resilver_step_timeout, ResilverStepTimeout { rid });
+                let timeout = self.step_timeout(len);
+                ctx.send_self(timeout, ResilverStepTimeout { rid });
             }
-            ResilverOp::VerifyRead {
-                off,
-                len,
-                survivor: true,
-            } => {
-                if let Some(run) = &mut self.vols[vol].resilver {
-                    run.verify_a = Some((off, len, done.data));
-                }
-                self.issue_resilver_read(
-                    ctx,
-                    vol,
-                    half,
-                    off,
-                    len,
-                    ResilverOp::VerifyRead {
-                        off,
-                        len,
-                        survivor: false,
-                    },
-                );
-            }
-            ResilverOp::VerifyRead {
-                off,
-                len,
-                survivor: false,
-            } => {
-                let Some(run) = &mut self.vols[vol].resilver else {
-                    return;
-                };
-                let Some((a_off, _, a_bytes)) = run.verify_a.take() else {
-                    return;
-                };
-                debug_assert_eq!(a_off, off);
-                if a_bytes.as_ref() != done.data.as_ref() {
-                    run.divergent.push((off, len));
-                }
-                self.resilver_step(ctx, vol);
-            }
+            ResilverOp::VerifyCrc { .. } => unreachable!("CRC acks arrive as RdmaCrcReadDone"),
             ResilverOp::CopyWrite { .. } => unreachable!("write acks arrive as RdmaWriteDone"),
         }
     }
@@ -1001,8 +1167,11 @@ impl PmmProc {
         }
         if let ResilverOp::CopyWrite { len } = kind {
             self.vol_stat(vol, |s| s.resilver_bytes_copied += len as u64);
+            if let Some(run) = &mut self.vols[vol].resilver {
+                run.inflight = run.inflight.saturating_sub(1);
+            }
         }
-        self.resilver_step(ctx, vol);
+        self.resilver_pump(ctx, vol);
     }
 
     /// A member's revived half (or, catastrophically, its survivor)
@@ -1036,6 +1205,8 @@ impl PmmProc {
         });
         self.vols[vol].meta.epoch += 1;
         self.vols[vol].meta.health = HealthState::Healthy;
+        // Both halves verified identical: clients may read either again.
+        self.update_read_fence(vol);
         let op = self.internal_op();
         self.start_meta_write(ctx, op, &[vol]);
     }
@@ -1076,6 +1247,9 @@ impl PmmProc {
                     self.arm_probe_tick(ctx, vol);
                 }
             }
+            // The read fence is volatile ATT state: re-arm it for members
+            // recovered into Degraded (and lift any stale one otherwise).
+            self.update_read_fence(vol);
         }
     }
 
@@ -1111,65 +1285,134 @@ impl PmmProc {
         }
     }
 
-    /// Drive the migration: issue the next chunk op, or move between
-    /// phases / commit when queues drain.
-    fn mig_step(&mut self, ctx: &mut Ctx<'_>) {
-        let (next, in_copy, fenced, src_vol, src_base, dst_base, len) = {
-            let Some(run) = &mut self.migration else {
-                return;
-            };
-            (
-                run.queue.pop_front(),
-                matches!(run.phase, ResilverPhase::Copy),
-                run.fenced,
-                run.src_vol,
-                run.src_base,
-                run.dst_base,
-                run.len,
-            )
-        };
-        if let Some((off, chunk)) = next {
-            let kind = if in_copy {
-                MigOp::CopyRead { off, len: chunk }
-            } else {
-                MigOp::VerifySrc { off, len: chunk }
-            };
-            // Reads come from the source's primary half (the source
-            // member is Healthy — a degrade aborts the migration).
-            self.issue_mig_read(ctx, src_vol, 0, src_base + off, chunk, kind);
-            return;
+    /// Drive the migration with the windowed bulk-transfer engine: keep
+    /// up to `transfer_window` chunks in flight per phase. The source
+    /// fence still happens only once the copy queue drains *and* every
+    /// in-flight copy write has landed — the verify pass never races an
+    /// outstanding PMM write of its own.
+    fn mig_pump(&mut self, ctx: &mut Ctx<'_>) {
+        enum Next {
+            Issue { off: u64, chunk: u32, copy: bool },
+            Transition { copy: bool },
+            Wait,
         }
-        let _ = dst_base;
-        if in_copy {
-            // Copy drained: fence the source so no further client write
-            // can race the verify, then compare source and destination.
-            if !fenced {
-                self.fence_src(src_vol, src_base, len);
-                if let Some(run) = &mut self.migration {
-                    run.fenced = true;
-                }
-            }
-            let queue = self.mig_chunks(len);
-            if let Some(run) = &mut self.migration {
-                run.phase = ResilverPhase::Verify;
-                run.queue = queue;
-            }
-            self.mig_step(ctx);
-        } else {
-            let divergent = match &mut self.migration {
-                Some(run) => std::mem::take(&mut run.divergent),
-                None => return,
+        let window = self.cfg.transfer_window.max(1);
+        loop {
+            let (next, src_vol, dst_vol, src_base, dst_base, len, fenced) = {
+                let Some(run) = &mut self.migration else {
+                    return;
+                };
+                let copy = matches!(run.phase, ResilverPhase::Copy);
+                let next = if run.queue.is_empty() {
+                    if run.inflight > 0 {
+                        Next::Wait
+                    } else {
+                        Next::Transition { copy }
+                    }
+                } else if run.inflight >= window {
+                    Next::Wait
+                } else {
+                    let (off, chunk) = run.queue.pop_front().unwrap();
+                    run.inflight += 1;
+                    Next::Issue { off, chunk, copy }
+                };
+                (
+                    next,
+                    run.src_vol,
+                    run.dst_vol,
+                    run.src_base,
+                    run.dst_base,
+                    run.len,
+                    run.fenced,
+                )
             };
-            if divergent.is_empty() {
-                self.commit_migration(ctx);
-            } else {
-                // Chunks written by clients between the copy and the
-                // fence: re-copy them (the fence guarantees convergence).
-                if let Some(run) = &mut self.migration {
-                    run.queue = divergent.into();
-                    run.phase = ResilverPhase::Copy;
+            match next {
+                Next::Wait => return,
+                Next::Issue {
+                    off,
+                    chunk,
+                    copy: true,
+                } => {
+                    // Reads come from the source's primary half (the
+                    // source member is Healthy — a degrade aborts the
+                    // migration).
+                    self.issue_mig_read(
+                        ctx,
+                        src_vol,
+                        0,
+                        src_base + off,
+                        chunk,
+                        MigOp::CopyRead { off, len: chunk },
+                    );
                 }
-                self.mig_step(ctx);
+                Next::Issue {
+                    off,
+                    chunk,
+                    copy: false,
+                } => {
+                    // Verify by device-side checksum of source vs
+                    // destination. Destination halves are identical by
+                    // construction (both written from the same source
+                    // read); digest half 0 of each side.
+                    if let Some(run) = &mut self.migration {
+                        run.crc_pending.insert(off, [None, None]);
+                    }
+                    self.issue_mig_crc(
+                        ctx,
+                        src_vol,
+                        src_base + off,
+                        chunk,
+                        MigOp::VerifyCrc {
+                            off,
+                            len: chunk,
+                            src: true,
+                        },
+                    );
+                    self.issue_mig_crc(
+                        ctx,
+                        dst_vol,
+                        dst_base + off,
+                        chunk,
+                        MigOp::VerifyCrc {
+                            off,
+                            len: chunk,
+                            src: false,
+                        },
+                    );
+                }
+                Next::Transition { copy: true } => {
+                    // Copy drained and landed: fence the source so no
+                    // further client write can race the verify, then
+                    // compare source and destination.
+                    if !fenced {
+                        self.fence_src(src_vol, src_base, len);
+                        if let Some(run) = &mut self.migration {
+                            run.fenced = true;
+                        }
+                    }
+                    let queue = self.mig_chunks(len);
+                    if let Some(run) = &mut self.migration {
+                        run.phase = ResilverPhase::Verify;
+                        run.queue = queue;
+                    }
+                }
+                Next::Transition { copy: false } => {
+                    let divergent = match &mut self.migration {
+                        Some(run) => std::mem::take(&mut run.divergent),
+                        None => return,
+                    };
+                    if divergent.is_empty() {
+                        self.commit_migration(ctx);
+                        return;
+                    }
+                    // Chunks written by clients between the copy and the
+                    // fence: re-copy them (the fence guarantees
+                    // convergence).
+                    if let Some(run) = &mut self.migration {
+                        run.queue = divergent.into();
+                        run.phase = ResilverPhase::Copy;
+                    }
+                }
             }
         }
     }
@@ -1208,7 +1451,58 @@ impl PmmProc {
             len,
             rid,
         );
-        ctx.send_self(self.cfg.resilver_step_timeout, MigStepTimeout { rid });
+        let timeout = self.step_timeout(len);
+        ctx.send_self(timeout, MigStepTimeout { rid });
+    }
+
+    /// Ask half 0 of `vol` to digest a chunk locally (verify pass).
+    fn issue_mig_crc(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        vol: usize,
+        dev_off: u64,
+        len: u32,
+        kind: MigOp,
+    ) {
+        let rid = self.next_rdma;
+        self.next_rdma += 1;
+        self.mig_ops.insert(rid, kind);
+        let net = self.net.clone();
+        rdma_crc_read(ctx, &net, self.ep, self.half_ep(vol, 0), dev_off, len, rid);
+        let timeout = self.step_timeout(len);
+        ctx.send_self(timeout, MigStepTimeout { rid });
+    }
+
+    fn on_mig_crc_done(&mut self, ctx: &mut Ctx<'_>, kind: MigOp, done: RdmaCrcReadDone) {
+        if done.status != RdmaStatus::Ok {
+            self.abort_migration(ctx);
+            return;
+        }
+        let MigOp::VerifyCrc { off, len, src } = kind else {
+            return;
+        };
+        let chunk_done = {
+            let Some(run) = &mut self.migration else {
+                return;
+            };
+            let Some(slot) = run.crc_pending.get_mut(&off) else {
+                return;
+            };
+            slot[if src { 0 } else { 1 }] = Some(done.crc);
+            if let [Some(a), Some(b)] = *slot {
+                run.crc_pending.remove(&off);
+                if a != b {
+                    run.divergent.push((off, len));
+                }
+                run.inflight = run.inflight.saturating_sub(1);
+                true
+            } else {
+                false
+            }
+        };
+        if chunk_done {
+            self.mig_pump(ctx);
+        }
     }
 
     fn on_mig_read_done(&mut self, ctx: &mut Ctx<'_>, kind: MigOp, done: RdmaReadDone) {
@@ -1224,12 +1518,12 @@ impl PmmProc {
             MigOp::CopyRead { off, len } => {
                 // Replicate the chunk onto both destination mirrors.
                 if let Some(run) = &mut self.migration {
-                    run.writes_left = 2;
+                    run.copy_writes_left.insert(off, 2);
                 }
                 for half in [0u8, 1u8] {
                     let rid = self.next_rdma;
                     self.next_rdma += 1;
-                    self.mig_ops.insert(rid, MigOp::CopyWrite { len });
+                    self.mig_ops.insert(rid, MigOp::CopyWrite { off, len });
                     let dst = self.half_ep(dst_vol, half);
                     let net = self.net.clone();
                     rdma_write(
@@ -1241,37 +1535,11 @@ impl PmmProc {
                         done.data.clone(),
                         rid,
                     );
-                    ctx.send_self(self.cfg.resilver_step_timeout, MigStepTimeout { rid });
+                    let timeout = self.step_timeout(len);
+                    ctx.send_self(timeout, MigStepTimeout { rid });
                 }
             }
-            MigOp::VerifySrc { off, len } => {
-                if let Some(run) = &mut self.migration {
-                    run.verify_src = Some((off, len, done.data));
-                }
-                // Destination halves are identical by construction (both
-                // written from the same source read); check half 0.
-                self.issue_mig_read(
-                    ctx,
-                    dst_vol,
-                    0,
-                    dst_base + off,
-                    len,
-                    MigOp::VerifyDst { off, len },
-                );
-            }
-            MigOp::VerifyDst { off, len } => {
-                let Some(run) = &mut self.migration else {
-                    return;
-                };
-                let Some((s_off, _, s_bytes)) = run.verify_src.take() else {
-                    return;
-                };
-                debug_assert_eq!(s_off, off);
-                if s_bytes.as_ref() != done.data.as_ref() {
-                    run.divergent.push((off, len));
-                }
-                self.mig_step(ctx);
-            }
+            MigOp::VerifyCrc { .. } => unreachable!("CRC acks arrive as RdmaCrcReadDone"),
             MigOp::CopyWrite { .. } => unreachable!("write acks arrive as RdmaWriteDone"),
         }
     }
@@ -1281,19 +1549,30 @@ impl PmmProc {
             self.abort_migration(ctx);
             return;
         }
-        let MigOp::CopyWrite { len } = kind else {
+        let MigOp::CopyWrite { off, len } = kind else {
             return;
         };
         let both_landed = {
             let Some(run) = &mut self.migration else {
                 return;
             };
-            run.writes_left = run.writes_left.saturating_sub(1);
-            run.writes_left == 0
+            match run.copy_writes_left.get_mut(&off) {
+                Some(left) => {
+                    *left = left.saturating_sub(1);
+                    if *left == 0 {
+                        run.copy_writes_left.remove(&off);
+                        run.inflight = run.inflight.saturating_sub(1);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            }
         };
         if both_landed {
             self.stats.lock().migrate_bytes_copied += len as u64;
-            self.mig_step(ctx);
+            self.mig_pump(ctx);
         }
     }
 
@@ -1753,11 +2032,12 @@ impl PmmProc {
                     fenced: false,
                     phase: ResilverPhase::Copy,
                     queue: self.mig_chunks(r.len),
+                    inflight: 0,
                     divergent: Vec::new(),
-                    verify_src: None,
-                    writes_left: 0,
+                    crc_pending: BTreeMap::new(),
+                    copy_writes_left: BTreeMap::new(),
                 });
-                self.mig_step(ctx);
+                self.mig_pump(ctx);
                 return;
             }
             Err(p) => p,
@@ -1977,6 +2257,21 @@ impl Actor for PmmProc {
                 }
                 if let Some(kind) = self.mig_ops.remove(&done.op_id) {
                     self.on_mig_read_done(ctx, kind, done);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        // Device-side checksum answers (resilver/migration verify passes).
+        let msg = match msg.take::<RdmaCrcReadDone>() {
+            Ok((_, done)) => {
+                if let Some((vol, kind)) = self.resilver_ops.remove(&done.op_id) {
+                    self.on_resilver_crc_done(ctx, vol, kind, done);
+                    return;
+                }
+                if let Some(kind) = self.mig_ops.remove(&done.op_id) {
+                    self.on_mig_crc_done(ctx, kind, done);
                 }
                 return;
             }

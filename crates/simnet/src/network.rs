@@ -31,6 +31,9 @@ pub struct NetStats {
     pub rdma_write_bytes: u64,
     pub rdma_reads: u64,
     pub rdma_read_bytes: u64,
+    /// Checksum ("scrub") reads: the device digests a range and replies
+    /// with 8 bytes instead of the data.
+    pub rdma_crc_reads: u64,
     pub retransmits: u64,
     pub failovers: u64,
     pub unreachable: u64,

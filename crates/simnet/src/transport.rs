@@ -67,6 +67,20 @@ pub struct InboundRdmaRead {
     pub len: u32,
 }
 
+/// A checksum ("scrub") read arriving at a device actor: the device
+/// digests the addressed range and replies with the 8-byte checksum
+/// instead of the data. Real arrays scrub mirrors exactly this way —
+/// the NIC's CRC engine reads the media locally and only the digest
+/// crosses the wire, so comparing two mirrors costs two tiny transfers
+/// rather than two full-chunk ones.
+pub struct InboundRdmaCrcRead {
+    pub from_ep: EndpointId,
+    pub reply_to: ActorId,
+    pub op_id: u64,
+    pub addr: u64,
+    pub len: u32,
+}
+
 /// Write completion, delivered to the initiator.
 #[derive(Clone, Debug)]
 pub struct RdmaWriteDone {
@@ -80,6 +94,14 @@ pub struct RdmaReadDone {
     pub op_id: u64,
     pub status: RdmaStatus,
     pub data: Bytes,
+}
+
+/// Checksum-read completion, delivered to the initiator.
+#[derive(Clone, Copy, Debug)]
+pub struct RdmaCrcReadDone {
+    pub op_id: u64,
+    pub status: RdmaStatus,
+    pub crc: u64,
 }
 
 /// How long an initiator waits before declaring an op unreachable when the
@@ -275,6 +297,48 @@ pub fn rdma_read(
     }
 }
 
+/// Issue a checksum read of `len` bytes: the target digests the range
+/// device-side and only 8 bytes come back. Completion arrives as
+/// [`RdmaCrcReadDone`].
+pub fn rdma_crc_read(
+    ctx: &mut Ctx<'_>,
+    net: &SharedNetwork,
+    from_ep: EndpointId,
+    to_ep: EndpointId,
+    addr: u64,
+    len: u32,
+    op_id: u64,
+) {
+    match issue_leg(ctx, net, from_ep, to_ep, 64) {
+        Some((target, ns)) => {
+            net.lock().stats.rdma_crc_reads += 1;
+            let reply_to = ctx.self_id();
+            ctx.send(
+                target,
+                SimDuration::from_nanos(ns),
+                InboundRdmaCrcRead {
+                    from_ep,
+                    reply_to,
+                    op_id,
+                    addr,
+                    len,
+                },
+            );
+        }
+        None => {
+            net.lock().stats.unreachable += 1;
+            ctx.send_self(
+                SimDuration::from_nanos(UNREACHABLE_TIMEOUT_NS),
+                RdmaCrcReadDone {
+                    op_id,
+                    status: RdmaStatus::Unreachable,
+                    crc: 0,
+                },
+            );
+        }
+    }
+}
+
 /// Called by a device actor to complete an inbound write: sends the
 /// hardware ack back to the initiator.
 pub fn reply_rdma_write(
@@ -321,6 +385,34 @@ pub fn reply_rdma_read(
             op_id: req.op_id,
             status,
             data,
+        },
+    );
+}
+
+/// Called by a device actor to complete an inbound checksum read: only
+/// the 8-byte digest crosses the wire back.
+pub fn reply_rdma_crc_read(
+    ctx: &mut Ctx<'_>,
+    net: &SharedNetwork,
+    device_ep: EndpointId,
+    req: &InboundRdmaCrcRead,
+    status: RdmaStatus,
+    crc: u64,
+) {
+    let now = ctx.now();
+    let ns = {
+        let mut n = net.lock();
+        let wire = latency::wire_ns(&n.cfg, 8);
+        let q = n.reserve_tx(device_ep, now.as_nanos(), wire);
+        wire + q + n.cfg.ack_ns
+    };
+    ctx.send(
+        req.reply_to,
+        SimDuration::from_nanos(ns),
+        RdmaCrcReadDone {
+            op_id: req.op_id,
+            status,
+            crc,
         },
     );
 }

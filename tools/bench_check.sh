@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Throughput-regression gate: re-run the scaling benches with --json in a
+# scratch directory and compare every throughput-like metric (per_sec,
+# mb_s, kops) against the committed artifact in results/. Fails if any
+# fresh number drops below 75% of the committed one.
+#
+# Latency percentiles and speedup ratios are deliberately ignored: they
+# wobble with scheduling detail, while throughput collapse is the rot
+# signal this gate exists to catch.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+repo="$PWD"
+
+BENCHES=(pool_scaling audit_scaling read_scaling)
+
+cargo build --release -p pm-bench --bins
+
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+mkdir -p "$scratch/results"
+
+fail=0
+for bench in "${BENCHES[@]}"; do
+  committed="$repo/results/BENCH_${bench}.json"
+  if [[ ! -f "$committed" ]]; then
+    echo "bench-check: missing committed artifact $committed" >&2
+    fail=1
+    continue
+  fi
+  echo "bench-check: running $bench"
+  (cd "$scratch" && "$repo/target/release/$bench" --json >/dev/null)
+  fresh="$scratch/results/BENCH_${bench}.json"
+
+  # Compare "key": value lines for throughput-like keys in both files.
+  if ! awk -v bench="$bench" '
+    /"[A-Za-z0-9_]+":[[:space:]]*-?[0-9]/ {
+      line = $0
+      gsub(/[",:]/, " ", line)
+      split(line, f, /[[:space:]]+/)
+      key = f[2]; val = f[3]
+      if (key !~ /(per_sec|mb_s|kops)$/) next
+      if (NR == FNR) { committed[key] = val; next }
+      if (!(key in committed)) { printf "  %s: %s missing from committed artifact\n", bench, key; bad = 1; next }
+      seen[key] = 1
+      if (val + 0 < 0.75 * committed[key]) {
+        printf "  %s: %s regressed: %.1f < 75%% of committed %.1f\n", bench, key, val, committed[key]
+        bad = 1
+      }
+    }
+    END {
+      for (k in committed) if (!(k in seen)) { printf "  %s: %s missing from fresh run\n", bench, k; bad = 1 }
+      exit bad
+    }
+  ' "$committed" "$fresh"; then
+    fail=1
+  fi
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "bench-check: FAILED (throughput regression > 25% or artifact drift)" >&2
+  exit 1
+fi
+echo "bench-check: all throughput metrics within 25% of committed results"
