@@ -15,6 +15,13 @@ cargo run --release --example scale_out
 cargo run --release -p pm-bench --bin audit_scaling
 # Smoke: windowed, mirror-balanced read path (T9) — error-free matrix run.
 cargo run --release -p pm-bench --bin read_scaling
+# Smoke: persistence modes (T10) — asserts the honest modes' latency
+# premium and throughput floor internally at smoke scale.
+cargo run --release -p pm-bench --bin persist_modes
+# Crash-point fuzz smoke: ~200 injected power-loss points across the
+# three persistence modes (release: `cargo test --release` above already
+# ran it once; FUZZ_FULL=1 widens to the ≥ 2000-point sweep).
+FUZZ_FULL="${FUZZ_FULL:-}" cargo test --release --test crash_fuzz
 # Throughput-regression gate: fresh --json runs vs committed results/.
 tools/bench_check.sh
 # Docs must build clean (broken intra-doc links fail the gate).

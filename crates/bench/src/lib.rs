@@ -1,6 +1,6 @@
 //! # pm-bench — harnesses that regenerate the paper's figures and claims
 //!
-//! One binary per experiment (see DESIGN.md §7):
+//! One binary per experiment (see DESIGN.md §8):
 //!
 //! | binary            | reproduces |
 //! |-------------------|------------|
@@ -15,6 +15,7 @@
 //! | `resilver_mttr`   | DESIGN.md §3 — redundancy-repair time vs region bytes |
 //! | `audit_scaling`   | DESIGN.md §5 — commit rate vs audit partitions (T8) |
 //! | `read_scaling`    | DESIGN.md §6 — read throughput vs window × routing (T9) |
+//! | `persist_modes`   | DESIGN.md §7 — commit latency by persistence mode × pipeline depth (T10) |
 //! | `ablations`       | DESIGN.md ablations A1–A3 |
 //!
 //! Each binary prints a CSV block (machine-readable) and an aligned text

@@ -1,7 +1,18 @@
-//! The NPMU device actor: validates inbound RDMA against its ATT, applies
-//! it to the memory array, and acks — with no "device CPU" in the data
-//! path for the hardware variant, and a small extra processing delay for
-//! the process-hosted PMP prototype.
+//! The NPMU device actor: validates inbound RDMA against its ATT, stages
+//! it in a volatile ingress buffer, acks, and drains the buffer to the
+//! memory array shortly after — with no "device CPU" in the data path for
+//! the hardware variant, and a small extra processing delay for the
+//! process-hosted PMP prototype.
+//!
+//! The ingress buffer is the honesty knob Kashyap et al. demand: an RDMA
+//! ack only proves the bytes reached the NIC, not the array. The buffer
+//! is actor state, so a power loss (dropping the `Sim`) loses exactly the
+//! acked-but-undrained bytes. A normal read drains the buffer first
+//! (reads cannot pass posted writes — the read-after-write flush trick),
+//! an explicit [`InboundRdmaFlush`] drains it with its own latency, and a
+//! checksum ("scrub") read deliberately does **not**: it hashes the
+//! persisted array alone, so a resilver verify can never mistake
+//! buffered-but-volatile bytes for good media.
 
 use crate::att::{AttError, AttTable, SharedAtt};
 use crate::memory::{checksum64, NvImage};
@@ -11,9 +22,11 @@ use parking_lot::Mutex;
 use simcore::durable::{DurableStore, Image};
 use simcore::{Actor, ActorId, Ctx, Msg, Sim, SimDuration};
 use simnet::{
-    reply_rdma_crc_read, reply_rdma_read, reply_rdma_write, EndpointId, InboundRdmaCrcRead,
-    InboundRdmaRead, InboundRdmaWrite, RdmaStatus, SharedNetwork,
+    reply_rdma_crc_read, reply_rdma_flush, reply_rdma_read, reply_rdma_write, EndpointId,
+    InboundRdmaCrcRead, InboundRdmaFlush, InboundRdmaRead, InboundRdmaWrite, RdmaStatus,
+    SharedNetwork,
 };
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Hardware NPMU or the paper's process-based prototype.
@@ -59,6 +72,13 @@ pub struct NpmuConfig {
     pub volume_id: u32,
     /// Behaviour while inside a down window.
     pub fail_mode: FailureMode,
+    /// Dwell time of an acked write in the volatile ingress buffer before
+    /// it reaches the array, ns. Bytes younger than this at power loss
+    /// are gone — the window [`simnet::PersistMode`] exists to close.
+    pub ingress_drain_ns: u64,
+    /// Device-side cost of an explicit persist flush (drain + fence), ns,
+    /// paid before the [`simnet::RdmaFlushDone`] reply.
+    pub flush_ns: u64,
 }
 
 impl NpmuConfig {
@@ -70,6 +90,8 @@ impl NpmuConfig {
             mirror_half: None,
             volume_id: 0,
             fail_mode: FailureMode::Nack,
+            ingress_drain_ns: 1_500,
+            flush_ns: 500,
         }
     }
 
@@ -81,6 +103,8 @@ impl NpmuConfig {
             mirror_half: None,
             volume_id: 0,
             fail_mode: FailureMode::Nack,
+            ingress_drain_ns: 1_500,
+            flush_ns: 500,
         }
     }
 
@@ -98,6 +122,11 @@ impl NpmuConfig {
         self.fail_mode = mode;
         self
     }
+
+    pub fn with_ingress_drain_ns(mut self, ns: u64) -> Self {
+        self.ingress_drain_ns = ns;
+        self
+    }
 }
 
 #[derive(Default, Debug, Clone, Copy)]
@@ -110,6 +139,12 @@ pub struct NpmuStats {
     pub bytes_written: u64,
     pub bytes_read: u64,
     pub access_violations: u64,
+    /// Explicit persist flushes served.
+    pub flushes: u64,
+    /// Bytes that were acked into the ingress buffer and then lost to a
+    /// down window before reaching the array. Nonzero here means a
+    /// `NicAck`-mode client was lied to.
+    pub ingress_lost_bytes: u64,
     /// Ops NACKed or dropped because the device was in a down window.
     pub failed_ops: u64,
     /// Distinct down windows this device has entered (failure epochs).
@@ -136,6 +171,10 @@ pub struct NpmuHandle {
 struct DeferredWrite(InboundRdmaWrite);
 struct DeferredRead(InboundRdmaRead);
 struct DeferredCrcRead(InboundRdmaCrcRead);
+struct DeferredFlush(InboundRdmaFlush);
+
+/// Self-timer: ingress entries whose dwell expired are due on the array.
+struct DrainTick;
 
 pub struct Npmu {
     name: String,
@@ -151,6 +190,10 @@ pub struct Npmu {
     /// Were we inside a down window at the last inbound op? Edge-detects
     /// window entry so `failure_epochs` counts windows, not ops.
     was_down: bool,
+    /// Volatile ingress buffer: acked writes waiting to reach the array,
+    /// FIFO, as `(apply_at_ns, phys, data)`. Lives in actor state, so a
+    /// power loss (dropping the `Sim`) loses exactly these bytes.
+    ingress: VecDeque<(u64, u64, Bytes)>,
 }
 
 impl Npmu {
@@ -192,6 +235,7 @@ impl Npmu {
             ep,
             stats: stats.clone(),
             was_down: false,
+            ingress: VecDeque::new(),
         });
         net.lock().rebind(ep, actor);
         NpmuHandle {
@@ -217,21 +261,64 @@ impl Npmu {
     /// ending — its memory still holds whatever it had at window entry
     /// (stale relative to the survivor until a resilver repairs it).
     fn down_now(&mut self, ctx: &mut Ctx<'_>) -> bool {
-        let Some(half) = self.cfg.mirror_half else {
-            return false;
-        };
-        let down =
-            self.net
-                .lock()
-                .fault_plan
-                .member_npmu_down_at(self.cfg.volume_id, half, ctx.now());
+        let down = self.down_raw(ctx.now());
         if down && !self.was_down {
             let mut s = self.stats.lock();
             s.failure_epochs += 1;
             s.last_failed_at_ns = ctx.now().as_nanos();
         }
+        if down {
+            // Device failure is a power event for the volatile buffer:
+            // acked-but-undrained bytes are gone, never silently applied
+            // after revival (a resilver verify must see the divergence).
+            self.wipe_ingress();
+        }
         self.was_down = down;
         down
+    }
+
+    /// Down-window membership without the edge-detection side effects
+    /// (used by timer-driven paths that are not "inbound ops").
+    fn down_raw(&self, now: simcore::SimTime) -> bool {
+        let Some(half) = self.cfg.mirror_half else {
+            return false;
+        };
+        self.net
+            .lock()
+            .fault_plan
+            .member_npmu_down_at(self.cfg.volume_id, half, now)
+    }
+
+    /// Apply buffered writes whose dwell has expired (FIFO: `apply_at` is
+    /// monotone, so the prefix test preserves write order).
+    fn drain_due(&mut self, now_ns: u64) {
+        let mut mem = self.mem.lock();
+        while let Some((at, _, _)) = self.ingress.front() {
+            if *at > now_ns {
+                break;
+            }
+            let (_, phys, data) = self.ingress.pop_front().unwrap();
+            mem.write(phys, &data);
+        }
+    }
+
+    /// Force the whole buffer to the array (read-after-write or explicit
+    /// flush: both act as a persist barrier for everything acked so far).
+    fn drain_all(&mut self) {
+        let mut mem = self.mem.lock();
+        while let Some((_, phys, data)) = self.ingress.pop_front() {
+            mem.write(phys, &data);
+        }
+    }
+
+    /// Discard the buffer (device failure), accounting the loss.
+    fn wipe_ingress(&mut self) {
+        if self.ingress.is_empty() {
+            return;
+        }
+        let lost: u64 = self.ingress.iter().map(|(_, _, d)| d.len() as u64).sum();
+        self.ingress.clear();
+        self.stats.lock().ingress_lost_bytes += lost;
     }
 
     fn do_write(&mut self, ctx: &mut Ctx<'_>, w: InboundRdmaWrite) {
@@ -248,11 +335,23 @@ impl Npmu {
         let verdict = self.att.lock().translate(w.addr, w.data.len() as u64, cpu);
         match verdict {
             Ok(phys) => {
-                self.mem.lock().write(phys, &w.data);
                 let mut s = self.stats.lock();
                 s.writes += 1;
                 s.bytes_written += w.data.len() as u64;
                 drop(s);
+                // Stage in the volatile ingress buffer and ack now: the
+                // ack proves arrival, not durability. The bytes reach the
+                // array only at the drain tick (or a forcing read/flush).
+                if self.cfg.ingress_drain_ns == 0 {
+                    self.mem.lock().write(phys, &w.data);
+                } else {
+                    let apply_at = ctx.now().as_nanos() + self.cfg.ingress_drain_ns;
+                    self.ingress.push_back((apply_at, phys, w.data.clone()));
+                    ctx.send_self(
+                        SimDuration::from_nanos(self.cfg.ingress_drain_ns),
+                        DrainTick,
+                    );
+                }
                 reply_rdma_write(ctx, &net, &w, RdmaStatus::Ok);
             }
             Err(e) => {
@@ -276,6 +375,11 @@ impl Npmu {
             }
             return;
         }
+        // Reads cannot pass posted writes: serving a read forces the whole
+        // ingress buffer to the array first. This is the Kashyap
+        // read-after-write trick [`simnet::PersistMode::FlushOnRead`]
+        // relies on.
+        self.drain_all();
         let cpu = self.initiator_cpu(r.from_ep);
         let net = self.net.clone();
         let ep = self.ep;
@@ -313,6 +417,11 @@ impl Npmu {
         let cpu = self.initiator_cpu(r.from_ep);
         let net = self.net.clone();
         let ep = self.ep;
+        // Deliberately NO drain here: a scrub read digests the persisted
+        // array alone. Draining (or hashing the buffer) would let a
+        // resilver verify bless acked-but-volatile bytes as good media —
+        // exactly the bug a `PoolNpmuDown` + `FailureMode::SilentDrop`
+        // window used to be able to hide.
         let verdict = self.att.lock().translate_read(r.addr, r.len as u64, cpu);
         match verdict {
             Ok(phys) => {
@@ -332,6 +441,25 @@ impl Npmu {
                 reply_rdma_crc_read(ctx, &net, ep, &r, status, 0);
             }
         }
+    }
+
+    /// Explicit persist flush: drain the whole ingress buffer, then ack
+    /// after the device-side flush cost. Once the initiator sees
+    /// [`simnet::RdmaFlushDone`] `Ok`, everything it was acked before the
+    /// flush is on the array.
+    fn do_flush(&mut self, ctx: &mut Ctx<'_>, f: InboundRdmaFlush) {
+        if self.down_now(ctx) {
+            self.stats.lock().failed_ops += 1;
+            if self.cfg.fail_mode == FailureMode::Nack {
+                let net = self.net.clone();
+                reply_rdma_flush(ctx, &net, &f, RdmaStatus::DeviceFailed, 0);
+            }
+            return;
+        }
+        self.drain_all();
+        self.stats.lock().flushes += 1;
+        let net = self.net.clone();
+        reply_rdma_flush(ctx, &net, &f, RdmaStatus::Ok, self.cfg.flush_ns);
     }
 }
 
@@ -383,6 +511,31 @@ impl Actor for Npmu {
             }
             Err(m) => m,
         };
+        let msg = match msg.take::<InboundRdmaFlush>() {
+            Ok((_, f)) => {
+                match self.cfg.kind {
+                    NpmuKind::Hardware => self.do_flush(ctx, f),
+                    NpmuKind::Pmp => ctx.send_self(
+                        SimDuration::from_nanos(self.cfg.pmp_extra_ns),
+                        DeferredFlush(f),
+                    ),
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.take::<DrainTick>() {
+            Ok((_, DrainTick)) => {
+                // A failed device loses its buffer instead of draining it.
+                if self.down_raw(ctx.now()) {
+                    self.wipe_ingress();
+                } else {
+                    self.drain_due(ctx.now().as_nanos());
+                }
+                return;
+            }
+            Err(m) => m,
+        };
         let msg = match msg.take::<DeferredWrite>() {
             Ok((_, DeferredWrite(w))) => {
                 self.do_write(ctx, w);
@@ -397,8 +550,15 @@ impl Actor for Npmu {
             }
             Err(m) => m,
         };
-        if let Ok((_, DeferredCrcRead(r))) = msg.take::<DeferredCrcRead>() {
-            self.do_crc_read(ctx, r);
+        let msg = match msg.take::<DeferredCrcRead>() {
+            Ok((_, DeferredCrcRead(r))) => {
+                self.do_crc_read(ctx, r);
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok((_, DeferredFlush(f))) = msg.take::<DeferredFlush>() {
+            self.do_flush(ctx, f);
         }
     }
 }
@@ -417,6 +577,8 @@ mod tests {
         dev: EndpointId,
         ops: Vec<(u64, u64, Vec<u8>)>, // (op_id, addr, data) writes then one read
         read: Option<(u64, u64, u32)>,
+        crc: Option<(u64, u64, u32)>,
+        flush: Option<u64>,
         log: Arc<Mutex<Vec<String>>>,
         /// Issue the ops this long after spawn (to land inside/outside a
         /// planned fault window).
@@ -441,6 +603,14 @@ mod tests {
                     let net = self.net.clone();
                     rdma_read(ctx, &net, self.ep, self.dev, addr, len, id);
                 }
+                if let Some((id, addr, len)) = self.crc.take() {
+                    let net = self.net.clone();
+                    simnet::rdma_crc_read(ctx, &net, self.ep, self.dev, addr, len, id);
+                }
+                if let Some(id) = self.flush.take() {
+                    let net = self.net.clone();
+                    simnet::rdma_flush(ctx, &net, self.ep, self.dev, id);
+                }
                 return;
             }
             let msg = match msg.take::<RdmaWriteDone>() {
@@ -455,10 +625,31 @@ mod tests {
                 }
                 Err(m) => m,
             };
-            if let Ok((_, d)) = msg.take::<RdmaReadDone>() {
-                self.log
-                    .lock()
-                    .push(format!("r{}:{:?}:{}", d.op_id, d.status, d.data.len()));
+            let msg = match msg.take::<RdmaReadDone>() {
+                Ok((_, d)) => {
+                    self.log
+                        .lock()
+                        .push(format!("r{}:{:?}:{}", d.op_id, d.status, d.data.len()));
+                    return;
+                }
+                Err(m) => m,
+            };
+            let msg = match msg.take::<simnet::RdmaCrcReadDone>() {
+                Ok((_, d)) => {
+                    self.log
+                        .lock()
+                        .push(format!("c{}:{:?}:{:#x}", d.op_id, d.status, d.crc));
+                    return;
+                }
+                Err(m) => m,
+            };
+            if let Ok((_, d)) = msg.take::<simnet::RdmaFlushDone>() {
+                self.log.lock().push(format!(
+                    "f{}:{:?}@{}",
+                    d.op_id,
+                    d.status,
+                    ctx.now().as_nanos()
+                ));
             }
         }
     }
@@ -527,6 +718,8 @@ mod tests {
             dev,
             ops,
             read,
+            crc: None,
+            flush: None,
             log,
             delay,
         });
@@ -835,6 +1028,157 @@ mod tests {
         assert!(l.iter().any(|e| e.starts_with("w2:DeviceFailed")), "{l:?}");
         assert_eq!(v0.stats.lock().failure_epochs, 0);
         assert_eq!(v1.stats.lock().failure_epochs, 1);
+    }
+
+    /// A slow-drain device plus one writer; returns everything needed to
+    /// poke at the ingress-buffer window.
+    fn setup_slow_drain(
+        name: &str,
+        data: Vec<u8>,
+    ) -> (
+        Sim,
+        DurableStore,
+        NpmuHandle,
+        Arc<Mutex<Vec<String>>>,
+        SharedNetwork,
+    ) {
+        let mut sim = Sim::with_seed(31);
+        let mut store = DurableStore::new();
+        let net = Network::new(FabricConfig::default());
+        let cfg = NpmuConfig::hardware(1 << 20).with_ingress_drain_ns(simcore::time::SECS);
+        let h = Npmu::install(&mut sim, &mut store, &net, None, name, cfg);
+        h.att.lock().map(AttEntry {
+            nva_base: 0x1000,
+            len: 0x1000,
+            phys_base: 0,
+            allowed: CpuFilter::Any,
+        });
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let cep = net.lock().attach(ActorId(u32::MAX));
+        spawn_client(
+            &mut sim,
+            &net,
+            cep,
+            h.ep,
+            vec![(1, 0x1000, data)],
+            None,
+            log.clone(),
+        );
+        (sim, store, h, log, net)
+    }
+
+    #[test]
+    fn ack_does_not_imply_durability_before_drain() {
+        let (mut sim, mut store, h, log, _net) = setup_slow_drain("pm0", vec![0xAB; 64]);
+        sim.run_until(SimTime(simcore::time::SECS / 2));
+        assert!(log.lock()[0].starts_with("w1:Ok"), "{:?}", *log.lock());
+        assert_eq!(h.mem.lock().read(0, 4), vec![0; 4], "still in ingress");
+        // Power loss while the acked bytes sit in the buffer: gone.
+        drop(sim);
+        store.reset_volatile();
+        let mut sim2 = Sim::with_seed(32);
+        let net2 = Network::new(FabricConfig::default());
+        let h2 = Npmu::install(
+            &mut sim2,
+            &mut store,
+            &net2,
+            None,
+            "pm0",
+            NpmuConfig::hardware(1 << 20),
+        );
+        assert_eq!(h2.mem.lock().read(0, 4), vec![0; 4], "acked write lost");
+    }
+
+    #[test]
+    fn read_after_write_forces_buffer_to_array() {
+        let (mut sim, _store, h, log, net) = setup_slow_drain("pm0", vec![0x5C; 64]);
+        let cep2 = net.lock().attach(ActorId(u32::MAX));
+        spawn_client_at(
+            &mut sim,
+            &net,
+            cep2,
+            h.ep,
+            vec![],
+            Some((2, 0x1000, 16)),
+            log.clone(),
+            SimDuration::from_nanos(100_000),
+        );
+        sim.run_until(SimTime(simcore::time::SECS / 2));
+        assert!(
+            log.lock().contains(&"r2:Ok:16".to_string()),
+            "{:?}",
+            *log.lock()
+        );
+        // Long before the 1 s dwell expired, the read drained the buffer.
+        assert_eq!(h.mem.lock().read(0, 4), vec![0x5C; 4]);
+    }
+
+    #[test]
+    fn crc_scrub_hashes_persisted_array_not_ingress() {
+        let (mut sim, _store, h, log, net) = setup_slow_drain("pm0", vec![0x77; 64]);
+        let cep2 = net.lock().attach(ActorId(u32::MAX));
+        let a = sim.spawn(Client {
+            net: net.clone(),
+            ep: cep2,
+            dev: h.ep,
+            ops: vec![],
+            read: None,
+            crc: Some((3, 0x1000, 64)),
+            flush: None,
+            log: log.clone(),
+            delay: SimDuration::from_nanos(100_000),
+        });
+        net.lock().rebind(cep2, a);
+        sim.run_until(SimTime(simcore::time::SECS / 2));
+        // The scrub saw zeros: buffered bytes are not media.
+        let zeros = checksum64(&[0u8; 64]);
+        let expect = format!("c3:Ok:{zeros:#x}");
+        assert!(log.lock().contains(&expect), "{:?}", *log.lock());
+        assert_eq!(h.mem.lock().read(0, 4), vec![0; 4], "scrub must not drain");
+    }
+
+    #[test]
+    fn explicit_flush_persists_buffered_writes() {
+        let (mut sim, _store, h, log, net) = setup_slow_drain("pm0", vec![0xEE; 64]);
+        let cep2 = net.lock().attach(ActorId(u32::MAX));
+        let a = sim.spawn(Client {
+            net: net.clone(),
+            ep: cep2,
+            dev: h.ep,
+            ops: vec![],
+            read: None,
+            crc: None,
+            flush: Some(7),
+            log: log.clone(),
+            delay: SimDuration::from_nanos(100_000),
+        });
+        net.lock().rebind(cep2, a);
+        sim.run_until(SimTime(simcore::time::SECS / 2));
+        let l = log.lock().clone();
+        assert!(l.iter().any(|e| e.starts_with("f7:Ok")), "{l:?}");
+        assert_eq!(h.mem.lock().read(0, 4), vec![0xEE; 4]);
+        assert_eq!(h.stats.lock().flushes, 1);
+    }
+
+    #[test]
+    fn down_window_wipes_ingress_buffer() {
+        use simcore::fault::{Fault, FaultPlan};
+        let (mut sim, _store, h, log, net) = setup_slow_drain("pm-a", vec![0xDD; 64]);
+        // Window opens well after the write acks but before its 1 s drain
+        // dwell expires: the buffered bytes must be lost, never applied.
+        net.lock().fault_plan = FaultPlan::none().with(Fault::NpmuDown {
+            volume_half: 0,
+            from: SimTime(500_000),
+            to: SimTime(2 * simcore::time::SECS),
+        });
+        sim.run_until_idle();
+        assert!(log.lock()[0].starts_with("w1:Ok"), "{:?}", *log.lock());
+        assert_eq!(
+            h.mem.lock().read(0, 4),
+            vec![0; 4],
+            "buffer wiped, not drained"
+        );
+        assert_eq!(h.stats.lock().ingress_lost_bytes, 64);
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub use lib_impl::{
     MirrorPolicy, PmClientConfig, PmLib, PmReadComplete, PmReadTimeout, PmWriteComplete,
     PmWriteTimeout, ReadRouting,
 };
+pub use simnet::PersistMode;
 
 #[cfg(test)]
 mod tests;

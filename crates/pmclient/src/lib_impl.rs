@@ -6,7 +6,8 @@ use pmm::msgs::*;
 use pmm::PlacementHint;
 use simcore::{Ctx, SimDuration};
 use simnet::{
-    rdma_read, rdma_write_sized, EndpointId, RdmaReadDone, RdmaStatus, RdmaWriteDone, SharedNetwork,
+    rdma_flush, rdma_read, rdma_write_sized, EndpointId, PersistMode, RdmaFlushDone, RdmaReadDone,
+    RdmaStatus, RdmaWriteDone, SharedNetwork,
 };
 use std::collections::HashMap;
 
@@ -65,6 +66,12 @@ pub struct PmClientConfig {
     /// at once. 1 restores lock-step issue; the default pipelines the
     /// fabric.
     pub read_window: u32,
+    /// When a mirrored write is considered *persistent* (see
+    /// [`PersistMode`]). The default is the optimistic `NicAck` the paper
+    /// assumes — an RDMA ack counts as durable; honest deployments (the
+    /// ODS wiring) opt into a flush mode, paying an extra persist round
+    /// per touched device half before the write completes.
+    pub persist_mode: PersistMode,
 }
 
 impl Default for PmClientConfig {
@@ -75,6 +82,7 @@ impl Default for PmClientConfig {
             rpc_retry_base: SimDuration::from_millis(200),
             rpc_retry_cap: SimDuration::from_millis(1600),
             read_window: 8,
+            persist_mode: PersistMode::NicAck,
         }
     }
 }
@@ -137,8 +145,17 @@ type PendingLeg = (EndpointId, u8, u64, Bytes, u32);
 struct ChunkState {
     /// Member volume this fragment lands on.
     volume: u32,
+    /// Device offset of the fragment (persist-phase read target).
+    dev_off: u64,
+    /// Fragment length on the device.
+    len: u32,
     /// Legs of this fragment that completed `Ok`.
     acked: u32,
+    /// Bitmask of halves whose leg acked `Ok` (bit `1 << half`).
+    acked_halves: u8,
+    /// Bitmask of halves proven *persistent* by the persist phase. Only
+    /// meaningful for flush modes; `NicAck` never sets it.
+    persisted_halves: u8,
     /// Legs lost to *availability* errors (device NACK, unreachable,
     /// timeout) — survivable as long as one leg of the fragment acks.
     avail_failed: u32,
@@ -157,6 +174,13 @@ struct WriteState {
     /// Outstanding legs: (rdma op id, chunk index, half).
     pending: Vec<(u64, usize, u8)>,
     chunks: Vec<ChunkState>,
+    /// True once the persist phase (flush modes) has been launched.
+    persist_phase: bool,
+    /// Outstanding persist ops (flushes or forcing reads), by rdma op id.
+    persist_pending: Vec<u64>,
+    /// A persist op failed: the write may still complete (another half
+    /// persisted), but only degraded.
+    persist_failed: bool,
 }
 
 /// One stripe fragment of a read, with its own half selection and
@@ -211,6 +235,9 @@ pub struct PmLib {
     next_read: u64,
     /// RDMA op id → (read run id, part index).
     read_map: HashMap<u64, (u64, usize)>,
+    /// Persist-phase op id → (write id, member volume, half). Holds both
+    /// explicit flushes and `FlushOnRead` forcing reads.
+    persist_map: HashMap<u64, (u64, u32, u8)>,
     /// Regions opened through this library instance.
     regions: HashMap<u64, RegionInfo>,
     /// Per-(region, member volume) suspect halves:
@@ -263,6 +290,7 @@ impl PmLib {
             reads: HashMap::new(),
             next_read: 0,
             read_map: HashMap::new(),
+            persist_map: HashMap::new(),
             regions: HashMap::new(),
             suspects: HashMap::new(),
             suspected_at: HashMap::new(),
@@ -515,6 +543,9 @@ impl PmLib {
             avail_status: RdmaStatus::Ok,
             pending: Vec::new(),
             chunks: Vec::new(),
+            persist_phase: false,
+            persist_pending: Vec::new(),
+            persist_failed: false,
         };
         // Fragment payloads: the data may be shorter than the wire span
         // (compact descriptor); slice what exists, keep the wire length.
@@ -532,7 +563,11 @@ impl PmLib {
                 let chunk_data = data.slice(lo..hi);
                 let mut chunk = ChunkState {
                     volume: frag.volume,
+                    dev_off: frag.dev_off,
+                    len: frag.len,
                     acked: 0,
+                    acked_halves: 0,
+                    persisted_halves: 0,
                     avail_failed: 0,
                     next_leg: None,
                 };
@@ -838,7 +873,10 @@ impl PmLib {
         st.pending.retain(|&(rid, _, _)| rid != done.op_id);
         let ch = &mut st.chunks[chunk];
         match done.status {
-            RdmaStatus::Ok => ch.acked += 1,
+            RdmaStatus::Ok => {
+                ch.acked += 1;
+                ch.acked_halves |= 1 << half;
+            }
             s if Self::is_availability_error(s) => {
                 ch.avail_failed += 1;
                 st.avail_status = s;
@@ -873,17 +911,32 @@ impl PmLib {
         t: &PmWriteTimeout,
     ) -> Option<PmWriteComplete> {
         let st = self.writes.get_mut(&t.wid)?;
-        if st.pending.is_empty() && st.chunks.iter().all(|c| c.next_leg.is_none()) {
+        if st.pending.is_empty()
+            && st.chunks.iter().all(|c| c.next_leg.is_none())
+            && st.persist_pending.is_empty()
+        {
             return None; // completion already in flight elsewhere
         }
         let region_id = st.region_id;
         let stale: Vec<(u64, usize, u8)> = std::mem::take(&mut st.pending);
+        // Persist ops that never answered count as availability failures
+        // on their half: the data may be on the array, but nothing proved
+        // it, so the mode's contract says we cannot claim it.
+        let stale_persist: Vec<u64> = std::mem::take(&mut st.persist_pending);
+        if !stale_persist.is_empty() {
+            st.persist_failed = true;
+        }
         st.avail_status = RdmaStatus::Unreachable;
         let mut to_suspect = Vec::with_capacity(stale.len());
         for &(rid, chunk, half) in &stale {
             st.chunks[chunk].avail_failed += 1;
             to_suspect.push((st.chunks[chunk].volume, half));
             self.rdma_map.remove(&rid);
+        }
+        for rid in stale_persist {
+            if let Some((_, volume, half)) = self.persist_map.remove(&rid) {
+                to_suspect.push((volume, half));
+            }
         }
         // A sequential write may time out before some fragments' mirror
         // legs were ever issued; fire them now against the survivors and
@@ -919,21 +972,48 @@ impl PmLib {
             ctx.trace("pmclient: stale write completion ignored");
             return None;
         };
-        if !st.pending.is_empty() || st.chunks.iter().any(|c| c.next_leg.is_some()) {
+        if !st.pending.is_empty()
+            || st.chunks.iter().any(|c| c.next_leg.is_some())
+            || !st.persist_pending.is_empty()
+        {
+            return None;
+        }
+        // Data phase settled. Flush modes interpose a persist phase
+        // before the write may complete: one flush (or forcing read) per
+        // touched device half, so the completion means "on the array",
+        // not "in a NIC buffer".
+        if self.cfg.persist_mode != PersistMode::NicAck
+            && !st.persist_phase
+            && st.logical_error.is_none()
+            && st.chunks.iter().all(|c| c.acked > 0)
+        {
+            self.begin_persist_phase(ctx, wid);
             return None;
         }
         let st = self.writes.remove(&wid)?;
         // Purge op-id entries still pointing at the retired write.
         self.rdma_map.retain(|_, &mut (w, _, _)| w != wid);
+        let persistent = match self.cfg.persist_mode {
+            // Optimistic: an RDMA ack counts as durable (the paper's
+            // assumption; honest only for a device with no volatile
+            // ingress buffer).
+            PersistMode::NicAck => st.chunks.iter().all(|c| c.acked > 0),
+            // Honest: every fragment proved on the array of at least one
+            // answering mirror.
+            _ => st.chunks.iter().all(|c| c.persisted_halves != 0),
+        };
         let (status, degraded) = if let Some(err) = st.logical_error {
             (err, false)
-        } else if st.chunks.iter().all(|c| c.acked > 0) {
+        } else if persistent {
             // Every fragment is persistent on at least one answering
             // mirror; this preserves the API contract ("when the call
             // returns the data is either persistent or the call will
             // return in error"), at reduced redundancy where a half
             // failed.
-            (RdmaStatus::Ok, st.chunks.iter().any(|c| c.avail_failed > 0))
+            (
+                RdmaStatus::Ok,
+                st.chunks.iter().any(|c| c.avail_failed > 0) || st.persist_failed,
+            )
         } else {
             (st.avail_status, false)
         };
@@ -942,6 +1022,123 @@ impl PmLib {
             status,
             degraded,
         })
+    }
+
+    /// Launch the persist phase of a write: one persist op per distinct
+    /// `(member volume, half)` that acked data. `PersistFlush` issues the
+    /// explicit flush verb; `FlushOnRead` issues a small read of one of
+    /// the half's just-written fragments, exploiting "reads cannot pass
+    /// posted writes" as the persist barrier.
+    fn begin_persist_phase(&mut self, ctx: &mut Ctx<'_>, wid: u64) {
+        let (region_id, targets) = {
+            let st = self.writes.get_mut(&wid).expect("write registered");
+            st.persist_phase = true;
+            let mut targets: Vec<(u32, u8, u64, u32)> = Vec::new();
+            for c in &st.chunks {
+                for half in 0..2u8 {
+                    if c.acked_halves & (1 << half) != 0
+                        && !targets
+                            .iter()
+                            .any(|&(v, h, _, _)| v == c.volume && h == half)
+                    {
+                        targets.push((c.volume, half, c.dev_off, c.len.min(8)));
+                    }
+                }
+            }
+            (st.region_id, targets)
+        };
+        let info = self
+            .regions
+            .get(&region_id)
+            .expect("region not adopted")
+            .clone();
+        for (volume, half, dev_off, read_len) in targets {
+            let eps = *info
+                .eps_for(volume)
+                .expect("stripe map volume missing endpoints");
+            let dev = if half == 0 {
+                eps.primary_ep
+            } else {
+                eps.mirror_ep
+            };
+            let rid = self.next_rdma;
+            self.next_rdma += 1;
+            self.persist_map.insert(rid, (wid, volume, half));
+            self.writes
+                .get_mut(&wid)
+                .expect("write registered")
+                .persist_pending
+                .push(rid);
+            let net = self.net.clone();
+            match self.cfg.persist_mode {
+                PersistMode::PersistFlush => rdma_flush(ctx, &net, self.ep, dev, rid),
+                PersistMode::FlushOnRead => {
+                    rdma_read(ctx, &net, self.ep, dev, dev_off, read_len, rid)
+                }
+                PersistMode::NicAck => unreachable!("NicAck has no persist phase"),
+            }
+        }
+        // Give the persist ops their own timeout interval.
+        ctx.send_self(self.cfg.write_timeout, PmWriteTimeout { wid });
+    }
+
+    /// Feed an [`RdmaFlushDone`] received by the owning actor (persist
+    /// phase of a `PersistFlush`-mode write).
+    pub fn on_rdma_flush_done(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        done: &RdmaFlushDone,
+    ) -> Option<PmWriteComplete> {
+        let (wid, volume, half) = self.persist_map.remove(&done.op_id)?;
+        self.finish_persist_op(ctx, wid, volume, half, done.op_id, done.status)
+    }
+
+    /// Intercept a persist-phase forcing read (`FlushOnRead` mode). Call
+    /// this *before* [`Self::on_rdma_read_done`] for every `RdmaReadDone`;
+    /// it returns `None` without consuming ops it does not own.
+    pub fn on_persist_read_done(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        done: &RdmaReadDone,
+    ) -> Option<PmWriteComplete> {
+        if !self.persist_map.contains_key(&done.op_id) {
+            return None;
+        }
+        let (wid, volume, half) = self.persist_map.remove(&done.op_id)?;
+        self.finish_persist_op(ctx, wid, volume, half, done.op_id, done.status)
+    }
+
+    fn finish_persist_op(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        wid: u64,
+        volume: u32,
+        half: u8,
+        op_id: u64,
+        status: RdmaStatus,
+    ) -> Option<PmWriteComplete> {
+        if let Some(region_id) = self.writes.get(&wid).map(|s| s.region_id) {
+            if status == RdmaStatus::Ok {
+                self.clear_suspect(region_id, volume, half);
+            } else if Self::is_availability_error(status) {
+                self.mark_suspect(ctx, region_id, volume, half);
+            }
+        }
+        let st = self.writes.get_mut(&wid)?;
+        st.persist_pending.retain(|&r| r != op_id);
+        if status == RdmaStatus::Ok {
+            for c in st.chunks.iter_mut() {
+                if c.volume == volume && c.acked_halves & (1 << half) != 0 {
+                    c.persisted_halves |= 1 << half;
+                }
+            }
+        } else {
+            st.persist_failed = true;
+            if st.avail_status == RdmaStatus::Ok {
+                st.avail_status = status;
+            }
+        }
+        self.try_complete_write(ctx, wid)
     }
 
     /// Feed an [`RdmaReadDone`]; returns the client completion if the op
@@ -1066,6 +1263,7 @@ impl PmLib {
             && self.reads.is_empty()
             && self.rdma_map.is_empty()
             && self.read_map.is_empty()
+            && self.persist_map.is_empty()
     }
 
     /// Schedule a retry timer helper: clients re-send PMM RPCs if no ack

@@ -169,6 +169,25 @@ impl TestClient {
         self.fire(ctx);
     }
 
+    fn log_write_completion(&mut self, ctx: &mut Ctx<'_>, c: &crate::PmWriteComplete) {
+        let expect = match &self.steps[c.token as usize] {
+            Step::Write { expect, .. } => *expect,
+            _ => RdmaStatus::Ok,
+        };
+        self.log.lock().push(format!(
+            "write[{}]:{:?}:{}{}@{}",
+            c.token,
+            c.status,
+            if c.status == expect {
+                "asexpected"
+            } else {
+                "UNEXPECTED"
+            },
+            if c.degraded { ":degraded" } else { "" },
+            ctx.now().as_nanos()
+        ));
+    }
+
     // Small accessors so Delete can use the raw path.
     fn lib_machine(&self) -> SharedMachine {
         self.machine.clone()
@@ -250,22 +269,17 @@ impl Actor for TestClient {
         let msg = match msg.take::<RdmaWriteDone>() {
             Ok((_, done)) => {
                 if let Some(c) = self.lib.on_rdma_write_done(ctx, &done) {
-                    let expect = match &self.steps[c.token as usize] {
-                        Step::Write { expect, .. } => *expect,
-                        _ => RdmaStatus::Ok,
-                    };
-                    self.log.lock().push(format!(
-                        "write[{}]:{:?}:{}{}@{}",
-                        c.token,
-                        c.status,
-                        if c.status == expect {
-                            "asexpected"
-                        } else {
-                            "UNEXPECTED"
-                        },
-                        if c.degraded { ":degraded" } else { "" },
-                        ctx.now().as_nanos()
-                    ));
+                    self.log_write_completion(ctx, &c);
+                    self.advance(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.take::<simnet::RdmaFlushDone>() {
+            Ok((_, done)) => {
+                if let Some(c) = self.lib.on_rdma_flush_done(ctx, &done) {
+                    self.log_write_completion(ctx, &c);
                     self.advance(ctx);
                 }
                 return;
@@ -274,6 +288,13 @@ impl Actor for TestClient {
         };
         let msg = match msg.take::<RdmaReadDone>() {
             Ok((_, done)) => {
+                // Persist-phase forcing reads (FlushOnRead) complete a
+                // *write*, not a read.
+                if let Some(c) = self.lib.on_persist_read_done(ctx, &done) {
+                    self.log_write_completion(ctx, &c);
+                    self.advance(ctx);
+                    return;
+                }
                 if let Some(c) = self.lib.on_rdma_read_done(ctx, done) {
                     let verdict = match &self.steps[c.token as usize] {
                         Step::Read {
@@ -1503,6 +1524,111 @@ fn both_suspect_reads_go_to_least_recently_suspected_half() {
     // Second read: routed to dead half 0 first, failed over to half 1.
     assert!(log[4].contains("Ok:match:degraded"), "{log:?}");
     assert_eq!(log[5], "quiesced:true", "{log:?}");
+}
+
+// --- persistence modes ------------------------------------------------------
+
+use simnet::PersistMode;
+
+fn mode_cfg(mode: PersistMode) -> PmClientConfig {
+    PmClientConfig {
+        persist_mode: mode,
+        ..PmClientConfig::default()
+    }
+}
+
+#[test]
+fn flush_modes_complete_ok_and_pay_extra_latency() {
+    let run = |mode: PersistMode| -> (u64, u64) {
+        let mut store = DurableStore::new();
+        let mut sc = build(&mut store, 80, false);
+        let log = spawn_client_custom(
+            &mut sc,
+            CpuId(2),
+            vec![
+                Step::Create {
+                    name: "pm".into(),
+                    len: 1 << 18,
+                },
+                Step::Write {
+                    region_idx: 0,
+                    offset: 0,
+                    data: vec![0x42; 2048],
+                    expect: RdmaStatus::Ok,
+                },
+                Step::CheckQuiesced,
+            ],
+            MirrorPolicy::ParallelBoth,
+            move |lib| lib.with_config(mode_cfg(mode)),
+        );
+        sc.sim.run_until_idle();
+        let log = log.lock();
+        assert_eq!(log.len(), 3, "{log:?}");
+        assert!(log[1].contains("Ok:asexpected"), "{log:?}");
+        assert!(!log[1].contains("degraded"), "{log:?}");
+        assert_eq!(log[2], "quiesced:true", "{log:?}");
+        let flushes = sc.pmm.npmu_a.stats.lock().flushes + sc.pmm.npmu_b.stats.lock().flushes;
+        (ts(&log[1]), flushes)
+    };
+    let (nic, f_nic) = run(PersistMode::NicAck);
+    let (fread, f_read) = run(PersistMode::FlushOnRead);
+    let (flush, f_flush) = run(PersistMode::PersistFlush);
+    // Only the explicit-flush mode exercises the device flush verb.
+    assert_eq!(f_nic, 0);
+    assert_eq!(f_read, 0);
+    assert!(f_flush >= 2, "one flush per touched half, got {f_flush}");
+    // Honesty costs a persist round trip: both flush modes complete
+    // strictly later than the optimistic ack-is-durable mode.
+    assert!(fread > nic, "FlushOnRead {fread} !> NicAck {nic}");
+    assert!(flush > nic, "PersistFlush {flush} !> NicAck {nic}");
+}
+
+#[test]
+fn persist_flush_write_degrades_when_half_down() {
+    let mut store = DurableStore::new();
+    let plan = FaultPlan::none().with(Fault::NpmuDown {
+        volume_half: 1,
+        from: SimTime(0),
+        to: SimTime(100 * SECS),
+    });
+    let mut sc = build_faulty(
+        &mut store,
+        81,
+        false,
+        plan,
+        PmmConfig::default(),
+        npmu::FailureMode::Nack,
+    );
+    let log = spawn_client_custom(
+        &mut sc,
+        CpuId(2),
+        vec![
+            Step::Create {
+                name: "deg".into(),
+                len: 1 << 18,
+            },
+            Step::Write {
+                region_idx: 0,
+                offset: 0,
+                data: vec![0x21; 1024],
+                expect: RdmaStatus::Ok,
+            },
+            Step::CheckQuiesced,
+        ],
+        MirrorPolicy::ParallelBoth,
+        |lib| lib.with_config(mode_cfg(PersistMode::PersistFlush)),
+    );
+    sc.sim.run_until(SimTime(5 * SECS));
+    let log = log.lock();
+    assert_eq!(log.len(), 3, "{log:?}");
+    // The persist phase only targets halves that acked data: the write
+    // completes Ok (survivor flushed) but degraded.
+    assert!(log[1].contains("Ok:asexpected:degraded"), "{log:?}");
+    assert_eq!(log[2], "quiesced:true", "{log:?}");
+    assert_eq!(sc.pmm.npmu_a.stats.lock().flushes, 1);
+    assert_eq!(sc.pmm.npmu_b.stats.lock().flushes, 0);
+    let a = sc.pmm.npmu_a.mem.lock().read(pmm::META_BYTES, 4);
+    assert_eq!(a, vec![0x21; 4]);
 }
 
 #[test]

@@ -239,6 +239,29 @@ impl Sim {
         self.run_until(deadline)
     }
 
+    /// Run until the total dispatch count reaches `n` (a crash-injection
+    /// hook: a deterministic replay stopped at dispatch `n` is "power was
+    /// lost at event boundary `n`"). Returns [`RunOutcome::EventLimit`]
+    /// when the count is what stopped the run, even when no `max_events`
+    /// cap is configured.
+    pub fn run_until_dispatched(&mut self, n: u64) -> RunOutcome {
+        loop {
+            if self.halted {
+                self.halted = false;
+                return RunOutcome::Halted;
+            }
+            if self.dispatched >= n {
+                return RunOutcome::EventLimit;
+            }
+            if self.max_events != 0 && self.dispatched >= self.max_events {
+                return RunOutcome::EventLimit;
+            }
+            if !self.step() {
+                return RunOutcome::Idle;
+            }
+        }
+    }
+
     /// FNV-1a digest of the dispatch trace; equal digests ⇒ identical runs.
     /// Only meaningful when tracing was enabled in [`SimConfig`].
     pub fn trace_digest(&self) -> u64 {
@@ -363,6 +386,39 @@ mod tests {
         let mut sim = Sim::with_seed(0);
         sim.post(ActorId(99), SimDuration::ZERO, 42u32);
         assert_eq!(sim.run_until_idle(), RunOutcome::Idle);
+    }
+
+    #[test]
+    fn run_until_dispatched_stops_at_exact_event_boundary() {
+        let hits = std::sync::Arc::new(parking_lot::Mutex::new(0));
+        let mut sim = Sim::with_seed(0);
+        sim.spawn(Counter { hits: hits.clone() });
+        // Dispatch 1 is Start; dispatches 2..=6 are ticks.
+        assert_eq!(sim.run_until_dispatched(6), RunOutcome::EventLimit);
+        assert_eq!(sim.dispatched(), 6);
+        assert_eq!(*hits.lock(), 5);
+        // Resuming from the boundary continues the same replay.
+        assert_eq!(sim.run_until_dispatched(7), RunOutcome::EventLimit);
+        assert_eq!(*hits.lock(), 6);
+    }
+
+    #[test]
+    fn run_until_dispatched_returns_idle_when_queue_drains_first() {
+        let (_, out) = ping_pong(1); // 11 dispatches end-to-end
+        assert_eq!(out, RunOutcome::Halted);
+        let log = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut sim = Sim::with_seed(1);
+        let a = sim.spawn(Pinger {
+            peer: None,
+            remaining: 0,
+            log: log.clone(),
+        });
+        sim.spawn(Pinger {
+            peer: Some(a),
+            remaining: 4,
+            log: log.clone(),
+        });
+        assert_eq!(sim.run_until_dispatched(1_000_000), RunOutcome::Halted);
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub mod transport;
 pub use config::{FabricConfig, ServerNetGen};
 pub use network::{EndpointId, NetStats, Network, SharedNetwork};
 pub use transport::{
-    rdma_crc_read, rdma_read, rdma_write, rdma_write_sized, reply_rdma_crc_read, reply_rdma_read,
-    reply_rdma_write, send_net_msg, InboundRdmaCrcRead, InboundRdmaRead, InboundRdmaWrite,
-    NetDelivery, RdmaCrcReadDone, RdmaReadDone, RdmaStatus, RdmaWriteDone,
+    rdma_crc_read, rdma_flush, rdma_read, rdma_write, rdma_write_sized, reply_rdma_crc_read,
+    reply_rdma_flush, reply_rdma_read, reply_rdma_write, send_net_msg, InboundRdmaCrcRead,
+    InboundRdmaFlush, InboundRdmaRead, InboundRdmaWrite, NetDelivery, PersistMode, RdmaCrcReadDone,
+    RdmaFlushDone, RdmaReadDone, RdmaStatus, RdmaWriteDone,
 };

@@ -34,6 +34,7 @@ pub struct NetStats {
     /// Checksum ("scrub") reads: the device digests a range and replies
     /// with 8 bytes instead of the data.
     pub rdma_crc_reads: u64,
+    pub rdma_flushes: u64,
     pub retransmits: u64,
     pub failovers: u64,
     pub unreachable: u64,

@@ -10,16 +10,43 @@
 //!     receives RdmaWriteDone { status }
 //! ```
 //!
-//! The *data is applied at arrival time*, not at issue time: a power loss
-//! while the transfer is in flight leaves the device memory untouched,
-//! which is precisely the window the PMM's self-consistent metadata has to
-//! tolerate.
+//! The *data reaches the device at arrival time*, not at issue time: a
+//! power loss while the transfer is in flight leaves the device memory
+//! untouched, which is precisely the window the PMM's self-consistent
+//! metadata has to tolerate. Whether the arrived bytes are *durable* at
+//! ack time is the device's business — an NPMU models a volatile ingress
+//! buffer, so durability depends on the client's [`PersistMode`].
 
 use crate::latency;
 use crate::network::{EndpointId, SharedNetwork};
 use bytes::Bytes;
 use simcore::{ActorId, Ctx, SimDuration};
 use std::any::Any;
+
+/// When a remote persistent write is actually *durable*, as opposed to
+/// merely acknowledged. Kashyap et al. ("Correct, Fast Remote
+/// Persistence") showed that an RDMA NIC-level ack does **not** imply the
+/// bytes reached persistent media: they can sit in NIC/PCIe ingress
+/// buffers and vanish at power loss. Devices here model that buffer, and
+/// clients pick one of three disciplines with distinct latency and
+/// crash-visibility semantics:
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PersistMode {
+    /// Trust the NIC ack (the optimistic legacy behaviour): lowest
+    /// latency, but bytes still in the ingress buffer are LOST on power
+    /// loss — an acknowledged commit can evaporate.
+    NicAck,
+    /// Issue a small RDMA read after the writes: reads cannot pass
+    /// posted writes, so the read's completion proves the buffer was
+    /// forced to the array (Kashyap's read-after-write trick). One extra
+    /// round trip, no special device verb required.
+    FlushOnRead,
+    /// Issue an explicit flush verb with its own device-side latency;
+    /// its completion proves persistence. The honest default for
+    /// commit-critical writers.
+    #[default]
+    PersistFlush,
+}
 
 /// Outcome of an RDMA operation, as seen by the initiator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,9 +108,26 @@ pub struct InboundRdmaCrcRead {
     pub len: u32,
 }
 
+/// A persist-flush verb arriving at a device actor: the device must
+/// drain its volatile ingress buffer to the array before answering.
+pub struct InboundRdmaFlush {
+    pub from_ep: EndpointId,
+    pub reply_to: ActorId,
+    pub op_id: u64,
+}
+
 /// Write completion, delivered to the initiator.
 #[derive(Clone, Debug)]
 pub struct RdmaWriteDone {
+    pub op_id: u64,
+    pub status: RdmaStatus,
+}
+
+/// Flush completion, delivered to the initiator: when `status == Ok`,
+/// every write the target device had acknowledged before this flush is on
+/// persistent media.
+#[derive(Clone, Copy, Debug)]
+pub struct RdmaFlushDone {
     pub op_id: u64,
     pub status: RdmaStatus,
 }
@@ -339,6 +383,43 @@ pub fn rdma_crc_read(
     }
 }
 
+/// Issue a persist flush to a device. Completion arrives as
+/// [`RdmaFlushDone`]. The verb itself is tiny (a doorbell write); the
+/// persistence cost is paid device-side before the reply.
+pub fn rdma_flush(
+    ctx: &mut Ctx<'_>,
+    net: &SharedNetwork,
+    from_ep: EndpointId,
+    to_ep: EndpointId,
+    op_id: u64,
+) {
+    match issue_leg(ctx, net, from_ep, to_ep, 16) {
+        Some((target, ns)) => {
+            net.lock().stats.rdma_flushes += 1;
+            let reply_to = ctx.self_id();
+            ctx.send(
+                target,
+                SimDuration::from_nanos(ns),
+                InboundRdmaFlush {
+                    from_ep,
+                    reply_to,
+                    op_id,
+                },
+            );
+        }
+        None => {
+            net.lock().stats.unreachable += 1;
+            ctx.send_self(
+                SimDuration::from_nanos(UNREACHABLE_TIMEOUT_NS),
+                RdmaFlushDone {
+                    op_id,
+                    status: RdmaStatus::Unreachable,
+                },
+            );
+        }
+    }
+}
+
 /// Called by a device actor to complete an inbound write: sends the
 /// hardware ack back to the initiator.
 pub fn reply_rdma_write(
@@ -355,6 +436,30 @@ pub fn reply_rdma_write(
         req.reply_to,
         SimDuration::from_nanos(ack_ns),
         RdmaWriteDone {
+            op_id: req.op_id,
+            status,
+        },
+    );
+}
+
+/// Called by a device actor to complete an inbound flush once its ingress
+/// buffer is on media. `persist_ns` is the device-side drain cost already
+/// paid (modelled as reply delay, like a real verb's completion ordering).
+pub fn reply_rdma_flush(
+    ctx: &mut Ctx<'_>,
+    net: &SharedNetwork,
+    req: &InboundRdmaFlush,
+    status: RdmaStatus,
+    persist_ns: u64,
+) {
+    let ack_ns = {
+        let n = net.lock();
+        n.cfg.ack_ns
+    };
+    ctx.send(
+        req.reply_to,
+        SimDuration::from_nanos(ack_ns + persist_ns),
+        RdmaFlushDone {
             op_id: req.op_id,
             status,
         },

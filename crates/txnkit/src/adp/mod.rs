@@ -39,7 +39,7 @@ use simcore::{Actor, ActorId, Ctx, Msg, Sim};
 use simnet::{EndpointId, NetDelivery, SharedNetwork};
 use std::any::Any;
 
-pub use pm::PM_CTRL_BYTES;
+pub use pm::{parse_ctrl_cell, PM_CTRL_BYTES, PM_CTRL_SLOT_BYTES};
 
 /// Where the trail becomes durable.
 #[derive(Clone)]
@@ -316,6 +316,7 @@ pub fn install_adp(
                     pmm.clone(),
                     region.clone(),
                     *region_len,
+                    cfg2.pm_persist_mode,
                 )),
             };
             Box::new(AdpProc {

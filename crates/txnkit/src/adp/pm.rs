@@ -25,15 +25,43 @@ use super::{AdpShared, AuditLog, Role};
 use crate::types::*;
 use bytes::Bytes;
 use nsk::machine::{CpuId, SharedMachine};
-use pmclient::{PmLib, PmReadTimeout, PmWriteTimeout};
+use pmclient::{PmClientConfig, PmLib, PmReadTimeout, PmWriteTimeout};
 use pmm::msgs::CreateRegionAck;
 use simcore::{Ctx, Msg, SimDuration};
-use simnet::{EndpointId, RdmaReadDone, RdmaWriteDone};
+use simnet::{EndpointId, PersistMode, RdmaFlushDone, RdmaReadDone, RdmaWriteDone};
 use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
 
 /// Bytes reserved at the base of a PM trail region for the control cell.
+/// The cell is double-buffered: two 16 B slots at offsets 0 and 16,
+/// written alternately so a torn slot write can never destroy the last
+/// valid watermark.
 pub const PM_CTRL_BYTES: u64 = 64;
+
+/// One control-cell slot: `watermark u64 LE + crc32(watermark) u32 LE +
+/// 4 B pad`.
+pub const PM_CTRL_SLOT_BYTES: u64 = 16;
+
+/// Parse the double-buffered control cell (both 16 B slots). Returns the
+/// highest CRC-valid watermark — 0 when neither slot is valid (fresh
+/// region, or both torn) — and the slot index holding it.
+pub fn parse_ctrl_cell(raw: &[u8]) -> (u64, Option<usize>) {
+    let mut best = 0u64;
+    let mut slot = None;
+    for s in 0..2usize {
+        let base = s * PM_CTRL_SLOT_BYTES as usize;
+        if raw.len() < base + 12 {
+            continue;
+        }
+        let v = u64::from_le_bytes(raw[base..base + 8].try_into().unwrap());
+        let crc = u32::from_le_bytes(raw[base + 8..base + 12].try_into().unwrap());
+        if pmm::meta::crc32(&v.to_le_bytes()) == crc && (slot.is_none() || v > best) {
+            best = v;
+            slot = Some(s);
+        }
+    }
+    (best, slot)
+}
 
 /// Retry timer for PM region creation at startup/takeover. `attempt`
 /// counts the RPCs already sent, driving the capped exponential backoff.
@@ -101,6 +129,9 @@ pub(crate) struct PmLog {
     /// appends and flush answers come from this).
     acked_watermark: u64,
     ctrl_write_inflight: Option<u64>, // watermark value being written
+    /// Which control-cell slot the NEXT control write targets (the other
+    /// slot holds the last published watermark).
+    ctrl_slot: usize,
     /// Data durable (watermark-covered), waiting for a control write to
     /// publish it; LSN-ordered.
     awaiting_ctrl: VecDeque<AckSlot>,
@@ -118,9 +149,13 @@ impl PmLog {
         pmm: String,
         region_name: String,
         region_len: u64,
+        persist_mode: PersistMode,
     ) -> Self {
         PmLog {
-            lib: PmLib::new(machine, ep, cpu, pmm),
+            lib: PmLib::new(machine, ep, cpu, pmm).with_config(PmClientConfig {
+                persist_mode,
+                ..PmClientConfig::default()
+            }),
             region_name,
             region_id: None,
             region_len,
@@ -131,6 +166,7 @@ impl PmLog {
             data_watermark: 0,
             acked_watermark: 0,
             ctrl_write_inflight: None,
+            ctrl_slot: 0,
             awaiting_ctrl: VecDeque::new(),
             tokens: BTreeMap::new(),
             boot_pending: Vec::new(),
@@ -222,15 +258,25 @@ impl PmLog {
         }
         let wm = self.data_watermark;
         self.ctrl_write_inflight = Some(wm);
-        let mut cell = Vec::with_capacity(16);
+        let mut cell = Vec::with_capacity(PM_CTRL_SLOT_BYTES as usize);
         cell.extend_from_slice(&wm.to_le_bytes());
         cell.extend_from_slice(&pmm::meta::crc32(&wm.to_le_bytes()).to_le_bytes());
         let tok = sh.alloc_tag();
         self.tokens.insert(tok, TokenKind::Ctrl);
         sh.stats.lock().pm_ctrl_writes += 1;
         let region = self.region_id.expect("region ready");
-        self.lib
-            .write_sized(ctx, region, 0, Bytes::from(cell), 16, tok);
+        // Alternate slots so a torn write to one slot leaves the other —
+        // holding the last published watermark — intact.
+        let off = self.ctrl_slot as u64 * PM_CTRL_SLOT_BYTES;
+        self.ctrl_slot ^= 1;
+        self.lib.write_sized(
+            ctx,
+            region,
+            off,
+            Bytes::from(cell),
+            PM_CTRL_SLOT_BYTES as u32,
+            tok,
+        );
     }
 
     /// Boot/takeover: region acked → read the control cell.
@@ -245,25 +291,18 @@ impl PmLog {
             self.tokens.insert(tok, TokenKind::BootRead);
             self.ctrl_read_pending = true;
             let region = self.region_id.unwrap();
-            self.lib.read(ctx, region, 0, 16, tok);
+            self.lib
+                .read(ctx, region, 0, 2 * PM_CTRL_SLOT_BYTES as u32, tok);
         }
     }
 
     fn ctrl_read_done(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>, data: &[u8]) {
-        let wm = if data.len() >= 12 {
-            let v = u64::from_le_bytes(data[..8].try_into().unwrap());
-            let crc = u32::from_le_bytes(data[8..12].try_into().unwrap());
-            if pmm::meta::crc32(&v.to_le_bytes()) == crc {
-                v
-            } else {
-                // Fresh region, or a torn cell: covered appends were acked
-                // only after a *completed* cell write, so a torn cell can
-                // only under-report unacknowledged work.
-                0
-            }
-        } else {
-            0
-        };
+        // Fresh region, or both slots torn → 0: covered appends were acked
+        // only after a *completed* cell write, so a torn cell can only
+        // under-report unacknowledged work. With one valid slot, the next
+        // write must target the OTHER slot so the survivor is preserved.
+        let (wm, slot) = parse_ctrl_cell(data);
+        self.ctrl_slot = slot.map(|s| 1 - s).unwrap_or(0);
         self.ctrl_read_pending = false;
         self.ready = true;
         self.data_watermark = self.data_watermark.max(wm);
@@ -419,10 +458,25 @@ impl AuditLog for PmLog {
             Err(m) => m,
         };
 
-        // Control-cell read completion.
+        // Persist-phase flush completion (PersistFlush mode).
+        let msg = match msg.take::<RdmaFlushDone>() {
+            Ok((_, done)) => {
+                if let Some(c) = self.lib.on_rdma_flush_done(ctx, &done) {
+                    self.write_done(sh, ctx, c.token);
+                }
+                return None;
+            }
+            Err(m) => m,
+        };
+
+        // Read completions: a forcing read finishing a write's persist
+        // phase (FlushOnRead mode) is claimed first; anything else is the
+        // control-cell boot read.
         let msg = match msg.take::<RdmaReadDone>() {
             Ok((_, done)) => {
-                if let Some(c) = self.lib.on_rdma_read_done(ctx, done) {
+                if let Some(c) = self.lib.on_persist_read_done(ctx, &done) {
+                    self.write_done(sh, ctx, c.token);
+                } else if let Some(c) = self.lib.on_rdma_read_done(ctx, done) {
                     self.tokens.remove(&c.token);
                     self.ctrl_read_done(sh, ctx, &c.data);
                 }

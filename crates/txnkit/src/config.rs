@@ -66,6 +66,14 @@ pub struct TxnConfig {
     /// batch. 1 degenerates to the pre-pipelined one-write-at-a-time
     /// discipline.
     pub pm_pipeline_depth: u32,
+    /// Remote-persistence mode the ADP's PM client runs in (see
+    /// [`simnet::PersistMode`]). The default — and `pm_enabled()` — is
+    /// the honest `PersistFlush`: a commit ack is only released once the
+    /// trail bytes AND the control-cell watermark are proven on the NPMU
+    /// array, not merely acked into its volatile ingress buffer.
+    /// `NicAck` restores the paper's optimistic assumption (and is what
+    /// the crash-point fuzzer uses to demonstrate acked-commit loss).
+    pub pm_persist_mode: simnet::PersistMode,
 }
 
 /// Capped exponential backoff: `base * 2^attempt`, clamped to `cap`.
@@ -95,6 +103,7 @@ impl Default for TxnConfig {
             region_retry_base_ns: 500_000_000,
             region_retry_cap_ns: 4_000_000_000,
             pm_pipeline_depth: 4,
+            pm_persist_mode: simnet::PersistMode::PersistFlush,
         }
     }
 }
@@ -156,6 +165,19 @@ mod tests {
     fn pm_pipeline_has_depth() {
         assert!(TxnConfig::default().pm_pipeline_depth >= 1);
         assert!(TxnConfig::pm_enabled().pm_pipeline_depth >= 1);
+    }
+
+    #[test]
+    fn persistence_mode_defaults_honest() {
+        use simnet::PersistMode;
+        assert_eq!(
+            TxnConfig::default().pm_persist_mode,
+            PersistMode::PersistFlush
+        );
+        assert_eq!(
+            TxnConfig::pm_enabled().pm_persist_mode,
+            PersistMode::PersistFlush
+        );
     }
 
     #[test]

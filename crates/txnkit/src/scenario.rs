@@ -70,6 +70,10 @@ pub struct OdsParams {
     pub audit_partitions: u32,
     /// Data volumes per DP2 (paper: 16 volumes / 4 DP2s = 4).
     pub data_volumes_per_dp2: u32,
+    /// Override the NPMUs' modelled ingress-buffer drain latency, ns
+    /// (`None` keeps the device default). The crash-point fuzzer widens
+    /// this so the ack-vs-persist window spans many event boundaries.
+    pub pm_ingress_drain_ns: Option<u64>,
 }
 
 impl OdsParams {
@@ -90,6 +94,7 @@ impl OdsParams {
             pm_volumes: 1,
             data_volumes_per_dp2: 4,
             audit_partitions: 0,
+            pm_ingress_drain_ns: None,
         }
     }
 
@@ -178,9 +183,16 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
     let (pm_pool, pmm) = match params.audit {
         AuditMode::Disk => (Vec::new(), None),
         mode => {
-            let kind_cfg = |cap| match mode {
-                AuditMode::Pmp => NpmuConfig::pmp(cap),
-                _ => NpmuConfig::hardware(cap),
+            let drain = params.pm_ingress_drain_ns;
+            let kind_cfg = |cap| {
+                let c = match mode {
+                    AuditMode::Pmp => NpmuConfig::pmp(cap),
+                    _ => NpmuConfig::hardware(cap),
+                };
+                match drain {
+                    Some(ns) => c.with_ingress_drain_ns(ns),
+                    None => c,
+                }
             };
             let trail_regions = params.cpus.max(effective_audit_partitions(&params));
             let cap =

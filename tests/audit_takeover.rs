@@ -11,7 +11,10 @@
 //!   appends (one cell write covers every append completed since the
 //!   previous one).
 
+mod common;
+
 use bytes::Bytes;
+use common::read_region;
 use hotstock::driver::{HotStockDriver, SharedDriverStats};
 use npmu::NpmuConfig;
 use nsk::machine::{install_primary, CpuId, Machine, MachineConfig, SharedMachine};
@@ -24,22 +27,10 @@ use simcore::time::{MILLIS, SECS};
 use simcore::{Actor, Ctx, DurableStore, Msg, Sim, SimDuration, SimTime};
 use simnet::{EndpointId, NetDelivery};
 use std::sync::Arc;
-use txnkit::adp::PM_CTRL_BYTES;
+use txnkit::adp::{parse_ctrl_cell, PM_CTRL_BYTES};
 use txnkit::recovery::redo_scan_partitioned;
 use txnkit::scenario::{build_ods, AuditMode, OdsParams};
 use txnkit::{AppendDone, AuditAppend, FlushDone, FlushReq, Lsn, TxnConfig};
-
-/// Pull a PM region's bytes out of an NPMU image via the PMM's durable
-/// metadata (what an offline recovery tool would do).
-fn read_region(store: &mut DurableStore, device_key: &str, region_name: &str) -> Vec<u8> {
-    let img = store
-        .get::<npmu::NvImage>(device_key)
-        .expect("device image");
-    let img = img.lock();
-    let meta = pmm::MetaStore::recover(|off, len| img.read(off, len));
-    let region = meta.find(region_name).expect("region in metadata");
-    img.read(region.base, region.len as usize)
-}
 
 #[test]
 fn adp_primary_killed_mid_pipeline_loses_no_acknowledged_append() {
@@ -114,16 +105,11 @@ fn adp_primary_killed_mid_pipeline_loses_no_acknowledged_append() {
         assert_eq!(s.txns_committed, want_txns);
     }
 
-    // The control cell the takeover read back is well-formed and covers
-    // the partition's durable appends.
-    let raw = read_region(&mut store, "npmu:pm-a", "adp1.audit");
-    let wm = u64::from_le_bytes(raw[..8].try_into().unwrap());
-    let crc = u32::from_le_bytes(raw[8..12].try_into().unwrap());
-    assert_eq!(
-        crc,
-        pmm::meta::crc32(&wm.to_le_bytes()),
-        "torn control cell"
-    );
+    // The control cell the takeover read back is well-formed (at least
+    // one CRC-valid slot) and covers the partition's durable appends.
+    let raw = read_region(&mut store, "npmu:pm-a", "adp1.audit", 0);
+    let (wm, slot) = parse_ctrl_cell(&raw);
+    assert!(slot.is_some(), "no valid control-cell slot");
     assert!(wm > 0, "partition 1 published no watermark");
 
     // Offline recovery: merge the four per-partition trails by LSN and
@@ -131,8 +117,12 @@ fn adp_primary_killed_mid_pipeline_loses_no_acknowledged_append() {
     // rebuilt, including the partition that failed over mid-run.
     let trails: Vec<Vec<u8>> = (0..4)
         .map(|i| {
-            let r = read_region(&mut store, "npmu:pm-a", &format!("adp{i}.audit"));
-            r[PM_CTRL_BYTES as usize..].to_vec()
+            read_region(
+                &mut store,
+                "npmu:pm-a",
+                &format!("adp{i}.audit"),
+                PM_CTRL_BYTES,
+            )
         })
         .collect();
     let refs: Vec<&[u8]> = trails.iter().map(|t| t.as_slice()).collect();
@@ -144,8 +134,8 @@ fn adp_primary_killed_mid_pipeline_loses_no_acknowledged_append() {
 
     // Both mirror halves hold the same trail bytes, takeover included.
     for i in 0..4 {
-        let b = read_region(&mut store, "npmu:pm-b", &format!("adp{i}.audit"));
-        let a = read_region(&mut store, "npmu:pm-a", &format!("adp{i}.audit"));
+        let b = read_region(&mut store, "npmu:pm-b", &format!("adp{i}.audit"), 0);
+        let a = read_region(&mut store, "npmu:pm-a", &format!("adp{i}.audit"), 0);
         assert_eq!(a, b, "partition {i} mirrors diverged");
     }
 }

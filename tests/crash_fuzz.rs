@@ -1,0 +1,336 @@
+//! Whole-commit crash-point fuzzer.
+//!
+//! Deterministically replays a small hot-stock commit workload and
+//! injects a power loss at sampled event boundaries — dropping the `Sim`
+//! at dispatch `k` and resetting the durable store's volatile side is
+//! exactly "the lights went out between event `k` and `k+1`" — then runs
+//! offline recovery over the surviving NPMU images and checks the
+//! crash-visibility contract of each remote-persistence mode:
+//!
+//! * `PersistFlush` / `FlushOnRead` (honest): every transaction the
+//!   driver saw acknowledged as committed redoes from the NPMU images
+//!   alone; every recovered-committed transaction is complete (no
+//!   half-applied work); the mirror halves agree byte-for-byte up to the
+//!   published watermark.
+//! * `NicAck` (optimistic): commits are acknowledged at NIC-ack, while
+//!   the bytes still sit in the NPMU's volatile ingress buffer — the
+//!   fuzzer must catch at least one crash point where an acknowledged
+//!   commit is gone after recovery. That observable loss is the whole
+//!   reason the honest modes exist.
+//!
+//! A rotating subset of points additionally injects a *torn* control-cell
+//! write (a partial-byte overwrite of the slot the next publication would
+//! target) and checks the double-buffered cell still parses to the
+//! previously published watermark — never a garbage LSN.
+//!
+//! `FUZZ_FULL=1` widens the sweep to ≥ 2000 injected points across the
+//! three modes; the default is a ~200-point smoke sized for CI.
+
+mod common;
+
+use common::try_read_region;
+use hotstock::driver::{HotStockDriver, SharedDriverStats};
+use nsk::machine::CpuId;
+use simcore::time::{MILLIS, SECS};
+use simcore::{DurableStore, SimDuration, SimTime};
+use simnet::PersistMode;
+use std::collections::HashMap;
+use txnkit::adp::{parse_ctrl_cell, PM_CTRL_BYTES, PM_CTRL_SLOT_BYTES};
+use txnkit::audit::{scan, AuditRecord};
+use txnkit::recovery::redo_scan;
+use txnkit::scenario::{build_ods, AuditMode, OdsNode, OdsParams};
+use txnkit::TxnId;
+
+const INSERTS_PER_TXN: u32 = 8;
+const RECORDS: u64 = 96; // 12 transactions end-to-end
+const N_TRAILS: u32 = 4;
+/// Wide modelled ingress-drain latency so the ack-vs-persist window of
+/// `NicAck` spans many event boundaries (the real window is ~µs; the
+/// invariants are window-size independent).
+const DRAIN_NS: u64 = MILLIS;
+
+fn points_per_mode() -> usize {
+    if std::env::var("FUZZ_FULL").is_ok_and(|v| v == "1") {
+        700 // 3 modes × 700 = 2100 injected power-loss points
+    } else {
+        70 // smoke: 3 × 70 = 210
+    }
+}
+
+fn build_node(
+    store: &mut DurableStore,
+    mode: PersistMode,
+    seed: u64,
+) -> (OdsNode, SharedDriverStats) {
+    let mut params = OdsParams {
+        audit: AuditMode::HardwareNpmu,
+        ..OdsParams::pm(seed)
+    };
+    params.txn.pm_persist_mode = mode;
+    params.pm_ingress_drain_ns = Some(DRAIN_NS);
+    let mut node = build_ods(store, params);
+    let machine = node.machine.clone();
+    let stats = HotStockDriver::install(
+        &mut node.sim,
+        &machine,
+        node.tmf.clone(),
+        node.partition_map.clone(),
+        node.params.files,
+        node.params.parts_per_file,
+        0,
+        CpuId(0),
+        4096,
+        INSERTS_PER_TXN,
+        RECORDS,
+        SimDuration::from_millis(1100),
+        node.params.txn.issue_cpu_ns,
+    );
+    (node, stats)
+}
+
+/// Run the workload to completion once, uncrashed, and learn the dispatch
+/// window worth fuzzing: from just before the first commits to the last
+/// acknowledgement.
+fn probe(mode: PersistMode, seed: u64) -> (u64, u64) {
+    let mut store = DurableStore::new();
+    let (mut node, stats) = build_node(&mut store, mode, seed);
+    node.sim.run_until(SimTime(1120 * MILLIS));
+    let d_lo = node.sim.dispatched();
+    while !stats.lock().done {
+        let now = node.sim.now();
+        assert!(now < SimTime(60 * SECS), "probe workload did not finish");
+        node.sim.run_until(SimTime(now.as_nanos() + 10 * MILLIS));
+    }
+    let d_hi = node.sim.dispatched();
+    assert_eq!(
+        stats.lock().committed_txns,
+        RECORDS / INSERTS_PER_TXN as u64,
+        "probe must commit the whole workload"
+    );
+    assert!(d_hi > d_lo);
+    (d_lo, d_hi)
+}
+
+struct PointOutcome {
+    acked: u64,
+    lost: u64,
+    violations: Vec<String>,
+}
+
+/// Cut power at dispatch boundary `k` of a fresh deterministic replay,
+/// recover offline, and evaluate every invariant the mode promises.
+/// `torn_offset` additionally applies an `off`-byte torn write inside the
+/// control cell of partition 0 before recovery.
+fn crash_point(mode: PersistMode, seed: u64, k: u64, torn_offset: Option<usize>) -> PointOutcome {
+    let mut store = DurableStore::new();
+    let acked;
+    {
+        let (mut node, stats) = build_node(&mut store, mode, seed);
+        node.sim.run_until_dispatched(k);
+        acked = stats.lock().committed_txns;
+        // Sim dropped here == power loss at the event boundary.
+    }
+    store.reset_volatile();
+
+    let mut violations: Vec<String> = Vec::new();
+
+    // Torn control-cell write: the next publication tears mid-cell. The
+    // double-buffered cell must still parse to the previous watermark.
+    if let Some(off) = torn_offset {
+        if let Some(img) = store.get::<npmu::NvImage>("npmu:pm-a") {
+            let mut img = img.lock();
+            let meta = pmm::MetaStore::recover(|o, l| img.read(o, l));
+            if let Some(region) = meta.find("adp0.audit") {
+                let base = region.base;
+                let raw = img.read(base, 2 * PM_CTRL_SLOT_BYTES as usize);
+                let (wm, slot) = parse_ctrl_cell(&raw);
+                let target = slot.map(|s| 1 - s).unwrap_or(0) as u64;
+                let next = wm + 4096;
+                let mut cell = Vec::with_capacity(PM_CTRL_SLOT_BYTES as usize);
+                cell.extend_from_slice(&next.to_le_bytes());
+                cell.extend_from_slice(&pmm::meta::crc32(&next.to_le_bytes()).to_le_bytes());
+                cell.extend_from_slice(&[0u8; 4]);
+                img.partial_write(base + target * PM_CTRL_SLOT_BYTES, &cell, off);
+                let raw2 = img.read(base, 2 * PM_CTRL_SLOT_BYTES as usize);
+                let (wm2, _) = parse_ctrl_cell(&raw2);
+                // A tear short of the 12 payload bytes (wm + crc) must
+                // fall back to the surviving slot; a tear at >= 12 bytes
+                // delivered the whole logical cell (only pad was cut), so
+                // the new watermark legitimately wins. Anything else is a
+                // garbage LSN.
+                let ok = if off < 12 { wm2 == wm } else { wm2 == next };
+                if !ok {
+                    violations.push(format!(
+                        "k={k}: torn ctrl write ({off} bytes) parsed to garbage \
+                         watermark {wm2} (prev {wm}, next {next})"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Offline recovery from one surviving mirror, like a recovery tool.
+    let trails: Vec<Vec<u8>> = (0..N_TRAILS)
+        .filter_map(|i| {
+            try_read_region(
+                &mut store,
+                "npmu:pm-a",
+                &format!("adp{i}.audit"),
+                PM_CTRL_BYTES,
+            )
+        })
+        .collect();
+    let refs: Vec<&[u8]> = trails.iter().map(|t| t.as_slice()).collect();
+    let rec = redo_scan(&refs, None);
+    let lost = acked.saturating_sub(rec.committed.len() as u64);
+
+    if mode != PersistMode::NicAck {
+        if lost > 0 {
+            violations.push(format!(
+                "k={k}: {lost} acked commits unrecoverable ({} acked, {} redone)",
+                acked,
+                rec.committed.len()
+            ));
+        }
+        // Atomicity: every recovered-committed txn carries its full
+        // insert set — a durable commit record never outruns the data
+        // records it covers (WAL across partitioned trails).
+        let mut counts: HashMap<TxnId, u32> = HashMap::new();
+        for t in &trails {
+            for (_, r) in scan(t) {
+                if let AuditRecord::Insert { txn, .. } = r {
+                    *counts.entry(txn).or_default() += 1;
+                }
+            }
+        }
+        for txn in &rec.committed {
+            let n = counts.get(txn).copied().unwrap_or(0);
+            if n != INSERTS_PER_TXN {
+                violations.push(format!(
+                    "k={k}: committed {txn:?} half-applied: {n}/{INSERTS_PER_TXN} inserts"
+                ));
+            }
+        }
+        // Mirror reconciliation: both halves agree byte-for-byte up to
+        // the (lower) published watermark.
+        for i in 0..N_TRAILS {
+            let name = format!("adp{i}.audit");
+            let (Some(a), Some(b)) = (
+                try_read_region(&mut store, "npmu:pm-a", &name, 0),
+                try_read_region(&mut store, "npmu:pm-b", &name, 0),
+            ) else {
+                continue;
+            };
+            let (wa, _) = parse_ctrl_cell(&a);
+            let (wb, _) = parse_ctrl_cell(&b);
+            let wm = wa.min(wb) as usize;
+            let cap = a.len() - PM_CTRL_BYTES as usize;
+            if wm > cap {
+                continue; // wrapped trail: prefix compare is not meaningful
+            }
+            let pa = &a[PM_CTRL_BYTES as usize..][..wm];
+            let pb = &b[PM_CTRL_BYTES as usize..][..wm];
+            if pa != pb {
+                violations.push(format!(
+                    "k={k}: partition {i} mirrors diverge below wm {wm}"
+                ));
+            }
+        }
+    }
+
+    PointOutcome {
+        acked,
+        lost,
+        violations,
+    }
+}
+
+struct ModeReport {
+    points: usize,
+    points_with_acks: usize,
+    total_lost: u64,
+    violations: Vec<String>,
+}
+
+fn fuzz_mode(mode: PersistMode) -> ModeReport {
+    let per_mode = points_per_mode();
+    let seeds: &[u64] = &[0xF0_0D, 0x5EED];
+    let per_seed = per_mode.div_ceil(seeds.len());
+    let mut report = ModeReport {
+        points: 0,
+        points_with_acks: 0,
+        total_lost: 0,
+        violations: Vec::new(),
+    };
+    for (si, &seed) in seeds.iter().enumerate() {
+        let (d_lo, d_hi) = probe(mode, seed);
+        for i in 0..per_seed {
+            let k = d_lo + (d_hi - d_lo) * i as u64 / per_seed as u64;
+            // Every 5th point also tears the next control-cell write,
+            // cycling through all intra-cell byte offsets 1..=15.
+            let torn = (i % 5 == 0).then_some((si + i / 5) % 15 + 1);
+            let out = crash_point(mode, seed, k, torn);
+            report.points += 1;
+            if out.acked > 0 {
+                report.points_with_acks += 1;
+            }
+            report.total_lost += out.lost;
+            report.violations.extend(out.violations);
+        }
+    }
+    assert!(
+        report.points >= per_mode,
+        "swept {} of {per_mode} points",
+        report.points
+    );
+    assert!(
+        report.points_with_acks > report.points / 4,
+        "too few crash points landed after commits started ({} of {})",
+        report.points_with_acks,
+        report.points
+    );
+    report
+}
+
+#[test]
+fn persist_flush_never_loses_an_acked_commit_at_any_crash_point() {
+    let report = fuzz_mode(PersistMode::PersistFlush);
+    assert!(
+        report.violations.is_empty(),
+        "{} violations:\n{}",
+        report.violations.len(),
+        report.violations.join("\n")
+    );
+    assert_eq!(report.total_lost, 0);
+}
+
+#[test]
+fn flush_on_read_never_loses_an_acked_commit_at_any_crash_point() {
+    let report = fuzz_mode(PersistMode::FlushOnRead);
+    assert!(
+        report.violations.is_empty(),
+        "{} violations:\n{}",
+        report.violations.len(),
+        report.violations.join("\n")
+    );
+    assert_eq!(report.total_lost, 0);
+}
+
+#[test]
+fn nic_ack_demonstrably_loses_acked_commits_under_crash() {
+    let report = fuzz_mode(PersistMode::NicAck);
+    // The torn-cell invariant still holds in NicAck (the only invariant
+    // checked for the optimistic mode).
+    assert!(
+        report.violations.is_empty(),
+        "{} violations:\n{}",
+        report.violations.len(),
+        report.violations.join("\n")
+    );
+    assert!(
+        report.total_lost >= 1,
+        "NicAck never lost an acked commit across {} crash points — \
+         the ingress-buffer model is not observable",
+        report.points
+    );
+}

@@ -3,29 +3,15 @@
 //! power loss — its audit records and commit record are recoverable from
 //! the NPMU images alone.
 
+mod common;
+
+use common::read_region;
 use hotstock::driver::HotStockDriver;
 use nsk::machine::CpuId;
 use simcore::time::SECS;
 use simcore::{DurableStore, SimDuration, SimTime};
 use txnkit::recovery::redo_scan;
 use txnkit::scenario::{build_ods, AuditMode, OdsParams};
-
-/// Pull a PM region's trail bytes out of an NPMU image via the PMM's
-/// durable metadata (exactly what a recovery tool would do).
-fn read_region(
-    store: &mut DurableStore,
-    device_key: &str,
-    region_name: &str,
-    skip_ctrl: u64,
-) -> Vec<u8> {
-    let img = store
-        .get::<npmu::NvImage>(device_key)
-        .expect("device image");
-    let img = img.lock();
-    let meta = pmm::MetaStore::recover(|off, len| img.read(off, len));
-    let region = meta.find(region_name).expect("region in metadata");
-    img.read(region.base + skip_ctrl, (region.len - skip_ctrl) as usize)
-}
 
 #[test]
 fn committed_transactions_survive_power_loss() {
