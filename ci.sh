@@ -18,6 +18,10 @@ cargo run --release -p pm-bench --bin read_scaling
 # Smoke: persistence modes (T10) — asserts the honest modes' latency
 # premium and throughput floor internally at smoke scale.
 cargo run --release -p pm-bench --bin persist_modes
+# Smoke: sharded transaction layer (T11) — asserts the >= 2.5x 4-node
+# speedup at 10% cross-shard and the 100k-client population bars
+# internally at smoke scale.
+cargo run --release -p pm-bench --bin shard_scaling
 # Crash-point fuzz smoke: ~200 injected power-loss points across the
 # three persistence modes (release: `cargo test --release` above already
 # ran it once; FUZZ_FULL=1 widens to the ≥ 2000-point sweep).

@@ -1,6 +1,6 @@
 //! # pm-bench — harnesses that regenerate the paper's figures and claims
 //!
-//! One binary per experiment (see DESIGN.md §8):
+//! One binary per experiment (see DESIGN.md §9):
 //!
 //! | binary            | reproduces |
 //! |-------------------|------------|

@@ -27,7 +27,7 @@ pub mod system;
 
 pub use adapter::NvMedium;
 pub use integrity::{verify_mirrors, Discrepancy, MirrorReport};
-pub use presets::{s86000_baseline, s86000_pm, s86000_pm_hardware, s86000_pm_pool};
+pub use presets::{s86000_baseline, s86000_cluster, s86000_pm, s86000_pm_hardware, s86000_pm_pool};
 pub use system::{
     install_audit_partitions, install_pm_pool, install_pm_system, PmPoolSystem, PmSystem,
 };

@@ -1,6 +1,6 @@
 //! Named configurations matching the paper's evaluation platform.
 
-use txnkit::scenario::{AuditMode, OdsParams};
+use txnkit::scenario::{AuditMode, ClusterParams, OdsParams};
 
 /// The §4.3 baseline: a 4-processor S86000 with disk audit volumes
 /// ("we used 4 auxiliary audit volumes, one for each CPU"), 4 database
@@ -35,9 +35,28 @@ pub fn s86000_pm_pool(seed: u64, volumes: u32) -> OdsParams {
     }
 }
 
+/// Sharded multi-node cluster: `shards` PM-enabled S86000 nodes (each
+/// the [`s86000_pm_hardware`] topology) joined by the fabric, with
+/// cross-shard transactions coordinated by 2PC between the shard TMFs.
+/// `shards` must be a power of two (shard routing masks the key hash).
+pub fn s86000_cluster(seed: u64, shards: u32) -> ClusterParams {
+    ClusterParams {
+        shards,
+        base: s86000_pm_hardware(seed),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cluster_preset_is_pm_per_shard() {
+        let c = s86000_cluster(1, 4);
+        assert_eq!(c.shards, 4);
+        assert_eq!(c.base.audit, AuditMode::HardwareNpmu);
+        assert_eq!(c.base.cpus, 4);
+    }
 
     #[test]
     fn presets_match_paper_topology() {

@@ -38,6 +38,14 @@ pub enum AuditRecord {
     CheckpointMark {
         active_txns: Vec<TxnId>,
     },
+    /// 2PC participant vote: this shard's work for `txn` is durable and
+    /// the shard is in-doubt. Recovery resolves a `Prepared` transaction
+    /// with no later local outcome record by consulting the coordinator
+    /// shard's trail ([`TxnId::coordinator_shard`]): commit iff a `Commit`
+    /// record exists there, else presumed abort.
+    Prepared {
+        txn: TxnId,
+    },
 }
 
 impl AuditRecord {
@@ -47,6 +55,7 @@ impl AuditRecord {
             AuditRecord::Commit { .. } => 2,
             AuditRecord::Abort { .. } => 3,
             AuditRecord::CheckpointMark { .. } => 4,
+            AuditRecord::Prepared { .. } => 5,
         }
     }
 
@@ -72,7 +81,9 @@ impl AuditRecord {
                 body.put_u32_le(payload.len() as u32);
                 body.put_slice(payload);
             }
-            AuditRecord::Commit { txn } | AuditRecord::Abort { txn } => {
+            AuditRecord::Commit { txn }
+            | AuditRecord::Abort { txn }
+            | AuditRecord::Prepared { txn } => {
                 body.put_u64_le(txn.0);
             }
             AuditRecord::CheckpointMark { active_txns } => {
@@ -99,7 +110,9 @@ impl AuditRecord {
     pub fn encoded_len(&self) -> usize {
         10 + match self {
             AuditRecord::Insert { body, .. } => 36 + body.len(),
-            AuditRecord::Commit { .. } | AuditRecord::Abort { .. } => 8,
+            AuditRecord::Commit { .. }
+            | AuditRecord::Abort { .. }
+            | AuditRecord::Prepared { .. } => 8,
             AuditRecord::CheckpointMark { active_txns } => 4 + 8 * active_txns.len(),
         }
     }
@@ -158,6 +171,9 @@ impl AuditRecord {
                     active_txns: (0..n).map(|i| TxnId(rd_u64(4 + 8 * i))).collect(),
                 }
             }
+            5 => AuditRecord::Prepared {
+                txn: TxnId(rd_u64(0)),
+            },
             _ => return None,
         };
         Some((rec, 10 + body_len))
@@ -214,6 +230,9 @@ mod tests {
             AuditRecord::Abort { txn: TxnId(10) },
             AuditRecord::CheckpointMark {
                 active_txns: vec![TxnId(1), TxnId(2)],
+            },
+            AuditRecord::Prepared {
+                txn: TxnId::compose(3, 44),
             },
         ];
         for r in recs {

@@ -40,7 +40,11 @@ pub struct TxnConfig {
     /// "issue rate of a single application server thread").
     pub issue_cpu_ns: u64,
     /// Lock wait limit before a waiter is victimized, ns (coarse deadlock
-    /// backstop on top of cycle detection).
+    /// backstop on top of cycle detection). In a sharded cluster this is
+    /// also the backstop for *distributed* deadlocks — wait cycles that
+    /// thread through two shards' lock managers, which no single shard's
+    /// cycle detector can see. The victim aborts before its coordinator
+    /// prepares, so the timeout never unwinds a prepared participant.
     pub lock_timeout_ns: u64,
     /// DP2 dirty-page destage interval (background writes to data
     /// volumes), ns.

@@ -61,6 +61,16 @@ struct AppendRetry {
     attempt: u32,
 }
 
+/// Lock-wait timeout: the coarse victimization backstop from
+/// `TxnConfig::lock_timeout_ns`. The per-DP2 wait-for graph catches local
+/// cycles eagerly, but a distributed deadlock spanning DP2s (or shards,
+/// under cross-shard 2PC) is invisible to it — the timer is what breaks
+/// those.
+struct LockTimeout {
+    txn: TxnId,
+    key: u64,
+}
+
 struct PendingInsert {
     req: InsertReq,
     from_ep: EndpointId,
@@ -336,6 +346,53 @@ impl Actor for Dp2Proc {
             Err(m) => m,
         };
 
+        let msg = match msg.take::<LockTimeout>() {
+            Ok((_, t)) => {
+                if self.role != Role::Primary {
+                    return;
+                }
+                // Still parked after the full wait? Victimize the whole
+                // (txn, key) wait: every parked op answers Deadlock and
+                // the waiter entry leaves the lock queue (possibly
+                // unblocking whoever was queued behind it).
+                let Some(ops) = self.parked.remove(&(t.txn, t.key)) else {
+                    return;
+                };
+                {
+                    let mut s = self.stats.lock();
+                    s.deadlocks += 1;
+                    s.lock_timeouts += 1;
+                }
+                for op in ops {
+                    if let Some((req, from_ep)) = self.staged.remove(&op) {
+                        let net = self.net.clone();
+                        simnet::send_net_msg(
+                            ctx,
+                            &net,
+                            self.ep,
+                            from_ep,
+                            48,
+                            InsertDone {
+                                txn: t.txn,
+                                token: req.token,
+                                result: InsertResult::Deadlock,
+                            },
+                        );
+                    }
+                }
+                let granted = self.locks.cancel_wait(t.txn, t.key);
+                for (txn, key) in granted {
+                    if let Some(ops) = self.parked.remove(&(txn, key)) {
+                        for op in ops {
+                            self.apply_insert(ctx, op);
+                        }
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
         if msg.is::<DestageTick>() {
             if self.role == Role::Primary {
                 self.destage(ctx);
@@ -389,6 +446,12 @@ impl Actor for Dp2Proc {
                     Acquire::Granted => self.apply_insert(ctx, op),
                     Acquire::Queued => {
                         self.parked.entry((txn, key)).or_default().push(op);
+                        if self.cfg.lock_timeout_ns > 0 {
+                            ctx.send_self(
+                                SimDuration::from_nanos(self.cfg.lock_timeout_ns),
+                                LockTimeout { txn, key },
+                            );
+                        }
                     }
                     Acquire::Deadlock => {
                         let (req, from_ep) = self.staged.remove(&op).unwrap();

@@ -41,6 +41,7 @@ pub mod dp2;
 pub mod lock;
 pub mod recovery;
 pub mod scenario;
+pub mod shard;
 pub mod stats;
 pub mod tmf;
 pub mod types;
@@ -49,7 +50,11 @@ pub use adp::{install_adp, AuditBackend};
 pub use client::TxnClient;
 pub use config::TxnConfig;
 pub use dp2::install_dp2;
-pub use scenario::{build_ods, AuditMode, OdsNode, OdsParams};
+pub use scenario::{
+    build_cluster, build_ods, AuditMode, ClusterNode, ClusterParams, ClusterView, OdsNode,
+    OdsParams, ShardHandle,
+};
+pub use shard::{shard_of_key, ShardDirectory};
 pub use stats::{SharedTxnStats, TxnStats};
 pub use tmf::install_tmf;
 pub use types::*;

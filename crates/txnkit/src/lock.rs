@@ -171,6 +171,48 @@ impl LockManager {
         granted
     }
 
+    /// Cancel `txn`'s wait on `key` (wait-timeout victimization — the
+    /// backstop for distributed deadlocks the per-DP2 wait-for graph
+    /// cannot see). Holders are untouched; any now-unblocked FIFO head
+    /// waiters promote, returned like `release_all`'s grant list. No-op
+    /// if `txn` isn't waiting on `key`.
+    pub fn cancel_wait(&mut self, txn: TxnId, key: LockKey) -> Vec<(TxnId, LockKey)> {
+        let mut granted = Vec::new();
+        let holds;
+        {
+            let Some(st) = self.locks.get_mut(&key) else {
+                return granted;
+            };
+            if !st.waiters.iter().any(|(w, _)| *w == txn) {
+                return granted;
+            }
+            st.waiters.retain(|(w, _)| *w != txn);
+            holds = st.holders.contains_key(&txn);
+            // The cancelled waiter may have been blocking promotion.
+            while let Some(&(w, m)) = st.waiters.front() {
+                if Self::compatible(&st.holders, w, m) {
+                    st.waiters.pop_front();
+                    st.holders.insert(w, m);
+                    granted.push((w, key));
+                } else {
+                    break;
+                }
+            }
+            if st.holders.is_empty() && st.waiters.is_empty() {
+                self.locks.remove(&key);
+            }
+        }
+        if !holds {
+            if let Some(keys) = self.by_txn.get_mut(&txn) {
+                keys.remove(&key);
+                if keys.is_empty() {
+                    self.by_txn.remove(&txn);
+                }
+            }
+        }
+        granted
+    }
+
     /// Does `txn` currently hold `key`?
     pub fn holds(&self, txn: TxnId, key: LockKey) -> bool {
         self.locks
@@ -318,6 +360,27 @@ mod tests {
         assert_eq!(g, vec![(TxnId(2), K)]);
         let g = lm.release_all(TxnId(2));
         assert_eq!(g, vec![(TxnId(3), K)]);
+        lm.release_all(TxnId(3));
+        assert!(lm.is_empty());
+    }
+
+    #[test]
+    fn cancel_wait_victimizes_and_promotes() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(TxnId(1), K, LockMode::Shared), Acquire::Granted);
+        assert_eq!(
+            lm.acquire(TxnId(2), K, LockMode::Exclusive),
+            Acquire::Queued
+        );
+        assert_eq!(lm.acquire(TxnId(3), K, LockMode::Shared), Acquire::Queued);
+        // Victimizing the exclusive waiter unblocks the shared one behind.
+        assert_eq!(lm.cancel_wait(TxnId(2), K), vec![(TxnId(3), K)]);
+        assert!(lm.holds(TxnId(3), K));
+        assert!(!lm.holds(TxnId(2), K));
+        // Cancelling a non-waiter is a no-op.
+        assert!(lm.cancel_wait(TxnId(2), K).is_empty());
+        assert!(lm.cancel_wait(TxnId(1), K).is_empty());
+        lm.release_all(TxnId(1));
         lm.release_all(TxnId(3));
         assert!(lm.is_empty());
     }

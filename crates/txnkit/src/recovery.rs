@@ -74,6 +74,12 @@ pub fn redo_scan(trails: &[&[u8]], master: Option<&[u8]>) -> RecoveredState {
                 AuditRecord::Abort { txn } => {
                     out.aborted.insert(*txn);
                 }
+                // In isolation a Prepared txn with no outcome is presumed
+                // aborted — resolving it for real needs the coordinator
+                // shard's trail (see `redo_scan_sharded`).
+                AuditRecord::Prepared { txn } => {
+                    seen.insert(*txn);
+                }
                 AuditRecord::CheckpointMark { .. } => {}
             }
         }
@@ -174,6 +180,9 @@ pub fn redo_scan_partitioned(trails: &[&[u8]]) -> RecoveredState {
             AuditRecord::Abort { txn } => {
                 out.aborted.insert(*txn);
             }
+            AuditRecord::Prepared { txn } => {
+                seen.insert(*txn);
+            }
             AuditRecord::CheckpointMark { .. } => {}
         }
     }
@@ -201,6 +210,143 @@ pub fn redo_scan_partitioned(trails: &[&[u8]]) -> RecoveredState {
                         crc: *body_crc,
                     },
                 );
+            }
+        }
+    }
+    out
+}
+
+/// Cluster-wide recovery outcome over sharded trails.
+#[derive(Default, Debug)]
+pub struct ShardedRecovery {
+    /// Per-shard recovered state, redone under the *global* resolution
+    /// (index = shard id).
+    pub shards: Vec<RecoveredState>,
+    /// Globally committed transactions.
+    pub committed: HashSet<TxnId>,
+    /// Globally aborted transactions (explicit record or presumed).
+    pub aborted: HashSet<TxnId>,
+    /// Prepared-but-undecided participants resolved COMMIT by the
+    /// coordinator shard's decision record.
+    pub indoubt_committed: HashSet<TxnId>,
+    /// Prepared-but-undecided participants with no decision record on the
+    /// coordinator shard: presumed abort.
+    pub indoubt_aborted: HashSet<TxnId>,
+}
+
+/// Cluster-wide redo/undo: one entry per shard, each a set of that
+/// shard's partition trail images (merged internally by the k-way LSN
+/// merge). Resolution rules, per shard and transaction:
+///
+/// 1. a **local outcome record** (Commit/Abort) wins — the coordinator
+///    wrote it at its commit point, or the participant on decision
+///    delivery;
+/// 2. **prepared, no local outcome** (in-doubt): consult the coordinator
+///    shard's trail ([`TxnId::coordinator_shard`]) — commit iff its
+///    decision Commit record exists there, else *presumed abort* (the
+///    coordinator never hardened a decision, so it can never have acked);
+/// 3. **neither** — in-flight work, undone.
+///
+/// These rules are consistent across shards by construction: the
+/// coordinator only hardens its Commit record after every participant's
+/// data AND `Prepared` record are durable, so a committed transaction is
+/// either locally decided or rule-2-resolvable on every shard it touched.
+pub fn redo_scan_sharded(shards: &[Vec<&[u8]>]) -> ShardedRecovery {
+    let n = shards.len();
+    let mut out = ShardedRecovery::default();
+    // Pass 1: per-shard record merge + outcome collection.
+    let mut merged: Vec<Vec<(usize, Lsn, AuditRecord)>> = Vec::with_capacity(n);
+    let mut local_commit: Vec<HashSet<TxnId>> = vec![HashSet::new(); n];
+    let mut local_abort: Vec<HashSet<TxnId>> = vec![HashSet::new(); n];
+    let mut local_prepared: Vec<HashSet<TxnId>> = vec![HashSet::new(); n];
+    let mut local_seen: Vec<HashSet<TxnId>> = vec![HashSet::new(); n];
+    for (s, trails) in shards.iter().enumerate() {
+        let m = merge_trails_by_lsn(trails);
+        let mut st = RecoveredState {
+            bytes_scanned: trails.iter().map(|t| t.len() as u64).sum(),
+            records_scanned: m.len() as u64,
+            ..RecoveredState::default()
+        };
+        for (_, _, r) in &m {
+            match r {
+                AuditRecord::Insert { txn, .. } => {
+                    local_seen[s].insert(*txn);
+                }
+                AuditRecord::Commit { txn } => {
+                    local_commit[s].insert(*txn);
+                }
+                AuditRecord::Abort { txn } => {
+                    local_abort[s].insert(*txn);
+                }
+                AuditRecord::Prepared { txn } => {
+                    local_prepared[s].insert(*txn);
+                }
+                AuditRecord::CheckpointMark { .. } => {}
+            }
+        }
+        st.committed = local_commit[s].clone();
+        st.aborted = local_abort[s].clone();
+        merged.push(m);
+        out.shards.push(st);
+    }
+
+    // Pass 2: global resolution.
+    for s in 0..n {
+        for txn in local_seen[s].union(&local_prepared[s]) {
+            if local_commit[s].contains(txn) {
+                out.committed.insert(*txn);
+            } else if local_abort[s].contains(txn) {
+                out.aborted.insert(*txn);
+            } else if local_prepared[s].contains(txn) {
+                // In-doubt: the coordinator trail decides.
+                let c = txn.coordinator_shard() as usize;
+                if c < n && local_commit[c].contains(txn) {
+                    out.indoubt_committed.insert(*txn);
+                    out.committed.insert(*txn);
+                } else if c < n && local_abort[c].contains(txn) {
+                    out.aborted.insert(*txn);
+                } else {
+                    out.indoubt_aborted.insert(*txn);
+                    out.aborted.insert(*txn);
+                }
+            }
+            // else: in-flight on this shard, handled below.
+        }
+    }
+    for s in 0..n {
+        out.shards[s].committed = local_seen[s]
+            .union(&local_prepared[s])
+            .filter(|t| out.committed.contains(t))
+            .copied()
+            .collect();
+        out.shards[s].inflight = local_seen[s]
+            .iter()
+            .filter(|t| !out.committed.contains(t) && !out.aborted.contains(t))
+            .copied()
+            .collect();
+    }
+
+    // Pass 3: redo inserts of globally committed transactions only.
+    for (s, m) in merged.iter().enumerate() {
+        for (_, _, r) in m {
+            if let AuditRecord::Insert {
+                txn,
+                partition,
+                key,
+                virtual_len,
+                body_crc,
+                ..
+            } = r
+            {
+                if out.committed.contains(txn) {
+                    out.shards[s].tables.entry(*partition).or_default().insert(
+                        *key,
+                        StoredRecord {
+                            virtual_len: *virtual_len,
+                            crc: *body_crc,
+                        },
+                    );
+                }
             }
         }
     }
@@ -517,6 +663,78 @@ mod tests {
             .get(&PartitionId { file: 0, part: 1 })
             .map(|t| t.contains_key(&20) || t.contains_key(&30))
             .unwrap_or(false));
+    }
+
+    #[test]
+    fn sharded_recovery_resolves_indoubt_via_coordinator() {
+        // T: cross-shard, coordinator 0 decided commit; shard 1 crashed
+        // in-doubt (Prepared, no outcome) → resolves COMMIT via shard 0.
+        let t = TxnId::compose(0, 5);
+        // U: cross-shard, coordinator 0 never hardened a decision; shard 1
+        // prepared → presumed ABORT everywhere.
+        let u = TxnId::compose(0, 6);
+        // V: single-shard on shard 1, plain fast-path commit.
+        let v = TxnId::compose(1, 3);
+        // W: in-flight on shard 1 (no prepare, no outcome) → undone.
+        let w = TxnId::compose(1, 4);
+        let ins = |txn: TxnId, part: u32, key: u64| AuditRecord::Insert {
+            txn,
+            partition: PartitionId {
+                file: part,
+                part: 0,
+            },
+            key,
+            virtual_len: 64,
+            body_crc: 7,
+            body: bytes::Bytes::new(),
+        };
+        let s0 = trail(&[ins(t, 0, 10), AuditRecord::Commit { txn: t }, ins(u, 0, 20)]);
+        let s1 = trail(&[
+            ins(t, 4, 11),
+            AuditRecord::Prepared { txn: t },
+            ins(u, 4, 21),
+            AuditRecord::Prepared { txn: u },
+            ins(v, 5, 30),
+            AuditRecord::Commit { txn: v },
+            ins(w, 5, 40),
+        ]);
+        let rec = redo_scan_sharded(&[vec![&s0], vec![&s1]]);
+        assert!(rec.committed.contains(&t));
+        assert!(rec.committed.contains(&v));
+        assert!(rec.aborted.contains(&u));
+        assert!(rec.indoubt_committed.contains(&t));
+        assert!(rec.indoubt_aborted.contains(&u));
+        assert!(!rec.indoubt_aborted.contains(&t));
+        // No shard applies what another shard aborted; T applies on BOTH.
+        assert!(rec.shards[0].tables[&PartitionId { file: 0, part: 0 }].contains_key(&10));
+        assert!(rec.shards[1].tables[&PartitionId { file: 4, part: 0 }].contains_key(&11));
+        assert!(!rec.shards[0]
+            .tables
+            .get(&PartitionId { file: 0, part: 0 })
+            .map(|t| t.contains_key(&20))
+            .unwrap_or(false));
+        assert!(!rec.shards[1]
+            .tables
+            .get(&PartitionId { file: 4, part: 0 })
+            .map(|t| t.contains_key(&21))
+            .unwrap_or(false));
+        assert!(rec.shards[1].tables[&PartitionId { file: 5, part: 0 }].contains_key(&30));
+        assert!(!rec.shards[1].tables[&PartitionId { file: 5, part: 0 }].contains_key(&40));
+        assert!(rec.shards[1].inflight.contains(&w));
+        // Per-shard committed views agree with the global resolution.
+        assert!(rec.shards[1].committed.contains(&t));
+        assert!(!rec.shards[1].committed.contains(&u));
+    }
+
+    #[test]
+    fn sharded_recovery_single_shard_degenerates() {
+        let t0 = trail(&[insert(1, 0, 10), AuditRecord::Commit { txn: TxnId(1) }]);
+        let sharded = redo_scan_sharded(&[vec![&t0]]);
+        let plain = redo_scan_partitioned(&[&t0]);
+        assert_eq!(sharded.committed, plain.committed);
+        assert_eq!(sharded.shards[0].tables, plain.tables);
+        assert!(sharded.indoubt_committed.is_empty());
+        assert!(sharded.indoubt_aborted.is_empty());
     }
 
     #[test]

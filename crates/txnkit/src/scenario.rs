@@ -10,6 +10,7 @@
 use crate::adp::{install_adp, AuditBackend};
 use crate::config::TxnConfig;
 use crate::dp2::install_dp2;
+use crate::shard::ShardDirectory;
 use crate::stats::{self, SharedTxnStats};
 use crate::tmf::install_tmf;
 use crate::types::PartitionId;
@@ -330,6 +331,8 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
         CpuId(0),
         if params.backups { Some(CpuId(1)) } else { None },
         master_adps,
+        0,
+        None,
         params.txn.clone(),
         stats.clone(),
     );
@@ -348,6 +351,345 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
         pmm,
         npmus: pm_pool.first().cloned(),
         pm_pool,
+        params,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded cluster
+// ---------------------------------------------------------------------
+
+/// Parameters for a sharded multi-node cluster: `shards` complete ODS
+/// nodes (each with the `base` per-node topology) in one simulation,
+/// joined by the shared fabric and a [`ShardDirectory`] so their TMFs can
+/// run cross-shard two-phase commit.
+#[derive(Clone)]
+pub struct ClusterParams {
+    /// Node count. MUST be a power of two (the shard-routing hash masks).
+    pub shards: u32,
+    /// Per-node topology. `base.files` database files live on EVERY
+    /// shard, renumbered globally as `shard * files + file`.
+    pub base: OdsParams,
+}
+
+impl ClusterParams {
+    /// PM-audit cluster (hardware NPMUs, one mirrored pair per shard).
+    pub fn pm(seed: u64, shards: u32) -> Self {
+        assert!(shards.is_power_of_two());
+        ClusterParams {
+            shards,
+            base: OdsParams {
+                audit: AuditMode::HardwareNpmu,
+                txn: TxnConfig::pm_enabled(),
+                ..OdsParams::baseline(seed)
+            },
+        }
+    }
+}
+
+/// One shard's process names and device handles.
+pub struct ShardHandle {
+    pub tmf: String,
+    pub adps: Vec<String>,
+    pub dp2s: Vec<String>,
+    /// Mirrored NPMU pairs backing this shard's audit regions (PM modes).
+    pub pm_pool: Vec<(NpmuHandle, NpmuHandle)>,
+    pub pmm: Option<PmmHandle>,
+}
+
+/// A built cluster: one simulation, `shards.len()` nodes.
+pub struct ClusterNode {
+    pub sim: Sim,
+    pub machine: SharedMachine,
+    pub net: SharedNetwork,
+    pub stats: SharedTxnStats,
+    pub shards: Vec<ShardHandle>,
+    pub directory: std::sync::Arc<ShardDirectory>,
+    /// Global partition → owning DP2 name (files renumbered per shard).
+    pub partition_map: HashMap<PartitionId, String>,
+    pub audit_volume_stats: Vec<SharedDiskStats>,
+    pub params: ClusterParams,
+}
+
+/// What a workload driver needs to route requests: shard-count, TMF
+/// names, and the global partition map. Constructible from a cluster or a
+/// single node (`shards == 1`).
+#[derive(Clone)]
+pub struct ClusterView {
+    pub shards: u32,
+    pub tmfs: Vec<String>,
+    pub partition_map: HashMap<PartitionId, String>,
+    /// Files per shard.
+    pub files: u32,
+    pub parts_per_file: u32,
+    /// First worker CPU of each shard (driver actors colocate here).
+    pub shard_cpu_base: Vec<u32>,
+    /// Worker CPUs per shard.
+    pub cpus_per_shard: u32,
+}
+
+impl ClusterNode {
+    pub fn view(&self) -> ClusterView {
+        let base = &self.params.base;
+        let pm_extra = match base.audit {
+            AuditMode::Disk => 0,
+            _ => 1,
+        };
+        ClusterView {
+            shards: self.params.shards,
+            tmfs: self.shards.iter().map(|s| s.tmf.clone()).collect(),
+            partition_map: self.partition_map.clone(),
+            files: base.files,
+            parts_per_file: base.parts_per_file,
+            shard_cpu_base: (0..self.params.shards)
+                .map(|s| s * (base.cpus + pm_extra))
+                .collect(),
+            cpus_per_shard: base.cpus,
+        }
+    }
+
+    /// Store key of a shard's member-`v` NPMU half (`'a'`/`'b'`), for
+    /// offline trail reads in recovery tests.
+    pub fn npmu_store_key(shard: u32, volume: u32, half: char) -> String {
+        format!("npmu:pm-s{shard}m{volume}-{half}")
+    }
+}
+
+impl OdsNode {
+    /// Single-node view for the workload driver.
+    pub fn view(&self) -> ClusterView {
+        ClusterView {
+            shards: 1,
+            tmfs: vec![self.tmf.clone()],
+            partition_map: self.partition_map.clone(),
+            files: self.params.files,
+            parts_per_file: self.params.parts_per_file,
+            shard_cpu_base: vec![0],
+            cpus_per_shard: self.params.cpus,
+        }
+    }
+}
+
+/// Build a sharded cluster into a fresh simulation around `store`. Every
+/// shard gets its own TMF, DP2s, audit partitions, PMM namespace and
+/// mirrored NPMU pair(s), with globally-unique process and device names
+/// (`$TMF-s{s}`, `$ADP-s{s}p{i}`, `$DP2-s{s}c{c}`, `pm-s{s}m{v}-{a,b}`);
+/// the shared [`ShardDirectory`] tells each TMF which shard owns which
+/// ADP/DP2, enabling the cross-shard 2PC path.
+pub fn build_cluster(store: &mut DurableStore, params: ClusterParams) -> ClusterNode {
+    assert!(params.shards.is_power_of_two() && params.shards >= 1);
+    let base = &params.base;
+    let mut sim = Sim::new(SimConfig {
+        seed: base.seed,
+        ..SimConfig::default()
+    });
+    let net = Network::new(base.fabric.clone());
+    let pm_extra = match base.audit {
+        AuditMode::Disk => 0,
+        _ => 1,
+    };
+    let cpus_per_shard = base.cpus + pm_extra;
+    let machine = Machine::new(
+        MachineConfig {
+            cpus: params.shards * cpus_per_shard,
+            ..MachineConfig::default()
+        },
+        net.clone(),
+    );
+    let stats = stats::shared();
+    Monitor::install(&mut sim, &machine, base.fault_plan.clone());
+
+    // Pass 1: names into the directory (TMFs need it at install time).
+    let mut directory =
+        ShardDirectory::new((0..params.shards).map(|s| format!("$TMF-s{s}")).collect());
+    let n_adps = match base.audit {
+        AuditMode::Disk => base.cpus,
+        _ => effective_audit_partitions(base),
+    };
+    for s in 0..params.shards {
+        for i in 0..n_adps {
+            directory.register(format!("$ADP-s{s}p{i}"), s);
+        }
+        for c in 0..base.cpus {
+            directory.register(format!("$DP2-s{s}c{c}"), s);
+        }
+    }
+    let directory = std::sync::Arc::new(directory);
+
+    let mut shards = Vec::new();
+    let mut partition_map = HashMap::new();
+    let mut audit_volume_stats = Vec::new();
+    for s in 0..params.shards {
+        let cpu0 = s * cpus_per_shard;
+        let scpu = |c: u32| CpuId(cpu0 + c);
+
+        // --- PM devices + per-shard PMM namespace ---
+        let pmm_name = format!("$PMM-s{s}");
+        let (pm_pool, pmm) = match base.audit {
+            AuditMode::Disk => (Vec::new(), None),
+            mode => {
+                let kind_cfg = |cap| {
+                    let c = match mode {
+                        AuditMode::Pmp => NpmuConfig::pmp(cap),
+                        _ => NpmuConfig::hardware(cap),
+                    };
+                    match base.pm_ingress_drain_ns {
+                        Some(ns) => c.with_ingress_drain_ns(ns),
+                        None => c,
+                    }
+                };
+                let trail_regions = base.cpus.max(n_adps);
+                let cap = (base.pm_region_len + pmm::META_BYTES) * (trail_regions as u64 + 2)
+                    + (64 << 20);
+                let mut pool = Vec::new();
+                for v in 0..base.pm_volumes.max(1) {
+                    let an = format!("pm-s{s}m{v}-a");
+                    let bn = format!("pm-s{s}m{v}-b");
+                    let dev = kind_cfg(cap).with_volume(s * base.pm_volumes.max(1) + v);
+                    let a = Npmu::install(&mut sim, store, &net, Some(&machine), &an, dev.clone());
+                    let b = Npmu::install(&mut sim, store, &net, Some(&machine), &bn, dev);
+                    pool.push((a, b));
+                }
+                let pmm = install_pmm_pool(
+                    &mut sim,
+                    &machine,
+                    &pmm_name,
+                    &pool,
+                    scpu(base.cpus),
+                    if base.backups { Some(scpu(0)) } else { None },
+                    PmmConfig::default(),
+                );
+                (pool, Some(pmm))
+            }
+        };
+
+        // --- audit partitions ---
+        let mut adps = Vec::new();
+        for i in 0..n_adps {
+            let name = format!("$ADP-s{s}p{i}");
+            let backend = match base.audit {
+                AuditMode::Disk => {
+                    let media = store
+                        .get_or_insert_with(&format!("disk:$AUDIT-s{s}i{i}"), SparseMedia::new);
+                    let vol =
+                        DiskVolume::new(format!("$AUDIT-s{s}i{i}"), base.audit_disk.clone(), media);
+                    audit_volume_stats.push(vol.stats());
+                    AuditBackend::Disk {
+                        volume: sim.spawn(vol),
+                    }
+                }
+                _ => AuditBackend::Pm {
+                    pmm: pmm_name.clone(),
+                    region: format!("adp{i}.audit"),
+                    region_len: base.pm_region_len,
+                },
+            };
+            install_adp(
+                &mut sim,
+                &machine,
+                &name,
+                scpu(i % base.cpus),
+                if base.backups {
+                    Some(scpu((i + 1) % base.cpus))
+                } else {
+                    None
+                },
+                backend,
+                base.txn.clone(),
+                stats.clone(),
+            );
+            adps.push(name);
+        }
+
+        // --- data volumes + DP2s ---
+        let mut dp2s = Vec::new();
+        for c in 0..base.cpus {
+            let name = format!("$DP2-s{s}c{c}");
+            let mut vols = Vec::new();
+            for v in 0..base.data_volumes_per_dp2 {
+                let media =
+                    store.get_or_insert_with(&format!("disk:$DATA-s{s}c{c}-{v}"), SparseMedia::new);
+                let vol =
+                    DiskVolume::new(format!("$DATA-s{s}c{c}-{v}"), base.data_disk.clone(), media);
+                vols.push(sim.spawn(vol));
+            }
+            let mut parts = Vec::new();
+            for file in 0..base.files {
+                // Files renumbered globally: shard s owns files
+                // [s*files, (s+1)*files).
+                let part = PartitionId {
+                    file: s * base.files + file,
+                    part: c,
+                };
+                if c < base.parts_per_file {
+                    parts.push(part);
+                    partition_map.insert(part, name.clone());
+                }
+            }
+            let dp2_adps = match base.audit {
+                AuditMode::Disk => vec![format!("$ADP-s{s}p{c}")],
+                _ => adps.clone(),
+            };
+            install_dp2(
+                &mut sim,
+                &machine,
+                &name,
+                scpu(c),
+                if base.backups {
+                    Some(scpu((c + 1) % base.cpus))
+                } else {
+                    None
+                },
+                parts,
+                dp2_adps,
+                vols,
+                base.txn.clone(),
+                stats.clone(),
+            );
+            dp2s.push(name);
+        }
+
+        // --- shard TMF, wired into the cluster directory ---
+        let tmf = format!("$TMF-s{s}");
+        let master_adps = match base.audit {
+            AuditMode::Disk => vec![adps[0].clone()],
+            _ => adps.clone(),
+        };
+        install_tmf(
+            &mut sim,
+            &machine,
+            &tmf,
+            scpu(0),
+            if base.backups {
+                Some(scpu(1 % base.cpus))
+            } else {
+                None
+            },
+            master_adps,
+            s,
+            Some(directory.clone()),
+            base.txn.clone(),
+            stats.clone(),
+        );
+
+        shards.push(ShardHandle {
+            tmf,
+            adps,
+            dp2s,
+            pm_pool,
+            pmm,
+        });
+    }
+
+    ClusterNode {
+        sim,
+        machine,
+        net,
+        stats,
+        shards,
+        directory,
+        partition_map,
+        audit_volume_stats,
         params,
     }
 }

@@ -45,6 +45,17 @@ pub struct TxnStats {
     pub inserts: u64,
     pub deadlocks: u64,
 
+    // --- cross-shard two-phase commit ---
+    /// Commits that involved at least one remote (participant) shard.
+    pub cross_shard_commits: u64,
+    /// Participant-side prepares hardened (Prepared record durable).
+    pub twopc_prepares: u64,
+    /// Participant-side decisions applied (prepared state resolved).
+    pub twopc_decisions: u64,
+    /// Lock waits victimized by the wait-timeout backstop (distributed
+    /// deadlocks are invisible to per-DP2 cycle detection).
+    pub lock_timeouts: u64,
+
     // --- latency ---
     /// Commit-path flush latency as seen by the TMF, ns.
     pub flush_latency: Histogram,

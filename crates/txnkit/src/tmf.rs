@@ -7,7 +7,8 @@
 //! media before the transaction is committed. It also notates transaction
 //! states (e.g., commit or abort) in the audit trail." (§1.2)
 //!
-//! Commit pipeline:
+//! Single-shard commit pipeline (the fast path — unchanged from the
+//! single-node system):
 //!
 //! 1. flush every involved data trail through the transaction's high LSN
 //!    there (parallel `FlushReq` fan-out);
@@ -17,8 +18,23 @@
 //!    transaction" (§2);
 //! 3. checkpoint the commit decision to the TMF backup;
 //! 4. externalize: reply to the driver, notify DP2s to release locks.
+//!
+//! Cross-shard commits run presumed-abort two-phase commit on top of the
+//! same machinery. The coordinator (the txn's home TMF) splits the
+//! commit's flush points by owning shard: local ones flush as above while
+//! [`PrepareTxn`] goes to each participant shard's TMF, which flushes its
+//! data trails, hardens a `Prepared` record on its own master trail, and
+//! answers [`PrepareAck`]. Only when every local flush AND every prepare
+//! ack is in does the coordinator append+flush its commit record — that
+//! flush is the cluster-wide commit point. Decisions then fan out as
+//! [`DecisionTxn`] (retried until [`DecisionAck`]); participants log a
+//! local outcome record, resolve their DP2s and forget the prepared
+//! state. Recovery resolves a `Prepared`-but-undecided participant by
+//! consulting the coordinator shard's trail: commit iff the decision
+//! record is there, else presumed abort (see `recovery::redo_scan_sharded`).
 
 use crate::config::TxnConfig;
+use crate::shard::ShardDirectory;
 use crate::stats::SharedTxnStats;
 use crate::types::*;
 use nsk::machine::{CpuId, SharedMachine, WatchTarget};
@@ -26,6 +42,11 @@ use nsk::proc::{Checkpoint, CheckpointAck, ProcessDied};
 use simcore::{Actor, Ctx, Msg, Sim};
 use simnet::{EndpointId, NetDelivery, SharedNetwork};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-participant-shard slice of a commit: the (ADP, LSN) flush points
+/// and DP2 names whose data that shard must harden before it prepares.
+type ShardWork = (Vec<(String, Lsn)>, Vec<String>);
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Role {
@@ -51,6 +72,35 @@ enum SubKind {
         txn: TxnId,
         upto: Lsn,
     },
+    /// Coordinator → participant prepare, retried until `PrepareAck`
+    /// (idempotent at the participant).
+    Prepare {
+        peer: u32,
+        txn: TxnId,
+        flush_points: Vec<(String, Lsn)>,
+        involved_dp2: Vec<String>,
+    },
+    /// Coordinator → participant decision, retried until `DecisionAck`.
+    Decision {
+        peer: u32,
+        txn: TxnId,
+        committed: bool,
+    },
+    /// Participant-side data-trail flush for a prepare.
+    PrepDataFlush {
+        txn: TxnId,
+        adp: String,
+        upto: Lsn,
+    },
+    /// Participant-side `Prepared` record append.
+    PrepAppend {
+        txn: TxnId,
+    },
+    /// Participant-side `Prepared` record flush.
+    PrepFlush {
+        txn: TxnId,
+        upto: Lsn,
+    },
 }
 
 /// Retry timer for a sub-operation. `attempt` counts the retries already
@@ -61,8 +111,9 @@ struct SubRetry {
 }
 
 enum CommitPhase {
-    /// Waiting for data-trail flush acks (count remaining).
-    DataFlush(u32),
+    /// Waiting for local data-trail flush acks and participant prepare
+    /// acks (both counts must reach zero).
+    Phase1 { flushes: u32, prepares: u32 },
     /// Waiting for the master-trail append ack.
     MasterAppend,
     /// Waiting for the master-trail flush ack.
@@ -74,9 +125,27 @@ enum CommitPhase {
 struct CommitState {
     txn: TxnId,
     driver_ep: EndpointId,
+    /// This shard's DP2s only; remote DP2s resolve via their shard's TMF.
     involved_dp2: Vec<String>,
+    /// Participant shards (empty = single-shard fast path).
+    participants: Vec<u32>,
     phase: CommitPhase,
     started_ns: u64,
+}
+
+/// Participant-side state for a transaction this shard prepared (or is
+/// preparing). Lives until the coordinator's decision arrives.
+struct PrepState {
+    coord: String,
+    /// Coordinator's sub-operation token, echoed in `PrepareAck`.
+    coord_token: u64,
+    involved_dp2: Vec<String>,
+    /// Local data-trail flushes still outstanding.
+    flushes_left: u32,
+    /// `Prepared` record appended (guards re-append on late flush acks).
+    appended: bool,
+    /// `Prepared` record flushed: this shard is now in-doubt.
+    durable: bool,
 }
 
 #[derive(Clone, Copy)]
@@ -92,6 +161,11 @@ pub struct TmfProc {
     net: SharedNetwork,
     ep: EndpointId,
     cpu: CpuId,
+    /// This TMF's shard id (encoded into allocated TxnIds).
+    shard: u32,
+    /// Cluster directory for cross-shard routing; `None` = standalone
+    /// node, everything is local.
+    directory: Option<Arc<ShardDirectory>>,
     /// ADPs holding the master audit trail (commit/abort records), one
     /// per audit partition: a transaction's commit record goes to
     /// `master_adps[txn.audit_partition(len)]` — the same mapping the
@@ -105,6 +179,8 @@ pub struct TmfProc {
     /// flush/append tokens → (commit token, what it was, for retry).
     subop: HashMap<u64, (u64, SubKind)>,
     next_subop: u64,
+    /// Participant role: transactions this shard holds in prepared state.
+    prepared: HashMap<TxnId, PrepState>,
     ckpt_waiters: HashMap<u64, u64>, // ckpt seq → commit token
     next_ckpt: u64,
     commits_since_mark: u64,
@@ -138,36 +214,49 @@ impl TmfProc {
         t
     }
 
+    fn send_proc<M: 'static + Send>(&self, ctx: &mut Ctx<'_>, to: &str, bytes: u32, msg: M) {
+        let machine = self.machine.clone();
+        nsk::proc::send_to_process(ctx, &machine, self.ep, self.cpu, to, bytes, msg);
+    }
+
+    /// Fire-and-forget trail append (abort/outcome records, marks): the
+    /// token is never registered, so its `AppendDone` is ignored.
+    fn orphan_append(&mut self, ctx: &mut Ctx<'_>, rec: &crate::audit::AuditRecord, txn: TxnId) {
+        if let Some(master) = self.master_for(txn) {
+            let enc = rec.encode();
+            let virt = enc.len() as u32;
+            let sub = self.next_subop;
+            self.next_subop += 1;
+            self.send_proc(
+                ctx,
+                &master,
+                virt,
+                AuditAppend {
+                    records: enc,
+                    virtual_len: virt,
+                    token: sub,
+                },
+            );
+        }
+    }
+
     /// Re-drive a sub-operation that got no answer (e.g. its ADP failed
-    /// over and the new primary never saw it).
+    /// over and the new primary never saw it, or a peer TMF's reply was
+    /// lost to a takeover).
     fn reissue(&mut self, ctx: &mut Ctx<'_>, sub: u64, attempt: u32) {
         let Some((_, kind)) = self.subop.get(&sub).cloned() else {
             return;
         };
         match kind {
-            SubKind::DataFlush { adp, upto } => {
-                let machine = self.machine.clone();
-                nsk::proc::send_to_process(
-                    ctx,
-                    &machine,
-                    self.ep,
-                    self.cpu,
-                    &adp,
-                    24,
-                    FlushReq { upto, token: sub },
-                );
+            SubKind::DataFlush { adp, upto } | SubKind::PrepDataFlush { adp, upto, .. } => {
+                self.send_proc(ctx, &adp, 24, FlushReq { upto, token: sub });
             }
             SubKind::MasterAppend { txn } => {
                 if let Some(master) = self.master_for(txn) {
-                    let rec = crate::audit::AuditRecord::Commit { txn };
-                    let enc = rec.encode();
+                    let enc = crate::audit::AuditRecord::Commit { txn }.encode();
                     let virt = (enc.len() as u32).max(self.cfg.commit_record_bytes);
-                    let machine = self.machine.clone();
-                    nsk::proc::send_to_process(
+                    self.send_proc(
                         ctx,
-                        &machine,
-                        self.ep,
-                        self.cpu,
                         &master,
                         virt,
                         AuditAppend {
@@ -178,17 +267,64 @@ impl TmfProc {
                     );
                 }
             }
-            SubKind::MasterFlush { txn, upto } => {
+            SubKind::PrepAppend { txn } => {
                 if let Some(master) = self.master_for(txn) {
-                    let machine = self.machine.clone();
-                    nsk::proc::send_to_process(
+                    let enc = crate::audit::AuditRecord::Prepared { txn }.encode();
+                    let virt = (enc.len() as u32).max(self.cfg.commit_record_bytes);
+                    self.send_proc(
                         ctx,
-                        &machine,
-                        self.ep,
-                        self.cpu,
                         &master,
+                        virt,
+                        AuditAppend {
+                            records: enc,
+                            virtual_len: virt,
+                            token: sub,
+                        },
+                    );
+                }
+            }
+            SubKind::MasterFlush { txn, upto } | SubKind::PrepFlush { txn, upto } => {
+                if let Some(master) = self.master_for(txn) {
+                    self.send_proc(ctx, &master, 24, FlushReq { upto, token: sub });
+                }
+            }
+            SubKind::Prepare {
+                peer,
+                txn,
+                flush_points,
+                involved_dp2,
+            } => {
+                if let Some(dir) = self.directory.clone() {
+                    let name = self.name.clone();
+                    self.send_proc(
+                        ctx,
+                        dir.tmf(peer),
+                        64,
+                        PrepareTxn {
+                            txn,
+                            coord: name,
+                            flush_points,
+                            involved_dp2,
+                            token: sub,
+                        },
+                    );
+                }
+            }
+            SubKind::Decision {
+                peer,
+                txn,
+                committed,
+            } => {
+                if let Some(dir) = self.directory.clone() {
+                    self.send_proc(
+                        ctx,
+                        dir.tmf(peer),
                         24,
-                        FlushReq { upto, token: sub },
+                        DecisionTxn {
+                            txn,
+                            committed,
+                            token: sub,
+                        },
                     );
                 }
             }
@@ -200,51 +336,59 @@ impl TmfProc {
         );
     }
 
-    /// Advance a commit whose current phase just completed.
-    fn step_commit(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+    /// A phase-1 local data flush completed.
+    fn phase1_flush_done(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if let Some(state) = self.commits.get_mut(&token) {
+            if let CommitPhase::Phase1 { flushes, .. } = &mut state.phase {
+                *flushes = flushes.saturating_sub(1);
+            }
+        }
+        self.maybe_advance_phase1(ctx, token);
+    }
+
+    /// A participant's prepare ack arrived.
+    fn phase1_prepare_done(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if let Some(state) = self.commits.get_mut(&token) {
+            if let CommitPhase::Phase1 { prepares, .. } = &mut state.phase {
+                *prepares = prepares.saturating_sub(1);
+            }
+        }
+        self.maybe_advance_phase1(ctx, token);
+    }
+
+    /// When every local flush and every prepare ack is in, harden the
+    /// commit record on the txn's master-trail partition — the
+    /// cluster-wide commit point.
+    fn maybe_advance_phase1(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         let Some(state) = self.commits.get_mut(&token) else {
             return;
         };
-        match &mut state.phase {
-            CommitPhase::DataFlush(remaining) => {
-                *remaining = remaining.saturating_sub(1);
-                if *remaining > 0 {
-                    return;
-                }
-                // Data trails durable → harden the commit record on the
-                // txn's master-trail partition.
-                let txn = state.txn;
-                if self.master_adps.is_empty() {
-                    self.commit_hardened(ctx, token);
-                } else {
-                    state.phase = CommitPhase::MasterAppend;
-                    let master =
-                        self.master_adps[txn.audit_partition(self.master_adps.len())].clone();
-                    let sub = self.sub_token(ctx, token, SubKind::MasterAppend { txn });
-                    let rec = crate::audit::AuditRecord::Commit { txn };
-                    let enc = rec.encode();
-                    let virt = (enc.len() as u32).max(self.cfg.commit_record_bytes);
-                    let machine = self.machine.clone();
-                    nsk::proc::send_to_process(
-                        ctx,
-                        &machine,
-                        self.ep,
-                        self.cpu,
-                        &master,
-                        virt,
-                        AuditAppend {
-                            records: enc,
-                            virtual_len: virt,
-                            token: sub,
-                        },
-                    );
-                }
-            }
-            CommitPhase::MasterAppend => unreachable!("stepped via append ack"),
-            CommitPhase::MasterFlush => {
-                self.commit_hardened(ctx, token);
-            }
-            CommitPhase::Ckpt => unreachable!("stepped via ckpt ack"),
+        match state.phase {
+            CommitPhase::Phase1 {
+                flushes: 0,
+                prepares: 0,
+            } => {}
+            _ => return,
+        }
+        let txn = state.txn;
+        if self.master_adps.is_empty() {
+            self.commit_hardened(ctx, token);
+        } else {
+            state.phase = CommitPhase::MasterAppend;
+            let sub = self.sub_token(ctx, token, SubKind::MasterAppend { txn });
+            let master = self.master_for(txn).expect("master adp");
+            let enc = crate::audit::AuditRecord::Commit { txn }.encode();
+            let virt = (enc.len() as u32).max(self.cfg.commit_record_bytes);
+            self.send_proc(
+                ctx,
+                &master,
+                virt,
+                AuditAppend {
+                    records: enc,
+                    virtual_len: virt,
+                    token: sub,
+                },
+            );
         }
     }
 
@@ -305,12 +449,8 @@ impl TmfProc {
             // Fire-and-forget orphan append (like abort records).
             let sub = self.next_subop;
             self.next_subop += 1;
-            let machine = self.machine.clone();
-            nsk::proc::send_to_process(
+            self.send_proc(
                 ctx,
-                &machine,
-                self.ep,
-                self.cpu,
                 &master,
                 virt,
                 AuditAppend {
@@ -330,6 +470,9 @@ impl TmfProc {
         {
             let mut s = self.stats.lock();
             s.txns_committed += 1;
+            if !state.participants.is_empty() {
+                s.cross_shard_commits += 1;
+            }
             s.flush_latency
                 .record(ctx.now().as_nanos() - state.started_ns);
         }
@@ -342,15 +485,36 @@ impl TmfProc {
             TxnCommitted { txn: state.txn },
         );
         self.maybe_checkpoint_mark(ctx);
-        // Post-commit lock release at every involved DP2 (off the
+        // Decision fan-out to participant shards (retried until acked;
+        // off the response path — the decision record is already durable).
+        for peer in &state.participants {
+            let sub = self.sub_token(
+                ctx,
+                token,
+                SubKind::Decision {
+                    peer: *peer,
+                    txn: state.txn,
+                    committed: true,
+                },
+            );
+            if let Some(dir) = self.directory.clone() {
+                self.send_proc(
+                    ctx,
+                    dir.tmf(*peer),
+                    24,
+                    DecisionTxn {
+                        txn: state.txn,
+                        committed: true,
+                        token: sub,
+                    },
+                );
+            }
+        }
+        // Post-commit lock release at every locally-involved DP2 (off the
         // response path).
         for dp2 in &state.involved_dp2 {
-            let machine = self.machine.clone();
-            nsk::proc::send_to_process(
+            self.send_proc(
                 ctx,
-                &machine,
-                self.ep,
-                self.cpu,
                 dp2,
                 24,
                 TxnResolved {
@@ -359,6 +523,52 @@ impl TmfProc {
                 },
             );
         }
+    }
+
+    // --- participant (prepare) side -----------------------------------
+
+    /// All local data flushes for a prepare are in: harden the `Prepared`
+    /// record on this shard's master trail.
+    fn prep_append(&mut self, ctx: &mut Ctx<'_>, txn: TxnId) {
+        let Some(st) = self.prepared.get_mut(&txn) else {
+            return;
+        };
+        if st.appended {
+            return;
+        }
+        st.appended = true;
+        if self.master_adps.is_empty() {
+            // No master trail to prepare on (degenerate config): the
+            // shard holds no in-doubt state, ack immediately.
+            self.prep_durable(ctx, txn);
+            return;
+        }
+        let sub = self.sub_token(ctx, 0, SubKind::PrepAppend { txn });
+        let master = self.master_for(txn).expect("master adp");
+        let enc = crate::audit::AuditRecord::Prepared { txn }.encode();
+        let virt = (enc.len() as u32).max(self.cfg.commit_record_bytes);
+        self.send_proc(
+            ctx,
+            &master,
+            virt,
+            AuditAppend {
+                records: enc,
+                virtual_len: virt,
+                token: sub,
+            },
+        );
+    }
+
+    /// The `Prepared` record is durable: this shard is in-doubt; vote yes.
+    fn prep_durable(&mut self, ctx: &mut Ctx<'_>, txn: TxnId) {
+        let Some(st) = self.prepared.get_mut(&txn) else {
+            return;
+        };
+        st.durable = true;
+        self.stats.lock().twopc_prepares += 1;
+        let coord = st.coord.clone();
+        let token = st.coord_token;
+        self.send_proc(ctx, &coord, 24, PrepareAck { txn, token });
     }
 }
 
@@ -408,7 +618,7 @@ impl Actor for TmfProc {
                     let ck = *ck;
                     if let Ok(st) = ck.payload.downcast::<TmfCkpt>() {
                         // Track the committed-txn high-water mark.
-                        self.next_txn = self.next_txn.max(st.committed_txn.0 + 1);
+                        self.next_txn = self.next_txn.max(st.committed_txn.sequence() + 1);
                     }
                     let net = self.net.clone();
                     simnet::send_net_msg(
@@ -441,7 +651,7 @@ impl Actor for TmfProc {
             let payload = match payload.downcast::<BeginTxn>() {
                 Ok(req) => {
                     self.charge_cpu(ctx);
-                    let txn = TxnId(self.next_txn);
+                    let txn = TxnId::compose(self.shard, self.next_txn);
                     self.next_txn += 1;
                     let net = self.net.clone();
                     simnet::send_net_msg(
@@ -464,45 +674,96 @@ impl Actor for TmfProc {
                 Ok(req) => {
                     self.charge_cpu(ctx);
                     let req = *req;
+                    // Split the commit's work by owning shard.
+                    let mut local_flush: Vec<(String, Lsn)> = Vec::new();
+                    let mut local_dp2: Vec<String> = Vec::new();
+                    let mut remote: HashMap<u32, ShardWork> = HashMap::new();
+                    if let Some(dir) = &self.directory {
+                        for (adp, lsn) in req.flush_points {
+                            let s = dir.shard_of(&adp);
+                            if s == self.shard {
+                                local_flush.push((adp, lsn));
+                            } else {
+                                remote.entry(s).or_default().0.push((adp, lsn));
+                            }
+                        }
+                        for dp2 in req.involved_dp2 {
+                            let s = dir.shard_of(&dp2);
+                            if s == self.shard {
+                                local_dp2.push(dp2);
+                            } else {
+                                remote.entry(s).or_default().1.push(dp2);
+                            }
+                        }
+                    } else {
+                        local_flush = req.flush_points;
+                        local_dp2 = req.involved_dp2;
+                    }
                     let token = self.next_token;
                     self.next_token += 1;
-                    let n_flushes = req.flush_points.len() as u32;
+                    let mut participants: Vec<u32> = remote.keys().copied().collect();
+                    participants.sort_unstable();
                     let state = CommitState {
                         txn: req.txn,
                         driver_ep: from_ep,
-                        involved_dp2: req.involved_dp2.clone(),
-                        phase: CommitPhase::DataFlush(n_flushes.max(1)),
+                        involved_dp2: local_dp2,
+                        participants: participants.clone(),
+                        phase: CommitPhase::Phase1 {
+                            flushes: local_flush.len() as u32,
+                            prepares: participants.len() as u32,
+                        },
                         started_ns: ctx.now().as_nanos(),
                     };
                     self.commits.insert(token, state);
-                    if req.flush_points.is_empty() {
-                        // Read-only txn: no data to flush.
-                        self.step_commit(ctx, token);
-                    } else {
-                        for (adp, lsn) in req.flush_points {
-                            let sub = self.sub_token(
-                                ctx,
-                                token,
-                                SubKind::DataFlush {
-                                    adp: adp.clone(),
-                                    upto: lsn,
-                                },
-                            );
-                            let machine = self.machine.clone();
-                            nsk::proc::send_to_process(
-                                ctx,
-                                &machine,
-                                self.ep,
-                                self.cpu,
-                                &adp,
-                                24,
-                                FlushReq {
-                                    upto: lsn,
-                                    token: sub,
-                                },
-                            );
-                        }
+                    for (adp, lsn) in local_flush {
+                        let sub = self.sub_token(
+                            ctx,
+                            token,
+                            SubKind::DataFlush {
+                                adp: adp.clone(),
+                                upto: lsn,
+                            },
+                        );
+                        self.send_proc(
+                            ctx,
+                            &adp,
+                            24,
+                            FlushReq {
+                                upto: lsn,
+                                token: sub,
+                            },
+                        );
                     }
+                    for peer in participants {
+                        let (fps, dp2s) = remote.remove(&peer).unwrap_or_default();
+                        let sub = self.sub_token(
+                            ctx,
+                            token,
+                            SubKind::Prepare {
+                                peer,
+                                txn: req.txn,
+                                flush_points: fps.clone(),
+                                involved_dp2: dp2s.clone(),
+                            },
+                        );
+                        let dir = self.directory.clone().expect("directory for cross-shard");
+                        let name = self.name.clone();
+                        self.send_proc(
+                            ctx,
+                            dir.tmf(peer),
+                            64,
+                            PrepareTxn {
+                                txn: req.txn,
+                                coord: name,
+                                flush_points: fps,
+                                involved_dp2: dp2s,
+                                token: sub,
+                            },
+                        );
+                    }
+                    // Read-only (nothing to flush anywhere): advances
+                    // straight through phase 1.
+                    self.maybe_advance_phase1(ctx, token);
                     return;
                 }
                 Err(p) => p,
@@ -515,36 +776,19 @@ impl Actor for TmfProc {
                     self.stats.lock().txns_aborted += 1;
                     // Abort record to the txn's master-trail partition
                     // (async, no flush wait: aborts need not be durable
-                    // before replying).
-                    if let Some(master) = self.master_for(req.txn) {
-                        let rec = crate::audit::AuditRecord::Abort { txn: req.txn };
-                        let enc = rec.encode();
-                        let virt = enc.len() as u32;
-                        // Orphan sub-op: fire-and-forget, never retried.
-                        let sub = self.next_subop;
-                        self.next_subop += 1;
-                        let machine = self.machine.clone();
-                        nsk::proc::send_to_process(
-                            ctx,
-                            &machine,
-                            self.ep,
-                            self.cpu,
-                            &master,
-                            virt,
-                            AuditAppend {
-                                records: enc,
-                                virtual_len: virt,
-                                token: sub,
-                            },
-                        );
-                    }
+                    // before replying). Cross-shard aborts only happen
+                    // before any prepare exists, so notifying the
+                    // involved DP2s directly — names resolve cluster-wide
+                    // — is sufficient; participant trails hold no
+                    // prepared state to clean up.
+                    self.orphan_append(
+                        ctx,
+                        &crate::audit::AuditRecord::Abort { txn: req.txn },
+                        req.txn,
+                    );
                     for dp2 in &req.involved_dp2 {
-                        let machine = self.machine.clone();
-                        nsk::proc::send_to_process(
+                        self.send_proc(
                             ctx,
-                            &machine,
-                            self.ep,
-                            self.cpu,
                             dp2,
                             24,
                             TxnResolved {
@@ -567,39 +811,192 @@ impl Actor for TmfProc {
                 Err(p) => p,
             };
 
+            // --- participant: prepare request from a coordinator ---
+            let payload = match payload.downcast::<PrepareTxn>() {
+                Ok(req) => {
+                    self.charge_cpu(ctx);
+                    let req = *req;
+                    if let Some(st) = self.prepared.get_mut(&req.txn) {
+                        // Coordinator retry: refresh the ack token; re-ack
+                        // immediately if already durable.
+                        st.coord = req.coord;
+                        st.coord_token = req.token;
+                        if st.durable {
+                            let coord = st.coord.clone();
+                            self.send_proc(
+                                ctx,
+                                &coord,
+                                24,
+                                PrepareAck {
+                                    txn: req.txn,
+                                    token: req.token,
+                                },
+                            );
+                        }
+                        return;
+                    }
+                    self.prepared.insert(
+                        req.txn,
+                        PrepState {
+                            coord: req.coord,
+                            coord_token: req.token,
+                            involved_dp2: req.involved_dp2,
+                            flushes_left: req.flush_points.len() as u32,
+                            appended: false,
+                            durable: false,
+                        },
+                    );
+                    if req.flush_points.is_empty() {
+                        self.prep_append(ctx, req.txn);
+                    } else {
+                        for (adp, lsn) in req.flush_points {
+                            let sub = self.sub_token(
+                                ctx,
+                                0,
+                                SubKind::PrepDataFlush {
+                                    txn: req.txn,
+                                    adp: adp.clone(),
+                                    upto: lsn,
+                                },
+                            );
+                            self.send_proc(
+                                ctx,
+                                &adp,
+                                24,
+                                FlushReq {
+                                    upto: lsn,
+                                    token: sub,
+                                },
+                            );
+                        }
+                    }
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            // --- coordinator: a participant voted yes ---
+            let payload = match payload.downcast::<PrepareAck>() {
+                Ok(ack) => {
+                    if let Some((token, kind)) = self.subop.remove(&ack.token) {
+                        if matches!(kind, SubKind::Prepare { .. }) {
+                            self.phase1_prepare_done(ctx, token);
+                        } else {
+                            // Token reuse mismatch: restore (shouldn't
+                            // happen — tokens are unique).
+                            self.subop.insert(ack.token, (token, kind));
+                        }
+                    }
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            // --- participant: the decision arrived ---
+            let payload = match payload.downcast::<DecisionTxn>() {
+                Ok(d) => {
+                    self.charge_cpu(ctx);
+                    let d = *d;
+                    if let Some(st) = self.prepared.remove(&d.txn) {
+                        self.stats.lock().twopc_decisions += 1;
+                        // Local outcome record: recovery on this shard
+                        // resolves the txn without consulting the
+                        // coordinator once this lands.
+                        let rec = if d.committed {
+                            crate::audit::AuditRecord::Commit { txn: d.txn }
+                        } else {
+                            crate::audit::AuditRecord::Abort { txn: d.txn }
+                        };
+                        self.orphan_append(ctx, &rec, d.txn);
+                        for dp2 in &st.involved_dp2 {
+                            self.send_proc(
+                                ctx,
+                                dp2,
+                                24,
+                                TxnResolved {
+                                    txn: d.txn,
+                                    committed: d.committed,
+                                },
+                            );
+                        }
+                    }
+                    // Ack even for duplicates (the first ack was lost).
+                    let net = self.net.clone();
+                    simnet::send_net_msg(
+                        ctx,
+                        &net,
+                        self.ep,
+                        from_ep,
+                        16,
+                        DecisionAck { token: d.token },
+                    );
+                    return;
+                }
+                Err(p) => p,
+            };
+
+            // --- coordinator: decision delivered, stop retrying ---
+            let payload = match payload.downcast::<DecisionAck>() {
+                Ok(ack) => {
+                    self.subop.remove(&ack.token);
+                    return;
+                }
+                Err(p) => p,
+            };
+
             let payload = match payload.downcast::<AppendDone>() {
                 Ok(done) => {
-                    // Master-trail commit record landed in the buffer: now
-                    // flush it.
-                    let Some((token, _)) = self.subop.remove(&done.token) else {
+                    let Some((token, kind)) = self.subop.remove(&done.token) else {
                         return;
                     };
-                    if self.commits.contains_key(&token) {
-                        let st = self.commits.get_mut(&token).unwrap();
-                        st.phase = CommitPhase::MasterFlush;
-                        let txn = st.txn;
-                        let master = self.master_for(txn).expect("master adp");
-                        let sub = self.sub_token(
-                            ctx,
-                            token,
-                            SubKind::MasterFlush {
-                                txn,
-                                upto: done.lsn_end,
-                            },
-                        );
-                        let machine = self.machine.clone();
-                        nsk::proc::send_to_process(
-                            ctx,
-                            &machine,
-                            self.ep,
-                            self.cpu,
-                            &master,
-                            24,
-                            FlushReq {
-                                upto: done.lsn_end,
-                                token: sub,
-                            },
-                        );
+                    match kind {
+                        // Master-trail commit record landed in the
+                        // buffer: now flush it.
+                        SubKind::MasterAppend { .. } if self.commits.contains_key(&token) => {
+                            let st = self.commits.get_mut(&token).unwrap();
+                            st.phase = CommitPhase::MasterFlush;
+                            let txn = st.txn;
+                            let master = self.master_for(txn).expect("master adp");
+                            let sub = self.sub_token(
+                                ctx,
+                                token,
+                                SubKind::MasterFlush {
+                                    txn,
+                                    upto: done.lsn_end,
+                                },
+                            );
+                            self.send_proc(
+                                ctx,
+                                &master,
+                                24,
+                                FlushReq {
+                                    upto: done.lsn_end,
+                                    token: sub,
+                                },
+                            );
+                        }
+                        SubKind::MasterAppend { .. } => {}
+                        SubKind::PrepAppend { txn } => {
+                            let master = self.master_for(txn).expect("master adp");
+                            let sub = self.sub_token(
+                                ctx,
+                                0,
+                                SubKind::PrepFlush {
+                                    txn,
+                                    upto: done.lsn_end,
+                                },
+                            );
+                            self.send_proc(
+                                ctx,
+                                &master,
+                                24,
+                                FlushReq {
+                                    upto: done.lsn_end,
+                                    token: sub,
+                                },
+                            );
+                        }
+                        _ => {}
                     }
                     return;
                 }
@@ -607,8 +1004,25 @@ impl Actor for TmfProc {
             };
 
             if let Ok(done) = payload.downcast::<FlushDone>() {
-                if let Some((token, _)) = self.subop.remove(&done.token) {
-                    self.step_commit(ctx, token);
+                if let Some((token, kind)) = self.subop.remove(&done.token) {
+                    match kind {
+                        SubKind::DataFlush { .. } => self.phase1_flush_done(ctx, token),
+                        SubKind::MasterFlush { .. } => self.commit_hardened(ctx, token),
+                        SubKind::PrepDataFlush { txn, .. } => {
+                            let advance = match self.prepared.get_mut(&txn) {
+                                Some(st) => {
+                                    st.flushes_left = st.flushes_left.saturating_sub(1);
+                                    st.flushes_left == 0 && !st.appended
+                                }
+                                None => false,
+                            };
+                            if advance {
+                                self.prep_append(ctx, txn);
+                            }
+                        }
+                        SubKind::PrepFlush { txn, .. } => self.prep_durable(ctx, txn),
+                        _ => {}
+                    }
                 }
             }
         }
@@ -618,6 +1032,8 @@ impl Actor for TmfProc {
 /// Install the TMF pair. `master_adps` names the ADPs that harden commit
 /// records, one per audit partition — records route by transaction hash;
 /// a single entry routes everything there; empty skips master-trail I/O.
+/// `shard`/`directory` place this TMF in a cluster: pass `0`/`None` for a
+/// standalone node (every commit stays on the fast path).
 #[allow(clippy::too_many_arguments)]
 pub fn install_tmf(
     sim: &mut Sim,
@@ -626,6 +1042,8 @@ pub fn install_tmf(
     cpu: CpuId,
     backup_cpu: Option<CpuId>,
     master_adps: Vec<String>,
+    shard: u32,
+    directory: Option<Arc<ShardDirectory>>,
     cfg: TxnConfig,
     stats: SharedTxnStats,
 ) {
@@ -637,6 +1055,7 @@ pub fn install_tmf(
         let cfg2 = cfg.clone();
         let stats2 = stats.clone();
         let master2 = master_adps.clone();
+        let dir2 = directory.clone();
         move |ep: EndpointId| -> Box<dyn Actor> {
             Box::new(TmfProc {
                 name: name2,
@@ -646,6 +1065,8 @@ pub fn install_tmf(
                 net: net2,
                 ep,
                 cpu: on_cpu,
+                shard,
+                directory: dir2,
                 master_adps: master2,
                 stats: stats2,
                 next_txn: 1,
@@ -653,6 +1074,7 @@ pub fn install_tmf(
                 next_token: 0,
                 subop: HashMap::new(),
                 next_subop: 0,
+                prepared: HashMap::new(),
                 ckpt_waiters: HashMap::new(),
                 next_ckpt: 0,
                 commits_since_mark: 0,

@@ -15,6 +15,9 @@ impl std::fmt::Debug for TxnId {
 }
 
 impl TxnId {
+    /// Bits reserved for the coordinator shard in a cluster-allocated id.
+    pub const SHARD_SHIFT: u32 = 56;
+
     /// Which of `n` audit partitions this transaction's trail work lands
     /// on. Every audit site (DP2 deltas, TMF commit/abort records) MUST
     /// use this same mapping so a transaction's records colocate on one
@@ -28,6 +31,28 @@ impl TxnId {
         }
         let h = self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         ((h >> 33) % n as u64) as usize
+    }
+
+    /// Allocate a cluster-wide unique id: the coordinating shard lives in
+    /// the top [`TxnId::SHARD_SHIFT`] bits, the TMF-local sequence below.
+    /// Shard 0 with any sequence < 2^56 is bit-identical to the legacy
+    /// single-node id, so single-node trails decode unchanged.
+    pub fn compose(shard: u32, seq: u64) -> TxnId {
+        debug_assert!(seq < (1 << Self::SHARD_SHIFT));
+        TxnId(((shard as u64) << Self::SHARD_SHIFT) | (seq & ((1 << Self::SHARD_SHIFT) - 1)))
+    }
+
+    /// The shard whose TMF coordinates this transaction — the shard whose
+    /// audit trail holds the authoritative commit/abort decision record.
+    /// Recovery consults exactly this trail to resolve in-doubt prepared
+    /// transactions.
+    pub fn coordinator_shard(&self) -> u32 {
+        (self.0 >> Self::SHARD_SHIFT) as u32
+    }
+
+    /// TMF-local sequence number within the coordinator shard.
+    pub fn sequence(&self) -> u64 {
+        self.0 & ((1 << Self::SHARD_SHIFT) - 1)
     }
 }
 
@@ -140,6 +165,54 @@ pub struct ReadDone {
     pub token: u64,
     /// `(virtual_len, crc)` of the stored record, if present.
     pub found: Option<(u32, u32)>,
+}
+
+// ---------------------------------------------------------------------
+// TMF ↔ TMF (cross-shard two-phase commit)
+// ---------------------------------------------------------------------
+
+/// Coordinator → participant TMF: harden this transaction's local work.
+/// The participant flushes its data trails through `flush_points`, appends
+/// and flushes a `Prepared` record to its own master trail, then answers
+/// with [`PrepareAck`]. Idempotent: a retried prepare for an
+/// already-durable transaction re-acks immediately.
+#[derive(Clone, Debug)]
+pub struct PrepareTxn {
+    pub txn: TxnId,
+    /// Coordinator TMF process name (for the ack and as documentation of
+    /// which trail holds the decision).
+    pub coord: String,
+    /// Flush points on this shard's ADPs only.
+    pub flush_points: Vec<(String, Lsn)>,
+    /// This shard's DP2s involved (resolved on decision delivery).
+    pub involved_dp2: Vec<String>,
+    /// Coordinator's sub-operation token, echoed back.
+    pub token: u64,
+}
+
+/// Participant → coordinator: the shard's data and its `Prepared` record
+/// are durable; the participant is now in-doubt until a decision arrives.
+#[derive(Clone, Copy, Debug)]
+pub struct PrepareAck {
+    pub txn: TxnId,
+    pub token: u64,
+}
+
+/// Coordinator → participant: the globally-durable outcome. The
+/// participant logs a local outcome record, resolves its DP2s, forgets the
+/// prepared state and acks. Retried by the coordinator until acked.
+#[derive(Clone, Copy, Debug)]
+pub struct DecisionTxn {
+    pub txn: TxnId,
+    pub committed: bool,
+    pub token: u64,
+}
+
+/// Participant → coordinator: decision applied (or already forgotten —
+/// duplicate decisions ack too).
+#[derive(Clone, Copy, Debug)]
+pub struct DecisionAck {
+    pub token: u64,
 }
 
 // ---------------------------------------------------------------------

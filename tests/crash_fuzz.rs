@@ -334,3 +334,216 @@ fn nic_ack_demonstrably_loses_acked_commits_under_crash() {
         report.points
     );
 }
+
+// ---------------------------------------------------------------------
+// Cross-shard 2PC variant
+// ---------------------------------------------------------------------
+//
+// The same power-loss discipline pointed at a 2-shard cluster running a
+// cross-shard mix: a crash at any event boundary inside the two-phase
+// window (participant data flushes, Prepared records, the coordinator's
+// commit record, decision fan-out) must never yield a *half-committed*
+// cross-shard transaction — a shard applying work for a transaction the
+// cluster aborted, or a committed transaction missing part of its insert
+// set — and in `PersistFlush` never loses an acknowledged commit.
+
+use txnkit::recovery::redo_scan_sharded;
+use txnkit::scenario::{build_cluster, ClusterNode, ClusterParams};
+use workload::{
+    install_workload, run_to_completion, SharedWorkloadStats, ThinkTime, WorkloadConfig,
+};
+
+const XS_SHARDS: u32 = 2;
+const XS_TRAILS: u32 = 4; // audit partitions per shard (one per CPU)
+const XS_INSERTS: u32 = 4;
+const XS_CLIENTS: u64 = 8;
+const XS_TXNS_PER_CLIENT: u64 = 3;
+
+fn xs_points() -> usize {
+    if std::env::var("FUZZ_FULL").is_ok_and(|v| v == "1") {
+        240
+    } else {
+        60
+    }
+}
+
+fn build_xs_cluster(store: &mut DurableStore, seed: u64) -> (ClusterNode, SharedWorkloadStats) {
+    let mut params = ClusterParams::pm(seed, XS_SHARDS);
+    params.base.pm_ingress_drain_ns = Some(DRAIN_NS);
+    let mut node = build_cluster(store, params);
+    let (view, machine) = (node.view(), node.machine.clone());
+    let stats = install_workload(
+        &mut node.sim,
+        &machine,
+        &view,
+        WorkloadConfig {
+            pools_per_shard: 1,
+            think: ThinkTime::Zero,
+            cross_shard_fraction: 0.6,
+            disjoint_keys: true,
+            track_txns: true,
+            txns_per_client: XS_TXNS_PER_CLIENT,
+            run_for: None,
+            inserts_per_txn: XS_INSERTS,
+            ..WorkloadConfig::new(seed, XS_CLIENTS)
+        },
+    );
+    (node, stats)
+}
+
+/// Uncrashed replay: the fuzz window plus the ground-truth committed set.
+fn xs_probe(seed: u64) -> (u64, u64, std::collections::HashSet<TxnId>) {
+    let mut store = DurableStore::new();
+    let (mut node, stats) = build_xs_cluster(&mut store, seed);
+    // With zero think the whole workload runs in a burst right after the
+    // 1.1 s warmup, so anchor the window at workload onset rather than a
+    // fixed later instant — otherwise the sweep samples mostly trailing
+    // maintenance events.
+    node.sim.run_until(SimTime(1099 * MILLIS));
+    let d_lo = node.sim.dispatched();
+    run_to_completion(&mut node.sim, &stats, SimTime(120 * SECS));
+    let d_hi = node.sim.dispatched();
+    println!(
+        "xs probe: window {d_lo}..{d_hi} dispatches, done at {:?}",
+        node.sim.now()
+    );
+    let s = stats.lock();
+    assert_eq!(
+        s.committed,
+        XS_CLIENTS * XS_TXNS_PER_CLIENT,
+        "disjoint-key probe must commit everything"
+    );
+    assert!(s.cross_shard_committed > 0, "probe ran no cross-shard txns");
+    (d_lo, d_hi, s.committed_ids.iter().copied().collect())
+}
+
+/// Read every audit trail of every shard from one surviving mirror half.
+fn xs_trails(store: &mut DurableStore) -> Vec<Vec<Vec<u8>>> {
+    (0..XS_SHARDS)
+        .map(|s| {
+            (0..XS_TRAILS)
+                .filter_map(|i| {
+                    try_read_region(
+                        store,
+                        &ClusterNode::npmu_store_key(s, 0, 'a'),
+                        &format!("adp{i}.audit"),
+                        PM_CTRL_BYTES,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn cross_shard_2pc_never_half_commits_at_any_crash_point() {
+    let seed = 0xC0DE;
+    let (d_lo, d_hi, replay_committed) = xs_probe(seed);
+    let mut violations: Vec<String> = Vec::new();
+    let points = xs_points();
+    let mut points_with_acks = 0usize;
+    let mut indoubt_commit_points = 0usize;
+    let mut indoubt_abort_points = 0usize;
+    for i in 0..points {
+        let k = d_lo + (d_hi - d_lo) * i as u64 / points as u64;
+        let mut store = DurableStore::new();
+        let acked: Vec<TxnId> = {
+            let (mut node, stats) = build_xs_cluster(&mut store, seed);
+            node.sim.run_until_dispatched(k);
+            let s = stats.lock();
+            s.committed_ids.clone()
+            // Sim dropped here == power loss at the event boundary.
+        };
+        store.reset_volatile();
+        let shard_trails = xs_trails(&mut store);
+        let refs: Vec<Vec<&[u8]>> = shard_trails
+            .iter()
+            .map(|s| s.iter().map(|t| t.as_slice()).collect())
+            .collect();
+        let rec = redo_scan_sharded(&refs);
+
+        if !acked.is_empty() {
+            points_with_acks += 1;
+        }
+        if !rec.indoubt_committed.is_empty() {
+            indoubt_commit_points += 1;
+        }
+        if !rec.indoubt_aborted.is_empty() {
+            indoubt_abort_points += 1;
+        }
+
+        // PersistFlush: every acked commit redoes from the images alone.
+        for txn in &acked {
+            if !rec.committed.contains(txn) {
+                violations.push(format!("k={k}: acked {txn:?} unrecoverable"));
+            }
+        }
+        // The global verdict is single-valued.
+        for txn in rec.committed.intersection(&rec.aborted) {
+            violations.push(format!("k={k}: {txn:?} both committed and aborted"));
+        }
+        // Ground truth: recovery never invents a commit the uncrashed
+        // replay would not have produced.
+        for txn in &rec.committed {
+            if !replay_committed.contains(txn) {
+                violations.push(format!("k={k}: {txn:?} committed but not in replay"));
+            }
+        }
+        // Atomicity across shards: a committed transaction carries its
+        // full insert set (disjoint keys ⇒ count distinct keys; duplicate
+        // records from sub-op retries are idempotent), and no shard
+        // applies a record of a transaction the cluster did not commit.
+        let mut keys_of: HashMap<TxnId, std::collections::HashSet<u64>> = HashMap::new();
+        let mut txn_of_key: HashMap<u64, TxnId> = HashMap::new();
+        for shard in &shard_trails {
+            for t in shard {
+                for (_, r) in scan(t) {
+                    if let AuditRecord::Insert { txn, key, .. } = r {
+                        keys_of.entry(txn).or_default().insert(key);
+                        txn_of_key.insert(key, txn);
+                    }
+                }
+            }
+        }
+        for txn in &rec.committed {
+            let n = keys_of.get(txn).map(|s| s.len()).unwrap_or(0);
+            if n != XS_INSERTS as usize {
+                violations.push(format!(
+                    "k={k}: committed {txn:?} half-applied: {n}/{XS_INSERTS} inserts"
+                ));
+            }
+        }
+        for (si, shard) in rec.shards.iter().enumerate() {
+            for table in shard.tables.values() {
+                for key in table.keys() {
+                    let owner = txn_of_key.get(key).copied();
+                    if owner.is_none_or(|t| !rec.committed.contains(&t)) {
+                        violations.push(format!(
+                            "k={k}: shard {si} applied key {key} of non-committed {owner:?}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "{} violations:\n{}",
+        violations.len(),
+        violations.join("\n")
+    );
+    assert!(
+        points_with_acks > points / 4,
+        "too few crash points landed after commits started ({points_with_acks} of {points})"
+    );
+    // The sweep must actually exercise in-doubt resolution: crashes between
+    // a participant's Prepared record and the decision becoming durable.
+    assert!(
+        indoubt_commit_points + indoubt_abort_points >= 1,
+        "no crash point left an in-doubt transaction; the 2PC window was not sampled"
+    );
+    println!(
+        "cross-shard sweep: {points} points, {points_with_acks} with acks, \
+         {indoubt_commit_points} with in-doubt commits, {indoubt_abort_points} with presumed aborts"
+    );
+}

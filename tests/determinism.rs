@@ -2,6 +2,8 @@
 //! experiment results — the property that makes every figure in
 //! EXPERIMENTS.md reproducible.
 
+mod common;
+
 use hotstock::{run_hot_stock, HotStockParams, TxnSize};
 use simcore::fault::{Fault, FaultPlan};
 use simcore::time::{MILLIS, SECS};
@@ -168,4 +170,80 @@ fn node_boot_is_reproducible() {
         node.sim.dispatched()
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn sharded_workload_runs_are_reproducible() {
+    // The closed-loop workload driver over the 2PC cluster: same seed
+    // must give identical commit/abort/cross-shard counts AND bit-
+    // identical per-shard audit-trail images — the property that makes
+    // the T11 matrix and the cross-shard crash sweeps replayable.
+    use common::try_read_region;
+    use txnkit::adp::PM_CTRL_BYTES;
+    use txnkit::scenario::{build_cluster, ClusterNode, ClusterParams};
+    use workload::{install_workload, run_to_completion, ThinkTime, WorkloadConfig};
+
+    let run = || {
+        let mut store = simcore::DurableStore::new();
+        let mut node = build_cluster(&mut store, ClusterParams::pm(0xDE7E, 2));
+        let (view, machine) = (node.view(), node.machine.clone());
+        let stats = install_workload(
+            &mut node.sim,
+            &machine,
+            &view,
+            WorkloadConfig {
+                pools_per_shard: 2,
+                think: ThinkTime::Exponential {
+                    mean_ns: 2 * MILLIS,
+                },
+                cross_shard_fraction: 0.3,
+                txns_per_client: 4,
+                run_for: None,
+                track_txns: true,
+                ..WorkloadConfig::new(0xDE7E, 24)
+            },
+        );
+        run_to_completion(&mut node.sim, &stats, SimTime(120 * SECS));
+        let dispatched = node.sim.dispatched();
+        let s = stats.lock();
+        let counts = (
+            dispatched,
+            s.committed,
+            s.aborted,
+            s.cross_shard_committed,
+            s.committed_ids.clone(),
+            s.response.mean(),
+        );
+        drop(s);
+        drop(node);
+        // Power-cut view: the per-shard trail images recovery would scan.
+        store.reset_volatile();
+        let mut trails: Vec<Vec<u8>> = Vec::new();
+        for sh in 0..2u32 {
+            for i in 0..4u32 {
+                if let Some(t) = try_read_region(
+                    &mut store,
+                    &ClusterNode::npmu_store_key(sh, 0, 'a'),
+                    &format!("adp{i}.audit"),
+                    PM_CTRL_BYTES,
+                ) {
+                    trails.push(t);
+                }
+            }
+        }
+        (counts, trails)
+    };
+    let (counts_a, trails_a) = run();
+    let (counts_b, trails_b) = run();
+    assert_eq!(counts_a, counts_b, "workload counts not deterministic");
+    assert!(counts_a.1 > 0, "workload committed nothing");
+    assert!(counts_a.3 > 0, "no cross-shard transactions ran");
+    assert_eq!(trails_a.len(), trails_b.len());
+    for (i, (a, b)) in trails_a.iter().zip(&trails_b).enumerate() {
+        assert_eq!(a, b, "audit trail image {i} differs between runs");
+    }
+    assert!(
+        trails_a.iter().any(|t| !t.is_empty()),
+        "no trail bytes were persisted"
+    );
 }

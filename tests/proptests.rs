@@ -278,3 +278,104 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Shard routing is a total deterministic function: every key maps to
+    /// exactly one shard below the count, for any power-of-two cluster.
+    #[test]
+    fn shard_routing_total_and_deterministic(key in any::<u64>(), log2 in 0u32..7) {
+        use txnkit::shard_of_key;
+        let shards = 1u32 << log2;
+        let s = shard_of_key(key, shards);
+        prop_assert!(s < shards);
+        prop_assert_eq!(s, shard_of_key(key, shards), "routing must be stable");
+    }
+
+    /// Growing the cluster from `n` to `2n` shards moves a key only where
+    /// the mask intends: it either stays on its shard or moves to the new
+    /// mirror shard `s + n` — never to an arbitrary third place. (This is
+    /// the property that makes doubling a rebalance of at most half the
+    /// keyspace, with no shuffling among surviving shards.)
+    #[test]
+    fn shard_routing_doubling_moves_keys_only_to_the_mirror(
+        key in any::<u64>(),
+        log2 in 0u32..6
+    ) {
+        use txnkit::shard_of_key;
+        let n = 1u32 << log2;
+        let s = shard_of_key(key, n);
+        let s2 = shard_of_key(key, 2 * n);
+        prop_assert!(
+            s2 == s || s2 == s + n,
+            "key moved {s} -> {s2} under {n} -> {} growth", 2 * n
+        );
+        // And shrinking back is exact: the doubled routing collapses onto
+        // the original under the smaller mask.
+        prop_assert_eq!(s2 % n, s);
+    }
+
+    /// Cluster-allocated TxnIds round-trip their (coordinator, sequence)
+    /// parts, ids from different coordinator shards never collide, and
+    /// `audit_partition` composes with shard-local trail counts: the pair
+    /// (coordinator shard, partition index) names one trail globally, so
+    /// two shards' transactions can never write the same trail even when
+    /// their partition indices coincide.
+    #[test]
+    fn txn_id_composition_has_no_cross_shard_collisions(
+        a in 0u32..64, b in 0u32..64,
+        seq_a in 0u64..(1 << 48), seq_b in 0u64..(1 << 48),
+        parts in 1usize..8
+    ) {
+        let ta = TxnId::compose(a, seq_a);
+        let tb = TxnId::compose(b, seq_b);
+        prop_assert_eq!(ta.coordinator_shard(), a);
+        prop_assert_eq!(ta.sequence(), seq_a);
+        if a != b {
+            prop_assert_ne!(ta, tb, "distinct coordinators must never collide");
+            prop_assert_ne!(
+                (ta.coordinator_shard(), ta.audit_partition(parts)),
+                (tb.coordinator_shard(), tb.audit_partition(parts)),
+                "global trail identity must differ across shards"
+            );
+        }
+        prop_assert!(ta.audit_partition(parts) < parts);
+        // Shard 0 ids are bit-identical to legacy single-node ids, so old
+        // trails decode under the sharded reader.
+        prop_assert_eq!(TxnId::compose(0, seq_a), TxnId(seq_a));
+    }
+
+    /// Sequential transactions on one shard spread over all its trail
+    /// partitions (the golden-ratio mix defeats striding), so no trail
+    /// starves regardless of which shard allocated the ids.
+    #[test]
+    fn sequential_txn_ids_cover_all_audit_partitions(
+        shard in 0u32..64,
+        base in 0u64..(1 << 40),
+        parts in 2usize..8
+    ) {
+        let mut hit = vec![false; parts];
+        for i in 0..256u64 {
+            hit[TxnId::compose(shard, base + i).audit_partition(parts)] = true;
+        }
+        prop_assert!(hit.iter().all(|&h| h), "a partition starved: {hit:?}");
+    }
+}
+
+#[test]
+fn shard_routing_covers_every_shard() {
+    use txnkit::shard_of_key;
+    for shards in [2u32, 4, 8] {
+        let mut hit = vec![0u64; shards as usize];
+        for key in 0..4096u64 {
+            hit[shard_of_key(key, shards) as usize] += 1;
+        }
+        let (min, max) = (hit.iter().min().unwrap(), hit.iter().max().unwrap());
+        assert!(*min > 0, "{shards}-shard routing starved a shard: {hit:?}");
+        assert!(
+            *max < 2 * *min,
+            "{shards}-shard routing badly skewed: {hit:?}"
+        );
+    }
+}

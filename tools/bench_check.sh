@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 repo="$PWD"
 
-BENCHES=(pool_scaling audit_scaling read_scaling persist_modes)
+BENCHES=(pool_scaling audit_scaling read_scaling persist_modes shard_scaling)
 
 cargo build --release -p pm-bench --bins
 
