@@ -22,6 +22,10 @@ cargo run --release -p pm-bench --bin persist_modes
 # speedup at 10% cross-shard and the 100k-client population bars
 # internally at smoke scale.
 cargo run --release -p pm-bench --bin shard_scaling
+# Smoke: fabric QoS isolation (T12) — asserts commit p99 <= 2x uncontended
+# under an online resilver with DRR+admission, resilver >= 80% of its
+# standalone rate, and the FIFO baseline's p99 blow-up, all internally.
+cargo run --release -p pm-bench --bin qos_isolation
 # Crash-point fuzz smoke: ~200 injected power-loss points across the
 # three persistence modes (release: `cargo test --release` above already
 # ran it once; FUZZ_FULL=1 widens to the ≥ 2000-point sweep).

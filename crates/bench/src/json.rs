@@ -54,12 +54,43 @@ pub fn render(name: &str, metrics: &[(String, f64)]) -> String {
     out
 }
 
+/// Per-class fabric counters accumulated process-wide by simnet since the
+/// last `simnet::qos::reset_process_stats()`: bytes moved, ops, worst
+/// queueing wait and peak queue depth for each traffic class. Keyed
+/// `fabric_<class>_*` — deliberately outside `bench_check`'s throughput
+/// key pattern so class byte totals are never gated as throughput.
+pub fn fabric_metrics() -> Vec<(String, f64)> {
+    let stats = simnet::qos::process_stats();
+    let mut out = Vec::with_capacity(simnet::CLASS_COUNT * 4);
+    for class in simnet::TrafficClass::ALL {
+        let s = stats[class.idx()];
+        let l = class.label();
+        out.push((format!("fabric_{l}_bytes"), s.bytes as f64));
+        out.push((format!("fabric_{l}_ops"), s.ops as f64));
+        out.push((
+            format!("fabric_{l}_max_wait_us"),
+            s.max_wait_ns as f64 / 1_000.0,
+        ));
+        out.push((format!("fabric_{l}_peak_depth"), s.peak_depth as f64));
+    }
+    out
+}
+
 /// Write `results/BENCH_<name>.json` (creating `results/` if needed) and
-/// return the path.
+/// return the path. The per-class fabric counters are appended to every
+/// artifact automatically (benches that want per-arm numbers call
+/// `simnet::qos::reset_process_stats()` between arms and emit their own
+/// keyed copies before this).
 pub fn emit(name: &str, metrics: &[(String, f64)]) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all("results")?;
     let path = PathBuf::from(format!("results/BENCH_{name}.json"));
-    std::fs::write(&path, render(name, metrics))?;
+    let mut all = metrics.to_vec();
+    for (k, v) in fabric_metrics() {
+        if !all.iter().any(|(ek, _)| *ek == k) {
+            all.push((k, v));
+        }
+    }
+    std::fs::write(&path, render(name, &all))?;
     Ok(path)
 }
 

@@ -1,6 +1,6 @@
 //! # pm-bench — harnesses that regenerate the paper's figures and claims
 //!
-//! One binary per experiment (see DESIGN.md §9):
+//! One binary per experiment (see DESIGN.md §10):
 //!
 //! | binary            | reproduces |
 //! |-------------------|------------|
@@ -16,6 +16,8 @@
 //! | `audit_scaling`   | DESIGN.md §5 — commit rate vs audit partitions (T8) |
 //! | `read_scaling`    | DESIGN.md §6 — read throughput vs window × routing (T9) |
 //! | `persist_modes`   | DESIGN.md §7 — commit latency by persistence mode × pipeline depth (T10) |
+//! | `shard_scaling`   | DESIGN.md §8 — sharded txn throughput, 2PC tax, population load (T11) |
+//! | `qos_isolation`   | DESIGN.md §9 — commit p99 vs online resilver by QoS policy (T12) |
 //! | `ablations`       | DESIGN.md ablations A1–A3 |
 //!
 //! Each binary prints a CSV block (machine-readable) and an aligned text

@@ -3,6 +3,7 @@
 
 use crate::driver::{HotStockDriver, SharedDriverStats};
 use nsk::machine::CpuId;
+use simcore::fault::FaultPlan;
 use simcore::time::SECS;
 use simcore::{DurableStore, Histogram, SimDuration, SimTime};
 use txnkit::scenario::{build_ods, AuditMode, OdsParams};
@@ -49,6 +50,12 @@ pub struct HotStockParams {
     pub audit: AuditMode,
     /// Logical record size (paper: 4 KB).
     pub record_bytes: u32,
+    /// Fabric QoS configuration for the node (default: QoS off — the
+    /// legacy analytic completion path).
+    pub qos: simnet::QosConfig,
+    /// Declarative faults armed before the run starts (e.g. an
+    /// `NpmuDown` window so a resilver races the foreground commits).
+    pub fault_plan: FaultPlan,
 }
 
 impl HotStockParams {
@@ -60,6 +67,8 @@ impl HotStockParams {
             records_per_driver: 32_000,
             audit,
             record_bytes: 4096,
+            qos: simnet::QosConfig::disabled(),
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -83,6 +92,10 @@ pub struct HotStockResult {
     pub inserted_records: u64,
     /// Snapshot of the node's persistence-action accounting.
     pub txn_stats: TxnStatsSnapshot,
+    /// PMM mirror-health counters at the end of the run (PM modes only):
+    /// resilver progress/rate and bulk admission throttling for QoS
+    /// isolation experiments.
+    pub pmm_stats: Option<pmm::PmmStats>,
 }
 
 /// Copyable snapshot of `TxnStats` counters.
@@ -143,6 +156,11 @@ pub fn run_hot_stock(params: HotStockParams) -> HotStockResult {
             ..OdsParams::pm(params.seed)
         },
     };
+    let ods = OdsParams {
+        qos: params.qos,
+        fault_plan: params.fault_plan.clone(),
+        ..ods
+    };
     let mut node = build_ods(&mut store, ods);
 
     // PM regions must exist before the drivers start hammering; the ADP
@@ -182,16 +200,30 @@ pub fn run_hot_stock(params: HotStockParams) -> HotStockResult {
         driver_stats.push(st);
     }
 
-    // Run until every driver reports done (bounded by a generous ceiling).
+    // Run until every driver reports done AND any resilver the fault plan
+    // provoked has finished (bounded by a generous ceiling).
     let ceiling = SimTime(3_600 * SECS);
     loop {
         let done = driver_stats.iter().all(|s| s.lock().done);
-        if done {
+        let resilvers_settled = node.pmm.as_ref().is_none_or(|p| {
+            let s = p.stats.lock();
+            s.resilvers_completed >= s.resilvers_started
+        });
+        if done && resilvers_settled {
             break;
         }
         let now = node.sim.now();
         if now >= ceiling {
             panic!("hot-stock run exceeded the 1h simulated ceiling");
+        }
+        if std::env::var_os("HOTSTOCK_DEBUG").is_some() {
+            let d = driver_stats.iter().filter(|s| s.lock().done).count();
+            let ps = node.pmm.as_ref().map(|p| *p.stats.lock());
+            eprintln!(
+                "hotstock: t={:.2}s drivers_done={d}/{} pmm={ps:?}",
+                now.as_nanos() as f64 / SECS as f64,
+                driver_stats.len(),
+            );
         }
         node.sim.run_until(SimTime(now.as_nanos() + 5 * SECS));
     }
@@ -210,6 +242,7 @@ pub fn run_hot_stock(params: HotStockParams) -> HotStockResult {
         last_finish = last_finish.max(s.finished_ns);
     }
     let txn_stats = TxnStatsSnapshot::from(&node.stats.lock());
+    let pmm_stats = node.pmm.as_ref().map(|p| *p.stats.lock());
 
     HotStockResult {
         params,
@@ -218,6 +251,7 @@ pub fn run_hot_stock(params: HotStockParams) -> HotStockResult {
         committed_txns: committed,
         inserted_records: inserted,
         txn_stats,
+        pmm_stats,
     }
 }
 

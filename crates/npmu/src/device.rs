@@ -595,21 +595,31 @@ mod tests {
                 return;
             }
             if msg.is::<Kick>() {
+                use simnet::TrafficClass::Commit;
                 for (id, addr, data) in self.ops.drain(..) {
                     let net = self.net.clone();
-                    rdma_write(ctx, &net, self.ep, self.dev, addr, Bytes::from(data), id);
+                    rdma_write(
+                        ctx,
+                        &net,
+                        self.ep,
+                        self.dev,
+                        addr,
+                        Bytes::from(data),
+                        id,
+                        Commit,
+                    );
                 }
                 if let Some((id, addr, len)) = self.read.take() {
                     let net = self.net.clone();
-                    rdma_read(ctx, &net, self.ep, self.dev, addr, len, id);
+                    rdma_read(ctx, &net, self.ep, self.dev, addr, len, id, Commit);
                 }
                 if let Some((id, addr, len)) = self.crc.take() {
                     let net = self.net.clone();
-                    simnet::rdma_crc_read(ctx, &net, self.ep, self.dev, addr, len, id);
+                    simnet::rdma_crc_read(ctx, &net, self.ep, self.dev, addr, len, id, Commit);
                 }
                 if let Some(id) = self.flush.take() {
                     let net = self.net.clone();
-                    simnet::rdma_flush(ctx, &net, self.ep, self.dev, id);
+                    simnet::rdma_flush(ctx, &net, self.ep, self.dev, id, Commit);
                 }
                 return;
             }

@@ -2,7 +2,7 @@
 
 use crate::machine::{CpuId, SharedMachine};
 use simcore::{Ctx, SimDuration};
-use simnet::{send_net_msg, EndpointId, NetDelivery};
+use simnet::{send_net_msg_class, EndpointId, NetDelivery, TrafficClass};
 use std::any::Any;
 
 /// Notification delivered to watchers when a watched process dies
@@ -50,6 +50,34 @@ pub fn send_to_process<T: Any + Send>(
     wire_len: u32,
     payload: T,
 ) -> bool {
+    send_to_process_class(
+        ctx,
+        machine,
+        from_ep,
+        from_cpu,
+        name,
+        wire_len,
+        TrafficClass::Commit,
+        payload,
+    )
+}
+
+/// As [`send_to_process`], riding an explicit fabric [`TrafficClass`]
+/// when the message leaves the CPU (same-CPU IPC has no fabric leg):
+/// bandwidth-bearing senders such as DP2 audit-delta appends tag
+/// themselves so the fabric's per-class schedulers can arbitrate them
+/// against commit-critical control traffic.
+#[allow(clippy::too_many_arguments)]
+pub fn send_to_process_class<T: Any + Send>(
+    ctx: &mut Ctx<'_>,
+    machine: &SharedMachine,
+    from_ep: EndpointId,
+    from_cpu: CpuId,
+    name: &str,
+    wire_len: u32,
+    class: TrafficClass,
+    payload: T,
+) -> bool {
     let (target, net) = {
         let m = machine.lock();
         let Some(side) = m.resolve(name) else {
@@ -69,7 +97,7 @@ pub fn send_to_process<T: Any + Send>(
         );
         true
     } else {
-        send_net_msg(ctx, &net, from_ep, target.ep, wire_len, payload)
+        send_net_msg_class(ctx, &net, from_ep, target.ep, wire_len, class, payload)
     }
 }
 
@@ -102,7 +130,15 @@ pub fn send_to_backup<T: Any + Send>(
         );
         true
     } else {
-        send_net_msg(ctx, &net, from_ep, target.ep, wire_len, payload)
+        send_net_msg_class(
+            ctx,
+            &net,
+            from_ep,
+            target.ep,
+            wire_len,
+            TrafficClass::Commit,
+            payload,
+        )
     }
 }
 

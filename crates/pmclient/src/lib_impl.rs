@@ -7,7 +7,7 @@ use pmm::PlacementHint;
 use simcore::{Ctx, SimDuration};
 use simnet::{
     rdma_flush, rdma_read, rdma_write_sized, EndpointId, PersistMode, RdmaFlushDone, RdmaReadDone,
-    RdmaStatus, RdmaWriteDone, SharedNetwork,
+    RdmaStatus, RdmaWriteDone, SharedNetwork, TrafficClass,
 };
 use std::collections::HashMap;
 
@@ -72,6 +72,11 @@ pub struct PmClientConfig {
     /// ODS wiring) opt into a flush mode, paying an extra persist round
     /// per touched device half before the write completes.
     pub persist_mode: PersistMode,
+    /// Fabric traffic class every op from this library instance rides
+    /// unless a per-op `_class` variant overrides it. Defaults to
+    /// [`TrafficClass::Commit`] — the PM library's callers are
+    /// latency-critical unless they say otherwise.
+    pub traffic_class: TrafficClass,
 }
 
 impl Default for PmClientConfig {
@@ -83,6 +88,7 @@ impl Default for PmClientConfig {
             rpc_retry_cap: SimDuration::from_millis(1600),
             read_window: 8,
             persist_mode: PersistMode::NicAck,
+            traffic_class: TrafficClass::Commit,
         }
     }
 }
@@ -181,6 +187,9 @@ struct WriteState {
     /// A persist op failed: the write may still complete (another half
     /// persisted), but only degraded.
     persist_failed: bool,
+    /// Class every leg of this write (including persist-phase ops and
+    /// late sequential mirror legs) rides.
+    class: TrafficClass,
 }
 
 /// One stripe fragment of a read, with its own half selection and
@@ -214,6 +223,9 @@ struct ReadRun {
     /// Next fragment the window pump has not issued yet.
     next_unissued: usize,
     parts: Vec<ReadPart>,
+    /// Class every fragment of this read (including failover re-issues)
+    /// rides.
+    class: TrafficClass,
 }
 
 /// The client library state, embedded in a process actor.
@@ -527,6 +539,21 @@ impl PmLib {
         parts: &[(u64, Bytes, u32)],
         token: u64,
     ) {
+        let class = self.cfg.traffic_class;
+        self.write_batch_class(ctx, region_id, parts, token, class)
+    }
+
+    /// As [`Self::write_batch`], riding an explicit [`TrafficClass`]
+    /// instead of the library default (e.g. the ADP tags its audit-trail
+    /// batches `Audit` while its control-cell publications stay `Commit`).
+    pub fn write_batch_class(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        region_id: u64,
+        parts: &[(u64, Bytes, u32)],
+        token: u64,
+        class: TrafficClass,
+    ) {
         assert!(!parts.is_empty(), "empty batch");
         let info = self
             .regions
@@ -546,6 +573,7 @@ impl PmLib {
             persist_phase: false,
             persist_pending: Vec::new(),
             persist_failed: false,
+            class,
         };
         // Fragment payloads: the data may be shorter than the wire span
         // (compact descriptor); slice what exists, keep the wire length.
@@ -599,7 +627,9 @@ impl PmLib {
         for (ci, dev, half, nva, chunk_data, chunk_wire) in legs {
             let rid = self.alloc_rdma(wid, ci, half);
             let net = self.net.clone();
-            rdma_write_sized(ctx, &net, self.ep, dev, nva, chunk_data, chunk_wire, rid);
+            rdma_write_sized(
+                ctx, &net, self.ep, dev, nva, chunk_data, chunk_wire, rid, class,
+            );
         }
         ctx.send_self(self.cfg.write_timeout, PmWriteTimeout { wid });
     }
@@ -628,6 +658,20 @@ impl PmLib {
         region_id: u64,
         spans: &[(u64, u32)],
         token: u64,
+    ) {
+        let class = self.cfg.traffic_class;
+        self.read_batch_class(ctx, region_id, spans, token, class)
+    }
+
+    /// As [`Self::read_batch`], riding an explicit [`TrafficClass`]
+    /// (recovery scans and other bulk readers tag themselves `Bulk`).
+    pub fn read_batch_class(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        region_id: u64,
+        spans: &[(u64, u32)],
+        token: u64,
+        class: TrafficClass,
     ) {
         assert!(!spans.is_empty(), "empty batch");
         let info = self.regions.get(&region_id).expect("region not adopted");
@@ -663,6 +707,7 @@ impl PmLib {
                 inflight: 0,
                 next_unissued: 0,
                 parts,
+                class,
             },
         );
         self.pump_reads(ctx, run_id);
@@ -750,10 +795,10 @@ impl PmLib {
     }
 
     fn issue_read_part(&mut self, ctx: &mut Ctx<'_>, run_id: u64, part: usize) {
-        let (region_id, volume, first_issue) = {
+        let (region_id, volume, first_issue, class) = {
             let r = &self.reads[&run_id];
             let p = &r.parts[part];
-            (r.region_id, p.volume, p.tried == 0)
+            (r.region_id, p.volume, p.tried == 0, r.class)
         };
         if first_issue {
             let half = self.pick_read_half(ctx, region_id, volume);
@@ -779,7 +824,7 @@ impl PmLib {
         self.next_rdma += 1;
         self.read_map.insert(rid, (run_id, part));
         let net = self.net.clone();
-        rdma_read(ctx, &net, self.ep, dev, dev_off, len, rid);
+        rdma_read(ctx, &net, self.ep, dev, dev_off, len, rid, class);
         ctx.send_self(self.cfg.read_timeout, PmReadTimeout { rid });
     }
 
@@ -892,9 +937,10 @@ impl PmLib {
         // the survivor can still make the fragment persistent (degraded).
         if let Some((dev, leg_half, nva, data, wire_len)) = ch.next_leg.take() {
             if st.logical_error.is_none() {
+                let class = st.class;
                 let rid = self.alloc_rdma(wid, chunk, leg_half);
                 let net = self.net.clone();
-                rdma_write_sized(ctx, &net, self.ep, dev, nva, data, wire_len, rid);
+                rdma_write_sized(ctx, &net, self.ep, dev, nva, data, wire_len, rid, class);
                 return None;
             }
         }
@@ -953,10 +999,11 @@ impl PmLib {
             self.mark_suspect(ctx, region_id, volume, half);
         }
         if !next.is_empty() {
+            let class = self.writes[&t.wid].class;
             for (chunk, (dev, leg_half, nva, data, wire_len)) in next {
                 let rid = self.alloc_rdma(t.wid, chunk, leg_half);
                 let net = self.net.clone();
-                rdma_write_sized(ctx, &net, self.ep, dev, nva, data, wire_len, rid);
+                rdma_write_sized(ctx, &net, self.ep, dev, nva, data, wire_len, rid, class);
             }
             ctx.send_self(self.cfg.write_timeout, PmWriteTimeout { wid: t.wid });
             return None;
@@ -1030,9 +1077,10 @@ impl PmLib {
     /// the half's just-written fragments, exploiting "reads cannot pass
     /// posted writes" as the persist barrier.
     fn begin_persist_phase(&mut self, ctx: &mut Ctx<'_>, wid: u64) {
-        let (region_id, targets) = {
+        let (region_id, targets, class) = {
             let st = self.writes.get_mut(&wid).expect("write registered");
             st.persist_phase = true;
+            let class = st.class;
             let mut targets: Vec<(u32, u8, u64, u32)> = Vec::new();
             for c in &st.chunks {
                 for half in 0..2u8 {
@@ -1045,7 +1093,7 @@ impl PmLib {
                     }
                 }
             }
-            (st.region_id, targets)
+            (st.region_id, targets, class)
         };
         let info = self
             .regions
@@ -1071,9 +1119,9 @@ impl PmLib {
                 .push(rid);
             let net = self.net.clone();
             match self.cfg.persist_mode {
-                PersistMode::PersistFlush => rdma_flush(ctx, &net, self.ep, dev, rid),
+                PersistMode::PersistFlush => rdma_flush(ctx, &net, self.ep, dev, rid, class),
                 PersistMode::FlushOnRead => {
-                    rdma_read(ctx, &net, self.ep, dev, dev_off, read_len, rid)
+                    rdma_read(ctx, &net, self.ep, dev, dev_off, read_len, rid, class)
                 }
                 PersistMode::NicAck => unreachable!("NicAck has no persist phase"),
             }

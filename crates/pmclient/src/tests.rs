@@ -629,6 +629,7 @@ fn write_without_any_mapping_is_rejected() {
                     self.nva,
                     Bytes::from(vec![9u8; 32]),
                     1,
+                    simnet::TrafficClass::Commit,
                 );
                 return;
             }

@@ -79,7 +79,7 @@ use pmpool::{
 use simcore::{Actor, Ctx, Msg, Sim, SimDuration};
 use simnet::{
     rdma_crc_read, rdma_read, rdma_write, send_net_msg, EndpointId, NetDelivery, RdmaCrcReadDone,
-    RdmaReadDone, RdmaStatus, RdmaWriteDone, SharedNetwork,
+    RdmaReadDone, RdmaStatus, RdmaWriteDone, SharedNetwork, TrafficClass,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -159,6 +159,9 @@ pub struct PmmStats {
     pub migrations_aborted: u64,
     /// Bytes copied source → destination by committed+aborted migrations.
     pub migrate_bytes_copied: u64,
+    /// Times a bulk mover (resilver / migration copy) was denied fabric
+    /// admission by the QoS token bucket and backed off.
+    pub bulk_throttle_waits: u64,
 }
 
 pub type SharedPmmStats = Arc<Mutex<PmmStats>>;
@@ -224,6 +227,12 @@ struct ResilverStepTimeout {
 struct MigStepTimeout {
     rid: u64,
 }
+/// The QoS token bucket denied a resilver copy chunk; retry admission.
+struct ResilverBackoff {
+    vol: usize,
+}
+/// The QoS token bucket denied a migration copy chunk; retry admission.
+struct MigBackoff;
 
 /// Why a probe read was sent.
 #[derive(Clone, Copy)]
@@ -272,6 +281,8 @@ struct ResilverRun {
     /// Per-chunk checksum slots ([survivor, revived]) for chunks whose
     /// verify CRC reads are in flight.
     crc_pending: BTreeMap<u64, [Option<u64>; 2]>,
+    /// A [`ResilverBackoff`] timer is outstanding (bulk admission denied).
+    backoff_armed: bool,
 }
 
 /// Which migration step an RDMA op id belongs to. Offsets are relative
@@ -315,6 +326,8 @@ struct MigrationRun {
     crc_pending: BTreeMap<u64, [Option<u64>; 2]>,
     /// Per-chunk mirror-leg write acks outstanding, keyed by offset.
     copy_writes_left: BTreeMap<u64, u32>,
+    /// A [`MigBackoff`] timer is outstanding (bulk admission denied).
+    backoff_armed: bool,
 }
 
 /// One mirrored member volume of the pool, with its own durable
@@ -509,7 +522,16 @@ impl PmmProc {
             self.next_rdma += 1;
             self.rdma_ops.insert(rid, (token, vol, half));
             let net = self.net.clone();
-            rdma_write(ctx, &net, self.ep, self.half_ep(vol, half), slot, data, rid);
+            rdma_write(
+                ctx,
+                &net,
+                self.ep,
+                self.half_ep(vol, half),
+                slot,
+                data,
+                rid,
+                TrafficClass::Commit,
+            );
         }
         self.pending.insert(token, op);
         ctx.send_self(self.cfg.meta_write_timeout, MetaWriteTimeout { token });
@@ -771,7 +793,16 @@ impl PmmProc {
         self.probes.insert(rid, (vol, kind));
         self.vol_stat(vol, |s| s.probes_sent += 1);
         let net = self.net.clone();
-        rdma_read(ctx, &net, self.ep, self.half_ep(vol, half), 0, 64, rid);
+        rdma_read(
+            ctx,
+            &net,
+            self.ep,
+            self.half_ep(vol, half),
+            0,
+            64,
+            rid,
+            TrafficClass::Commit,
+        );
         ctx.send_self(self.cfg.probe_timeout, ProbeTimeout { rid });
     }
 
@@ -846,6 +877,7 @@ impl PmmProc {
             inflight: 0,
             divergent: Vec::new(),
             crc_pending: BTreeMap::new(),
+            backoff_armed: false,
         });
         self.resilver_pump(ctx, vol);
     }
@@ -928,11 +960,16 @@ impl PmmProc {
                 copy: bool,
                 dirty_upto: u64,
             },
+            Backoff {
+                wait_ns: u64,
+            },
             Wait,
         }
         let window = self.cfg.transfer_window.max(1);
+        let now_ns = ctx.now().as_nanos();
         loop {
             let next = {
+                let net = &self.net;
                 let Some(run) = &mut self.vols[vol].resilver else {
                     return;
                 };
@@ -949,18 +986,45 @@ impl PmmProc {
                 } else if run.inflight >= window {
                     Next::Wait
                 } else {
-                    let (off, len) = run.queue.pop_front().unwrap();
-                    run.inflight += 1;
-                    Next::Issue {
-                        off,
-                        len,
-                        copy,
-                        half: run.half,
+                    // Copy chunks move real payload: acquire bulk budget
+                    // from the fabric before launching. Verify chunks ship
+                    // only 8-byte digests and are admitted for free.
+                    let &(off, len) = run.queue.front().unwrap();
+                    let admit = if copy {
+                        net.lock().try_bulk_admission(len as u64, now_ns)
+                    } else {
+                        Ok(())
+                    };
+                    match admit {
+                        Ok(()) => {
+                            run.queue.pop_front();
+                            run.inflight += 1;
+                            Next::Issue {
+                                off,
+                                len,
+                                copy,
+                                half: run.half,
+                            }
+                        }
+                        Err(wait_ns) => Next::Backoff { wait_ns },
                     }
                 }
             };
             match next {
                 Next::Wait => return,
+                Next::Backoff { wait_ns } => {
+                    self.vol_stat(vol, |s| s.bulk_throttle_waits += 1);
+                    if let Some(run) = &mut self.vols[vol].resilver {
+                        if !run.backoff_armed {
+                            run.backoff_armed = true;
+                            ctx.send_self(
+                                SimDuration::from_nanos(wait_ns.max(1)),
+                                ResilverBackoff { vol },
+                            );
+                        }
+                    }
+                    return;
+                }
                 Next::Issue {
                     off,
                     len,
@@ -1047,6 +1111,7 @@ impl PmmProc {
             off,
             len,
             rid,
+            TrafficClass::Bulk,
         );
         let timeout = self.step_timeout(len);
         ctx.send_self(timeout, ResilverStepTimeout { rid });
@@ -1075,6 +1140,7 @@ impl PmmProc {
             off,
             len,
             rid,
+            TrafficClass::Bulk,
         );
         let timeout = self.step_timeout(len);
         ctx.send_self(timeout, ResilverStepTimeout { rid });
@@ -1145,7 +1211,16 @@ impl PmmProc {
                     .insert(rid, (vol, ResilverOp::CopyWrite { len }));
                 let dst = self.half_ep(vol, half);
                 let net = self.net.clone();
-                rdma_write(ctx, &net, self.ep, dst, off, done.data, rid);
+                rdma_write(
+                    ctx,
+                    &net,
+                    self.ep,
+                    dst,
+                    off,
+                    done.data,
+                    rid,
+                    TrafficClass::Bulk,
+                );
                 let timeout = self.step_timeout(len);
                 ctx.send_self(timeout, ResilverStepTimeout { rid });
             }
@@ -1294,11 +1369,14 @@ impl PmmProc {
         enum Next {
             Issue { off: u64, chunk: u32, copy: bool },
             Transition { copy: bool },
+            Backoff { wait_ns: u64 },
             Wait,
         }
         let window = self.cfg.transfer_window.max(1);
+        let now_ns = ctx.now().as_nanos();
         loop {
             let (next, src_vol, dst_vol, src_base, dst_base, len, fenced) = {
+                let net = &self.net;
                 let Some(run) = &mut self.migration else {
                     return;
                 };
@@ -1312,9 +1390,22 @@ impl PmmProc {
                 } else if run.inflight >= window {
                     Next::Wait
                 } else {
-                    let (off, chunk) = run.queue.pop_front().unwrap();
-                    run.inflight += 1;
-                    Next::Issue { off, chunk, copy }
+                    // Same admission discipline as the resilver: payload
+                    // chunks buy bulk budget, digest-only verify is free.
+                    let &(off, chunk) = run.queue.front().unwrap();
+                    let admit = if copy {
+                        net.lock().try_bulk_admission(chunk as u64, now_ns)
+                    } else {
+                        Ok(())
+                    };
+                    match admit {
+                        Ok(()) => {
+                            run.queue.pop_front();
+                            run.inflight += 1;
+                            Next::Issue { off, chunk, copy }
+                        }
+                        Err(wait_ns) => Next::Backoff { wait_ns },
+                    }
                 };
                 (
                     next,
@@ -1328,6 +1419,16 @@ impl PmmProc {
             };
             match next {
                 Next::Wait => return,
+                Next::Backoff { wait_ns } => {
+                    self.stats.lock().bulk_throttle_waits += 1;
+                    if let Some(run) = &mut self.migration {
+                        if !run.backoff_armed {
+                            run.backoff_armed = true;
+                            ctx.send_self(SimDuration::from_nanos(wait_ns.max(1)), MigBackoff);
+                        }
+                    }
+                    return;
+                }
                 Next::Issue {
                     off,
                     chunk,
@@ -1450,6 +1551,7 @@ impl PmmProc {
             dev_off,
             len,
             rid,
+            TrafficClass::Bulk,
         );
         let timeout = self.step_timeout(len);
         ctx.send_self(timeout, MigStepTimeout { rid });
@@ -1468,7 +1570,16 @@ impl PmmProc {
         self.next_rdma += 1;
         self.mig_ops.insert(rid, kind);
         let net = self.net.clone();
-        rdma_crc_read(ctx, &net, self.ep, self.half_ep(vol, 0), dev_off, len, rid);
+        rdma_crc_read(
+            ctx,
+            &net,
+            self.ep,
+            self.half_ep(vol, 0),
+            dev_off,
+            len,
+            rid,
+            TrafficClass::Bulk,
+        );
         let timeout = self.step_timeout(len);
         ctx.send_self(timeout, MigStepTimeout { rid });
     }
@@ -1534,6 +1645,7 @@ impl PmmProc {
                         dst_base + off,
                         done.data.clone(),
                         rid,
+                        TrafficClass::Bulk,
                     );
                     let timeout = self.step_timeout(len);
                     ctx.send_self(timeout, MigStepTimeout { rid });
@@ -2036,6 +2148,7 @@ impl PmmProc {
                     divergent: Vec::new(),
                     crc_pending: BTreeMap::new(),
                     copy_writes_left: BTreeMap::new(),
+                    backoff_armed: false,
                 });
                 self.mig_pump(ctx);
                 return;
@@ -2203,6 +2316,28 @@ impl Actor for PmmProc {
             Ok((_, t)) => {
                 if self.mig_ops.remove(&t.rid).is_some() {
                     self.abort_migration(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        // Bulk-admission backoff expiries: retry the mover's pump.
+        let msg = match msg.take::<ResilverBackoff>() {
+            Ok((_, t)) => {
+                if let Some(run) = &mut self.vols[t.vol].resilver {
+                    run.backoff_armed = false;
+                    self.resilver_pump(ctx, t.vol);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.take::<MigBackoff>() {
+            Ok((_, _)) => {
+                if let Some(run) = &mut self.migration {
+                    run.backoff_armed = false;
+                    self.mig_pump(ctx);
                 }
                 return;
             }

@@ -52,7 +52,12 @@ impl DetRng {
 
     /// `value` perturbed by up to ±`frac` (e.g. 0.05 for ±5% jitter).
     /// Used to keep latency models from producing lockstep artifacts.
+    /// A non-positive `frac` returns the value unperturbed (and draws
+    /// nothing, so jitter-free configs stay stream-compatible).
     pub fn jitter(&mut self, value: f64, frac: f64) -> f64 {
+        if frac <= 0.0 {
+            return value;
+        }
         value * (1.0 + self.inner.random_range(-frac..frac))
     }
 

@@ -32,13 +32,15 @@
 pub mod config;
 pub mod latency;
 pub mod network;
+pub mod qos;
 pub mod transport;
 
 pub use config::{FabricConfig, ServerNetGen};
-pub use network::{EndpointId, NetStats, Network, SharedNetwork};
+pub use network::{EndpointId, NetStats, Network, PortDir, SharedNetwork};
+pub use qos::{ClassStats, QosConfig, SchedPolicy, TrafficClass, CLASS_COUNT};
 pub use transport::{
     rdma_crc_read, rdma_flush, rdma_read, rdma_write, rdma_write_sized, reply_rdma_crc_read,
-    reply_rdma_flush, reply_rdma_read, reply_rdma_write, send_net_msg, InboundRdmaCrcRead,
-    InboundRdmaFlush, InboundRdmaRead, InboundRdmaWrite, NetDelivery, PersistMode, RdmaCrcReadDone,
-    RdmaFlushDone, RdmaReadDone, RdmaStatus, RdmaWriteDone,
+    reply_rdma_flush, reply_rdma_read, reply_rdma_write, send_net_msg, send_net_msg_class,
+    InboundRdmaCrcRead, InboundRdmaFlush, InboundRdmaRead, InboundRdmaWrite, NetDelivery,
+    PersistMode, RdmaCrcReadDone, RdmaFlushDone, RdmaReadDone, RdmaStatus, RdmaWriteDone,
 };

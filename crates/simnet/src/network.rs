@@ -7,10 +7,21 @@
 //! during parameter sweeps and the handle must be `Send + Sync`.
 
 use crate::config::FabricConfig;
+use crate::qos::{ClassStats, QosConfig, TokenBucket, TrafficClass, CLASS_COUNT};
 use parking_lot::Mutex;
 use simcore::fault::FaultPlan;
 use simcore::{ActorId, SimTime};
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Which side of an endpoint's link a transfer occupies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// Receive side: inbound requests serialize here under QoS.
+    Rx,
+    /// Transmit side: read-reply data serializes here under QoS.
+    Tx,
+}
 
 /// Identifies a ServerNet endpoint (one per CPU and one per device NIC).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -51,12 +62,32 @@ pub struct Network {
     last_fabric: u8,
     pub fault_plan: FaultPlan,
     pub stats: NetStats,
+    /// Fabric QoS configuration (see [`crate::qos`]); disabled keeps the
+    /// legacy analytic transport path bit-identical.
+    pub qos: QosConfig,
+    /// The lazily-spawned fabric arbiter actor, once QoS traffic exists.
+    /// Per-`Sim`: a `Network` reused across simulator instances must call
+    /// [`Network::reset_qos_runtime`].
+    pub(crate) arbiter: Option<ActorId>,
+    /// Token bucket pacing bulk movers, built on first use from
+    /// `qos.bulk_share` of the link rate.
+    pub(crate) bulk_bucket: Option<TokenBucket>,
+    /// Per-class totals across every port (bytes always counted, even on
+    /// the legacy path; waits/depths only exist with the scheduler on).
+    class_totals: [ClassStats; CLASS_COUNT],
+    /// Per-(endpoint, direction, class) counters under the scheduler.
+    port_class: HashMap<(u32, PortDir, TrafficClass), ClassStats>,
 }
 
 pub type SharedNetwork = Arc<Mutex<Network>>;
 
 impl Network {
     pub fn new(cfg: FabricConfig) -> SharedNetwork {
+        Self::with_qos(cfg, QosConfig::disabled())
+    }
+
+    /// A network with fabric QoS installed from the start.
+    pub fn with_qos(cfg: FabricConfig, qos: QosConfig) -> SharedNetwork {
         Arc::new(Mutex::new(Network {
             cfg,
             endpoints: Vec::new(),
@@ -65,7 +96,90 @@ impl Network {
             last_fabric: 0,
             fault_plan: FaultPlan::none(),
             stats: NetStats::default(),
+            qos,
+            arbiter: None,
+            bulk_bucket: None,
+            class_totals: [ClassStats::default(); CLASS_COUNT],
+            port_class: HashMap::new(),
         }))
+    }
+
+    /// Forget per-`Sim` QoS runtime state (arbiter id, bucket fill) so the
+    /// network can be reused with a freshly built simulator.
+    pub fn reset_qos_runtime(&mut self) {
+        self.arbiter = None;
+        self.bulk_bucket = None;
+    }
+
+    /// Ask to move `bytes` of bulk-class traffic now. `Ok` debits the
+    /// bucket; `Err(wait_ns)` tells the mover how long to back off. Always
+    /// `Ok` when QoS is disabled or `bulk_share ≥ 1` (no pacing).
+    pub fn try_bulk_admission(&mut self, bytes: u64, now_ns: u64) -> Result<(), u64> {
+        if !self.qos.enabled || self.qos.bulk_share >= 1.0 {
+            return Ok(());
+        }
+        let (share, burst, bw) = (
+            self.qos.bulk_share,
+            self.qos.bulk_burst_bytes,
+            self.cfg.link_bw_bps,
+        );
+        self.bulk_bucket
+            .get_or_insert_with(|| TokenBucket::new((bw as f64 * share) as u64, burst))
+            .try_take(bytes, now_ns)
+    }
+
+    /// Count `bytes` of class traffic (both transport paths call this at
+    /// issue time, so class byte totals exist even without the scheduler).
+    pub(crate) fn count_class_bytes(&mut self, class: TrafficClass, bytes: u64) {
+        self.class_totals[class.idx()].bytes += bytes;
+        self.class_totals[class.idx()].ops += 1;
+        crate::qos::global_record(
+            class,
+            &ClassStats {
+                ops: 1,
+                bytes,
+                ..ClassStats::default()
+            },
+        );
+    }
+
+    /// Record a scheduler observation for one (port, class): queueing wait
+    /// and depth high-water marks (bytes are counted at issue time).
+    pub(crate) fn record_port_wait(
+        &mut self,
+        ep: u32,
+        dir: PortDir,
+        class: TrafficClass,
+        wait_ns: u64,
+        depth: u64,
+    ) {
+        let e = self.port_class.entry((ep, dir, class)).or_default();
+        e.max_wait_ns = e.max_wait_ns.max(wait_ns);
+        e.peak_depth = e.peak_depth.max(depth);
+        let t = &mut self.class_totals[class.idx()];
+        t.max_wait_ns = t.max_wait_ns.max(wait_ns);
+        t.peak_depth = t.peak_depth.max(depth);
+        crate::qos::global_record(
+            class,
+            &ClassStats {
+                max_wait_ns: wait_ns,
+                peak_depth: depth,
+                ..ClassStats::default()
+            },
+        );
+    }
+
+    /// Per-class totals across all ports of this network.
+    pub fn class_totals(&self) -> [ClassStats; CLASS_COUNT] {
+        self.class_totals
+    }
+
+    /// Per-(endpoint, direction, class) scheduler counters, sorted for
+    /// deterministic iteration.
+    pub fn port_class_stats(&self) -> Vec<((u32, PortDir, TrafficClass), ClassStats)> {
+        let mut v: Vec<_> = self.port_class.iter().map(|(k, s)| (*k, *s)).collect();
+        v.sort_by_key(|((ep, dir, class), _)| (*ep, *dir as u8, *class));
+        v
     }
 
     /// Allocate a fresh endpoint bound to `actor`.

@@ -16,12 +16,30 @@
 //! metadata has to tolerate. Whether the arrived bytes are *durable* at
 //! ack time is the device's business — an NPMU models a volatile ingress
 //! buffer, so durability depends on the client's [`PersistMode`].
+//!
+//! ## Two completion paths
+//!
+//! Every operation carries a [`TrafficClass`]. With QoS disabled (the
+//! default) the op follows the legacy analytic path: one delivery event
+//! whose latency folds in software overhead, port horizons and wire time
+//! — bit-identical to the pre-QoS model. With QoS enabled
+//! ([`crate::QosConfig`] on the network) the serialization moves to the
+//! *target-side port*, which becomes an honest store-and-forward stage
+//! arbitrated by the per-class [`crate::qos::PortScheduler`] inside a
+//! lazily-spawned fabric-arbiter actor: inbound requests queue at the
+//! target's rx port, read-reply data at the device's tx port, and a
+//! resilver can no longer ride for free underneath commit traffic.
+//! Uncontended latency is identical in both paths (the wire time is paid
+//! once either way); only *queueing* differs — which is the point.
 
 use crate::latency;
-use crate::network::{EndpointId, SharedNetwork};
+use crate::network::{EndpointId, PortDir, SharedNetwork};
+use crate::qos::{PortScheduler, TrafficClass};
 use bytes::Bytes;
-use simcore::{ActorId, Ctx, SimDuration};
+use simcore::actor::Start;
+use simcore::{Actor, ActorId, Ctx, Msg, SimDuration};
 use std::any::Any;
+use std::collections::HashMap;
 
 /// When a remote persistent write is actually *durable*, as opposed to
 /// merely acknowledged. Kashyap et al. ("Correct, Fast Remote
@@ -83,6 +101,8 @@ pub struct InboundRdmaWrite {
     /// Network virtual address within the target's exposed space.
     pub addr: u64,
     pub data: Bytes,
+    /// Class the request travelled in; replies inherit it.
+    pub class: TrafficClass,
 }
 
 /// An RDMA read request arriving at a device actor.
@@ -92,6 +112,7 @@ pub struct InboundRdmaRead {
     pub op_id: u64,
     pub addr: u64,
     pub len: u32,
+    pub class: TrafficClass,
 }
 
 /// A checksum ("scrub") read arriving at a device actor: the device
@@ -106,6 +127,7 @@ pub struct InboundRdmaCrcRead {
     pub op_id: u64,
     pub addr: u64,
     pub len: u32,
+    pub class: TrafficClass,
 }
 
 /// A persist-flush verb arriving at a device actor: the device must
@@ -114,6 +136,7 @@ pub struct InboundRdmaFlush {
     pub from_ep: EndpointId,
     pub reply_to: ActorId,
     pub op_id: u64,
+    pub class: TrafficClass,
 }
 
 /// Write completion, delivered to the initiator.
@@ -152,6 +175,16 @@ pub struct RdmaCrcReadDone {
 /// fabric cannot carry it at all.
 const UNREACHABLE_TIMEOUT_NS: u64 = 1_000_000; // 1 ms
 
+/// Where one issued leg goes and when.
+enum Issued {
+    /// Legacy analytic path: deliver the payload to `target` after `ns`.
+    Legacy { target: ActorId, ns: u64 },
+    /// QoS path: the payload reaches the target-side port after `pre_ns`
+    /// (software overhead + initiator tx queueing + failover + jitter);
+    /// wire time is then paid under arbitration at that port.
+    Qos { target: ActorId, pre_ns: u64 },
+}
+
 /// Compute the common issue-side latency: fabric choice, CRC retransmits,
 /// port occupancy, wire time. Returns `None` if the op cannot be carried.
 fn issue_leg(
@@ -160,7 +193,8 @@ fn issue_leg(
     from_ep: EndpointId,
     to_ep: EndpointId,
     len: u32,
-) -> Option<(ActorId, u64)> {
+    class: TrafficClass,
+) -> Option<Issued> {
     let now = ctx.now();
     let mut n = net.lock();
     let target = n.actor_of(to_ep)?;
@@ -169,10 +203,20 @@ fn issue_leg(
     let corruption = n.fault_plan.corruption_rate_at(now);
     let wire = latency::wire_ns(&n.cfg, len);
     let sw = n.cfg.sw_overhead_ns;
-    let nic = n.cfg.target_nic_ns;
     let tx_queue = n.reserve_tx(from_ep, now.as_nanos() + sw, wire);
-    let rx_queue = n.reserve_rx(to_ep, now.as_nanos() + sw + tx_queue + wire, nic);
-    let base = latency::one_way_ns(&n.cfg, len) + tx_queue + rx_queue + failover_ns;
+    let qos_on = n.qos.enabled;
+    let base = if qos_on {
+        // Serialization is paid at the target's scheduled port; the issue
+        // side charges software overhead, its own tx-port queueing and any
+        // failover penalty. End-to-end this equals the legacy path when
+        // the target port is idle — the wire is charged exactly once.
+        sw + tx_queue + failover_ns
+    } else {
+        let nic = n.cfg.target_nic_ns;
+        let rx_queue = n.reserve_rx(to_ep, now.as_nanos() + sw + tx_queue + wire, nic);
+        latency::one_way_ns(&n.cfg, len) + tx_queue + rx_queue + failover_ns
+    };
+    n.count_class_bytes(class, len.max(1) as u64);
     let retr_pen = n.cfg.retransmit_penalty_ns;
     let jfrac = n.cfg.jitter_frac;
     drop(n);
@@ -192,13 +236,195 @@ fn issue_leg(
     }
 
     let total = ctx.rng().jitter((base + extra) as f64, jfrac) as u64;
-    Some((target, total))
+    Some(if qos_on {
+        Issued::Qos {
+            target,
+            pre_ns: total,
+        }
+    } else {
+        Issued::Legacy { target, ns: total }
+    })
+}
+
+/// The typed payload a scheduled port eventually releases.
+enum QosPayload {
+    Write(InboundRdmaWrite),
+    Read(InboundRdmaRead),
+    Crc(InboundRdmaCrcRead),
+    Flush(InboundRdmaFlush),
+    Ipc(NetDelivery),
+    ReadDone(RdmaReadDone),
+    CrcDone(RdmaCrcReadDone),
+}
+
+/// A transfer arriving at a scheduled port (sent to the arbiter actor).
+struct QosArrive {
+    ep: EndpointId,
+    dir: PortDir,
+    class: TrafficClass,
+    bytes: u64,
+    /// Latency added after the final segment leaves the port: target-NIC
+    /// processing for requests, the hardware ack for replies.
+    tail_ns: u64,
+    /// Final recipient of the payload.
+    target: ActorId,
+    payload: QosPayload,
+}
+
+/// A served segment finished serializing; the port may dispatch the next.
+struct SegDone {
+    ep: EndpointId,
+    dir: PortDir,
+}
+
+/// Per-port scheduler state inside the arbiter.
+struct PortState {
+    sched: PortScheduler<(ActorId, u64, QosPayload)>,
+    busy_until_ns: u64,
+}
+
+/// The fabric arbiter: one actor per `Sim` owning every scheduled port.
+/// Spawned lazily on the first QoS-routed operation; all arbitration
+/// logic lives in the pure [`PortScheduler`], this actor only converts
+/// segments to wire time and forwards completed payloads.
+struct FabricArbiter {
+    net: SharedNetwork,
+    ports: HashMap<(EndpointId, PortDir), PortState>,
+}
+
+impl FabricArbiter {
+    fn serve(&mut self, ctx: &mut Ctx<'_>, key: (EndpointId, PortDir)) {
+        let now = ctx.now().as_nanos();
+        let Some(port) = self.ports.get_mut(&key) else {
+            return;
+        };
+        if port.busy_until_ns > now || port.sched.is_empty() {
+            return;
+        }
+        let Some(seg) = port.sched.next_segment(now) else {
+            return;
+        };
+        let dur = {
+            let n = self.net.lock();
+            latency::wire_ns(&n.cfg, seg.bytes.min(u32::MAX as u64) as u32)
+        };
+        port.busy_until_ns = now + dur;
+        if let Some(w) = seg.first_wait_ns {
+            self.net
+                .lock()
+                .record_port_wait(key.0 .0, key.1, seg.class, w, 0);
+        }
+        ctx.send_self(
+            SimDuration::from_nanos(dur),
+            SegDone {
+                ep: key.0,
+                dir: key.1,
+            },
+        );
+        if let Some((target, tail_ns, payload)) = seg.done {
+            let d = SimDuration::from_nanos(dur + tail_ns);
+            match payload {
+                QosPayload::Write(p) => ctx.send(target, d, p),
+                QosPayload::Read(p) => ctx.send(target, d, p),
+                QosPayload::Crc(p) => ctx.send(target, d, p),
+                QosPayload::Flush(p) => ctx.send(target, d, p),
+                QosPayload::Ipc(p) => ctx.send(target, d, p),
+                QosPayload::ReadDone(p) => ctx.send(target, d, p),
+                QosPayload::CrcDone(p) => ctx.send(target, d, p),
+            }
+        }
+    }
+}
+
+impl Actor for FabricArbiter {
+    fn name(&self) -> &str {
+        "fabric-arbiter"
+    }
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        if msg.is::<Start>() {
+            return;
+        }
+        let msg = match msg.take::<QosArrive>() {
+            Ok((_, a)) => {
+                let key = (a.ep, a.dir);
+                let (policy, quantum) = {
+                    let n = self.net.lock();
+                    (n.qos.policy, n.qos.quantum_bytes)
+                };
+                let port = self.ports.entry(key).or_insert_with(|| PortState {
+                    sched: PortScheduler::new(policy, quantum),
+                    busy_until_ns: 0,
+                });
+                port.sched.enqueue(
+                    a.class,
+                    a.bytes,
+                    ctx.now().as_nanos(),
+                    (a.target, a.tail_ns, a.payload),
+                );
+                let depth = port.sched.depth(a.class) as u64;
+                self.net
+                    .lock()
+                    .record_port_wait(a.ep.0, a.dir, a.class, 0, depth);
+                self.serve(ctx, key);
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok((_, s)) = msg.take::<SegDone>() {
+            self.serve(ctx, (s.ep, s.dir));
+        }
+    }
+}
+
+/// The arbiter for this network, spawning it on first use.
+fn ensure_arbiter(ctx: &mut Ctx<'_>, net: &SharedNetwork) -> ActorId {
+    if let Some(a) = net.lock().arbiter {
+        return a;
+    }
+    let a = ctx.spawn(Box::new(FabricArbiter {
+        net: net.clone(),
+        ports: HashMap::new(),
+    }));
+    net.lock().arbiter = Some(a);
+    a
+}
+
+/// Route one leg to the target-side scheduled port.
+#[allow(clippy::too_many_arguments)]
+fn qos_route(
+    ctx: &mut Ctx<'_>,
+    net: &SharedNetwork,
+    ep: EndpointId,
+    dir: PortDir,
+    class: TrafficClass,
+    bytes: u64,
+    tail_ns: u64,
+    pre_ns: u64,
+    target: ActorId,
+    payload: QosPayload,
+) {
+    let arb = ensure_arbiter(ctx, net);
+    ctx.send(
+        arb,
+        SimDuration::from_nanos(pre_ns),
+        QosArrive {
+            ep,
+            dir,
+            class,
+            bytes,
+            tail_ns,
+            target,
+            payload,
+        },
+    );
 }
 
 /// Send an IPC message (`payload`) from `from_ep` to the actor bound to
 /// `to_ep`. `wire_len` is the modelled on-wire size of the payload.
 /// Returns `false` if the message was dropped (no live fabric / endpoint) —
 /// callers model their own timeout/retry, as the NSK message system does.
+/// Control-plane IPC rides [`TrafficClass::Commit`]; bandwidth-bearing
+/// senders use [`send_net_msg_class`].
 pub fn send_net_msg<T: Any + Send>(
     ctx: &mut Ctx<'_>,
     net: &SharedNetwork,
@@ -207,21 +433,56 @@ pub fn send_net_msg<T: Any + Send>(
     wire_len: u32,
     payload: T,
 ) -> bool {
-    match issue_leg(ctx, net, from_ep, to_ep, wire_len) {
-        Some((target, ns)) => {
-            {
+    send_net_msg_class(
+        ctx,
+        net,
+        from_ep,
+        to_ep,
+        wire_len,
+        TrafficClass::Commit,
+        payload,
+    )
+}
+
+/// As [`send_net_msg`], with an explicit traffic class.
+pub fn send_net_msg_class<T: Any + Send>(
+    ctx: &mut Ctx<'_>,
+    net: &SharedNetwork,
+    from_ep: EndpointId,
+    to_ep: EndpointId,
+    wire_len: u32,
+    class: TrafficClass,
+    payload: T,
+) -> bool {
+    match issue_leg(ctx, net, from_ep, to_ep, wire_len, class) {
+        Some(issued) => {
+            let nic = {
                 let mut n = net.lock();
                 n.stats.msgs += 1;
                 n.stats.msg_bytes += wire_len as u64;
+                n.cfg.target_nic_ns
+            };
+            let delivery = NetDelivery {
+                from_ep,
+                payload: Box::new(payload),
+            };
+            match issued {
+                Issued::Legacy { target, ns } => {
+                    ctx.send(target, SimDuration::from_nanos(ns), delivery)
+                }
+                Issued::Qos { target, pre_ns } => qos_route(
+                    ctx,
+                    net,
+                    to_ep,
+                    PortDir::Rx,
+                    class,
+                    wire_len.max(1) as u64,
+                    nic,
+                    pre_ns,
+                    target,
+                    QosPayload::Ipc(delivery),
+                ),
             }
-            ctx.send(
-                target,
-                SimDuration::from_nanos(ns),
-                NetDelivery {
-                    from_ep,
-                    payload: Box::new(payload),
-                },
-            );
             true
         }
         None => {
@@ -233,6 +494,7 @@ pub fn send_net_msg<T: Any + Send>(
 
 /// Issue an RDMA write. Completion arrives at the *calling actor* as
 /// [`RdmaWriteDone`] with the given `op_id`.
+#[allow(clippy::too_many_arguments)]
 pub fn rdma_write(
     ctx: &mut Ctx<'_>,
     net: &SharedNetwork,
@@ -241,9 +503,10 @@ pub fn rdma_write(
     addr: u64,
     data: Bytes,
     op_id: u64,
+    class: TrafficClass,
 ) {
     let len = data.len() as u32;
-    rdma_write_sized(ctx, net, from_ep, to_ep, addr, data, len, op_id)
+    rdma_write_sized(ctx, net, from_ep, to_ep, addr, data, len, op_id, class)
 }
 
 /// As [`rdma_write`], but with an explicit on-wire length that may exceed
@@ -261,28 +524,44 @@ pub fn rdma_write_sized(
     data: Bytes,
     wire_len: u32,
     op_id: u64,
+    class: TrafficClass,
 ) {
     debug_assert!(wire_len as usize >= data.len());
     let len = wire_len.max(data.len() as u32);
-    match issue_leg(ctx, net, from_ep, to_ep, len) {
-        Some((target, ns)) => {
-            {
+    match issue_leg(ctx, net, from_ep, to_ep, len, class) {
+        Some(issued) => {
+            let nic = {
                 let mut n = net.lock();
                 n.stats.rdma_writes += 1;
                 n.stats.rdma_write_bytes += len as u64;
-            }
+                n.cfg.target_nic_ns
+            };
             let reply_to = ctx.self_id();
-            ctx.send(
-                target,
-                SimDuration::from_nanos(ns),
-                InboundRdmaWrite {
-                    from_ep,
-                    reply_to,
-                    op_id,
-                    addr,
-                    data,
-                },
-            );
+            let inbound = InboundRdmaWrite {
+                from_ep,
+                reply_to,
+                op_id,
+                addr,
+                data,
+                class,
+            };
+            match issued {
+                Issued::Legacy { target, ns } => {
+                    ctx.send(target, SimDuration::from_nanos(ns), inbound)
+                }
+                Issued::Qos { target, pre_ns } => qos_route(
+                    ctx,
+                    net,
+                    to_ep,
+                    PortDir::Rx,
+                    class,
+                    len.max(1) as u64,
+                    nic,
+                    pre_ns,
+                    target,
+                    QosPayload::Write(inbound),
+                ),
+            }
         }
         None => {
             net.lock().stats.unreachable += 1;
@@ -298,6 +577,9 @@ pub fn rdma_write_sized(
 }
 
 /// Issue an RDMA read of `len` bytes. Completion arrives as [`RdmaReadDone`].
+/// The request leg is small (a descriptor); the data pays wire time on the
+/// device's transmit port in the reply.
+#[allow(clippy::too_many_arguments)]
 pub fn rdma_read(
     ctx: &mut Ctx<'_>,
     net: &SharedNetwork,
@@ -306,26 +588,42 @@ pub fn rdma_read(
     addr: u64,
     len: u32,
     op_id: u64,
+    class: TrafficClass,
 ) {
-    match issue_leg(ctx, net, from_ep, to_ep, 64) {
-        Some((target, ns)) => {
-            {
+    match issue_leg(ctx, net, from_ep, to_ep, 64, class) {
+        Some(issued) => {
+            let nic = {
                 let mut n = net.lock();
                 n.stats.rdma_reads += 1;
                 n.stats.rdma_read_bytes += len as u64;
-            }
+                n.cfg.target_nic_ns
+            };
             let reply_to = ctx.self_id();
-            ctx.send(
-                target,
-                SimDuration::from_nanos(ns),
-                InboundRdmaRead {
-                    from_ep,
-                    reply_to,
-                    op_id,
-                    addr,
-                    len,
-                },
-            );
+            let inbound = InboundRdmaRead {
+                from_ep,
+                reply_to,
+                op_id,
+                addr,
+                len,
+                class,
+            };
+            match issued {
+                Issued::Legacy { target, ns } => {
+                    ctx.send(target, SimDuration::from_nanos(ns), inbound)
+                }
+                Issued::Qos { target, pre_ns } => qos_route(
+                    ctx,
+                    net,
+                    to_ep,
+                    PortDir::Rx,
+                    class,
+                    64,
+                    nic,
+                    pre_ns,
+                    target,
+                    QosPayload::Read(inbound),
+                ),
+            }
         }
         None => {
             net.lock().stats.unreachable += 1;
@@ -344,6 +642,7 @@ pub fn rdma_read(
 /// Issue a checksum read of `len` bytes: the target digests the range
 /// device-side and only 8 bytes come back. Completion arrives as
 /// [`RdmaCrcReadDone`].
+#[allow(clippy::too_many_arguments)]
 pub fn rdma_crc_read(
     ctx: &mut Ctx<'_>,
     net: &SharedNetwork,
@@ -352,22 +651,41 @@ pub fn rdma_crc_read(
     addr: u64,
     len: u32,
     op_id: u64,
+    class: TrafficClass,
 ) {
-    match issue_leg(ctx, net, from_ep, to_ep, 64) {
-        Some((target, ns)) => {
-            net.lock().stats.rdma_crc_reads += 1;
+    match issue_leg(ctx, net, from_ep, to_ep, 64, class) {
+        Some(issued) => {
+            let nic = {
+                let mut n = net.lock();
+                n.stats.rdma_crc_reads += 1;
+                n.cfg.target_nic_ns
+            };
             let reply_to = ctx.self_id();
-            ctx.send(
-                target,
-                SimDuration::from_nanos(ns),
-                InboundRdmaCrcRead {
-                    from_ep,
-                    reply_to,
-                    op_id,
-                    addr,
-                    len,
-                },
-            );
+            let inbound = InboundRdmaCrcRead {
+                from_ep,
+                reply_to,
+                op_id,
+                addr,
+                len,
+                class,
+            };
+            match issued {
+                Issued::Legacy { target, ns } => {
+                    ctx.send(target, SimDuration::from_nanos(ns), inbound)
+                }
+                Issued::Qos { target, pre_ns } => qos_route(
+                    ctx,
+                    net,
+                    to_ep,
+                    PortDir::Rx,
+                    class,
+                    64,
+                    nic,
+                    pre_ns,
+                    target,
+                    QosPayload::Crc(inbound),
+                ),
+            }
         }
         None => {
             net.lock().stats.unreachable += 1;
@@ -392,20 +710,39 @@ pub fn rdma_flush(
     from_ep: EndpointId,
     to_ep: EndpointId,
     op_id: u64,
+    class: TrafficClass,
 ) {
-    match issue_leg(ctx, net, from_ep, to_ep, 16) {
-        Some((target, ns)) => {
-            net.lock().stats.rdma_flushes += 1;
+    match issue_leg(ctx, net, from_ep, to_ep, 16, class) {
+        Some(issued) => {
+            let nic = {
+                let mut n = net.lock();
+                n.stats.rdma_flushes += 1;
+                n.cfg.target_nic_ns
+            };
             let reply_to = ctx.self_id();
-            ctx.send(
-                target,
-                SimDuration::from_nanos(ns),
-                InboundRdmaFlush {
-                    from_ep,
-                    reply_to,
-                    op_id,
-                },
-            );
+            let inbound = InboundRdmaFlush {
+                from_ep,
+                reply_to,
+                op_id,
+                class,
+            };
+            match issued {
+                Issued::Legacy { target, ns } => {
+                    ctx.send(target, SimDuration::from_nanos(ns), inbound)
+                }
+                Issued::Qos { target, pre_ns } => qos_route(
+                    ctx,
+                    net,
+                    to_ep,
+                    PortDir::Rx,
+                    class,
+                    16,
+                    nic,
+                    pre_ns,
+                    target,
+                    QosPayload::Flush(inbound),
+                ),
+            }
         }
         None => {
             net.lock().stats.unreachable += 1;
@@ -421,7 +758,9 @@ pub fn rdma_flush(
 }
 
 /// Called by a device actor to complete an inbound write: sends the
-/// hardware ack back to the initiator.
+/// hardware ack back to the initiator. Acks are tiny priority control
+/// packets in real fabrics; they ride outside the schedulers in both
+/// modes.
 pub fn reply_rdma_write(
     ctx: &mut Ctx<'_>,
     net: &SharedNetwork,
@@ -467,7 +806,8 @@ pub fn reply_rdma_flush(
 }
 
 /// Called by a device actor to complete an inbound read: sends the data
-/// back, paying wire time on the device's transmit port.
+/// back, paying wire time on the device's transmit port — under QoS, that
+/// port is scheduled and the reply rides the request's class.
 pub fn reply_rdma_read(
     ctx: &mut Ctx<'_>,
     net: &SharedNetwork,
@@ -477,21 +817,39 @@ pub fn reply_rdma_read(
     data: Bytes,
 ) {
     let now = ctx.now();
+    let done = RdmaReadDone {
+        op_id: req.op_id,
+        status,
+        data,
+    };
+    let bytes = done.data.len().max(1) as u64;
+    let (qos_on, ack_ns) = {
+        let mut n = net.lock();
+        n.count_class_bytes(req.class, bytes);
+        (n.qos.enabled, n.cfg.ack_ns)
+    };
+    if qos_on {
+        qos_route(
+            ctx,
+            net,
+            device_ep,
+            PortDir::Tx,
+            req.class,
+            bytes,
+            ack_ns,
+            0,
+            req.reply_to,
+            QosPayload::ReadDone(done),
+        );
+        return;
+    }
     let ns = {
         let mut n = net.lock();
-        let wire = latency::wire_ns(&n.cfg, data.len() as u32);
+        let wire = latency::wire_ns(&n.cfg, done.data.len() as u32);
         let q = n.reserve_tx(device_ep, now.as_nanos(), wire);
         wire + q + n.cfg.ack_ns
     };
-    ctx.send(
-        req.reply_to,
-        SimDuration::from_nanos(ns),
-        RdmaReadDone {
-            op_id: req.op_id,
-            status,
-            data,
-        },
-    );
+    ctx.send(req.reply_to, SimDuration::from_nanos(ns), done);
 }
 
 /// Called by a device actor to complete an inbound checksum read: only
@@ -505,21 +863,38 @@ pub fn reply_rdma_crc_read(
     crc: u64,
 ) {
     let now = ctx.now();
+    let done = RdmaCrcReadDone {
+        op_id: req.op_id,
+        status,
+        crc,
+    };
+    let (qos_on, ack_ns) = {
+        let mut n = net.lock();
+        n.count_class_bytes(req.class, 8);
+        (n.qos.enabled, n.cfg.ack_ns)
+    };
+    if qos_on {
+        qos_route(
+            ctx,
+            net,
+            device_ep,
+            PortDir::Tx,
+            req.class,
+            8,
+            ack_ns,
+            0,
+            req.reply_to,
+            QosPayload::CrcDone(done),
+        );
+        return;
+    }
     let ns = {
         let mut n = net.lock();
         let wire = latency::wire_ns(&n.cfg, 8);
         let q = n.reserve_tx(device_ep, now.as_nanos(), wire);
         wire + q + n.cfg.ack_ns
     };
-    ctx.send(
-        req.reply_to,
-        SimDuration::from_nanos(ns),
-        RdmaCrcReadDone {
-            op_id: req.op_id,
-            status,
-            crc,
-        },
-    );
+    ctx.send(req.reply_to, SimDuration::from_nanos(ns), done);
 }
 
 #[cfg(test)]
@@ -527,6 +902,7 @@ mod tests {
     use super::*;
     use crate::config::FabricConfig;
     use crate::network::Network;
+    use crate::qos::{QosConfig, SchedPolicy};
     use simcore::actor::Start;
     use simcore::{Actor, Msg, Sim};
     use std::sync::Arc;
@@ -583,7 +959,16 @@ mod tests {
         fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
             if msg.is::<Start>() {
                 let data = Bytes::from(vec![0xABu8; 4096]);
-                rdma_write(ctx, &self.net.clone(), self.ep, self.dev_ep, 16, data, 1);
+                rdma_write(
+                    ctx,
+                    &self.net.clone(),
+                    self.ep,
+                    self.dev_ep,
+                    16,
+                    data,
+                    1,
+                    TrafficClass::Commit,
+                );
                 return;
             }
             let msg = match msg.take::<RdmaWriteDone>() {
@@ -592,7 +977,16 @@ mod tests {
                         .lock()
                         .push((ctx.now().as_nanos(), format!("w{:?}", done.status)));
                     if done.status == RdmaStatus::Ok {
-                        rdma_read(ctx, &self.net.clone(), self.ep, self.dev_ep, 16, 4096, 2);
+                        rdma_read(
+                            ctx,
+                            &self.net.clone(),
+                            self.ep,
+                            self.dev_ep,
+                            16,
+                            4096,
+                            2,
+                            TrafficClass::Commit,
+                        );
                     }
                     return;
                 }
@@ -608,14 +1002,16 @@ mod tests {
     }
 
     #[allow(clippy::type_complexity)]
-    fn setup() -> (
+    fn setup_with(
+        qos: QosConfig,
+    ) -> (
         Sim,
         SharedNetwork,
         Arc<parking_lot::Mutex<Vec<u8>>>,
         Arc<parking_lot::Mutex<Vec<(u64, String)>>>,
     ) {
         let mut sim = Sim::with_seed(99);
-        let net = Network::new(FabricConfig::default());
+        let net = Network::with_qos(FabricConfig::default(), qos);
         let mem = Arc::new(parking_lot::Mutex::new(vec![0u8; 1 << 16]));
         let events = Arc::new(parking_lot::Mutex::new(Vec::new()));
 
@@ -643,6 +1039,16 @@ mod tests {
             n.rebind(host_ep, host);
         }
         (sim, net, mem, events)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn setup() -> (
+        Sim,
+        SharedNetwork,
+        Arc<parking_lot::Mutex<Vec<u8>>>,
+        Arc<parking_lot::Mutex<Vec<(u64, String)>>>,
+    ) {
+        setup_with(QosConfig::disabled())
     }
 
     #[test]
@@ -752,5 +1158,175 @@ mod tests {
         sim.run_until_idle();
         assert_eq!(&*got.lock(), &["hello".to_string()]);
         assert_eq!(net.lock().stats.msgs, 1);
+    }
+
+    /// With no contention and no jitter, the scheduled path must produce
+    /// the exact same end-to-end latency as the legacy analytic path: the
+    /// wire is charged once either way, only *where* it queues moves.
+    #[test]
+    fn qos_uncontended_latency_matches_legacy() {
+        let cfg = FabricConfig {
+            jitter_frac: 0.0,
+            ..FabricConfig::default()
+        };
+        for qos in [QosConfig::disabled(), QosConfig::drr(0.9)] {
+            let enabled = qos.enabled;
+            let mut sim = Sim::with_seed(99);
+            let net = Network::with_qos(cfg.clone(), qos);
+            let mem = Arc::new(parking_lot::Mutex::new(vec![0u8; 1 << 16]));
+            let events = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let (dev_ep, host_ep) = {
+                let mut n = net.lock();
+                (
+                    n.attach(simcore::ActorId(u32::MAX)),
+                    n.attach(simcore::ActorId(u32::MAX)),
+                )
+            };
+            let dev = sim.spawn(Device {
+                net: net.clone(),
+                ep: dev_ep,
+                mem: mem.clone(),
+            });
+            let host = sim.spawn(Host {
+                net: net.clone(),
+                ep: host_ep,
+                dev_ep,
+                events: events.clone(),
+            });
+            {
+                let mut n = net.lock();
+                n.rebind(dev_ep, dev);
+                n.rebind(host_ep, host);
+            }
+            sim.run_until_idle();
+            let ev = events.lock();
+            assert_eq!(ev.len(), 2, "qos={enabled}: {ev:?}");
+            // 4 KB write: sw 10000 + wire (4096*8ns + 8*200) + nic 1500
+            // + ack 2000 = 47868 ns in both modes.
+            let expected = {
+                let wire = latency::wire_ns(&cfg, 4096);
+                cfg.sw_overhead_ns + wire + cfg.target_nic_ns + cfg.ack_ns
+            };
+            assert_eq!(
+                ev[0].0, expected,
+                "qos={enabled}: write latency diverged from analytic path"
+            );
+        }
+    }
+
+    /// Under QoS the target rx port serializes honestly: two concurrent
+    /// 64 KiB writes from different initiators cannot both complete in
+    /// one wire time, and with DRR a commit write overtakes queued bulk.
+    #[test]
+    fn scheduled_port_serializes_and_drr_prioritizes_commit() {
+        struct MultiHost {
+            net: SharedNetwork,
+            ep: EndpointId,
+            dev_ep: EndpointId,
+            class: TrafficClass,
+            bytes: usize,
+            done_at: Arc<parking_lot::Mutex<Vec<(TrafficClass, u64)>>>,
+        }
+        impl Actor for MultiHost {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+                if msg.is::<Start>() {
+                    let data = Bytes::from(vec![0u8; self.bytes]);
+                    rdma_write(
+                        ctx,
+                        &self.net.clone(),
+                        self.ep,
+                        self.dev_ep,
+                        0,
+                        data,
+                        1,
+                        self.class,
+                    );
+                    return;
+                }
+                if let Ok((_, done)) = msg.take::<RdmaWriteDone>() {
+                    assert_eq!(done.status, RdmaStatus::Ok);
+                    self.done_at.lock().push((self.class, ctx.now().as_nanos()));
+                }
+            }
+        }
+
+        let run = |policy: SchedPolicy| -> Vec<(TrafficClass, u64)> {
+            let cfg = FabricConfig {
+                jitter_frac: 0.0,
+                ..FabricConfig::default()
+            };
+            let mut qos = QosConfig::drr(1.0);
+            qos.policy = policy;
+            let mut sim = Sim::with_seed(7);
+            let net = Network::with_qos(cfg, qos);
+            let mem = Arc::new(parking_lot::Mutex::new(vec![0u8; 1 << 20]));
+            let done_at = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let dev_ep = net.lock().attach(simcore::ActorId(u32::MAX));
+            let dev = sim.spawn(Device {
+                net: net.clone(),
+                ep: dev_ep,
+                mem: mem.clone(),
+            });
+            net.lock().rebind(dev_ep, dev);
+            // Two bulk initiators then one commit initiator, all firing
+            // at t=0 into the same device port.
+            for (class, bytes) in [
+                (TrafficClass::Bulk, 64 << 10),
+                (TrafficClass::Bulk, 64 << 10),
+                (TrafficClass::Commit, 4096),
+            ] {
+                let ep = net.lock().attach(simcore::ActorId(u32::MAX));
+                let h = sim.spawn(MultiHost {
+                    net: net.clone(),
+                    ep,
+                    dev_ep,
+                    class,
+                    bytes,
+                    done_at: done_at.clone(),
+                });
+                net.lock().rebind(ep, h);
+            }
+            sim.run_until_idle();
+            let v = done_at.lock().clone();
+            v
+        };
+
+        let fifo = run(SchedPolicy::Fifo);
+        let drr = run(SchedPolicy::Drr);
+        let commit_done = |v: &[(TrafficClass, u64)]| {
+            v.iter()
+                .find(|(c, _)| *c == TrafficClass::Commit)
+                .map(|&(_, t)| t)
+                .unwrap()
+        };
+        // FIFO: the commit (issued from the highest endpoint id, arriving
+        // last) drains behind ~128 KiB of bulk — over a millisecond.
+        // DRR: it overtakes within one bulk quantum.
+        let fifo_t = commit_done(&fifo);
+        let drr_t = commit_done(&drr);
+        assert!(
+            fifo_t > 1_000_000,
+            "fifo commit should queue behind bulk: {fifo_t}"
+        );
+        assert!(
+            drr_t < 300_000,
+            "drr commit should overtake queued bulk: {drr_t}"
+        );
+        // Everything still completes in both policies (conservation).
+        assert_eq!(fifo.len(), 3);
+        assert_eq!(drr.len(), 3);
+    }
+
+    /// Per-class byte accounting exists on the legacy path too.
+    #[test]
+    fn class_byte_totals_counted_without_scheduler() {
+        let (mut sim, net, _mem, _events) = setup();
+        sim.run_until_idle();
+        let totals = net.lock().class_totals();
+        let c = TrafficClass::Commit.idx();
+        // One 4 KiB write request + one read (64 B request + 4 KiB reply).
+        assert!(totals[c].bytes >= 4096 + 64 + 4096, "{totals:?}");
+        assert!(totals[c].ops >= 3);
+        assert_eq!(totals[TrafficClass::Bulk.idx()].bytes, 0);
     }
 }

@@ -317,6 +317,8 @@ pub fn install_adp(
                     region.clone(),
                     *region_len,
                     cfg2.pm_persist_mode,
+                    cfg2.pm_commit_class,
+                    cfg2.pm_audit_class,
                 )),
             };
             Box::new(AdpProc {

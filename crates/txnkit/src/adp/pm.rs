@@ -28,7 +28,7 @@ use nsk::machine::{CpuId, SharedMachine};
 use pmclient::{PmClientConfig, PmLib, PmReadTimeout, PmWriteTimeout};
 use pmm::msgs::CreateRegionAck;
 use simcore::{Ctx, Msg, SimDuration};
-use simnet::{EndpointId, PersistMode, RdmaFlushDone, RdmaReadDone, RdmaWriteDone};
+use simnet::{EndpointId, PersistMode, RdmaFlushDone, RdmaReadDone, RdmaWriteDone, TrafficClass};
 use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -139,9 +139,13 @@ pub(crate) struct PmLog {
     tokens: BTreeMap<u64, TokenKind>,
     /// Appends received before the region/cell were ready.
     boot_pending: Vec<(EndpointId, AuditAppend)>,
+    /// Fabric class the trail data batches ride (control ops use the
+    /// library's default class — see [`PmLog::new`]).
+    audit_class: TrafficClass,
 }
 
 impl PmLog {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         machine: SharedMachine,
         ep: EndpointId,
@@ -150,12 +154,19 @@ impl PmLog {
         region_name: String,
         region_len: u64,
         persist_mode: PersistMode,
+        commit_class: TrafficClass,
+        audit_class: TrafficClass,
     ) -> Self {
         PmLog {
+            // Control-cell publications and boot reads ride the commit
+            // class (they gate commit acks); trail data batches ride the
+            // audit class via `write_batch_class`.
             lib: PmLib::new(machine, ep, cpu, pmm).with_config(PmClientConfig {
                 persist_mode,
+                traffic_class: commit_class,
                 ..PmClientConfig::default()
             }),
+            audit_class,
             region_name,
             region_id: None,
             region_len,
@@ -200,7 +211,8 @@ impl PmLog {
             self.tokens.insert(tok, TokenKind::Batch);
             sh.stats.lock().pm_batches += 1;
             let region = self.region_id.expect("region ready");
-            self.lib.write_batch(ctx, region, &parts, tok);
+            self.lib
+                .write_batch_class(ctx, region, &parts, tok, self.audit_class);
             self.ring.push_back(Batch {
                 write_token: tok,
                 lsn_end,

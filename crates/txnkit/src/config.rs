@@ -78,6 +78,15 @@ pub struct TxnConfig {
     /// `NicAck` restores the paper's optimistic assumption (and is what
     /// the crash-point fuzzer uses to demonstrate acked-commit loss).
     pub pm_persist_mode: simnet::PersistMode,
+    /// Fabric traffic class for commit-critical PM ops: the ADP's
+    /// control-cell publication (which releases commit acks) and its
+    /// boot/takeover reads. Pinned through to the fabric's per-class
+    /// schedulers when QoS is enabled.
+    pub pm_commit_class: simnet::TrafficClass,
+    /// Fabric traffic class for the audit-trail data batches themselves:
+    /// bandwidth-bearing but still latency-relevant, so they ride the
+    /// middle `Audit` class by default, above background `Bulk` movers.
+    pub pm_audit_class: simnet::TrafficClass,
 }
 
 /// Capped exponential backoff: `base * 2^attempt`, clamped to `cap`.
@@ -108,6 +117,8 @@ impl Default for TxnConfig {
             region_retry_cap_ns: 4_000_000_000,
             pm_pipeline_depth: 4,
             pm_persist_mode: simnet::PersistMode::PersistFlush,
+            pm_commit_class: simnet::TrafficClass::Commit,
+            pm_audit_class: simnet::TrafficClass::Audit,
         }
     }
 }

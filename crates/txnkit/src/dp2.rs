@@ -179,13 +179,17 @@ impl Dp2Proc {
         let virt = (enc.len() as u32).max(rec.virtual_len);
         let adp = self.adp_for(req.txn).to_string();
         let machine = self.machine.clone();
-        nsk::proc::send_to_process(
+        // Delta appends carry full record images — the bandwidth-bearing
+        // arm of the commit path. They ride the audit class so the fabric
+        // can arbitrate them against the TMF's commit-record control ops.
+        nsk::proc::send_to_process_class(
             ctx,
             &machine,
             self.ep,
             self.cpu,
             &adp,
             virt,
+            self.cfg.pm_audit_class,
             AuditAppend {
                 records: enc.freeze(),
                 virtual_len: virt,

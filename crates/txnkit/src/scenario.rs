@@ -75,6 +75,10 @@ pub struct OdsParams {
     /// (`None` keeps the device default). The crash-point fuzzer widens
     /// this so the ack-vs-persist window spans many event boundaries.
     pub pm_ingress_drain_ns: Option<u64>,
+    /// Fabric QoS configuration (per-class port scheduling + bulk
+    /// admission). The default keeps QoS off — the legacy analytic
+    /// completion path, bit-identical to pre-QoS runs.
+    pub qos: simnet::QosConfig,
 }
 
 impl OdsParams {
@@ -96,6 +100,7 @@ impl OdsParams {
             data_volumes_per_dp2: 4,
             audit_partitions: 0,
             pm_ingress_drain_ns: None,
+            qos: simnet::QosConfig::disabled(),
         }
     }
 
@@ -160,7 +165,7 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
         seed: params.seed,
         ..SimConfig::default()
     });
-    let net = Network::new(params.fabric.clone());
+    let net = Network::with_qos(params.fabric.clone(), params.qos);
     // PM modes host the PM devices' manager on an extra CPU, like the
     // paper's 5th-CPU PMP.
     let total_cpus = match params.audit {
@@ -483,7 +488,7 @@ pub fn build_cluster(store: &mut DurableStore, params: ClusterParams) -> Cluster
         seed: base.seed,
         ..SimConfig::default()
     });
-    let net = Network::new(base.fabric.clone());
+    let net = Network::with_qos(base.fabric.clone(), base.qos);
     let pm_extra = match base.audit {
         AuditMode::Disk => 0,
         _ => 1,

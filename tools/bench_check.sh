@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
-# Throughput-regression gate: re-run the scaling benches with --json in a
-# scratch directory and compare every throughput-like metric (per_sec,
-# mb_s, kops) against the committed artifact in results/. Fails if any
-# fresh number drops below 75% of the committed one.
+# Benchmark-regression gate: re-run the scaling benches with --json in a
+# scratch directory and compare against the committed artifact in
+# results/. Two arms:
 #
-# Latency percentiles and speedup ratios are deliberately ignored: they
-# wobble with scheduling detail, while throughput collapse is the rot
-# signal this gate exists to catch.
+#   * throughput (per_sec, mb_s, kops): fails if any fresh number drops
+#     below 75% of the committed one — throughput collapse is rot.
+#   * latency quantiles (p50/p95/p99 in ns/us/ms): fails if any fresh
+#     number exceeds 2x the committed one — a latency blow-up (e.g. the
+#     fabric QoS schedulers regressing) is just as much rot, but gets a
+#     looser band because tails move more than means.
+#
+# Speedup ratios and fabric byte counters are deliberately ignored.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 repo="$PWD"
 
-BENCHES=(pool_scaling audit_scaling read_scaling persist_modes shard_scaling)
+BENCHES=(pool_scaling audit_scaling read_scaling persist_modes shard_scaling qos_isolation)
 
 cargo build --release -p pm-bench --bins
 
@@ -31,19 +35,27 @@ for bench in "${BENCHES[@]}"; do
   (cd "$scratch" && "$repo/target/release/$bench" --json >/dev/null)
   fresh="$scratch/results/BENCH_${bench}.json"
 
-  # Compare "key": value lines for throughput-like keys in both files.
+  # Compare "key": value lines for throughput-like and latency-like keys
+  # in both files.
   if ! awk -v bench="$bench" '
     /"[A-Za-z0-9_]+":[[:space:]]*-?[0-9]/ {
       line = $0
       gsub(/[",:]/, " ", line)
       split(line, f, /[[:space:]]+/)
       key = f[2]; val = f[3]
-      if (key !~ /(per_sec|mb_s|kops)$/) next
+      kind = ""
+      if (key ~ /(per_sec|mb_s|kops)$/) kind = "tput"
+      else if (key ~ /p(50|95|99)_(ns|us|ms)$/) kind = "lat"
+      if (kind == "") next
       if (NR == FNR) { committed[key] = val; next }
       if (!(key in committed)) { printf "  %s: %s missing from committed artifact\n", bench, key; bad = 1; next }
       seen[key] = 1
-      if (val + 0 < 0.75 * committed[key]) {
+      if (key ~ /(per_sec|mb_s|kops)$/ && val + 0 < 0.75 * committed[key]) {
         printf "  %s: %s regressed: %.1f < 75%% of committed %.1f\n", bench, key, val, committed[key]
+        bad = 1
+      }
+      if (key ~ /p(50|95|99)_(ns|us|ms)$/ && val + 0 > 2.0 * committed[key]) {
+        printf "  %s: %s latency blew up: %.1f > 2x committed %.1f\n", bench, key, val, committed[key]
         bad = 1
       }
     }
@@ -57,7 +69,7 @@ for bench in "${BENCHES[@]}"; do
 done
 
 if [[ $fail -ne 0 ]]; then
-  echo "bench-check: FAILED (throughput regression > 25% or artifact drift)" >&2
+  echo "bench-check: FAILED (throughput/latency regression or artifact drift)" >&2
   exit 1
 fi
-echo "bench-check: all throughput metrics within 25% of committed results"
+echo "bench-check: throughput within 25% and latency within 2x of committed results"
