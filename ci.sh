@@ -26,9 +26,16 @@ cargo run --release -p pm-bench --bin shard_scaling
 # under an online resilver with DRR+admission, resilver >= 80% of its
 # standalone rate, and the FIFO baseline's p99 blow-up, all internally.
 cargo run --release -p pm-bench --bin qos_isolation
+# Smoke: near-device offload (T13) — asserts the offload append removes
+# >= 1 fabric round trip per commit at p50 no worse, the batched device
+# scrub cuts verify fabric bytes >= 10x, and NPMU->NPMU copy lifts the
+# pool-wide resilver rate >= 1.5x, all internally.
+cargo run --release -p pm-bench --bin offload
 # Crash-point fuzz smoke: ~200 injected power-loss points across the
-# three persistence modes (release: `cargo test --release` above already
-# ran it once; FUZZ_FULL=1 widens to the ≥ 2000-point sweep).
+# three persistence modes plus the device-append offload arm (power loss
+# sampled between device tail bump and client ack; release: `cargo test
+# --release` above already ran it once; FUZZ_FULL=1 widens to the
+# ≥ 2000-point sweep).
 FUZZ_FULL="${FUZZ_FULL:-}" cargo test --release --test crash_fuzz
 # Throughput-regression gate: fresh --json runs vs committed results/.
 tools/bench_check.sh

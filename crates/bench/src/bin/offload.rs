@@ -1,0 +1,637 @@
+//! T13: near-device compute offload — what each offload verb buys.
+//!
+//! Three comparisons, each against the host-mediated path with identical
+//! workload, seed and topology (defaults keep every offload off, so the
+//! classic arms reproduce prior experiments bit-exactly):
+//!
+//! * **Device-side atomic append** (`pm_offload_append`): the ADP stages
+//!   the same commit batches, but the device bumps its own durable tail —
+//!   the 16-byte control-cell publication (one full fabric round trip per
+//!   mirror half per batch) disappears from the commit pipeline.
+//! * **Device-local CRC scrub** (`offload_scrub`): resilver verification
+//!   moves one batched command per `scrub_batch` chunks and 4-byte
+//!   digests instead of one `rdma_crc_read` round trip per chunk per
+//!   half — O(digests) on the wire, not O(round trips).
+//! * **NPMU→NPMU resilver copy** (`offload_copy`): repair payload flows
+//!   survivor→revived directly instead of survivor→host→revived. With a
+//!   whole pool resilvering at once (one half of every member lost), the
+//!   host-mediated path funnels every pair's payload through the PMM
+//!   host's single NIC — the aggregate repair rate is pinned at one link
+//!   (~113 MB/s) no matter how many members need repair. Device copies
+//!   ride each pair's own link, so the aggregate scales with the pool.
+//!
+//! Acceptance (asserted below): offload append removes ≥ 1 fabric round
+//! trip per commit with p50 no worse; device scrub cuts verify fabric
+//! bytes ≥ 10×; device copy lifts the resilver rate ≥ 1.5× over the
+//! host-mediated ~113 MB/s; and every classic arm uses zero offload verbs.
+
+use bytes::Bytes;
+use npmu::{Npmu, NpmuConfig};
+use nsk::machine::{install_primary, CpuId, Machine, MachineConfig, SharedMachine};
+use nsk::Monitor;
+use parking_lot::Mutex;
+use pm_bench::{json, Table};
+use pmem::{install_audit_partitions, install_pm_pool};
+use pmm::{PmmConfig, PmmHandle};
+use simcore::actor::Start;
+use simcore::fault::{Fault, FaultPlan};
+use simcore::time::{MILLIS, SECS};
+use simcore::{Actor, Ctx, DurableStore, Histogram, Msg, Sim, SimDuration, SimTime};
+use simnet::{EndpointId, NetDelivery, NetStats, SharedNetwork};
+use std::sync::Arc;
+use txnkit::{AppendDone, AuditAppend, FlushDone, FlushReq, TxnConfig, TxnId};
+
+const WORKER_CPUS: u32 = 4;
+const PARTITIONS: u32 = 2;
+const REGION_LEN: u64 = 8 << 20;
+const RECORD_BYTES: usize = 64;
+
+/// Command legs are modelled as 64 wire bytes throughout `simnet`.
+const CMD_BYTES: u64 = 64;
+/// An `rdma_crc_read` reply carries one 8-byte digest.
+const CRC_REPLY_BYTES: u64 = 8;
+/// A scrub reply carries one 4-byte CRC32 per chunk.
+const SCRUB_DIGEST_BYTES: u64 = 4;
+
+// ---------------------------------------------------------------------------
+// Arm 1: commit pipeline with and without device-side atomic append.
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct BenchResults {
+    committed: u64,
+    started_ns: u64,
+    done_at_ns: u64,
+    latency: Histogram,
+}
+
+type SharedResults = Arc<Mutex<BenchResults>>;
+
+/// One closed-loop commit source (append → flush → repeat), identical to
+/// the T10 harness so the two arms differ only in the ADP's PM backend.
+struct Appender {
+    machine: SharedMachine,
+    ep: EndpointId,
+    cpu: CpuId,
+    adps: Vec<String>,
+    id: u64,
+    commits: u64,
+    seq: u64,
+    commit_started_ns: u64,
+    results: SharedResults,
+}
+
+struct Kickoff;
+
+impl Appender {
+    fn current_adp(&self) -> String {
+        let txn = TxnId(self.id * 1_000_000 + self.seq);
+        self.adps[txn.audit_partition(self.adps.len())].clone()
+    }
+
+    fn begin_commit(&mut self, ctx: &mut Ctx<'_>) {
+        if self.seq >= self.commits {
+            self.results.lock().done_at_ns = ctx.now().as_nanos();
+            return;
+        }
+        self.commit_started_ns = ctx.now().as_nanos();
+        let adp = self.current_adp();
+        let machine = self.machine.clone();
+        nsk::proc::send_to_process(
+            ctx,
+            &machine,
+            self.ep,
+            self.cpu,
+            &adp,
+            RECORD_BYTES as u32 + 16,
+            AuditAppend {
+                records: Bytes::from(vec![0xC0u8; RECORD_BYTES]),
+                virtual_len: RECORD_BYTES as u32,
+                token: self.seq,
+            },
+        );
+    }
+}
+
+impl Actor for Appender {
+    fn name(&self) -> &str {
+        "appender"
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        if msg.is::<Start>() {
+            ctx.send_self(SimDuration::from_millis(200), Kickoff);
+            return;
+        }
+        if msg.is::<Kickoff>() {
+            self.results.lock().started_ns = ctx.now().as_nanos();
+            self.begin_commit(ctx);
+            return;
+        }
+        if let Ok((_, delivery)) = msg.take::<NetDelivery>() {
+            let payload = match delivery.payload.downcast::<AppendDone>() {
+                Ok(done) => {
+                    let adp = self.current_adp();
+                    let machine = self.machine.clone();
+                    nsk::proc::send_to_process(
+                        ctx,
+                        &machine,
+                        self.ep,
+                        self.cpu,
+                        &adp,
+                        32,
+                        FlushReq {
+                            upto: done.lsn_end,
+                            token: done.token,
+                        },
+                    );
+                    return;
+                }
+                Err(p) => p,
+            };
+            if payload.downcast::<FlushDone>().is_ok() {
+                let mut r = self.results.lock();
+                r.committed += 1;
+                r.latency
+                    .record(ctx.now().as_nanos() - self.commit_started_ns);
+                drop(r);
+                self.seq += 1;
+                self.begin_commit(ctx);
+            }
+        }
+    }
+}
+
+struct AppendPoint {
+    commits_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    /// PM fabric round trips per committed transaction (writes + flushes
+    /// + appends), workload phase only.
+    ops_per_commit: f64,
+    ctrl_writes: u64,
+    appends: u64,
+}
+
+fn pm_ops(s: &NetStats) -> u64 {
+    s.rdma_writes + s.rdma_flushes + s.rdma_appends + s.rdma_reads
+}
+
+fn run_append(offload: bool, clients: u64, commits_per_client: u64) -> AppendPoint {
+    let mut store = DurableStore::new();
+    let mut sim = Sim::with_seed(29);
+    let net: SharedNetwork = simnet::Network::new(simnet::FabricConfig::default());
+    let machine = Machine::new(
+        MachineConfig {
+            cpus: WORKER_CPUS + 1,
+            ..MachineConfig::default()
+        },
+        net.clone(),
+    );
+    let cap = (REGION_LEN + pmm::META_BYTES) * (PARTITIONS as u64 + 2) + (64 << 20);
+    let pool = install_pm_pool(
+        &mut sim,
+        &mut store,
+        &machine,
+        "pm",
+        NpmuConfig::hardware(cap),
+        1,
+        CpuId(WORKER_CPUS),
+        Some(CpuId(0)),
+    );
+    let stats = txnkit::stats::shared();
+    let adps = install_audit_partitions(
+        &mut sim,
+        &machine,
+        &pool.pmm_name,
+        PARTITIONS,
+        WORKER_CPUS,
+        REGION_LEN,
+        true,
+        TxnConfig {
+            pm_offload_append: offload,
+            ..TxnConfig::pm_enabled()
+        },
+        stats.clone(),
+    );
+    let results: SharedResults = Arc::new(Mutex::new(BenchResults::default()));
+    for c in 0..clients {
+        let cpu = CpuId((c % WORKER_CPUS as u64) as u32);
+        let machine2 = machine.clone();
+        let adps2 = adps.clone();
+        let results2 = results.clone();
+        install_primary(&mut sim, &machine, &format!("$APP{c}"), cpu, move |ep| {
+            Box::new(Appender {
+                machine: machine2,
+                ep,
+                cpu,
+                adps: adps2,
+                id: c,
+                commits: commits_per_client,
+                seq: 0,
+                commit_started_ns: 0,
+                results: results2,
+            })
+        });
+    }
+    // Let setup (region create, trail adoption, boot probes) finish, then
+    // snapshot the fabric counters so the per-commit figures only count
+    // the workload phase. The appenders kick off at exactly 200 ms.
+    sim.run_until(SimTime(199 * MILLIS));
+    let before = net.lock().stats;
+    let target = clients * commits_per_client;
+    let ceiling = SimTime(600 * SECS);
+    while results.lock().committed < target {
+        let now = sim.now();
+        assert!(now < ceiling, "offload append arm never completed");
+        sim.run_until(SimTime(now.as_nanos() + 200 * MILLIS));
+    }
+    let after = net.lock().stats;
+    let r = results.lock();
+    let elapsed_ns = r.done_at_ns.saturating_sub(r.started_ns).max(1);
+    let ts = stats.lock();
+    AppendPoint {
+        commits_per_sec: r.committed as f64 * SECS as f64 / elapsed_ns as f64,
+        p50_us: r.latency.quantile(0.50) as f64 / 1_000.0,
+        p99_us: r.latency.quantile(0.99) as f64 / 1_000.0,
+        ops_per_commit: (pm_ops(&after) - pm_ops(&before)) as f64 / r.committed as f64,
+        ctrl_writes: ts.pm_ctrl_writes,
+        appends: after.rdma_appends,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arms 2+3: pool-wide resilver with device copy and device scrub toggled.
+// ---------------------------------------------------------------------------
+
+const MEMBERS: u32 = 4;
+const STRIPE_UNIT: u64 = 64 << 10;
+
+/// Creates one striped region, then writes one record per pool member
+/// inside the outage window so the PMM learns about every dead half
+/// (the pool-scale cousin of `resilver_mttr`'s poke).
+struct Client {
+    lib: pmclient::PmLib,
+    region_len: u64,
+    region: Option<u64>,
+}
+
+struct Poke;
+
+impl Actor for Client {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        if msg.is::<Start>() {
+            self.lib.create_region_placed(
+                ctx,
+                "payload",
+                self.region_len,
+                false,
+                pmm::PlacementHint::Striped { unit: STRIPE_UNIT },
+                0,
+            );
+            return;
+        }
+        if msg.is::<Poke>() {
+            if let Some(id) = self.region {
+                for v in 0..MEMBERS as u64 {
+                    self.lib.write(
+                        ctx,
+                        id,
+                        v * STRIPE_UNIT,
+                        Bytes::from(vec![0xD6u8; 4096]),
+                        v + 1,
+                    );
+                }
+            }
+            return;
+        }
+        let msg = match msg.take::<simnet::RdmaWriteDone>() {
+            Ok((_, done)) => {
+                let _ = self.lib.on_rdma_write_done(ctx, &done);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.take::<pmclient::PmWriteTimeout>() {
+            Ok((_, t)) => {
+                let _ = self.lib.on_write_timeout(ctx, &t);
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok((_, d)) = msg.take::<NetDelivery>() {
+            if let Ok(ack) = d.payload.downcast::<pmm::msgs::CreateRegionAck>() {
+                let info = ack.result.expect("create failed");
+                self.region = Some(info.region_id);
+                self.lib.adopt(info);
+                ctx.send_self(SimDuration::from_millis(4), Poke);
+            }
+        }
+    }
+}
+
+struct ResilverPoint {
+    mttr_ms: f64,
+    rate_mb_s: f64,
+    /// Fabric payload bytes the repair copy moved (host path: read the
+    /// survivor + write the revived half; device path: one NPMU→NPMU
+    /// transfer).
+    copy_payload_bytes: u64,
+    /// Modelled wire bytes of the verification pass: command legs plus
+    /// digest replies.
+    verify_bytes: u64,
+    crc_reads: u64,
+    scrubs: u64,
+    copies: u64,
+}
+
+fn run_resilver(region_len: u64, chunk: u32, copy: bool, scrub: bool) -> ResilverPoint {
+    let mut store = DurableStore::new();
+    let mut sim = Sim::with_seed(7);
+    let net: SharedNetwork = simnet::Network::new(simnet::FabricConfig::default());
+    let machine = Machine::new(
+        MachineConfig {
+            cpus: 3,
+            ..MachineConfig::default()
+        },
+        net.clone(),
+    );
+    // Each member holds its stripe slice plus metadata and slack.
+    let cap = region_len / MEMBERS as u64 + pmm::META_BYTES + (2 << 20);
+    let volumes: Vec<_> = (0..MEMBERS)
+        .map(|v| {
+            let cfg = NpmuConfig {
+                volume_id: v,
+                ..NpmuConfig::hardware(cap)
+            };
+            let a = Npmu::install(
+                &mut sim,
+                &mut store,
+                &net,
+                Some(&machine),
+                &format!("pm{v}-a"),
+                cfg.clone(),
+            );
+            let b = Npmu::install(
+                &mut sim,
+                &mut store,
+                &net,
+                Some(&machine),
+                &format!("pm{v}-b"),
+                cfg,
+            );
+            (a, b)
+        })
+        .collect();
+    let pmm: PmmHandle = pmm::install_pmm_pool(
+        &mut sim,
+        &machine,
+        "$PMM",
+        &volumes,
+        CpuId(0),
+        None,
+        PmmConfig {
+            probe_interval: SimDuration::from_millis(10),
+            resilver_chunk: chunk,
+            offload_copy: copy,
+            offload_scrub: scrub,
+            ..PmmConfig::default()
+        },
+    );
+    // One half of EVERY member dies at 2 ms and revives, stale, at 10 ms
+    // — the pool-wide outage (cabinet power, fabric-side failure) that
+    // makes the repair an aggregate-bandwidth problem.
+    Monitor::install(
+        &mut sim,
+        &machine,
+        FaultPlan::none().with(Fault::NpmuDown {
+            volume_half: 1,
+            from: SimTime(2 * MILLIS),
+            to: SimTime(10 * MILLIS),
+        }),
+    );
+    let m2 = machine.clone();
+    nsk::machine::install_primary(&mut sim, &machine, "$client", CpuId(2), move |ep| {
+        Box::new(Client {
+            lib: pmclient::PmLib::new(m2, ep, CpuId(2), "$PMM"),
+            region_len,
+            region: None,
+        })
+    });
+    let ceiling = SimTime(300 * SECS);
+    while pmm
+        .vol_stats
+        .iter()
+        .any(|vs| vs.lock().resilvers_completed == 0)
+    {
+        let now = sim.now();
+        assert!(now < ceiling, "pool resilver never completed");
+        sim.run_until(SimTime(now.as_nanos() + SECS));
+    }
+    let ns = net.lock().stats;
+    // Aggregate MTTR: first member to start repairing until the last one
+    // finishes (they overlap; the window is the pool's exposure time).
+    let started = pmm
+        .vol_stats
+        .iter()
+        .map(|vs| vs.lock().resilver_started_ns)
+        .min()
+        .unwrap();
+    let completed = pmm
+        .vol_stats
+        .iter()
+        .map(|vs| vs.lock().resilver_completed_ns)
+        .max()
+        .unwrap();
+    let dur_ns = completed.saturating_sub(started).max(1);
+    let copied: u64 = pmm
+        .vol_stats
+        .iter()
+        .map(|vs| vs.lock().resilver_bytes_copied)
+        .sum();
+    // Chunks the verify pass covered (same ranges in every arm).
+    let chunks = copied.div_ceil(chunk as u64);
+    let verify_bytes = if scrub {
+        // One batched command per `scrub_batch` contiguous chunks per
+        // half, each replying 4 bytes per chunk.
+        ns.rdma_scrubs * CMD_BYTES + 2 * chunks * SCRUB_DIGEST_BYTES
+    } else {
+        // One `rdma_crc_read` round trip per chunk per half.
+        ns.rdma_crc_reads * (CMD_BYTES + CRC_REPLY_BYTES)
+    };
+    let copy_payload_bytes = if copy {
+        ns.rdma_copy_bytes
+    } else {
+        // Host-mediated: payload crosses the fabric twice (survivor →
+        // host, host → revived). The client's 4 KiB poke and the metadata
+        // epoch writes ride along but are noise at this scale.
+        ns.rdma_read_bytes + ns.rdma_write_bytes
+    };
+    ResilverPoint {
+        mttr_ms: dur_ns as f64 / MILLIS as f64,
+        rate_mb_s: copied as f64 / (1 << 20) as f64 / (dur_ns as f64 / SECS as f64),
+        copy_payload_bytes,
+        verify_bytes,
+        crc_reads: ns.rdma_crc_reads,
+        scrubs: ns.rdma_scrubs,
+        copies: ns.rdma_copies,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let (clients, commits) = if full { (8, 600) } else { (8, 150) };
+    let (region_mb, chunk_kb) = if full { (64u64, 256u32) } else { (32, 256) };
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+
+    // --- Arm 1: device-side atomic append -------------------------------
+    let classic = run_append(false, clients, commits);
+    // Reset the process-wide per-class counters so the artifact's
+    // `fabric_*` keys describe the offload arms alone — that is what the
+    // bench-check fabric-bytes gate watches for footprint creep.
+    simnet::qos::reset_process_stats();
+    let offload = run_append(true, clients, commits);
+
+    let mut t = Table::new(&[
+        "append_path",
+        "commits_per_s",
+        "p50_us",
+        "p99_us",
+        "fabric_ops_per_commit",
+        "ctrl_writes",
+    ]);
+    for (key, p) in [("classic", &classic), ("offload", &offload)] {
+        t.row(&[
+            key.to_string(),
+            format!("{:.0}", p.commits_per_sec),
+            format!("{:.1}", p.p50_us),
+            format!("{:.1}", p.p99_us),
+            format!("{:.2}", p.ops_per_commit),
+            p.ctrl_writes.to_string(),
+        ]);
+        metrics.push((format!("append_{key}_commits_per_sec"), p.commits_per_sec));
+        metrics.push((format!("append_{key}_p50_us"), p.p50_us));
+        metrics.push((format!("append_{key}_p99_us"), p.p99_us));
+        metrics.push((
+            format!("append_{key}_fabric_ops_per_commit"),
+            p.ops_per_commit,
+        ));
+    }
+    t.print("T13a device-side atomic append: commit pipeline round trips");
+
+    assert_eq!(
+        classic.appends, 0,
+        "classic arm must not use the append verb"
+    );
+    assert!(
+        classic.ctrl_writes > 0,
+        "classic arm publishes control cells"
+    );
+    assert_eq!(offload.ctrl_writes, 0, "offload arm must not publish cells");
+    assert!(offload.appends > 0, "offload arm must use the append verb");
+    assert!(
+        classic.ops_per_commit - offload.ops_per_commit >= 1.0,
+        "offload append must remove >= 1 fabric round trip per commit \
+         (classic {:.2}, offload {:.2})",
+        classic.ops_per_commit,
+        offload.ops_per_commit
+    );
+    assert!(
+        offload.p50_us <= classic.p50_us,
+        "offload append p50 ({:.1} us) must be no worse than classic ({:.1} us)",
+        offload.p50_us,
+        classic.p50_us
+    );
+
+    // --- Arms 2+3: resilver with device copy / device scrub -------------
+    let region = region_mb << 20;
+    let chunk = chunk_kb << 10;
+    let arms = [
+        ("base", false, false),
+        ("copy", true, false),
+        ("scrub", false, true),
+        ("both", true, true),
+    ];
+    let mut t = Table::new(&[
+        "resilver_arm",
+        "mttr_ms",
+        "rate_MB_per_s",
+        "copy_payload_MB",
+        "verify_KB",
+        "crc_reads",
+        "scrubs",
+        "copies",
+    ]);
+    let mut points = Vec::new();
+    for &(key, c, s) in &arms {
+        let p = run_resilver(region, chunk, c, s);
+        t.row(&[
+            key.to_string(),
+            format!("{:.2}", p.mttr_ms),
+            format!("{:.0}", p.rate_mb_s),
+            format!("{:.1}", p.copy_payload_bytes as f64 / (1 << 20) as f64),
+            format!("{:.1}", p.verify_bytes as f64 / 1024.0),
+            p.crc_reads.to_string(),
+            p.scrubs.to_string(),
+            p.copies.to_string(),
+        ]);
+        metrics.push((format!("resilver_{key}_mttr_ms"), p.mttr_ms));
+        metrics.push((format!("resilver_{key}_rate_mb_s"), p.rate_mb_s));
+        metrics.push((
+            format!("resilver_{key}_copy_payload_mb"),
+            p.copy_payload_bytes as f64 / (1 << 20) as f64,
+        ));
+        metrics.push((
+            format!("resilver_{key}_verify_wire_b"),
+            p.verify_bytes as f64,
+        ));
+        points.push((key, p));
+    }
+    t.print("T13b/c near-device resilver: NPMU->NPMU copy and batched CRC scrub");
+    println!(
+        "host-mediated repair funnels all {MEMBERS} members' payload through \
+         the PMM host's NIC (one link's worth of aggregate rate); device \
+         copies ride each pair's own link and halve the wire payload, and \
+         the batched scrub turns one digest round trip per chunk per half \
+         into one command per {} chunks",
+        PmmConfig::default().scrub_batch
+    );
+
+    let find = |k: &str| &points.iter().find(|(pk, _)| *pk == k).unwrap().1;
+    let base = find("base");
+    let copy_arm = find("copy");
+    let scrub_arm = find("scrub");
+    let both = find("both");
+    assert_eq!(base.scrubs + base.copies, 0, "base arm used offload verbs");
+    for p in [copy_arm, both] {
+        assert!(
+            p.rate_mb_s >= 1.5 * base.rate_mb_s,
+            "device copy must lift the resilver rate >= 1.5x \
+             (base {:.0} MB/s, offload {:.0} MB/s)",
+            base.rate_mb_s,
+            p.rate_mb_s
+        );
+    }
+    for p in [scrub_arm, both] {
+        assert!(
+            p.verify_bytes * 10 <= base.verify_bytes,
+            "device scrub must cut verify fabric bytes >= 10x \
+             (base {} B, offload {} B)",
+            base.verify_bytes,
+            p.verify_bytes
+        );
+    }
+    assert!(
+        copy_arm.copy_payload_bytes * 2 <= base.copy_payload_bytes.saturating_add(1 << 20),
+        "device copy should halve the repair payload on the fabric \
+         (host {} B, device {} B)",
+        base.copy_payload_bytes,
+        copy_arm.copy_payload_bytes
+    );
+
+    if json::wants_json(&args) {
+        let path = json::emit("offload", &metrics).expect("write json");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,6 +1,6 @@
 //! # pm-bench — harnesses that regenerate the paper's figures and claims
 //!
-//! One binary per experiment (see DESIGN.md §10):
+//! One binary per experiment (see DESIGN.md §11):
 //!
 //! | binary            | reproduces |
 //! |-------------------|------------|
@@ -18,6 +18,7 @@
 //! | `persist_modes`   | DESIGN.md §7 — commit latency by persistence mode × pipeline depth (T10) |
 //! | `shard_scaling`   | DESIGN.md §8 — sharded txn throughput, 2PC tax, population load (T11) |
 //! | `qos_isolation`   | DESIGN.md §9 — commit p99 vs online resilver by QoS policy (T12) |
+//! | `offload`         | DESIGN.md §10 — near-device offload: device append / scrub / NPMU→NPMU copy (T13) |
 //! | `ablations`       | DESIGN.md ablations A1–A3 |
 //!
 //! Each binary prints a CSV block (machine-readable) and an aligned text

@@ -126,6 +126,23 @@ impl AttTable {
         self.translate(nva, len, cpu)
     }
 
+    /// Translate a *peer-DMA* write: an inbound transfer initiated by
+    /// another NPMU (device-to-device resilver copy), not a host CPU. The
+    /// window bounds still apply, but the CPU filter does not — peer
+    /// devices have no initiating CPU, and admission is controlled by the
+    /// receiving device's peer allowlist instead (the PMM registers pool
+    /// members as mutual DMA peers). The read fence is irrelevant: peers
+    /// only ever *write* here.
+    pub fn translate_peer(&self, nva: u64, len: u64) -> Result<u64, AttError> {
+        for e in &self.entries {
+            let end = e.nva_base + e.len;
+            if nva >= e.nva_base && nva + len <= end {
+                return Ok(e.phys_base + (nva - e.nva_base));
+            }
+        }
+        Err(AttError::Unmapped)
+    }
+
     /// Translate an access of `len` bytes at network virtual address `nva`
     /// by CPU `cpu` into a device-physical offset. The access must fall
     /// entirely inside one window — ServerNet transfers never straddle
@@ -230,6 +247,19 @@ mod tests {
         // The fence never opens windows the CPU filter would reject.
         t.set_read_fence(Some(CpuFilter::Any));
         assert_eq!(t.translate_read(0x4000, 64, 3), Err(AttError::Forbidden));
+    }
+
+    #[test]
+    fn peer_translation_skips_cpu_filter_not_bounds() {
+        let mut t = table();
+        // CPU-filtered window is open to a peer device...
+        assert_eq!(t.translate_peer(0x4000, 64), Ok(0x2_0000));
+        // ...but window bounds still apply.
+        assert_eq!(t.translate_peer(0x0, 8), Err(AttError::Unmapped));
+        assert_eq!(t.translate_peer(0x1FF0, 0x20), Err(AttError::Unmapped));
+        // The read fence never blocks peer writes.
+        t.set_read_fence(Some(CpuFilter::Only(vec![9])));
+        assert_eq!(t.translate_peer(0x1000, 16), Ok(0x8000));
     }
 
     #[test]

@@ -11,18 +11,11 @@ use std::collections::BTreeMap;
 
 const BLOCK: u64 = 4096;
 
-/// 64-bit content checksum (FNV-1a) used by the device-side scrub read:
-/// the NIC digests a range locally so mirror comparison ships 8 bytes
-/// instead of the chunk. Any collision-resistant-enough mixing function
-/// works for the model; FNV-1a is cheap and dependency-free.
-pub fn checksum64(data: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// 64-bit content checksum used by the device-side scrub read: the NIC
+/// digests a range locally so mirror comparison ships 8 bytes instead of
+/// the chunk. The implementation is shared tree-wide in
+/// [`simcore::checksum`]; this re-export keeps existing call sites.
+pub use simcore::checksum::checksum64;
 
 /// Non-volatile memory image of one NPMU.
 pub struct NvImage {

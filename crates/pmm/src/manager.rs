@@ -78,8 +78,9 @@ use pmpool::{
 };
 use simcore::{Actor, Ctx, Msg, Sim, SimDuration};
 use simnet::{
-    rdma_crc_read, rdma_read, rdma_write, send_net_msg, EndpointId, NetDelivery, RdmaCrcReadDone,
-    RdmaReadDone, RdmaStatus, RdmaWriteDone, SharedNetwork, TrafficClass,
+    rdma_copy, rdma_crc_read, rdma_read, rdma_scrub, rdma_write, send_net_msg, EndpointId,
+    NetDelivery, RdmaCopyDone, RdmaCrcReadDone, RdmaReadDone, RdmaScrubDone, RdmaStatus,
+    RdmaWriteDone, SharedNetwork, TrafficClass,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -113,6 +114,18 @@ pub struct PmmConfig {
     pub resilver_step_timeout: SimDuration,
     /// How new regions are laid out across pool members.
     pub placement: PlacementPolicy,
+    /// Offload resilver verify to the devices: instead of two
+    /// `rdma_crc_read`s per chunk, batch contiguous chunks into one
+    /// `rdma_scrub` command per half and compare the returned per-chunk
+    /// digest vectors. Off by default so prior experiments reproduce.
+    pub offload_scrub: bool,
+    /// Offload resilver copy to the devices: instead of staging each
+    /// chunk through the PMM (read survivor → write revived), send the
+    /// survivor a device-to-device `rdma_copy` command and let the
+    /// payload flow NPMU→NPMU directly. Off by default.
+    pub offload_copy: bool,
+    /// Max contiguous chunks coalesced into one scrub command.
+    pub scrub_batch: u32,
 }
 
 impl Default for PmmConfig {
@@ -126,6 +139,9 @@ impl Default for PmmConfig {
             transfer_window: 8,
             resilver_step_timeout: SimDuration::from_millis(10),
             placement: PlacementPolicy::default(),
+            offload_scrub: false,
+            offload_copy: false,
+            scrub_batch: 64,
         }
     }
 }
@@ -265,6 +281,18 @@ enum ResilverOp {
         len: u32,
         survivor: bool,
     },
+    /// Device-to-device copy command: the survivor pushes the chunk to
+    /// the revived half itself (`offload_copy`).
+    CopyCmd {
+        len: u32,
+    },
+    /// Batched device-local scrub of one half of a coalesced chunk run
+    /// under verify (`offload_scrub`).
+    VerifyScrub {
+        off: u64,
+        len: u64,
+        survivor: bool,
+    },
 }
 
 struct ResilverRun {
@@ -281,6 +309,9 @@ struct ResilverRun {
     /// Per-chunk checksum slots ([survivor, revived]) for chunks whose
     /// verify CRC reads are in flight.
     crc_pending: BTreeMap<u64, [Option<u64>; 2]>,
+    /// Per-run digest-vector slots ([survivor, revived]) for coalesced
+    /// scrub commands in flight (`offload_scrub` verify).
+    scrub_pending: BTreeMap<u64, [Option<Vec<u32>>; 2]>,
     /// A [`ResilverBackoff`] timer is outstanding (bulk admission denied).
     backoff_armed: bool,
 }
@@ -877,6 +908,7 @@ impl PmmProc {
             inflight: 0,
             divergent: Vec::new(),
             crc_pending: BTreeMap::new(),
+            scrub_pending: BTreeMap::new(),
             backoff_armed: false,
         });
         self.resilver_pump(ctx, vol);
@@ -912,11 +944,20 @@ impl PmmProc {
     }
 
     /// Per-op watchdog: the configured step timeout plus worst-case port
-    /// queueing behind a full window of chunk transfers ahead of this op.
+    /// queueing behind a full window of chunk transfers ahead of this op —
+    /// from *every* member currently resilvering, not just this one. A
+    /// pool-wide outage repairs all members at once and the host-mediated
+    /// chunks all funnel through the PMM's NIC ports, so an op can
+    /// legitimately sit behind `active_members * window` transfers; sizing
+    /// the watchdog for one member's window makes concurrent resilvers
+    /// time out, abort and restart each other forever.
     fn step_timeout(&self, len: u32) -> SimDuration {
         let wire = simnet::latency::wire_ns(&self.net.lock().cfg, len);
         let window = self.cfg.transfer_window.max(1) as u64;
-        SimDuration::from_nanos(self.cfg.resilver_step_timeout.as_nanos() + (window + 2) * wire)
+        let active = self.vols.iter().filter(|v| v.resilver.is_some()).count() as u64;
+        SimDuration::from_nanos(
+            self.cfg.resilver_step_timeout.as_nanos() + (window * active.max(1) + 2) * wire,
+        )
     }
 
     /// Chunk list covering every allocated byte of the member's extents
@@ -956,6 +997,11 @@ impl PmmProc {
                 copy: bool,
                 half: u8,
             },
+            IssueScrub {
+                off: u64,
+                len: u64,
+                half: u8,
+            },
             Transition {
                 copy: bool,
                 dirty_upto: u64,
@@ -966,6 +1012,9 @@ impl PmmProc {
             Wait,
         }
         let window = self.cfg.transfer_window.max(1);
+        let offload_scrub = self.cfg.offload_scrub;
+        let scrub_batch = self.cfg.scrub_batch.max(1);
+        let chunk_bytes = self.cfg.resilver_chunk.max(1) as u64;
         let now_ns = ctx.now().as_nanos();
         loop {
             let next = {
@@ -988,7 +1037,7 @@ impl PmmProc {
                 } else {
                     // Copy chunks move real payload: acquire bulk budget
                     // from the fabric before launching. Verify chunks ship
-                    // only 8-byte digests and are admitted for free.
+                    // only digests and are admitted for free.
                     let &(off, len) = run.queue.front().unwrap();
                     let admit = if copy {
                         net.lock().try_bulk_admission(len as u64, now_ns)
@@ -999,11 +1048,38 @@ impl PmmProc {
                         Ok(()) => {
                             run.queue.pop_front();
                             run.inflight += 1;
-                            Next::Issue {
-                                off,
-                                len,
-                                copy,
-                                half: run.half,
+                            if !copy && offload_scrub {
+                                // Coalesce contiguous chunks into one scrub
+                                // command. Only extend past full-size chunks
+                                // so device chunking (fixed `resilver_chunk`
+                                // stride from `off`) matches queue-entry
+                                // boundaries exactly.
+                                let mut total = len as u64;
+                                let mut parts = 1u32;
+                                let mut last = len as u64;
+                                while parts < scrub_batch && last == chunk_bytes {
+                                    match run.queue.front() {
+                                        Some(&(o, l)) if o == off + total => {
+                                            total += l as u64;
+                                            last = l as u64;
+                                            parts += 1;
+                                            run.queue.pop_front();
+                                        }
+                                        _ => break,
+                                    }
+                                }
+                                Next::IssueScrub {
+                                    off,
+                                    len: total,
+                                    half: run.half,
+                                }
+                            } else {
+                                Next::Issue {
+                                    off,
+                                    len,
+                                    copy,
+                                    half: run.half,
+                                }
                             }
                         }
                         Err(wait_ns) => Next::Backoff { wait_ns },
@@ -1031,14 +1107,33 @@ impl PmmProc {
                     copy: true,
                     half,
                 } => {
-                    self.issue_resilver_read(
-                        ctx,
-                        vol,
-                        1 - half,
-                        off,
-                        len,
-                        ResilverOp::CopyRead { off, len },
-                    );
+                    if self.cfg.offload_copy {
+                        // Device-to-device: the survivor pushes the chunk
+                        // straight to the revived half. The payload crosses
+                        // the fabric once (NPMU→NPMU) instead of twice
+                        // through the PMM; bulk admission was bought above.
+                        self.issue_resilver_copy_cmd(ctx, vol, half, off, len);
+                    } else {
+                        self.issue_resilver_read(
+                            ctx,
+                            vol,
+                            1 - half,
+                            off,
+                            len,
+                            ResilverOp::CopyRead { off, len },
+                        );
+                    }
+                }
+                Next::IssueScrub { off, len, half } => {
+                    // Verify by batched device scrub: both halves digest
+                    // the coalesced run locally and ship one 4-byte CRC
+                    // per chunk, and the command itself covers up to
+                    // `scrub_batch` chunks — O(digests) on the fabric.
+                    if let Some(run) = &mut self.vols[vol].resilver {
+                        run.scrub_pending.insert(off, [None, None]);
+                    }
+                    self.issue_resilver_scrub(ctx, vol, 1 - half, off, len, true);
+                    self.issue_resilver_scrub(ctx, vol, half, off, len, false);
                 }
                 Next::Issue {
                     off,
@@ -1146,6 +1241,140 @@ impl PmmProc {
         ctx.send_self(timeout, ResilverStepTimeout { rid });
     }
 
+    /// Command the survivor half to push a chunk straight to the revived
+    /// half (`offload_copy`).
+    fn issue_resilver_copy_cmd(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        vol: usize,
+        half: u8,
+        off: u64,
+        len: u32,
+    ) {
+        let rid = self.next_rdma;
+        self.next_rdma += 1;
+        self.resilver_ops
+            .insert(rid, (vol, ResilverOp::CopyCmd { len }));
+        let src = self.half_ep(vol, 1 - half);
+        let dst = self.half_ep(vol, half);
+        let net = self.net.clone();
+        rdma_copy(
+            ctx,
+            &net,
+            self.ep,
+            src,
+            off,
+            len,
+            dst,
+            off,
+            rid,
+            TrafficClass::Bulk,
+        );
+        let timeout = self.step_timeout(len);
+        ctx.send_self(timeout, ResilverStepTimeout { rid });
+    }
+
+    /// Ask one half to digest a coalesced chunk run locally and return
+    /// per-chunk CRCs (`offload_scrub` verify).
+    fn issue_resilver_scrub(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        vol: usize,
+        src_half: u8,
+        off: u64,
+        len: u64,
+        survivor: bool,
+    ) {
+        let rid = self.next_rdma;
+        self.next_rdma += 1;
+        self.resilver_ops
+            .insert(rid, (vol, ResilverOp::VerifyScrub { off, len, survivor }));
+        let net = self.net.clone();
+        rdma_scrub(
+            ctx,
+            &net,
+            self.ep,
+            self.half_ep(vol, src_half),
+            off,
+            len,
+            self.cfg.resilver_chunk.max(1),
+            rid,
+            TrafficClass::Bulk,
+        );
+        let timeout = self.step_timeout(len.min(u32::MAX as u64) as u32);
+        ctx.send_self(timeout, ResilverStepTimeout { rid });
+    }
+
+    /// A device-to-device copy command completed (`offload_copy`).
+    fn on_resilver_copy_done(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        vol: usize,
+        kind: ResilverOp,
+        status: RdmaStatus,
+    ) {
+        if status != RdmaStatus::Ok {
+            self.abort_resilver(ctx, vol);
+            return;
+        }
+        if let ResilverOp::CopyCmd { len } = kind {
+            self.vol_stat(vol, |s| s.resilver_bytes_copied += len as u64);
+            if let Some(run) = &mut self.vols[vol].resilver {
+                run.inflight = run.inflight.saturating_sub(1);
+            }
+        }
+        self.resilver_pump(ctx, vol);
+    }
+
+    /// One half's digest vector for a coalesced scrub run arrived. The
+    /// run completes (and frees a window slot) when both halves have
+    /// answered; per-chunk mismatches queue those chunks for re-copy.
+    fn on_resilver_scrub_done(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        vol: usize,
+        kind: ResilverOp,
+        done: RdmaScrubDone,
+    ) {
+        if done.status != RdmaStatus::Ok {
+            self.abort_resilver(ctx, vol);
+            return;
+        }
+        let ResilverOp::VerifyScrub { off, len, survivor } = kind else {
+            return;
+        };
+        let chunk = self.cfg.resilver_chunk.max(1) as u64;
+        let run_done = {
+            let Some(run) = &mut self.vols[vol].resilver else {
+                return;
+            };
+            let Some(slot) = run.scrub_pending.get_mut(&off) else {
+                return;
+            };
+            slot[if survivor { 0 } else { 1 }] = Some(done.crcs);
+            if slot.iter().all(Option::is_some) {
+                let pair = run.scrub_pending.remove(&off).unwrap();
+                let (a, b) = (pair[0].as_ref().unwrap(), pair[1].as_ref().unwrap());
+                let n = len.div_ceil(chunk);
+                for i in 0..n {
+                    let co = off + i * chunk;
+                    let cl = chunk.min(len - i * chunk) as u32;
+                    let i = i as usize;
+                    if a.get(i).is_none() || a.get(i) != b.get(i) {
+                        run.divergent.push((co, cl));
+                    }
+                }
+                run.inflight = run.inflight.saturating_sub(1);
+                true
+            } else {
+                false
+            }
+        };
+        if run_done {
+            self.resilver_pump(ctx, vol);
+        }
+    }
+
     /// One half's checksum for a chunk under verify arrived. The chunk
     /// completes (and frees a window slot) when both halves have
     /// answered; a mismatch queues it for re-copy.
@@ -1226,6 +1455,8 @@ impl PmmProc {
             }
             ResilverOp::VerifyCrc { .. } => unreachable!("CRC acks arrive as RdmaCrcReadDone"),
             ResilverOp::CopyWrite { .. } => unreachable!("write acks arrive as RdmaWriteDone"),
+            ResilverOp::CopyCmd { .. } => unreachable!("copy-cmd acks arrive as RdmaCopyDone"),
+            ResilverOp::VerifyScrub { .. } => unreachable!("scrub acks arrive as RdmaScrubDone"),
         }
     }
 
@@ -2413,6 +2644,28 @@ impl Actor for PmmProc {
             Err(m) => m,
         };
 
+        // Device-to-device copy acks (offloaded resilver copy).
+        let msg = match msg.take::<RdmaCopyDone>() {
+            Ok((_, done)) => {
+                if let Some((vol, kind)) = self.resilver_ops.remove(&done.op_id) {
+                    self.on_resilver_copy_done(ctx, vol, kind, done.status);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
+        // Batched device-scrub digest answers (offloaded resilver verify).
+        let msg = match msg.take::<RdmaScrubDone>() {
+            Ok((_, done)) => {
+                if let Some((vol, kind)) = self.resilver_ops.remove(&done.op_id) {
+                    self.on_resilver_scrub_done(ctx, vol, kind, done);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+
         if let Ok((_, delivery)) = msg.take::<NetDelivery>() {
             let NetDelivery { from_ep, payload } = delivery;
             // Checkpoint traffic (backup side).
@@ -2500,6 +2753,16 @@ pub fn install_pmm_pool(
                 phys_base: 0,
                 allowed: CpuFilter::Only(meta_cpus.clone()),
             });
+        }
+    }
+
+    // Device-to-device resilver copy: every pool member device may DMA
+    // into any other, so register them as mutual peers on each device's
+    // allowlist (peer writes skip the CPU filter but not window bounds).
+    let pool_eps: Vec<EndpointId> = volumes.iter().flat_map(|(a, b)| [a.ep, b.ep]).collect();
+    for (a, b) in volumes {
+        for h in [a, b] {
+            h.dma_peers.lock().extend(pool_eps.iter().copied());
         }
     }
 

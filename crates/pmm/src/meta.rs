@@ -316,30 +316,9 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// CRC-32 (IEEE 802.3), table-driven.
-pub fn crc32(data: &[u8]) -> u32 {
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 {
-                    0xEDB8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-            }
-            *e = c;
-        }
-        t
-    });
-    let mut c = !0u32;
-    for &b in data {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    !c
-}
+/// CRC-32 (IEEE 802.3). Shared tree-wide in [`simcore::checksum`]; this
+/// re-export keeps the long-standing `pmm::meta::crc32` path working.
+pub use simcore::checksum::crc32;
 
 #[cfg(test)]
 mod tests {

@@ -26,31 +26,11 @@ use crate::medium::PmMedium;
 const MAGIC: u32 = 0x504D_5458; // "PMTX"
 const CELL_BYTES: u64 = 16;
 
-/// CRC-32 (shared implementation lives here to keep pmstore free of
-/// cross-crate deps; identical polynomial to `pmm::meta::crc32`).
-pub fn crc32(data: &[u8]) -> u32 {
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 {
-                    0xEDB8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-            }
-            *e = c;
-        }
-        t
-    });
-    let mut c = !0u32;
-    for &b in data {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    !c
-}
+/// CRC-32 (IEEE 802.3). The shared implementation lives in
+/// [`simcore::checksum`]; re-exported so the historical
+/// `pmstore::redo::crc32` path (and the identical `pmm::meta::crc32`)
+/// stay valid.
+pub use simcore::checksum::crc32;
 
 /// Transaction-log manager for one log area within a region.
 pub struct PmTx {

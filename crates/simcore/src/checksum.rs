@@ -1,0 +1,66 @@
+//! Shared content checksums.
+//!
+//! Three subsystems independently grew the same integrity primitives —
+//! the NPMU's device-side scrub digest, the PMM metadata slot CRC and
+//! the ADP control-cell CRC (via `pmstore`'s redo cell). They live here
+//! now so every durable cell format in the tree hashes bytes the same
+//! way, including the device-resident append tail pointer introduced
+//! with the near-device offload surface.
+
+/// CRC-32 (IEEE 802.3), table-driven. Known vector:
+/// `crc32(b"123456789") == 0xCBF4_3926`.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut c = !0u32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// 64-bit content checksum (FNV-1a) used by device-side scrub digests:
+/// the NIC hashes a range locally so mirror comparison ships 8 bytes
+/// instead of the chunk. Any collision-resistant-enough mixing function
+/// works for the model; FNV-1a is cheap and dependency-free.
+pub fn checksum64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard test vector: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn checksum64_discriminates_and_is_stable() {
+        assert_eq!(checksum64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(checksum64(b"abc"), checksum64(b"abd"));
+        assert_eq!(checksum64(b"abc"), checksum64(b"abc"));
+    }
+}

@@ -29,6 +29,7 @@
 //! survive a reboot.
 
 pub mod actor;
+pub mod checksum;
 pub mod durable;
 pub mod event;
 pub mod fault;
@@ -39,6 +40,7 @@ pub mod time;
 pub mod trace;
 
 pub use actor::{Actor, ActorId, Ctx, Msg};
+pub use checksum::{checksum64, crc32};
 pub use durable::DurableStore;
 pub use event::EventQueue;
 pub use rng::DetRng;

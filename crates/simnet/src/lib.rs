@@ -39,8 +39,11 @@ pub use config::{FabricConfig, ServerNetGen};
 pub use network::{EndpointId, NetStats, Network, PortDir, SharedNetwork};
 pub use qos::{ClassStats, QosConfig, SchedPolicy, TrafficClass, CLASS_COUNT};
 pub use transport::{
-    rdma_crc_read, rdma_flush, rdma_read, rdma_write, rdma_write_sized, reply_rdma_crc_read,
-    reply_rdma_flush, reply_rdma_read, reply_rdma_write, send_net_msg, send_net_msg_class,
-    InboundRdmaCrcRead, InboundRdmaFlush, InboundRdmaRead, InboundRdmaWrite, NetDelivery,
-    PersistMode, RdmaCrcReadDone, RdmaFlushDone, RdmaReadDone, RdmaStatus, RdmaWriteDone,
+    rdma_append, rdma_copy, rdma_crc_read, rdma_flush, rdma_read, rdma_scrub, rdma_write,
+    rdma_write_sized, reply_rdma_append, reply_rdma_copy, reply_rdma_crc_read, reply_rdma_flush,
+    reply_rdma_read, reply_rdma_scrub, reply_rdma_write, send_net_msg, send_net_msg_class,
+    InboundRdmaAppend, InboundRdmaCopy, InboundRdmaCrcRead, InboundRdmaFlush, InboundRdmaRead,
+    InboundRdmaScrub, InboundRdmaWrite, NetDelivery, PersistMode, RdmaAppendDone, RdmaCopyDone,
+    RdmaCrcReadDone, RdmaFlushDone, RdmaReadDone, RdmaScrubDone, RdmaStatus, RdmaWriteDone,
+    APPEND_CELL_BYTES,
 };

@@ -46,6 +46,16 @@ pub struct NetStats {
     /// with 8 bytes instead of the data.
     pub rdma_crc_reads: u64,
     pub rdma_flushes: u64,
+    /// Device-side atomic appends (near-device offload verb 1); the
+    /// byte counter tracks virtual record bytes, probes count 0.
+    pub rdma_appends: u64,
+    pub rdma_append_bytes: u64,
+    /// Batched device-local scrub commands (offload verb 2).
+    pub rdma_scrubs: u64,
+    /// Device-to-device copy commands (offload verb 3); bytes are the
+    /// payload each command moves NPMU→NPMU.
+    pub rdma_copies: u64,
+    pub rdma_copy_bytes: u64,
     pub retransmits: u64,
     pub failovers: u64,
     pub unreachable: u64,

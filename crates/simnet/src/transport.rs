@@ -139,6 +139,70 @@ pub struct InboundRdmaFlush {
     pub class: TrafficClass,
 }
 
+/// Size of the device-resident append tail cell at the base of an
+/// append region: two alternating 16-byte slots (`tail u64 LE | crc32 |
+/// pad`), CRC'd with the shared [`simcore::checksum::crc32`]. The data
+/// area is the `cap` bytes that follow. Deliberately identical to the
+/// ADP's client-side control cell (`txnkit`'s `PM_CTRL_BYTES`) so one
+/// region layout serves both the offloaded and the classic pipeline.
+pub const APPEND_CELL_BYTES: u64 = 64;
+
+/// A device-side atomic log-append arriving at a device actor (the
+/// near-device offload's first verb). The device persists the record at
+/// its device-resident tail for the region at `base`, bumps the tail
+/// (crash-safe: the CRC'd tail cell is only advanced after the data is
+/// on media, so power loss never acks a tail the data doesn't cover)
+/// and returns the new tail in the ack. A `wire_len` of zero is a tail
+/// *probe*: nothing is written, the current durable tail comes back —
+/// recovery uses it to read the device-resident watermark.
+pub struct InboundRdmaAppend {
+    pub from_ep: EndpointId,
+    pub reply_to: ActorId,
+    pub op_id: u64,
+    /// NVA of the append region: tail cell at `base`, circular data
+    /// area of `cap` bytes at `base + APPEND_CELL_BYTES`.
+    pub base: u64,
+    pub cap: u64,
+    /// Record bytes (possibly a compact descriptor — see
+    /// [`rdma_write_sized`]).
+    pub data: Bytes,
+    /// Virtual record length; `0` probes the tail.
+    pub wire_len: u32,
+    pub class: TrafficClass,
+}
+
+/// A device-local scrub command arriving at a device actor (offload
+/// verb two): digest `ceil(len / chunk)` consecutive chunks of the
+/// addressed range locally and reply with the 4-byte CRCs — a verify
+/// pass ships O(digests), not O(bytes).
+pub struct InboundRdmaScrub {
+    pub from_ep: EndpointId,
+    pub reply_to: ActorId,
+    pub op_id: u64,
+    pub addr: u64,
+    pub len: u64,
+    /// Digest granularity; the final chunk may be short.
+    pub chunk: u32,
+    pub class: TrafficClass,
+}
+
+/// A device-to-device copy command arriving at the *source* device
+/// (offload verb three): read `len` bytes at `src_addr` locally, write
+/// them straight to `dst_ep` at `dst_addr` (the payload crosses the
+/// fabric exactly once, NPMU→NPMU), then ack the orchestrator. The PMM
+/// keeps its transfer windows and bulk-admission gate; only the data
+/// path moves off its ports.
+pub struct InboundRdmaCopy {
+    pub from_ep: EndpointId,
+    pub reply_to: ActorId,
+    pub op_id: u64,
+    pub src_addr: u64,
+    pub len: u32,
+    pub dst_ep: EndpointId,
+    pub dst_addr: u64,
+    pub class: TrafficClass,
+}
+
 /// Write completion, delivered to the initiator.
 #[derive(Clone, Debug)]
 pub struct RdmaWriteDone {
@@ -169,6 +233,31 @@ pub struct RdmaCrcReadDone {
     pub op_id: u64,
     pub status: RdmaStatus,
     pub crc: u64,
+}
+
+/// Device-append completion: `tail` is the device-resident durable tail
+/// *after* this append (for a probe, the current durable tail).
+#[derive(Clone, Copy, Debug)]
+pub struct RdmaAppendDone {
+    pub op_id: u64,
+    pub status: RdmaStatus,
+    pub tail: u64,
+}
+
+/// Scrub completion: one CRC-32 per chunk of the scrubbed range.
+#[derive(Clone, Debug)]
+pub struct RdmaScrubDone {
+    pub op_id: u64,
+    pub status: RdmaStatus,
+    pub crcs: Vec<u32>,
+}
+
+/// Device-to-device copy completion, delivered to the orchestrator once
+/// the destination device acked the payload write.
+#[derive(Clone, Copy, Debug)]
+pub struct RdmaCopyDone {
+    pub op_id: u64,
+    pub status: RdmaStatus,
 }
 
 /// How long an initiator waits before declaring an op unreachable when the
@@ -252,9 +341,13 @@ enum QosPayload {
     Read(InboundRdmaRead),
     Crc(InboundRdmaCrcRead),
     Flush(InboundRdmaFlush),
+    Append(InboundRdmaAppend),
+    Scrub(InboundRdmaScrub),
+    Copy(InboundRdmaCopy),
     Ipc(NetDelivery),
     ReadDone(RdmaReadDone),
     CrcDone(RdmaCrcReadDone),
+    ScrubDone(RdmaScrubDone),
 }
 
 /// A transfer arriving at a scheduled port (sent to the arbiter actor).
@@ -328,9 +421,13 @@ impl FabricArbiter {
                 QosPayload::Read(p) => ctx.send(target, d, p),
                 QosPayload::Crc(p) => ctx.send(target, d, p),
                 QosPayload::Flush(p) => ctx.send(target, d, p),
+                QosPayload::Append(p) => ctx.send(target, d, p),
+                QosPayload::Scrub(p) => ctx.send(target, d, p),
+                QosPayload::Copy(p) => ctx.send(target, d, p),
                 QosPayload::Ipc(p) => ctx.send(target, d, p),
                 QosPayload::ReadDone(p) => ctx.send(target, d, p),
                 QosPayload::CrcDone(p) => ctx.send(target, d, p),
+                QosPayload::ScrubDone(p) => ctx.send(target, d, p),
             }
         }
     }
@@ -895,6 +992,309 @@ pub fn reply_rdma_crc_read(
         wire + q + n.cfg.ack_ns
     };
     ctx.send(req.reply_to, SimDuration::from_nanos(ns), done);
+}
+
+/// Issue a device-side atomic append of `wire_len` virtual bytes (the
+/// record may be carried as a compact descriptor in `data`, as with
+/// [`rdma_write_sized`]). `wire_len == 0` probes the device-resident
+/// tail without writing. Completion arrives as [`RdmaAppendDone`].
+#[allow(clippy::too_many_arguments)]
+pub fn rdma_append(
+    ctx: &mut Ctx<'_>,
+    net: &SharedNetwork,
+    from_ep: EndpointId,
+    to_ep: EndpointId,
+    base: u64,
+    cap: u64,
+    data: Bytes,
+    wire_len: u32,
+    op_id: u64,
+    class: TrafficClass,
+) {
+    debug_assert!(wire_len as usize >= data.len());
+    // A probe is a 64 B command descriptor; a real append pays the
+    // record bytes on the wire, same as the classic data write it
+    // replaces (the tail bump it *also* replaces cost a separate 16 B
+    // control write plus a round trip — that is the saving).
+    let len = if wire_len == 0 { 64 } else { wire_len };
+    match issue_leg(ctx, net, from_ep, to_ep, len, class) {
+        Some(issued) => {
+            let nic = {
+                let mut n = net.lock();
+                n.stats.rdma_appends += 1;
+                n.stats.rdma_append_bytes += wire_len as u64;
+                n.cfg.target_nic_ns
+            };
+            let reply_to = ctx.self_id();
+            let inbound = InboundRdmaAppend {
+                from_ep,
+                reply_to,
+                op_id,
+                base,
+                cap,
+                data,
+                wire_len,
+                class,
+            };
+            match issued {
+                Issued::Legacy { target, ns } => {
+                    ctx.send(target, SimDuration::from_nanos(ns), inbound)
+                }
+                Issued::Qos { target, pre_ns } => qos_route(
+                    ctx,
+                    net,
+                    to_ep,
+                    PortDir::Rx,
+                    class,
+                    len.max(1) as u64,
+                    nic,
+                    pre_ns,
+                    target,
+                    QosPayload::Append(inbound),
+                ),
+            }
+        }
+        None => {
+            net.lock().stats.unreachable += 1;
+            ctx.send_self(
+                SimDuration::from_nanos(UNREACHABLE_TIMEOUT_NS),
+                RdmaAppendDone {
+                    op_id,
+                    status: RdmaStatus::Unreachable,
+                    tail: 0,
+                },
+            );
+        }
+    }
+}
+
+/// Issue a batched device-local scrub: the target digests
+/// `ceil(len / chunk)` chunks locally and only the per-chunk CRCs come
+/// back. Completion arrives as [`RdmaScrubDone`].
+#[allow(clippy::too_many_arguments)]
+pub fn rdma_scrub(
+    ctx: &mut Ctx<'_>,
+    net: &SharedNetwork,
+    from_ep: EndpointId,
+    to_ep: EndpointId,
+    addr: u64,
+    len: u64,
+    chunk: u32,
+    op_id: u64,
+    class: TrafficClass,
+) {
+    match issue_leg(ctx, net, from_ep, to_ep, 64, class) {
+        Some(issued) => {
+            let nic = {
+                let mut n = net.lock();
+                n.stats.rdma_scrubs += 1;
+                n.cfg.target_nic_ns
+            };
+            let reply_to = ctx.self_id();
+            let inbound = InboundRdmaScrub {
+                from_ep,
+                reply_to,
+                op_id,
+                addr,
+                len,
+                chunk,
+                class,
+            };
+            match issued {
+                Issued::Legacy { target, ns } => {
+                    ctx.send(target, SimDuration::from_nanos(ns), inbound)
+                }
+                Issued::Qos { target, pre_ns } => qos_route(
+                    ctx,
+                    net,
+                    to_ep,
+                    PortDir::Rx,
+                    class,
+                    64,
+                    nic,
+                    pre_ns,
+                    target,
+                    QosPayload::Scrub(inbound),
+                ),
+            }
+        }
+        None => {
+            net.lock().stats.unreachable += 1;
+            ctx.send_self(
+                SimDuration::from_nanos(UNREACHABLE_TIMEOUT_NS),
+                RdmaScrubDone {
+                    op_id,
+                    status: RdmaStatus::Unreachable,
+                    crcs: Vec::new(),
+                },
+            );
+        }
+    }
+}
+
+/// Issue a device-to-device copy command to the *source* device: a 64 B
+/// descriptor asking it to move `len` bytes at `src_addr` directly to
+/// `dst_ep`/`dst_addr`. The payload pays its wire time on the
+/// source-device→destination-device path (the device issues a plain
+/// [`rdma_write`]); the orchestrator's ports carry only the command and
+/// the [`RdmaCopyDone`] ack.
+#[allow(clippy::too_many_arguments)]
+pub fn rdma_copy(
+    ctx: &mut Ctx<'_>,
+    net: &SharedNetwork,
+    from_ep: EndpointId,
+    to_ep: EndpointId,
+    src_addr: u64,
+    len: u32,
+    dst_ep: EndpointId,
+    dst_addr: u64,
+    op_id: u64,
+    class: TrafficClass,
+) {
+    match issue_leg(ctx, net, from_ep, to_ep, 64, class) {
+        Some(issued) => {
+            let nic = {
+                let mut n = net.lock();
+                n.stats.rdma_copies += 1;
+                n.stats.rdma_copy_bytes += len as u64;
+                n.cfg.target_nic_ns
+            };
+            let reply_to = ctx.self_id();
+            let inbound = InboundRdmaCopy {
+                from_ep,
+                reply_to,
+                op_id,
+                src_addr,
+                len,
+                dst_ep,
+                dst_addr,
+                class,
+            };
+            match issued {
+                Issued::Legacy { target, ns } => {
+                    ctx.send(target, SimDuration::from_nanos(ns), inbound)
+                }
+                Issued::Qos { target, pre_ns } => qos_route(
+                    ctx,
+                    net,
+                    to_ep,
+                    PortDir::Rx,
+                    class,
+                    64,
+                    nic,
+                    pre_ns,
+                    target,
+                    QosPayload::Copy(inbound),
+                ),
+            }
+        }
+        None => {
+            net.lock().stats.unreachable += 1;
+            ctx.send_self(
+                SimDuration::from_nanos(UNREACHABLE_TIMEOUT_NS),
+                RdmaCopyDone {
+                    op_id,
+                    status: RdmaStatus::Unreachable,
+                },
+            );
+        }
+    }
+}
+
+/// Called by a device actor to complete an inbound append once the tail
+/// bump is durable. Like write acks, the completion is a tiny priority
+/// control packet riding outside the schedulers; the device has already
+/// paid its persist cost before calling this.
+pub fn reply_rdma_append(
+    ctx: &mut Ctx<'_>,
+    net: &SharedNetwork,
+    req: &InboundRdmaAppend,
+    status: RdmaStatus,
+    tail: u64,
+) {
+    let ack_ns = {
+        let n = net.lock();
+        n.cfg.ack_ns
+    };
+    ctx.send(
+        req.reply_to,
+        SimDuration::from_nanos(ack_ns),
+        RdmaAppendDone {
+            op_id: req.op_id,
+            status,
+            tail,
+        },
+    );
+}
+
+/// Called by a device actor to complete an inbound scrub: only the
+/// packed 4-byte digests cross the wire back, on the device's transmit
+/// port (scheduled under QoS, in the request's class).
+pub fn reply_rdma_scrub(
+    ctx: &mut Ctx<'_>,
+    net: &SharedNetwork,
+    device_ep: EndpointId,
+    req: &InboundRdmaScrub,
+    status: RdmaStatus,
+    crcs: Vec<u32>,
+) {
+    let now = ctx.now();
+    let bytes = (4 * crcs.len()).max(1) as u64;
+    let done = RdmaScrubDone {
+        op_id: req.op_id,
+        status,
+        crcs,
+    };
+    let (qos_on, ack_ns) = {
+        let mut n = net.lock();
+        n.count_class_bytes(req.class, bytes);
+        (n.qos.enabled, n.cfg.ack_ns)
+    };
+    if qos_on {
+        qos_route(
+            ctx,
+            net,
+            device_ep,
+            PortDir::Tx,
+            req.class,
+            bytes,
+            ack_ns,
+            0,
+            req.reply_to,
+            QosPayload::ScrubDone(done),
+        );
+        return;
+    }
+    let ns = {
+        let mut n = net.lock();
+        let wire = latency::wire_ns(&n.cfg, bytes as u32);
+        let q = n.reserve_tx(device_ep, now.as_nanos(), wire);
+        wire + q + n.cfg.ack_ns
+    };
+    ctx.send(req.reply_to, SimDuration::from_nanos(ns), done);
+}
+
+/// Called by the *source* device actor to complete a copy command once
+/// the destination acked the payload write. A tiny control ack, outside
+/// the schedulers like write acks.
+pub fn reply_rdma_copy(
+    ctx: &mut Ctx<'_>,
+    net: &SharedNetwork,
+    req: &InboundRdmaCopy,
+    status: RdmaStatus,
+) {
+    let ack_ns = {
+        let n = net.lock();
+        n.cfg.ack_ns
+    };
+    ctx.send(
+        req.reply_to,
+        SimDuration::from_nanos(ack_ns),
+        RdmaCopyDone {
+            op_id: req.op_id,
+            status,
+        },
+    );
 }
 
 #[cfg(test)]

@@ -319,6 +319,7 @@ pub fn install_adp(
                     cfg2.pm_persist_mode,
                     cfg2.pm_commit_class,
                     cfg2.pm_audit_class,
+                    cfg2.pm_offload_append,
                 )),
             };
             Box::new(AdpProc {

@@ -25,10 +25,15 @@ use super::{AdpShared, AuditLog, Role};
 use crate::types::*;
 use bytes::Bytes;
 use nsk::machine::{CpuId, SharedMachine};
-use pmclient::{PmClientConfig, PmLib, PmReadTimeout, PmWriteTimeout};
+use pmclient::{
+    PmAppendComplete, PmAppendTimeout, PmClientConfig, PmLib, PmReadTimeout, PmWriteTimeout,
+};
 use pmm::msgs::CreateRegionAck;
 use simcore::{Ctx, Msg, SimDuration};
-use simnet::{EndpointId, PersistMode, RdmaFlushDone, RdmaReadDone, RdmaWriteDone, TrafficClass};
+use simnet::{
+    EndpointId, PersistMode, RdmaAppendDone, RdmaFlushDone, RdmaReadDone, RdmaStatus,
+    RdmaWriteDone, TrafficClass,
+};
 use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -111,6 +116,17 @@ struct Batch {
     done: bool,
 }
 
+/// The single in-flight device-side append (`pm_offload_append`). The
+/// devices assign the durable offsets themselves, so at most one append
+/// may be outstanding: two concurrent appends could land in opposite
+/// orders on the two mirrors. The batch keeps its payload so a failed
+/// round can be re-driven verbatim.
+struct OffloadBatch {
+    data: Bytes,
+    wire_len: u32,
+    slots: Vec<AckSlot>,
+}
+
 pub(crate) struct PmLog {
     lib: PmLib,
     region_name: String,
@@ -142,6 +158,14 @@ pub(crate) struct PmLog {
     /// Fabric class the trail data batches ride (control ops use the
     /// library's default class — see [`PmLog::new`]).
     audit_class: TrafficClass,
+    /// Fabric class for commit-gating ops (control cell / device appends).
+    commit_class: TrafficClass,
+    /// Device-side append mode: the NPMUs own the tail pointer, there is
+    /// no control cell, and acks are released straight from the mirrored
+    /// append completion (`min` over the halves' durable tails).
+    offload: bool,
+    /// The single in-flight device append (offload mode).
+    offload_inflight: Option<OffloadBatch>,
 }
 
 impl PmLog {
@@ -156,6 +180,7 @@ impl PmLog {
         persist_mode: PersistMode,
         commit_class: TrafficClass,
         audit_class: TrafficClass,
+        offload: bool,
     ) -> Self {
         PmLog {
             // Control-cell publications and boot reads ride the commit
@@ -167,6 +192,9 @@ impl PmLog {
                 ..PmClientConfig::default()
             }),
             audit_class,
+            commit_class,
+            offload,
+            offload_inflight: None,
             region_name,
             region_id: None,
             region_len,
@@ -198,6 +226,10 @@ impl PmLog {
     /// submission takes EVERY currently staged append in one batched
     /// write — the deeper the backlog, the wider the batch.
     fn pump(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>) {
+        if self.offload {
+            self.pump_offload(sh, ctx);
+            return;
+        }
         while self.ring.len() < sh.cfg.pm_pipeline_depth as usize && !self.staged.is_empty() {
             let mut parts: Vec<(u64, Bytes, u32)> = Vec::new();
             let mut slots: Vec<AckSlot> = Vec::new();
@@ -219,6 +251,99 @@ impl PmLog {
                 slots,
                 done: false,
             });
+        }
+    }
+
+    /// Submit the next device-side append (offload mode): ONE mirrored
+    /// append in flight, coalescing every staged append into it. The ack
+    /// carries the device's new durable tail, which directly releases the
+    /// covered appends — no control-cell round trip follows.
+    fn pump_offload(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>) {
+        if self.offload_inflight.is_some() || self.staged.is_empty() {
+            return;
+        }
+        let mut data: Vec<u8> = Vec::new();
+        let mut slots: Vec<AckSlot> = Vec::new();
+        let mut wire_len = 0u32;
+        while let Some(s) = self.staged.pop_front() {
+            for (_, bytes, w) in s.parts {
+                data.extend_from_slice(&bytes);
+                wire_len += w;
+            }
+            slots.push(s.slot);
+        }
+        let batch = OffloadBatch {
+            data: Bytes::from(data),
+            wire_len,
+            slots,
+        };
+        self.issue_offload(sh, ctx, batch);
+    }
+
+    fn issue_offload(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>, batch: OffloadBatch) {
+        let tok = sh.alloc_tag();
+        self.tokens.insert(tok, TokenKind::Batch);
+        sh.stats.lock().pm_batches += 1;
+        let region = self.region_id.expect("region ready");
+        self.lib.append_class(
+            ctx,
+            region,
+            0,
+            self.trail_capacity(),
+            batch.data.clone(),
+            batch.wire_len,
+            tok,
+            self.commit_class,
+        );
+        self.offload_inflight = Some(batch);
+    }
+
+    /// A device append (or the boot tail probe) completed.
+    fn append_complete(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>, c: PmAppendComplete) {
+        match self.tokens.remove(&c.token) {
+            Some(TokenKind::BootRead) => {
+                // Boot/takeover tail probe: the shorter durable prefix of
+                // the mirrored pair is the recovered watermark. Acked
+                // appends always had both (healthy) halves' tails past
+                // their end, so min() can only under-report unacked work.
+                self.ctrl_read_pending = false;
+                self.ready = true;
+                let wm = c.tail;
+                self.data_watermark = self.data_watermark.max(wm);
+                self.acked_watermark = self.acked_watermark.max(wm);
+                sh.next_lsn = sh.next_lsn.max(wm);
+                sh.durable_upto = sh.durable_upto.max(wm);
+                let pending: Vec<(EndpointId, AuditAppend)> = self.boot_pending.drain(..).collect();
+                for (ep, app) in pending {
+                    self.append(sh, ctx, ep, app);
+                }
+                sh.answer_waiters(ctx);
+            }
+            Some(TokenKind::Batch) => {
+                let Some(batch) = self.offload_inflight.take() else {
+                    return;
+                };
+                if c.status != RdmaStatus::Ok {
+                    // Zero halves acked (both unreachable or rejected):
+                    // re-drive the same payload. The per-leg write
+                    // timeout paces the retries, and the min-tail ack
+                    // math stays correct even if one half silently
+                    // persisted the earlier attempt.
+                    self.issue_offload(sh, ctx, batch);
+                    return;
+                }
+                // The devices' durable tails cover the whole batch:
+                // release every ack straight from the append completion.
+                self.data_watermark = self.data_watermark.max(c.tail);
+                self.acked_watermark = self.acked_watermark.max(c.tail);
+                sh.durable_upto = sh.durable_upto.max(c.tail);
+                for a in batch.slots {
+                    sh.send_append_done(ctx, a.from_ep, a.token, a.lsn_start, a.lsn_end);
+                }
+                sh.answer_waiters(ctx);
+                self.pump_offload(sh, ctx);
+            }
+            _ => {}
         }
     }
 
@@ -303,8 +428,22 @@ impl PmLog {
             self.tokens.insert(tok, TokenKind::BootRead);
             self.ctrl_read_pending = true;
             let region = self.region_id.unwrap();
-            self.lib
-                .read(ctx, region, 0, 2 * PM_CTRL_SLOT_BYTES as u32, tok);
+            if self.offload {
+                // Offload mode: the devices own the tail. Probe both
+                // halves' durable append cells and recover the shorter
+                // prefix instead of reading a host-managed control cell.
+                self.lib.probe_tail_class(
+                    ctx,
+                    region,
+                    0,
+                    self.trail_capacity(),
+                    tok,
+                    self.commit_class,
+                );
+            } else {
+                self.lib
+                    .read(ctx, region, 0, 2 * PM_CTRL_SLOT_BYTES as u32, tok);
+            }
         }
     }
 
@@ -345,11 +484,12 @@ impl PmLog {
         let lsn_end = sh.next_lsn;
 
         // Stage the records for the circular trail (≤ 2 segments when the
-        // trail wraps).
+        // trail wraps). In offload mode the device assigns the offsets
+        // (and handles the wrap) itself, so the records stage whole.
         let cap = self.trail_capacity();
         let off = PM_CTRL_BYTES + (lsn_start % cap);
         let mut parts: Vec<(u64, Bytes, u32)> = Vec::new();
-        if (lsn_start % cap) + virt <= cap {
+        if self.offload || (lsn_start % cap) + virt <= cap {
             parts.push((off, app.records.clone(), virt as u32));
         } else {
             let first = cap - (lsn_start % cap);
@@ -441,6 +581,26 @@ impl AuditLog for PmLog {
                     } else {
                         self.boot_pending.push((s.from_ep, s.app));
                     }
+                }
+                return None;
+            }
+            Err(m) => m,
+        };
+
+        // Device-append completion / timeout (offload mode).
+        let msg = match msg.take::<RdmaAppendDone>() {
+            Ok((_, done)) => {
+                if let Some(c) = self.lib.on_rdma_append_done(ctx, &done) {
+                    self.append_complete(sh, ctx, c);
+                }
+                return None;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.take::<PmAppendTimeout>() {
+            Ok((_, t)) => {
+                if let Some(c) = self.lib.on_append_timeout(ctx, &t) {
+                    self.append_complete(sh, ctx, c);
                 }
                 return None;
             }

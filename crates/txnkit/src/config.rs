@@ -87,6 +87,15 @@ pub struct TxnConfig {
     /// bandwidth-bearing but still latency-relevant, so they ride the
     /// middle `Audit` class by default, above background `Bulk` movers.
     pub pm_audit_class: simnet::TrafficClass,
+    /// Use the NPMU's device-side atomic log-append for the audit trail
+    /// instead of host-managed writes plus a control-cell publication.
+    /// The device persists the records at its own durable tail pointer
+    /// and returns the new tail in the ack, so the 16 B control-cell
+    /// round trip disappears from the commit pipeline entirely; recovery
+    /// probes the device tails and takes the shorter durable prefix of
+    /// the mirrored pair. Off by default so prior experiments reproduce
+    /// bit-exactly.
+    pub pm_offload_append: bool,
 }
 
 /// Capped exponential backoff: `base * 2^attempt`, clamped to `cap`.
@@ -119,6 +128,7 @@ impl Default for TxnConfig {
             pm_persist_mode: simnet::PersistMode::PersistFlush,
             pm_commit_class: simnet::TrafficClass::Commit,
             pm_audit_class: simnet::TrafficClass::Audit,
+            pm_offload_append: false,
         }
     }
 }

@@ -79,6 +79,10 @@ pub struct OdsParams {
     /// admission). The default keeps QoS off — the legacy analytic
     /// completion path, bit-identical to pre-QoS runs.
     pub qos: simnet::QosConfig,
+    /// PMM policy knobs (resilver chunking, near-device scrub/copy
+    /// offload). The default keeps every offload off — host-mediated
+    /// resilver reads/writes, bit-identical to pre-offload runs.
+    pub pmm: PmmConfig,
 }
 
 impl OdsParams {
@@ -101,6 +105,7 @@ impl OdsParams {
             audit_partitions: 0,
             pm_ingress_drain_ns: None,
             qos: simnet::QosConfig::disabled(),
+            pmm: PmmConfig::default(),
         }
     }
 
@@ -225,7 +230,7 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
                 &pool,
                 pm_cpu,
                 if params.backups { Some(CpuId(0)) } else { None },
-                PmmConfig::default(),
+                params.pmm.clone(),
             );
             (pool, Some(pmm))
         }
@@ -562,7 +567,7 @@ pub fn build_cluster(store: &mut DurableStore, params: ClusterParams) -> Cluster
                     &pool,
                     scpu(base.cpus),
                     if base.backups { Some(scpu(0)) } else { None },
-                    PmmConfig::default(),
+                    base.pmm.clone(),
                 );
                 (pool, Some(pmm))
             }

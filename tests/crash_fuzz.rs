@@ -61,12 +61,14 @@ fn build_node(
     store: &mut DurableStore,
     mode: PersistMode,
     seed: u64,
+    offload: bool,
 ) -> (OdsNode, SharedDriverStats) {
     let mut params = OdsParams {
         audit: AuditMode::HardwareNpmu,
         ..OdsParams::pm(seed)
     };
     params.txn.pm_persist_mode = mode;
+    params.txn.pm_offload_append = offload;
     params.pm_ingress_drain_ns = Some(DRAIN_NS);
     let mut node = build_ods(store, params);
     let machine = node.machine.clone();
@@ -91,9 +93,9 @@ fn build_node(
 /// Run the workload to completion once, uncrashed, and learn the dispatch
 /// window worth fuzzing: from just before the first commits to the last
 /// acknowledgement.
-fn probe(mode: PersistMode, seed: u64) -> (u64, u64) {
+fn probe(mode: PersistMode, seed: u64, offload: bool) -> (u64, u64) {
     let mut store = DurableStore::new();
-    let (mut node, stats) = build_node(&mut store, mode, seed);
+    let (mut node, stats) = build_node(&mut store, mode, seed, offload);
     node.sim.run_until(SimTime(1120 * MILLIS));
     let d_lo = node.sim.dispatched();
     while !stats.lock().done {
@@ -107,6 +109,16 @@ fn probe(mode: PersistMode, seed: u64) -> (u64, u64) {
         RECORDS / INSERTS_PER_TXN as u64,
         "probe must commit the whole workload"
     );
+    // The offload arm must actually ride the device-side append: the
+    // commit pipeline publishes no control cells at all.
+    let ts = node.stats.lock();
+    if offload {
+        assert_eq!(ts.pm_ctrl_writes, 0, "offload mode must not publish cells");
+        assert!(ts.pm_batches > 0, "offload mode ran no PM appends");
+    } else {
+        assert!(ts.pm_ctrl_writes > 0, "classic mode must publish cells");
+    }
+    drop(ts);
     assert!(d_hi > d_lo);
     (d_lo, d_hi)
 }
@@ -121,11 +133,17 @@ struct PointOutcome {
 /// recover offline, and evaluate every invariant the mode promises.
 /// `torn_offset` additionally applies an `off`-byte torn write inside the
 /// control cell of partition 0 before recovery.
-fn crash_point(mode: PersistMode, seed: u64, k: u64, torn_offset: Option<usize>) -> PointOutcome {
+fn crash_point(
+    mode: PersistMode,
+    seed: u64,
+    k: u64,
+    torn_offset: Option<usize>,
+    offload: bool,
+) -> PointOutcome {
     let mut store = DurableStore::new();
     let acked;
     {
-        let (mut node, stats) = build_node(&mut store, mode, seed);
+        let (mut node, stats) = build_node(&mut store, mode, seed, offload);
         node.sim.run_until_dispatched(k);
         acked = stats.lock().committed_txns;
         // Sim dropped here == power loss at the event boundary.
@@ -134,25 +152,43 @@ fn crash_point(mode: PersistMode, seed: u64, k: u64, torn_offset: Option<usize>)
 
     let mut violations: Vec<String> = Vec::new();
 
-    // Torn control-cell write: the next publication tears mid-cell. The
-    // double-buffered cell must still parse to the previous watermark.
+    // Either watermark discipline parses the same way: the region head
+    // holds CRC'd `(tail, crc)` slots — two for the classic control cell,
+    // four for the device-side append tail.
+    let parse_wm = |raw: &[u8]| -> (u64, u64) {
+        if offload {
+            let (wm, slot) = npmu::parse_append_cell(raw);
+            (wm, slot.map(|s| (s + 1) % npmu::APPEND_SLOTS).unwrap_or(0))
+        } else {
+            let (wm, slot) = parse_ctrl_cell(raw);
+            (wm, slot.map(|s| 1 - s).unwrap_or(0) as u64)
+        }
+    };
+
+    // Torn watermark write: the next publication tears mid-slot. The
+    // multi-slot cell must still parse to the previously published
+    // watermark — never a garbage LSN.
     if let Some(off) = torn_offset {
         if let Some(img) = store.get::<npmu::NvImage>("npmu:pm-a") {
             let mut img = img.lock();
             let meta = pmm::MetaStore::recover(|o, l| img.read(o, l));
             if let Some(region) = meta.find("adp0.audit") {
                 let base = region.base;
-                let raw = img.read(base, 2 * PM_CTRL_SLOT_BYTES as usize);
-                let (wm, slot) = parse_ctrl_cell(&raw);
-                let target = slot.map(|s| 1 - s).unwrap_or(0) as u64;
+                let raw = img.read(base, PM_CTRL_BYTES as usize);
+                let (wm, target) = parse_wm(&raw);
                 let next = wm + 4096;
-                let mut cell = Vec::with_capacity(PM_CTRL_SLOT_BYTES as usize);
-                cell.extend_from_slice(&next.to_le_bytes());
-                cell.extend_from_slice(&pmm::meta::crc32(&next.to_le_bytes()).to_le_bytes());
-                cell.extend_from_slice(&[0u8; 4]);
+                let cell = if offload {
+                    npmu::encode_append_slot(next).to_vec()
+                } else {
+                    let mut c = Vec::with_capacity(PM_CTRL_SLOT_BYTES as usize);
+                    c.extend_from_slice(&next.to_le_bytes());
+                    c.extend_from_slice(&pmm::meta::crc32(&next.to_le_bytes()).to_le_bytes());
+                    c.extend_from_slice(&[0u8; 4]);
+                    c
+                };
                 img.partial_write(base + target * PM_CTRL_SLOT_BYTES, &cell, off);
-                let raw2 = img.read(base, 2 * PM_CTRL_SLOT_BYTES as usize);
-                let (wm2, _) = parse_ctrl_cell(&raw2);
+                let raw2 = img.read(base, PM_CTRL_BYTES as usize);
+                let (wm2, _) = parse_wm(&raw2);
                 // A tear short of the 12 payload bytes (wm + crc) must
                 // fall back to the surviving slot; a tear at >= 12 bytes
                 // delivered the whole logical cell (only pad was cut), so
@@ -161,7 +197,7 @@ fn crash_point(mode: PersistMode, seed: u64, k: u64, torn_offset: Option<usize>)
                 let ok = if off < 12 { wm2 == wm } else { wm2 == next };
                 if !ok {
                     violations.push(format!(
-                        "k={k}: torn ctrl write ({off} bytes) parsed to garbage \
+                        "k={k}: torn watermark write ({off} bytes) parsed to garbage \
                          watermark {wm2} (prev {wm}, next {next})"
                     ));
                 }
@@ -221,8 +257,8 @@ fn crash_point(mode: PersistMode, seed: u64, k: u64, torn_offset: Option<usize>)
             ) else {
                 continue;
             };
-            let (wa, _) = parse_ctrl_cell(&a);
-            let (wb, _) = parse_ctrl_cell(&b);
+            let (wa, _) = parse_wm(&a);
+            let (wb, _) = parse_wm(&b);
             let wm = wa.min(wb) as usize;
             let cap = a.len() - PM_CTRL_BYTES as usize;
             if wm > cap {
@@ -252,7 +288,7 @@ struct ModeReport {
     violations: Vec<String>,
 }
 
-fn fuzz_mode(mode: PersistMode) -> ModeReport {
+fn fuzz_mode(mode: PersistMode, offload: bool) -> ModeReport {
     let per_mode = points_per_mode();
     let seeds: &[u64] = &[0xF0_0D, 0x5EED];
     let per_seed = per_mode.div_ceil(seeds.len());
@@ -263,13 +299,13 @@ fn fuzz_mode(mode: PersistMode) -> ModeReport {
         violations: Vec::new(),
     };
     for (si, &seed) in seeds.iter().enumerate() {
-        let (d_lo, d_hi) = probe(mode, seed);
+        let (d_lo, d_hi) = probe(mode, seed, offload);
         for i in 0..per_seed {
             let k = d_lo + (d_hi - d_lo) * i as u64 / per_seed as u64;
-            // Every 5th point also tears the next control-cell write,
-            // cycling through all intra-cell byte offsets 1..=15.
+            // Every 5th point also tears the next watermark write,
+            // cycling through all intra-slot byte offsets 1..=15.
             let torn = (i % 5 == 0).then_some((si + i / 5) % 15 + 1);
-            let out = crash_point(mode, seed, k, torn);
+            let out = crash_point(mode, seed, k, torn, offload);
             report.points += 1;
             if out.acked > 0 {
                 report.points_with_acks += 1;
@@ -294,7 +330,7 @@ fn fuzz_mode(mode: PersistMode) -> ModeReport {
 
 #[test]
 fn persist_flush_never_loses_an_acked_commit_at_any_crash_point() {
-    let report = fuzz_mode(PersistMode::PersistFlush);
+    let report = fuzz_mode(PersistMode::PersistFlush, false);
     assert!(
         report.violations.is_empty(),
         "{} violations:\n{}",
@@ -306,7 +342,25 @@ fn persist_flush_never_loses_an_acked_commit_at_any_crash_point() {
 
 #[test]
 fn flush_on_read_never_loses_an_acked_commit_at_any_crash_point() {
-    let report = fuzz_mode(PersistMode::FlushOnRead);
+    let report = fuzz_mode(PersistMode::FlushOnRead, false);
+    assert!(
+        report.violations.is_empty(),
+        "{} violations:\n{}",
+        report.violations.len(),
+        report.violations.join("\n")
+    );
+    assert_eq!(report.total_lost, 0);
+}
+
+/// The device-append arm: commits ride the NPMU's device-side atomic
+/// log-append (no control-cell publication at all), and the sweep cuts
+/// power at every sampled boundary — including between the device's tail
+/// bump and the client's ack. Zero acked commits may be lost, recovery
+/// reconciles mirrored tails, and a torn tail-slot write never parses to
+/// a garbage watermark.
+#[test]
+fn device_append_offload_never_loses_an_acked_commit_at_any_crash_point() {
+    let report = fuzz_mode(PersistMode::PersistFlush, true);
     assert!(
         report.violations.is_empty(),
         "{} violations:\n{}",
@@ -318,7 +372,7 @@ fn flush_on_read_never_loses_an_acked_commit_at_any_crash_point() {
 
 #[test]
 fn nic_ack_demonstrably_loses_acked_commits_under_crash() {
-    let report = fuzz_mode(PersistMode::NicAck);
+    let report = fuzz_mode(PersistMode::NicAck, false);
     // The torn-cell invariant still holds in NicAck (the only invariant
     // checked for the optimistic mode).
     assert!(

@@ -10,12 +10,17 @@
 #     fabric QoS schedulers regressing) is just as much rot, but gets a
 #     looser band because tails move more than means.
 #
-# Speedup ratios and fabric byte counters are deliberately ignored.
+# Speedup ratios and fabric byte counters are deliberately ignored —
+# except for the `offload` bench, whose artifact captures the offload
+# arms' per-class fabric byte totals: there a third arm fails if any
+# fabric_*_bytes counter grows past 1.25x the committed number (the
+# offload verbs exist to keep bytes off the wire; footprint creep is
+# exactly the regression they can suffer silently).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 repo="$PWD"
 
-BENCHES=(pool_scaling audit_scaling read_scaling persist_modes shard_scaling qos_isolation)
+BENCHES=(pool_scaling audit_scaling read_scaling persist_modes shard_scaling qos_isolation offload)
 
 cargo build --release -p pm-bench --bins
 
@@ -46,6 +51,7 @@ for bench in "${BENCHES[@]}"; do
       kind = ""
       if (key ~ /(per_sec|mb_s|kops)$/) kind = "tput"
       else if (key ~ /p(50|95|99)_(ns|us|ms)$/) kind = "lat"
+      else if (bench == "offload" && key ~ /^fabric_[a-z]+_bytes$/) kind = "fab"
       if (kind == "") next
       if (NR == FNR) { committed[key] = val; next }
       if (!(key in committed)) { printf "  %s: %s missing from committed artifact\n", bench, key; bad = 1; next }
@@ -56,6 +62,10 @@ for bench in "${BENCHES[@]}"; do
       }
       if (key ~ /p(50|95|99)_(ns|us|ms)$/ && val + 0 > 2.0 * committed[key]) {
         printf "  %s: %s latency blew up: %.1f > 2x committed %.1f\n", bench, key, val, committed[key]
+        bad = 1
+      }
+      if (kind == "fab" && val + 0 > 1.25 * committed[key]) {
+        printf "  %s: %s fabric bytes grew: %.0f > 1.25x committed %.0f\n", bench, key, val, committed[key]
         bad = 1
       }
     }
