@@ -31,6 +31,12 @@ cargo run --release -p pm-bench --bin qos_isolation
 # scrub cuts verify fabric bytes >= 10x, and NPMU->NPMU copy lifts the
 # pool-wide resilver rate >= 1.5x, all internally.
 cargo run --release -p pm-bench --bin offload
+# Smoke: geo-replication failover drill (T14) — asserts internally that
+# the drained controls converge to RPO 0 with byte-identical trail
+# prefixes, every drill replica is a bit-identical prefix of its
+# primary, eager RPO <= lazy below the bandwidth-delay crossover, the
+# epoch fence round-trips, and no arm accumulates unbounded backlog.
+cargo run --release -p pm-bench --bin georep
 # Crash-point fuzz smoke: ~200 injected power-loss points across the
 # three persistence modes plus the device-append offload arm (power loss
 # sampled between device tail bump and client ack; release: `cargo test

@@ -48,7 +48,7 @@ fn bench_btree(c: &mut Criterion) {
         let mut k = 0u64;
         b.iter(|| {
             k += 1;
-            t.insert(&mut m, k, k);
+            t.insert(&mut m, k, k).unwrap();
             black_box(k)
         })
     });
@@ -56,7 +56,7 @@ fn bench_btree(c: &mut Criterion) {
         let mut m = VecMedium::new(8 << 20);
         let mut t = PmBTree::format(&mut m, 0, 8 << 20);
         for k in 0..10_000u64 {
-            t.insert(&mut m, k, k * 2);
+            t.insert(&mut m, k, k * 2).unwrap();
         }
         let mut k = 0u64;
         b.iter(|| {

@@ -1,5 +1,5 @@
 //! Calibration matrix: the full (txn size × drivers × mode) grid in one
-//! screen — the tool used to tune DESIGN.md §14's constants against the
+//! screen — the tool used to tune DESIGN.md §16's constants against the
 //! paper's shapes. `fig1`/`fig2` produce the publication tables; this
 //! prints the raw grid.
 

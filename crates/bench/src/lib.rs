@@ -1,6 +1,6 @@
 //! # pm-bench — harnesses that regenerate the paper's figures and claims
 //!
-//! One binary per experiment (see DESIGN.md §11):
+//! One binary per experiment (see DESIGN.md §12):
 //!
 //! | binary            | reproduces |
 //! |-------------------|------------|
@@ -19,6 +19,7 @@
 //! | `shard_scaling`   | DESIGN.md §8 — sharded txn throughput, 2PC tax, population load (T11) |
 //! | `qos_isolation`   | DESIGN.md §9 — commit p99 vs online resilver by QoS policy (T12) |
 //! | `offload`         | DESIGN.md §10 — near-device offload: device append / scrub / NPMU→NPMU copy (T13) |
+//! | `georep`          | DESIGN.md §11 — geo-replication: RPO/RTO by shipping mode × WAN delay (T14) |
 //! | `ablations`       | DESIGN.md ablations A1–A3 |
 //!
 //! Each binary prints a CSV block (machine-readable) and an aligned text

@@ -96,17 +96,17 @@ mod tests {
         let mut w = NvMedium::new(img.clone(), 0, 2 << 20);
         let mut t = PmBTree::format(&mut w, 0, 2 << 20);
         for k in 0..200u64 {
-            t.insert(&mut w, k, k * 7);
+            t.insert(&mut w, k, k * 7).unwrap();
         }
         let _ = t;
         drop(w);
         // "Power loss": only the image survives; reopen through a fresh
         // adapter and recover.
         let mut w2 = NvMedium::new(img, 0, 2 << 20);
-        let t2 = PmBTree::recover(&mut w2, 0, 2 << 20);
+        let t2 = PmBTree::recover(&mut w2, 0, 2 << 20).unwrap();
         t2.check(&w2);
-        assert_eq!(t2.get(&w2, 123), Some(861));
-        assert_eq!(t2.len(&w2), 200);
+        assert_eq!(t2.get(&w2, 123).unwrap(), Some(861));
+        assert_eq!(t2.len(&w2).unwrap(), 200);
     }
 
     #[test]

@@ -42,4 +42,4 @@ pub use pmm::{
     install_pmm_pair, install_pmm_pool, Extent, HealthState, PlacementHint, PlacementPolicy,
     PmmConfig, PmmHandle, PmmStats, RegionInfo, StripeMap, VolumeEps,
 };
-pub use pmstore::{PmBTree, PmHeap, PmLockTable, PmQueue, PmTx, TcbTable};
+pub use pmstore::{ParseError, PmBTree, PmHeap, PmLockTable, PmQueue, PmTx, TcbTable};

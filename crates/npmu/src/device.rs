@@ -178,6 +178,9 @@ pub struct NpmuStats {
     pub bytes_written: u64,
     pub bytes_read: u64,
     pub access_violations: u64,
+    /// Writes/appends rejected because the device-wide write fence was
+    /// engaged (an epoch fence from a disaster-recovery takeover).
+    pub fenced_ops: u64,
     /// Explicit persist flushes served.
     pub flushes: u64,
     /// Device-side atomic log-appends granted (real appends; tail
@@ -213,6 +216,23 @@ pub type SharedNpmuStats = Arc<Mutex<NpmuStats>>;
 /// register pool members as mutual peers after install.
 pub type SharedDmaPeers = Arc<Mutex<BTreeSet<EndpointId>>>;
 
+/// Device-wide *write fence*: when engaged, plain writes and real
+/// appends from any initiator outside the `exempt` set (and outside the
+/// peer-DMA set) are rejected with `AccessViolation`. Reads still serve.
+///
+/// This is the enforcement half of an epoch fence: after a
+/// disaster-recovery takeover bumps the pool epoch, the PMM engages the
+/// fence on every member so a revived old-primary ADP cannot mutate
+/// trails the replica site has already taken over. The PMM's own
+/// endpoints stay exempt so metadata checkpoints keep working.
+#[derive(Default)]
+pub struct WriteFence {
+    pub engaged: bool,
+    pub exempt: BTreeSet<EndpointId>,
+}
+
+pub type SharedWriteFence = Arc<Mutex<WriteFence>>;
+
 /// Everything a scenario needs to talk to an installed NPMU.
 #[derive(Clone)]
 pub struct NpmuHandle {
@@ -223,6 +243,7 @@ pub struct NpmuHandle {
     pub stats: SharedNpmuStats,
     pub kind: NpmuKind,
     pub dma_peers: SharedDmaPeers,
+    pub write_fence: SharedWriteFence,
 }
 
 /// PMP-only: an op whose device-side processing is delayed.
@@ -289,6 +310,7 @@ pub struct Npmu {
     /// Local op-id space for the outbound copy writes above.
     next_copy_op: u64,
     dma_peers: SharedDmaPeers,
+    write_fence: SharedWriteFence,
 }
 
 impl Npmu {
@@ -320,6 +342,7 @@ impl Npmu {
         let att = AttTable::shared();
         let stats: SharedNpmuStats = Arc::new(Mutex::new(NpmuStats::default()));
         let dma_peers: SharedDmaPeers = Arc::new(Mutex::new(BTreeSet::new()));
+        let write_fence: SharedWriteFence = Arc::new(Mutex::new(WriteFence::default()));
         let ep = net.lock().attach(ActorId(u32::MAX));
         let actor = sim.spawn(Npmu {
             name: name.to_string(),
@@ -336,6 +359,7 @@ impl Npmu {
             pending_copies: BTreeMap::new(),
             next_copy_op: 0,
             dma_peers: dma_peers.clone(),
+            write_fence: write_fence.clone(),
         });
         net.lock().rebind(ep, actor);
         NpmuHandle {
@@ -346,7 +370,15 @@ impl Npmu {
             stats,
             kind: cfg.kind,
             dma_peers,
+            write_fence,
         }
+    }
+
+    /// Does the engaged write fence bar this initiator? Peer devices
+    /// (resilver DMA) and exempt endpoints (the managing PMMs) pass.
+    fn fenced(&self, from_ep: EndpointId) -> bool {
+        let f = self.write_fence.lock();
+        f.engaged && !f.exempt.contains(&from_ep) && !self.dma_peers.lock().contains(&from_ep)
     }
 
     fn initiator_cpu(&self, from_ep: EndpointId) -> u32 {
@@ -438,17 +470,26 @@ impl Npmu {
             }
             return;
         }
-        let cpu = self.initiator_cpu(w.from_ep);
         let net = self.net.clone();
+        if self.fenced(w.from_ep) {
+            self.stats.lock().fenced_ops += 1;
+            reply_rdma_write(ctx, &net, &w, RdmaStatus::AccessViolation);
+            return;
+        }
+        let cpu = self.initiator_cpu(w.from_ep);
         // A registered peer device has no initiating CPU: window bounds
         // apply, the CPU filter does not (device-to-device resilver
         // payload writes land through the same open windows the PMM
         // restricted to itself).
         let peer = self.dma_peers.lock().contains(&w.from_ep);
+        // Validate the on-wire span, not the (possibly compact) payload:
+        // a zero-length translate at a window boundary matches the
+        // preceding window and fails on the wrong entry's permissions.
+        let span = (w.wire_len as u64).max(w.data.len() as u64);
         let verdict = if peer {
-            self.att.lock().translate_peer(w.addr, w.data.len() as u64)
+            self.att.lock().translate_peer(w.addr, span)
         } else {
-            self.att.lock().translate(w.addr, w.data.len() as u64, cpu)
+            self.att.lock().translate(w.addr, span, cpu)
         };
         match verdict {
             Ok(phys) => {
@@ -636,6 +677,11 @@ impl Npmu {
             return;
         }
         // Real append: the whole cell + data window must be writable.
+        if self.fenced(a.from_ep) {
+            self.stats.lock().fenced_ops += 1;
+            reply_rdma_append(ctx, &net, &a, RdmaStatus::AccessViolation, 0);
+            return;
+        }
         let verdict = self
             .att
             .lock()

@@ -27,6 +27,7 @@ pub mod memory;
 pub use att::{AttEntry, AttTable, CpuFilter, SharedAtt};
 pub use device::{
     encode_append_slot, parse_append_cell, FailureMode, Npmu, NpmuConfig, NpmuHandle, NpmuKind,
-    NpmuStats, SharedDmaPeers, SharedNpmuStats, APPEND_SLOTS, APPEND_SLOT_BYTES,
+    NpmuStats, SharedDmaPeers, SharedNpmuStats, SharedWriteFence, WriteFence, APPEND_SLOTS,
+    APPEND_SLOT_BYTES,
 };
 pub use memory::{checksum64, NvImage};

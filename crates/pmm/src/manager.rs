@@ -210,6 +210,9 @@ enum PendingReply {
     Create(u64, Result<RegionInfo, PmError>),
     Delete(u64, Result<(), PmError>),
     Migrate(u64, Result<RegionInfo, PmError>),
+    /// Epoch fence (token, new epoch): engage every member's device
+    /// write fence once the epoch bump is durable, then ack.
+    Fence(u64, u64),
     /// Internal state-machine transition (health changes): no client ack.
     Internal,
 }
@@ -678,6 +681,30 @@ impl PmmProc {
                     op.reply_to_ep,
                     128,
                     MigrateRegionAck { token: tok, result },
+                );
+            }
+            PendingReply::Fence(tok, epoch) => {
+                // The epoch bump is durable on every member: drop the
+                // portcullis. The PMM's own endpoint stays exempt so
+                // metadata writes, probes and resilvers keep working;
+                // peer-DMA (resilver copies) passes via the peer set.
+                for v in &self.vols {
+                    for h in [&v.npmu_a, &v.npmu_b] {
+                        let mut f = h.write_fence.lock();
+                        f.engaged = true;
+                        f.exempt.insert(self.ep);
+                    }
+                }
+                send_net_msg(
+                    ctx,
+                    &net,
+                    self.ep,
+                    op.reply_to_ep,
+                    64,
+                    FencePoolAck {
+                        token: tok,
+                        result: Ok(epoch),
+                    },
                 );
             }
             PendingReply::Internal => {}
@@ -2399,6 +2426,51 @@ impl PmmProc {
                     // recording a durable state change.
                     self.send_probe(ctx, vol, ProbeKind::Confirm { half: rep.half });
                 }
+                return;
+            }
+            Err(p) => p,
+        };
+
+        let payload = match payload.downcast::<FencePool>() {
+            Ok(req) => {
+                let req = *req;
+                if req.epoch <= self.pool.epoch {
+                    // Stale fence (a replayed or out-of-order takeover):
+                    // epochs only move forward.
+                    send_net_msg(
+                        ctx,
+                        &net,
+                        self.ep,
+                        from_ep,
+                        64,
+                        FencePoolAck {
+                            token: req.token,
+                            result: Err(PmError::Busy),
+                        },
+                    );
+                    return;
+                }
+                // Persist the new epoch on every member's metadata FIRST,
+                // then engage the device fences at commit: a fence that
+                // engaged before the epoch was durable could be silently
+                // lost to a PMM restart, un-fencing a dead primary.
+                self.pool.epoch = req.epoch;
+                for v in 0..self.vols.len() {
+                    apply_pool_to_member(&self.pool, v as u32, &mut self.vols[v].meta);
+                    self.vols[v].meta.epoch += 1;
+                }
+                let targets = self.all_vols();
+                self.start_meta_write(
+                    ctx,
+                    PendingOp {
+                        waiting_writes: 0,
+                        waiting_ckpt: false,
+                        reply_to_ep: from_ep,
+                        reply: PendingReply::Fence(req.token, req.epoch),
+                        att_actions: vec![],
+                    },
+                    &targets,
+                );
                 return;
             }
             Err(p) => p,

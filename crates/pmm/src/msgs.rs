@@ -190,6 +190,26 @@ pub struct VolumeHealthAck {
     pub members: Vec<crate::meta::HealthState>,
 }
 
+/// Epoch-fence the whole pool (disaster-recovery takeover). Sent by the
+/// takeover controller once the replica site declares the primary dead:
+/// the PMM bumps the pool epoch to `epoch` (rejected if not strictly
+/// newer), persists it on every member's metadata, then engages each
+/// NPMU's device-wide write fence — so a revived old-primary ADP, still
+/// holding pre-takeover region mappings, takes `AccessViolation` on
+/// every write/append instead of silently diverging the trails.
+#[derive(Clone, Copy, Debug)]
+pub struct FencePool {
+    pub epoch: u64,
+    pub token: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct FencePoolAck {
+    pub token: u64,
+    /// `Err(Busy)` if the requested epoch is not newer than the pool's.
+    pub result: Result<u64, PmError>,
+}
+
 /// Enumerate regions.
 #[derive(Clone, Debug)]
 pub struct ListRegions {

@@ -1,0 +1,50 @@
+//! Checked parse errors for bytes read back from a PM region image.
+//!
+//! Recovery and the geo-replica apply path parse images that may be
+//! short, torn or bit-flipped (a WAN batch truncated in flight, a region
+//! scribbled by a misdirected write). Structural parsers in this crate
+//! return [`ParseError`] for input they cannot prove well-formed, so a
+//! corrupt image fails recovery *cleanly* — the caller decides whether to
+//! skip, re-fetch or refuse — instead of aborting the process on a sliced
+//! `try_into().unwrap()` or an out-of-bounds index.
+
+use std::fmt;
+
+/// A structural parse failure at a region offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseError {
+    /// Which persistent structure refused the bytes.
+    pub what: &'static str,
+    /// Region offset of the failing bytes.
+    pub off: u64,
+    /// Why they were refused.
+    pub reason: &'static str,
+}
+
+impl ParseError {
+    pub fn new(what: &'static str, off: u64, reason: &'static str) -> ParseError {
+        ParseError { what, off, reason }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at region offset {}: {}",
+            self.what, self.off, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Little-endian u32 at `at`, or `None` when the slice is short.
+pub(crate) fn le_u32(raw: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(raw.get(at..at + 4)?.try_into().ok()?))
+}
+
+/// Little-endian u64 at `at`, or `None` when the slice is short.
+pub(crate) fn le_u64(raw: &[u8], at: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(raw.get(at..at + 8)?.try_into().ok()?))
+}

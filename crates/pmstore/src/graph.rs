@@ -355,7 +355,7 @@ mod tests {
         };
         let map_base = 0x7000_0000u64;
         let mut image = m.read(0, LEN as usize);
-        let fixed = book.fixups.apply_bulk(&mut image, map_base);
+        let fixed = book.fixups.apply_bulk(&mut image, map_base).unwrap();
         assert!(fixed >= 5, "head + level links + order links, minus NULLs");
 
         // Walk with absolute pointers: head → level → first order.

@@ -14,6 +14,7 @@
 //! tree. Deletion removes keys from leaves without rebalancing —
 //! underfull leaves are legal, as in many production trees.
 
+use crate::error::{le_u32, le_u64, ParseError};
 use crate::heap::PmHeap;
 use crate::medium::PmMedium;
 use crate::redo::PmTx;
@@ -56,22 +57,30 @@ impl Node {
         b
     }
 
-    fn decode(off: u64, raw: &[u8]) -> Node {
-        let leaf = u32::from_le_bytes(raw[..4].try_into().unwrap()) != 0;
-        let n = u32::from_le_bytes(raw[4..8].try_into().unwrap()) as usize;
-        assert!(n <= ORDER, "corrupt node at {off}");
-        let next = u64::from_le_bytes(raw[8..16].try_into().unwrap());
-        let rd = |i: usize| u64::from_le_bytes(raw[16 + i * 8..24 + i * 8].try_into().unwrap());
-        let keys: Vec<u64> = (0..n).map(rd).collect();
+    fn decode(off: u64, raw: &[u8]) -> Result<Node, ParseError> {
+        let err = |reason| ParseError::new("btree node", off, reason);
+        if raw.len() < Node::BYTES as usize {
+            return Err(err("short node image"));
+        }
+        let leaf = le_u32(raw, 0).ok_or_else(|| err("short node image"))? != 0;
+        let n = le_u32(raw, 4).ok_or_else(|| err("short node image"))? as usize;
+        if n > ORDER {
+            return Err(err("key count exceeds node order"));
+        }
+        let next = le_u64(raw, 8).ok_or_else(|| err("short node image"))?;
+        let rd = |i: usize| le_u64(raw, 16 + i * 8).ok_or_else(|| err("short node image"));
+        let keys = (0..n).map(rd).collect::<Result<Vec<u64>, _>>()?;
         let n_slots = if leaf { n } else { n + 1 };
-        let slots = (0..n_slots).map(|i| rd(ORDER + i)).collect();
-        Node {
+        let slots = (0..n_slots)
+            .map(|i| rd(ORDER + i))
+            .collect::<Result<Vec<u64>, _>>()?;
+        Ok(Node {
             off,
             leaf,
             next,
             keys,
             slots,
-        }
+        })
     }
 }
 
@@ -173,23 +182,44 @@ impl PmBTree {
     }
 
     /// Recover after a crash (replays the heap's and the tree's pending
-    /// transactions, then re-reads the root pointer).
-    pub fn recover<M: PmMedium>(medium: &mut M, base: u64, len: u64) -> PmBTree {
+    /// transactions, then re-reads the root pointer). A region that was
+    /// never formatted — or whose metadata is corrupt — is refused with a
+    /// [`ParseError`] instead of aborting the recovering process.
+    pub fn recover<M: PmMedium>(
+        medium: &mut M,
+        base: u64,
+        len: u64,
+    ) -> Result<PmBTree, ParseError> {
+        // Validate the magic BEFORE replaying heap/tx logs: an unformatted
+        // or foreign region must be refused, not replayed.
+        let meta_off = Self::meta_off(base);
+        let err = |reason| ParseError::new("btree meta", meta_off, reason);
+        if meta_off + 16 > medium.len() {
+            return Err(err("meta beyond region end"));
+        }
+        let meta = medium.read(meta_off, 16);
+        let magic = le_u32(&meta, 0).ok_or_else(|| err("short meta"))?;
+        if magic != MAGIC {
+            return Err(err("bad magic: not a PmBTree region"));
+        }
         let heap = PmHeap::recover(medium, Self::heap_off(base), len - META_LEN - TX_LOG_LEN);
         let (tx, _) = PmTx::recover(medium, Self::txlog_off(base), TX_LOG_LEN);
-        let meta = medium.read(Self::meta_off(base), 16);
-        let magic = u32::from_le_bytes(meta[..4].try_into().unwrap());
-        assert_eq!(magic, MAGIC, "not a PmBTree region");
-        let root = u64::from_le_bytes(meta[8..16].try_into().unwrap());
-        PmBTree {
+        // Re-read the root AFTER replay: a committed-but-unapplied tx may
+        // have just rewritten the meta block.
+        let meta = medium.read(meta_off, 16);
+        let root = le_u64(&meta, 8).ok_or_else(|| err("short meta"))?;
+        Ok(PmBTree {
             base,
             heap,
             tx,
             root,
-        }
+        })
     }
 
-    fn read_node<M: PmMedium>(&self, medium: &M, off: u64) -> Node {
+    fn read_node<M: PmMedium>(&self, medium: &M, off: u64) -> Result<Node, ParseError> {
+        if off + Node::BYTES as u64 > medium.len() {
+            return Err(ParseError::new("btree node", off, "node beyond region end"));
+        }
         Node::decode(off, &medium.read(off, Node::BYTES as usize))
     }
 
@@ -201,23 +231,28 @@ impl PmBTree {
         }
     }
 
-    pub fn get<M: PmMedium>(&self, medium: &M, key: u64) -> Option<u64> {
-        let mut node = self.read_node(medium, self.root);
+    pub fn get<M: PmMedium>(&self, medium: &M, key: u64) -> Result<Option<u64>, ParseError> {
+        let mut node = self.read_node(medium, self.root)?;
         loop {
             if node.leaf {
-                return node.keys.binary_search(&key).ok().map(|i| node.slots[i]);
+                return Ok(node.keys.binary_search(&key).ok().map(|i| node.slots[i]));
             }
             let child = node.slots[Self::child_index(&node, key)];
-            node = self.read_node(medium, child);
+            node = self.read_node(medium, child)?;
         }
     }
 
     /// Insert or update; returns the previous value if present.
-    pub fn insert<M: PmMedium>(&mut self, medium: &mut M, key: u64, value: u64) -> Option<u64> {
+    pub fn insert<M: PmMedium>(
+        &mut self,
+        medium: &mut M,
+        key: u64,
+        value: u64,
+    ) -> Result<Option<u64>, ParseError> {
         let mut writes: Vec<(u64, Vec<u8>)> = Vec::new();
         let mut root_changed = false;
 
-        let mut root = self.read_node(medium, self.root);
+        let mut root = self.read_node(medium, self.root)?;
         if root.keys.len() == ORDER {
             let right_off = self.heap.alloc(medium, Node::BYTES).expect("heap full");
             let new_root_off = self.heap.alloc(medium, Node::BYTES).expect("heap full");
@@ -239,14 +274,14 @@ impl PmBTree {
 
         // Descend with preemptive splits; `root` is the in-memory image of
         // the current node (already reflecting staged writes).
-        let prev = self.descend(medium, root, key, value, &mut writes);
+        let prev = self.descend(medium, root, key, value, &mut writes)?;
 
         if root_changed {
             writes.push((Self::meta_off(self.base), Self::meta_bytes(self.root)));
         }
         let w: Vec<(u64, &[u8])> = writes.iter().map(|(o, d)| (*o, d.as_slice())).collect();
         self.tx.run(medium, &w);
-        prev
+        Ok(prev)
     }
 
     fn descend<M: PmMedium>(
@@ -256,7 +291,7 @@ impl PmBTree {
         key: u64,
         value: u64,
         writes: &mut Vec<(u64, Vec<u8>)>,
-    ) -> Option<u64> {
+    ) -> Result<Option<u64>, ParseError> {
         loop {
             if node.leaf {
                 match node.keys.binary_search(&key) {
@@ -264,22 +299,22 @@ impl PmBTree {
                         let prev = node.slots[i];
                         node.slots[i] = value;
                         writes.push((node.off, node.encode()));
-                        return Some(prev);
+                        return Ok(Some(prev));
                     }
                     Err(i) => {
                         node.keys.insert(i, key);
                         node.slots.insert(i, value);
                         writes.push((node.off, node.encode()));
-                        return None;
+                        return Ok(None);
                     }
                 }
             }
             let ci = Self::child_index(&node, key);
-            let mut child = self.read_node(medium, node.slots[ci]);
+            let mut child = self.read_node(medium, node.slots[ci])?;
             // Apply any staged write for this child (it may have been
             // split already within this same transaction).
             if let Some((_, staged)) = writes.iter().rev().find(|(o, _)| *o == child.off) {
-                child = Node::decode(child.off, staged);
+                child = Node::decode(child.off, staged)?;
             }
             if child.keys.len() == ORDER {
                 let right_off = self.heap.alloc(medium, Node::BYTES).expect("heap full");
@@ -298,11 +333,15 @@ impl PmBTree {
 
     /// Remove a key; returns its value. Leaves may go underfull (no
     /// rebalancing); an empty leaf stays linked and is skipped by scans.
-    pub fn remove<M: PmMedium>(&mut self, medium: &mut M, key: u64) -> Option<u64> {
-        let mut node = self.read_node(medium, self.root);
+    pub fn remove<M: PmMedium>(
+        &mut self,
+        medium: &mut M,
+        key: u64,
+    ) -> Result<Option<u64>, ParseError> {
+        let mut node = self.read_node(medium, self.root)?;
         while !node.leaf {
             let child = node.slots[Self::child_index(&node, key)];
-            node = self.read_node(medium, child);
+            node = self.read_node(medium, child)?;
         }
         match node.keys.binary_search(&key) {
             Ok(i) => {
@@ -311,38 +350,43 @@ impl PmBTree {
                 node.slots.remove(i);
                 let enc = node.encode();
                 self.tx.run(medium, &[(node.off, &enc)]);
-                Some(prev)
+                Ok(Some(prev))
             }
-            Err(_) => None,
+            Err(_) => Ok(None),
         }
     }
 
     /// All `(key, value)` pairs with `key ∈ [lo, hi)`, via the leaf chain.
-    pub fn range<M: PmMedium>(&self, medium: &M, lo: u64, hi: u64) -> Vec<(u64, u64)> {
-        let mut node = self.read_node(medium, self.root);
+    pub fn range<M: PmMedium>(
+        &self,
+        medium: &M,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<(u64, u64)>, ParseError> {
+        let mut node = self.read_node(medium, self.root)?;
         while !node.leaf {
             let child = node.slots[Self::child_index(&node, lo)];
-            node = self.read_node(medium, child);
+            node = self.read_node(medium, child)?;
         }
         let mut out = Vec::new();
         loop {
             for (i, &k) in node.keys.iter().enumerate() {
                 if k >= hi {
-                    return out;
+                    return Ok(out);
                 }
                 if k >= lo {
                     out.push((k, node.slots[i]));
                 }
             }
             if node.next == 0 {
-                return out;
+                return Ok(out);
             }
-            node = self.read_node(medium, node.next);
+            node = self.read_node(medium, node.next)?;
         }
     }
 
-    pub fn len<M: PmMedium>(&self, medium: &M) -> usize {
-        self.range(medium, 0, u64::MAX).len()
+    pub fn len<M: PmMedium>(&self, medium: &M) -> Result<usize, ParseError> {
+        Ok(self.range(medium, 0, u64::MAX)?.len())
     }
 
     /// Structural invariant check (tests): keys sorted in every node,
@@ -357,7 +401,7 @@ impl PmBTree {
             depth: usize,
             leaf_depth: &mut Option<usize>,
         ) {
-            let node = t.read_node(medium, off);
+            let node = t.read_node(medium, off).expect("check: readable node");
             for w in node.keys.windows(2) {
                 assert!(w[0] < w[1], "unsorted keys in node {off}");
             }
@@ -402,12 +446,16 @@ mod tests {
     #[test]
     fn insert_get_small() {
         let (mut m, mut t) = fresh();
-        assert_eq!(t.insert(&mut m, 5, 50), None);
-        assert_eq!(t.insert(&mut m, 3, 30), None);
-        assert_eq!(t.insert(&mut m, 5, 55), Some(50), "update returns old");
-        assert_eq!(t.get(&m, 5), Some(55));
-        assert_eq!(t.get(&m, 3), Some(30));
-        assert_eq!(t.get(&m, 4), None);
+        assert_eq!(t.insert(&mut m, 5, 50).unwrap(), None);
+        assert_eq!(t.insert(&mut m, 3, 30).unwrap(), None);
+        assert_eq!(
+            t.insert(&mut m, 5, 55).unwrap(),
+            Some(50),
+            "update returns old"
+        );
+        assert_eq!(t.get(&m, 5).unwrap(), Some(55));
+        assert_eq!(t.get(&m, 3).unwrap(), Some(30));
+        assert_eq!(t.get(&m, 4).unwrap(), None);
         t.check(&m);
     }
 
@@ -417,34 +465,34 @@ mod tests {
         // Pseudo-shuffled order exercises splits at all levels.
         for i in 0..1000u64 {
             let k = (i * 7919) % 10007;
-            t.insert(&mut m, k, k * 2);
+            t.insert(&mut m, k, k * 2).unwrap();
         }
         t.check(&m);
         for i in 0..1000u64 {
             let k = (i * 7919) % 10007;
-            assert_eq!(t.get(&m, k), Some(k * 2), "key {k}");
+            assert_eq!(t.get(&m, k).unwrap(), Some(k * 2), "key {k}");
         }
-        assert_eq!(t.len(&m), 1000);
+        assert_eq!(t.len(&m).unwrap(), 1000);
     }
 
     #[test]
     fn sequential_inserts() {
         let (mut m, mut t) = fresh();
         for k in 0..500u64 {
-            t.insert(&mut m, k, k + 1);
+            t.insert(&mut m, k, k + 1).unwrap();
         }
         t.check(&m);
-        assert_eq!(t.len(&m), 500);
-        assert_eq!(t.get(&m, 499), Some(500));
+        assert_eq!(t.len(&m).unwrap(), 500);
+        assert_eq!(t.get(&m, 499).unwrap(), Some(500));
     }
 
     #[test]
     fn range_scan_via_leaf_chain() {
         let (mut m, mut t) = fresh();
         for k in (0..200u64).rev() {
-            t.insert(&mut m, k * 10, k);
+            t.insert(&mut m, k * 10, k).unwrap();
         }
-        let r = t.range(&m, 500, 700);
+        let r = t.range(&m, 500, 700).unwrap();
         let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
         assert_eq!(keys, (50..70).map(|k| k * 10).collect::<Vec<_>>());
     }
@@ -453,14 +501,14 @@ mod tests {
     fn remove_and_reinsert() {
         let (mut m, mut t) = fresh();
         for k in 0..100u64 {
-            t.insert(&mut m, k, k);
+            t.insert(&mut m, k, k).unwrap();
         }
-        assert_eq!(t.remove(&mut m, 50), Some(50));
-        assert_eq!(t.remove(&mut m, 50), None);
-        assert_eq!(t.get(&m, 50), None);
-        assert_eq!(t.len(&m), 99);
-        t.insert(&mut m, 50, 999);
-        assert_eq!(t.get(&m, 50), Some(999));
+        assert_eq!(t.remove(&mut m, 50).unwrap(), Some(50));
+        assert_eq!(t.remove(&mut m, 50).unwrap(), None);
+        assert_eq!(t.get(&m, 50).unwrap(), None);
+        assert_eq!(t.len(&m).unwrap(), 99);
+        t.insert(&mut m, 50, 999).unwrap();
+        assert_eq!(t.get(&m, 50).unwrap(), Some(999));
         t.check(&m);
     }
 
@@ -468,14 +516,43 @@ mod tests {
     fn recover_after_clean_shutdown() {
         let (mut m, mut t) = fresh();
         for k in 0..300u64 {
-            t.insert(&mut m, k, k * 3);
+            t.insert(&mut m, k, k * 3).unwrap();
         }
         let _ = t;
         let mut m2 = m;
-        let t2 = PmBTree::recover(&mut m2, 0, LEN);
+        let t2 = PmBTree::recover(&mut m2, 0, LEN).unwrap();
         t2.check(&m2);
-        assert_eq!(t2.len(&m2), 300);
-        assert_eq!(t2.get(&m2, 123), Some(369));
+        assert_eq!(t2.len(&m2).unwrap(), 300);
+        assert_eq!(t2.get(&m2, 123).unwrap(), Some(369));
+    }
+
+    /// A corrupt image must refuse recovery or lookups with a
+    /// [`ParseError`] — never a panic (the geo-replica applies images it
+    /// did not write itself).
+    #[test]
+    fn corrupt_images_error_instead_of_panic() {
+        // Unformatted region: bad magic.
+        let mut blank = VecMedium::new(LEN);
+        assert!(PmBTree::recover(&mut blank, 0, LEN).is_err());
+
+        // Formatted tree whose root pointer is scribbled out of range.
+        let (mut m, mut t) = fresh();
+        for k in 0..50u64 {
+            t.insert(&mut m, k, k).unwrap();
+        }
+        let mut meta = m.read(PmBTree::meta_off(0), 16);
+        meta[8..16].copy_from_slice(&(LEN * 4).to_le_bytes());
+        m.write(PmBTree::meta_off(0), &meta);
+        let t2 = PmBTree::recover(&mut m, 0, LEN).unwrap();
+        assert!(t2.get(&m, 7).is_err(), "out-of-range root must not panic");
+        assert!(t2.range(&m, 0, u64::MAX).is_err());
+
+        // Scribble a plausible in-range root with an absurd key count.
+        let mut junk = vec![0xffu8; Node::BYTES as usize];
+        junk[0..4].copy_from_slice(&1u32.to_le_bytes());
+        let root_off = t.root;
+        m.write(root_off, &junk);
+        assert!(t.get(&m, 7).is_err(), "corrupt key count must not panic");
     }
 
     /// Crash during an insert at every (sampled) write budget: after
@@ -487,27 +564,27 @@ mod tests {
         let total = {
             let (mut m, mut t) = fresh();
             for k in 0..50u64 {
-                t.insert(&mut m, k * 2, k);
+                t.insert(&mut m, k * 2, k).unwrap();
             }
             let before = m.bytes_written;
-            t.insert(&mut m, 101, 999);
+            t.insert(&mut m, 101, 999).unwrap();
             m.bytes_written - before
         };
         for crash_at in (0..=total).step_by(5) {
             let (mut m, mut t) = fresh();
             for k in 0..50u64 {
-                t.insert(&mut m, k * 2, k);
+                t.insert(&mut m, k * 2, k).unwrap();
             }
             let mut torn = TornWriter::new(m);
             torn.crash_after(crash_at);
-            t.insert(&mut torn, 101, 999);
+            t.insert(&mut torn, 101, 999).unwrap();
             let mut m = torn.into_inner();
-            let t2 = PmBTree::recover(&mut m, 0, LEN);
+            let t2 = PmBTree::recover(&mut m, 0, LEN).unwrap();
             t2.check(&m);
             for k in 0..50u64 {
-                assert_eq!(t2.get(&m, k * 2), Some(k), "crash_at={crash_at}");
+                assert_eq!(t2.get(&m, k * 2).unwrap(), Some(k), "crash_at={crash_at}");
             }
-            let v = t2.get(&m, 101);
+            let v = t2.get(&m, 101).unwrap();
             assert!(
                 v.is_none() || v == Some(999),
                 "crash_at={crash_at}: phantom value {v:?}"

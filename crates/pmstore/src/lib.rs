@@ -31,6 +31,7 @@
 //! the flush/barrier discipline that tames them.
 
 pub mod directpm;
+pub mod error;
 pub mod graph;
 pub mod heap;
 pub mod index;
@@ -42,6 +43,7 @@ pub mod redo;
 pub mod tcb;
 
 pub use directpm::{DirectCell, DirectPm, NvSnapshot};
+pub use error::ParseError;
 pub use graph::{Order, PmOrderBook};
 pub use heap::PmHeap;
 pub use index::PmBTree;

@@ -12,6 +12,7 @@
 //! held — safe, because a crashed holder's transaction will be undone by
 //! recovery anyway).
 
+use crate::error::{le_u32, le_u64};
 use crate::medium::PmMedium;
 use crate::redo::crc32;
 
@@ -69,23 +70,27 @@ impl PmLockTable {
     }
 
     fn read_slot<M: PmMedium>(&self, medium: &M, idx: u64) -> Option<PmLockRecord> {
-        let raw = medium.read(self.base + idx * SLOT, SLOT as usize);
-        let state = u32::from_le_bytes(raw[20..24].try_into().unwrap());
+        let off = self.base + idx * SLOT;
+        if off + SLOT > medium.len() {
+            return None; // table extends past a (truncated) region image
+        }
+        let raw = medium.read(off, SLOT as usize);
+        let state = le_u32(&raw, 20)?;
         if state != 1 {
             return None;
         }
-        let crc = u32::from_le_bytes(raw[24..28].try_into().unwrap());
-        if crc32(&raw[..24]) != crc {
+        let crc = le_u32(&raw, 24)?;
+        if crc32(raw.get(..24)?) != crc {
             return None; // torn: treated as free
         }
-        let mode = match u32::from_le_bytes(raw[16..20].try_into().unwrap()) {
+        let mode = match le_u32(&raw, 16)? {
             1 => PmLockMode::Shared,
             2 => PmLockMode::Exclusive,
             _ => return None,
         };
         Some(PmLockRecord {
-            key: u64::from_le_bytes(raw[..8].try_into().unwrap()),
-            holder: u64::from_le_bytes(raw[8..16].try_into().unwrap()),
+            key: le_u64(&raw, 0)?,
+            holder: le_u64(&raw, 8)?,
             mode,
         })
     }

@@ -21,6 +21,7 @@
 //!   the region at some base and applies all fixups once, yielding
 //!   absolute pointers for zero-cost dereference thereafter.
 
+use crate::error::{le_u64, ParseError};
 use crate::medium::PmMedium;
 
 /// A region-relative pointer: an offset from the region base.
@@ -83,19 +84,22 @@ impl FixupTable {
 
     /// Bulk fix: rewrite every recorded slot from relative to absolute
     /// against `map_base`, in a scratch copy of the region (the reader's
-    /// address space). Returns the number of non-null pointers fixed.
-    pub fn apply_bulk(&self, image: &mut [u8], map_base: u64) -> usize {
+    /// address space). Returns the number of non-null pointers fixed; a
+    /// slot pointing outside the image (corrupt table) is a [`ParseError`],
+    /// not a panic.
+    pub fn apply_bulk(&self, image: &mut [u8], map_base: u64) -> Result<usize, ParseError> {
         let mut fixed = 0;
         for &slot in &self.slots {
-            let s = slot as usize;
-            let rel = u64::from_le_bytes(image[s..s + 8].try_into().unwrap());
+            let rel = le_u64(image, slot as usize)
+                .ok_or_else(|| ParseError::new("fixup slot", slot, "slot beyond image end"))?;
             if rel != 0 {
                 let abs = map_base + rel;
+                let s = slot as usize;
                 image[s..s + 8].copy_from_slice(&abs.to_le_bytes());
                 fixed += 1;
             }
         }
-        fixed
+        Ok(fixed)
     }
 
     /// Serialize the table into the region (so the fixups themselves are
@@ -109,14 +113,26 @@ impl FixupTable {
         medium.write(off, &buf);
     }
 
-    pub fn load<M: PmMedium>(medium: &M, off: u64) -> FixupTable {
+    pub fn load<M: PmMedium>(medium: &M, off: u64) -> Result<FixupTable, ParseError> {
+        let err = |reason| ParseError::new("fixup table", off, reason);
+        if off + 8 > medium.len() {
+            return Err(err("count beyond region end"));
+        }
         let n = medium.read_u64(off);
-        let raw = medium.read(off + 8, (n * 8) as usize);
+        let end = n
+            .checked_mul(8)
+            .and_then(|b| b.checked_add(off + 8))
+            .ok_or_else(|| err("slot count overflows"))?;
+        if end > medium.len() {
+            return Err(err("slot array beyond region end"));
+        }
+        let bytes = n * 8;
+        let raw = medium.read(off + 8, bytes as usize);
         let slots = raw
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        FixupTable { slots }
+        Ok(FixupTable { slots })
     }
 
     pub fn stored_len(&self) -> u64 {
@@ -173,7 +189,7 @@ mod tests {
         // Scheme 2: bulk read — copy out the region, apply all fixups,
         // then walk with absolute pointers.
         let mut image = m.read(0, 4096);
-        let fixed = fix.apply_bulk(&mut image, base);
+        let fixed = fix.apply_bulk(&mut image, base).unwrap();
         assert_eq!(fixed, (n - 1) as usize, "last next is NULL");
         let mut values2 = Vec::new();
         let mut abs = base + 64;
@@ -200,7 +216,7 @@ mod tests {
         fix.note(100);
         fix.note(200);
         fix.store(&mut m, 500);
-        let back = FixupTable::load(&m, 500);
+        let back = FixupTable::load(&m, 500).unwrap();
         assert_eq!(back.slots, vec![100, 200]);
         assert_eq!(fix.stored_len(), 24);
     }
@@ -210,7 +226,23 @@ mod tests {
         let mut fix = FixupTable::default();
         fix.note(0x10);
         let mut image = vec![0u8; 64];
-        assert_eq!(fix.apply_bulk(&mut image, 0x1000), 0);
+        assert_eq!(fix.apply_bulk(&mut image, 0x1000).unwrap(), 0);
         assert_eq!(&image[0x10..0x18], &[0u8; 8], "NULL stays NULL");
+    }
+
+    #[test]
+    fn corrupt_table_errors_instead_of_panic() {
+        // Slot offset pointing outside the image.
+        let mut fix = FixupTable::default();
+        fix.note(1 << 40);
+        let mut image = vec![0u8; 64];
+        assert!(fix.apply_bulk(&mut image, 0x1000).is_err());
+
+        // Scribbled on-medium count claiming more slots than the region.
+        let mut m = VecMedium::new(1024);
+        m.write_u64(500, u64::MAX / 2);
+        assert!(FixupTable::load(&m, 500).is_err());
+        // Count placed at the very end of the region.
+        assert!(FixupTable::load(&m, 1020).is_err());
     }
 }

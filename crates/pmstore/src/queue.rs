@@ -12,6 +12,7 @@
 //! the tail — a torn slot write is invisible because the tail still
 //! excludes it.
 
+use crate::error::{le_u32, le_u64};
 use crate::medium::PmMedium;
 use crate::redo::crc32;
 
@@ -44,9 +45,12 @@ impl PmQueue {
     }
 
     fn read_counter<M: PmMedium>(medium: &M, off: u64) -> Option<u64> {
+        if off + 16 > medium.len() {
+            return None; // truncated region image
+        }
         let buf = medium.read(off, 16);
-        let v = u64::from_le_bytes(buf[..8].try_into().unwrap());
-        let c = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        let v = le_u64(&buf, 0)?;
+        let c = le_u32(&buf, 8)?;
         (crc32(&v.to_le_bytes()) == c).then_some(v)
     }
 
@@ -106,11 +110,17 @@ impl PmQueue {
 
     fn read_slot<M: PmMedium>(&self, medium: &M, idx: u64) -> Option<Vec<u8>> {
         let off = self.slot_off(idx);
+        if off + 8 > medium.len() {
+            return None; // truncated region image
+        }
         let hdr = medium.read(off, 8);
-        let len = u32::from_le_bytes(hdr[..4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+        let len = le_u32(&hdr, 0)? as usize;
+        let crc = le_u32(&hdr, 4)?;
         if len == 0 || len > self.slot_len as usize {
             return None;
+        }
+        if off + 8 + len as u64 > medium.len() {
+            return None; // payload runs past the image end
         }
         let data = medium.read(off + 8, len);
         (crc32(&data) == crc).then_some(data)

@@ -14,6 +14,7 @@
 //! CRC and read as empty (the transaction is then resolved by the
 //! trail-tail scan, bounded by the checkpoint mark).
 
+use crate::error::{le_u32, le_u64};
 use crate::medium::PmMedium;
 use crate::redo::crc32;
 
@@ -102,23 +103,34 @@ impl TcbTable {
         medium.write(self.slot_of(txn), &[0u8; SLOT as usize]);
     }
 
-    pub fn get<M: PmMedium>(&self, medium: &M, txn: u64) -> Option<Tcb> {
-        let raw = medium.read(self.slot_of(txn), SLOT as usize);
-        let stored_txn = u64::from_le_bytes(raw[..8].try_into().unwrap());
-        if stored_txn != txn {
+    /// Decode one slot image; short or CRC-failing images read as empty
+    /// (torn update: the transaction is then resolved by the trail-tail
+    /// scan), never as a panic.
+    fn decode_slot(raw: &[u8]) -> Option<Tcb> {
+        let txn = le_u64(raw, 0)?;
+        if txn == 0 {
             return None;
         }
-        let crc = u32::from_le_bytes(raw[32..36].try_into().unwrap());
-        if crc32(&raw[..32]) != crc {
+        let crc = le_u32(raw, 32)?;
+        if crc32(raw.get(..32)?) != crc {
             return None;
         }
-        let state = TcbState::from_code(u32::from_le_bytes(raw[8..12].try_into().unwrap()))?;
+        let state = TcbState::from_code(le_u32(raw, 8)?)?;
         Some(Tcb {
             txn,
             state,
-            first_lsn: u64::from_le_bytes(raw[16..24].try_into().unwrap()),
-            last_lsn: u64::from_le_bytes(raw[24..32].try_into().unwrap()),
+            first_lsn: le_u64(raw, 16)?,
+            last_lsn: le_u64(raw, 24)?,
         })
+    }
+
+    pub fn get<M: PmMedium>(&self, medium: &M, txn: u64) -> Option<Tcb> {
+        let off = self.slot_of(txn);
+        if off + SLOT > medium.len() {
+            return None; // table extends past a (truncated) region image
+        }
+        let raw = medium.read(off, SLOT as usize);
+        Self::decode_slot(&raw).filter(|t| t.txn == txn)
     }
 
     /// Recovery's question: which transactions were unresolved, and what
@@ -127,27 +139,16 @@ impl TcbTable {
     pub fn recovery_view<M: PmMedium>(&self, medium: &M) -> (Vec<Tcb>, Option<u64>) {
         let mut unresolved = Vec::new();
         for i in 0..self.slots {
-            let raw = medium.read(self.base + i * SLOT, SLOT as usize);
-            let txn = u64::from_le_bytes(raw[..8].try_into().unwrap());
-            if txn == 0 {
-                continue;
+            let off = self.base + i * SLOT;
+            if off + SLOT > medium.len() {
+                break; // truncated image: remaining slots unreadable
             }
-            let crc = u32::from_le_bytes(raw[32..36].try_into().unwrap());
-            if crc32(&raw[..32]) != crc {
-                continue; // torn update: resolved by the tail scan
-            }
-            let Some(state) =
-                TcbState::from_code(u32::from_le_bytes(raw[8..12].try_into().unwrap()))
-            else {
-                continue;
+            let raw = medium.read(off, SLOT as usize);
+            let Some(tcb) = Self::decode_slot(&raw) else {
+                continue; // empty or torn update: resolved by the tail scan
             };
-            if matches!(state, TcbState::Active | TcbState::Committing) {
-                unresolved.push(Tcb {
-                    txn,
-                    state,
-                    first_lsn: u64::from_le_bytes(raw[16..24].try_into().unwrap()),
-                    last_lsn: u64::from_le_bytes(raw[24..32].try_into().unwrap()),
-                });
+            if matches!(tcb.state, TcbState::Active | TcbState::Committing) {
+                unresolved.push(tcb);
             }
         }
         let scan_from = unresolved.iter().map(|t| t.first_lsn).min();

@@ -34,6 +34,7 @@ pub mod latency;
 pub mod network;
 pub mod qos;
 pub mod transport;
+pub mod wan;
 
 pub use config::{FabricConfig, ServerNetGen};
 pub use network::{EndpointId, NetStats, Network, PortDir, SharedNetwork};
@@ -47,3 +48,4 @@ pub use transport::{
     RdmaCrcReadDone, RdmaFlushDone, RdmaReadDone, RdmaScrubDone, RdmaStatus, RdmaWriteDone,
     APPEND_CELL_BYTES,
 };
+pub use wan::{SharedWanLink, WanConfig, WanLink, WanStats};

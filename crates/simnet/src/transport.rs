@@ -101,6 +101,13 @@ pub struct InboundRdmaWrite {
     /// Network virtual address within the target's exposed space.
     pub addr: u64,
     pub data: Bytes,
+    /// On-wire span of the write, ≥ `data.len()` (compact descriptors
+    /// carry fewer payload bytes than they cover). The target must
+    /// validate/translate this span, not `data.len()`: a compact write
+    /// starting exactly on a translation-window boundary would otherwise
+    /// zero-length-match the *preceding* window and bounce off its
+    /// permissions.
+    pub wire_len: u32,
     /// Class the request travelled in; replies inherit it.
     pub class: TrafficClass,
 }
@@ -640,6 +647,7 @@ pub fn rdma_write_sized(
                 op_id,
                 addr,
                 data,
+                wire_len: len,
                 class,
             };
             match issued {

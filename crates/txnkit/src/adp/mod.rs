@@ -76,6 +76,11 @@ pub(crate) struct AdpShared {
     pub durable_upto: u64,
     /// (requester ep, token, upto, arrival ns) — answered once durable.
     pub waiters: Vec<(EndpointId, u64, u64, u64)>,
+    /// Geo-replication subscribers: `(ep, tag)` pushed a [`TrailAdvance`]
+    /// at every durable-watermark publication.
+    pub trail_subs: Vec<(EndpointId, u64)>,
+    /// Watermark already announced to subscribers (coalesces notifies).
+    last_trail_note: u64,
     next_tag: u64,
 }
 
@@ -142,6 +147,32 @@ impl AdpShared {
             }
         }
         self.waiters = still;
+        self.notify_trail_subs(ctx);
+    }
+
+    /// Push the durable watermark to geo-replication subscribers. Called
+    /// from every publication point (`answer_waiters` runs on each), and
+    /// coalesced: a watermark is announced once.
+    pub fn notify_trail_subs(&mut self, ctx: &mut Ctx<'_>) {
+        if self.trail_subs.is_empty() || self.durable_upto <= self.last_trail_note {
+            return;
+        }
+        self.last_trail_note = self.durable_upto;
+        let net = self.net.clone();
+        let note: Vec<(EndpointId, u64)> = self.trail_subs.clone();
+        for (ep, tag) in note {
+            simnet::send_net_msg(
+                ctx,
+                &net,
+                self.ep,
+                ep,
+                32,
+                TrailAdvance {
+                    tag,
+                    durable_upto: Lsn(self.durable_upto),
+                },
+            );
+        }
     }
 }
 
@@ -247,6 +278,30 @@ impl Actor for AdpProc {
                 return;
             }
 
+            // Geo-replication subscriptions (eager log shipping).
+            let payload = match payload.downcast::<SubscribeTrail>() {
+                Ok(sub) => {
+                    self.sh.trail_subs.push((from_ep, sub.tag));
+                    // Announce the current position straight away so the
+                    // subscriber starts from the live watermark instead
+                    // of waiting for the next append.
+                    let net = self.sh.net.clone();
+                    simnet::send_net_msg(
+                        ctx,
+                        &net,
+                        self.sh.ep,
+                        from_ep,
+                        32,
+                        TrailAdvance {
+                            tag: sub.tag,
+                            durable_upto: Lsn(self.sh.durable_upto),
+                        },
+                    );
+                    return;
+                }
+                Err(p) => p,
+            };
+
             // Appends.
             let payload = match payload.downcast::<AuditAppend>() {
                 Ok(app) => {
@@ -334,6 +389,8 @@ pub fn install_adp(
                     next_lsn: 0,
                     durable_upto: 0,
                     waiters: Vec::new(),
+                    trail_subs: Vec::new(),
+                    last_trail_note: 0,
                     next_tag: 0,
                 },
                 role,

@@ -26,7 +26,8 @@ use crate::types::*;
 use bytes::Bytes;
 use nsk::machine::{CpuId, SharedMachine};
 use pmclient::{
-    PmAppendComplete, PmAppendTimeout, PmClientConfig, PmLib, PmReadTimeout, PmWriteTimeout,
+    PmAppendComplete, PmAppendTimeout, PmClientConfig, PmLib, PmReadTimeout, PmWriteComplete,
+    PmWriteTimeout,
 };
 use pmm::msgs::CreateRegionAck;
 use simcore::{Ctx, Msg, SimDuration};
@@ -66,6 +67,39 @@ pub fn parse_ctrl_cell(raw: &[u8]) -> (u64, Option<usize>) {
         }
     }
     (best, slot)
+}
+
+/// Split one append of `virt` virtual bytes at trail position
+/// `lsn_start` into ≤ 2 circular-trail segments: `(region_off,
+/// record_byte_range, wire_len)` per segment. All positions and lengths
+/// are computed in `u64` — a trail's virtual length passes 4 GiB in
+/// long-running populations, and narrowing them would silently wrap the
+/// stream a geo-replica ships from this trail. Only the fabric's
+/// per-write size field is `u32`, and that conversion is checked: a
+/// single segment wider than `u32::MAX` fails loudly instead of
+/// corrupting the trail.
+pub(crate) fn split_trail_parts(
+    lsn_start: u64,
+    cap: u64,
+    virt: u64,
+    records_len: usize,
+) -> Vec<(u64, std::ops::Range<usize>, u32)> {
+    let wire = |len: u64| -> u32 {
+        u32::try_from(len).expect("trail segment exceeds the u32 wire-size field")
+    };
+    let pos = lsn_start % cap;
+    let off = PM_CTRL_BYTES + pos;
+    if pos + virt <= cap {
+        return vec![(off, 0..records_len, wire(virt))];
+    }
+    let first = cap - pos;
+    let cut = usize::try_from(first)
+        .unwrap_or(records_len)
+        .min(records_len);
+    vec![
+        (off, 0..cut, wire(first)),
+        (PM_CTRL_BYTES, cut..records_len, wire(virt - first)),
+    ]
 }
 
 /// Retry timer for PM region creation at startup/takeover. `attempt`
@@ -166,6 +200,11 @@ pub(crate) struct PmLog {
     offload: bool,
     /// The single in-flight device append (offload mode).
     offload_inflight: Option<OffloadBatch>,
+    /// A trail write bounced off an engaged device write fence: this ADP
+    /// is a fenced-off old primary. Nothing is submitted, acked or
+    /// re-driven past this point — the replica site owns the trail now,
+    /// and any ack we sent would be a durability lie.
+    fenced: bool,
 }
 
 impl PmLog {
@@ -209,7 +248,20 @@ impl PmLog {
             awaiting_ctrl: VecDeque::new(),
             tokens: BTreeMap::new(),
             boot_pending: Vec::new(),
+            fenced: false,
         }
+    }
+
+    /// Did this completion bounce off an engaged device write fence? If
+    /// so, freeze the log: drop the token, count it, and never submit,
+    /// ack or re-drive again. (A fence rejection is a *logical* status —
+    /// the library does not fail it over — so it surfaces here intact.)
+    fn check_fence(&mut self, sh: &mut AdpShared, status: RdmaStatus) -> bool {
+        if status == RdmaStatus::AccessViolation {
+            self.fenced = true;
+            sh.stats.lock().pm_fenced += 1;
+        }
+        self.fenced
     }
 
     fn trail_capacity(&self) -> u64 {
@@ -226,6 +278,9 @@ impl PmLog {
     /// submission takes EVERY currently staged append in one batched
     /// write — the deeper the backlog, the wider the batch.
     fn pump(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>) {
+        if self.fenced {
+            return;
+        }
         if self.offload {
             self.pump_offload(sh, ctx);
             return;
@@ -259,7 +314,7 @@ impl PmLog {
     /// carries the device's new durable tail, which directly releases the
     /// covered appends — no control-cell round trip follows.
     fn pump_offload(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>) {
-        if self.offload_inflight.is_some() || self.staged.is_empty() {
+        if self.fenced || self.offload_inflight.is_some() || self.staged.is_empty() {
             return;
         }
         let mut data: Vec<u8> = Vec::new();
@@ -323,6 +378,10 @@ impl PmLog {
                 let Some(batch) = self.offload_inflight.take() else {
                     return;
                 };
+                if self.check_fence(sh, c.status) {
+                    // Fenced: the batch dies unacked, nothing re-drives.
+                    return;
+                }
                 if c.status != RdmaStatus::Ok {
                     // Zero halves acked (both unreachable or rejected):
                     // re-drive the same payload. The per-leg write
@@ -348,7 +407,14 @@ impl PmLog {
     }
 
     /// A PmLib write completed (batch or control).
-    fn write_done(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>, token: u64) {
+    fn write_done(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>, c: PmWriteComplete) {
+        let token = c.token;
+        if self.check_fence(sh, c.status) {
+            // Fence rejection (or already frozen): the write's covered
+            // appends are never acked and the pipeline stays parked.
+            self.tokens.remove(&token);
+            return;
+        }
         match self.tokens.remove(&token) {
             Some(TokenKind::Ctrl) => {
                 // Control write completed: everything through the written
@@ -390,7 +456,10 @@ impl PmLog {
     /// lags the data watermark; one cell write covers every append
     /// completed since the previous one.
     fn maybe_write_ctrl(&mut self, sh: &mut AdpShared, ctx: &mut Ctx<'_>) {
-        if self.ctrl_write_inflight.is_some() || self.data_watermark <= self.acked_watermark {
+        if self.fenced
+            || self.ctrl_write_inflight.is_some()
+            || self.data_watermark <= self.acked_watermark
+        {
             return;
         }
         let wm = self.data_watermark;
@@ -478,8 +547,13 @@ impl PmLog {
         from_ep: EndpointId,
         app: AuditAppend,
     ) {
+        if self.fenced {
+            // A fenced old primary accepts no new trail work: the append
+            // is dropped unacked (its requester will time out / abort).
+            return;
+        }
         let lsn_start = sh.next_lsn;
-        let virt = app.virtual_len.max(app.records.len() as u32) as u64;
+        let virt = (app.virtual_len as u64).max(app.records.len() as u64);
         sh.next_lsn += virt;
         let lsn_end = sh.next_lsn;
 
@@ -487,19 +561,14 @@ impl PmLog {
         // trail wraps). In offload mode the device assigns the offsets
         // (and handles the wrap) itself, so the records stage whole.
         let cap = self.trail_capacity();
-        let off = PM_CTRL_BYTES + (lsn_start % cap);
         let mut parts: Vec<(u64, Bytes, u32)> = Vec::new();
-        if self.offload || (lsn_start % cap) + virt <= cap {
-            parts.push((off, app.records.clone(), virt as u32));
+        if self.offload {
+            let wire = u32::try_from(virt).expect("append exceeds the u32 wire-size field");
+            parts.push((PM_CTRL_BYTES + (lsn_start % cap), app.records.clone(), wire));
         } else {
-            let first = cap - (lsn_start % cap);
-            let cut = (first as usize).min(app.records.len());
-            parts.push((off, app.records.slice(..cut), first as u32));
-            parts.push((
-                PM_CTRL_BYTES,
-                app.records.slice(cut..),
-                (virt - first) as u32,
-            ));
+            for (off, range, wire) in split_trail_parts(lsn_start, cap, virt, app.records.len()) {
+                parts.push((off, app.records.slice(range), wire));
+            }
         }
         // One persistence action per appended row (§3.4 accounting); the
         // mirrored legs, wrap segments and batching are below the API.
@@ -611,7 +680,7 @@ impl AuditLog for PmLog {
         let msg = match msg.take::<RdmaWriteDone>() {
             Ok((_, done)) => {
                 if let Some(c) = self.lib.on_rdma_write_done(ctx, &done) {
-                    self.write_done(sh, ctx, c.token);
+                    self.write_done(sh, ctx, c);
                 }
                 return None;
             }
@@ -623,7 +692,7 @@ impl AuditLog for PmLog {
         let msg = match msg.take::<PmWriteTimeout>() {
             Ok((_, t)) => {
                 if let Some(c) = self.lib.on_write_timeout(ctx, &t) {
-                    self.write_done(sh, ctx, c.token);
+                    self.write_done(sh, ctx, c);
                 }
                 return None;
             }
@@ -634,7 +703,7 @@ impl AuditLog for PmLog {
         let msg = match msg.take::<RdmaFlushDone>() {
             Ok((_, done)) => {
                 if let Some(c) = self.lib.on_rdma_flush_done(ctx, &done) {
-                    self.write_done(sh, ctx, c.token);
+                    self.write_done(sh, ctx, c);
                 }
                 return None;
             }
@@ -647,7 +716,7 @@ impl AuditLog for PmLog {
         let msg = match msg.take::<RdmaReadDone>() {
             Ok((_, done)) => {
                 if let Some(c) = self.lib.on_persist_read_done(ctx, &done) {
-                    self.write_done(sh, ctx, c.token);
+                    self.write_done(sh, ctx, c);
                 } else if let Some(c) = self.lib.on_rdma_read_done(ctx, done) {
                     self.tokens.remove(&c.token);
                     self.ctrl_read_done(sh, ctx, &c.data);
@@ -688,5 +757,61 @@ impl AuditLog for PmLog {
             }
             Err(p) => Some(p),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trail positions past 4 GiB must not wrap: the split is computed in
+    /// u64 end to end, with only the per-segment wire length narrowed
+    /// (checked) to u32. Exercises both sides of the 4 GiB boundary and a
+    /// wrap whose first segment alone exceeds what a u32 position could
+    /// have represented.
+    #[test]
+    fn split_preserves_positions_past_4gib() {
+        const GIB: u64 = 1 << 30;
+        let cap = 6 * GIB;
+
+        // No wrap, start beyond 4 GiB: offset must keep the full position.
+        let parts = split_trail_parts(5 * GIB, cap, 1024, 1024);
+        assert_eq!(parts, vec![(PM_CTRL_BYTES + 5 * GIB, 0..1024usize, 1024)]);
+
+        // Second lap of the trail (virtual LSN 11 GiB → position 5 GiB).
+        let parts = split_trail_parts(11 * GIB, cap, 512, 512);
+        assert_eq!(parts, vec![(PM_CTRL_BYTES + 5 * GIB, 0..512usize, 512)]);
+
+        // Wrap across the capacity boundary at a > 4 GiB position: the
+        // first segment starts past 4 GiB, the remainder restarts at the
+        // trail base, and the wire lengths partition the append exactly.
+        let start = 6 * GIB - 100;
+        let parts = split_trail_parts(start, cap, 300, 300);
+        assert_eq!(
+            parts,
+            vec![
+                (PM_CTRL_BYTES + start, 0..100usize, 100),
+                (PM_CTRL_BYTES, 100..300usize, 200),
+            ]
+        );
+
+        // Virtual-length appends (records shorter than virt) still split
+        // by trail geometry, clamping the byte ranges to the real payload.
+        let parts = split_trail_parts(6 * GIB - 64, cap, 4096, 32);
+        assert_eq!(
+            parts,
+            vec![
+                (PM_CTRL_BYTES + 6 * GIB - 64, 0..32usize, 64),
+                (PM_CTRL_BYTES, 32..32usize, 4032),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wire-size field")]
+    fn oversized_segment_fails_loudly_instead_of_wrapping() {
+        // A single segment wider than u32::MAX cannot be expressed on the
+        // wire; it must panic, not truncate.
+        split_trail_parts(0, 1 << 40, (1 << 32) + 8, 0);
     }
 }

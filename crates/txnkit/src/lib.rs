@@ -38,6 +38,7 @@ pub mod audit;
 pub mod client;
 pub mod config;
 pub mod dp2;
+pub mod georep;
 pub mod lock;
 pub mod recovery;
 pub mod scenario;

@@ -83,6 +83,10 @@ pub struct OdsParams {
     /// offload). The default keeps every offload off — host-mediated
     /// resilver reads/writes, bit-identical to pre-offload runs.
     pub pmm: PmmConfig,
+    /// Additional CPUs beyond the worker set (and the PM manager CPU in
+    /// PM modes) — hosts for site-level extras like the DR replica's PMM
+    /// and apply process. 0 for a plain node.
+    pub extra_cpus: u32,
 }
 
 impl OdsParams {
@@ -106,6 +110,7 @@ impl OdsParams {
             pm_ingress_drain_ns: None,
             qos: simnet::QosConfig::disabled(),
             pmm: PmmConfig::default(),
+            extra_cpus: 0,
         }
     }
 
@@ -176,7 +181,7 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
     let total_cpus = match params.audit {
         AuditMode::Disk => params.cpus,
         _ => params.cpus + 1,
-    };
+    } + params.extra_cpus;
     let machine = Machine::new(
         MachineConfig {
             cpus: total_cpus,
@@ -362,6 +367,173 @@ pub fn build_ods(store: &mut DurableStore, params: OdsParams) -> OdsNode {
         npmus: pm_pool.first().cloned(),
         pm_pool,
         params,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Geo-replicated pair: primary node + DR replica site
+// ---------------------------------------------------------------------
+
+/// Parameters for a geo-replicated deployment: one full primary node
+/// plus a reduced DR site (standby PM pool + replica apply process)
+/// joined by a [`simnet::WanLink`], with an optional failover drill on a
+/// fixed timeline.
+#[derive(Clone)]
+pub struct GeorepParams {
+    /// Primary-node topology. Must be a PM audit mode (log shipping
+    /// tails PM trail regions).
+    pub base: OdsParams,
+    pub wan: simnet::WanConfig,
+    /// Audit partitions `0..eager_partitions` ship on every watermark
+    /// publication; the rest poll lazily. `u32::MAX` ⇒ all eager.
+    pub eager_partitions: u32,
+    /// Cold-partition poll interval.
+    pub lazy_interval: simcore::SimDuration,
+    /// Drill: sever the WAN at this instant.
+    pub sever_at: Option<simcore::SimDuration>,
+    /// Drill: epoch-fence the primary pool at this instant (the DR
+    /// witness's dead-primary declaration).
+    pub fence_at: Option<simcore::SimDuration>,
+    /// Fence epoch — must exceed any epoch the primary's own failover
+    /// machinery has burned; a generation well above normal churn.
+    pub fence_epoch: u64,
+}
+
+impl GeorepParams {
+    pub fn pm(seed: u64) -> Self {
+        GeorepParams {
+            // Hardware NPMUs, not the PMP prototype: a DR drill reads
+            // the *durable* device images after simulated power loss,
+            // and a PMP's memory is process DRAM (volatile).
+            base: OdsParams {
+                audit: AuditMode::HardwareNpmu,
+                txn: TxnConfig::pm_enabled(),
+                extra_cpus: 2,
+                ..OdsParams::baseline(seed)
+            },
+            wan: simnet::WanConfig::default(),
+            eager_partitions: u32::MAX,
+            lazy_interval: simcore::SimDuration::from_millis(50),
+            sever_at: None,
+            fence_at: None,
+            fence_epoch: 1 << 20,
+        }
+    }
+}
+
+/// A built geo-replicated pair. The replica site lives in the same
+/// simulation (separate CPUs, separate NPMU pair, separate PMM
+/// namespace) — the only coupling is the WAN link.
+pub struct GeorepNode {
+    pub node: OdsNode,
+    pub wan: simnet::SharedWanLink,
+    /// The DR site's standby NPMU pair.
+    pub dr_pool: Vec<(NpmuHandle, NpmuHandle)>,
+    pub dr_pmm: PmmHandle,
+    pub shipper_stats: crate::georep::SharedShipperStats,
+    pub replica_stats: crate::georep::SharedReplicaStats,
+    pub drill: crate::georep::SharedDrillRecord,
+}
+
+/// Build a primary node plus its DR replica site around `store`.
+pub fn build_georep(store: &mut DurableStore, params: GeorepParams) -> GeorepNode {
+    assert!(
+        params.base.audit != AuditMode::Disk,
+        "geo-replication ships PM audit trails; use a PM audit mode"
+    );
+    let mut base = params.base.clone();
+    // CPU cpus+1 hosts the replica PMM, cpus+2 the replica apply process
+    // (the shipper shares the primary's PM-manager CPU at `cpus`).
+    base.extra_cpus = base.extra_cpus.max(2);
+    let cpus = base.cpus;
+    let mut node = build_ods(store, base);
+
+    // --- DR site: standby NPMU pair + its own PMM namespace ---
+    let trail_regions = node
+        .params
+        .cpus
+        .max(effective_audit_partitions(&node.params));
+    let cap =
+        (node.params.pm_region_len + pmm::META_BYTES) * (trail_regions as u64 + 2) + (64 << 20);
+    let dev = match node.params.audit {
+        AuditMode::Pmp => NpmuConfig::pmp(cap),
+        _ => NpmuConfig::hardware(cap),
+    };
+    let a = Npmu::install(
+        &mut node.sim,
+        store,
+        &node.net,
+        Some(&node.machine),
+        "drpm-a",
+        dev.clone(),
+    );
+    let b = Npmu::install(
+        &mut node.sim,
+        store,
+        &node.net,
+        Some(&node.machine),
+        "drpm-b",
+        dev,
+    );
+    let dr_pool = vec![(a, b)];
+    let dr_pmm = install_pmm_pool(
+        &mut node.sim,
+        &node.machine,
+        "$PMM-dr",
+        &dr_pool,
+        CpuId(cpus + 1),
+        None,
+        node.params.pmm.clone(),
+    );
+
+    // --- WAN + shipper/replica/drill ---
+    let wan = simnet::WanLink::shared(params.wan.clone());
+    let regions: Vec<String> = (0..node.adps.len())
+        .map(|i| format!("adp{i}.audit"))
+        .collect();
+    let handles = crate::georep::install_georep(
+        &mut node.sim,
+        &node.machine,
+        "$PMM",
+        "$PMM-dr",
+        &node.adps,
+        &regions,
+        node.params.pm_region_len,
+        &node.params.txn,
+        wan.clone(),
+        CpuId(cpus),
+        CpuId(cpus + 2),
+        {
+            let defaults = crate::georep::ShipperConfig::default();
+            crate::georep::ShipperConfig {
+                eager_partitions: params.eager_partitions,
+                lazy_interval: params.lazy_interval,
+                // A batch is not lost until it has had a full ship round
+                // trip to arrive: rewinding on a fixed short timer would
+                // re-ship in-flight data on long-haul links. Keep the
+                // floor for LAN-ish delays, scale with the WAN RTT.
+                retry_interval: defaults
+                    .retry_interval
+                    .max(simcore::SimDuration::from_nanos(
+                        4 * params.wan.one_way_delay.as_nanos(),
+                    )),
+                ..defaults
+            }
+        },
+        match (params.sever_at, params.fence_at) {
+            (Some(s), Some(f)) => Some((s, f, params.fence_epoch)),
+            _ => None,
+        },
+    );
+
+    GeorepNode {
+        node,
+        wan,
+        dr_pool,
+        dr_pmm,
+        shipper_stats: handles.shipper_stats,
+        replica_stats: handles.replica_stats,
+        drill: handles.drill,
     }
 }
 

@@ -36,6 +36,11 @@ pub struct TxnStats {
     /// `write_batch` fan-out may carry many `pm_writes`). The coalescing
     /// factor is `pm_writes / pm_batches`; not a per-row action.
     pub pm_batches: u64,
+    /// Trail writes rejected by an engaged device write fence
+    /// (`AccessViolation` after a disaster-recovery epoch fence). The
+    /// first rejection freezes the PM log: nonzero means this ADP was a
+    /// fenced-off old primary.
+    pub pm_fenced: u64,
     /// TMF primary → backup checkpoints.
     pub tmf_checkpoints: u64,
 

@@ -439,7 +439,12 @@ impl TmfProc {
             return;
         }
         self.commits_since_mark = 0;
-        let active: Vec<TxnId> = self.commits.values().map(|c| c.txn).collect();
+        // Canonical order: `commits` is a HashMap, and its iteration
+        // order must never leak into durable bytes — identical runs have
+        // to produce bit-identical trails (the determinism suite and the
+        // DR site's byte-compare both depend on it).
+        let mut active: Vec<TxnId> = self.commits.values().map(|c| c.txn).collect();
+        active.sort_unstable();
         let rec = crate::audit::AuditRecord::CheckpointMark {
             active_txns: active,
         };

@@ -263,6 +263,23 @@ pub struct FlushDone {
     pub durable_upto: Lsn,
 }
 
+/// Ask an ADP to push [`TrailAdvance`] notifications to the sender every
+/// time its durable watermark moves — the eager geo-replication hook. A
+/// subscription survives for the primary's lifetime; `tag` is echoed in
+/// every notification so one subscriber can tell its partitions apart.
+#[derive(Clone, Copy, Debug)]
+pub struct SubscribeTrail {
+    pub tag: u64,
+}
+
+/// The subscribed trail's durable watermark advanced (coalesced: one
+/// notification per publication, not per append).
+#[derive(Clone, Copy, Debug)]
+pub struct TrailAdvance {
+    pub tag: u64,
+    pub durable_upto: Lsn,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,11 +24,11 @@ fn main() {
     let mut m = index_win;
     let mut index = PmBTree::format(&mut m, 0, 8 << 20);
     for trade in 0..5_000u64 {
-        index.insert(&mut m, trade, trade * 100 + 7);
+        index.insert(&mut m, trade, trade * 100 + 7).unwrap();
     }
     println!(
         "index: {} trades inserted, structurally valid",
-        index.len(&m)
+        index.len(&m).unwrap()
     );
     index.check(&m);
 
@@ -68,17 +68,17 @@ fn main() {
     let fresh = NvMedium::new(device.clone(), 0, 8 << 20);
     let mut torn = TornWriter::new(fresh);
     torn.crash_after(90);
-    index.insert(&mut torn, 999_999, 42);
+    index.insert(&mut torn, 999_999, 42).unwrap();
     assert!(torn.crashed);
 
     // Reboot: recover every structure from the device image alone.
     let mut m2 = NvMedium::new(device.clone(), 0, 8 << 20);
-    let recovered = PmBTree::recover(&mut m2, 0, 8 << 20);
+    let recovered = PmBTree::recover(&mut m2, 0, 8 << 20).expect("intact image");
     recovered.check(&m2);
-    let phantom = recovered.get(&m2, 999_999);
+    let phantom = recovered.get(&m2, 999_999).unwrap();
     println!(
         "recovered index: {} trades, torn insert {}",
-        recovered.len(&m2),
+        recovered.len(&m2).unwrap(),
         match phantom {
             Some(v) => format!("fully applied (value {v})"),
             None => "cleanly absent".into(),

@@ -227,23 +227,23 @@ proptest! {
         for (op, key, val) in ops {
             match op {
                 0 => {
-                    let a = tree.insert(&mut m, key, val);
+                    let a = tree.insert(&mut m, key, val).unwrap();
                     let b = model.insert(key, val);
                     prop_assert_eq!(a, b);
                 }
                 1 => {
-                    let a = tree.remove(&mut m, key);
+                    let a = tree.remove(&mut m, key).unwrap();
                     let b = model.remove(&key);
                     prop_assert_eq!(a, b);
                 }
                 _ => {
-                    prop_assert_eq!(tree.get(&m, key), model.get(&key).copied());
+                    prop_assert_eq!(tree.get(&m, key).unwrap(), model.get(&key).copied());
                 }
             }
         }
         tree.check(&m);
-        prop_assert_eq!(tree.len(&m), model.len());
-        let range: Vec<(u64, u64)> = tree.range(&m, 100, 400);
+        prop_assert_eq!(tree.len(&m).unwrap(), model.len());
+        let range: Vec<(u64, u64)> = tree.range(&m, 100, 400).unwrap();
         let model_range: Vec<(u64, u64)> =
             model.range(100..400).map(|(k, v)| (*k, *v)).collect();
         prop_assert_eq!(range, model_range);
@@ -590,5 +590,151 @@ fn shard_routing_covers_every_shard() {
             *max < 2 * *min,
             "{shards}-shard routing badly skewed: {hit:?}"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Geo-replication: the replica's batch validator under WAN adversity
+// ---------------------------------------------------------------------
+
+use txnkit::georep::{validate_batch, BatchVerdict, ShipBatch};
+
+fn wan_batch(start: u64, end: u64, payload: Vec<u8>, crc: u32) -> ShipBatch {
+    ShipBatch {
+        partition: 0,
+        start_lsn: start,
+        end_lsn: end,
+        payload: Bytes::from(payload),
+        crc,
+        reply_to: simcore::ActorId(0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `validate_batch` is total: arbitrary headers, payloads and
+    /// watermarks never panic, and `Apply.skip` always leaves a
+    /// non-empty in-bounds payload suffix.
+    #[test]
+    fn georep_validate_batch_is_total(
+        applied in any::<u64>(),
+        cap in any::<u64>(),
+        start in any::<u64>(),
+        end in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        crc in any::<u32>(),
+    ) {
+        let b = wan_batch(start, end, payload, crc);
+        if let BatchVerdict::Apply { skip } = validate_batch(applied, cap, &b) {
+            prop_assert!(skip < b.payload.len() as u64);
+            prop_assert_eq!(b.end_lsn - b.start_lsn, b.payload.len() as u64);
+        }
+    }
+
+    /// Any single bit flip — header field or payload byte — of a valid
+    /// batch is rejected (`Corrupt`/`Stale`/`Gap`), never applied as-is:
+    /// the only way a flipped batch can still classify `Apply` is a
+    /// payload-preserving header flip that still satisfies every
+    /// invariant, which the CRC + span + length checks exclude.
+    #[test]
+    fn georep_bit_flipped_batch_never_applies_damage(
+        applied in 0u64..10_000,
+        span in 1u64..200,
+        payload_seed in any::<u64>(),
+        flip in 0usize..1_000_000,
+    ) {
+        let cap = 1u64 << 20;
+        let payload: Vec<u8> =
+            (0..span).map(|i| (payload_seed.wrapping_mul(i + 1) >> 13) as u8).collect();
+        let crc = pmm::meta::crc32(&payload);
+        let good = wan_batch(applied, applied + span, payload.clone(), crc);
+        prop_assert_eq!(validate_batch(applied, cap, &good), BatchVerdict::Apply { skip: 0 });
+
+        // Flip one bit somewhere in (start, end, crc, payload).
+        let mut start = good.start_lsn;
+        let mut end = good.end_lsn;
+        let mut crc2 = good.crc;
+        let mut pay = payload;
+        let nbits = 64 + 64 + 32 + pay.len() * 8;
+        let at = flip % nbits;
+        if at < 64 {
+            start ^= 1u64 << at;
+        } else if at < 128 {
+            end ^= 1u64 << (at - 64);
+        } else if at < 160 {
+            crc2 ^= 1u32 << (at - 128);
+        } else {
+            let bit = at - 160;
+            pay[bit / 8] ^= 1u8 << (bit % 8);
+        }
+        let evil = wan_batch(start, end, pay, crc2);
+        // A header flip can still describe a *different* valid span;
+        // payload and CRC are untouched then, so the bytes written
+        // are the bytes shipped — not damage. A payload/CRC flip
+        // must never apply.
+        if let BatchVerdict::Apply { .. } = validate_batch(applied, cap, &evil) {
+            prop_assert!(at < 128, "payload/crc flip applied");
+            prop_assert_eq!(evil.end_lsn - evil.start_lsn, evil.payload.len() as u64);
+            prop_assert_eq!(pmm::meta::crc32(&evil.payload), evil.crc);
+        }
+    }
+
+    /// Truncated payloads (the classic partial-delivery failure) are
+    /// always `Corrupt` — never a partial apply.
+    #[test]
+    fn georep_truncated_batch_is_corrupt(
+        applied in 0u64..10_000,
+        span in 2u64..200,
+        cut in 1u64..200,
+        payload_seed in any::<u64>(),
+    ) {
+        let cut = cut.min(span - 1).max(1);
+        let cap = 1u64 << 20;
+        let payload: Vec<u8> =
+            (0..span).map(|i| (payload_seed.wrapping_mul(i + 1) >> 7) as u8).collect();
+        let crc = pmm::meta::crc32(&payload);
+        let trunc = wan_batch(applied, applied + span, payload[..(span - cut) as usize].to_vec(), crc);
+        prop_assert_eq!(validate_batch(applied, cap, &trunc), BatchVerdict::Corrupt);
+    }
+
+    /// Model of the replica apply loop: the watermark only ever moves by
+    /// fully-validated contiguous extension — duplicates, gaps and
+    /// corruption leave it exactly where it was.
+    #[test]
+    fn georep_watermark_moves_only_on_valid_apply(
+        batches in proptest::collection::vec(
+            (0u64..500, 1u64..100, any::<bool>(), any::<u8>()), 1..40),
+    ) {
+        let cap = 1u64 << 16;
+        let mut applied = 0u64;
+        for (start, span, damage, noise) in batches {
+            let payload: Vec<u8> = (0..span).map(|i| (i as u8).wrapping_add(noise)).collect();
+            let crc = if damage {
+                pmm::meta::crc32(&payload) ^ 1
+            } else {
+                pmm::meta::crc32(&payload)
+            };
+            let b = wan_batch(start, start + span, payload, crc);
+            let before = applied;
+            match validate_batch(applied, cap, &b) {
+                BatchVerdict::Apply { skip } => {
+                    prop_assert!(!damage);
+                    prop_assert!(b.start_lsn <= before && before < b.end_lsn);
+                    prop_assert_eq!(skip, before - b.start_lsn);
+                    applied = b.end_lsn;
+                    prop_assert!(applied > before);
+                }
+                BatchVerdict::Stale => {
+                    prop_assert!(!damage && b.end_lsn <= before);
+                    prop_assert_eq!(applied, before);
+                }
+                BatchVerdict::Gap => {
+                    prop_assert!(!damage && b.start_lsn > before);
+                    prop_assert_eq!(applied, before);
+                }
+                BatchVerdict::Corrupt => prop_assert_eq!(applied, before),
+            }
+        }
     }
 }

@@ -16,11 +16,17 @@
 # fabric_*_bytes counter grows past 1.25x the committed number (the
 # offload verbs exist to keep bytes off the wire; footprint creep is
 # exactly the regression they can suffer silently).
+#
+# The `georep` bench gets a recovery-objective arm: any *_rpo_bytes or
+# *_rto_ms key failing 1.5x the committed number means the DR site is
+# falling further behind (or recovering slower) at the same WAN lag.
+# The drained-control keys are committed at 0, so any nonzero fresh
+# value fails — exactly right: a drained replica must hold everything.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 repo="$PWD"
 
-BENCHES=(pool_scaling audit_scaling read_scaling persist_modes shard_scaling qos_isolation offload)
+BENCHES=(pool_scaling audit_scaling read_scaling persist_modes shard_scaling qos_isolation offload georep)
 
 cargo build --release -p pm-bench --bins
 
@@ -52,6 +58,7 @@ for bench in "${BENCHES[@]}"; do
       if (key ~ /(per_sec|mb_s|kops)$/) kind = "tput"
       else if (key ~ /p(50|95|99)_(ns|us|ms)$/) kind = "lat"
       else if (bench == "offload" && key ~ /^fabric_[a-z]+_bytes$/) kind = "fab"
+      else if (bench == "georep" && key ~ /_(rpo_bytes|rto_ms)$/) kind = "dr"
       if (kind == "") next
       if (NR == FNR) { committed[key] = val; next }
       if (!(key in committed)) { printf "  %s: %s missing from committed artifact\n", bench, key; bad = 1; next }
@@ -66,6 +73,10 @@ for bench in "${BENCHES[@]}"; do
       }
       if (kind == "fab" && val + 0 > 1.25 * committed[key]) {
         printf "  %s: %s fabric bytes grew: %.0f > 1.25x committed %.0f\n", bench, key, val, committed[key]
+        bad = 1
+      }
+      if (kind == "dr" && val + 0 > 1.5 * committed[key]) {
+        printf "  %s: %s recovery objective regressed: %.2f > 1.5x committed %.2f\n", bench, key, val, committed[key]
         bad = 1
       }
     }
